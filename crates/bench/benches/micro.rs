@@ -1,0 +1,179 @@
+//! Criterion micro-benchmarks of the core Medusa mechanisms: what does
+//! materialization/restoration itself cost in wall-clock terms, and the
+//! ablation of trace-based vs naive pointer matching.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use medusa::{analyze, count_naive_mismatches, replay_allocations, restore_graph, KernelResolver};
+use medusa_gpu::{AllocTag, CostModel, GpuSpec, ParamBuffer, ProcessRuntime};
+use medusa_model::{build_catalog, ModelSpec};
+
+fn spec() -> ModelSpec {
+    ModelSpec::by_name("Qwen1.5-0.5B").expect("catalog model")
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("allocator_malloc_free_pair", |b| {
+        let mut rt = ProcessRuntime::new(
+            build_catalog(&spec()),
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            1,
+        );
+        b.iter(|| {
+            let p = rt.cuda_malloc(4096, AllocTag::Activation).expect("alloc");
+            rt.cuda_free(p).expect("free");
+        })
+    });
+}
+
+fn bench_param_buffer(c: &mut Criterion) {
+    let parts: Vec<(u64, u32)> =
+        (0..8).map(|i| (0x0007_2000_0000_0000 + i * 64, if i % 3 == 0 { 4 } else { 8 })).collect();
+    c.bench_function("param_buffer_from_parts_8", |b| {
+        b.iter(|| ParamBuffer::from_parts(std::hint::black_box(&parts)))
+    });
+}
+
+fn bench_offline_phase(c: &mut Criterion) {
+    let s = spec();
+    let mut g = c.benchmark_group("offline");
+    g.sample_size(10);
+    g.bench_function("capture_stage_qwen05b_35_graphs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            medusa::run_offline_capture(&s, GpuSpec::a100_40gb(), CostModel::default(), seed)
+                .expect("capture")
+        })
+    });
+    let cap = medusa::run_offline_capture(&s, GpuSpec::a100_40gb(), CostModel::default(), 7)
+        .expect("capture");
+    g.bench_function("analysis_stage_qwen05b", |b| {
+        b.iter(|| analyze(&cap, &CostModel::default()).expect("analysis"))
+    });
+    g.bench_function("ablation_naive_matching_scan", |b| {
+        b.iter(|| count_naive_mismatches(&cap))
+    });
+    g.finish();
+}
+
+fn bench_online_restore(c: &mut Criterion) {
+    let s = spec();
+    let (artifact, _) =
+        medusa::materialize_offline(&s, GpuSpec::a100_40gb(), CostModel::default(), 9)
+            .expect("offline");
+    let mut g = c.benchmark_group("online");
+    g.sample_size(10);
+    g.bench_function("replay_allocation_sequence", |b| {
+        b.iter_batched(
+            || {
+                let mut rt = ProcessRuntime::new(
+                    build_catalog(&s),
+                    GpuSpec::a100_40gb(),
+                    CostModel::default(),
+                    123,
+                );
+                let _inst =
+                    medusa_model::ModelInstance::initialize(&mut rt, &s).expect("structure");
+                rt
+            },
+            |mut rt| replay_allocations(&mut rt, &artifact).expect("replay"),
+            BatchSize::LargeInput,
+        )
+    });
+    // One full restore of the largest graph (pointer patching path).
+    let mut rt = ProcessRuntime::new(
+        build_catalog(&s),
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        124,
+    );
+    let mut inst = medusa_model::ModelInstance::initialize(&mut rt, &s).expect("structure");
+    medusa_model::load_weights(&mut rt, &inst, 1.0).expect("weights");
+    let (layout, _) = replay_allocations(&mut rt, &artifact).expect("replay");
+    inst.bind_workspace(layout.workspace().expect("ws"));
+    inst.bind_magic(layout.magic_pairs(s.layers()).expect("magic"));
+    let kv = layout.kv_view(16).expect("kv");
+    let mut resolver = KernelResolver::new();
+    resolver.resolve_exported(&mut rt, &artifact).expect("dlsym path");
+    for bsz in [1, 8, 64, 256] {
+        medusa_model::warmup_first_layer(&mut rt, &mut inst, bsz, &kv).expect("trigger");
+    }
+    resolver.resolve_by_enumeration(&mut rt, &artifact).expect("enumeration");
+    let gspec = artifact.graphs.last().expect("graphs");
+    g.bench_function("restore_graph_largest_batch", |b| {
+        b.iter(|| restore_graph(gspec, &layout, resolver.addrs()).expect("restore"))
+    });
+    g.finish();
+}
+
+fn bench_serde(c: &mut Criterion) {
+    let s = spec();
+    let (artifact, _) =
+        medusa::materialize_offline(&s, GpuSpec::a100_40gb(), CostModel::default(), 10)
+            .expect("offline");
+    let json = artifact.to_json().expect("encode");
+    let mut g = c.benchmark_group("artifact");
+    g.sample_size(10);
+    g.bench_function("artifact_to_json", |b| b.iter(|| artifact.to_json().expect("encode")));
+    g.bench_function("artifact_from_json", |b| {
+        b.iter(|| medusa::MaterializedState::from_json(&json).expect("decode"))
+    });
+    g.finish();
+}
+
+fn bench_serving_and_workload(c: &mut Criterion) {
+    use medusa_serving::{simulate, ClusterConfig, PerfModel};
+    use medusa_workload::TraceConfig;
+    let mut g = c.benchmark_group("serving");
+    g.bench_function("workload_generate_10rps_300s", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            TraceConfig::sharegpt(10.0, 300.0).with_seed(seed).generate()
+        })
+    });
+    let perf = PerfModel::from_tables(
+        medusa::Strategy::Vanilla,
+        "bench",
+        medusa_gpu::SimDuration::from_millis(1500),
+        vec![1, 8, 32, 128, 256],
+        vec![
+            medusa_gpu::SimDuration::from_millis(8),
+            medusa_gpu::SimDuration::from_millis(9),
+            medusa_gpu::SimDuration::from_millis(11),
+            medusa_gpu::SimDuration::from_millis(14),
+            medusa_gpu::SimDuration::from_millis(18),
+        ],
+        vec![
+            (64, medusa_gpu::SimDuration::from_millis(10)),
+            (2048, medusa_gpu::SimDuration::from_millis(80)),
+        ],
+    );
+    let trace = TraceConfig::sharegpt(10.0, 300.0).with_seed(3).generate();
+    g.bench_function("cluster_sim_3000_requests", |b| {
+        b.iter(|| simulate(&perf, &ClusterConfig::default(), std::hint::black_box(&trace)))
+    });
+    g.finish();
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    use medusa_model::Tokenizer;
+    let (tok, _) = Tokenizer::load(32_000, &CostModel::default());
+    let text = "the quick brown fox jumps over the lazy dog ".repeat(32);
+    c.bench_function("tokenizer_encode_1p4kb", |b| {
+        b.iter(|| tok.encode(std::hint::black_box(&text)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_allocator,
+    bench_param_buffer,
+    bench_offline_phase,
+    bench_online_restore,
+    bench_serde,
+    bench_serving_and_workload,
+    bench_tokenizer
+);
+criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! Ablations of Medusa's design choices (DESIGN.md §6).
+//!
+//! Each ablation isolates one mechanism and quantifies what the paper's
+//! design buys over the strawman it replaced:
+//!
+//! 1. **Trace-based vs naive pointer matching** (§4.1, Fig. 6): how many
+//!    graph pointer parameters a whole-history matcher would resolve to the
+//!    wrong allocation — each one a latent data corruption.
+//! 2. **Copy-free vs full-dump contents restoration** (§4.3): bytes that
+//!    would have to be saved and transferred if every referenced buffer's
+//!    contents were dumped, vs Medusa's permanent-only policy.
+//! 3. **First-layer vs handwritten triggering-kernels** (§5.1/§5.2): the
+//!    restore-stage latency of the two module-loading strategies.
+//! 4. **Validation cost** (§4/§8): what the optional validation forwarding
+//!    adds to a Medusa cold start.
+
+use crate::common::{self, gpu, offline, run_cold, s};
+use medusa::{
+    analyze, cold_start, count_naive_mismatches, run_offline_capture, ColdStartOptions, ParamSpec,
+    Stage, Strategy, TriggeringMode,
+};
+use medusa_gpu::{SimStorage, TraceEvent};
+use medusa_model::ModelSpec;
+use std::collections::HashMap;
+
+const ABLATION_MODELS: [&str; 2] = ["Qwen1.5-0.5B", "Qwen1.5-4B"];
+
+/// Ablation 1: naive whole-history pointer matching vs trace-based (§4.1).
+pub fn pointer_matching() {
+    println!("### Ablation — trace-based vs naive pointer matching (paper §4.1, Fig. 6)\n");
+    println!(
+        "{:<14} {:>12} {:>14} {:>16}",
+        "model", "ptr params", "reuse hazards", "naive mismatches"
+    );
+    for name in ABLATION_MODELS {
+        let spec = ModelSpec::by_name(name).expect("catalog");
+        let cap = run_offline_capture(&spec, gpu(), common::cost(), common::offline_seed(&spec))
+            .expect("capture");
+        let out = analyze(&cap, &common::cost()).expect("analysis");
+        let naive = count_naive_mismatches(&cap);
+        println!(
+            "{:<14} {:>12} {:>14} {:>16}",
+            name, out.state.stats.pointer_params, out.state.stats.multi_match_pointers, naive
+        );
+    }
+    println!("\nevery naive mismatch is a pointer restored to the wrong buffer — a");
+    println!("silent data corruption the trace-based matcher avoids.");
+}
+
+/// Ablation 2: copy-free vs full-dump buffer contents (§4.3).
+pub fn copy_free() {
+    println!("### Ablation — copy-free vs full-dump contents restoration (paper §4.3)\n");
+    println!(
+        "{:<14} {:>14} {:>14} {:>12} {:>14}",
+        "model", "full dump", "copy-free", "ratio", "restore time"
+    );
+    for name in ABLATION_MODELS {
+        let spec = ModelSpec::by_name(name).expect("catalog");
+        let cap = run_offline_capture(&spec, gpu(), common::cost(), common::offline_seed(&spec))
+            .expect("capture");
+        let out = analyze(&cap, &common::cost()).expect("analysis");
+        // Sizes of every allocation, from the trace.
+        let mut sizes: HashMap<u64, u64> = HashMap::new();
+        for ev in &cap.trace {
+            if let TraceEvent::Alloc { seq, size, .. } | TraceEvent::DeviceAlloc { seq, size, .. } =
+                ev
+            {
+                sizes.insert(*seq, *size);
+            }
+        }
+        // Full dump: every buffer referenced by any graph parameter.
+        let mut referenced: HashMap<u64, u64> = HashMap::new();
+        for g in &out.state.graphs {
+            for n in &g.nodes {
+                for p in &n.params {
+                    if let ParamSpec::IndirectPtr { alloc_seq, .. } = p {
+                        referenced.insert(*alloc_seq, sizes[alloc_seq]);
+                    }
+                }
+            }
+        }
+        let full_dump: u64 = referenced.values().sum();
+        let copy_free: u64 =
+            out.state.permanent_contents.iter().map(|(seq, _)| sizes[seq]).sum();
+        let cost = common::cost();
+        let storage = SimStorage::from_cost_model(&cost);
+        let restore_full = storage.pipelined_to_device(full_dump, cost.h2d_bandwidth, 1.0);
+        println!(
+            "{:<14} {:>11.2}GiB {:>11.1}KiB {:>11.0}x {:>13}s",
+            name,
+            full_dump as f64 / (1u64 << 30) as f64,
+            copy_free as f64 / 1024.0,
+            full_dump as f64 / copy_free.max(1) as f64,
+            s(restore_full)
+        );
+    }
+    println!("\ncopy-free skips model weights (reloaded anyway) and temporaries");
+    println!("(self-managed by replay); only the 4-byte launch-magic pairs remain.");
+}
+
+/// Ablation 3: first-layer vs handwritten triggering-kernels (§5.1/§5.2).
+pub fn triggering() {
+    println!("### Ablation — first-layer vs handwritten triggering-kernels (paper §5)\n");
+    println!("{:<14} {:>16} {:>16}", "model", "first-layer", "handwritten");
+    for name in ABLATION_MODELS {
+        let spec = ModelSpec::by_name(name).expect("catalog");
+        let (artifact, _) = offline(&spec);
+        let stage = |mode: TriggeringMode| {
+            let opts = ColdStartOptions {
+                seed: common::online_seed(&spec, Strategy::Medusa),
+                warm_container: true,
+                triggering: mode,
+                ..Default::default()
+            };
+            let (_e, r) =
+                cold_start(Strategy::Medusa, &spec, gpu(), common::cost(), Some(&artifact), opts)
+                    .expect("cold start");
+            r.stage(Stage::Capture)
+        };
+        println!(
+            "{:<14} {:>15}s {:>15}s",
+            name,
+            s(stage(TriggeringMode::FirstLayer)),
+            s(stage(TriggeringMode::Handwritten))
+        );
+    }
+    println!("\nthe handwritten list is faster (one launch per hidden module) but is");
+    println!("manual maintenance per batch-size bucketing — why §5.2 adopted the");
+    println!("first-layer strategy despite its extra per-batch warm-up/capture.");
+}
+
+/// Ablation 4: the cost of the validation forwarding (§4/§8).
+pub fn validation_cost() {
+    println!("### Ablation — validation forwarding cost (paper §4/§8)\n");
+    println!("{:<14} {:>14} {:>16} {:>10}", "model", "no validation", "with validation", "overhead");
+    for name in ABLATION_MODELS {
+        let spec = ModelSpec::by_name(name).expect("catalog");
+        let (artifact, _) = offline(&spec);
+        let loading = |validate: bool| {
+            let opts = ColdStartOptions {
+                seed: common::online_seed(&spec, Strategy::Medusa) + u64::from(validate),
+                warm_container: true,
+                validate,
+                ..Default::default()
+            };
+            let (_e, r) =
+                cold_start(Strategy::Medusa, &spec, gpu(), common::cost(), Some(&artifact), opts)
+                    .expect("cold start");
+            r.loading
+        };
+        let without = loading(false);
+        let with = loading(true);
+        println!(
+            "{:<14} {:>13}s {:>15}s {:>9.2}x",
+            name,
+            s(without),
+            s(with),
+            with.as_secs_f64() / without.as_secs_f64()
+        );
+    }
+    println!("\nvalidation replays every restored graph against an eager reference —");
+    println!("worth paying on first deployment of an artifact, skippable after.");
+}
+
+/// Ablation 5: what a Medusa cold start costs per mechanism — restore the
+/// same artifact with progressively fewer materialized pieces (KV only vs
+/// full Medusa vs vanilla).
+pub fn mechanism_breakdown() {
+    println!("### Ablation — per-mechanism contribution to the loading-phase win\n");
+    let spec = ModelSpec::by_name("Qwen1.5-4B").expect("catalog");
+    let (artifact, _) = offline(&spec);
+    let (_e, vanilla) = run_cold(Strategy::Vanilla, &spec, None, true);
+    let (_e, asynch) = run_cold(Strategy::VanillaAsync, &spec, None, true);
+    let (_e, medusa) = run_cold(Strategy::Medusa, &spec, Some(&artifact), true);
+    println!("{:<44} {:>9}", "configuration", "loading");
+    println!("{:<44} {:>8}s", "vanilla vLLM (nothing materialized)", s(vanilla.loading));
+    println!("{:<44} {:>8}s", "+ async weight loading only", s(asynch.loading));
+    println!("{:<44} {:>8}s", "+ KV init + CUDA graph materialization (Medusa)", s(medusa.loading));
+    let kv_gain = vanilla.stage(Stage::KvCacheInit) - medusa.stage(Stage::KvCacheInit);
+    let cap_gain = vanilla.stage(Stage::Capture) - medusa.stage(Stage::Capture);
+    println!(
+        "\nstage-level gains: kv init −{}s, capturing −{}s, overlap covers the rest",
+        s(kv_gain),
+        s(cap_gain)
+    );
+}
+
+/// Extension experiment: bursty arrivals (the paper's §1 motivation: rates
+/// "fluctuating by 10-20 times within a 30-second window") with serverless
+/// keep-alive scale-down — cold starts recur at every burst front, so the
+/// cold-start strategy shows up directly in the p99 TTFT.
+pub fn bursty() {
+    use medusa_serving::{simulate, ClusterConfig, PerfModel};
+    use medusa_workload::{ArrivalPattern, TraceConfig};
+    println!("### Extension — bursty arrivals + keep-alive scale-down (paper §1 motivation)
+");
+    let spec = ModelSpec::by_name("Qwen1.5-4B").expect("catalog");
+    let (artifact, _) = offline(&spec);
+    let cfg = ClusterConfig { keep_alive_s: 15.0, ..ClusterConfig::default() };
+    let trace = TraceConfig::sharegpt(4.0, 300.0)
+        .with_seed(7)
+        .with_pattern(ArrivalPattern::sharegpt_bursty())
+        .generate();
+    println!(
+        "trace: {} requests over 300s, 15x bursts on a 30s cycle, 15s keep-alive
+",
+        trace.len()
+    );
+    println!("{:<16} {:>10} {:>10} {:>12}", "strategy", "p99 TTFT", "mean TTFT", "cold starts");
+    for strategy in Strategy::ALL {
+        let art = (strategy == Strategy::Medusa).then_some(&artifact);
+        let perf = PerfModel::measure(
+            strategy,
+            &spec,
+            gpu(),
+            common::cost(),
+            art,
+            common::online_seed(&spec, strategy),
+        )
+        .expect("measure");
+        let r = simulate(&perf, &cfg, &trace);
+        println!(
+            "{:<16} {:>9}s {:>9}s {:>12}",
+            strategy.to_string(),
+            s(r.ttft_quantile(0.99)),
+            s(r.ttft_mean()),
+            r.cold_starts.len()
+        );
+    }
+    println!("
+with scale-down, every burst front pays a cold start — Medusa's faster");
+    println!("loading compounds across the whole trace, not just the first request.");
+}
+
+/// Related-work baseline (paper §9): full checkpoint/restore. A checkpoint
+/// of a ready instance must persist the whole device state — weights,
+/// workspace and crucially the multi-GB KV cache reservation — while Medusa
+/// materializes only graphs + one profiled number.
+pub fn checkpoint_baseline() {
+    use medusa_gpu::SimStorage;
+    println!("### Baseline — full checkpoint/restore vs Medusa (paper §9)
+");
+    println!(
+        "{:<14} {:>14} {:>14} {:>14} {:>12}",
+        "model", "ckpt size", "ckpt restore", "Medusa load", "artifact"
+    );
+    for name in ABLATION_MODELS {
+        let spec = ModelSpec::by_name(name).expect("catalog");
+        let (artifact, _) = offline(&spec);
+        // A ready vanilla instance's device footprint = checkpoint size.
+        let (engine, _) = run_cold(Strategy::Vanilla, &spec, None, true);
+        let ckpt_bytes = engine.rt.memory().in_use();
+        let cost = common::cost();
+        let storage = SimStorage::from_cost_model(&cost);
+        let restore = storage.pipelined_to_device(ckpt_bytes, cost.h2d_bandwidth, 1.0);
+        let (_m, medusa) = run_cold(Strategy::Medusa, &spec, Some(&artifact), true);
+        let artifact_kib = artifact.to_json().expect("encode").len() as f64 / 1024.0;
+        println!(
+            "{:<14} {:>11.1}GiB {:>13}s {:>13}s {:>9.0}KiB",
+            name,
+            ckpt_bytes as f64 / (1u64 << 30) as f64,
+            s(restore),
+            s(medusa.loading),
+            artifact_kib
+        );
+    }
+    println!("
+checkpoints must carry the KV cache reservation (most of the GPU), so");
+    println!("restore is storage-bound; Medusa's artifact is a few MiB of metadata and");
+    println!("composes with weight loading instead of duplicating it (paper §9).");
+}
+
+/// Runs every ablation.
+pub fn all() {
+    pointer_matching();
+    println!("\n{}\n", "-".repeat(72));
+    copy_free();
+    println!("\n{}\n", "-".repeat(72));
+    triggering();
+    println!("\n{}\n", "-".repeat(72));
+    validation_cost();
+    println!("\n{}\n", "-".repeat(72));
+    mechanism_breakdown();
+    println!("\n{}\n", "-".repeat(72));
+    bursty();
+    println!("\n{}\n", "-".repeat(72));
+    checkpoint_baseline();
+}

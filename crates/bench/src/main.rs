@@ -1,0 +1,39 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage: `repro <fig1|fig2|fig3|table1|fig7|fig8|fig9|fig10|fig11|all>`
+
+use medusa_bench::{ablations, figures};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let run = |name: &str| match name {
+        "fig1" => figures::fig1(),
+        "fig2" => figures::fig2(),
+        "fig3" => figures::fig3(),
+        "table1" => figures::table1(),
+        "fig7" => figures::fig7(),
+        "fig8" => figures::fig8(),
+        "fig9" => figures::fig9(),
+        "fig10" => figures::fig10(),
+        "fig11" => figures::fig11(),
+        "ablations" => ablations::all(),
+        other => {
+            eprintln!("unknown experiment `{other}`");
+                eprintln!(
+                "usage: repro <fig1|fig2|fig3|table1|fig7|fig8|fig9|fig10|fig11|ablations|all>"
+            );
+            std::process::exit(2);
+        }
+    };
+    if what == "all" {
+        for name in
+            ["fig1", "fig2", "fig3", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations"]
+        {
+            run(name);
+            println!("\n{}\n", "=".repeat(78));
+        }
+    } else {
+        run(what);
+    }
+}

@@ -1,0 +1,321 @@
+//! The materialization artifact: everything Medusa's offline phase saves and
+//! its online phase restores (paper Figure 5).
+//!
+//! One artifact exists per `<GPU type, model type>` pair. It contains:
+//!
+//! * the materialized **KV cache initialization** — the profiled available
+//!   free GPU memory (§6);
+//! * the **(de)allocation replay sequence** — every `cudaMalloc`/`cudaFree`
+//!   the offline loading phase performed after model structure
+//!   initialization, so the online phase can recreate the buffer layout (§4.2);
+//! * one **materialized graph** per captured batch size: nodes with
+//!   constants stored by value and data pointers stored as *indirect index
+//!   pointers* into the replay sequence (§4.1), kernels stored by mangled
+//!   name + library (§5), and the dependency edges;
+//! * the contents of **permanent buffers** only (copy-free buffer contents
+//!   restoration, §4.3);
+//! * **semantic labels** binding engine-level buffers (KV cache, workspace,
+//!   magic pairs) to allocation indices so the online engine can address
+//!   them.
+
+use crate::error::{MedusaError, MedusaResult};
+use medusa_gpu::{Digest, Work};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Format version, bumped on breaking layout changes.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// One materialized kernel parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamSpec {
+    /// A constant: restored by copying the plain value (§4).
+    Const {
+        /// Raw little-endian bytes (4 or 8).
+        bytes: Vec<u8>,
+    },
+    /// A data pointer: restored through the indirect index pointer table
+    /// (§4.1/§4.2).
+    IndirectPtr {
+        /// Index in the (prefix + replayed) allocation sequence.
+        alloc_seq: u64,
+        /// Byte offset of the pointer within the matched buffer.
+        offset: u64,
+        /// The raw offline value (for diagnostics and for correction of
+        /// false positives back to a constant, §4).
+        raw: u64,
+    },
+}
+
+/// One materialized CUDA graph node (paper Fig. 4, with addresses replaced
+/// by restorable references).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// The kernel's mangled name (§5).
+    pub kernel: String,
+    /// The dynamic library the kernel belongs to (§5).
+    pub library: String,
+    /// Whether the offline phase found the kernel in the library's dynamic
+    /// symbol table (determines the dlsym vs. triggering-kernel path).
+    pub exported: bool,
+    /// Materialized parameters, in signature order.
+    pub params: Vec<ParamSpec>,
+    /// Recorded work size (grid-dim equivalent).
+    pub work: Work,
+    /// Capture-time stream.
+    pub stream: u32,
+}
+
+/// One materialized graph (a single batch size).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphSpec {
+    /// The decode batch size the graph was captured for.
+    pub batch: u32,
+    /// Materialized nodes in capture order.
+    pub nodes: Vec<NodeSpec>,
+    /// Dependency edges `(src, dst)`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// One step of the (de)allocation replay sequence (§4.2). Allocation ops
+/// implicitly number themselves in sequence order continuing after the
+/// natural prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplayOp {
+    /// `cudaMalloc(size)`.
+    Malloc {
+        /// Rounded allocation size.
+        size: u64,
+    },
+    /// `cudaFree` of the buffer created by allocation `alloc_seq`.
+    Free {
+        /// Allocation-sequence index of the freed buffer.
+        alloc_seq: u64,
+    },
+}
+
+/// One entry of a materialized pointer table (indirect pointers, §8): the
+/// buffer's stored pointers re-expressed as indirect indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PtrTableEntry {
+    /// Allocation-sequence index of the target buffer.
+    pub alloc_seq: u64,
+    /// Byte offset of the stored pointer within the target buffer.
+    pub offset: u64,
+}
+
+/// Statistics recorded by the analysis stage (reported in EXPERIMENTS.md and
+/// used by tests to pin paper-claimed proportions).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisStats {
+    /// Total materialized nodes across all graphs.
+    pub nodes: u64,
+    /// Parameters classified as data pointers.
+    pub pointer_params: u64,
+    /// Parameters classified as constants.
+    pub const_params: u64,
+    /// Pointer params whose address matched more than one historical
+    /// allocation — the Fig. 6 false-positive hazard that trace-based
+    /// matching disambiguates.
+    pub multi_match_pointers: u64,
+    /// Nodes whose kernel is restorable via `dlsym` (paper: 69.2 % for
+    /// Llama2 13B @ batch 1).
+    pub dlsym_restorable_nodes: u64,
+    /// Nodes needing the triggering-kernel path.
+    pub hidden_kernel_nodes: u64,
+    /// Distinct buffers classified as model parameters (contents skipped).
+    pub param_buffers: u64,
+    /// Distinct buffers classified as temporary (contents skipped).
+    pub temp_buffers: u64,
+    /// Distinct buffers classified as permanent (contents materialized;
+    /// paper: ~9 % of kernels need two 4-byte permanent buffers).
+    pub permanent_buffers: u64,
+}
+
+/// The complete materialized state for one `<GPU type, model type>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaterializedState {
+    /// Format version.
+    pub version: u32,
+    /// Model name the artifact was built for.
+    pub model: String,
+    /// GPU name the artifact was built for.
+    pub gpu: String,
+    /// Tensor-parallel rank this artifact belongs to (0 for single GPU).
+    pub rank: u32,
+    /// Tensor-parallel degree (1 for single GPU). Multi-GPU support is the
+    /// paper's §8 extension: one artifact per rank.
+    pub tp: u32,
+    /// Materialized KV cache initialization: available free GPU memory (§6).
+    pub kv_free_bytes: u64,
+    /// Number of allocations the online process performs naturally (model
+    /// structure initialization) before replay begins.
+    pub replay_prefix_allocs: u64,
+    /// The replayed (de)allocation sequence (§4.2).
+    pub replay_ops: Vec<ReplayOp>,
+    /// Semantic buffer label → allocation-sequence index.
+    pub labels: HashMap<String, u64>,
+    /// Permanent buffer contents: allocation index → digest (§4.3).
+    pub permanent_contents: Vec<(u64, Digest)>,
+    /// Permanent pointer tables (indirect pointers, §8): allocation index →
+    /// stored pointers as indirect indices, rebuilt with restored addresses
+    /// online.
+    pub permanent_ptr_tables: Vec<(u64, Vec<PtrTableEntry>)>,
+    /// Materialized graphs, one per captured batch size, ascending batch.
+    pub graphs: Vec<GraphSpec>,
+    /// Analysis statistics.
+    pub stats: AnalysisStats,
+}
+
+impl MaterializedState {
+    /// Total node count across graphs.
+    pub fn total_nodes(&self) -> u64 {
+        self.graphs.iter().map(|g| g.nodes.len() as u64).sum()
+    }
+
+    /// Checks the artifact matches the restoring `<GPU, model>` pair and
+    /// shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MedusaError::ArtifactMismatch`] when it does not.
+    pub fn check_target(&self, model: &str, gpu: &str, rank: u32, tp: u32) -> MedusaResult<()> {
+        if self.model != model || self.gpu != gpu || self.rank != rank || self.tp != tp {
+            return Err(MedusaError::ArtifactMismatch {
+                artifact: format!("{}/{} r{}/{}", self.model, self.gpu, self.rank, self.tp),
+                target: format!("{model}/{gpu} r{rank}/{tp}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Looks up a semantic label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MedusaError::MissingLabel`] when absent.
+    pub fn label(&self, name: &str) -> MedusaResult<u64> {
+        self.labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| MedusaError::MissingLabel { label: name.to_string() })
+    }
+
+    /// Serializes the artifact (the format a deployment would persist per
+    /// `<GPU type, model type>`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MedusaError::ArtifactCorrupt`] on encoder failure.
+    pub fn to_json(&self) -> MedusaResult<String> {
+        serde_json::to_string(self)
+            .map_err(|e| MedusaError::ArtifactCorrupt { detail: e.to_string() })
+    }
+
+    /// Deserializes an artifact, validating the version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MedusaError::ArtifactCorrupt`] on decode failure or version
+    /// mismatch.
+    pub fn from_json(s: &str) -> MedusaResult<Self> {
+        let v: MaterializedState = serde_json::from_str(s)
+            .map_err(|e| MedusaError::ArtifactCorrupt { detail: e.to_string() })?;
+        if v.version != ARTIFACT_VERSION {
+            return Err(MedusaError::ArtifactCorrupt {
+                detail: format!("version {} != {}", v.version, ARTIFACT_VERSION),
+            });
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MaterializedState {
+        MaterializedState {
+            version: ARTIFACT_VERSION,
+            model: "Qwen1.5-4B".into(),
+            gpu: "A100-40GB-SXM4".into(),
+            rank: 0,
+            tp: 1,
+            kv_free_bytes: 123,
+            replay_prefix_allocs: 4,
+            replay_ops: vec![ReplayOp::Malloc { size: 256 }, ReplayOp::Free { alloc_seq: 4 }],
+            labels: [("kv.key".to_string(), 4u64)].into_iter().collect(),
+            permanent_contents: vec![(5, [7; 16])],
+            permanent_ptr_tables: vec![(6, vec![PtrTableEntry { alloc_seq: 4, offset: 0 }])],
+            graphs: vec![GraphSpec {
+                batch: 1,
+                nodes: vec![NodeSpec {
+                    kernel: "k".into(),
+                    library: "l".into(),
+                    exported: true,
+                    params: vec![
+                        ParamSpec::Const { bytes: vec![1, 0, 0, 0] },
+                        ParamSpec::IndirectPtr { alloc_seq: 4, offset: 16, raw: 99 },
+                    ],
+                    work: Work::NONE,
+                    stream: 0,
+                }],
+                edges: vec![],
+            }],
+            stats: AnalysisStats::default(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let a = tiny();
+        let s = a.to_json().unwrap();
+        let b = MaterializedState::from_json(&s).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.total_nodes(), 1);
+    }
+
+    #[test]
+    fn version_is_checked() {
+        let mut a = tiny();
+        a.version = 999;
+        let s = serde_json::to_string(&a).unwrap();
+        assert!(matches!(
+            MaterializedState::from_json(&s),
+            Err(MedusaError::ArtifactCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_json_is_reported() {
+        assert!(matches!(
+            MaterializedState::from_json("{not json"),
+            Err(MedusaError::ArtifactCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn target_check() {
+        let a = tiny();
+        assert!(a.check_target("Qwen1.5-4B", "A100-40GB-SXM4", 0, 1).is_ok());
+        assert!(matches!(
+            a.check_target("Llama2-7B", "A100-40GB-SXM4", 0, 1),
+            Err(MedusaError::ArtifactMismatch { .. })
+        ));
+        assert!(matches!(
+            a.check_target("Qwen1.5-4B", "H100", 0, 1),
+            Err(MedusaError::ArtifactMismatch { .. })
+        ));
+        assert!(matches!(
+            a.check_target("Qwen1.5-4B", "A100-40GB-SXM4", 1, 2),
+            Err(MedusaError::ArtifactMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn label_lookup() {
+        let a = tiny();
+        assert_eq!(a.label("kv.key").unwrap(), 4);
+        assert!(matches!(a.label("nope"), Err(MedusaError::MissingLabel { .. })));
+    }
+}

@@ -1,0 +1,206 @@
+//! `medusa-cli` — operate the Medusa reproduction from the command line.
+//!
+//! ```text
+//! medusa-cli models
+//! medusa-cli materialize --model <name> [--out artifact.json] [--seed N]
+//! medusa-cli coldstart   --model <name> --strategy <vllm|async|medusa|nograph>
+//!                        [--artifact artifact.json] [--validate] [--warm]
+//!                        [--triggering <first-layer|handwritten>] [--seed N]
+//! medusa-cli inspect     --artifact artifact.json
+//! ```
+
+use medusa::{
+    cold_start, materialize_offline, ColdStartOptions, MaterializedState, Stage, Strategy,
+    TriggeringMode,
+};
+use medusa_gpu::{CostModel, GpuSpec};
+use medusa_model::ModelSpec;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "models" => models(),
+        "materialize" => materialize(&flags),
+        "coldstart" => coldstart(&flags),
+        "inspect" => inspect(&flags),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!("usage: medusa-cli <models|materialize|coldstart|inspect> [flags]");
+    eprintln!("  materialize --model <name> [--out FILE] [--seed N]");
+    eprintln!("  coldstart   --model <name> --strategy <vllm|async|medusa|nograph>");
+    eprintln!("              [--artifact FILE] [--validate] [--warm]");
+    eprintln!("              [--triggering <first-layer|handwritten>] [--seed N]");
+    eprintln!("  inspect     --artifact FILE");
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument `{a}`");
+            exit(2);
+        };
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+            _ => "true".to_string(),
+        };
+        out.insert(key.to_string(), value);
+    }
+    out
+}
+
+fn require_model(flags: &HashMap<String, String>) -> Result<ModelSpec, String> {
+    let name = flags.get("model").ok_or("--model is required")?;
+    ModelSpec::by_name(name)
+        .ok_or_else(|| format!("unknown model `{name}` (see `medusa-cli models`)"))
+}
+
+fn seed(flags: &HashMap<String, String>) -> u64 {
+    flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+fn models() -> Result<(), String> {
+    println!(
+        "{:<14} {:>7} {:>8} {:>7} {:>9} {:>10} {:>13}",
+        "model", "layers", "hidden", "heads", "vocab", "params", "table1 nodes"
+    );
+    for m in ModelSpec::catalog() {
+        println!(
+            "{:<14} {:>7} {:>8} {:>7} {:>9} {:>8.1}GB {:>13}",
+            m.name(),
+            m.layers(),
+            m.hidden(),
+            m.heads(),
+            m.vocab(),
+            m.param_bytes() as f64 / (1u64 << 30) as f64,
+            m.table1_nodes()
+        );
+    }
+    Ok(())
+}
+
+fn materialize(flags: &HashMap<String, String>) -> Result<(), String> {
+    let spec = require_model(flags)?;
+    let (artifact, report) =
+        materialize_offline(&spec, GpuSpec::a100_40gb(), CostModel::default(), seed(flags))
+            .map_err(|e| e.to_string())?;
+    println!(
+        "offline phase: capturing {:.1}s + analysis {:.1}s = {:.1}s (simulated)",
+        report.capture.as_secs_f64(),
+        report.analysis.as_secs_f64(),
+        report.total().as_secs_f64()
+    );
+    println!(
+        "materialized {} graphs / {} nodes / {} replay ops",
+        artifact.graphs.len(),
+        artifact.total_nodes(),
+        artifact.replay_ops.len()
+    );
+    if let Some(path) = flags.get("out") {
+        let json = artifact.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(path, &json).map_err(|e| e.to_string())?;
+        println!("wrote {} ({:.1} KiB)", path, json.len() as f64 / 1024.0);
+    }
+    Ok(())
+}
+
+fn load_artifact(flags: &HashMap<String, String>) -> Result<Option<MaterializedState>, String> {
+    match flags.get("artifact") {
+        None => Ok(None),
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            Ok(Some(MaterializedState::from_json(&json).map_err(|e| e.to_string())?))
+        }
+    }
+}
+
+fn coldstart(flags: &HashMap<String, String>) -> Result<(), String> {
+    let spec = require_model(flags)?;
+    let strategy = match flags.get("strategy").map(String::as_str) {
+        Some("vllm") | None => Strategy::Vanilla,
+        Some("async") => Strategy::VanillaAsync,
+        Some("medusa") => Strategy::Medusa,
+        Some("nograph") => Strategy::NoCudaGraph,
+        Some(other) => return Err(format!("unknown strategy `{other}`")),
+    };
+    let triggering = match flags.get("triggering").map(String::as_str) {
+        Some("handwritten") => TriggeringMode::Handwritten,
+        Some("first-layer") | None => TriggeringMode::FirstLayer,
+        Some(other) => return Err(format!("unknown triggering mode `{other}`")),
+    };
+    let artifact = load_artifact(flags)?;
+    let opts = ColdStartOptions {
+        seed: seed(flags),
+        warm_container: flags.contains_key("warm"),
+        validate: flags.contains_key("validate"),
+        triggering,
+        ..Default::default()
+    };
+    let (_engine, report) = cold_start(
+        strategy,
+        &spec,
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        artifact.as_ref(),
+        opts,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{} cold start of {} (simulated):", report.strategy, report.model);
+    for span in &report.spans {
+        println!(
+            "  {:<16} [{:>8.3} .. {:>8.3}]  {:>8.3}s",
+            span.stage.to_string(),
+            span.start.as_secs_f64(),
+            span.end.as_secs_f64(),
+            span.duration().as_secs_f64()
+        );
+    }
+    println!("loading {:.3}s, total {:.3}s", report.loading.as_secs_f64(), report.total.as_secs_f64());
+    let _ = Stage::Capture;
+    Ok(())
+}
+
+fn inspect(flags: &HashMap<String, String>) -> Result<(), String> {
+    let artifact = load_artifact(flags)?.ok_or("--artifact is required")?;
+    println!("artifact <{}, {}> rank {}/{} v{}", artifact.model, artifact.gpu, artifact.rank, artifact.tp, artifact.version);
+    println!("  kv free bytes: {}", artifact.kv_free_bytes);
+    println!(
+        "  replay: {} prefix allocs + {} ops; labels {}; permanent contents {}; ptr tables {}",
+        artifact.replay_prefix_allocs,
+        artifact.replay_ops.len(),
+        artifact.labels.len(),
+        artifact.permanent_contents.len(),
+        artifact.permanent_ptr_tables.len()
+    );
+    let st = &artifact.stats;
+    println!(
+        "  {} graphs / {} nodes; {} ptr params, {} consts, {} multi-match; dlsym {} / hidden {}",
+        artifact.graphs.len(),
+        st.nodes,
+        st.pointer_params,
+        st.const_params,
+        st.multi_match_pointers,
+        st.dlsym_restorable_nodes,
+        st.hidden_kernel_nodes
+    );
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! Errors of the Medusa materialization/restoration layer.
+
+use medusa_graph::GraphError;
+use medusa_gpu::GpuError;
+use medusa_kvcache::KvCacheInitError;
+use std::fmt;
+
+/// Errors produced by Medusa's offline and online phases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MedusaError {
+    /// Driver-level failure.
+    Gpu(GpuError),
+    /// CUDA graph failure.
+    Graph(GraphError),
+    /// KV cache initialization failure.
+    Kv(KvCacheInitError),
+    /// A graph-node data pointer could not be matched against the recorded
+    /// allocation sequence (paper §4.1).
+    UnmatchedPointer {
+        /// Batch size of the graph.
+        batch: u32,
+        /// Node index within the graph.
+        node: usize,
+        /// Parameter index within the node.
+        param: usize,
+        /// The unmatched raw address.
+        addr: u64,
+    },
+    /// The online process's natural allocation count disagrees with the
+    /// artifact's replay prefix — the control flow diverged, so indirect
+    /// index pointers would be meaningless.
+    ReplayMisaligned {
+        /// Allocations the artifact expects before replay starts.
+        expected: u64,
+        /// Allocations actually performed by the online process.
+        actual: u64,
+    },
+    /// A replay op referenced an allocation index that was never replayed.
+    ReplayDanglingFree {
+        /// The missing allocation index.
+        alloc_seq: u64,
+    },
+    /// A materialized kernel could not be resolved to an address online
+    /// (neither `dlsym` nor module enumeration found it).
+    KernelUnresolved {
+        /// Library the kernel was materialized from.
+        library: String,
+        /// The kernel's mangled name.
+        kernel: String,
+    },
+    /// Validation found an output mismatch that correction could not repair.
+    ValidationFailed {
+        /// Batch size of the failing graph.
+        batch: u32,
+    },
+    /// The artifact was produced for a different `<GPU type, model type>`.
+    ArtifactMismatch {
+        /// Model/GPU the artifact was built for.
+        artifact: String,
+        /// Model/GPU of the restoring process.
+        target: String,
+    },
+    /// The artifact could not be decoded.
+    ArtifactCorrupt {
+        /// Decoder message.
+        detail: String,
+    },
+    /// The Medusa strategy was started without a materialization artifact.
+    ArtifactRequired,
+    /// A pointer-table entry (indirect pointers, §8) matched no live
+    /// allocation during analysis.
+    UnmatchedTableEntry {
+        /// Allocation index of the table buffer.
+        table_seq: u64,
+        /// Entry index within the table.
+        index: usize,
+        /// The unmatched stored pointer.
+        addr: u64,
+    },
+    /// A semantic buffer label is missing from the artifact.
+    MissingLabel {
+        /// The label.
+        label: String,
+    },
+}
+
+impl fmt::Display for MedusaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MedusaError::Gpu(e) => write!(f, "driver: {e}"),
+            MedusaError::Graph(e) => write!(f, "graph: {e}"),
+            MedusaError::Kv(e) => write!(f, "kv cache: {e}"),
+            MedusaError::UnmatchedPointer { batch, node, param, addr } => write!(
+                f,
+                "no allocation matches pointer {addr:#x} (graph b={batch}, node {node}, param {param})"
+            ),
+            MedusaError::ReplayMisaligned { expected, actual } => write!(
+                f,
+                "allocation replay misaligned: artifact expects {expected} natural allocations, process made {actual}"
+            ),
+            MedusaError::ReplayDanglingFree { alloc_seq } => {
+                write!(f, "replay frees allocation #{alloc_seq} which was never mapped")
+            }
+            MedusaError::KernelUnresolved { library, kernel } => {
+                write!(f, "kernel `{kernel}` of `{library}` could not be resolved online")
+            }
+            MedusaError::ValidationFailed { batch } => {
+                write!(f, "restored graph for batch {batch} failed output validation")
+            }
+            MedusaError::ArtifactMismatch { artifact, target } => {
+                write!(f, "artifact built for `{artifact}` cannot restore `{target}`")
+            }
+            MedusaError::ArtifactCorrupt { detail } => write!(f, "artifact corrupt: {detail}"),
+            MedusaError::ArtifactRequired => {
+                write!(f, "the Medusa strategy requires a materialization artifact")
+            }
+            MedusaError::UnmatchedTableEntry { table_seq, index, addr } => write!(
+                f,
+                "pointer table #{table_seq} entry {index} ({addr:#x}) matches no live allocation"
+            ),
+            MedusaError::MissingLabel { label } => {
+                write!(f, "artifact lacks semantic buffer label `{label}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MedusaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MedusaError::Gpu(e) => Some(e),
+            MedusaError::Graph(e) => Some(e),
+            MedusaError::Kv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for MedusaError {
+    fn from(e: GpuError) -> Self {
+        MedusaError::Gpu(e)
+    }
+}
+
+impl From<GraphError> for MedusaError {
+    fn from(e: GraphError) -> Self {
+        MedusaError::Graph(e)
+    }
+}
+
+impl From<KvCacheInitError> for MedusaError {
+    fn from(e: KvCacheInitError) -> Self {
+        MedusaError::Kv(e)
+    }
+}
+
+/// Result alias for the Medusa layer.
+pub type MedusaResult<T> = Result<T, MedusaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        use std::error::Error;
+        let e = MedusaError::from(GpuError::NotCapturing);
+        assert!(e.source().is_some());
+        let all = vec![
+            MedusaError::UnmatchedPointer { batch: 1, node: 2, param: 3, addr: 4 },
+            MedusaError::ReplayMisaligned { expected: 1, actual: 2 },
+            MedusaError::ReplayDanglingFree { alloc_seq: 9 },
+            MedusaError::KernelUnresolved { library: "l".into(), kernel: "k".into() },
+            MedusaError::ValidationFailed { batch: 8 },
+            MedusaError::ArtifactMismatch { artifact: "a".into(), target: "b".into() },
+            MedusaError::ArtifactCorrupt { detail: "bad json".into() },
+            MedusaError::MissingLabel { label: "ws.ids".into() },
+            MedusaError::UnmatchedTableEntry { table_seq: 1, index: 2, addr: 3 },
+        ];
+        for e in all {
+            assert!(!e.to_string().is_empty());
+            assert!(e.source().is_none());
+        }
+    }
+}

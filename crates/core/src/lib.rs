@@ -1,0 +1,89 @@
+//! # medusa
+//!
+//! Reproduction of **Medusa: Accelerating Serverless LLM Inference with
+//! Materialization** (ASPLOS'25). Medusa attacks the serverless LLM
+//! cold-start problem by *state materialization*: instead of dynamically
+//! profiling the KV cache and capturing CUDA graphs at every cold start, an
+//! offline phase materializes them once per `<GPU type, model type>` and
+//! the online phase restores them.
+//!
+//! The crate implements the paper's full mechanism stack:
+//!
+//! * **Offline capturing stage** ([`run_offline_capture`]) — an
+//!   instrumented cold start intercepting every allocation and kernel
+//!   launch while capturing all 35 decode graphs (§3).
+//! * **Offline analysis stage** ([`analyze`]) — trace-based *indirect index
+//!   pointer* construction (§4.1), constant/pointer classification, kernel
+//!   name tables (§5), and copy-free buffer-content classification (§4.3).
+//! * **Online restoration** — allocation-sequence replay + pointer
+//!   restoration ([`replay_allocations`], [`restore_graph`]),
+//!   triggering-kernel-enhanced kernel address restoration
+//!   ([`KernelResolver`]), and validation with false-positive correction
+//!   ([`validate_and_correct`]).
+//! * **Cold-start pipelines** ([`cold_start`]) — the paper's compared
+//!   strategies: `vLLM`, `vLLM+Async`, `Medusa`, and `w/o CUDA graph`.
+//!
+//! ## Example
+//!
+//! ```rust,no_run
+//! use medusa::{cold_start, materialize_offline, ColdStartOptions, Strategy};
+//! use medusa_gpu::{CostModel, GpuSpec};
+//! use medusa_model::ModelSpec;
+//!
+//! # fn main() -> Result<(), medusa::MedusaError> {
+//! let spec = ModelSpec::by_name("Qwen1.5-4B").expect("catalog model");
+//! // Offline, once per <GPU type, model type>:
+//! let (artifact, _) =
+//!     materialize_offline(&spec, GpuSpec::a100_40gb(), CostModel::default(), 1)?;
+//! // Online, on every cold start:
+//! let (_engine, report) = cold_start(
+//!     Strategy::Medusa,
+//!     &spec,
+//!     GpuSpec::a100_40gb(),
+//!     CostModel::default(),
+//!     Some(&artifact),
+//!     ColdStartOptions::default(),
+//! )?;
+//! println!("loading phase: {}", report.loading);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod artifact;
+mod error;
+mod offline {
+    pub mod analysis;
+    pub mod capture;
+}
+mod online {
+    pub mod kernels;
+    pub mod replay;
+    pub mod validate;
+}
+mod pipeline;
+mod tp;
+mod trace;
+
+pub use artifact::{
+    AnalysisStats, GraphSpec, MaterializedState, NodeSpec, ParamSpec, PtrTableEntry, ReplayOp,
+    ARTIFACT_VERSION,
+};
+pub use error::{MedusaError, MedusaResult};
+pub use offline::analysis::{analyze, count_naive_mismatches, AnalysisOutput};
+pub use offline::capture::{
+    run_offline_capture, run_offline_capture_sharded, CaptureOutput, GraphWindow, KernelInfo,
+};
+pub use online::kernels::{KernelResolver, ResolutionStats};
+pub use online::replay::{replay_allocations, restore_graph, ReplayedLayout};
+pub use online::validate::{
+    reset_kv_state, validate_and_correct, validate_graph, ValidatedGraph, VALIDATION_STEP,
+};
+pub use pipeline::{
+    cold_start, materialize_offline, materialize_offline_sharded, ColdStartOptions,
+    ColdStartReport, OfflineReport, ReadyEngine, Stage, StageSpan, Strategy, TriggeringMode,
+};
+pub use tp::{cold_start_tp, materialize_offline_tp, TpArtifacts, TpColdStart};
+pub use trace::{AllocEvent, TraceWalker};

@@ -1,0 +1,163 @@
+//! Error types for the simulated GPU driver.
+
+use std::fmt;
+
+/// Errors returned by the simulated CUDA driver and runtime.
+///
+/// Each variant corresponds to a failure mode of the real driver that the
+/// Medusa paper's mechanisms must contend with (invalid restored pointers,
+/// hidden symbols, capture-time restrictions, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant docs describe the fields
+pub enum GpuError {
+    /// Device memory exhausted: the allocation of `requested` bytes would
+    /// exceed the device capacity given `in_use` live bytes.
+    OutOfMemory { requested: u64, in_use: u64, capacity: u64 },
+    /// A pointer did not fall inside any live device allocation.
+    InvalidPointer { addr: u64 },
+    /// `cudaFree` of an address that is not the base of a live allocation.
+    InvalidFree { addr: u64 },
+    /// A kernel launch used an address that is not a known device function
+    /// (wrong address, or its module is not loaded).
+    InvalidDeviceFunction { addr: u64 },
+    /// `dlsym` could not find the symbol: it does not exist in the library.
+    SymbolNotFound { library: String, symbol: String },
+    /// The symbol exists in the library but is hidden from the dynamic symbol
+    /// table (e.g. closed-source cuBLAS kernels, paper §5).
+    SymbolHidden { library: String, symbol: String },
+    /// `dlopen` target does not exist in the library catalog.
+    LibraryNotFound { library: String },
+    /// Operation requires a library that has not been `dlopen`ed.
+    LibraryNotLoaded { library: String },
+    /// Module enumeration attempted on a module the driver has not loaded.
+    ModuleNotLoaded { library: String, module: String },
+    /// A synchronizing CUDA call was issued while a stream capture was in
+    /// progress; the capture is invalidated (paper §2.3 "warm-up").
+    SyncDuringCapture { origin: String },
+    /// A second concurrent capture was started in the same process
+    /// (paper §2.2 "limitations of capturing").
+    ConcurrentCapture,
+    /// `end_capture` without a matching `begin_capture`.
+    NotCapturing,
+    /// Host-to-device copies are forbidden inside a capture in this model.
+    MemcpyDuringCapture,
+    /// Device-side allocating kernels cannot be stream-captured in this
+    /// model (paper §8 scope).
+    DeviceAllocDuringCapture,
+    /// The launched parameter list does not match the kernel signature.
+    ParamMismatch { kernel: String, expected: usize, got: usize },
+    /// A kernel read an input pointer that does not reference a live buffer.
+    DanglingRead { kernel: String, addr: u64 },
+    /// A kernel write targeted a pointer outside any live buffer.
+    DanglingWrite { kernel: String, addr: u64 },
+    /// An unknown stream identifier was used.
+    InvalidStream { stream: u32 },
+    /// An unknown event identifier was used.
+    InvalidEvent { event: u32 },
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory { requested, in_use, capacity } => write!(
+                f,
+                "out of device memory: requested {requested} bytes with {in_use}/{capacity} in use"
+            ),
+            GpuError::InvalidPointer { addr } => {
+                write!(f, "pointer {addr:#x} is not inside a live device allocation")
+            }
+            GpuError::InvalidFree { addr } => {
+                write!(f, "free of {addr:#x} which is not a live allocation base")
+            }
+            GpuError::InvalidDeviceFunction { addr } => {
+                write!(f, "address {addr:#x} is not a loaded device function")
+            }
+            GpuError::SymbolNotFound { library, symbol } => {
+                write!(f, "symbol `{symbol}` not found in `{library}`")
+            }
+            GpuError::SymbolHidden { library, symbol } => {
+                write!(f, "symbol `{symbol}` exists in `{library}` but is hidden from dlsym")
+            }
+            GpuError::LibraryNotFound { library } => {
+                write!(f, "library `{library}` not present in the catalog")
+            }
+            GpuError::LibraryNotLoaded { library } => {
+                write!(f, "library `{library}` has not been dlopen()ed")
+            }
+            GpuError::ModuleNotLoaded { library, module } => {
+                write!(f, "module `{module}` of `{library}` is not loaded by the driver")
+            }
+            GpuError::SyncDuringCapture { origin } => {
+                write!(f, "synchronizing call from `{origin}` invalidated the stream capture")
+            }
+            GpuError::ConcurrentCapture => {
+                write!(f, "a stream capture is already in progress in this process")
+            }
+            GpuError::NotCapturing => write!(f, "end_capture called with no active capture"),
+            GpuError::MemcpyDuringCapture => {
+                write!(f, "host-to-device copy issued during stream capture")
+            }
+            GpuError::DeviceAllocDuringCapture => {
+                write!(f, "device-side allocating kernel launched during stream capture")
+            }
+            GpuError::ParamMismatch { kernel, expected, got } => {
+                write!(f, "kernel `{kernel}` expects {expected} parameters, got {got}")
+            }
+            GpuError::DanglingRead { kernel, addr } => {
+                write!(f, "kernel `{kernel}` read dangling pointer {addr:#x}")
+            }
+            GpuError::DanglingWrite { kernel, addr } => {
+                write!(f, "kernel `{kernel}` wrote through dangling pointer {addr:#x}")
+            }
+            GpuError::InvalidStream { stream } => write!(f, "invalid stream id {stream}"),
+            GpuError::InvalidEvent { event } => write!(f, "invalid event id {event}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// Convenience alias used throughout the driver simulation.
+pub type GpuResult<T> = Result<T, GpuError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_ish() {
+        let errs: Vec<GpuError> = vec![
+            GpuError::OutOfMemory { requested: 1, in_use: 2, capacity: 3 },
+            GpuError::InvalidPointer { addr: 0xdead },
+            GpuError::InvalidFree { addr: 0xbeef },
+            GpuError::InvalidDeviceFunction { addr: 0x1 },
+            GpuError::SymbolNotFound { library: "l".into(), symbol: "s".into() },
+            GpuError::SymbolHidden { library: "l".into(), symbol: "s".into() },
+            GpuError::LibraryNotFound { library: "l".into() },
+            GpuError::LibraryNotLoaded { library: "l".into() },
+            GpuError::ModuleNotLoaded { library: "l".into(), module: "m".into() },
+            GpuError::SyncDuringCapture { origin: "cublas_init".into() },
+            GpuError::ConcurrentCapture,
+            GpuError::NotCapturing,
+            GpuError::MemcpyDuringCapture,
+            GpuError::DeviceAllocDuringCapture,
+            GpuError::ParamMismatch { kernel: "k".into(), expected: 3, got: 2 },
+            GpuError::DanglingRead { kernel: "k".into(), addr: 0x2 },
+            GpuError::DanglingWrite { kernel: "k".into(), addr: 0x3 },
+            GpuError::InvalidStream { stream: 9 },
+            GpuError::InvalidEvent { event: 9 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            // Error messages follow std conventions: no trailing period.
+            assert!(!s.ends_with('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpuError>();
+    }
+}

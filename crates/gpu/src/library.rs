@@ -1,0 +1,256 @@
+//! Shared-library and CUDA-module catalog.
+//!
+//! The *catalog* is the static software environment: which libraries exist,
+//! which modules (cubins) they contain, and which kernels live in each
+//! module. It is shared between the offline and online phases — what changes
+//! per process launch is only the ASLR base of each library and therefore
+//! every kernel's address ([`crate::process::ProcessRuntime`]).
+//!
+//! Modules matter because the CUDA driver loads kernels **at module
+//! granularity** (paper §5): loading any kernel of a module makes *all* of
+//! that module's kernels enumerable, which is what triggering-kernels
+//! exploit.
+
+use crate::error::{GpuError, GpuResult};
+use crate::kernel::{KernelDef, KernelRef};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A CUDA module (cubin): a set of kernels loaded together by the driver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleSpec {
+    name: String,
+    kernels: Vec<KernelDef>,
+}
+
+impl ModuleSpec {
+    /// Creates a module with the given kernels.
+    pub fn new(name: impl Into<String>, kernels: Vec<KernelDef>) -> Self {
+        ModuleSpec { name: name.into(), kernels }
+    }
+
+    /// Module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Kernels in the module, in definition order.
+    pub fn kernels(&self) -> &[KernelDef] {
+        &self.kernels
+    }
+}
+
+/// A shared library containing CUDA modules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LibrarySpec {
+    name: String,
+    needs_init: bool,
+    modules: Vec<ModuleSpec>,
+}
+
+impl LibrarySpec {
+    /// Creates a library.
+    ///
+    /// `needs_init` marks libraries (like cuBLAS) whose first kernel launch
+    /// triggers a lazy initialization containing a device synchronization —
+    /// the reason warm-up forwarding is mandatory before capture (§2.3).
+    pub fn new(name: impl Into<String>, needs_init: bool, modules: Vec<ModuleSpec>) -> Self {
+        LibrarySpec { name: name.into(), needs_init, modules }
+    }
+
+    /// Library (file) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the first launched kernel triggers a synchronizing init.
+    pub fn needs_init(&self) -> bool {
+        self.needs_init
+    }
+
+    /// Modules in the library.
+    pub fn modules(&self) -> &[ModuleSpec] {
+        &self.modules
+    }
+}
+
+/// The full static software environment visible to a process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LibraryCatalog {
+    libs: Vec<LibrarySpec>,
+    by_name: HashMap<String, usize>,
+}
+
+impl LibraryCatalog {
+    /// Builds a catalog from library specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two libraries share a name, or if a library has more than
+    /// `u16::MAX` modules / kernels (catalogs are built by trusted model
+    /// code).
+    pub fn new(libs: Vec<LibrarySpec>) -> Arc<Self> {
+        let mut by_name = HashMap::new();
+        for (i, l) in libs.iter().enumerate() {
+            assert!(l.modules.len() <= u16::MAX as usize);
+            for m in &l.modules {
+                assert!(m.kernels.len() <= u16::MAX as usize);
+            }
+            let prev = by_name.insert(l.name.clone(), i);
+            assert!(prev.is_none(), "duplicate library name `{}`", l.name);
+        }
+        Arc::new(LibraryCatalog { libs, by_name })
+    }
+
+    /// Number of libraries.
+    pub fn len(&self) -> usize {
+        self.libs.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.libs.is_empty()
+    }
+
+    /// Library by index.
+    pub fn lib(&self, idx: usize) -> &LibrarySpec {
+        &self.libs[idx]
+    }
+
+    /// Library index by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::LibraryNotFound`] for unknown names.
+    pub fn lib_index(&self, name: &str) -> GpuResult<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| GpuError::LibraryNotFound { library: name.to_string() })
+    }
+
+    /// The module containing `kref`.
+    pub fn module(&self, kref: KernelRef) -> &ModuleSpec {
+        &self.libs[kref.lib as usize].modules[kref.module as usize]
+    }
+
+    /// The kernel definition for `kref`.
+    pub fn kernel(&self, kref: KernelRef) -> &KernelDef {
+        &self.module(kref).kernels()[kref.kernel as usize]
+    }
+
+    /// Finds a kernel by library + mangled name, scanning all modules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::SymbolNotFound`] if the kernel does not exist in
+    /// the library (regardless of export status — this is catalog ground
+    /// truth, not a dlsym).
+    pub fn find_kernel(&self, lib_name: &str, kernel_name: &str) -> GpuResult<KernelRef> {
+        let lib = self.lib_index(lib_name)?;
+        for (mi, m) in self.libs[lib].modules.iter().enumerate() {
+            for (ki, k) in m.kernels().iter().enumerate() {
+                if k.name() == kernel_name {
+                    return Ok(KernelRef { lib: lib as u16, module: mi as u16, kernel: ki as u16 });
+                }
+            }
+        }
+        Err(GpuError::SymbolNotFound {
+            library: lib_name.to_string(),
+            symbol: kernel_name.to_string(),
+        })
+    }
+
+    /// Iterates over `(KernelRef, &KernelDef)` pairs of the whole catalog.
+    pub fn iter_kernels(&self) -> impl Iterator<Item = (KernelRef, &KernelDef)> {
+        self.libs.iter().enumerate().flat_map(|(li, l)| {
+            l.modules.iter().enumerate().flat_map(move |(mi, m)| {
+                m.kernels().iter().enumerate().map(move |(ki, k)| {
+                    (KernelRef { lib: li as u16, module: mi as u16, kernel: ki as u16 }, k)
+                })
+            })
+        })
+    }
+
+    /// Total number of kernels across all libraries.
+    pub fn kernel_count(&self) -> usize {
+        self.iter_kernels().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{CostClass, KernelSig, ParamKind};
+
+    fn k(name: &str, exported: bool) -> KernelDef {
+        KernelDef::new(
+            name,
+            exported,
+            KernelSig::new(vec![ParamKind::PtrIn, ParamKind::PtrOut]),
+            CostClass::MemoryBound,
+        )
+    }
+
+    fn catalog() -> Arc<LibraryCatalog> {
+        LibraryCatalog::new(vec![
+            LibrarySpec::new(
+                "libmodel.so",
+                false,
+                vec![ModuleSpec::new("elementwise", vec![k("add", true), k("norm", true)])],
+            ),
+            LibrarySpec::new(
+                "libcublas_sim.so",
+                true,
+                vec![
+                    ModuleSpec::new("gemm_a", vec![k("ampere_gemm_1", false)]),
+                    ModuleSpec::new("gemm_b", vec![k("ampere_gemm_2", false), k("splitk", false)]),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name_and_ref() {
+        let c = catalog();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lib_index("libcublas_sim.so").unwrap(), 1);
+        assert!(matches!(
+            c.lib_index("nope.so"),
+            Err(GpuError::LibraryNotFound { .. })
+        ));
+        let r = c.find_kernel("libcublas_sim.so", "splitk").unwrap();
+        assert_eq!(r, KernelRef { lib: 1, module: 1, kernel: 1 });
+        assert_eq!(c.kernel(r).name(), "splitk");
+        assert_eq!(c.module(r).name(), "gemm_b");
+        assert!(matches!(
+            c.find_kernel("libmodel.so", "splitk"),
+            Err(GpuError::SymbolNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_kernels_covers_everything() {
+        let c = catalog();
+        assert_eq!(c.kernel_count(), 5);
+        let names: Vec<_> = c.iter_kernels().map(|(_, k)| k.name().to_string()).collect();
+        assert!(names.contains(&"ampere_gemm_2".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate library name")]
+    fn duplicate_names_rejected() {
+        LibraryCatalog::new(vec![
+            LibrarySpec::new("a.so", false, vec![]),
+            LibrarySpec::new("a.so", false, vec![]),
+        ]);
+    }
+
+    #[test]
+    fn init_flag_is_preserved() {
+        let c = catalog();
+        assert!(!c.lib(0).needs_init());
+        assert!(c.lib(1).needs_init());
+    }
+}

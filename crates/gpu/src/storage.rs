@@ -1,0 +1,102 @@
+//! Simulated persistent storage (the paper's 4 × Optane P5800X array).
+//!
+//! Weight loading streams tensors from storage into device memory; its
+//! duration is bandwidth-dominated. Interference with a concurrently running
+//! profiling forwarding (paper §7.3) is applied by the pipeline via
+//! [`crate::clock::CostModel::h2d_interference_factor`].
+
+use crate::clock::{CostModel, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// A bandwidth/latency model of the storage array feeding the GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimStorage {
+    bandwidth: f64,
+    seek_ns: u64,
+}
+
+impl SimStorage {
+    /// Creates a storage model with `bandwidth` bytes/s aggregate throughput
+    /// and `seek_ns` fixed latency per read burst.
+    pub fn new(bandwidth: f64, seek_ns: u64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        SimStorage { bandwidth, seek_ns }
+    }
+
+    /// The storage model implied by a cost model's calibrated constants.
+    pub fn from_cost_model(cost: &CostModel) -> Self {
+        SimStorage::new(cost.storage_bandwidth, cost.storage_seek_ns)
+    }
+
+    /// Aggregate read bandwidth in bytes/s.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Duration of reading `bytes` in one streaming burst.
+    pub fn read_duration(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos(self.seek_ns)
+            + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+
+    /// Duration of a storage→device pipeline moving `bytes`, limited by the
+    /// slower of storage and the host-to-device link, with an optional
+    /// slowdown factor in `(0, 1]` modelling GPU-side interference.
+    pub fn pipelined_to_device(
+        &self,
+        bytes: u64,
+        h2d_bandwidth: f64,
+        slowdown: f64,
+    ) -> SimDuration {
+        assert!(slowdown > 0.0 && slowdown <= 1.0, "slowdown must be in (0, 1]");
+        let eff = self.bandwidth.min(h2d_bandwidth) * slowdown;
+        SimDuration::from_nanos(self.seek_ns) + SimDuration::from_secs_f64(bytes as f64 / eff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_duration_is_bandwidth_plus_seek() {
+        let s = SimStorage::new(10e9, 1_000);
+        let d = s.read_duration(10_000_000_000);
+        assert_eq!(d.as_nanos(), 1_000 + 1_000_000_000);
+    }
+
+    #[test]
+    fn pipeline_takes_min_bandwidth() {
+        let s = SimStorage::new(20e9, 0);
+        // h2d slower than storage: h2d dominates.
+        let d = s.pipelined_to_device(20_000_000_000, 10e9, 1.0);
+        assert_eq!(d.as_nanos(), 2_000_000_000);
+        // storage slower than h2d: storage dominates.
+        let d2 = s.pipelined_to_device(20_000_000_000, 40e9, 1.0);
+        assert_eq!(d2.as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn interference_slows_the_pipeline() {
+        let s = SimStorage::new(20e9, 0);
+        let base = s.pipelined_to_device(1 << 30, 20e9, 1.0);
+        let slowed = s.pipelined_to_device(1 << 30, 20e9, 0.5);
+        assert_eq!(slowed.as_nanos(), base.as_nanos() * 2);
+    }
+
+    #[test]
+    fn calibrated_weights_load_matches_paper_scale() {
+        // Qwen1.5 4B: 7.4 GB in ~0.39 s on the paper's testbed (Fig. 8a).
+        let cm = CostModel::default();
+        let s = SimStorage::from_cost_model(&cm);
+        let d = s.pipelined_to_device(7_400_000_000, cm.h2d_bandwidth, 1.0);
+        let secs = d.as_secs_f64();
+        assert!((0.30..0.48).contains(&secs), "weights load {secs}s out of calibrated band");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        SimStorage::new(0.0, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! CUDA stream and event bookkeeping.
+//!
+//! Streams model the asynchronous GPU work queue: the CPU-side clock runs
+//! ahead while each stream tracks the instant its queued work drains. Events
+//! provide cross-stream ordering, and double as dependency anchors during
+//! stream capture.
+
+use crate::clock::SimTime;
+use crate::error::{GpuError, GpuResult};
+
+/// Identifier of a CUDA stream within one process.
+pub type StreamId = u32;
+
+/// Identifier of a CUDA event within one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub(crate) u32);
+
+/// The per-process stream pool.
+#[derive(Debug, Clone)]
+pub struct StreamPool {
+    free_at: Vec<SimTime>,
+}
+
+impl StreamPool {
+    /// Creates `count` streams, all idle at time zero.
+    pub fn new(count: usize) -> Self {
+        StreamPool { free_at: vec![SimTime::ZERO; count.max(1)] }
+    }
+
+    /// Number of streams.
+    pub fn count(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// The instant stream `id` drains its queued work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::InvalidStream`] for unknown ids.
+    pub fn free_at(&self, id: StreamId) -> GpuResult<SimTime> {
+        self.free_at
+            .get(id as usize)
+            .copied()
+            .ok_or(GpuError::InvalidStream { stream: id })
+    }
+
+    /// Updates the drain instant of stream `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::InvalidStream`] for unknown ids.
+    pub fn set_free_at(&mut self, id: StreamId, t: SimTime) -> GpuResult<()> {
+        match self.free_at.get_mut(id as usize) {
+            Some(slot) => {
+                *slot = t;
+                Ok(())
+            }
+            None => Err(GpuError::InvalidStream { stream: id }),
+        }
+    }
+
+    /// The instant *all* streams are drained (used by device synchronize).
+    pub fn all_free_at(&self) -> SimTime {
+        self.free_at.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EventState {
+    /// Completion time recorded in eager mode.
+    pub completes_at: Option<SimTime>,
+    /// Index of the captured launch this event anchors to, in capture mode.
+    pub capture_node: Option<usize>,
+}
+
+/// The per-process event table.
+#[derive(Debug, Clone, Default)]
+pub struct EventTable {
+    events: Vec<EventState>,
+}
+
+impl EventTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a new event.
+    pub fn create(&mut self) -> EventId {
+        self.events.push(EventState::default());
+        EventId(self.events.len() as u32 - 1)
+    }
+
+    pub(crate) fn get(&self, id: EventId) -> GpuResult<&EventState> {
+        self.events.get(id.0 as usize).ok_or(GpuError::InvalidEvent { event: id.0 })
+    }
+
+    pub(crate) fn get_mut(&mut self, id: EventId) -> GpuResult<&mut EventState> {
+        self.events.get_mut(id.0 as usize).ok_or(GpuError::InvalidEvent { event: id.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimDuration;
+
+    #[test]
+    fn pool_tracks_per_stream_drain() {
+        let mut p = StreamPool::new(2);
+        assert_eq!(p.count(), 2);
+        let t = SimTime::ZERO + SimDuration::from_micros(10);
+        p.set_free_at(1, t).unwrap();
+        assert_eq!(p.free_at(0).unwrap(), SimTime::ZERO);
+        assert_eq!(p.free_at(1).unwrap(), t);
+        assert_eq!(p.all_free_at(), t);
+        assert!(matches!(p.free_at(7), Err(GpuError::InvalidStream { stream: 7 })));
+        assert!(matches!(p.set_free_at(7, t), Err(GpuError::InvalidStream { .. })));
+    }
+
+    #[test]
+    fn zero_stream_pool_still_has_default_stream() {
+        let p = StreamPool::new(0);
+        assert_eq!(p.count(), 1);
+    }
+
+    #[test]
+    fn event_table_create_and_lookup() {
+        let mut t = EventTable::new();
+        let e0 = t.create();
+        let e1 = t.create();
+        assert_ne!(e0, e1);
+        t.get_mut(e0).unwrap().capture_node = Some(3);
+        assert_eq!(t.get(e0).unwrap().capture_node, Some(3));
+        assert!(t.get(EventId(99)).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Stream capture: building CUDA graphs the way vLLM does (paper §2.2).
+//!
+//! [`capture_graph`] wraps a closure in `begin_capture` / `end_capture` on
+//! the process runtime: every kernel launched inside is recorded (not
+//! executed) together with its dependencies, and assembled into a
+//! [`CudaGraph`]. All capture-time restrictions of the driver apply: a
+//! synchronizing call inside the closure aborts the capture with
+//! [`medusa_gpu::GpuError::SyncDuringCapture`], which is why callers run a
+//! *warm-up forwarding* first.
+
+use crate::error::GraphResult;
+use crate::graph::CudaGraph;
+use medusa_gpu::{GpuResult, ProcessRuntime, StreamId};
+
+/// Captures all kernels launched by `body` on `rt` into a CUDA graph.
+///
+/// # Errors
+///
+/// Propagates driver errors from `body` (including capture invalidation on
+/// synchronizing calls) and from the capture machinery itself. On error the
+/// runtime's capture state is always cleaned up.
+///
+/// # Example
+///
+/// See the crate-level docs for a complete capture-and-replay example.
+pub fn capture_graph<F>(rt: &mut ProcessRuntime, stream: StreamId, body: F) -> GraphResult<CudaGraph>
+where
+    F: FnOnce(&mut ProcessRuntime) -> GpuResult<()>,
+{
+    rt.begin_capture(stream)?;
+    if let Err(e) = body(rt) {
+        // A sync error already aborted the capture; any other error leaves
+        // it active and must be cleaned up here.
+        if rt.is_capturing() {
+            let _ = rt.end_capture();
+        }
+        return Err(e.into());
+    }
+    let launches = rt.end_capture()?;
+    Ok(CudaGraph::from_captured(launches))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medusa_gpu::{
+        AllocTag, CostClass, CostModel, GpuError, GpuSpec, KernelDef, KernelRef, KernelSig,
+        LibraryCatalog, LibrarySpec, ModuleSpec, ParamKind, ProcessRuntime, Work,
+    };
+    use std::sync::Arc;
+
+    fn rt() -> ProcessRuntime {
+        let catalog: Arc<LibraryCatalog> = LibraryCatalog::new(vec![LibrarySpec::new(
+            "lib.so",
+            false,
+            vec![ModuleSpec::new(
+                "m",
+                vec![KernelDef::new(
+                    "k",
+                    true,
+                    KernelSig::new(vec![ParamKind::PtrIn, ParamKind::PtrOut]),
+                    CostClass::MemoryBound,
+                )],
+            )],
+        )]);
+        let mut rt =
+            ProcessRuntime::new(catalog, GpuSpec::new("t", 1 << 30), CostModel::default(), 1);
+        rt.dlopen("lib.so").unwrap();
+        rt
+    }
+
+    #[test]
+    fn capture_builds_a_chained_graph() {
+        let mut p = rt();
+        let addr = p.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let a = p.cuda_malloc(256, AllocTag::Activation).unwrap();
+        let b = p.cuda_malloc(256, AllocTag::Activation).unwrap();
+        p.memory_mut().write_digest(a.addr(), [1; 16]).unwrap();
+        // Warm-up loads the module.
+        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0).unwrap();
+        let g = capture_graph(&mut p, 0, |p| {
+            p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)?;
+            p.launch_kernel(addr, &[b.addr(), a.addr()], Work::NONE, 0)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edges(), &[(0, 1)]);
+        assert_eq!(g.node(0).kernel_addr(), addr);
+        assert_eq!(g.node(1).params().value(0), b.addr());
+        assert!(!p.is_capturing());
+    }
+
+    #[test]
+    fn capture_without_warmup_fails_and_cleans_up() {
+        let catalog: Arc<LibraryCatalog> = LibraryCatalog::new(vec![LibrarySpec::new(
+            "cublas.so",
+            true, // needs lazy init → sync on first launch
+            vec![ModuleSpec::new(
+                "m",
+                vec![KernelDef::new(
+                    "g",
+                    false,
+                    KernelSig::new(vec![ParamKind::PtrIn, ParamKind::PtrOut]),
+                    CostClass::ComputeBound,
+                )],
+            )],
+        )]);
+        let mut p =
+            ProcessRuntime::new(catalog, GpuSpec::new("t", 1 << 30), CostModel::default(), 2);
+        p.dlopen("cublas.so").unwrap();
+        let addr = p.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let a = p.cuda_malloc(256, AllocTag::Activation).unwrap();
+        p.memory_mut().write_digest(a.addr(), [1; 16]).unwrap();
+        let res = capture_graph(&mut p, 0, |p| {
+            p.launch_kernel(addr, &[a.addr(), a.addr()], Work::NONE, 0)
+        });
+        assert!(matches!(
+            res,
+            Err(crate::error::GraphError::Gpu(GpuError::SyncDuringCapture { .. }))
+        ));
+        assert!(!p.is_capturing());
+    }
+
+    #[test]
+    fn non_sync_body_error_still_ends_capture() {
+        let mut p = rt();
+        let res = capture_graph(&mut p, 0, |p| {
+            // Launch at a bogus address: not a sync error, capture stays
+            // active inside the driver and must be cleaned up by the wrapper.
+            p.launch_kernel(0xdead, &[], Work::NONE, 0)
+        });
+        assert!(res.is_err());
+        assert!(!p.is_capturing());
+    }
+
+    #[test]
+    fn empty_capture_yields_empty_graph() {
+        let mut p = rt();
+        let g = capture_graph(&mut p, 0, |_| Ok(())).unwrap();
+        assert!(g.is_empty());
+    }
+}

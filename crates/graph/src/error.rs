@@ -1,0 +1,73 @@
+//! Errors of the CUDA graph layer.
+
+use medusa_gpu::GpuError;
+use std::fmt;
+
+/// Errors returned by graph construction, instantiation and replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An underlying driver error (invalid kernel address, dangling pointer
+    /// found during replay, ...).
+    Gpu(GpuError),
+    /// The graph's edges form a cycle and cannot be scheduled.
+    Cyclic,
+    /// A node index was out of range.
+    NodeOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// An edge references itself.
+    SelfEdge {
+        /// The node with a self-edge.
+        index: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Gpu(e) => write!(f, "driver error: {e}"),
+            GraphError::Cyclic => write!(f, "graph contains a dependency cycle"),
+            GraphError::NodeOutOfRange { index, len } => {
+                write!(f, "node index {index} out of range for graph of {len} nodes")
+            }
+            GraphError::SelfEdge { index } => write!(f, "node {index} depends on itself"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for GraphError {
+    fn from(e: GpuError) -> Self {
+        GraphError::Gpu(e)
+    }
+}
+
+/// Result alias for the graph layer.
+pub type GraphResult<T> = Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = GraphError::from(GpuError::NotCapturing);
+        assert!(e.to_string().contains("driver error"));
+        assert!(e.source().is_some());
+        assert!(GraphError::Cyclic.source().is_none());
+        assert!(!GraphError::SelfEdge { index: 3 }.to_string().is_empty());
+        assert!(!GraphError::NodeOutOfRange { index: 9, len: 2 }.to_string().is_empty());
+    }
+}

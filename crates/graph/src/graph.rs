@@ -1,0 +1,244 @@
+//! The CUDA graph data structure.
+//!
+//! Nodes are kernels, edges are execution dependencies (paper Figure 4).
+//! Graphs are built either from a stream capture
+//! ([`CudaGraph::from_captured`], the path vLLM uses) or with the explicit
+//! node-by-node API ([`CudaGraph::add_kernel_node`] /
+//! [`CudaGraph::add_dependency`], the `cudaGraphAddKernelNode` path the
+//! paper describes as impractical for frameworks but which we support for
+//! completeness and tests).
+
+use crate::error::{GraphError, GraphResult};
+use crate::node::GraphNode;
+use medusa_gpu::{CapturedLaunch, ParamBuffer, StreamId, Work};
+use serde::{Deserialize, Serialize};
+
+/// A CUDA graph: kernel nodes plus dependency edges.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CudaGraph {
+    nodes: Vec<GraphNode>,
+    /// Capture-time stream of each node (used to lay out replay lanes).
+    streams: Vec<StreamId>,
+    /// Edges as (src, dst): dst executes after src.
+    edges: Vec<(usize, usize)>,
+}
+
+impl CudaGraph {
+    /// Creates an empty graph (explicit construction path).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a graph from a finished stream capture.
+    pub fn from_captured(launches: Vec<CapturedLaunch>) -> Self {
+        let mut g = CudaGraph::new();
+        for (i, l) in launches.into_iter().enumerate() {
+            g.nodes.push(GraphNode::new(l.kernel_addr, l.params, l.work));
+            g.streams.push(l.stream);
+            for d in l.deps {
+                debug_assert!(d < i);
+                g.edges.push((d, i));
+            }
+        }
+        g
+    }
+
+    /// Explicit API: appends a kernel node, returning its index
+    /// (`cudaGraphAddKernelNode` analogue).
+    pub fn add_kernel_node(
+        &mut self,
+        kernel_addr: u64,
+        params: ParamBuffer,
+        work: Work,
+    ) -> usize {
+        self.nodes.push(GraphNode::new(kernel_addr, params, work));
+        self.streams.push(0);
+        self.nodes.len() - 1
+    }
+
+    /// Explicit API: adds a dependency edge `src → dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfEdge`]
+    /// for malformed edges. Cycles are detected at instantiation.
+    pub fn add_dependency(&mut self, src: usize, dst: usize) -> GraphResult<()> {
+        let len = self.nodes.len();
+        for &i in &[src, dst] {
+            if i >= len {
+                return Err(GraphError::NodeOutOfRange { index: i, len });
+            }
+        }
+        if src == dst {
+            return Err(GraphError::SelfEdge { index: src });
+        }
+        self.edges.push((src, dst));
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn node(&self, i: usize) -> &GraphNode {
+        &self.nodes[i]
+    }
+
+    /// Mutable node access (restoration patches addresses and pointers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn node_mut(&mut self, i: usize) -> &mut GraphNode {
+        &mut self.nodes[i]
+    }
+
+    /// Iterates over nodes in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &GraphNode> {
+        self.nodes.iter()
+    }
+
+    /// Mutably iterates over nodes in index order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut GraphNode> {
+        self.nodes.iter_mut()
+    }
+
+    /// The capture-time stream of node `i`.
+    pub fn stream_of(&self, i: usize) -> StreamId {
+        self.streams[i]
+    }
+
+    /// All dependency edges as `(src, dst)` pairs.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Predecessor lists indexed by node.
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.nodes.len()];
+        for &(s, d) in &self.edges {
+            preds[d].push(s);
+        }
+        preds
+    }
+
+    /// A topological order of the nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cyclic`] if the edges form a cycle.
+    pub fn topo_order(&self) -> GraphResult<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut succs = vec![Vec::new(); n];
+        for &(s, d) in &self.edges {
+            indeg[d] += 1;
+            succs[s].push(d);
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        // Stable order: lowest index first, matching capture order.
+        ready.sort_unstable_by(|a, b| b.cmp(a));
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(i);
+            for &d in &succs[i] {
+                indeg[d] -= 1;
+                if indeg[d] == 0 {
+                    // Keep the vector sorted descending so pop yields min.
+                    let pos = ready.partition_point(|&x| x > d);
+                    ready.insert(pos, d);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(GraphError::Cyclic)
+        }
+    }
+
+    /// Total number of data-pointer-sized (8-byte) parameters across all
+    /// nodes — a size statistic used in reporting.
+    pub fn wide_param_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| (0..n.params().param_count()).filter(|&i| n.params().size_of(i) == 8).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medusa_gpu::{KernelSig, ParamKind};
+
+    fn pb() -> ParamBuffer {
+        ParamBuffer::encode(
+            &KernelSig::new(vec![ParamKind::PtrIn, ParamKind::Scalar4]),
+            &[0x0007_2000_0000_0000, 1],
+        )
+    }
+
+    #[test]
+    fn explicit_construction_and_edges() {
+        let mut g = CudaGraph::new();
+        let a = g.add_kernel_node(1, pb(), Work::NONE);
+        let b = g.add_kernel_node(2, pb(), Work::NONE);
+        let c = g.add_kernel_node(3, pb(), Work::NONE);
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(a, c).unwrap();
+        g.add_dependency(b, c).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edges().len(), 3);
+        assert_eq!(g.predecessors()[c], vec![a, b]);
+        assert_eq!(g.topo_order().unwrap(), vec![a, b, c]);
+        assert!(matches!(
+            g.add_dependency(0, 9),
+            Err(GraphError::NodeOutOfRange { index: 9, len: 3 })
+        ));
+        assert!(matches!(g.add_dependency(1, 1), Err(GraphError::SelfEdge { index: 1 })));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = CudaGraph::new();
+        let a = g.add_kernel_node(1, pb(), Work::NONE);
+        let b = g.add_kernel_node(2, pb(), Work::NONE);
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(b, a).unwrap();
+        assert_eq!(g.topo_order(), Err(GraphError::Cyclic));
+    }
+
+    #[test]
+    fn topo_order_prefers_capture_order() {
+        let mut g = CudaGraph::new();
+        for i in 0..5 {
+            g.add_kernel_node(i, pb(), Work::NONE);
+        }
+        // Diamond: 0 → {1, 2} → 3, plus isolated 4.
+        g.add_dependency(0, 1).unwrap();
+        g.add_dependency(0, 2).unwrap();
+        g.add_dependency(1, 3).unwrap();
+        g.add_dependency(2, 3).unwrap();
+        assert_eq!(g.topo_order().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wide_param_count_counts_8_byte_params() {
+        let mut g = CudaGraph::new();
+        g.add_kernel_node(1, pb(), Work::NONE);
+        g.add_kernel_node(2, pb(), Work::NONE);
+        assert_eq!(g.wide_param_count(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! # medusa-graph
+//!
+//! CUDA graph substrate for the Medusa (ASPLOS'25) reproduction: stream
+//! capture, graph nodes with raw parameter buffers (paper Figure 4),
+//! instantiation and self-replaying launch.
+//!
+//! CUDA graphs replace per-kernel CPU launches with a single launch of a
+//! recorded kernel DAG, which is where the up-to-2.4× inference speedup of
+//! paper Figure 3 comes from — and whose capture cost is the cold-start
+//! bottleneck Medusa removes by materialization.
+//!
+//! ## Example: capture and replay
+//!
+//! ```rust
+//! use medusa_graph::{capture_graph, GraphExec};
+//! use medusa_gpu::{
+//!     AllocTag, CostClass, CostModel, GpuSpec, KernelDef, KernelSig, LibraryCatalog,
+//!     LibrarySpec, ModuleSpec, ParamKind, ProcessRuntime, Work,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let catalog = LibraryCatalog::new(vec![LibrarySpec::new(
+//!     "lib.so",
+//!     false,
+//!     vec![ModuleSpec::new(
+//!         "m",
+//!         vec![KernelDef::new(
+//!             "k",
+//!             true,
+//!             KernelSig::new(vec![ParamKind::PtrIn, ParamKind::PtrOut]),
+//!             CostClass::MemoryBound,
+//!         )],
+//!     )],
+//! )]);
+//! let mut rt = ProcessRuntime::new(catalog, GpuSpec::a100_40gb(), CostModel::default(), 1);
+//! let lib = rt.dlopen("lib.so")?;
+//! let sym = rt.dlsym(lib, "k")?;
+//! let addr = rt.cuda_get_func_by_symbol(sym)?;
+//! let a = rt.cuda_malloc(256, AllocTag::Activation)?;
+//! let b = rt.cuda_malloc(256, AllocTag::Activation)?;
+//! rt.memory_mut().write_digest(a.addr(), [1; 16])?;
+//!
+//! // Warm-up forwarding (mandatory before capture, paper §2.3)...
+//! rt.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)?;
+//! // ...then capture...
+//! let graph = capture_graph(&mut rt, 0, |rt| {
+//!     rt.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
+//! })?;
+//! // ...instantiate and replay with a single CPU launch.
+//! let exec = GraphExec::instantiate(&mut rt, graph)?;
+//! exec.launch(&mut rt, 0)?;
+//! rt.device_synchronize()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capture;
+mod error;
+mod exec;
+mod graph;
+mod node;
+
+pub use capture::capture_graph;
+pub use error::{GraphError, GraphResult};
+pub use exec::GraphExec;
+pub use graph::CudaGraph;
+pub use node::GraphNode;

@@ -1,0 +1,284 @@
+//! PagedAttention-style KV cache block management (paper §2.1 stage ❹).
+//!
+//! The KV cache is one continuous device buffer ("a continuous chunk of GPU
+//! buffer", paper §6) managed at block granularity: each block holds
+//! [`KvCacheConfig::block_size`] tokens of keys and values for every layer.
+//! Sequences own block lists through a [`BlockTable`].
+
+use medusa_model::ModelSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors of the KV cache layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// No free blocks remain.
+    OutOfBlocks {
+        /// Blocks requested beyond capacity.
+        needed: usize,
+    },
+    /// Operation on an unknown sequence id.
+    UnknownSequence {
+        /// The sequence id.
+        seq: u64,
+    },
+    /// The cache buffer cannot hold even one block.
+    CacheTooSmall {
+        /// Bytes offered for the cache.
+        bytes: u64,
+        /// Bytes needed per block.
+        block_bytes: u64,
+    },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::OutOfBlocks { needed } => write!(f, "KV cache exhausted: {needed} more blocks needed"),
+            KvError::UnknownSequence { seq } => write!(f, "unknown sequence id {seq}"),
+            KvError::CacheTooSmall { bytes, block_bytes } => {
+                write!(f, "cache of {bytes} bytes cannot hold one {block_bytes}-byte block")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// KV cache geometry for one model on one GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KvCacheConfig {
+    /// Tokens per block (vLLM default 16).
+    pub block_size: u32,
+    /// Bytes of K+V for a single token across all layers.
+    pub bytes_per_token: u64,
+    /// Fraction of profiled-free memory handed to the cache (vLLM's
+    /// `gpu_memory_utilization` headroom is folded in upstream).
+    pub utilization: f64,
+}
+
+impl KvCacheConfig {
+    /// The vLLM-default configuration for `spec`.
+    pub fn for_model(spec: &ModelSpec) -> Self {
+        Self::for_shard(spec, 1)
+    }
+
+    /// Configuration for one rank of a `tp`-way tensor-parallel instance:
+    /// KV heads are divided across ranks, so each rank caches `1/tp` of the
+    /// per-token bytes (paper §8 multi-GPU support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp` is zero.
+    pub fn for_shard(spec: &ModelSpec, tp: u32) -> Self {
+        assert!(tp > 0, "tensor-parallel degree must be positive");
+        KvCacheConfig {
+            block_size: 16,
+            bytes_per_token: spec.kv_bytes_per_token().div_ceil(tp as u64),
+            utilization: 0.92,
+        }
+    }
+
+    /// Bytes of one block.
+    pub fn block_bytes(&self) -> u64 {
+        self.bytes_per_token * self.block_size as u64
+    }
+
+    /// Number of whole blocks fitting in `free_bytes` after utilization
+    /// headroom.
+    pub fn blocks_for(&self, free_bytes: u64) -> usize {
+        ((free_bytes as f64 * self.utilization) as u64 / self.block_bytes()) as usize
+    }
+}
+
+/// Allocator over the block pool.
+#[derive(Debug, Clone)]
+pub struct BlockAllocator {
+    total: usize,
+    free: Vec<u32>,
+}
+
+impl BlockAllocator {
+    /// Creates an allocator over `total` blocks.
+    pub fn new(total: usize) -> Self {
+        BlockAllocator { total, free: (0..total as u32).rev().collect() }
+    }
+
+    /// Total blocks in the pool.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Blocks currently free.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocates `n` blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::OutOfBlocks`] if fewer than `n` are free, in which
+    /// case nothing is allocated.
+    pub fn alloc(&mut self, n: usize) -> Result<Vec<u32>, KvError> {
+        if self.free.len() < n {
+            return Err(KvError::OutOfBlocks { needed: n - self.free.len() });
+        }
+        Ok(self.free.split_off(self.free.len() - n))
+    }
+
+    /// Returns blocks to the pool.
+    pub fn release(&mut self, blocks: impl IntoIterator<Item = u32>) {
+        self.free.extend(blocks);
+        debug_assert!(self.free.len() <= self.total);
+    }
+}
+
+/// Per-sequence block ownership.
+#[derive(Debug, Clone, Default)]
+pub struct BlockTable {
+    seqs: HashMap<u64, Vec<u32>>,
+    block_size: u32,
+}
+
+impl BlockTable {
+    /// Creates an empty table for `block_size`-token blocks.
+    pub fn new(block_size: u32) -> Self {
+        BlockTable { seqs: HashMap::new(), block_size }
+    }
+
+    /// Number of tracked sequences.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether no sequences are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Blocks needed to hold `tokens` tokens.
+    pub fn blocks_needed(&self, tokens: u64) -> usize {
+        tokens.div_ceil(self.block_size as u64) as usize
+    }
+
+    /// Admits a sequence with `tokens` context, allocating its blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::OutOfBlocks`] if the pool cannot cover it.
+    pub fn admit(
+        &mut self,
+        alloc: &mut BlockAllocator,
+        seq: u64,
+        tokens: u64,
+    ) -> Result<(), KvError> {
+        let blocks = alloc.alloc(self.blocks_needed(tokens))?;
+        self.seqs.insert(seq, blocks);
+        Ok(())
+    }
+
+    /// Extends a sequence by `new_tokens` (decode growth), allocating blocks
+    /// when a block boundary is crossed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::UnknownSequence`] or [`KvError::OutOfBlocks`].
+    pub fn extend(
+        &mut self,
+        alloc: &mut BlockAllocator,
+        seq: u64,
+        old_tokens: u64,
+        new_tokens: u64,
+    ) -> Result<(), KvError> {
+        let owned = self.seqs.get(&seq).ok_or(KvError::UnknownSequence { seq })?.len();
+        let needed = self.blocks_needed(old_tokens + new_tokens);
+        if needed > owned {
+            let extra = alloc.alloc(needed - owned)?;
+            self.seqs.get_mut(&seq).expect("checked above").extend(extra);
+        }
+        Ok(())
+    }
+
+    /// Releases a finished sequence's blocks back to the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::UnknownSequence`] for unknown ids.
+    pub fn finish(&mut self, alloc: &mut BlockAllocator, seq: u64) -> Result<(), KvError> {
+        let blocks = self.seqs.remove(&seq).ok_or(KvError::UnknownSequence { seq })?;
+        alloc.release(blocks);
+        Ok(())
+    }
+
+    /// The blocks owned by `seq`, if tracked.
+    pub fn blocks_of(&self, seq: u64) -> Option<&[u32]> {
+        self.seqs.get(&seq).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_geometry() {
+        let spec = ModelSpec::by_name("Llama2-7B").unwrap();
+        let cfg = KvCacheConfig::for_model(&spec);
+        assert_eq!(cfg.block_size, 16);
+        assert_eq!(cfg.bytes_per_token, 2 * 32 * 32 * 128 * 2);
+        assert_eq!(cfg.block_bytes(), cfg.bytes_per_token * 16);
+        let blocks = cfg.blocks_for(10 << 30);
+        assert!(blocks > 0);
+        assert!(blocks as u64 * cfg.block_bytes() <= 10 << 30);
+    }
+
+    #[test]
+    fn allocator_alloc_release_roundtrip() {
+        let mut a = BlockAllocator::new(10);
+        let got = a.alloc(4).unwrap();
+        assert_eq!(got.len(), 4);
+        assert_eq!(a.free_count(), 6);
+        let err = a.alloc(7).unwrap_err();
+        assert_eq!(err, KvError::OutOfBlocks { needed: 1 });
+        assert_eq!(a.free_count(), 6, "failed alloc must not consume blocks");
+        a.release(got);
+        assert_eq!(a.free_count(), 10);
+    }
+
+    #[test]
+    fn table_admit_extend_finish() {
+        let mut a = BlockAllocator::new(8);
+        let mut t = BlockTable::new(16);
+        t.admit(&mut a, 1, 40).unwrap(); // 3 blocks
+        assert_eq!(t.blocks_of(1).unwrap().len(), 3);
+        assert_eq!(a.free_count(), 5);
+        // 40 + 8 = 48 tokens → still 3 blocks.
+        t.extend(&mut a, 1, 40, 8).unwrap();
+        assert_eq!(t.blocks_of(1).unwrap().len(), 3);
+        // 48 + 1 = 49 → 4 blocks.
+        t.extend(&mut a, 1, 48, 1).unwrap();
+        assert_eq!(t.blocks_of(1).unwrap().len(), 4);
+        t.finish(&mut a, 1).unwrap();
+        assert_eq!(a.free_count(), 8);
+        assert!(t.is_empty());
+        assert_eq!(t.finish(&mut a, 1), Err(KvError::UnknownSequence { seq: 1 }));
+    }
+
+    #[test]
+    fn blocks_needed_rounds_up() {
+        let t = BlockTable::new(16);
+        assert_eq!(t.blocks_needed(1), 1);
+        assert_eq!(t.blocks_needed(16), 1);
+        assert_eq!(t.blocks_needed(17), 2);
+        assert_eq!(t.blocks_needed(0), 0);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!KvError::OutOfBlocks { needed: 1 }.to_string().is_empty());
+        assert!(!KvError::UnknownSequence { seq: 2 }.to_string().is_empty());
+        assert!(!KvError::CacheTooSmall { bytes: 1, block_bytes: 2 }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # medusa-kvcache
+//!
+//! PagedAttention-style KV cache substrate for the Medusa (ASPLOS'25)
+//! reproduction: block pool management, per-sequence block tables, and the
+//! KV cache initialization stage — profiling forwarding plus allocation —
+//! whose runtime cost Medusa eliminates by materializing the profiled
+//! available-memory value (paper §6).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use medusa_gpu::{CostModel, GpuSpec, ProcessRuntime};
+//! use medusa_kvcache::kv_cache_init_stage;
+//! use medusa_model::{build_catalog, load_weights, ModelInstance, ModelSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = ModelSpec::by_name("Qwen1.5-0.5B").expect("catalog model");
+//! let mut rt = ProcessRuntime::new(
+//!     build_catalog(&spec),
+//!     GpuSpec::a100_40gb(),
+//!     CostModel::default(),
+//!     1,
+//! );
+//! let mut inst = ModelInstance::initialize(&mut rt, &spec)?;
+//! load_weights(&mut rt, &inst, 1.0)?;
+//! inst.ensure_workspace(&mut rt)?;
+//! let (cache, profiled_free) = kv_cache_init_stage(&mut rt, &mut inst)?;
+//! println!("{} blocks from {} free bytes", cache.num_blocks(), profiled_free);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod profile;
+
+pub use block::{BlockAllocator, BlockTable, KvCacheConfig, KvError};
+pub use profile::{
+    allocate_kv_cache, kv_cache_init_stage, profile_available_memory, KvCache, KvCacheInitError,
+};

@@ -1,0 +1,469 @@
+//! Kernel roles and the per-model library catalog.
+//!
+//! A model's forward pass launches kernels from two simulated libraries:
+//!
+//! * `libmodel_kernels.so` — the framework's own kernels (norms, rotary
+//!   embedding, paged attention, activation, sampling glue). All **exported**
+//!   and restorable through `dlsym` + `cudaGetFuncBySymbol` (paper §5).
+//! * `libcublas_sim.so` — closed-source GEMM kernels. **Hidden** from the
+//!   symbol table and lazily initialized (first launch synchronizes), so
+//!   they force warm-up before capture and triggering-kernels during
+//!   restoration — the two pain points of paper §2.3/§5.
+//!
+//! GEMM kernels come in per-projection *families* with batch-*bucket*
+//! variants (cuBLAS heuristics pick different kernels for different shapes),
+//! which is why every batch size needs its own graph and its own module
+//! coverage. Auxiliary split-K reduction kernels pad each graph to make
+//! per-model node counts match Table 1 exactly (see [`crate::schedule`]).
+
+use crate::schedule;
+use crate::spec::ModelSpec;
+use medusa_gpu::{
+    CostClass, GpuResult, KernelDef, KernelSig, LibraryCatalog, ParamKind, ProcessRuntime,
+};
+use std::sync::Arc;
+
+/// Name of the exported framework kernel library.
+pub const MODEL_KERNELS_LIB: &str = "libmodel_kernels.so";
+/// Name of the hidden GEMM kernel library.
+pub const CUBLAS_SIM_LIB: &str = "libcublas_sim.so";
+/// Name of the collective-communication library (tensor parallelism, §8).
+pub const NCCL_SIM_LIB: &str = "libnccl_sim.so";
+
+/// GEMM projection families. Each family lives in its own CUDA module, so
+/// launching any variant of a family loads the whole family's module —
+/// including its hidden split-K kernels (triggering-kernels, paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GemmFamily {
+    /// QKV projection.
+    Qkv,
+    /// Attention output projection (shared by the LM head).
+    Out,
+    /// MLP gate+up projection.
+    GateUp,
+    /// MLP down projection.
+    Down,
+}
+
+impl GemmFamily {
+    /// All families, in module order.
+    pub const ALL: [GemmFamily; 4] = [GemmFamily::Qkv, GemmFamily::Out, GemmFamily::GateUp, GemmFamily::Down];
+
+    fn tag(self) -> &'static str {
+        match self {
+            GemmFamily::Qkv => "qkv",
+            GemmFamily::Out => "out",
+            GemmFamily::GateUp => "gateup",
+            GemmFamily::Down => "down",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            GemmFamily::Qkv => 0,
+            GemmFamily::Out => 1,
+            GemmFamily::GateUp => 2,
+            GemmFamily::Down => 3,
+        }
+    }
+}
+
+/// Number of batch buckets per GEMM family.
+pub const GEMM_BUCKETS: usize = 4;
+
+/// The batch bucket a decode batch size falls into (cuBLAS shape heuristic).
+pub fn batch_bucket(batch: u32) -> usize {
+    match batch {
+        0..=4 => 0,
+        5..=32 => 1,
+        33..=128 => 2,
+        _ => 3,
+    }
+}
+
+/// Semantic kernel roles launched by the forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelRole {
+    /// Pre-attention / final RMS norm.
+    FusedRmsNorm,
+    /// Residual-add + RMS norm.
+    FusedAddRmsNorm,
+    /// Rotary position embedding.
+    Rotary,
+    /// KV-cache scatter; reads two 4-byte permanent magic buffers (§4.3).
+    ReshapeAndCache,
+    /// Paged attention, small-batch variant.
+    PagedAttentionV1,
+    /// Paged attention, large-batch variant.
+    PagedAttentionV2,
+    /// SiLU activation + elementwise multiply.
+    SiluAndMul,
+    /// Embedding lookup.
+    EmbedTokens,
+    /// Greedy sampling over logits.
+    GatherLogits,
+    /// Input metadata bookkeeping between decode steps.
+    AdvanceStep,
+    /// Tensor-parallel all-reduce over a shard's partial output (§8
+    /// multi-GPU support).
+    AllReduce,
+    /// A hidden GEMM variant (family × batch bucket).
+    Gemm(GemmFamily, usize),
+    /// A hidden split-K reduction auxiliary kernel (batch bucket × index).
+    /// Split-K reductions accompany specific GEMM shape variants, so they
+    /// are bucket-specific like the GEMMs themselves.
+    SplitKAux(usize, usize),
+}
+
+impl KernelRole {
+    /// The mangled kernel name for this role.
+    pub fn kernel_name(self) -> String {
+        match self {
+            KernelRole::FusedRmsNorm => "fused_rms_norm_f16".to_string(),
+            KernelRole::FusedAddRmsNorm => "fused_add_rms_norm_f16".to_string(),
+            KernelRole::Rotary => "rotary_embedding_neox_f16".to_string(),
+            KernelRole::ReshapeAndCache => "reshape_and_cache_f16".to_string(),
+            KernelRole::PagedAttentionV1 => "paged_attention_v1_f16".to_string(),
+            KernelRole::PagedAttentionV2 => "paged_attention_v2_f16".to_string(),
+            KernelRole::SiluAndMul => "silu_and_mul_f16".to_string(),
+            KernelRole::EmbedTokens => "embedding_lookup_f16".to_string(),
+            KernelRole::GatherLogits => "greedy_sample_f16".to_string(),
+            KernelRole::AdvanceStep => "advance_step_meta".to_string(),
+            KernelRole::AllReduce => "nccl_all_reduce_ring_f16".to_string(),
+            KernelRole::Gemm(f, b) => format!("ampere_h16816gemm_{}_b{}", f.tag(), b),
+            KernelRole::SplitKAux(b, i) => format!("ampere_splitk_reduce_b{b}_{i}"),
+        }
+    }
+
+    /// The library this role's kernel lives in.
+    pub fn library(self) -> &'static str {
+        match self {
+            KernelRole::Gemm(..) | KernelRole::SplitKAux(..) => CUBLAS_SIM_LIB,
+            KernelRole::AllReduce => NCCL_SIM_LIB,
+            _ => MODEL_KERNELS_LIB,
+        }
+    }
+}
+
+fn sig(kinds: &[ParamKind]) -> KernelSig {
+    KernelSig::new(kinds.to_vec())
+}
+
+fn role_sig(role: KernelRole) -> KernelSig {
+    use ParamKind::*;
+    match role {
+        KernelRole::FusedRmsNorm => sig(&[PtrIn, PtrIn, PtrOut, Scalar4, Scalar4]),
+        KernelRole::FusedAddRmsNorm => sig(&[PtrInOut, PtrIn, PtrIn, PtrOut, Scalar4]),
+        KernelRole::Rotary => sig(&[PtrIn, PtrInOut, Scalar4, Scalar8]),
+        KernelRole::ReshapeAndCache => {
+            sig(&[PtrIn, PtrInOut, PtrInOut, PtrIn, PtrIn, PtrIn, Scalar4])
+        }
+        KernelRole::PagedAttentionV1 | KernelRole::PagedAttentionV2 => {
+            sig(&[PtrIn, PtrIn, PtrIn, PtrIn, PtrOut, Scalar8, Scalar4, Scalar4])
+        }
+        KernelRole::SiluAndMul => sig(&[PtrIn, PtrOut, Scalar4]),
+        KernelRole::EmbedTokens => sig(&[PtrIn, PtrIn, PtrOut, Scalar4]),
+        KernelRole::GatherLogits => sig(&[PtrIn, PtrOut, Scalar4]),
+        KernelRole::AdvanceStep => sig(&[PtrInOut, PtrInOut, Scalar4]),
+        KernelRole::AllReduce => sig(&[PtrInOut, Scalar4, Scalar4]),
+        KernelRole::Gemm(..) => sig(&[PtrIn, PtrIn, PtrOut, Scalar4, Scalar4, Scalar4]),
+        KernelRole::SplitKAux(..) => sig(&[PtrIn, PtrOut, Scalar4]),
+    }
+}
+
+fn role_class(role: KernelRole) -> CostClass {
+    match role {
+        KernelRole::Gemm(..) | KernelRole::PagedAttentionV1 | KernelRole::PagedAttentionV2 => {
+            CostClass::ComputeBound
+        }
+        KernelRole::AdvanceStep | KernelRole::GatherLogits | KernelRole::SplitKAux(..) => {
+            CostClass::Auxiliary
+        }
+        _ => CostClass::MemoryBound,
+    }
+}
+
+fn def(role: KernelRole, exported: bool) -> KernelDef {
+    KernelDef::new(role.kernel_name(), exported, role_sig(role), role_class(role))
+}
+
+/// Builds the library catalog visible to an instance serving `spec`.
+///
+/// The auxiliary split-K kernel count is model-specific (Table 1
+/// calibration, [`schedule::aux_kernel_count`]).
+pub fn build_catalog(spec: &ModelSpec) -> Arc<LibraryCatalog> {
+    use medusa_gpu::{LibrarySpec, ModuleSpec};
+
+    let framework = LibrarySpec::new(
+        MODEL_KERNELS_LIB,
+        false,
+        vec![
+            ModuleSpec::new(
+                "norm_ops",
+                vec![def(KernelRole::FusedRmsNorm, true), def(KernelRole::FusedAddRmsNorm, true)],
+            ),
+            ModuleSpec::new(
+                "pos_cache_ops",
+                vec![def(KernelRole::Rotary, true), def(KernelRole::ReshapeAndCache, true)],
+            ),
+            ModuleSpec::new(
+                "act_ops",
+                vec![def(KernelRole::SiluAndMul, true), def(KernelRole::EmbedTokens, true)],
+            ),
+            ModuleSpec::new(
+                "attn_ops",
+                vec![
+                    def(KernelRole::PagedAttentionV1, true),
+                    def(KernelRole::PagedAttentionV2, true),
+                ],
+            ),
+            ModuleSpec::new(
+                "sampler_ops",
+                vec![def(KernelRole::GatherLogits, true), def(KernelRole::AdvanceStep, true)],
+            ),
+        ],
+    );
+
+    // cuBLAS-like module layout: one module per (family × batch bucket),
+    // mirroring real cuBLAS where different shapes dispatch to different
+    // cubins. This is why handwritten triggering-kernels "require finding
+    // new triggering kernels given different batch sizes" (paper §5.1) and
+    // why the first layer of a graph's own batch size suffices (§5.2).
+    let aux_count = schedule::aux_kernel_count(spec);
+    let mut modules = Vec::with_capacity(GEMM_BUCKETS * 4);
+    for bucket in 0..GEMM_BUCKETS {
+        for (fi, &f) in GemmFamily::ALL.iter().enumerate() {
+            let mut ks = vec![def(KernelRole::Gemm(f, bucket), false)];
+            // This bucket's split-K reductions, spread over the families.
+            ks.extend(
+                (0..aux_count)
+                    .filter(|i| i % 4 == fi)
+                    .map(|i| def(KernelRole::SplitKAux(bucket, i), false)),
+            );
+            modules.push(ModuleSpec::new(format!("gemm_{}_b{}", f.tag(), bucket), ks));
+        }
+    }
+    let cublas = LibrarySpec::new(
+        CUBLAS_SIM_LIB,
+        true, // lazy init with device sync on first launch (paper §2.3)
+        modules,
+    );
+    // NCCL-like collectives: exported, but with a synchronizing lazy init
+    // (communicator setup), so tensor-parallel warm-up matters too.
+    let nccl = LibrarySpec::new(
+        NCCL_SIM_LIB,
+        true,
+        vec![ModuleSpec::new("collectives", vec![def(KernelRole::AllReduce, true)])],
+    );
+
+    LibraryCatalog::new(vec![framework, cublas, nccl])
+}
+
+/// Ground-truth per-process kernel addresses, resolved at model structure
+/// initialization (the framework links these statically; `dlsym` visibility
+/// only matters for Medusa's *restoration*).
+#[derive(Debug, Clone)]
+pub struct KernelAddrs {
+    fused_rms_norm: u64,
+    fused_add_rms_norm: u64,
+    rotary: u64,
+    reshape_and_cache: u64,
+    paged_v1: u64,
+    paged_v2: u64,
+    silu_and_mul: u64,
+    embed_tokens: u64,
+    gather_logits: u64,
+    advance_step: u64,
+    all_reduce: u64,
+    gemm: [[u64; GEMM_BUCKETS]; 4],
+    aux: Vec<Vec<u64>>, // [bucket][i]
+}
+
+impl KernelAddrs {
+    /// Resolves every role's address in `rt`. Both libraries must already be
+    /// `dlopen`ed (structure initialization does this).
+    ///
+    /// # Errors
+    ///
+    /// Returns a driver error if a kernel is missing from the catalog.
+    pub fn resolve(rt: &ProcessRuntime, spec: &ModelSpec) -> GpuResult<Self> {
+        let find = |role: KernelRole| -> GpuResult<u64> {
+            let kref = rt.catalog().find_kernel(role.library(), &role.kernel_name())?;
+            Ok(rt.kernel_address(kref).expect("library opened during structure init"))
+        };
+        let mut gemm = [[0u64; GEMM_BUCKETS]; 4];
+        for f in GemmFamily::ALL {
+            for (b, slot) in gemm[f.index()].iter_mut().enumerate() {
+                *slot = find(KernelRole::Gemm(f, b))?;
+            }
+        }
+        let aux = (0..GEMM_BUCKETS)
+            .map(|b| {
+                (0..schedule::aux_kernel_count(spec))
+                    .map(|i| find(KernelRole::SplitKAux(b, i)))
+                    .collect::<GpuResult<Vec<_>>>()
+            })
+            .collect::<GpuResult<Vec<_>>>()?;
+        Ok(KernelAddrs {
+            all_reduce: find(KernelRole::AllReduce)?,
+            fused_rms_norm: find(KernelRole::FusedRmsNorm)?,
+            fused_add_rms_norm: find(KernelRole::FusedAddRmsNorm)?,
+            rotary: find(KernelRole::Rotary)?,
+            reshape_and_cache: find(KernelRole::ReshapeAndCache)?,
+            paged_v1: find(KernelRole::PagedAttentionV1)?,
+            paged_v2: find(KernelRole::PagedAttentionV2)?,
+            silu_and_mul: find(KernelRole::SiluAndMul)?,
+            embed_tokens: find(KernelRole::EmbedTokens)?,
+            gather_logits: find(KernelRole::GatherLogits)?,
+            advance_step: find(KernelRole::AdvanceStep)?,
+            gemm,
+            aux,
+        })
+    }
+
+    /// Address of a role in this process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`KernelRole::SplitKAux`] index exceeds the model's
+    /// auxiliary kernel count.
+    pub fn addr(&self, role: KernelRole) -> u64 {
+        match role {
+            KernelRole::FusedRmsNorm => self.fused_rms_norm,
+            KernelRole::FusedAddRmsNorm => self.fused_add_rms_norm,
+            KernelRole::Rotary => self.rotary,
+            KernelRole::ReshapeAndCache => self.reshape_and_cache,
+            KernelRole::PagedAttentionV1 => self.paged_v1,
+            KernelRole::PagedAttentionV2 => self.paged_v2,
+            KernelRole::SiluAndMul => self.silu_and_mul,
+            KernelRole::EmbedTokens => self.embed_tokens,
+            KernelRole::GatherLogits => self.gather_logits,
+            KernelRole::AdvanceStep => self.advance_step,
+            KernelRole::AllReduce => self.all_reduce,
+            KernelRole::Gemm(f, b) => self.gemm[f.index()][b],
+            KernelRole::SplitKAux(b, i) => self.aux[b][i],
+        }
+    }
+
+    /// Number of auxiliary split-K kernels available per bucket.
+    pub fn aux_count(&self) -> usize {
+        self.aux.first().map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medusa_gpu::{CostModel, GpuError, GpuSpec};
+
+    fn spec() -> ModelSpec {
+        ModelSpec::by_name("Qwen1.5-4B").unwrap()
+    }
+
+    #[test]
+    fn buckets_partition_batches() {
+        assert_eq!(batch_bucket(1), 0);
+        assert_eq!(batch_bucket(4), 0);
+        assert_eq!(batch_bucket(5), 1);
+        assert_eq!(batch_bucket(32), 1);
+        assert_eq!(batch_bucket(33), 2);
+        assert_eq!(batch_bucket(128), 2);
+        assert_eq!(batch_bucket(129), 3);
+        assert_eq!(batch_bucket(256), 3);
+    }
+
+    #[test]
+    fn catalog_exports_framework_hides_gemms() {
+        let s = spec();
+        let cat = build_catalog(&s);
+        let mut rt =
+            ProcessRuntime::new(cat, GpuSpec::a100_40gb(), CostModel::default(), 1);
+        let fw = rt.dlopen(MODEL_KERNELS_LIB).unwrap();
+        let cb = rt.dlopen(CUBLAS_SIM_LIB).unwrap();
+        assert!(rt.dlsym(fw, "fused_rms_norm_f16").is_ok());
+        assert!(rt.dlsym(fw, "paged_attention_v2_f16").is_ok());
+        assert!(matches!(
+            rt.dlsym(cb, "ampere_h16816gemm_qkv_b0"),
+            Err(GpuError::SymbolHidden { .. })
+        ));
+        assert!(matches!(
+            rt.dlsym(cb, "ampere_splitk_reduce_b0_0"),
+            Err(GpuError::SymbolHidden { .. })
+        ));
+    }
+
+    #[test]
+    fn aux_kernels_cover_every_family_module() {
+        let s = spec();
+        let cat = build_catalog(&s);
+        let idx = cat.lib_index(CUBLAS_SIM_LIB).unwrap();
+        let lib = cat.lib(idx);
+        // One module per (family x bucket), cuBLAS-style.
+        assert_eq!(lib.modules().len(), 4 * GEMM_BUCKETS);
+        let aux_total: usize = lib
+            .modules()
+            .iter()
+            .map(|m| m.kernels().iter().filter(|k| k.name().contains("splitk")).count())
+            .sum();
+        assert_eq!(aux_total, GEMM_BUCKETS * schedule::aux_kernel_count(&s));
+        // With ≥4 aux kernels per bucket, each module holds at least one.
+        if schedule::aux_kernel_count(&s) >= 4 {
+            for m in lib.modules() {
+                assert!(m.kernels().iter().any(|k| k.name().contains("splitk")));
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_addrs_resolve_all_roles() {
+        let s = spec();
+        let cat = build_catalog(&s);
+        let mut rt =
+            ProcessRuntime::new(cat, GpuSpec::a100_40gb(), CostModel::default(), 9);
+        rt.dlopen(MODEL_KERNELS_LIB).unwrap();
+        rt.dlopen(CUBLAS_SIM_LIB).unwrap();
+        rt.dlopen(NCCL_SIM_LIB).unwrap();
+        let addrs = KernelAddrs::resolve(&rt, &s).unwrap();
+        assert_ne!(addrs.addr(KernelRole::FusedRmsNorm), 0);
+        assert_ne!(addrs.addr(KernelRole::Gemm(GemmFamily::Down, 3)), 0);
+        assert!(addrs.aux_count() > 0);
+        assert_ne!(addrs.addr(KernelRole::SplitKAux(0, 0)), addrs.addr(KernelRole::SplitKAux(0, 1)));
+        assert_ne!(addrs.addr(KernelRole::SplitKAux(0, 0)), addrs.addr(KernelRole::SplitKAux(1, 0)));
+        // Addresses differ per process seed.
+        let mut rt2 =
+            ProcessRuntime::new(build_catalog(&s), GpuSpec::a100_40gb(), CostModel::default(), 10);
+        rt2.dlopen(MODEL_KERNELS_LIB).unwrap();
+        rt2.dlopen(CUBLAS_SIM_LIB).unwrap();
+        rt2.dlopen(NCCL_SIM_LIB).unwrap();
+        let addrs2 = KernelAddrs::resolve(&rt2, &s).unwrap();
+        assert_ne!(
+            addrs.addr(KernelRole::EmbedTokens),
+            addrs2.addr(KernelRole::EmbedTokens)
+        );
+    }
+
+    #[test]
+    fn role_names_are_stable_and_unique() {
+        let roles = [
+            KernelRole::FusedRmsNorm,
+            KernelRole::FusedAddRmsNorm,
+            KernelRole::Rotary,
+            KernelRole::ReshapeAndCache,
+            KernelRole::PagedAttentionV1,
+            KernelRole::PagedAttentionV2,
+            KernelRole::SiluAndMul,
+            KernelRole::EmbedTokens,
+            KernelRole::GatherLogits,
+            KernelRole::AdvanceStep,
+            KernelRole::Gemm(GemmFamily::Qkv, 0),
+            KernelRole::Gemm(GemmFamily::Qkv, 1),
+            KernelRole::SplitKAux(0, 0),
+            KernelRole::SplitKAux(1, 0),
+        ];
+        let names: Vec<_> = roles.iter().map(|r| r.kernel_name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

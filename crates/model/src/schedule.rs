@@ -1,0 +1,177 @@
+//! Node-count calibration and per-kernel work sizing.
+//!
+//! ## Node counts (Table 1)
+//!
+//! Each captured decode graph contains, structurally:
+//!
+//! * 10 kernels per transformer layer (norm, QKV GEMM, rotary,
+//!   reshape-and-cache, paged attention, out GEMM, add+norm, gate/up GEMM,
+//!   SiLU·mul, down GEMM), plus
+//! * 5 head/tail kernels (embedding, final norm, LM-head GEMM, sampler,
+//!   metadata advance), plus
+//! * a model-specific number of hidden auxiliary split-K kernels.
+//!
+//! Real cuBLAS emits shape-dependent split-K reductions, so per-graph node
+//! counts are not a pure function of layer count. We calibrate the auxiliary
+//! count per model so the 35-graph total equals Table 1 **exactly**; the
+//! remainder is assigned to the largest batch sizes (where split-K is
+//! actually used).
+//!
+//! ## Work sizing
+//!
+//! GEMM FLOPs/bytes follow the standard 2·m·n·k formulas; attention work
+//! scales with context length. These drive the calibrated virtual-time
+//! model (see `medusa_gpu::CostModel`).
+
+use crate::spec::ModelSpec;
+use medusa_gpu::Work;
+
+/// Kernels per transformer layer in a captured decode graph.
+pub const KERNELS_PER_LAYER: u64 = 10;
+/// Head/tail kernels per captured decode graph.
+pub const HEAD_KERNELS: u64 = 5;
+/// Number of captured batch sizes (vLLM default).
+pub const NUM_GRAPHS: u64 = 35;
+
+/// Structural (non-auxiliary) node count of one decode graph.
+pub fn base_nodes_per_graph(spec: &ModelSpec) -> u64 {
+    spec.layers() as u64 * KERNELS_PER_LAYER + HEAD_KERNELS
+}
+
+fn pad_total(spec: &ModelSpec) -> u64 {
+    let base = NUM_GRAPHS * base_nodes_per_graph(spec);
+    spec.table1_nodes()
+        .checked_sub(base)
+        .unwrap_or_else(|| panic!("Table 1 node count below structural minimum for {}", spec.name()))
+}
+
+/// Auxiliary split-K kernels in the graph for the `graph_index`-th batch
+/// size (0-based, batch sizes ascending). Larger batches get the remainder.
+pub fn aux_pad_for_graph(spec: &ModelSpec, graph_index: usize) -> u64 {
+    assert!(graph_index < NUM_GRAPHS as usize, "graph index out of range");
+    let total = pad_total(spec);
+    let base = total / NUM_GRAPHS;
+    let rem = (total % NUM_GRAPHS) as usize;
+    base + u64::from(graph_index >= NUM_GRAPHS as usize - rem)
+}
+
+/// Number of distinct auxiliary split-K kernels a model's catalog needs
+/// (the maximum per-graph pad).
+pub fn aux_kernel_count(spec: &ModelSpec) -> usize {
+    (0..NUM_GRAPHS as usize).map(|i| aux_pad_for_graph(spec, i)).max().unwrap_or(0) as usize
+}
+
+/// Node count of the `graph_index`-th decode graph.
+pub fn nodes_for_graph(spec: &ModelSpec, graph_index: usize) -> u64 {
+    base_nodes_per_graph(spec) + aux_pad_for_graph(spec, graph_index)
+}
+
+/// Total node count over all 35 graphs — equals Table 1 by construction.
+pub fn total_nodes(spec: &ModelSpec) -> u64 {
+    (0..NUM_GRAPHS as usize).map(|i| nodes_for_graph(spec, i)).sum()
+}
+
+// ----------------------------------------------------------------- work
+
+/// Work of a dense fp16 GEMM of shape `m×k · k×n`.
+pub fn gemm_work(m: u64, n: u64, k: u64) -> Work {
+    Work::new(2.0 * m as f64 * n as f64 * k as f64, 2.0 * (m * k + k * n + m * n) as f64)
+}
+
+/// Work of an elementwise/norm kernel over `m` rows of width `width`
+/// (reads + writes, fp16).
+pub fn elementwise_work(m: u64, width: u64) -> Work {
+    Work::new(0.0, 2.0 * 2.0 * (m * width) as f64)
+}
+
+/// Work of paged attention over `batch` sequences of `ctx_len` context.
+pub fn attention_work(spec: &ModelSpec, batch: u64, ctx_len: u64) -> Work {
+    let hd = spec.head_dim() as u64;
+    let flops = 4.0 * batch as f64 * spec.heads() as f64 * hd as f64 * ctx_len as f64;
+    let bytes = 2.0 * 2.0 * batch as f64 * spec.kv_heads() as f64 * hd as f64 * ctx_len as f64;
+    Work::new(flops, bytes)
+}
+
+/// QKV projection output width: `hidden + 2 · kv_heads · head_dim`.
+pub fn qkv_width(spec: &ModelSpec) -> u64 {
+    spec.hidden() as u64 + 2 * spec.kv_heads() as u64 * spec.head_dim() as u64
+}
+
+/// Approximate FLOPs of one full decode step at `batch` (2 · params · batch).
+pub fn decode_step_flops(spec: &ModelSpec, batch: u64) -> f64 {
+    2.0 * spec.param_count() as f64 * batch as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_table1_for_every_model() {
+        for spec in ModelSpec::catalog() {
+            assert_eq!(
+                total_nodes(&spec),
+                spec.table1_nodes(),
+                "node calibration broken for {}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pads_are_monotone_over_graph_index() {
+        for spec in ModelSpec::catalog() {
+            let pads: Vec<u64> =
+                (0..NUM_GRAPHS as usize).map(|i| aux_pad_for_graph(&spec, i)).collect();
+            assert!(pads.windows(2).all(|w| w[0] <= w[1]));
+            assert!(pads[NUM_GRAPHS as usize - 1] - pads[0] <= 1);
+        }
+    }
+
+    #[test]
+    fn aux_kernel_count_covers_max_pad() {
+        for spec in ModelSpec::catalog() {
+            let max_pad =
+                (0..NUM_GRAPHS as usize).map(|i| aux_pad_for_graph(&spec, i)).max().unwrap();
+            assert_eq!(aux_kernel_count(&spec) as u64, max_pad);
+        }
+    }
+
+    #[test]
+    fn base_structure_scales_with_layers() {
+        let q4 = ModelSpec::by_name("Qwen1.5-4B").unwrap();
+        let q05 = ModelSpec::by_name("Qwen1.5-0.5B").unwrap();
+        assert_eq!(base_nodes_per_graph(&q4), 405);
+        assert_eq!(base_nodes_per_graph(&q05), 245);
+    }
+
+    #[test]
+    fn gemm_work_formula() {
+        let w = gemm_work(2, 3, 4);
+        assert_eq!(w.flops, 48.0);
+        assert_eq!(w.bytes, 2.0 * (8 + 12 + 6) as f64);
+    }
+
+    #[test]
+    fn attention_work_scales_with_context() {
+        let spec = ModelSpec::by_name("Llama2-7B").unwrap();
+        let w1 = attention_work(&spec, 1, 512);
+        let w2 = attention_work(&spec, 1, 1024);
+        assert!((w2.flops / w1.flops - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_step_flops_is_two_params_per_token() {
+        let spec = ModelSpec::by_name("Llama2-7B").unwrap();
+        let f = decode_step_flops(&spec, 1);
+        let expected = 2.0 * spec.param_count() as f64;
+        assert!((f - expected).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "graph index out of range")]
+    fn pad_rejects_out_of_range_index() {
+        let spec = ModelSpec::by_name("Llama2-7B").unwrap();
+        aux_pad_for_graph(&spec, 35);
+    }
+}

@@ -1,0 +1,212 @@
+//! Model specifications: the ten LLMs of the paper's Table 1.
+//!
+//! Architectural parameters (layers, hidden size, heads, vocabulary) follow
+//! the public model cards; `param_bytes` reproduces Table 1's reported
+//! parameter sizes exactly. `table1_nodes` is the paper's total CUDA graph
+//! node count over 35 captured batch sizes and is used by
+//! [`crate::schedule`] to calibrate the number of model-specific auxiliary
+//! kernels so the reproduction's node counts match Table 1 exactly.
+
+use serde::{Deserialize, Serialize};
+
+const GIB: u64 = 1 << 30;
+
+/// Specification of one model served by the system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    name: String,
+    layers: u32,
+    hidden: u32,
+    heads: u32,
+    kv_heads: u32,
+    intermediate: u32,
+    vocab: u32,
+    param_bytes: u64,
+    table1_nodes: u64,
+    max_batch: u32,
+    max_num_batched_tokens: u32,
+}
+
+impl ModelSpec {
+    /// Creates a custom model spec.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        layers: u32,
+        hidden: u32,
+        heads: u32,
+        kv_heads: u32,
+        intermediate: u32,
+        vocab: u32,
+        param_bytes: u64,
+        table1_nodes: u64,
+    ) -> Self {
+        let spec = ModelSpec {
+            name: name.into(),
+            layers,
+            hidden,
+            heads,
+            kv_heads,
+            intermediate,
+            vocab,
+            param_bytes,
+            table1_nodes,
+            max_batch: 256,
+            max_num_batched_tokens: 8192,
+        };
+        assert!(spec.layers > 0 && spec.heads > 0 && spec.kv_heads > 0);
+        assert_eq!(spec.hidden % spec.heads, 0, "hidden must divide into heads");
+        spec
+    }
+
+    /// Model name as it appears in the paper.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of transformer layers.
+    pub fn layers(&self) -> u32 {
+        self.layers
+    }
+
+    /// Hidden dimension.
+    pub fn hidden(&self) -> u32 {
+        self.hidden
+    }
+
+    /// Attention heads.
+    pub fn heads(&self) -> u32 {
+        self.heads
+    }
+
+    /// KV heads (MQA/GQA models have fewer than `heads`).
+    pub fn kv_heads(&self) -> u32 {
+        self.kv_heads
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> u32 {
+        self.hidden / self.heads
+    }
+
+    /// MLP intermediate dimension.
+    pub fn intermediate(&self) -> u32 {
+        self.intermediate
+    }
+
+    /// Vocabulary size (drives tokenizer load time).
+    pub fn vocab(&self) -> u32 {
+        self.vocab
+    }
+
+    /// Total parameter bytes (Table 1).
+    pub fn param_bytes(&self) -> u64 {
+        self.param_bytes
+    }
+
+    /// The paper's total CUDA graph node count across 35 batch sizes
+    /// (Table 1), used to calibrate auxiliary kernels.
+    pub fn table1_nodes(&self) -> u64 {
+        self.table1_nodes
+    }
+
+    /// Maximum decode batch size (vLLM default capture limit).
+    pub fn max_batch(&self) -> u32 {
+        self.max_batch
+    }
+
+    /// Maximum tokens per profiling forwarding (vLLM
+    /// `max_num_batched_tokens`).
+    pub fn max_num_batched_tokens(&self) -> u32 {
+        self.max_num_batched_tokens
+    }
+
+    /// Approximate parameter count (from bytes, fp16).
+    pub fn param_count(&self) -> u64 {
+        self.param_bytes / 2
+    }
+
+    /// KV-cache bytes per token: K and V, all layers, fp16.
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * self.layers as u64 * self.kv_heads as u64 * self.head_dim() as u64 * 2
+    }
+
+    /// The 35 decode batch sizes vLLM captures by default: 1, 2, 4, then
+    /// 8..=256 step 8 (paper §2.3 / §7.1).
+    pub fn capture_batch_sizes() -> Vec<u32> {
+        let mut v = vec![1, 2, 4];
+        v.extend((1..=32).map(|i| i * 8));
+        debug_assert_eq!(v.len(), 35);
+        v
+    }
+
+    /// The ten models of Table 1.
+    pub fn catalog() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::new("Falcon-7B", 32, 4544, 71, 1, 18176, 65024, gib_f(13.4), 14406),
+            ModelSpec::new("Llama2-7B", 32, 4096, 32, 32, 11008, 32000, gib_f(12.6), 12518),
+            ModelSpec::new("Llama2-13B", 40, 5120, 40, 40, 13824, 32000, gib_f(24.2), 16150),
+            ModelSpec::new("Qwen1.5-0.5B", 24, 1024, 16, 16, 2816, 151936, gib_f(1.2), 9118),
+            ModelSpec::new("Qwen1.5-1.8B", 24, 2048, 16, 16, 5504, 151936, gib_f(3.4), 9550),
+            ModelSpec::new("Qwen1.5-4B", 40, 2560, 20, 20, 6912, 151936, gib_f(7.4), 16150),
+            ModelSpec::new("Qwen1.5-7B", 32, 4096, 32, 32, 11008, 151936, gib_f(14.4), 12902),
+            ModelSpec::new("Qwen1.5-14B", 40, 5120, 40, 40, 13696, 152064, gib_f(26.4), 16350),
+            ModelSpec::new("Yi-6B", 32, 4096, 32, 4, 11008, 64000, gib_f(11.3), 12902),
+            ModelSpec::new("Yi-9B", 48, 4096, 32, 4, 11008, 64000, gib_f(16.4), 19318),
+        ]
+    }
+
+    /// Looks up a catalog model by name.
+    pub fn by_name(name: &str) -> Option<ModelSpec> {
+        Self::catalog().into_iter().find(|m| m.name() == name)
+    }
+}
+
+fn gib_f(gib: f64) -> u64 {
+    (gib * GIB as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_ten_models_with_table1_sizes() {
+        let cat = ModelSpec::catalog();
+        assert_eq!(cat.len(), 10);
+        let total_nodes: u64 = cat.iter().map(|m| m.table1_nodes()).sum();
+        assert_eq!(total_nodes, 139_364, "paper: 139364 nodes across 10 models");
+        let qwen4b = ModelSpec::by_name("Qwen1.5-4B").unwrap();
+        assert_eq!(qwen4b.layers(), 40);
+        assert_eq!(qwen4b.head_dim(), 128);
+        assert!((qwen4b.param_bytes() as f64 / GIB as f64 - 7.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn capture_batch_sizes_match_vllm_default() {
+        let b = ModelSpec::capture_batch_sizes();
+        assert_eq!(b.len(), 35);
+        assert_eq!(&b[..5], &[1, 2, 4, 8, 16]);
+        assert_eq!(*b.last().unwrap(), 256);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn kv_bytes_per_token_respects_gqa() {
+        let yi = ModelSpec::by_name("Yi-6B").unwrap();
+        let llama = ModelSpec::by_name("Llama2-7B").unwrap();
+        // Same geometry except Yi uses 4 KV heads vs Llama's 32.
+        assert_eq!(llama.kv_bytes_per_token() / yi.kv_bytes_per_token(), 8);
+    }
+
+    #[test]
+    fn by_name_misses_gracefully() {
+        assert!(ModelSpec::by_name("GPT-5").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden must divide into heads")]
+    fn invalid_geometry_rejected() {
+        ModelSpec::new("bad", 1, 100, 7, 7, 1, 1, 1, 1);
+    }
+}

@@ -1,0 +1,558 @@
+//! Model structure initialization (loading-phase stage ❶, paper §2.1).
+//!
+//! Instantiates the model: opens the kernel libraries, resolves kernel
+//! addresses, and allocates every weight tensor on the device **in a
+//! deterministic order** — the property Medusa's indirect index pointers
+//! rely on ("the layers being initialized sequentially", paper §3).
+
+use crate::kernels::{self, KernelAddrs};
+use crate::spec::ModelSpec;
+use medusa_gpu::{AllocTag, DevicePtr, GpuResult, ProcessRuntime, SimDuration};
+
+/// A named weight tensor living on the device.
+#[derive(Debug, Clone)]
+pub struct WeightTensor {
+    name: String,
+    ptr: DevicePtr,
+    bytes: u64,
+}
+
+impl WeightTensor {
+    fn alloc(rt: &mut ProcessRuntime, name: String, bytes: u64) -> GpuResult<Self> {
+        let ptr = rt.cuda_malloc(bytes, AllocTag::Weights)?;
+        Ok(WeightTensor { name, ptr, bytes })
+    }
+
+    /// Tensor name (e.g. `layers.3.qkv_proj`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Device pointer to the tensor data.
+    pub fn ptr(&self) -> DevicePtr {
+        self.ptr
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// The weight tensors of one transformer layer.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Fused QKV projection weight.
+    pub qkv: WeightTensor,
+    /// Attention output projection weight.
+    pub o: WeightTensor,
+    /// Fused gate+up MLP weight.
+    pub gate_up: WeightTensor,
+    /// Down MLP weight.
+    pub down: WeightTensor,
+    /// Pre-attention norm weight.
+    pub norm1: WeightTensor,
+    /// Pre-MLP norm weight.
+    pub norm2: WeightTensor,
+    /// Rotary inverse frequencies.
+    pub inv_freq: WeightTensor,
+}
+
+/// Persistent decode workspace: input/activation buffers shared by all
+/// captured graphs (vLLM allocates these once, at the maximum batch size,
+/// before capturing — they are never freed, so graph nodes may safely
+/// reference them across replays).
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// Input token ids.
+    pub ids: DevicePtr,
+    /// Input positions.
+    pub positions: DevicePtr,
+    /// KV slot mapping.
+    pub slots: DevicePtr,
+    /// Main hidden-state activation.
+    pub hidden: DevicePtr,
+    /// Residual stream.
+    pub residual: DevicePtr,
+    /// QKV projection output.
+    pub qkv: DevicePtr,
+    /// Attention output.
+    pub attn_out: DevicePtr,
+    /// Gate+up projection output.
+    pub gate_up: DevicePtr,
+    /// Activated MLP intermediate.
+    pub mlp_act: DevicePtr,
+    /// LM-head logits.
+    pub logits: DevicePtr,
+    /// Sampled next tokens.
+    pub next_tokens: DevicePtr,
+}
+
+impl Workspace {
+    /// `(label, pointer)` pairs for every workspace buffer, in allocation
+    /// order.
+    pub fn labeled(&self) -> Vec<(String, DevicePtr)> {
+        [
+            ("ws.ids", self.ids),
+            ("ws.positions", self.positions),
+            ("ws.slots", self.slots),
+            ("ws.hidden", self.hidden),
+            ("ws.residual", self.residual),
+            ("ws.qkv", self.qkv),
+            ("ws.attn_out", self.attn_out),
+            ("ws.gate_up", self.gate_up),
+            ("ws.mlp_act", self.mlp_act),
+            ("ws.logits", self.logits),
+            ("ws.next_tokens", self.next_tokens),
+        ]
+        .into_iter()
+        .map(|(n, p)| (n.to_string(), p))
+        .collect()
+    }
+}
+
+/// A model instantiated in one process: resolved kernel addresses, weight
+/// tensors, and (once serving begins) the persistent decode workspace and
+/// per-layer permanent magic buffers.
+#[derive(Debug)]
+pub struct ModelInstance {
+    spec: ModelSpec,
+    rank: u32,
+    tp: u32,
+    addrs: KernelAddrs,
+    embed: WeightTensor,
+    layers: Vec<LayerWeights>,
+    final_norm: WeightTensor,
+    lm_head: WeightTensor,
+    workspace: Option<Workspace>,
+    /// Per-layer pairs of 4-byte permanent launch-magic buffers (paper §4.3:
+    /// ~9 % of kernels need two such buffers whose contents must be
+    /// restored).
+    magic: Vec<(DevicePtr, DevicePtr)>,
+    /// Scratch buffers allocated *during* graph capture; referenced by
+    /// auxiliary nodes and only released at engine teardown.
+    graph_scratch: Vec<DevicePtr>,
+}
+
+/// Logical tensor objects created by the framework during structure
+/// initialization (drives CPU cost; the fused buffers below are fewer).
+pub const LOGICAL_TENSORS_PER_LAYER: u64 = 10;
+/// Logical non-layer tensors (embedding, final norm, LM head).
+pub const LOGICAL_HEAD_TENSORS: u64 = 3;
+
+impl ModelInstance {
+    /// Runs the model structure initialization stage: opens libraries,
+    /// resolves kernels, allocates all weight tensors deterministically, and
+    /// charges the calibrated per-tensor framework cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns driver errors (out of memory, missing kernels).
+    pub fn initialize(rt: &mut ProcessRuntime, spec: &ModelSpec) -> GpuResult<Self> {
+        Self::initialize_sharded(rt, spec, 0, 1)
+    }
+
+    /// Like [`ModelInstance::initialize`] for one tensor-parallel shard:
+    /// rank `rank` of a `tp`-way instance (paper §8 multi-GPU support).
+    /// Projection weights, KV heads and the MLP intermediate are divided
+    /// across ranks; norms are replicated; the forward pass all-reduces
+    /// partial outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= tp` or `tp` is 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns driver errors (out of memory, missing kernels).
+    pub fn initialize_sharded(
+        rt: &mut ProcessRuntime,
+        spec: &ModelSpec,
+        rank: u32,
+        tp: u32,
+    ) -> GpuResult<Self> {
+        assert!(tp > 0 && rank < tp, "invalid shard: rank {rank} of {tp}");
+        rt.dlopen(kernels::MODEL_KERNELS_LIB)?;
+        rt.dlopen(kernels::CUBLAS_SIM_LIB)?;
+        rt.dlopen(kernels::NCCL_SIM_LIB)?;
+        let addrs = KernelAddrs::resolve(rt, spec)?;
+
+        let tensors =
+            LOGICAL_TENSORS_PER_LAYER * spec.layers() as u64 + LOGICAL_HEAD_TENSORS;
+        rt.advance(SimDuration::from_nanos(
+            rt.cost().structure_fixed_ns + rt.cost().structure_per_tensor_ns * tensors,
+        ));
+
+        let sizes = LayerByteSplit::for_shard(spec, tp);
+        let embed = WeightTensor::alloc(rt, "embed_tokens".into(), sizes.embed)?;
+        let mut layers = Vec::with_capacity(spec.layers() as usize);
+        for l in 0..spec.layers() {
+            layers.push(LayerWeights {
+                qkv: WeightTensor::alloc(rt, format!("layers.{l}.qkv_proj"), sizes.qkv)?,
+                o: WeightTensor::alloc(rt, format!("layers.{l}.o_proj"), sizes.o)?,
+                gate_up: WeightTensor::alloc(rt, format!("layers.{l}.gate_up_proj"), sizes.gate_up)?,
+                down: WeightTensor::alloc(rt, format!("layers.{l}.down_proj"), sizes.down)?,
+                norm1: WeightTensor::alloc(rt, format!("layers.{l}.input_norm"), sizes.norm)?,
+                norm2: WeightTensor::alloc(rt, format!("layers.{l}.post_attn_norm"), sizes.norm)?,
+                inv_freq: WeightTensor::alloc(rt, format!("layers.{l}.rotary_inv_freq"), sizes.inv_freq)?,
+            });
+        }
+        let final_norm = WeightTensor::alloc(rt, "final_norm".into(), sizes.norm)?;
+        let lm_head = WeightTensor::alloc(rt, "lm_head".into(), sizes.lm_head)?;
+
+        Ok(ModelInstance {
+            spec: spec.clone(),
+            rank,
+            tp,
+            addrs,
+            embed,
+            layers,
+            final_norm,
+            lm_head,
+            workspace: None,
+            magic: Vec::new(),
+            graph_scratch: Vec::new(),
+        })
+    }
+
+    /// The model spec.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// This shard's tensor-parallel rank.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// The tensor-parallel degree (1 = single GPU).
+    pub fn tp(&self) -> u32 {
+        self.tp
+    }
+
+    /// Resolved kernel addresses.
+    pub fn addrs(&self) -> &KernelAddrs {
+        &self.addrs
+    }
+
+    /// Embedding table tensor.
+    pub fn embed(&self) -> &WeightTensor {
+        &self.embed
+    }
+
+    /// Per-layer weights.
+    pub fn layers(&self) -> &[LayerWeights] {
+        &self.layers
+    }
+
+    /// Final norm weight.
+    pub fn final_norm(&self) -> &WeightTensor {
+        &self.final_norm
+    }
+
+    /// LM-head weight.
+    pub fn lm_head(&self) -> &WeightTensor {
+        &self.lm_head
+    }
+
+    /// All weight tensors in allocation order.
+    pub fn weight_tensors(&self) -> Vec<&WeightTensor> {
+        let mut out = vec![&self.embed];
+        for l in &self.layers {
+            out.extend([&l.qkv, &l.o, &l.gate_up, &l.down, &l.norm1, &l.norm2, &l.inv_freq]);
+        }
+        out.push(&self.final_norm);
+        out.push(&self.lm_head);
+        out
+    }
+
+    /// Total bytes of allocated weight buffers.
+    pub fn weight_bytes(&self) -> u64 {
+        self.weight_tensors().iter().map(|t| t.bytes()).sum()
+    }
+
+    /// The persistent decode workspace, if allocated.
+    pub fn workspace(&self) -> Option<&Workspace> {
+        self.workspace.as_ref()
+    }
+
+    /// Allocates the persistent decode workspace at the maximum batch size.
+    /// Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`medusa_gpu::GpuError::OutOfMemory`] if device memory is
+    /// exhausted.
+    pub fn ensure_workspace(&mut self, rt: &mut ProcessRuntime) -> GpuResult<&Workspace> {
+        if self.workspace.is_none() {
+            let tp = self.tp as u64;
+            let mb = self.spec.max_batch() as u64;
+            let h = self.spec.hidden() as u64;
+            let i = (self.spec.intermediate() as u64).div_ceil(tp);
+            let v = (self.spec.vocab() as u64).div_ceil(tp);
+            let qkvw = crate::schedule::qkv_width(&self.spec).div_ceil(tp);
+            let mut a = |bytes: u64| rt.cuda_malloc(bytes, AllocTag::Workspace);
+            let ws = Workspace {
+                ids: a(mb * 4)?,
+                positions: a(mb * 8)?,
+                slots: a(mb * 8)?,
+                hidden: a(mb * h * 2)?,
+                residual: a(mb * h * 2)?,
+                qkv: a(mb * qkvw * 2)?,
+                attn_out: a(mb * h * 2)?,
+                gate_up: a(mb * 2 * i * 2)?,
+                mlp_act: a(mb * i * 2)?,
+                logits: a(mb * v * 2)?,
+                next_tokens: a(mb * 4)?,
+            };
+            self.workspace = Some(ws);
+        }
+        Ok(self.workspace.as_ref().expect("just ensured"))
+    }
+
+    /// Per-layer permanent magic buffer pairs (may be empty before the first
+    /// decode warm-up).
+    pub fn magic_buffers(&self) -> &[(DevicePtr, DevicePtr)] {
+        &self.magic
+    }
+
+    /// Binds a workspace restored by Medusa's allocation replay instead of
+    /// allocating one (online phase). Subsequent
+    /// [`ModelInstance::ensure_workspace`] calls are no-ops.
+    pub fn bind_workspace(&mut self, ws: Workspace) {
+        self.workspace = Some(ws);
+    }
+
+    /// Binds restored per-layer magic buffer pairs (online phase); their
+    /// contents are restored separately from the artifact's permanent
+    /// buffer contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair count does not match the layer count.
+    pub fn bind_magic(&mut self, magic: Vec<(DevicePtr, DevicePtr)>) {
+        assert_eq!(magic.len(), self.spec.layers() as usize, "one magic pair per layer");
+        self.magic = magic;
+    }
+
+    /// Lazily allocates and initializes the per-layer 4-byte magic buffers
+    /// (happens on the first decode warm-up, i.e. *inside* the capturing
+    /// stage, making them "permanent" to Medusa's classifier). Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns driver errors on allocation failure.
+    pub fn ensure_magic_buffers(&mut self, rt: &mut ProcessRuntime) -> GpuResult<()> {
+        if self.magic.is_empty() {
+            for l in 0..self.spec.layers() {
+                let a = rt.cuda_malloc(4, AllocTag::Workspace)?;
+                let b = rt.cuda_malloc(4, AllocTag::Workspace)?;
+                rt.memcpy_h2d(a, 4, magic_digest(l, 0))?;
+                rt.memcpy_h2d(b, 4, magic_digest(l, 1))?;
+                self.magic.push((a, b));
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers a per-graph scratch buffer allocated during capture.
+    pub fn register_graph_scratch(&mut self, ptr: DevicePtr) {
+        self.graph_scratch.push(ptr);
+    }
+
+    /// Scratch buffers allocated during captures.
+    pub fn graph_scratch(&self) -> &[DevicePtr] {
+        &self.graph_scratch
+    }
+
+    /// Frees all capture-time scratch buffers (engine teardown; this is what
+    /// marks them *temporary* to Medusa's classifier, paper §4.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`medusa_gpu::GpuError::InvalidFree`] if a scratch pointer
+    /// was already released.
+    pub fn release_graph_scratch(&mut self, rt: &mut ProcessRuntime) -> GpuResult<()> {
+        for ptr in std::mem::take(&mut self.graph_scratch) {
+            rt.cuda_free(ptr)?;
+        }
+        Ok(())
+    }
+
+    /// `(label, pointer)` pairs for every semantically named persistent
+    /// buffer: weights, workspace, and magic buffers. Medusa's artifact
+    /// binds these labels to allocation-sequence indices so the online phase
+    /// can address restored buffers.
+    pub fn labeled_buffers(&self) -> Vec<(String, DevicePtr)> {
+        let mut out: Vec<(String, DevicePtr)> = self
+            .weight_tensors()
+            .iter()
+            .map(|t| (format!("w.{}", t.name()), t.ptr()))
+            .collect();
+        if let Some(ws) = &self.workspace {
+            out.extend(ws.labeled());
+        }
+        for (l, (a, b)) in self.magic.iter().enumerate() {
+            out.push((format!("magic.{l}.a"), *a));
+            out.push((format!("magic.{l}.b"), *b));
+        }
+        out
+    }
+}
+
+/// The 4-byte magic value of layer `l`'s buffer `which`, as a content
+/// digest.
+pub fn magic_digest(l: u32, which: u32) -> medusa_gpu::Digest {
+    let mut s = medusa_gpu::DigestState::new("launch_magic");
+    s.absorb_u64(l as u64);
+    s.absorb_u64(which as u64);
+    s.finish()
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LayerByteSplit {
+    embed: u64,
+    lm_head: u64,
+    norm: u64,
+    inv_freq: u64,
+    qkv: u64,
+    o: u64,
+    gate_up: u64,
+    down: u64,
+}
+
+impl LayerByteSplit {
+    fn for_shard(spec: &ModelSpec, tp: u32) -> Self {
+        let tp = tp as u64;
+        let h = spec.hidden() as u64;
+        let i = (spec.intermediate() as u64).div_ceil(tp);
+        let v = (spec.vocab() as u64).div_ceil(tp);
+        let qkvw = crate::schedule::qkv_width(spec).div_ceil(tp);
+        let embed = v * h * 2;
+        let lm_head = v * h * 2;
+        let norm = h * 2;
+        let inv_freq = (spec.head_dim() as u64 / 2) * 4;
+        let fixed = embed + lm_head + spec.layers() as u64 * (2 * norm + inv_freq);
+        let remaining = (spec.param_bytes() / tp).saturating_sub(fixed).max(1);
+        // Split the remaining bytes across layers in proportion to each
+        // projection's element count.
+        let units = [h * qkvw, h * h, 2 * h * i, h * i];
+        let unit_total: u64 = units.iter().sum::<u64>() * spec.layers() as u64;
+        let per_unit = remaining as f64 / unit_total as f64;
+        let part = |u: u64| ((u as f64 * per_unit) as u64).max(256);
+        LayerByteSplit {
+            embed,
+            lm_head,
+            norm,
+            inv_freq: inv_freq.max(4),
+            qkv: part(units[0]),
+            o: part(units[1]),
+            gate_up: part(units[2]),
+            down: part(units[3]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::build_catalog;
+    use medusa_gpu::{CostModel, GpuSpec};
+
+    fn init(seed: u64) -> (ProcessRuntime, ModelInstance) {
+        let spec = ModelSpec::by_name("Qwen1.5-0.5B").unwrap();
+        let mut rt = ProcessRuntime::new(
+            build_catalog(&spec),
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            seed,
+        );
+        let inst = ModelInstance::initialize(&mut rt, &spec).unwrap();
+        (rt, inst)
+    }
+
+    #[test]
+    fn structure_init_allocates_all_tensors_deterministically() {
+        let (rt1, inst1) = init(1);
+        let (rt2, inst2) = init(2);
+        // Same tensor count / names / sizes; different addresses.
+        let t1 = inst1.weight_tensors();
+        let t2 = inst2.weight_tensors();
+        assert_eq!(t1.len(), t2.len());
+        assert_eq!(t1.len(), 2 + 7 * 24 + 1);
+        for (a, b) in t1.iter().zip(&t2) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.bytes(), b.bytes());
+        }
+        assert_ne!(t1[0].ptr(), t2[0].ptr(), "ASLR: different processes, different addrs");
+        // Allocation sequence indices are identical (determinism Medusa
+        // relies on).
+        let seq1: Vec<u64> =
+            t1.iter().map(|t| rt1.memory().containing(t.ptr().addr()).unwrap().seq()).collect();
+        let seq2: Vec<u64> =
+            t2.iter().map(|t| rt2.memory().containing(t.ptr().addr()).unwrap().seq()).collect();
+        assert_eq!(seq1, seq2);
+    }
+
+    #[test]
+    fn weight_bytes_close_to_table1_size() {
+        let (_, inst) = init(3);
+        let spec = inst.spec().clone();
+        let total = inst.weight_bytes();
+        let target = spec.param_bytes();
+        let ratio = total as f64 / target as f64;
+        assert!((0.95..1.05).contains(&ratio), "weight bytes {total} vs table {target}");
+    }
+
+    #[test]
+    fn structure_cost_matches_calibration() {
+        let spec = ModelSpec::by_name("Qwen1.5-4B").unwrap();
+        let mut rt = ProcessRuntime::new(
+            build_catalog(&spec),
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            5,
+        );
+        let t0 = rt.now();
+        let _ = ModelInstance::initialize(&mut rt, &spec).unwrap();
+        let secs = rt.now().since(t0).as_secs_f64();
+        // Paper Fig. 8a: 0.85 s for Qwen1.5 4B.
+        assert!((0.70..1.00).contains(&secs), "structure init {secs}s out of band");
+    }
+
+    #[test]
+    fn workspace_is_idempotent_and_labeled() {
+        let (mut rt, mut inst) = init(4);
+        inst.ensure_workspace(&mut rt).unwrap();
+        let first = inst.workspace().unwrap().ids;
+        inst.ensure_workspace(&mut rt).unwrap();
+        assert_eq!(inst.workspace().unwrap().ids, first);
+        let labels = inst.labeled_buffers();
+        assert!(labels.iter().any(|(n, _)| n == "ws.logits"));
+        assert!(labels.iter().any(|(n, _)| n == "w.layers.0.qkv_proj"));
+    }
+
+    #[test]
+    fn magic_buffers_allocated_once_with_contents() {
+        let (mut rt, mut inst) = init(5);
+        inst.ensure_magic_buffers(&mut rt).unwrap();
+        assert_eq!(inst.magic_buffers().len(), 24);
+        let (a, _) = inst.magic_buffers()[3];
+        assert_eq!(rt.memory().read_digest(a.addr()).unwrap(), magic_digest(3, 0));
+        let before = rt.memory().stats().total_allocations;
+        inst.ensure_magic_buffers(&mut rt).unwrap();
+        assert_eq!(rt.memory().stats().total_allocations, before, "idempotent");
+    }
+
+    #[test]
+    fn graph_scratch_release_frees_everything() {
+        let (mut rt, mut inst) = init(6);
+        let p = rt.cuda_malloc(512, medusa_gpu::AllocTag::Workspace).unwrap();
+        inst.register_graph_scratch(p);
+        assert_eq!(inst.graph_scratch().len(), 1);
+        let live_before = rt.memory().stats().live_allocations;
+        inst.release_graph_scratch(&mut rt).unwrap();
+        assert_eq!(rt.memory().stats().live_allocations, live_before - 1);
+        assert!(inst.graph_scratch().is_empty());
+    }
+}

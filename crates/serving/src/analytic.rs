@@ -1,0 +1,166 @@
+//! Closed-form estimates of serving-step durations.
+//!
+//! [`PerfModel`](crate::PerfModel) *measures* durations by driving the real
+//! simulated stack; this module derives the same quantities analytically
+//! from the cost model, making the performance structure inspectable:
+//!
+//! * eager decode is CPU-launch-bound
+//!   (`kernels × eager_launch_cpu_ns`, the overhead CUDA graphs remove);
+//! * graph decode is GPU-bound: streaming the weights once per token
+//!   (`param_bytes / mem_bandwidth`), the attention KV reads, and the
+//!   fixed per-kernel cost;
+//! * prefill is bound by GEMM FLOPs (`2 · params · tokens`) plus the
+//!   prompt-attention reads.
+//!
+//! Unit tests cross-validate every estimate against the measured stack
+//! within a tolerance band — if the substrate's timing semantics drift,
+//! these tests catch it.
+
+use medusa_gpu::{CostModel, SimDuration};
+use medusa_model::{schedule, ModelSpec};
+
+/// Nodes in the decode graph serving `batch` (batch rounded up to the next
+/// captured size).
+fn graph_nodes(spec: &ModelSpec, batch: u32) -> u64 {
+    let sizes = ModelSpec::capture_batch_sizes();
+    let gi = sizes.iter().position(|&b| b >= batch).unwrap_or(sizes.len() - 1);
+    schedule::nodes_for_graph(spec, gi)
+}
+
+/// GPU time of one decode step: weights streamed once (or the GEMM FLOPs
+/// when batch amortizes them), the paged-attention KV reads (which scale
+/// with batch × context), and the fixed per-kernel cost.
+fn decode_gpu_time(spec: &ModelSpec, cost: &CostModel, batch: u32, nodes: u64) -> f64 {
+    let weights = spec.param_bytes() as f64 / cost.mem_bandwidth;
+    let flops = schedule::decode_step_flops(spec, batch as u64) / cost.effective_flops;
+    let attn_bytes = spec.layers() as f64
+        * schedule::attention_work(spec, batch as u64, medusa_model::capture_ctx_len() as u64)
+            .bytes;
+    let attn = attn_bytes / cost.mem_bandwidth;
+    let fixed = nodes as f64 * cost.kernel_fixed_gpu_ns as f64 / 1e9;
+    weights.max(flops) + attn + fixed
+}
+
+/// Estimated duration of one **graph-replayed** decode step at `batch`.
+pub fn graph_decode_estimate(spec: &ModelSpec, cost: &CostModel, batch: u32) -> SimDuration {
+    let nodes = graph_nodes(spec, batch);
+    let gpu = decode_gpu_time(spec, cost, batch, nodes);
+    let cpu = (cost.graph_launch_cpu_ns + cost.sync_ns) as f64 / 1e9;
+    SimDuration::from_secs_f64(gpu + cpu)
+}
+
+/// Estimated duration of one **eager** decode step at `batch` (the
+/// `w/o CUDA GRAPH` serving path; also vLLM warm-up forwarding).
+pub fn eager_decode_estimate(spec: &ModelSpec, cost: &CostModel, batch: u32) -> SimDuration {
+    // Eager forwarding launches the structural schedule (no split-K
+    // auxiliaries) and allocates/frees its temporaries each step.
+    let kernels = schedule::base_nodes_per_graph(spec);
+    let cpu_launch = kernels as f64 * cost.eager_launch_cpu_ns as f64 / 1e9;
+    let temps = 16 + 2 * spec.layers() as u64; // activations + magic pairs
+    let alloc = temps as f64 * (cost.malloc_ns + cost.free_ns) as f64 / 1e9;
+    let gpu = decode_gpu_time(spec, cost, batch, kernels);
+    let sync = cost.sync_ns as f64 / 1e9;
+    SimDuration::from_secs_f64(cpu_launch.max(gpu) + alloc + sync)
+}
+
+/// Estimated duration of an eager prefill of `batch × tokens_per_seq`.
+pub fn prefill_estimate(
+    spec: &ModelSpec,
+    cost: &CostModel,
+    batch: u32,
+    tokens_per_seq: u32,
+) -> SimDuration {
+    let kernels = schedule::base_nodes_per_graph(spec);
+    let cpu_launch = kernels as f64 * cost.eager_launch_cpu_ns as f64 / 1e9;
+    let tokens = batch as u64 * tokens_per_seq as u64;
+    let flops = 2.0 * spec.param_count() as f64 * tokens as f64 / cost.effective_flops;
+    let weights = spec.param_bytes() as f64 / cost.mem_bandwidth;
+    // Prompt attention reads grow with tokens × context — the dominant
+    // term for long prompts on small models.
+    let attn_bytes = spec.layers() as f64
+        * schedule::attention_work(spec, tokens, (tokens_per_seq as u64 / 2).max(1)).bytes;
+    let attn = attn_bytes / cost.mem_bandwidth;
+    let fixed = kernels as f64 * cost.kernel_fixed_gpu_ns as f64 / 1e9;
+    let gpu = flops.max(weights) + attn + fixed;
+    SimDuration::from_secs_f64(cpu_launch.max(gpu) + cost.sync_ns as f64 / 1e9)
+}
+
+/// The analytic CUDA-graph decode speedup at `batch` (Figure 3's quantity).
+pub fn graph_speedup_estimate(spec: &ModelSpec, cost: &CostModel, batch: u32) -> f64 {
+    eager_decode_estimate(spec, cost, batch).as_secs_f64()
+        / graph_decode_estimate(spec, cost, batch).as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PerfModel;
+    use medusa::Strategy;
+    use medusa_gpu::GpuSpec;
+
+    fn within(measured: SimDuration, estimate: SimDuration, tol: f64) -> bool {
+        let m = measured.as_secs_f64();
+        let e = estimate.as_secs_f64();
+        (e / m - 1.0).abs() <= tol
+    }
+
+    #[test]
+    fn estimates_track_measurements() {
+        let spec = ModelSpec::by_name("Qwen1.5-0.5B").unwrap();
+        let cost = CostModel::default();
+        let vanilla =
+            PerfModel::measure(Strategy::Vanilla, &spec, GpuSpec::a100_40gb(), cost.clone(), None, 81)
+                .unwrap();
+        let nograph = PerfModel::measure(
+            Strategy::NoCudaGraph,
+            &spec,
+            GpuSpec::a100_40gb(),
+            cost.clone(),
+            None,
+            82,
+        )
+        .unwrap();
+        for batch in [1u32, 8, 64, 256] {
+            let g_est = graph_decode_estimate(&spec, &cost, batch);
+            let g_meas = vanilla.decode_duration(batch);
+            assert!(
+                within(g_meas, g_est, 0.20),
+                "graph decode b={batch}: est {g_est} vs meas {g_meas}"
+            );
+            let e_est = eager_decode_estimate(&spec, &cost, batch);
+            let e_meas = nograph.decode_duration(batch);
+            assert!(
+                within(e_meas, e_est, 0.20),
+                "eager decode b={batch}: est {e_est} vs meas {e_meas}"
+            );
+        }
+        for tokens in [64u32, 161, 1024] {
+            let p_est = prefill_estimate(&spec, &cost, 1, tokens);
+            let p_meas = vanilla.prefill_duration(tokens);
+            assert!(
+                within(p_meas, p_est, 0.25),
+                "prefill t={tokens}: est {p_est} vs meas {p_meas}"
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_estimate_reproduces_figure3_shape() {
+        let cost = CostModel::default();
+        let q4 = ModelSpec::by_name("Qwen1.5-4B").unwrap();
+        let l13 = ModelSpec::by_name("Llama2-13B").unwrap();
+        let s_q4 = graph_speedup_estimate(&q4, &cost, 1);
+        let s_l13 = graph_speedup_estimate(&l13, &cost, 1);
+        assert!((1.8..3.2).contains(&s_q4), "Qwen4B analytic speedup {s_q4}");
+        assert!(s_l13 < s_q4, "bigger models are memory-bound: {s_l13} !< {s_q4}");
+    }
+
+    #[test]
+    fn graph_decode_grows_with_batch_via_flops() {
+        let cost = CostModel::default();
+        let spec = ModelSpec::by_name("Llama2-7B").unwrap();
+        let d1 = graph_decode_estimate(&spec, &cost, 1);
+        let d256 = graph_decode_estimate(&spec, &cost, 256);
+        assert!(d256 > d1);
+    }
+}

@@ -1,0 +1,46 @@
+//! # medusa-serving
+//!
+//! Discrete-event serverless serving cluster simulator for the Medusa
+//! (ASPLOS'25) reproduction — the substrate behind the paper's application
+//! trace experiments (Figures 10 and 11).
+//!
+//! Performance numbers come from *measured* runs of the real pipelines and
+//! forward passes ([`PerfModel::measure`]); the simulator replays them at
+//! queueing scale: Poisson arrivals, a global queue, reactive scale-up with
+//! cold starts, iteration-level batched serving, and TTFT tail metrics.
+//!
+//! ## Example
+//!
+//! ```rust,no_run
+//! use medusa::Strategy;
+//! use medusa_gpu::{CostModel, GpuSpec};
+//! use medusa_model::ModelSpec;
+//! use medusa_serving::{simulate, ClusterConfig, PerfModel};
+//! use medusa_workload::TraceConfig;
+//!
+//! # fn main() -> Result<(), medusa::MedusaError> {
+//! let spec = ModelSpec::by_name("Qwen1.5-4B").expect("catalog model");
+//! let perf = PerfModel::measure(
+//!     Strategy::Vanilla,
+//!     &spec,
+//!     GpuSpec::a100_40gb(),
+//!     CostModel::default(),
+//!     None,
+//!     1,
+//! )?;
+//! let trace = TraceConfig::sharegpt(2.0, 60.0).with_seed(1).generate();
+//! let result = simulate(&perf, &ClusterConfig::default(), &trace);
+//! println!("p99 TTFT: {}", result.ttft_quantile(0.99));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+mod params;
+mod sim;
+
+pub use params::PerfModel;
+pub use sim::{simulate, ClusterConfig, SimResult};

@@ -1,0 +1,482 @@
+//! Discrete-event serverless serving cluster simulator (paper §7.5).
+//!
+//! Models the paper's testbed: a pool of GPUs hosting serving instances of
+//! one model, a warm container pool (runtime init eliminated — launching an
+//! instance costs exactly the loading phase), a global request queue, and
+//! reactive scale-up. Requests arrive per the workload trace; each instance
+//! serves with iteration-level scheduling (one prefill or one batched
+//! decode step per iteration) using the measured [`PerfModel`] durations.
+//!
+//! The metric of interest is the **time to first token** (TTFT): queueing
+//! delay + any cold start the request waits behind + its prefill.
+
+use crate::params::PerfModel;
+use medusa_gpu::SimDuration;
+use medusa_workload::Request;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Cluster configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of GPUs (each hosts at most one instance).
+    pub gpus: usize,
+    /// Maximum concurrently running sequences per instance.
+    pub max_running: u32,
+    /// Horizon after the last arrival at which the simulation stops, in
+    /// seconds (drains stragglers).
+    pub drain_s: f64,
+    /// Keep-alive: an instance idle for this long is torn down, freeing its
+    /// GPU (serverless scale-down — the reason cold starts recur under
+    /// bursty load).
+    pub keep_alive_s: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        // The paper's trace experiments use 4 × A100.
+        ClusterConfig { gpus: 4, max_running: 32, drain_s: 600.0, keep_alive_s: 60.0 }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-request TTFT, in arrival order of completion of the first token.
+    pub ttfts: Vec<SimDuration>,
+    /// Fully completed requests.
+    pub completed: usize,
+    /// Total requests in the trace.
+    pub offered: usize,
+    /// Instants instances finished cold starts.
+    pub cold_starts: Vec<u64>,
+    /// Time of the last completion (ns).
+    pub makespan_ns: u64,
+}
+
+impl SimResult {
+    /// The `q`-quantile of TTFT (e.g. 0.99), or zero when empty.
+    pub fn ttft_quantile(&self, q: f64) -> SimDuration {
+        if self.ttfts.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut v = self.ttfts.clone();
+        v.sort_unstable();
+        let idx = ((v.len() as f64 - 1.0) * q).round() as usize;
+        v[idx]
+    }
+
+    /// Mean TTFT.
+    pub fn ttft_mean(&self) -> SimDuration {
+        if self.ttfts.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u64 = self.ttfts.iter().map(|d| d.as_nanos()).sum();
+        SimDuration::from_nanos(sum / self.ttfts.len() as u64)
+    }
+
+    /// Achieved throughput in completed requests per second.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.makespan_ns as f64 / 1e9)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    Arrival(usize),
+    InstanceReady(usize),
+    /// Kick an idle instance; ignored when it is mid-iteration.
+    TryStart(usize),
+    /// The instance's current iteration finished.
+    IterationEnd(usize),
+    /// Keep-alive expiry check.
+    IdleCheck(usize),
+}
+
+#[derive(Debug)]
+struct RunningSeq {
+    remaining: u32,
+    kv_reserved: u64,
+}
+
+#[derive(Debug, Default)]
+struct Instance {
+    ready: bool,
+    busy: bool,
+    retired: bool,
+    pending: VecDeque<usize>,
+    running: Vec<RunningSeq>,
+    kv_tokens: u64,
+    idle_since: Option<u64>,
+}
+
+impl Instance {
+    fn load(&self) -> usize {
+        self.pending.len() + self.running.len()
+    }
+
+    fn accepts(&self, max_running: u32) -> bool {
+        self.ready && !self.retired && self.load() < max_running as usize
+    }
+}
+
+/// Worst-case KV reservation of a request (prompt + all output tokens).
+fn kv_need(r: &Request) -> u64 {
+    r.prompt_tokens as u64 + r.output_tokens as u64
+}
+
+/// Simulates `trace` against a cluster serving with `perf`.
+pub fn simulate(perf: &PerfModel, cluster: &ClusterConfig, trace: &[Request]) -> SimResult {
+    let mut events: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut push = |events: &mut BinaryHeap<Reverse<(u64, u64, Event)>>, t: u64, e: Event| {
+        events.push(Reverse((t, seq, e)));
+        seq += 1;
+    };
+    for (i, r) in trace.iter().enumerate() {
+        push(&mut events, r.arrival_ns, Event::Arrival(i));
+    }
+
+    let horizon = trace.last().map_or(0, |r| r.arrival_ns) + (cluster.drain_s * 1e9) as u64;
+    let mut instances: Vec<Instance> = Vec::new();
+    let mut cold_starting = 0usize;
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut result = SimResult {
+        ttfts: Vec::new(),
+        completed: 0,
+        offered: trace.len(),
+        cold_starts: Vec::new(),
+        makespan_ns: 0,
+    };
+
+    while let Some(Reverse((t, _, ev))) = events.pop() {
+        if t > horizon {
+            break;
+        }
+        match ev {
+            Event::Arrival(r) => {
+                queue.push_back(r);
+                dispatch(
+                    t, perf, cluster, trace, &mut instances, &mut cold_starting, &mut queue,
+                    &mut events, &mut seq,
+                );
+            }
+            Event::InstanceReady(i) => {
+                instances[i].ready = true;
+                cold_starting -= 1;
+                result.cold_starts.push(t);
+                dispatch(
+                    t, perf, cluster, trace, &mut instances, &mut cold_starting, &mut queue,
+                    &mut events, &mut seq,
+                );
+            }
+            Event::TryStart(i) => {
+                if instances[i].busy {
+                    continue;
+                }
+                pull_queue(&mut instances[i], perf, cluster, trace, &mut queue);
+                run_iteration(t, i, perf, trace, cluster, &mut instances, &mut result, &mut events, &mut seq);
+            }
+            Event::IterationEnd(i) => {
+                instances[i].busy = false;
+                pull_queue(&mut instances[i], perf, cluster, trace, &mut queue);
+                run_iteration(t, i, perf, trace, cluster, &mut instances, &mut result, &mut events, &mut seq);
+            }
+            Event::IdleCheck(i) => {
+                let inst = &mut instances[i];
+                if !inst.retired
+                    && !inst.busy
+                    && inst.pending.is_empty()
+                    && inst.running.is_empty()
+                    && inst
+                        .idle_since
+                        .is_some_and(|since| t.saturating_sub(since) >= (cluster.keep_alive_s * 1e9) as u64)
+                {
+                    // Keep-alive expired: tear the instance down, freeing
+                    // its GPU for a future (cold-started) replacement.
+                    inst.retired = true;
+                    inst.ready = false;
+                }
+            }
+        }
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    t: u64,
+    perf: &PerfModel,
+    cluster: &ClusterConfig,
+    trace: &[Request],
+    instances: &mut Vec<Instance>,
+    cold_starting: &mut usize,
+    queue: &mut VecDeque<usize>,
+    events: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
+    seq: &mut u64,
+) {
+    // Hand queued requests to ready instances with spare capacity (both
+    // batch slots and KV blocks).
+    while let Some(&r) = queue.front() {
+        let need = kv_need(&trace[r]);
+        let target = instances
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, inst)| {
+                inst.accepts(cluster.max_running)
+                    && inst.kv_tokens + need <= perf.kv_capacity_tokens
+            })
+            .min_by_key(|(_, inst)| inst.load());
+        match target {
+            Some((i, inst)) => {
+                inst.kv_tokens += need;
+                inst.idle_since = None;
+                inst.pending.push_back(queue.pop_front().expect("checked front"));
+                if !inst.busy {
+                    events.push(Reverse((t, *seq, Event::TryStart(i))));
+                    *seq += 1;
+                }
+            }
+            None => break,
+        }
+    }
+    // Reactive scale-up: unplaced work beyond what already-launching
+    // instances will absorb, and spare GPUs → launch an instance (its cold
+    // start is the loading phase; warm container pool, §7.5).
+    let live = instances.iter().filter(|i| !i.retired).count();
+    let mut live_now = live;
+    while live_now < cluster.gpus
+        && queue.len() > *cold_starting * cluster.max_running as usize
+    {
+        instances.push(Instance { ready: false, ..Instance::default() });
+        *cold_starting += 1;
+        live_now += 1;
+        let ready_at = t + perf.loading.as_nanos();
+        events.push(Reverse((ready_at, *seq, Event::InstanceReady(instances.len() - 1))));
+        *seq += 1;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_iteration(
+    t: u64,
+    i: usize,
+    perf: &PerfModel,
+    trace: &[Request],
+    cluster: &ClusterConfig,
+    instances: &mut [Instance],
+    result: &mut SimResult,
+    events: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
+    seq: &mut u64,
+) {
+    let inst = &mut instances[i];
+    if let Some(r) = inst.pending.pop_front() {
+        // Prefill iteration: produces the request's first token.
+        let dur = perf.prefill_duration(trace[r].prompt_tokens).as_nanos();
+        let end = t + dur;
+        result.ttfts.push(SimDuration::from_nanos(end - trace[r].arrival_ns));
+        if trace[r].output_tokens > 1 {
+            inst.running
+                .push(RunningSeq { remaining: trace[r].output_tokens - 1, kv_reserved: kv_need(&trace[r]) });
+        } else {
+            inst.kv_tokens = inst.kv_tokens.saturating_sub(kv_need(&trace[r]));
+            result.completed += 1;
+            result.makespan_ns = result.makespan_ns.max(end);
+        }
+        inst.busy = true;
+        events.push(Reverse((end, *seq, Event::IterationEnd(i))));
+        *seq += 1;
+    } else if !inst.running.is_empty() {
+        // Batched decode iteration.
+        let dur = perf.decode_duration(inst.running.len() as u32).as_nanos();
+        let end = t + dur;
+        for s in &mut inst.running {
+            s.remaining -= 1;
+        }
+        let before = inst.running.len();
+        let released: u64 =
+            inst.running.iter().filter(|s| s.remaining == 0).map(|s| s.kv_reserved).sum();
+        inst.running.retain(|s| s.remaining > 0);
+        let finished = before - inst.running.len();
+        if finished > 0 {
+            inst.kv_tokens = inst.kv_tokens.saturating_sub(released);
+            result.completed += finished;
+            result.makespan_ns = result.makespan_ns.max(end);
+        }
+        inst.busy = true;
+        events.push(Reverse((end, *seq, Event::IterationEnd(i))));
+        *seq += 1;
+    } else if inst.ready && !inst.retired {
+        // Idle: start the keep-alive countdown.
+        inst.idle_since = Some(t);
+        let check_at = t + (cluster.keep_alive_s * 1e9) as u64;
+        events.push(Reverse((check_at, *seq, Event::IdleCheck(i))));
+        *seq += 1;
+    }
+}
+
+fn pull_queue(
+    inst: &mut Instance,
+    perf: &PerfModel,
+    cluster: &ClusterConfig,
+    trace: &[Request],
+    queue: &mut VecDeque<usize>,
+) {
+    if inst.retired {
+        return;
+    }
+    while inst.load() < cluster.max_running as usize {
+        match queue.front() {
+            Some(&r) if inst.kv_tokens + kv_need(&trace[r]) <= perf.kv_capacity_tokens => {
+                inst.kv_tokens += kv_need(&trace[r]);
+                inst.idle_since = None;
+                inst.pending.push_back(queue.pop_front().expect("checked front"));
+            }
+            _ => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medusa::Strategy;
+
+    fn perf(loading_ms: u64) -> PerfModel {
+        PerfModel::from_tables(
+            Strategy::Vanilla,
+            "toy",
+            SimDuration::from_millis(loading_ms),
+            vec![1, 8, 32],
+            vec![
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(6),
+                SimDuration::from_millis(8),
+            ],
+            vec![(100, SimDuration::from_millis(20)), (200, SimDuration::from_millis(40))],
+        )
+    }
+
+    fn req(id: u64, arrival_ms: u64, prompt: u32, output: u32) -> Request {
+        Request { id, arrival_ns: arrival_ms * 1_000_000, prompt_tokens: prompt, output_tokens: output }
+    }
+
+    #[test]
+    fn single_request_ttft_is_coldstart_plus_prefill() {
+        let trace = vec![req(0, 0, 100, 3)];
+        let r = simulate(&perf(1000), &ClusterConfig::default(), &trace);
+        assert_eq!(r.ttfts.len(), 1);
+        // 1000 ms cold start + 20 ms prefill.
+        assert_eq!(r.ttfts[0], SimDuration::from_millis(1020));
+        assert_eq!(r.completed, 1);
+        // 2 more tokens → two decode steps of 5 ms.
+        assert_eq!(r.makespan_ns, (1020 + 10) * 1_000_000);
+        assert_eq!(r.cold_starts.len(), 1);
+    }
+
+    #[test]
+    fn warm_instance_serves_second_request_without_cold_start() {
+        let trace = vec![req(0, 0, 100, 1), req(1, 5000, 100, 1)];
+        let r = simulate(&perf(1000), &ClusterConfig::default(), &trace);
+        assert_eq!(r.ttfts.len(), 2);
+        assert_eq!(r.ttfts[0], SimDuration::from_millis(1020));
+        // Second arrives at 5 s: instance is warm and idle → just prefill.
+        assert_eq!(r.ttfts[1], SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn burst_triggers_scale_up_to_gpu_limit() {
+        // 200 simultaneous long requests with capacity 32/instance.
+        let trace: Vec<Request> = (0..200).map(|i| req(i, 0, 100, 50)).collect();
+        let cfg = ClusterConfig { gpus: 4, max_running: 32, drain_s: 600.0, keep_alive_s: 60.0 };
+        let r = simulate(&perf(500), &cfg, &trace);
+        assert_eq!(r.cold_starts.len(), 4, "scale-up must stop at the GPU count");
+        assert_eq!(r.completed, 200);
+    }
+
+    #[test]
+    fn faster_cold_start_lowers_tail_ttft() {
+        let trace: Vec<Request> =
+            (0..120).map(|i| req(i, i * 30, 150, 40)).collect();
+        let cfg = ClusterConfig::default();
+        let slow = simulate(&perf(3000), &cfg, &trace);
+        let fast = simulate(&perf(800), &cfg, &trace);
+        assert!(
+            fast.ttft_quantile(0.99) < slow.ttft_quantile(0.99),
+            "p99 {} !< {}",
+            fast.ttft_quantile(0.99),
+            slow.ttft_quantile(0.99)
+        );
+        assert!(fast.ttft_mean() <= slow.ttft_mean());
+    }
+
+    #[test]
+    fn decode_batching_shares_iterations() {
+        // Two requests prefilled back to back then decoded as a batch.
+        let trace = vec![req(0, 0, 100, 10), req(1, 0, 100, 10)];
+        let r = simulate(&perf(100), &ClusterConfig::default(), &trace);
+        assert_eq!(r.completed, 2);
+        // Both decode in the same batch: 9 steps of batch-2 decode (6 ms)
+        // after the second prefill. If decode were serialized per request
+        // the makespan would be ~45 ms later.
+        let expected_end = 100 + 20 + 20 + 9 * 6;
+        assert_eq!(r.makespan_ns, expected_end * 1_000_000);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let trace: Vec<Request> = (0..50).map(|i| req(i, i * 100, 100, 5)).collect();
+        let r = simulate(&perf(1000), &ClusterConfig::default(), &trace);
+        assert!(r.ttft_quantile(0.5) <= r.ttft_quantile(0.9));
+        assert!(r.ttft_quantile(0.9) <= r.ttft_quantile(0.99));
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn keep_alive_expiry_forces_a_second_cold_start() {
+        // Two requests 30 s apart with a 10 s keep-alive: the instance
+        // retires between them and the second pays a fresh cold start.
+        let trace = vec![req(0, 0, 100, 1), req(1, 30_000, 100, 1)];
+        let cfg = ClusterConfig { keep_alive_s: 10.0, ..ClusterConfig::default() };
+        let r = simulate(&perf(1000), &cfg, &trace);
+        assert_eq!(r.cold_starts.len(), 2, "scale-down must force a second cold start");
+        assert_eq!(r.ttfts[1], SimDuration::from_millis(1020), "second request pays cold start");
+        // With a long keep-alive the instance survives the gap.
+        let warm = simulate(&perf(1000), &ClusterConfig::default(), &trace);
+        assert_eq!(warm.cold_starts.len(), 1);
+        assert_eq!(warm.ttfts[1], SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn kv_capacity_bounds_concurrent_admission() {
+        // Each request needs 150 KV tokens; capacity 300 → two at a time
+        // per instance, the rest queue or scale out.
+        let p = perf(100).with_kv_capacity(300);
+        let trace: Vec<Request> = (0..8).map(|i| req(i, 0, 100, 50)).collect();
+        let cfg = ClusterConfig { gpus: 1, max_running: 32, drain_s: 600.0, keep_alive_s: 60.0 };
+        let r = simulate(&p, &cfg, &trace);
+        assert_eq!(r.completed, 8, "everything eventually completes");
+        // With only 2 concurrent, the last admissions wait for releases:
+        // TTFTs must spread out instead of all being ~cold+prefill.
+        let spread = r.ttfts.iter().max().unwrap().as_nanos()
+            - r.ttfts.iter().min().unwrap().as_nanos();
+        assert!(spread > SimDuration::from_millis(200).as_nanos(), "admission must serialize");
+        // Unlimited capacity: everything admitted at once.
+        let r2 = simulate(&perf(100), &cfg, &trace);
+        assert!(
+            r2.ttfts.iter().max().unwrap() < r.ttfts.iter().max().unwrap(),
+            "kv pressure must raise tail TTFT"
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let r = simulate(&perf(1000), &ClusterConfig::default(), &[]);
+        assert_eq!(r.ttfts.len(), 0);
+        assert_eq!(r.ttft_quantile(0.99), SimDuration::ZERO);
+        assert_eq!(r.throughput(), 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! # medusa-workload
+//!
+//! ShareGPT-like synthetic workload traces for the Medusa (ASPLOS'25)
+//! reproduction's serving experiments (paper §7.5).
+//!
+//! The paper replays the ShareGPT dataset with Poisson request arrivals.
+//! The evaluation consumes only two aspects of the dataset — the prompt and
+//! output *length distributions* (average 161 prompt / 338 output tokens,
+//! §2.2) — so this crate generates length samples from a log-normal fit to
+//! those means plus a seeded Poisson arrival process.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use medusa_workload::TraceConfig;
+//!
+//! let trace = TraceConfig::sharegpt(2.0, 60.0).with_seed(7).generate();
+//! assert!(!trace.is_empty());
+//! let avg_prompt: f64 =
+//!     trace.iter().map(|r| r.prompt_tokens as f64).sum::<f64>() / trace.len() as f64;
+//! assert!((100.0..230.0).contains(&avg_prompt));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Mean ShareGPT prompt length in tokens (paper §2.2).
+pub const SHAREGPT_MEAN_PROMPT: f64 = 161.0;
+/// Mean ShareGPT output length in tokens (paper §2.2).
+pub const SHAREGPT_MEAN_OUTPUT: f64 = 338.0;
+
+/// One inference request of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Monotonic request id.
+    pub id: u64,
+    /// Arrival time in nanoseconds since trace start.
+    pub arrival_ns: u64,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u32,
+    /// Output length in tokens.
+    pub output_tokens: u32,
+}
+
+/// A seeded log-normal sampler for token lengths.
+#[derive(Debug, Clone)]
+pub struct LengthSampler {
+    mu: f64,
+    sigma: f64,
+    min: u32,
+    max: u32,
+}
+
+impl LengthSampler {
+    /// A sampler whose distribution has the given arithmetic `mean`, with
+    /// shape `sigma` and clamped to `[min, max]`.
+    pub fn new(mean: f64, sigma: f64, min: u32, max: u32) -> Self {
+        assert!(mean > 0.0 && sigma > 0.0 && min <= max);
+        // E[lognormal(mu, sigma)] = exp(mu + sigma^2 / 2).
+        let mu = mean.ln() - sigma * sigma / 2.0;
+        LengthSampler { mu, sigma, min, max }
+    }
+
+    /// The ShareGPT prompt-length sampler.
+    pub fn sharegpt_prompt() -> Self {
+        LengthSampler::new(SHAREGPT_MEAN_PROMPT, 0.9, 4, 2048)
+    }
+
+    /// The ShareGPT output-length sampler.
+    pub fn sharegpt_output() -> Self {
+        LengthSampler::new(SHAREGPT_MEAN_OUTPUT, 0.8, 4, 2048)
+    }
+
+    /// Draws one length.
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        // Box-Muller standard normal.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (self.mu + self.sigma * z).exp();
+        (v.round() as u64).clamp(self.min as u64, self.max as u64) as u32
+    }
+}
+
+/// The request arrival pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// Homogeneous Poisson arrivals at the configured rate.
+    Poisson,
+    /// Bursty arrivals: a square-wave-modulated Poisson process. The paper
+    /// motivates serverless serving with traffic "fluctuating by 10-20
+    /// times within a 30-second window" (§1, citing Mooncake) — this
+    /// pattern reproduces that shape while keeping the configured rate as
+    /// the long-run average.
+    Bursty {
+        /// Peak-to-trough rate ratio (10–20 per the paper).
+        factor: f64,
+        /// Burst cycle length in seconds (~30 per the paper).
+        period_s: f64,
+        /// Fraction of each cycle spent at the peak rate, in `(0, 1)`.
+        duty: f64,
+    },
+}
+
+impl ArrivalPattern {
+    /// The paper's motivating burstiness: 15× swings on a 30 s cycle.
+    pub fn sharegpt_bursty() -> Self {
+        ArrivalPattern::Bursty { factor: 15.0, period_s: 30.0, duty: 0.2 }
+    }
+
+    /// Instantaneous rate multiplier at time `t` (mean 1.0 over a cycle).
+    fn multiplier(&self, t: f64) -> f64 {
+        match *self {
+            ArrivalPattern::Poisson => 1.0,
+            ArrivalPattern::Bursty { factor, period_s, duty } => {
+                // Peak and trough chosen so the cycle average is 1.0.
+                let mean = duty * factor + (1.0 - duty);
+                let phase = (t / period_s).fract();
+                let raw = if phase < duty { factor } else { 1.0 };
+                raw / mean
+            }
+        }
+    }
+}
+
+/// Configuration of a synthetic trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Mean requests per second of the arrival process.
+    pub rps: f64,
+    /// Trace duration in seconds.
+    pub duration_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Arrival pattern.
+    pub pattern: ArrivalPattern,
+    /// Prompt-length distribution.
+    pub prompt: LengthSampler,
+    /// Output-length distribution.
+    pub output: LengthSampler,
+}
+
+impl TraceConfig {
+    /// A ShareGPT-shaped trace at `rps` requests/s for `duration_s` seconds
+    /// (the paper's §7.5 setting).
+    pub fn sharegpt(rps: f64, duration_s: f64) -> Self {
+        TraceConfig {
+            rps,
+            duration_s,
+            seed: 0,
+            pattern: ArrivalPattern::Poisson,
+            prompt: LengthSampler::sharegpt_prompt(),
+            output: LengthSampler::sharegpt_output(),
+        }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the arrival pattern (builder style).
+    pub fn with_pattern(mut self, pattern: ArrivalPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Generates the trace: (possibly modulated) Poisson arrivals with
+    /// per-request sampled lengths, sorted by arrival time.
+    ///
+    /// Non-homogeneous arrivals use Lewis–Shedler thinning against the
+    /// pattern's peak rate.
+    pub fn generate(&self) -> Vec<Request> {
+        assert!(self.rps > 0.0 && self.duration_s > 0.0);
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xa076_1d64_78bd_642f);
+        let peak_multiplier = match self.pattern {
+            ArrivalPattern::Poisson => 1.0,
+            ArrivalPattern::Bursty { factor, duty, .. } => {
+                factor / (duty * factor + (1.0 - duty))
+            }
+        };
+        let peak_rate = self.rps * peak_multiplier;
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        let mut id = 0u64;
+        loop {
+            // Candidate arrival at the peak rate...
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / peak_rate;
+            if t >= self.duration_s {
+                break;
+            }
+            // ...thinned by the instantaneous rate multiplier.
+            let accept: f64 = rng.gen_range(0.0..1.0);
+            if accept >= self.pattern.multiplier(t) / peak_multiplier {
+                continue;
+            }
+            out.push(Request {
+                id,
+                arrival_ns: (t * 1e9) as u64,
+                prompt_tokens: self.prompt.sample(&mut rng),
+                output_tokens: self.output.sample(&mut rng),
+            });
+            id += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let a = TraceConfig::sharegpt(5.0, 30.0).with_seed(1).generate();
+        let b = TraceConfig::sharegpt(5.0, 30.0).with_seed(1).generate();
+        let c = TraceConfig::sharegpt(5.0, 30.0).with_seed(2).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrival_rate_approximates_rps() {
+        let trace = TraceConfig::sharegpt(10.0, 120.0).with_seed(3).generate();
+        let rate = trace.len() as f64 / 120.0;
+        assert!((8.0..12.0).contains(&rate), "rate {rate} too far from 10 rps");
+        assert!(trace.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+    }
+
+    #[test]
+    fn length_means_match_sharegpt() {
+        let trace = TraceConfig::sharegpt(50.0, 120.0).with_seed(4).generate();
+        let n = trace.len() as f64;
+        let p: f64 = trace.iter().map(|r| r.prompt_tokens as f64).sum::<f64>() / n;
+        let o: f64 = trace.iter().map(|r| r.output_tokens as f64).sum::<f64>() / n;
+        assert!((130.0..200.0).contains(&p), "prompt mean {p}");
+        assert!((280.0..410.0).contains(&o), "output mean {o}");
+    }
+
+    #[test]
+    fn lengths_respect_clamps() {
+        let s = LengthSampler::new(100.0, 2.0, 16, 64);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = s.sample(&mut rng);
+            assert!((16..=64).contains(&v));
+        }
+    }
+
+    #[test]
+    fn higher_rps_means_more_requests() {
+        let low = TraceConfig::sharegpt(2.0, 60.0).with_seed(5).generate();
+        let high = TraceConfig::sharegpt(10.0, 60.0).with_seed(5).generate();
+        assert!(high.len() > low.len() * 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rps_rejected() {
+        TraceConfig::sharegpt(0.0, 1.0).generate();
+    }
+
+    #[test]
+    fn bursty_pattern_preserves_mean_rate() {
+        let base = TraceConfig::sharegpt(10.0, 300.0).with_seed(8);
+        let poisson = base.clone().generate();
+        let bursty =
+            base.with_pattern(ArrivalPattern::sharegpt_bursty()).generate();
+        let r_p = poisson.len() as f64 / 300.0;
+        let r_b = bursty.len() as f64 / 300.0;
+        assert!((r_b / r_p - 1.0).abs() < 0.2, "mean rate must be preserved: {r_p} vs {r_b}");
+    }
+
+    #[test]
+    fn bursty_pattern_fluctuates_by_the_paper_factor() {
+        let trace = TraceConfig::sharegpt(5.0, 300.0)
+            .with_seed(9)
+            .with_pattern(ArrivalPattern::Bursty { factor: 15.0, period_s: 30.0, duty: 0.2 })
+            .generate();
+        // Count arrivals per 6-second bucket; peak buckets must dwarf
+        // trough buckets (paper §1: 10-20x within 30 s).
+        let mut buckets = [0u32; 50];
+        for r in &trace {
+            buckets[(r.arrival_ns as f64 / 6e9) as usize] += 1;
+        }
+        let peak = *buckets.iter().max().unwrap() as f64;
+        let trough_avg = buckets
+            .iter()
+            .filter(|&&b| b > 0)
+            .map(|&b| b as f64)
+            .fold(f64::INFINITY, f64::min);
+        assert!(peak / trough_avg.max(1.0) >= 5.0, "peak {peak} vs trough {trough_avg}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # medusa-repro
+//!
+//! Umbrella crate of the reproduction of **Medusa: Accelerating Serverless
+//! LLM Inference with Materialization** (ASPLOS'25). Re-exports every layer
+//! of the stack so the examples and integration tests have one import root:
+//!
+//! * [`gpu`] — simulated GPU / CUDA driver substrate,
+//! * [`graph`] — CUDA graph capture and replay,
+//! * [`model`] — the ten Table-1 models, kernel schedules, forwarding,
+//! * [`kvcache`] — PagedAttention-style KV cache and profiling,
+//! * [`core`] — Medusa itself: materialization, restoration, pipelines,
+//! * [`workload`] — ShareGPT-like traces,
+//! * [`serving`] — the discrete-event serving cluster simulator.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use medusa as core;
+pub use medusa_gpu as gpu;
+pub use medusa_graph as graph;
+pub use medusa_kvcache as kvcache;
+pub use medusa_model as model;
+pub use medusa_serving as serving;
+pub use medusa_workload as workload;

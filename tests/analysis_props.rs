@@ -1,0 +1,296 @@
+//! Property-based end-to-end check of the materialization pipeline: for
+//! *randomized* allocation/free/launch programs, the artifact produced by
+//! the analysis stage must restore in a fresh process (different ASLR,
+//! different allocator jitter) to a graph whose replay writes exactly the
+//! same buffer contents as the original captured graph.
+//!
+//! This is the paper's core correctness claim (§4) quantified over the
+//! space of control flows, not just the LLM schedule.
+
+use medusa::{analyze, replay_allocations, restore_graph, CaptureOutput, GraphWindow, KernelInfo};
+use medusa_graph::{capture_graph, GraphExec};
+use medusa_gpu::{
+    AllocTag, CostClass, CostModel, DevicePtr, Digest, DigestState, GpuSpec, KernelDef,
+    KernelSig, LibraryCatalog, LibrarySpec, ModuleSpec, ParamKind, ProcessRuntime, Work,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const LIB: &str = "libprop.so";
+
+fn catalog() -> Arc<LibraryCatalog> {
+    use ParamKind::*;
+    LibraryCatalog::new(vec![LibrarySpec::new(
+        LIB,
+        false,
+        vec![ModuleSpec::new(
+            "ops",
+            vec![
+                KernelDef::new("copy2", true, KernelSig::new(vec![PtrIn, PtrOut]), CostClass::MemoryBound),
+                KernelDef::new(
+                    "mix3",
+                    true,
+                    KernelSig::new(vec![PtrIn, PtrIn, PtrOut]),
+                    CostClass::MemoryBound,
+                ),
+                KernelDef::new(
+                    "scaled",
+                    true,
+                    KernelSig::new(vec![PtrIn, Scalar4, PtrOut, Scalar8]),
+                    CostClass::ComputeBound,
+                ),
+            ],
+        )],
+    )])
+}
+
+/// A randomized control-flow program, interpreted identically in the
+/// offline and online processes (Medusa's determinism premise).
+#[derive(Debug, Clone)]
+struct Program {
+    /// Sizes of the natural-prefix ("structure init") allocations.
+    prefix_sizes: Vec<u64>,
+    /// Phase-B ops: `Alloc(size_units)` or `Free(live_index_pick)`.
+    phase_b: Vec<(bool, u64)>,
+    /// Captured launches: (kernel pick, param picks).
+    launches: Vec<(u8, [u64; 3])>,
+}
+
+fn prefix_digest(i: usize) -> Digest {
+    let mut d = DigestState::new("prefix_content");
+    d.absorb_u64(i as u64);
+    d.finish()
+}
+
+fn phase_b_digest(i: usize) -> Digest {
+    let mut d = DigestState::new("phase_b_content");
+    d.absorb_u64(i as u64);
+    d.finish()
+}
+
+struct OfflineResult {
+    artifact: medusa::MaterializedState,
+    /// Digest of every output param's buffer after replaying the captured
+    /// graph offline, keyed by (node, param).
+    reference: HashMap<(usize, usize), Digest>,
+    prefix_count: usize,
+}
+
+/// Runs the program offline: record, capture, analyze, and self-replay for
+/// reference outputs. Returns `None` when the random program degenerates
+/// (no live buffers to launch over).
+fn offline(p: &Program, seed: u64) -> Option<OfflineResult> {
+    let mut rt = ProcessRuntime::new(catalog(), GpuSpec::new("prop-gpu", 1 << 30), CostModel::default(), seed);
+    rt.enable_tracing();
+    rt.dlopen(LIB).unwrap();
+    let kaddrs: Vec<u64> = ["copy2", "mix3", "scaled"]
+        .iter()
+        .map(|n| rt.kernel_address(rt.catalog().find_kernel(LIB, n).unwrap()).unwrap())
+        .collect();
+
+    // Natural prefix.
+    let mut prefix_ptrs = Vec::new();
+    for (i, &size) in p.prefix_sizes.iter().enumerate() {
+        let ptr = rt.cuda_malloc(size, AllocTag::Weights).unwrap();
+        rt.memory_mut().write_digest(ptr.addr(), prefix_digest(i)).unwrap();
+        prefix_ptrs.push(ptr);
+    }
+    let replay_start_pos = rt.trace_len();
+    let stage_start_pos = rt.trace_len();
+
+    // Phase B: allocation churn.
+    let mut live: Vec<DevicePtr> = prefix_ptrs.clone();
+    let prefix_count = prefix_ptrs.len();
+    let mut b_alloc_counter = 0usize;
+    for &(is_alloc, v) in &p.phase_b {
+        if is_alloc || live.len() <= prefix_count {
+            let size = 256 * (1 + v % 8);
+            let ptr = rt.cuda_malloc(size, AllocTag::Activation).unwrap();
+            rt.memory_mut().write_digest(ptr.addr(), phase_b_digest(b_alloc_counter)).unwrap();
+            b_alloc_counter += 1;
+            live.push(ptr);
+        } else {
+            // Free a non-prefix live buffer.
+            let idx = prefix_count + (v as usize % (live.len() - prefix_count));
+            let ptr = live.swap_remove(idx);
+            rt.cuda_free(ptr).unwrap();
+        }
+    }
+    if live.is_empty() {
+        return None;
+    }
+
+    // Warm-up (module load) on a dedicated scratch buffer so it does not
+    // mutate any state the captured graph reads (the real flow's warm-up
+    // writes the persistent workspace, which serving rewrites per step).
+    let pick = |arr: &[DevicePtr], v: u64| arr[v as usize % arr.len()];
+    let warmup_scratch = rt.cuda_malloc(256, AllocTag::Workspace).unwrap();
+    rt.memory_mut().write_digest(warmup_scratch.addr(), [0xaa; 16]).unwrap();
+    rt.launch_kernel(kaddrs[0], &[warmup_scratch.addr(), warmup_scratch.addr()], Work::NONE, 0)
+        .unwrap();
+    let trace_start = rt.trace_len();
+    let live_c = live.clone();
+    let launches = p.launches.clone();
+    let kaddrs_c = kaddrs.clone();
+    let graph = capture_graph(&mut rt, 0, move |rt| {
+        for &(k, picks) in &launches {
+            match k % 3 {
+                0 => rt.launch_kernel(
+                    kaddrs_c[0],
+                    &[pick(&live_c, picks[0]).addr(), pick(&live_c, picks[1]).addr()],
+                    Work::NONE,
+                    0,
+                )?,
+                1 => rt.launch_kernel(
+                    kaddrs_c[1],
+                    &[
+                        pick(&live_c, picks[0]).addr(),
+                        pick(&live_c, picks[1]).addr(),
+                        pick(&live_c, picks[2]).addr(),
+                    ],
+                    Work::NONE,
+                    0,
+                )?,
+                _ => rt.launch_kernel(
+                    kaddrs_c[2],
+                    &[
+                        pick(&live_c, picks[0]).addr(),
+                        picks[1] & 0xffff_ffff,
+                        pick(&live_c, picks[2]).addr(),
+                        picks[1],
+                    ],
+                    Work::NONE,
+                    0,
+                )?,
+            }
+        }
+        Ok(())
+    })
+    .unwrap();
+    let trace_end = rt.trace_len();
+    let capture_end_pos = rt.trace_len();
+
+    // Kernel identities + final contents snapshot.
+    let mut kernel_info = HashMap::new();
+    for (addr, name) in kaddrs.iter().zip(["copy2", "mix3", "scaled"]) {
+        kernel_info.insert(
+            *addr,
+            KernelInfo { name: name.to_string(), library: LIB.into(), exported: true },
+        );
+    }
+    let mut final_contents = HashMap::new();
+    let snapshot: Vec<(u64, u64)> =
+        rt.memory().iter().map(|a| (a.seq(), a.base().addr())).collect();
+    for (sq, addr) in snapshot {
+        final_contents.insert(sq, rt.memory().read_digest(addr).unwrap());
+    }
+
+    let capture = CaptureOutput {
+        model: "prop".into(),
+        gpu: "prop-gpu".into(),
+        rank: 0,
+        tp: 1,
+        trace: rt.take_trace(),
+        replay_start_pos,
+        stage_start_pos,
+        capture_end_pos,
+        windows: vec![GraphWindow { batch: 1, trace_start, trace_end, graph: graph.clone() }],
+        kernel_info,
+        final_contents,
+        final_ptr_tables: HashMap::new(),
+        kv_free_bytes: 0,
+        labels: HashMap::new(),
+        duration: medusa_gpu::SimDuration::ZERO,
+    };
+    let artifact = analyze(&capture, &CostModel::default()).unwrap().state;
+
+    // Reference: self-replay the captured graph offline and read every
+    // output parameter's buffer digest.
+    let exec = GraphExec::instantiate(&mut rt, graph).unwrap();
+    exec.launch(&mut rt, 0).unwrap();
+    rt.device_synchronize().unwrap();
+    let mut reference = HashMap::new();
+    for (ni, node) in exec.graph().iter().enumerate() {
+        for pi in 0..node.params().param_count() {
+            if node.params().size_of(pi) == 8 {
+                let addr = node.params().value(pi);
+                if let Ok(d) = rt.memory().read_digest(addr) {
+                    reference.insert((ni, pi), d);
+                }
+            }
+        }
+    }
+    Some(OfflineResult { artifact, reference, prefix_count })
+}
+
+/// Restores the artifact in a fresh process and replays; returns per-param
+/// buffer digests for comparison.
+fn online(
+    p: &Program,
+    r: &OfflineResult,
+    seed: u64,
+) -> HashMap<(usize, usize), Digest> {
+    let mut rt = ProcessRuntime::new(catalog(), GpuSpec::new("prop-gpu", 1 << 30), CostModel::default(), seed);
+    // Natural prefix with identical control flow + contents (the "weights
+    // loading" equivalent).
+    for (i, &size) in p.prefix_sizes.iter().enumerate() {
+        let ptr = rt.cuda_malloc(size, AllocTag::Weights).unwrap();
+        rt.memory_mut().write_digest(ptr.addr(), prefix_digest(i)).unwrap();
+    }
+    assert_eq!(r.prefix_count, p.prefix_sizes.len());
+    let (layout, _) = replay_allocations(&mut rt, &r.artifact).unwrap();
+    let mut resolver = medusa::KernelResolver::new();
+    resolver.resolve_exported(&mut rt, &r.artifact).unwrap();
+    resolver.ensure_complete(&r.artifact).unwrap();
+    let graph = restore_graph(&r.artifact.graphs[0], &layout, resolver.addrs()).unwrap();
+    let exec = GraphExec::instantiate(&mut rt, graph).unwrap();
+    exec.launch(&mut rt, 0).unwrap();
+    rt.device_synchronize().unwrap();
+    let mut out = HashMap::new();
+    for (ni, node) in exec.graph().iter().enumerate() {
+        for pi in 0..node.params().param_count() {
+            if node.params().size_of(pi) == 8 {
+                let addr = node.params().value(pi);
+                if let Ok(d) = rt.memory().read_digest(addr) {
+                    out.insert((ni, pi), d);
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any random control flow materializes and restores to identical
+    /// observable buffer contents across processes.
+    #[test]
+    fn randomized_programs_roundtrip(
+        prefix_sizes in prop::collection::vec(256u64..4096, 1..4),
+        phase_b in prop::collection::vec((any::<bool>(), any::<u64>()), 0..12),
+        launches in prop::collection::vec((any::<u8>(), [any::<u64>(), any::<u64>(), any::<u64>()]), 1..6),
+        offline_seed in 0u64..1000,
+        online_seed in 1000u64..2000,
+    ) {
+        let program = Program { prefix_sizes, phase_b, launches };
+        let Some(result) = offline(&program, offline_seed) else {
+            return Ok(());
+        };
+        prop_assert_eq!(
+            result.artifact.graphs[0].nodes.len(),
+            program.launches.len()
+        );
+        let restored = online(&program, &result, online_seed);
+        prop_assert_eq!(restored.len(), result.reference.len());
+        for (key, digest) in &result.reference {
+            prop_assert_eq!(
+                restored.get(key),
+                Some(digest),
+                "buffer contents diverged at node/param {:?}",
+                key
+            );
+        }
+    }
+}

