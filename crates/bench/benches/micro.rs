@@ -1,9 +1,21 @@
-//! Criterion micro-benchmarks of the core Medusa mechanisms: what does
-//! materialization/restoration itself cost in wall-clock terms, and the
-//! ablation of trace-based vs naive pointer matching.
+//! Micro-benchmarks of the core Medusa mechanisms: what does
+//! materialization/restoration itself cost in wall-clock terms, the
+//! ablation of trace-based vs naive pointer matching, and the real
+//! multi-core speedup of the parallel cold-start engine.
+//!
+//! Self-contained harness (`harness = false`, no external bench crate —
+//! the build is fully offline): each benchmark runs a timed loop around a
+//! closure and reports the per-iteration mean and median.
+//!
+//! Run with: `cargo bench --bench micro`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use medusa::{analyze, count_naive_mismatches, replay_allocations, restore_graph, KernelResolver};
+use std::time::{Duration, Instant};
+
+use medusa::{
+    analyze, cold_start_tp, count_naive_mismatches, materialize_offline,
+    materialize_offline_tp_with, replay_allocations, restore_graph, ColdStartOptions,
+    KernelResolver, Parallelism, Strategy,
+};
 use medusa_gpu::{AllocTag, CostModel, GpuSpec, ParamBuffer, ProcessRuntime};
 use medusa_model::{build_catalog, ModelSpec};
 
@@ -11,76 +23,109 @@ fn spec() -> ModelSpec {
     ModelSpec::by_name("Qwen1.5-0.5B").expect("catalog model")
 }
 
-fn bench_allocator(c: &mut Criterion) {
-    c.bench_function("allocator_malloc_free_pair", |b| {
-        let mut rt = ProcessRuntime::new(
-            build_catalog(&spec()),
-            GpuSpec::a100_40gb(),
-            CostModel::default(),
-            1,
-        );
-        b.iter(|| {
+/// Times `f` for at least `min_iters` iterations and ~200ms, returning
+/// (mean, median) per-iteration durations.
+fn measure<T>(min_iters: u32, mut f: impl FnMut() -> T) -> (Duration, Duration) {
+    // Warm-up.
+    std::hint::black_box(f());
+    let mut samples = Vec::new();
+    let budget = Duration::from_millis(200);
+    let started = Instant::now();
+    loop {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed());
+        if samples.len() as u32 >= min_iters && started.elapsed() > budget {
+            break;
+        }
+        if samples.len() >= 10_000 {
+            break;
+        }
+    }
+    samples.sort();
+    let total: Duration = samples.iter().sum();
+    (total / samples.len() as u32, samples[samples.len() / 2])
+}
+
+fn report(name: &str, (mean, median): (Duration, Duration)) {
+    println!("{name:<44} mean {mean:>12.3?}   median {median:>12.3?}");
+}
+
+fn bench_allocator() {
+    let mut rt = ProcessRuntime::new(
+        build_catalog(&spec()),
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        1,
+    );
+    report(
+        "allocator_malloc_free_pair",
+        measure(1000, || {
             let p = rt.cuda_malloc(4096, AllocTag::Activation).expect("alloc");
             rt.cuda_free(p).expect("free");
+        }),
+    );
+}
+
+fn bench_param_buffer() {
+    let parts: Vec<(u64, u32)> = (0..8)
+        .map(|i| {
+            (
+                0x0007_2000_0000_0000 + i * 64,
+                if i % 3 == 0 { 4 } else { 8 },
+            )
         })
-    });
+        .collect();
+    report(
+        "param_buffer_from_parts_8",
+        measure(1000, || {
+            ParamBuffer::from_parts(std::hint::black_box(&parts))
+        }),
+    );
 }
 
-fn bench_param_buffer(c: &mut Criterion) {
-    let parts: Vec<(u64, u32)> =
-        (0..8).map(|i| (0x0007_2000_0000_0000 + i * 64, if i % 3 == 0 { 4 } else { 8 })).collect();
-    c.bench_function("param_buffer_from_parts_8", |b| {
-        b.iter(|| ParamBuffer::from_parts(std::hint::black_box(&parts)))
-    });
-}
-
-fn bench_offline_phase(c: &mut Criterion) {
+fn bench_offline_phase() {
     let s = spec();
-    let mut g = c.benchmark_group("offline");
-    g.sample_size(10);
-    g.bench_function("capture_stage_qwen05b_35_graphs", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
+    let mut seed = 0u64;
+    report(
+        "offline/capture_stage_qwen05b_35_graphs",
+        measure(3, || {
             seed += 1;
             medusa::run_offline_capture(&s, GpuSpec::a100_40gb(), CostModel::default(), seed)
                 .expect("capture")
-        })
-    });
+        }),
+    );
     let cap = medusa::run_offline_capture(&s, GpuSpec::a100_40gb(), CostModel::default(), 7)
         .expect("capture");
-    g.bench_function("analysis_stage_qwen05b", |b| {
-        b.iter(|| analyze(&cap, &CostModel::default()).expect("analysis"))
-    });
-    g.bench_function("ablation_naive_matching_scan", |b| {
-        b.iter(|| count_naive_mismatches(&cap))
-    });
-    g.finish();
+    report(
+        "offline/analysis_stage_qwen05b",
+        measure(3, || {
+            analyze(&cap, &CostModel::default()).expect("analysis")
+        }),
+    );
+    report(
+        "offline/ablation_naive_matching_scan",
+        measure(3, || count_naive_mismatches(&cap)),
+    );
 }
 
-fn bench_online_restore(c: &mut Criterion) {
+fn bench_online_restore() {
     let s = spec();
     let (artifact, _) =
-        medusa::materialize_offline(&s, GpuSpec::a100_40gb(), CostModel::default(), 9)
-            .expect("offline");
-    let mut g = c.benchmark_group("online");
-    g.sample_size(10);
-    g.bench_function("replay_allocation_sequence", |b| {
-        b.iter_batched(
-            || {
-                let mut rt = ProcessRuntime::new(
-                    build_catalog(&s),
-                    GpuSpec::a100_40gb(),
-                    CostModel::default(),
-                    123,
-                );
-                let _inst =
-                    medusa_model::ModelInstance::initialize(&mut rt, &s).expect("structure");
-                rt
-            },
-            |mut rt| replay_allocations(&mut rt, &artifact).expect("replay"),
-            BatchSize::LargeInput,
-        )
-    });
+        materialize_offline(&s, GpuSpec::a100_40gb(), CostModel::default(), 9).expect("offline");
+    report(
+        "online/replay_allocation_sequence",
+        measure(3, || {
+            let mut rt = ProcessRuntime::new(
+                build_catalog(&s),
+                GpuSpec::a100_40gb(),
+                CostModel::default(),
+                123,
+            );
+            let _inst = medusa_model::ModelInstance::initialize(&mut rt, &s).expect("structure");
+            replay_allocations(&mut rt, &artifact).expect("replay")
+        }),
+    );
     // One full restore of the largest graph (pointer patching path).
     let mut rt = ProcessRuntime::new(
         build_catalog(&s),
@@ -95,44 +140,54 @@ fn bench_online_restore(c: &mut Criterion) {
     inst.bind_magic(layout.magic_pairs(s.layers()).expect("magic"));
     let kv = layout.kv_view(16).expect("kv");
     let mut resolver = KernelResolver::new();
-    resolver.resolve_exported(&mut rt, &artifact).expect("dlsym path");
+    resolver
+        .resolve_exported(&mut rt, &artifact)
+        .expect("dlsym path");
     for bsz in [1, 8, 64, 256] {
         medusa_model::warmup_first_layer(&mut rt, &mut inst, bsz, &kv).expect("trigger");
     }
-    resolver.resolve_by_enumeration(&mut rt, &artifact).expect("enumeration");
+    resolver
+        .resolve_by_enumeration(&mut rt, &artifact)
+        .expect("enumeration");
     let gspec = artifact.graphs.last().expect("graphs");
-    g.bench_function("restore_graph_largest_batch", |b| {
-        b.iter(|| restore_graph(gspec, &layout, resolver.addrs()).expect("restore"))
-    });
-    g.finish();
+    report(
+        "online/restore_graph_largest_batch",
+        measure(10, || {
+            restore_graph(gspec, &layout, resolver.addrs()).expect("restore")
+        }),
+    );
 }
 
-fn bench_serde(c: &mut Criterion) {
+fn bench_serde() {
     let s = spec();
     let (artifact, _) =
-        medusa::materialize_offline(&s, GpuSpec::a100_40gb(), CostModel::default(), 10)
-            .expect("offline");
+        materialize_offline(&s, GpuSpec::a100_40gb(), CostModel::default(), 10).expect("offline");
     let json = artifact.to_json().expect("encode");
-    let mut g = c.benchmark_group("artifact");
-    g.sample_size(10);
-    g.bench_function("artifact_to_json", |b| b.iter(|| artifact.to_json().expect("encode")));
-    g.bench_function("artifact_from_json", |b| {
-        b.iter(|| medusa::MaterializedState::from_json(&json).expect("decode"))
-    });
-    g.finish();
+    report(
+        "artifact/to_json",
+        measure(3, || artifact.to_json().expect("encode")),
+    );
+    report(
+        "artifact/from_json",
+        measure(3, || {
+            medusa::MaterializedState::from_json(&json).expect("decode")
+        }),
+    );
 }
 
-fn bench_serving_and_workload(c: &mut Criterion) {
+fn bench_serving_and_workload() {
     use medusa_serving::{simulate, ClusterConfig, PerfModel};
     use medusa_workload::TraceConfig;
-    let mut g = c.benchmark_group("serving");
-    g.bench_function("workload_generate_10rps_300s", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
+    let mut seed = 0u64;
+    report(
+        "serving/workload_generate_10rps_300s",
+        measure(3, || {
             seed += 1;
-            TraceConfig::sharegpt(10.0, 300.0).with_seed(seed).generate()
-        })
-    });
+            TraceConfig::sharegpt(10.0, 300.0)
+                .with_seed(seed)
+                .generate()
+        }),
+    );
     let perf = PerfModel::from_tables(
         medusa::Strategy::Vanilla,
         "bench",
@@ -151,29 +206,92 @@ fn bench_serving_and_workload(c: &mut Criterion) {
         ],
     );
     let trace = TraceConfig::sharegpt(10.0, 300.0).with_seed(3).generate();
-    g.bench_function("cluster_sim_3000_requests", |b| {
-        b.iter(|| simulate(&perf, &ClusterConfig::default(), std::hint::black_box(&trace)))
-    });
-    g.finish();
+    report(
+        "serving/cluster_sim_3000_requests",
+        measure(3, || {
+            simulate(
+                &perf,
+                &ClusterConfig::default(),
+                std::hint::black_box(&trace),
+            )
+        }),
+    );
 }
 
-fn bench_tokenizer(c: &mut Criterion) {
+fn bench_tokenizer() {
     use medusa_model::Tokenizer;
     let (tok, _) = Tokenizer::load(32_000, &CostModel::default());
     let text = "the quick brown fox jumps over the lazy dog ".repeat(32);
-    c.bench_function("tokenizer_encode_1p4kb", |b| {
-        b.iter(|| tok.encode(std::hint::black_box(&text)))
-    });
+    report(
+        "tokenizer_encode_1p4kb",
+        measure(100, || tok.encode(std::hint::black_box(&text))),
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_allocator,
-    bench_param_buffer,
-    bench_offline_phase,
-    bench_online_restore,
-    bench_serde,
-    bench_serving_and_workload,
-    bench_tokenizer
-);
-criterion_main!(benches);
+/// Real multi-core wall-clock of the parallel cold-start engine: the same
+/// tp=4 offline+online pipeline, serial vs rank-parallel (ISSUE acceptance:
+/// the pipelined engine must be faster on a multi-core host).
+fn bench_parallel_cold_start() {
+    let s = spec();
+    let gpu = GpuSpec::a100_40gb();
+    let cost = CostModel::default();
+    let tp = 4u32;
+    let run = |mode: Parallelism| {
+        let t0 = Instant::now();
+        let (arts, _) = materialize_offline_tp_with(&s, tp, gpu.clone(), cost.clone(), 31, mode)
+            .expect("tp offline");
+        let opts = ColdStartOptions {
+            seed: 32,
+            warm_container: true,
+            parallelism: mode,
+            ..Default::default()
+        };
+        let cold = cold_start_tp(
+            Strategy::Medusa,
+            &s,
+            tp,
+            gpu.clone(),
+            cost.clone(),
+            Some(&arts),
+            opts,
+        )
+        .expect("tp cold start");
+        (t0.elapsed(), cold.loading())
+    };
+    let (serial_wall, serial_sim) = run(Parallelism::Serial);
+    let (par_wall, par_sim) = run(Parallelism::PipelinedTp);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "parallel_cold_start/tp4_offline_online   serial    {serial_wall:>10.3?} (sim loading {:.3}s)",
+        serial_sim.as_secs_f64()
+    );
+    println!(
+        "parallel_cold_start/tp4_offline_online   pipelined {par_wall:>10.3?} (sim loading {:.3}s)",
+        par_sim.as_secs_f64()
+    );
+    println!(
+        "parallel_cold_start/tp4_offline_online   wall-clock speedup {:.2}x on {cores} core(s)",
+        serial_wall.as_secs_f64() / par_wall.as_secs_f64()
+    );
+    if cores < 2 {
+        println!(
+            "  note: single-core host — rank threads cannot run concurrently, so only the\n  \
+             simulated loading ablation is meaningful here; re-run on a multi-core host\n  \
+             for the wall-clock speedup."
+        );
+    }
+}
+
+fn main() {
+    println!("medusa micro-benchmarks (self-contained harness)\n");
+    bench_allocator();
+    bench_param_buffer();
+    bench_tokenizer();
+    bench_offline_phase();
+    bench_online_restore();
+    bench_serde();
+    bench_serving_and_workload();
+    bench_parallel_cold_start();
+}

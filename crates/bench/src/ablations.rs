@@ -80,8 +80,12 @@ pub fn copy_free() {
             }
         }
         let full_dump: u64 = referenced.values().sum();
-        let copy_free: u64 =
-            out.state.permanent_contents.iter().map(|(seq, _)| sizes[seq]).sum();
+        let copy_free: u64 = out
+            .state
+            .permanent_contents
+            .iter()
+            .map(|(seq, _)| sizes[seq])
+            .sum();
         let cost = common::cost();
         let storage = SimStorage::from_cost_model(&cost);
         let restore_full = storage.pipelined_to_device(full_dump, cost.h2d_bandwidth, 1.0);
@@ -101,7 +105,10 @@ pub fn copy_free() {
 /// Ablation 3: first-layer vs handwritten triggering-kernels (§5.1/§5.2).
 pub fn triggering() {
     println!("### Ablation — first-layer vs handwritten triggering-kernels (paper §5)\n");
-    println!("{:<14} {:>16} {:>16}", "model", "first-layer", "handwritten");
+    println!(
+        "{:<14} {:>16} {:>16}",
+        "model", "first-layer", "handwritten"
+    );
     for name in ABLATION_MODELS {
         let spec = ModelSpec::by_name(name).expect("catalog");
         let (artifact, _) = offline(&spec);
@@ -112,9 +119,15 @@ pub fn triggering() {
                 triggering: mode,
                 ..Default::default()
             };
-            let (_e, r) =
-                cold_start(Strategy::Medusa, &spec, gpu(), common::cost(), Some(&artifact), opts)
-                    .expect("cold start");
+            let (_e, r) = cold_start(
+                Strategy::Medusa,
+                &spec,
+                gpu(),
+                common::cost(),
+                Some(&artifact),
+                opts,
+            )
+            .expect("cold start");
             r.stage(Stage::Capture)
         };
         println!(
@@ -132,7 +145,10 @@ pub fn triggering() {
 /// Ablation 4: the cost of the validation forwarding (§4/§8).
 pub fn validation_cost() {
     println!("### Ablation — validation forwarding cost (paper §4/§8)\n");
-    println!("{:<14} {:>14} {:>16} {:>10}", "model", "no validation", "with validation", "overhead");
+    println!(
+        "{:<14} {:>14} {:>16} {:>10}",
+        "model", "no validation", "with validation", "overhead"
+    );
     for name in ABLATION_MODELS {
         let spec = ModelSpec::by_name(name).expect("catalog");
         let (artifact, _) = offline(&spec);
@@ -143,9 +159,15 @@ pub fn validation_cost() {
                 validate,
                 ..Default::default()
             };
-            let (_e, r) =
-                cold_start(Strategy::Medusa, &spec, gpu(), common::cost(), Some(&artifact), opts)
-                    .expect("cold start");
+            let (_e, r) = cold_start(
+                Strategy::Medusa,
+                &spec,
+                gpu(),
+                common::cost(),
+                Some(&artifact),
+                opts,
+            )
+            .expect("cold start");
             r.loading
         };
         let without = loading(false);
@@ -173,9 +195,21 @@ pub fn mechanism_breakdown() {
     let (_e, asynch) = run_cold(Strategy::VanillaAsync, &spec, None, true);
     let (_e, medusa) = run_cold(Strategy::Medusa, &spec, Some(&artifact), true);
     println!("{:<44} {:>9}", "configuration", "loading");
-    println!("{:<44} {:>8}s", "vanilla vLLM (nothing materialized)", s(vanilla.loading));
-    println!("{:<44} {:>8}s", "+ async weight loading only", s(asynch.loading));
-    println!("{:<44} {:>8}s", "+ KV init + CUDA graph materialization (Medusa)", s(medusa.loading));
+    println!(
+        "{:<44} {:>8}s",
+        "vanilla vLLM (nothing materialized)",
+        s(vanilla.loading)
+    );
+    println!(
+        "{:<44} {:>8}s",
+        "+ async weight loading only",
+        s(asynch.loading)
+    );
+    println!(
+        "{:<44} {:>8}s",
+        "+ KV init + CUDA graph materialization (Medusa)",
+        s(medusa.loading)
+    );
     let kv_gain = vanilla.stage(Stage::KvCacheInit) - medusa.stage(Stage::KvCacheInit);
     let cap_gain = vanilla.stage(Stage::Capture) - medusa.stage(Stage::Capture);
     println!(
@@ -192,11 +226,16 @@ pub fn mechanism_breakdown() {
 pub fn bursty() {
     use medusa_serving::{simulate, ClusterConfig, PerfModel};
     use medusa_workload::{ArrivalPattern, TraceConfig};
-    println!("### Extension — bursty arrivals + keep-alive scale-down (paper §1 motivation)
-");
+    println!(
+        "### Extension — bursty arrivals + keep-alive scale-down (paper §1 motivation)
+"
+    );
     let spec = ModelSpec::by_name("Qwen1.5-4B").expect("catalog");
     let (artifact, _) = offline(&spec);
-    let cfg = ClusterConfig { keep_alive_s: 15.0, ..ClusterConfig::default() };
+    let cfg = ClusterConfig {
+        keep_alive_s: 15.0,
+        ..ClusterConfig::default()
+    };
     let trace = TraceConfig::sharegpt(4.0, 300.0)
         .with_seed(7)
         .with_pattern(ArrivalPattern::sharegpt_bursty())
@@ -206,7 +245,10 @@ pub fn bursty() {
 ",
         trace.len()
     );
-    println!("{:<16} {:>10} {:>10} {:>12}", "strategy", "p99 TTFT", "mean TTFT", "cold starts");
+    println!(
+        "{:<16} {:>10} {:>10} {:>12}",
+        "strategy", "p99 TTFT", "mean TTFT", "cold starts"
+    );
     for strategy in Strategy::ALL {
         let art = (strategy == Strategy::Medusa).then_some(&artifact);
         let perf = PerfModel::measure(
@@ -227,8 +269,10 @@ pub fn bursty() {
             r.cold_starts.len()
         );
     }
-    println!("
-with scale-down, every burst front pays a cold start — Medusa's faster");
+    println!(
+        "
+with scale-down, every burst front pays a cold start — Medusa's faster"
+    );
     println!("loading compounds across the whole trace, not just the first request.");
 }
 
@@ -238,8 +282,10 @@ with scale-down, every burst front pays a cold start — Medusa's faster");
 /// materializes only graphs + one profiled number.
 pub fn checkpoint_baseline() {
     use medusa_gpu::SimStorage;
-    println!("### Baseline — full checkpoint/restore vs Medusa (paper §9)
-");
+    println!(
+        "### Baseline — full checkpoint/restore vs Medusa (paper §9)
+"
+    );
     println!(
         "{:<14} {:>14} {:>14} {:>14} {:>12}",
         "model", "ckpt size", "ckpt restore", "Medusa load", "artifact"
@@ -264,8 +310,10 @@ pub fn checkpoint_baseline() {
             artifact_kib
         );
     }
-    println!("
-checkpoints must carry the KV cache reservation (most of the GPU), so");
+    println!(
+        "
+checkpoints must carry the KV cache reservation (most of the GPU), so"
+    );
     println!("restore is storage-bound; Medusa's artifact is a few MiB of metadata and");
     println!("composes with weight loading instead of duplicating it (paper §9).");
 }

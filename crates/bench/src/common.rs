@@ -68,14 +68,13 @@ where
 {
     let specs = ModelSpec::catalog();
     let mut out: Vec<Option<(ModelSpec, T)>> = specs.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, spec) in out.iter_mut().zip(&specs) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some((spec.clone(), f(spec)));
             });
         }
-    })
-    .expect("model worker panicked");
+    });
     out.into_iter().map(|o| o.expect("filled")).collect()
 }

@@ -34,7 +34,12 @@ pub fn fig1() {
         ("loading", r.loading),
         ("first token", r.stage(Stage::FirstToken)),
     ] {
-        println!("{:<16} {:>9} {:>8}", name, s(d), pct(d.as_secs_f64(), total));
+        println!(
+            "{:<16} {:>9} {:>8}",
+            name,
+            s(d),
+            pct(d.as_secs_f64(), total)
+        );
     }
     let kv = r.stage(Stage::KvCacheInit).as_secs_f64();
     let cap = r.stage(Stage::Capture).as_secs_f64();
@@ -58,8 +63,10 @@ pub fn fig2() {
     let (mut kv_sum, mut cap_sum) = (0.0, 0.0);
     for (spec, r) in &rows {
         let total = r.loading.as_secs_f64();
-        let by: Vec<f64> =
-            LOADING_STAGES.iter().map(|&st| r.stage(st).as_secs_f64()).collect();
+        let by: Vec<f64> = LOADING_STAGES
+            .iter()
+            .map(|&st| r.stage(st).as_secs_f64())
+            .collect();
         kv_sum += by[3] / total;
         cap_sum += by[4] / total;
         println!(
@@ -122,7 +129,10 @@ pub fn table1() {
         let (artifact, _) = offline(spec);
         artifact.total_nodes()
     });
-    println!("{:<14} {:>12} {:>14} {:>14}", "model", "params", "nodes(meas.)", "nodes(paper)");
+    println!(
+        "{:<14} {:>12} {:>14} {:>14}",
+        "model", "params", "nodes(meas.)", "nodes(paper)"
+    );
     let mut total = 0u64;
     for (spec, nodes) in &rows {
         total += nodes;
@@ -158,7 +168,10 @@ pub fn fig7() {
         "{:<14} | {:>8} {:>8} {:>8} {:>7} | {:>8} {:>8} {:>8} {:>7}",
         "model", "vLLM", "+Async", "Medusa", "redu.", "vLLM", "+Async", "Medusa", "redu."
     );
-    println!("{:<14} | {:^34} | {:^34}", "", "loading phase (s)", "cold start (s)");
+    println!(
+        "{:<14} | {:^34} | {:^34}",
+        "", "loading phase (s)", "cold start (s)"
+    );
     let (mut load_red, mut cold_red) = (0.0, 0.0);
     let mut extremes: Vec<(String, f64)> = Vec::new();
     for (spec, [v, a, m]) in &rows {
@@ -231,7 +244,10 @@ pub fn fig9() {
     println!("### Figure 9 — offline phase overhead");
     println!("paper: 39.2s average (capturing ~9.7s + analysis); < 1 minute\n");
     let rows = for_all_models(|spec| offline(spec).1);
-    println!("{:<14} {:>10} {:>10} {:>10}", "model", "capture(s)", "analysis(s)", "total(s)");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "model", "capture(s)", "analysis(s)", "total(s)"
+    );
     let mut total = 0.0;
     for (spec, rep) in &rows {
         total += rep.total().as_secs_f64();
@@ -243,7 +259,10 @@ pub fn fig9() {
             rep.total().as_secs_f64()
         );
     }
-    println!("\naverage offline phase: {:.1}s (paper 39.2s)", total / rows.len() as f64);
+    println!(
+        "\naverage offline phase: {:.1}s (paper 39.2s)",
+        total / rows.len() as f64
+    );
 }
 
 fn perf_models(spec: &ModelSpec) -> Vec<(Strategy, PerfModel)> {
@@ -290,9 +309,20 @@ pub fn fig10() {
                     r.cold_starts.len()
                 );
             }
-            let vllm = p99.iter().find(|(st, _)| *st == Strategy::Vanilla).expect("ran").1;
-            let med = p99.iter().find(|(st, _)| *st == Strategy::Medusa).expect("ran").1;
-            println!("  => Medusa p99 reduction vs vLLM: {:.1}%\n", 100.0 * (1.0 - med / vllm));
+            let vllm = p99
+                .iter()
+                .find(|(st, _)| *st == Strategy::Vanilla)
+                .expect("ran")
+                .1;
+            let med = p99
+                .iter()
+                .find(|(st, _)| *st == Strategy::Medusa)
+                .expect("ran")
+                .1;
+            println!(
+                "  => Medusa p99 reduction vs vLLM: {:.1}%\n",
+                100.0 * (1.0 - med / vllm)
+            );
         }
     }
 }
@@ -313,11 +343,17 @@ pub fn fig11() {
         for rps in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0] {
             let trace = TraceConfig::sharegpt(rps, 120.0).with_seed(17).generate();
             print!("{rps:<6} |");
-            for target in
-                [Strategy::Vanilla, Strategy::VanillaAsync, Strategy::Medusa, Strategy::NoCudaGraph]
-            {
-                let perf =
-                    &perfs.iter().find(|(st, _)| *st == target).expect("measured").1;
+            for target in [
+                Strategy::Vanilla,
+                Strategy::VanillaAsync,
+                Strategy::Medusa,
+                Strategy::NoCudaGraph,
+            ] {
+                let perf = &perfs
+                    .iter()
+                    .find(|(st, _)| *st == target)
+                    .expect("measured")
+                    .1;
                 let r = simulate(perf, &ClusterConfig::default(), &trace);
                 print!(
                     " {:>9.2}qps {:>8.3}s ",

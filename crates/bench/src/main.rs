@@ -20,16 +20,25 @@ fn main() {
         "ablations" => ablations::all(),
         other => {
             eprintln!("unknown experiment `{other}`");
-                eprintln!(
+            eprintln!(
                 "usage: repro <fig1|fig2|fig3|table1|fig7|fig8|fig9|fig10|fig11|ablations|all>"
             );
             std::process::exit(2);
         }
     };
     if what == "all" {
-        for name in
-            ["fig1", "fig2", "fig3", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations"]
-        {
+        for name in [
+            "fig1",
+            "fig2",
+            "fig3",
+            "table1",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "ablations",
+        ] {
             run(name);
             println!("\n{}\n", "=".repeat(78));
         }

@@ -198,7 +198,9 @@ impl MaterializedState {
         self.labels
             .get(name)
             .copied()
-            .ok_or_else(|| MedusaError::MissingLabel { label: name.to_string() })
+            .ok_or_else(|| MedusaError::MissingLabel {
+                label: name.to_string(),
+            })
     }
 
     /// Serializes the artifact (the format a deployment would persist per
@@ -208,8 +210,9 @@ impl MaterializedState {
     ///
     /// Returns [`MedusaError::ArtifactCorrupt`] on encoder failure.
     pub fn to_json(&self) -> MedusaResult<String> {
-        serde_json::to_string(self)
-            .map_err(|e| MedusaError::ArtifactCorrupt { detail: e.to_string() })
+        serde_json::to_string(self).map_err(|e| MedusaError::ArtifactCorrupt {
+            detail: e.to_string(),
+        })
     }
 
     /// Deserializes an artifact, validating the version.
@@ -219,8 +222,10 @@ impl MaterializedState {
     /// Returns [`MedusaError::ArtifactCorrupt`] on decode failure or version
     /// mismatch.
     pub fn from_json(s: &str) -> MedusaResult<Self> {
-        let v: MaterializedState = serde_json::from_str(s)
-            .map_err(|e| MedusaError::ArtifactCorrupt { detail: e.to_string() })?;
+        let v: MaterializedState =
+            serde_json::from_str(s).map_err(|e| MedusaError::ArtifactCorrupt {
+                detail: e.to_string(),
+            })?;
         if v.version != ARTIFACT_VERSION {
             return Err(MedusaError::ArtifactCorrupt {
                 detail: format!("version {} != {}", v.version, ARTIFACT_VERSION),
@@ -243,10 +248,19 @@ mod tests {
             tp: 1,
             kv_free_bytes: 123,
             replay_prefix_allocs: 4,
-            replay_ops: vec![ReplayOp::Malloc { size: 256 }, ReplayOp::Free { alloc_seq: 4 }],
+            replay_ops: vec![
+                ReplayOp::Malloc { size: 256 },
+                ReplayOp::Free { alloc_seq: 4 },
+            ],
             labels: [("kv.key".to_string(), 4u64)].into_iter().collect(),
             permanent_contents: vec![(5, [7; 16])],
-            permanent_ptr_tables: vec![(6, vec![PtrTableEntry { alloc_seq: 4, offset: 0 }])],
+            permanent_ptr_tables: vec![(
+                6,
+                vec![PtrTableEntry {
+                    alloc_seq: 4,
+                    offset: 0,
+                }],
+            )],
             graphs: vec![GraphSpec {
                 batch: 1,
                 nodes: vec![NodeSpec {
@@ -254,8 +268,14 @@ mod tests {
                     library: "l".into(),
                     exported: true,
                     params: vec![
-                        ParamSpec::Const { bytes: vec![1, 0, 0, 0] },
-                        ParamSpec::IndirectPtr { alloc_seq: 4, offset: 16, raw: 99 },
+                        ParamSpec::Const {
+                            bytes: vec![1, 0, 0, 0],
+                        },
+                        ParamSpec::IndirectPtr {
+                            alloc_seq: 4,
+                            offset: 16,
+                            raw: 99,
+                        },
                     ],
                     work: Work::NONE,
                     stream: 0,
@@ -316,6 +336,9 @@ mod tests {
     fn label_lookup() {
         let a = tiny();
         assert_eq!(a.label("kv.key").unwrap(), 4);
-        assert!(matches!(a.label("nope"), Err(MedusaError::MissingLabel { .. })));
+        assert!(matches!(
+            a.label("nope"),
+            Err(MedusaError::MissingLabel { .. })
+        ));
     }
 }

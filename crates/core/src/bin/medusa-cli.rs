@@ -100,9 +100,13 @@ fn models() -> Result<(), String> {
 
 fn materialize(flags: &HashMap<String, String>) -> Result<(), String> {
     let spec = require_model(flags)?;
-    let (artifact, report) =
-        materialize_offline(&spec, GpuSpec::a100_40gb(), CostModel::default(), seed(flags))
-            .map_err(|e| e.to_string())?;
+    let (artifact, report) = materialize_offline(
+        &spec,
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        seed(flags),
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "offline phase: capturing {:.1}s + analysis {:.1}s = {:.1}s (simulated)",
         report.capture.as_secs_f64(),
@@ -128,7 +132,9 @@ fn load_artifact(flags: &HashMap<String, String>) -> Result<Option<MaterializedS
         None => Ok(None),
         Some(path) => {
             let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-            Ok(Some(MaterializedState::from_json(&json).map_err(|e| e.to_string())?))
+            Ok(Some(
+                MaterializedState::from_json(&json).map_err(|e| e.to_string())?,
+            ))
         }
     }
 }
@@ -164,7 +170,10 @@ fn coldstart(flags: &HashMap<String, String>) -> Result<(), String> {
         opts,
     )
     .map_err(|e| e.to_string())?;
-    println!("{} cold start of {} (simulated):", report.strategy, report.model);
+    println!(
+        "{} cold start of {} (simulated):",
+        report.strategy, report.model
+    );
     for span in &report.spans {
         println!(
             "  {:<16} [{:>8.3} .. {:>8.3}]  {:>8.3}s",
@@ -174,14 +183,21 @@ fn coldstart(flags: &HashMap<String, String>) -> Result<(), String> {
             span.duration().as_secs_f64()
         );
     }
-    println!("loading {:.3}s, total {:.3}s", report.loading.as_secs_f64(), report.total.as_secs_f64());
+    println!(
+        "loading {:.3}s, total {:.3}s",
+        report.loading.as_secs_f64(),
+        report.total.as_secs_f64()
+    );
     let _ = Stage::Capture;
     Ok(())
 }
 
 fn inspect(flags: &HashMap<String, String>) -> Result<(), String> {
     let artifact = load_artifact(flags)?.ok_or("--artifact is required")?;
-    println!("artifact <{}, {}> rank {}/{} v{}", artifact.model, artifact.gpu, artifact.rank, artifact.tp, artifact.version);
+    println!(
+        "artifact <{}, {}> rank {}/{} v{}",
+        artifact.model, artifact.gpu, artifact.rank, artifact.tp, artifact.version
+    );
     println!("  kv free bytes: {}", artifact.kv_free_bytes);
     println!(
         "  replay: {} prefix allocs + {} ops; labels {}; permanent contents {}; ptr tables {}",

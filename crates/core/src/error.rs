@@ -1,7 +1,7 @@
 //! Errors of the Medusa materialization/restoration layer.
 
-use medusa_graph::GraphError;
 use medusa_gpu::GpuError;
+use medusa_graph::GraphError;
 use medusa_kvcache::KvCacheInitError;
 use std::fmt;
 
@@ -167,15 +167,37 @@ mod tests {
         let e = MedusaError::from(GpuError::NotCapturing);
         assert!(e.source().is_some());
         let all = vec![
-            MedusaError::UnmatchedPointer { batch: 1, node: 2, param: 3, addr: 4 },
-            MedusaError::ReplayMisaligned { expected: 1, actual: 2 },
+            MedusaError::UnmatchedPointer {
+                batch: 1,
+                node: 2,
+                param: 3,
+                addr: 4,
+            },
+            MedusaError::ReplayMisaligned {
+                expected: 1,
+                actual: 2,
+            },
             MedusaError::ReplayDanglingFree { alloc_seq: 9 },
-            MedusaError::KernelUnresolved { library: "l".into(), kernel: "k".into() },
+            MedusaError::KernelUnresolved {
+                library: "l".into(),
+                kernel: "k".into(),
+            },
             MedusaError::ValidationFailed { batch: 8 },
-            MedusaError::ArtifactMismatch { artifact: "a".into(), target: "b".into() },
-            MedusaError::ArtifactCorrupt { detail: "bad json".into() },
-            MedusaError::MissingLabel { label: "ws.ids".into() },
-            MedusaError::UnmatchedTableEntry { table_seq: 1, index: 2, addr: 3 },
+            MedusaError::ArtifactMismatch {
+                artifact: "a".into(),
+                target: "b".into(),
+            },
+            MedusaError::ArtifactCorrupt {
+                detail: "bad json".into(),
+            },
+            MedusaError::MissingLabel {
+                label: "ws.ids".into(),
+            },
+            MedusaError::UnmatchedTableEntry {
+                table_seq: 1,
+                index: 2,
+                addr: 3,
+            },
         ];
         for e in all {
             assert!(!e.to_string().is_empty());

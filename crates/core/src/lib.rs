@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod artifact;
+mod engine;
 mod error;
 mod offline {
     pub mod analysis;
@@ -71,6 +72,7 @@ pub use artifact::{
     AnalysisStats, GraphSpec, MaterializedState, NodeSpec, ParamSpec, PtrTableEntry, ReplayOp,
     ARTIFACT_VERSION,
 };
+pub use engine::{host_pair, par_map, Lane, NodeId, Schedule, StageGraph};
 pub use error::{MedusaError, MedusaResult};
 pub use offline::analysis::{analyze, count_naive_mismatches, AnalysisOutput};
 pub use offline::capture::{
@@ -83,7 +85,10 @@ pub use online::validate::{
 };
 pub use pipeline::{
     cold_start, materialize_offline, materialize_offline_sharded, ColdStartOptions,
-    ColdStartReport, OfflineReport, ReadyEngine, Stage, StageSpan, Strategy, TriggeringMode,
+    ColdStartReport, OfflineReport, Parallelism, ReadyEngine, Stage, StageSpan, Strategy,
+    TriggeringMode,
 };
-pub use tp::{cold_start_tp, materialize_offline_tp, TpArtifacts, TpColdStart};
+pub use tp::{
+    cold_start_tp, materialize_offline_tp, materialize_offline_tp_with, TpArtifacts, TpColdStart,
+};
 pub use trace::{AllocEvent, TraceWalker};

@@ -50,7 +50,11 @@ pub fn analyze(capture: &CaptureOutput, cost: &CostModel) -> MedusaResult<Analys
     let mut graphs: Vec<GraphSpec> = capture
         .windows
         .iter()
-        .map(|w| GraphSpec { batch: w.batch, nodes: Vec::new(), edges: Vec::new() })
+        .map(|w| GraphSpec {
+            batch: w.batch,
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        })
         .collect();
     let mut widx = 0usize;
 
@@ -78,12 +82,17 @@ pub fn analyze(capture: &CaptureOutput, cost: &CostModel) -> MedusaResult<Analys
                     }
                 }
             }
-            TraceEvent::Launch { kernel_addr, params } => {
+            TraceEvent::Launch {
+                kernel_addr,
+                params,
+            } => {
                 // Advance to the window containing pos, if any.
                 while widx < capture.windows.len() && pos >= capture.windows[widx].trace_end {
                     widx += 1;
                 }
-                let Some(w) = capture.windows.get(widx) else { continue };
+                let Some(w) = capture.windows.get(widx) else {
+                    continue;
+                };
                 if pos < w.trace_start {
                     continue; // warm-up launch outside any capture
                 }
@@ -149,7 +158,12 @@ pub fn analyze(capture: &CaptureOutput, cost: &CostModel) -> MedusaResult<Analys
     // Copy edges and check node counts.
     for (g, w) in graphs.iter_mut().zip(&capture.windows) {
         debug_assert_eq!(g.nodes.len(), w.graph.node_count());
-        g.edges = w.graph.edges().iter().map(|&(s, d)| (s as u32, d as u32)).collect();
+        g.edges = w
+            .graph
+            .edges()
+            .iter()
+            .map(|&(s, d)| (s as u32, d as u32))
+            .collect();
     }
 
     // Buffer-role classification over every referenced allocation (§4.3).
@@ -246,8 +260,7 @@ pub fn count_naive_mismatches(capture: &CaptureOutput) -> u64 {
     let mut widx = 0usize;
     for (pos, ev) in capture.trace.iter().enumerate() {
         match ev {
-            TraceEvent::Alloc { seq, addr, size }
-            | TraceEvent::DeviceAlloc { seq, addr, size } => {
+            TraceEvent::Alloc { seq, addr, size } | TraceEvent::DeviceAlloc { seq, addr, size } => {
                 walker.on_alloc(*seq, *addr, *size)
             }
             TraceEvent::Free { addr, .. } => {
@@ -257,7 +270,9 @@ pub fn count_naive_mismatches(capture: &CaptureOutput) -> u64 {
                 while widx < capture.windows.len() && pos >= capture.windows[widx].trace_end {
                     widx += 1;
                 }
-                let Some(w) = capture.windows.get(widx) else { continue };
+                let Some(w) = capture.windows.get(widx) else {
+                    continue;
+                };
                 if pos < w.trace_start {
                     continue;
                 }
@@ -306,7 +321,10 @@ mod tests {
         // Exported fraction should be in the paper's ballpark (69.2% for
         // Llama2 13B b=1; ours is schedule-wide).
         let frac = out.state.stats.dlsym_restorable_nodes as f64 / out.state.stats.nodes as f64;
-        assert!((0.4..0.8).contains(&frac), "dlsym-restorable fraction {frac}");
+        assert!(
+            (0.4..0.8).contains(&frac),
+            "dlsym-restorable fraction {frac}"
+        );
     }
 
     #[test]
@@ -316,7 +334,10 @@ mod tests {
         // Two 4-byte magic buffers per layer (paper §4.3: each ~9% kernel
         // needs two 4-byte permanent buffers).
         assert_eq!(out.state.stats.permanent_buffers, 2 * spec.layers() as u64);
-        assert_eq!(out.state.permanent_contents.len(), 2 * spec.layers() as usize);
+        assert_eq!(
+            out.state.permanent_contents.len(),
+            2 * spec.layers() as usize
+        );
         // The reshape_and_cache kernels are ~1/10 of nodes — the paper's 9%.
         let reshape_nodes = out
             .state
@@ -326,13 +347,19 @@ mod tests {
             .filter(|n| n.kernel.contains("reshape_and_cache"))
             .count() as f64;
         let frac = reshape_nodes / out.state.stats.nodes as f64;
-        assert!((0.05..0.13).contains(&frac), "permanent-buffer kernel fraction {frac}");
+        assert!(
+            (0.05..0.13).contains(&frac),
+            "permanent-buffer kernel fraction {frac}"
+        );
     }
 
     #[test]
     fn temp_and_param_buffers_are_skipped() {
         let out = analyzed();
-        assert!(out.state.stats.param_buffers > 0, "weights/kv/ws referenced");
+        assert!(
+            out.state.stats.param_buffers > 0,
+            "weights/kv/ws referenced"
+        );
         assert!(out.state.stats.temp_buffers > 0, "graph scratch is temp");
         // Copy-free: permanent contents are tiny compared to weights.
         let content_bytes = out.state.permanent_contents.len() * 16;
@@ -343,11 +370,22 @@ mod tests {
     fn replay_ops_cover_post_structure_allocations() {
         let out = analyzed();
         assert!(out.state.replay_prefix_allocs > 0);
-        let mallocs =
-            out.state.replay_ops.iter().filter(|o| matches!(o, ReplayOp::Malloc { .. })).count();
-        let frees =
-            out.state.replay_ops.iter().filter(|o| matches!(o, ReplayOp::Free { .. })).count();
-        assert!(mallocs > frees, "persistent buffers outlive the replay range");
+        let mallocs = out
+            .state
+            .replay_ops
+            .iter()
+            .filter(|o| matches!(o, ReplayOp::Malloc { .. }))
+            .count();
+        let frees = out
+            .state
+            .replay_ops
+            .iter()
+            .filter(|o| matches!(o, ReplayOp::Free { .. }))
+            .count();
+        assert!(
+            mallocs > frees,
+            "persistent buffers outlive the replay range"
+        );
         assert!(frees > 0, "profiling temporaries must be freed in-replay");
     }
 

@@ -169,7 +169,10 @@ mod tests {
         let mut res = KernelResolver::new();
         res.resolve_exported(&mut rt, &art).unwrap();
         assert!(res.stats().via_dlsym > 0);
-        assert!(res.ensure_complete(&art).is_err(), "hidden GEMMs still missing");
+        assert!(
+            res.ensure_complete(&art).is_err(),
+            "hidden GEMMs still missing"
+        );
         // Enumeration without triggering finds nothing extra: the exported
         // path loaded framework modules, but cuBLAS modules are untouched.
         res.resolve_by_enumeration(&mut rt, &art).unwrap();
@@ -229,7 +232,12 @@ mod tests {
         for p in [k, v, bt] {
             rt.memory_mut().write_digest(p.addr(), [1; 16]).unwrap();
         }
-        let kv = KvView { kcache: k, vcache: v, block_table: bt, block_size: 16 };
+        let kv = KvView {
+            kcache: k,
+            vcache: v,
+            block_table: bt,
+            block_size: 16,
+        };
 
         let mut res = KernelResolver::new();
         res.resolve_exported(&mut rt, &art).unwrap();
@@ -239,7 +247,10 @@ mod tests {
         }
         res.resolve_by_enumeration(&mut rt, &art).unwrap();
         res.ensure_complete(&art).unwrap();
-        assert!(res.stats().via_enumeration > 0, "hidden kernels resolved by enumeration");
+        assert!(
+            res.stats().via_enumeration > 0,
+            "hidden kernels resolved by enumeration"
+        );
         // Paper §5: most kernels resolvable via dlsym (69.2% of nodes for
         // Llama2 13B); at the unique-kernel level both paths must be used.
         assert!(res.stats().via_dlsym >= 10);

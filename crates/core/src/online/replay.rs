@@ -10,8 +10,8 @@
 
 use crate::artifact::{GraphSpec, MaterializedState, ParamSpec, ReplayOp};
 use crate::error::{MedusaError, MedusaResult};
-use medusa_graph::CudaGraph;
 use medusa_gpu::{AllocTag, DevicePtr, ParamBuffer, ProcessRuntime, SimDuration};
+use medusa_graph::CudaGraph;
 use medusa_model::{KvView, Workspace};
 use std::collections::HashMap;
 
@@ -37,7 +37,9 @@ impl ReplayedLayout {
         self.labels
             .get(name)
             .copied()
-            .ok_or_else(|| MedusaError::MissingLabel { label: name.to_string() })
+            .ok_or_else(|| MedusaError::MissingLabel {
+                label: name.to_string(),
+            })
     }
 
     /// The restored KV cache view.
@@ -84,7 +86,10 @@ impl ReplayedLayout {
     pub fn magic_pairs(&self, layers: u32) -> MedusaResult<Vec<(DevicePtr, DevicePtr)>> {
         (0..layers)
             .map(|l| {
-                Ok((self.label(&format!("magic.{l}.a"))?, self.label(&format!("magic.{l}.b"))?))
+                Ok((
+                    self.label(&format!("magic.{l}.a"))?,
+                    self.label(&format!("magic.{l}.b"))?,
+                ))
             })
             .collect()
     }
@@ -133,7 +138,9 @@ pub fn replay_allocations(
             ReplayOp::Free { alloc_seq } => {
                 let ptr = seq_to_ptr
                     .remove(alloc_seq)
-                    .ok_or(MedusaError::ReplayDanglingFree { alloc_seq: *alloc_seq })?;
+                    .ok_or(MedusaError::ReplayDanglingFree {
+                        alloc_seq: *alloc_seq,
+                    })?;
                 rt.cuda_free(ptr)?;
             }
         }
@@ -161,7 +168,9 @@ pub fn replay_allocations(
                 seq_to_ptr
                     .get(&e.alloc_seq)
                     .map(|p| p.offset(e.offset).addr())
-                    .ok_or(MedusaError::ReplayDanglingFree { alloc_seq: e.alloc_seq })
+                    .ok_or(MedusaError::ReplayDanglingFree {
+                        alloc_seq: e.alloc_seq,
+                    })
             })
             .collect::<MedusaResult<Vec<u64>>>()?;
         rt.memory_mut().write_ptr_table(table_ptr.addr(), table)?;
@@ -215,13 +224,17 @@ pub fn restore_graph(
                     buf[..bytes.len()].copy_from_slice(bytes);
                     Ok((u64::from_le_bytes(buf), bytes.len() as u32))
                 }
-                ParamSpec::IndirectPtr { alloc_seq, offset, .. } => {
-                    let base = layout.ptr(*alloc_seq).ok_or(MedusaError::UnmatchedPointer {
-                        batch: gspec.batch,
-                        node: ni,
-                        param: pi,
-                        addr: *alloc_seq,
-                    })?;
+                ParamSpec::IndirectPtr {
+                    alloc_seq, offset, ..
+                } => {
+                    let base = layout
+                        .ptr(*alloc_seq)
+                        .ok_or(MedusaError::UnmatchedPointer {
+                            batch: gspec.batch,
+                            node: ni,
+                            param: pi,
+                            addr: *alloc_seq,
+                        })?;
                     Ok((base.offset(*offset).addr(), 8))
                 }
             })
@@ -283,7 +296,10 @@ mod tests {
         );
         let (layout, d) = replay_allocations(&mut rt, &art).unwrap();
         assert_eq!(layout.ptr(0), Some(a));
-        assert!(layout.ptr(2).is_none(), "freed replay alloc removed from map");
+        assert!(
+            layout.ptr(2).is_none(),
+            "freed replay alloc removed from map"
+        );
         assert!(layout.ptr(3).is_some());
         assert!(d.as_nanos() > 0);
 
@@ -291,7 +307,13 @@ mod tests {
         let mut rt2 = empty_rt();
         rt2.cuda_malloc(256, AllocTag::Weights).unwrap();
         let err = replay_allocations(&mut rt2, &art).unwrap_err();
-        assert!(matches!(err, MedusaError::ReplayMisaligned { expected: 2, actual: 1 }));
+        assert!(matches!(
+            err,
+            MedusaError::ReplayMisaligned {
+                expected: 2,
+                actual: 1
+            }
+        ));
     }
 
     #[test]
@@ -321,6 +343,9 @@ mod tests {
         art.labels.insert("kv.key".into(), 0);
         let (layout, _) = replay_allocations(&mut rt, &art).unwrap();
         assert!(layout.label("kv.key").is_ok());
-        assert!(matches!(layout.label("nope"), Err(MedusaError::MissingLabel { .. })));
+        assert!(matches!(
+            layout.label("nope"),
+            Err(MedusaError::MissingLabel { .. })
+        ));
     }
 }

@@ -10,8 +10,8 @@
 use crate::artifact::{GraphSpec, ParamSpec};
 use crate::error::{MedusaError, MedusaResult};
 use crate::online::replay::{restore_graph, ReplayedLayout};
+use medusa_gpu::{GpuError, ProcessRuntime};
 use medusa_graph::GraphExec;
-use medusa_gpu::{ProcessRuntime, GpuError};
 use medusa_model::{
     capture_ctx_len, decode_step_with_graph, input_digest, run_eager_forward_step, ForwardConfig,
     KvView, ModelInstance,
@@ -28,9 +28,12 @@ pub const VALIDATION_STEP: u64 = 0x5eed_0001;
 ///
 /// Returns a driver error if the KV buffers are stale.
 pub fn reset_kv_state(rt: &mut ProcessRuntime, kv: &KvView) -> MedusaResult<()> {
-    rt.memory_mut().write_digest(kv.kcache.addr(), input_digest("validate_k", 0, 0))?;
-    rt.memory_mut().write_digest(kv.vcache.addr(), input_digest("validate_v", 0, 0))?;
-    rt.memory_mut().write_digest(kv.block_table.addr(), input_digest("validate_bt", 0, 0))?;
+    rt.memory_mut()
+        .write_digest(kv.kcache.addr(), input_digest("validate_k", 0, 0))?;
+    rt.memory_mut()
+        .write_digest(kv.vcache.addr(), input_digest("validate_v", 0, 0))?;
+    rt.memory_mut()
+        .write_digest(kv.block_table.addr(), input_digest("validate_bt", 0, 0))?;
     Ok(())
 }
 
@@ -93,7 +96,10 @@ pub fn validate_and_correct(
     let graph = restore_graph(gspec, layout, kernel_addrs)?;
     let exec = GraphExec::instantiate(rt, graph)?;
     if validate_graph(rt, inst, &exec, gspec.batch, kv)? {
-        return Ok(ValidatedGraph { exec, corrected_params: 0 });
+        return Ok(ValidatedGraph {
+            exec,
+            corrected_params: 0,
+        });
     }
 
     // Candidate false positives: every speculated pointer, tried in order.
@@ -113,13 +119,20 @@ pub fn validate_and_correct(
     let mut corrected = 0usize;
     for (ni, pi) in candidates {
         let original = gspec.nodes[ni].params[pi].clone();
-        let ParamSpec::IndirectPtr { raw, .. } = original else { continue };
-        gspec.nodes[ni].params[pi] = ParamSpec::Const { bytes: raw.to_le_bytes().to_vec() };
+        let ParamSpec::IndirectPtr { raw, .. } = original else {
+            continue;
+        };
+        gspec.nodes[ni].params[pi] = ParamSpec::Const {
+            bytes: raw.to_le_bytes().to_vec(),
+        };
         let graph = restore_graph(gspec, layout, kernel_addrs)?;
         let exec = GraphExec::instantiate(rt, graph)?;
         if validate_graph(rt, inst, &exec, gspec.batch, kv)? {
             corrected += 1;
-            return Ok(ValidatedGraph { exec, corrected_params: corrected });
+            return Ok(ValidatedGraph {
+                exec,
+                corrected_params: corrected,
+            });
         }
         gspec.nodes[ni].params[pi] = original;
     }

@@ -12,17 +12,18 @@
 //!   eager per-kernel launch overhead forever (§7.5's `w/o CUDA GRAPH`).
 
 use crate::artifact::{GraphSpec, MaterializedState};
+use crate::engine::{host_pair, Lane, StageGraph};
 use crate::error::{MedusaError, MedusaResult};
 use crate::offline::analysis::{analyze, AnalysisOutput};
 use crate::online::kernels::KernelResolver;
-use crate::online::replay::{replay_allocations, restore_graph};
+use crate::online::replay::{replay_allocations, restore_graph, ReplayedLayout};
 use crate::online::validate::validate_and_correct;
+use medusa_gpu::{CostModel, GpuSpec, ProcessRuntime, SimDuration, SimStorage, SimTime};
 use medusa_graph::GraphExec;
-use medusa_gpu::{CostModel, GpuSpec, ProcessRuntime, SimDuration, SimTime};
 use medusa_kvcache::{kv_cache_init_stage, KvCache, KvCacheConfig};
 use medusa_model::{
-    build_catalog, capture_decode_graph, capture_first_layer_graph, decode_step_with_graph,
-    load_duration, apply_weights, run_eager_forward_step, run_handwritten_triggers,
+    apply_weights, build_catalog, capture_decode_graph, capture_first_layer_graph,
+    decode_step_with_graph, load_duration, run_eager_forward_step, run_handwritten_triggers,
     warmup_decode, warmup_first_layer, ForwardConfig, KvView, ModelInstance, ModelSpec, Tokenizer,
 };
 use serde::{Deserialize, Serialize};
@@ -43,8 +44,12 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies, in the paper's presentation order.
-    pub const ALL: [Strategy; 4] =
-        [Strategy::Vanilla, Strategy::VanillaAsync, Strategy::Medusa, Strategy::NoCudaGraph];
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Vanilla,
+        Strategy::VanillaAsync,
+        Strategy::Medusa,
+        Strategy::NoCudaGraph,
+    ];
 }
 
 impl fmt::Display for Strategy {
@@ -71,6 +76,52 @@ pub enum TriggeringMode {
     /// batch-size bucketing changes — the maintenance burden that motivated
     /// first-layer triggering.
     Handwritten,
+}
+
+/// How much parallelism the cold-start engine exploits across loading
+/// stages and, at the instance level, across tensor-parallel ranks.
+///
+/// The knob only affects strategies that define asynchronous lanes
+/// ([`Strategy::VanillaAsync`] and [`Strategy::Medusa`]); `Vanilla` and
+/// `NoCudaGraph` are synchronous by definition and ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Parallelism {
+    /// Every stage strictly sequential on a single lane — the lower bound
+    /// that linear-sum accounting assumes. Asynchronous weight lanes
+    /// degenerate to synchronous loads (and therefore see no §7.3
+    /// interference), and tensor-parallel ranks restore one after another
+    /// on exclusive storage.
+    Serial,
+    /// Overlapped restoration stages (Fig. 8b/c): weights stream on the
+    /// storage lane, the tokenizer parses on a host thread, restoration
+    /// occupies the device. Tensor-parallel ranks restore concurrently and
+    /// contend for shared storage bandwidth.
+    #[default]
+    Overlapped,
+    /// [`Parallelism::Overlapped`] plus per-rank weight-stream pipelining
+    /// (§8): ranks stagger their reads so each streams at full sequential
+    /// bandwidth instead of interleaving on the shared link.
+    PipelinedTp,
+}
+
+impl Parallelism {
+    /// All modes, serial first.
+    pub const ALL: [Parallelism; 3] = [
+        Parallelism::Serial,
+        Parallelism::Overlapped,
+        Parallelism::PipelinedTp,
+    ];
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Parallelism::Serial => "serial",
+            Parallelism::Overlapped => "overlapped",
+            Parallelism::PipelinedTp => "overlapped+tp-pipelined",
+        };
+        f.write_str(s)
+    }
 }
 
 /// A loading-phase (or cold-start) stage, paper §2.1.
@@ -136,10 +187,15 @@ pub struct ColdStartReport {
     /// Per-stage spans (may overlap).
     pub spans: Vec<StageSpan>,
     /// Loading-phase duration (structure init through capture/restore,
-    /// including asynchronous tails).
+    /// including asynchronous tails). This is the stage-graph makespan,
+    /// not the linear sum of stage durations.
     pub loading: SimDuration,
     /// Full cold-start duration (runtime init + loading + first token).
     pub total: SimDuration,
+    /// The binding critical path through the loading-phase stage graph:
+    /// the chain of stages whose ends gated each other's starts up to the
+    /// loading end. Replaces linear-sum reasoning about "the slow stage".
+    pub critical_path: Vec<Stage>,
 }
 
 impl ColdStartReport {
@@ -148,6 +204,18 @@ impl ColdStartReport {
         self.spans
             .iter()
             .filter(|s| s.stage == stage)
+            .map(StageSpan::duration)
+            .sum()
+    }
+
+    /// Total loading-phase *work*: the sum of every loading stage's
+    /// duration regardless of overlap (what a strictly serial engine would
+    /// take, and what the linear-sum accounting used to report). Excludes
+    /// runtime init and the first token.
+    pub fn work(&self) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| !matches!(s.stage, Stage::RuntimeInit | Stage::FirstToken))
             .map(StageSpan::duration)
             .sum()
     }
@@ -172,6 +240,9 @@ pub struct ColdStartOptions {
     pub rank: u32,
     /// Tensor-parallel degree (1 for single GPU; §8).
     pub tp: u32,
+    /// How much parallelism the cold-start engine exploits across stages
+    /// and ranks.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ColdStartOptions {
@@ -184,6 +255,7 @@ impl Default for ColdStartOptions {
             triggering: TriggeringMode::FirstLayer,
             rank: 0,
             tp: 1,
+            parallelism: Parallelism::Overlapped,
         }
     }
 }
@@ -239,8 +311,13 @@ impl ReadyEngine {
             }
             None => {
                 let cfg = ForwardConfig::decode(batch, medusa_model::capture_ctx_len());
-                let out =
-                    run_eager_forward_step(&mut self.rt, &mut self.inst, &cfg, Some(&kv), self.step)?;
+                let out = run_eager_forward_step(
+                    &mut self.rt,
+                    &mut self.inst,
+                    &cfg,
+                    Some(&kv),
+                    self.step,
+                )?;
                 Ok(out.duration)
             }
         }
@@ -305,11 +382,26 @@ pub fn materialize_offline_sharded(
     cost: CostModel,
     seed: u64,
 ) -> MedusaResult<(MaterializedState, OfflineReport)> {
-    let capture =
-        crate::offline::capture::run_offline_capture_sharded(spec, rank, tp, gpu, cost.clone(), seed)?;
+    let capture = crate::offline::capture::run_offline_capture_sharded(
+        spec,
+        rank,
+        tp,
+        gpu,
+        cost.clone(),
+        seed,
+    )?;
     let capture_duration = capture.duration;
-    let AnalysisOutput { state, duration: analysis } = analyze(&capture, &cost)?;
-    Ok((state, OfflineReport { capture: capture_duration, analysis }))
+    let AnalysisOutput {
+        state,
+        duration: analysis,
+    } = analyze(&capture, &cost)?;
+    Ok((
+        state,
+        OfflineReport {
+            capture: capture_duration,
+            analysis,
+        },
+    ))
 }
 
 /// Runs a cold start with `strategy`, returning the serving-ready engine
@@ -334,7 +426,11 @@ pub fn cold_start(
     if !opts.warm_container {
         let start = rt.now();
         rt.advance(SimDuration::from_nanos(rt.cost().runtime_init_ns));
-        spans.push(StageSpan { stage: Stage::RuntimeInit, start, end: rt.now() });
+        spans.push(StageSpan {
+            stage: Stage::RuntimeInit,
+            start,
+            end: rt.now(),
+        });
     }
     let loading_start = rt.now();
 
@@ -342,67 +438,263 @@ pub fn cold_start(
     let s0 = rt.now();
     let mut inst = ModelInstance::initialize_sharded(&mut rt, spec, opts.rank, opts.tp)?;
     let structure_end = rt.now();
-    spans.push(StageSpan { stage: Stage::StructureInit, start: s0, end: structure_end });
+    spans.push(StageSpan {
+        stage: Stage::StructureInit,
+        start: s0,
+        end: structure_end,
+    });
 
     let weights_bytes = inst.weight_bytes();
-    let (engine, loading_end) = match strategy {
+    let (engine, loading_end, critical_path) = match strategy {
         Strategy::Vanilla | Strategy::NoCudaGraph => {
+            // Synchronous by definition: the parallelism knob is a no-op.
             // ❷ weights, synchronous.
             let w0 = rt.now();
             medusa_model::load_weights(&mut rt, &inst, 1.0)?;
-            spans.push(StageSpan { stage: Stage::WeightsLoad, start: w0, end: rt.now() });
+            spans.push(StageSpan {
+                stage: Stage::WeightsLoad,
+                start: w0,
+                end: rt.now(),
+            });
             // ❸ tokenizer.
             let t0 = rt.now();
             let (tokenizer, tok_dur) = Tokenizer::load(spec.vocab(), rt.cost());
             rt.advance(tok_dur);
-            spans.push(StageSpan { stage: Stage::TokenizerLoad, start: t0, end: rt.now() });
+            spans.push(StageSpan {
+                stage: Stage::TokenizerLoad,
+                start: t0,
+                end: rt.now(),
+            });
             // ❹ KV cache initialization (profiling forwarding).
             let k0 = rt.now();
             let (kv, _free) = kv_cache_init_stage(&mut rt, &mut inst)?;
             inst.ensure_workspace(&mut rt)?;
-            spans.push(StageSpan { stage: Stage::KvCacheInit, start: k0, end: rt.now() });
+            spans.push(StageSpan {
+                stage: Stage::KvCacheInit,
+                start: k0,
+                end: rt.now(),
+            });
             // ❺ capturing (skipped by NoCudaGraph).
             let graphs = if strategy == Strategy::Vanilla {
                 let c0 = rt.now();
                 let graphs = capture_all_graphs(&mut rt, &mut inst, &kv.view())?;
-                spans.push(StageSpan { stage: Stage::Capture, start: c0, end: rt.now() });
+                spans.push(StageSpan {
+                    stage: Stage::Capture,
+                    start: c0,
+                    end: rt.now(),
+                });
                 graphs
             } else {
                 Vec::new()
             };
             let end = rt.now();
-            (ReadyEngine { rt, inst, kv, tokenizer, graphs, step: 0 }, end)
+            let mut critical = vec![
+                Stage::StructureInit,
+                Stage::WeightsLoad,
+                Stage::TokenizerLoad,
+                Stage::KvCacheInit,
+            ];
+            if strategy == Strategy::Vanilla {
+                critical.push(Stage::Capture);
+            }
+            (
+                ReadyEngine {
+                    rt,
+                    inst,
+                    kv,
+                    tokenizer,
+                    graphs,
+                    step: 0,
+                },
+                end,
+                critical,
+            )
         }
-        Strategy::VanillaAsync => {
-            // ❷ weights on a background lane starting now.
+        Strategy::VanillaAsync if opts.parallelism == Parallelism::Serial => {
+            // Serial mode: the async weights lane degenerates to a
+            // synchronous load — no overlap, hence no §7.3 interference.
             let w0 = rt.now();
-            apply_weights(&mut rt, &inst)?;
-            // ❸ tokenizer on the foreground lane.
+            medusa_model::load_weights(&mut rt, &inst, 1.0)?;
+            spans.push(StageSpan {
+                stage: Stage::WeightsLoad,
+                start: w0,
+                end: rt.now(),
+            });
             let t0 = rt.now();
             let (tokenizer, tok_dur) = Tokenizer::load(spec.vocab(), rt.cost());
             rt.advance(tok_dur);
-            spans.push(StageSpan { stage: Stage::TokenizerLoad, start: t0, end: rt.now() });
-            let profiling_start = rt.now();
-            // ❹ KV cache initialization.
+            spans.push(StageSpan {
+                stage: Stage::TokenizerLoad,
+                start: t0,
+                end: rt.now(),
+            });
             let k0 = rt.now();
             let (kv, _free) = kv_cache_init_stage(&mut rt, &mut inst)?;
             inst.ensure_workspace(&mut rt)?;
-            spans.push(StageSpan { stage: Stage::KvCacheInit, start: k0, end: rt.now() });
-            // Interference (§7.3): profiling forwarding blocks async H2D
-            // copies, stretching the weight load.
-            let plain = load_duration(weights_bytes, rt.cost(), 1.0);
-            let overlaps_profiling = w0 + plain > profiling_start;
-            let slowdown =
-                if overlaps_profiling { rt.cost().h2d_interference_factor } else { 1.0 };
-            let weights_end = w0 + load_duration(weights_bytes, rt.cost(), slowdown);
-            spans.push(StageSpan { stage: Stage::WeightsLoad, start: w0, end: weights_end });
-            // Capture waits for both lanes.
-            rt.advance_to(weights_end);
+            spans.push(StageSpan {
+                stage: Stage::KvCacheInit,
+                start: k0,
+                end: rt.now(),
+            });
             let c0 = rt.now();
             let graphs = capture_all_graphs(&mut rt, &mut inst, &kv.view())?;
-            spans.push(StageSpan { stage: Stage::Capture, start: c0, end: rt.now() });
+            spans.push(StageSpan {
+                stage: Stage::Capture,
+                start: c0,
+                end: rt.now(),
+            });
             let end = rt.now();
-            (ReadyEngine { rt, inst, kv, tokenizer, graphs, step: 0 }, end)
+            let critical = vec![
+                Stage::StructureInit,
+                Stage::WeightsLoad,
+                Stage::TokenizerLoad,
+                Stage::KvCacheInit,
+                Stage::Capture,
+            ];
+            (
+                ReadyEngine {
+                    rt,
+                    inst,
+                    kv,
+                    tokenizer,
+                    graphs,
+                    step: 0,
+                },
+                end,
+                critical,
+            )
+        }
+        Strategy::VanillaAsync => {
+            // ❷ weights on the storage lane starting now.
+            let w0 = rt.now();
+            apply_weights(&mut rt, &inst)?;
+            // ❸ tokenizer on a real host thread while the device runs the
+            // profiling forwarding — the lanes share no state.
+            let vocab = spec.vocab();
+            let tok_cost = rt.cost().clone();
+            let ((tokenizer, tok_dur), kv_out) = host_pair(
+                move || Tokenizer::load(vocab, &tok_cost),
+                || -> MedusaResult<_> {
+                    // ❹ KV cache initialization (profiling forwarding).
+                    let k0 = rt.now();
+                    let (kv, _free) = kv_cache_init_stage(&mut rt, &mut inst)?;
+                    inst.ensure_workspace(&mut rt)?;
+                    Ok((k0, rt.now(), kv))
+                },
+            );
+            let (k0, kv_end, kv) = kv_out?;
+            // Interference (§7.3): the profiling forwarding blocks async
+            // H2D copies, stretching the weight load.
+            let plain = load_duration(weights_bytes, rt.cost(), 1.0);
+            let overlaps_profiling = w0 + plain > k0;
+            let base_slowdown = if overlaps_profiling {
+                rt.cost().h2d_interference_factor
+            } else {
+                1.0
+            };
+            let (w_dur, w_delay) =
+                weights_lane_timing(weights_bytes, rt.cost(), base_slowdown, &opts);
+            // ❺ capture waits for the profiled workspace AND the weights.
+            rt.advance_to(w0 + w_delay + w_dur);
+            let c0 = rt.now();
+            let graphs = capture_all_graphs(&mut rt, &mut inst, &kv.view())?;
+            let cap_dur = rt.now() - c0;
+
+            let mut g = StageGraph::new();
+            let s_n = g.add(Stage::StructureInit, Lane::Device, structure_end - s0, &[]);
+            let w_n = g.add(Stage::WeightsLoad, Lane::Storage, w_dur, &[s_n]);
+            g.set_floor(w_n, w0 + w_delay);
+            let t_n = g.add(Stage::TokenizerLoad, Lane::Host, tok_dur, &[s_n]);
+            let k_n = g.add(Stage::KvCacheInit, Lane::Device, kv_end - k0, &[s_n]);
+            let c_n = g.add(Stage::Capture, Lane::Device, cap_dur, &[k_n, w_n]);
+            let sched = g.schedule(s0);
+            for n in [w_n, t_n, k_n, c_n] {
+                spans.push(sched.span(n));
+            }
+            let end = sched.makespan_end();
+            rt.advance_to(end);
+            (
+                ReadyEngine {
+                    rt,
+                    inst,
+                    kv,
+                    tokenizer,
+                    graphs,
+                    step: 0,
+                },
+                end,
+                sched.critical_path(),
+            )
+        }
+        Strategy::Medusa if opts.parallelism == Parallelism::Serial => {
+            let artifact = artifact.ok_or(MedusaError::ArtifactRequired)?;
+            artifact.check_target(spec.name(), rt.spec().name(), opts.rank, opts.tp)?;
+            // Materialized KV init + allocation replay; the §7.2 reorder
+            // (KV before weights) is kept even when strictly serial.
+            let k0 = rt.now();
+            let (layout, _replay_dur) = replay_allocations(&mut rt, artifact)?;
+            let kv_view = layout.kv_view(16)?;
+            inst.bind_workspace(layout.workspace()?);
+            inst.bind_magic(layout.magic_pairs(spec.layers())?);
+            let config = KvCacheConfig::for_shard(spec, opts.tp);
+            let kv = KvCache::from_restored(
+                config,
+                kv_view.kcache,
+                kv_view.vcache,
+                kv_view.block_table,
+                config.blocks_for(artifact.kv_free_bytes),
+            );
+            spans.push(StageSpan {
+                stage: Stage::KvCacheInit,
+                start: k0,
+                end: rt.now(),
+            });
+            // ❷ weights fully synchronous on the exclusive storage lane.
+            let w0 = rt.now();
+            medusa_model::load_weights(&mut rt, &inst, 1.0)?;
+            spans.push(StageSpan {
+                stage: Stage::WeightsLoad,
+                start: w0,
+                end: rt.now(),
+            });
+            // ❸ tokenizer.
+            let t0 = rt.now();
+            let (tokenizer, tok_dur) = Tokenizer::load(spec.vocab(), rt.cost());
+            rt.advance(tok_dur);
+            spans.push(StageSpan {
+                stage: Stage::TokenizerLoad,
+                start: t0,
+                end: rt.now(),
+            });
+            // ❺ restoration.
+            let c0 = rt.now();
+            let graphs =
+                restore_all_graphs(&mut rt, &mut inst, artifact, &layout, &kv_view, &opts)?;
+            spans.push(StageSpan {
+                stage: Stage::Capture,
+                start: c0,
+                end: rt.now(),
+            });
+            let end = rt.now();
+            let critical = vec![
+                Stage::StructureInit,
+                Stage::KvCacheInit,
+                Stage::WeightsLoad,
+                Stage::TokenizerLoad,
+                Stage::Capture,
+            ];
+            (
+                ReadyEngine {
+                    rt,
+                    inst,
+                    kv,
+                    tokenizer,
+                    graphs,
+                    step: 0,
+                },
+                end,
+                critical,
+            )
         }
         Strategy::Medusa => {
             let artifact = artifact.ok_or(MedusaError::ArtifactRequired)?;
@@ -422,72 +714,55 @@ pub fn cold_start(
                 kv_view.block_table,
                 config.blocks_for(artifact.kv_free_bytes),
             );
-            spans.push(StageSpan { stage: Stage::KvCacheInit, start: k0, end: rt.now() });
+            let kv_end = rt.now();
 
-            // ❷ weights on a background lane (no profiling → no
+            // ❷ weights on the storage lane (no profiling → no
             // interference, Fig. 8c).
             let w0 = rt.now();
             apply_weights(&mut rt, &inst)?;
-            let weights_end = w0 + load_duration(weights_bytes, rt.cost(), 1.0);
-            spans.push(StageSpan { stage: Stage::WeightsLoad, start: w0, end: weights_end });
+            let (w_dur, w_delay) = weights_lane_timing(weights_bytes, rt.cost(), 1.0, &opts);
 
-            // ❸ tokenizer on the foreground lane.
-            let t0 = rt.now();
-            let (tokenizer, tok_dur) = Tokenizer::load(spec.vocab(), rt.cost());
-            rt.advance(tok_dur);
-            spans.push(StageSpan { stage: Stage::TokenizerLoad, start: t0, end: rt.now() });
-
-            // ❺ capture stage replaced by restoration: first-layer
-            // triggering-kernels + per-graph restore (§5.2, §7.3).
+            // ❸ tokenizer on a real host thread, ❺ restoration (first-layer
+            // triggering-kernels + per-graph restore, §5.2/§7.3) on the
+            // device lane — they share no state, so they overlap in
+            // wall-clock too. Simulated spans come from the stage graph,
+            // never from thread timing.
             let c0 = rt.now();
-            let mut resolver = KernelResolver::new();
-            resolver.resolve_exported(&mut rt, artifact)?;
-            let mut gspecs: Vec<GraphSpec> = artifact.graphs.clone();
-            let mut graphs = Vec::with_capacity(gspecs.len());
-            if opts.triggering == TriggeringMode::Handwritten {
-                // §5.1: one curated launch per hidden module, once.
-                run_handwritten_triggers(&mut rt, &mut inst)?;
-                resolver.resolve_by_enumeration(&mut rt, artifact)?;
-                resolver.ensure_complete(artifact)?;
-            }
-            for gspec in &mut gspecs {
-                let batch = gspec.batch;
-                if opts.triggering == TriggeringMode::FirstLayer {
-                    warmup_first_layer(&mut rt, &mut inst, batch, &kv_view)?;
-                    let _first_layer =
-                        capture_first_layer_graph(&mut rt, &mut inst, batch, &kv_view)?;
-                    if resolver.ensure_complete(artifact).is_err() {
-                        resolver.resolve_by_enumeration(&mut rt, artifact)?;
-                    }
-                }
-                let nodes = gspec.nodes.len() as u64;
-                rt.advance(SimDuration::from_nanos(
-                    rt.cost().artifact_load_per_node_ns * nodes,
-                ));
-                let exec = if opts.validate {
-                    validate_and_correct(
-                        &mut rt,
-                        &mut inst,
-                        gspec,
-                        &layout,
-                        resolver.addrs(),
-                        &kv_view,
-                    )?
-                    .exec
-                } else {
-                    let graph = restore_graph(gspec, &layout, resolver.addrs())?;
-                    GraphExec::instantiate(&mut rt, graph)?
-                };
-                rt.advance(SimDuration::from_nanos(rt.cost().node_patch_ns * nodes));
-                graphs.push((batch, exec));
-            }
-            resolver.ensure_complete(artifact)?;
-            spans.push(StageSpan { stage: Stage::Capture, start: c0, end: rt.now() });
+            let vocab = spec.vocab();
+            let tok_cost = rt.cost().clone();
+            let ((tokenizer, tok_dur), graphs) = host_pair(
+                move || Tokenizer::load(vocab, &tok_cost),
+                || restore_all_graphs(&mut rt, &mut inst, artifact, &layout, &kv_view, &opts),
+            );
+            let graphs = graphs?;
+            let cap_dur = rt.now() - c0;
 
-            // Loading ends when both lanes drain.
-            rt.advance_to(weights_end);
-            let end = rt.now();
-            (ReadyEngine { rt, inst, kv, tokenizer, graphs, step: 0 }, end)
+            let mut g = StageGraph::new();
+            let s_n = g.add(Stage::StructureInit, Lane::Device, structure_end - s0, &[]);
+            let k_n = g.add(Stage::KvCacheInit, Lane::Device, kv_end - k0, &[s_n]);
+            let w_n = g.add(Stage::WeightsLoad, Lane::Storage, w_dur, &[k_n]);
+            g.set_floor(w_n, w0 + w_delay);
+            let t_n = g.add(Stage::TokenizerLoad, Lane::Host, tok_dur, &[s_n]);
+            let c_n = g.add(Stage::Capture, Lane::Device, cap_dur, &[k_n]);
+            let sched = g.schedule(s0);
+            for n in [k_n, w_n, t_n, c_n] {
+                spans.push(sched.span(n));
+            }
+            // Loading ends when every lane drains.
+            let end = sched.makespan_end();
+            rt.advance_to(end);
+            (
+                ReadyEngine {
+                    rt,
+                    inst,
+                    kv,
+                    tokenizer,
+                    graphs,
+                    step: 0,
+                },
+                end,
+                sched.critical_path(),
+            )
         }
     };
 
@@ -497,7 +772,11 @@ pub fn cold_start(
     // First token: one eager prefill.
     let f0 = engine.rt.now();
     engine.prefill(1, opts.first_token_prompt)?;
-    spans.push(StageSpan { stage: Stage::FirstToken, start: f0, end: engine.rt.now() });
+    spans.push(StageSpan {
+        stage: Stage::FirstToken,
+        start: f0,
+        end: engine.rt.now(),
+    });
     let total = engine.rt.now() - SimTime::ZERO;
 
     let report = ColdStartReport {
@@ -506,8 +785,91 @@ pub fn cold_start(
         spans,
         loading,
         total,
+        critical_path,
     };
     Ok((engine, report))
+}
+
+/// Interleaved-read efficiency when multiple tensor-parallel ranks stream
+/// their weight shards from shared storage concurrently
+/// ([`Parallelism::Overlapped`]): each rank gets a 1/tp bandwidth share,
+/// and the interleaving itself costs a fraction of peak sequential
+/// throughput. [`Parallelism::PipelinedTp`] avoids both penalties by
+/// staggering the rank streams (§8).
+const TP_CONTENTION_EFFICIENCY: f64 = 0.85;
+
+/// Duration of the weights lane and the extra start delay it suffers,
+/// given the parallelism mode and tensor-parallel geometry in `opts`.
+fn weights_lane_timing(
+    bytes: u64,
+    cost: &CostModel,
+    base_slowdown: f64,
+    opts: &ColdStartOptions,
+) -> (SimDuration, SimDuration) {
+    match opts.parallelism {
+        Parallelism::Overlapped if opts.tp > 1 => {
+            let slowdown = base_slowdown * TP_CONTENTION_EFFICIENCY / opts.tp as f64;
+            (load_duration(bytes, cost, slowdown), SimDuration::ZERO)
+        }
+        Parallelism::PipelinedTp if opts.tp > 1 => {
+            // Ranks stagger by one full sequential read each: rank r waits
+            // for r earlier streams, then reads at full bandwidth.
+            let stream = SimStorage::from_cost_model(cost).read_duration(bytes);
+            (
+                load_duration(bytes, cost, base_slowdown),
+                stream * opts.rank as u64,
+            )
+        }
+        // Serial (ranks restore one after another on exclusive storage)
+        // and single-GPU cases: full bandwidth, no delay.
+        _ => (load_duration(bytes, cost, base_slowdown), SimDuration::ZERO),
+    }
+}
+
+/// Medusa's restoration loop (❺): first-layer triggering-kernels +
+/// per-graph restore, shared by the serial and overlapped paths.
+fn restore_all_graphs(
+    rt: &mut ProcessRuntime,
+    inst: &mut ModelInstance,
+    artifact: &MaterializedState,
+    layout: &ReplayedLayout,
+    kv_view: &KvView,
+    opts: &ColdStartOptions,
+) -> MedusaResult<Vec<(u32, GraphExec)>> {
+    let mut resolver = KernelResolver::new();
+    resolver.resolve_exported(rt, artifact)?;
+    let mut gspecs: Vec<GraphSpec> = artifact.graphs.clone();
+    let mut graphs = Vec::with_capacity(gspecs.len());
+    if opts.triggering == TriggeringMode::Handwritten {
+        // §5.1: one curated launch per hidden module, once.
+        run_handwritten_triggers(rt, inst)?;
+        resolver.resolve_by_enumeration(rt, artifact)?;
+        resolver.ensure_complete(artifact)?;
+    }
+    for gspec in &mut gspecs {
+        let batch = gspec.batch;
+        if opts.triggering == TriggeringMode::FirstLayer {
+            warmup_first_layer(rt, inst, batch, kv_view)?;
+            let _first_layer = capture_first_layer_graph(rt, inst, batch, kv_view)?;
+            if resolver.ensure_complete(artifact).is_err() {
+                resolver.resolve_by_enumeration(rt, artifact)?;
+            }
+        }
+        let nodes = gspec.nodes.len() as u64;
+        rt.advance(SimDuration::from_nanos(
+            rt.cost().artifact_load_per_node_ns * nodes,
+        ));
+        let exec = if opts.validate {
+            validate_and_correct(rt, inst, gspec, layout, resolver.addrs(), kv_view)?.exec
+        } else {
+            let graph = restore_graph(gspec, layout, resolver.addrs())?;
+            GraphExec::instantiate(rt, graph)?
+        };
+        rt.advance(SimDuration::from_nanos(rt.cost().node_patch_ns * nodes));
+        graphs.push((batch, exec));
+    }
+    resolver.ensure_complete(artifact)?;
+    Ok(graphs)
 }
 
 /// The vanilla capturing stage: warm-up + capture + instantiate for all 35
@@ -547,8 +909,15 @@ mod tests {
         art: Option<&MaterializedState>,
         opts: ColdStartOptions,
     ) -> (ReadyEngine, ColdStartReport) {
-        cold_start(strategy, &spec(), GpuSpec::a100_40gb(), CostModel::default(), art, opts)
-            .unwrap()
+        cold_start(
+            strategy,
+            &spec(),
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            art,
+            opts,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -577,14 +946,20 @@ mod tests {
         .map(|&s| r.stage(s))
         .sum();
         let diff = r.loading.as_secs_f64() - sum.as_secs_f64();
-        assert!(diff.abs() < 1e-6, "vanilla stages must tile the loading phase");
+        assert!(
+            diff.abs() < 1e-6,
+            "vanilla stages must tile the loading phase"
+        );
         assert!(r.total > r.loading);
     }
 
     #[test]
     fn strategies_order_matches_figure7() {
         let art = artifact();
-        let opts = ColdStartOptions { seed: 7, ..ColdStartOptions::default() };
+        let opts = ColdStartOptions {
+            seed: 7,
+            ..ColdStartOptions::default()
+        };
         let (_e1, vanilla) = start(Strategy::Vanilla, None, opts);
         let (_e2, asynch) = start(Strategy::VanillaAsync, None, opts);
         let (_e3, medusa) = start(Strategy::Medusa, Some(&art), opts);
@@ -600,8 +975,7 @@ mod tests {
             medusa.loading,
             asynch.loading
         );
-        let reduction =
-            1.0 - medusa.loading.as_secs_f64() / vanilla.loading.as_secs_f64();
+        let reduction = 1.0 - medusa.loading.as_secs_f64() / vanilla.loading.as_secs_f64();
         // Paper Fig. 7: 42.5% average reduction; 21.1% for Qwen1.5 0.5B
         // (the smallest). Accept a generous band around the small-model
         // figure.
@@ -614,7 +988,10 @@ mod tests {
     #[test]
     fn medusa_kv_init_is_materialized_and_capture_shrinks() {
         let art = artifact();
-        let opts = ColdStartOptions { seed: 9, ..ColdStartOptions::default() };
+        let opts = ColdStartOptions {
+            seed: 9,
+            ..ColdStartOptions::default()
+        };
         let (_e1, vanilla) = start(Strategy::Vanilla, None, opts);
         let (_e2, medusa) = start(Strategy::Medusa, Some(&art), opts);
         // Fig. 8: KV init 0.50 s → 0.02 s; capture shrinks but stays
@@ -631,12 +1008,21 @@ mod tests {
     #[test]
     fn restored_graphs_produce_identical_decode_outputs() {
         let art = artifact();
-        let (mut vanilla, _) =
-            start(Strategy::Vanilla, None, ColdStartOptions { seed: 100, ..Default::default() });
+        let (mut vanilla, _) = start(
+            Strategy::Vanilla,
+            None,
+            ColdStartOptions {
+                seed: 100,
+                ..Default::default()
+            },
+        );
         let (mut medusa, _) = start(
             Strategy::Medusa,
             Some(&art),
-            ColdStartOptions { seed: 200, ..Default::default() },
+            ColdStartOptions {
+                seed: 200,
+                ..Default::default()
+            },
         );
         // Same logical decode step on both engines: identical outputs.
         let kv_v = vanilla.kv_view();
@@ -661,7 +1047,10 @@ mod tests {
             77,
         )
         .unwrap();
-        assert_eq!(out_v.output, out_m.output, "restored graph must equal captured graph");
+        assert_eq!(
+            out_v.output, out_m.output,
+            "restored graph must equal captured graph"
+        );
     }
 
     #[test]
@@ -670,7 +1059,11 @@ mod tests {
         let (_e, r) = start(
             Strategy::Medusa,
             Some(&art),
-            ColdStartOptions { seed: 300, validate: true, ..Default::default() },
+            ColdStartOptions {
+                seed: 300,
+                validate: true,
+                ..Default::default()
+            },
         );
         assert!(r.loading.as_nanos() > 0);
     }
@@ -710,7 +1103,10 @@ mod tests {
         let (_e, r) = start(
             Strategy::NoCudaGraph,
             None,
-            ColdStartOptions { warm_container: true, ..Default::default() },
+            ColdStartOptions {
+                warm_container: true,
+                ..Default::default()
+            },
         );
         assert_eq!(r.stage(Stage::RuntimeInit), SimDuration::ZERO);
         assert_eq!(r.stage(Stage::Capture), SimDuration::ZERO);
@@ -718,8 +1114,14 @@ mod tests {
 
     #[test]
     fn engine_decode_uses_graphs_and_rounds_batch_up() {
-        let (mut e, _) =
-            start(Strategy::Vanilla, None, ColdStartOptions { seed: 5, ..Default::default() });
+        let (mut e, _) = start(
+            Strategy::Vanilla,
+            None,
+            ColdStartOptions {
+                seed: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(e.graphs.len(), 35);
         assert_eq!(e.graph_index_for(3).map(|i| e.graphs[i].0), Some(4));
         assert_eq!(e.graph_index_for(256).map(|i| e.graphs[i].0), Some(256));
@@ -733,11 +1135,23 @@ mod tests {
 
     #[test]
     fn no_cuda_graph_engine_decodes_eagerly() {
-        let (mut e, _) =
-            start(Strategy::NoCudaGraph, None, ColdStartOptions { seed: 6, ..Default::default() });
+        let (mut e, _) = start(
+            Strategy::NoCudaGraph,
+            None,
+            ColdStartOptions {
+                seed: 6,
+                ..Default::default()
+            },
+        );
         assert!(e.graphs.is_empty());
-        let (mut g, _) =
-            start(Strategy::Vanilla, None, ColdStartOptions { seed: 6, ..Default::default() });
+        let (mut g, _) = start(
+            Strategy::Vanilla,
+            None,
+            ColdStartOptions {
+                seed: 6,
+                ..Default::default()
+            },
+        );
         let d_eager = e.decode_step(1).unwrap();
         let d_graph = g.decode_step(1).unwrap();
         assert!(
@@ -749,12 +1163,20 @@ mod tests {
     #[test]
     fn handwritten_triggering_restores_identically_to_first_layer() {
         let art = artifact();
-        let base = ColdStartOptions { seed: 400, validate: true, ..Default::default() };
+        let base = ColdStartOptions {
+            seed: 400,
+            validate: true,
+            ..Default::default()
+        };
         let (mut fl, r_fl) = start(Strategy::Medusa, Some(&art), base);
         let (mut hw, r_hw) = start(
             Strategy::Medusa,
             Some(&art),
-            ColdStartOptions { triggering: TriggeringMode::Handwritten, seed: 401, ..base },
+            ColdStartOptions {
+                triggering: TriggeringMode::Handwritten,
+                seed: 401,
+                ..base
+            },
         );
         // Both modes restore working graphs with identical outputs.
         let kv_f = fl.kv_view();
@@ -762,11 +1184,19 @@ mod tests {
         crate::online::validate::reset_kv_state(&mut fl.rt, &kv_f).unwrap();
         crate::online::validate::reset_kv_state(&mut hw.rt, &kv_h).unwrap();
         let out_f = medusa_model::decode_step_with_graph(
-            &mut fl.rt, &fl.inst, &fl.graphs[10].1, fl.graphs[10].0, 55,
+            &mut fl.rt,
+            &fl.inst,
+            &fl.graphs[10].1,
+            fl.graphs[10].0,
+            55,
         )
         .unwrap();
         let out_h = medusa_model::decode_step_with_graph(
-            &mut hw.rt, &hw.inst, &hw.graphs[10].1, hw.graphs[10].0, 55,
+            &mut hw.rt,
+            &hw.inst,
+            &hw.graphs[10].1,
+            hw.graphs[10].0,
+            55,
         )
         .unwrap();
         assert_eq!(out_f.output, out_h.output);
@@ -783,20 +1213,40 @@ mod tests {
             let a = (strategy == Strategy::Medusa).then_some(&art);
             let (_e, r) = start(strategy, a, ColdStartOptions::default());
             for span in &r.spans {
-                assert!(span.end >= span.start, "{strategy}: negative span for {}", span.stage);
+                assert!(
+                    span.end >= span.start,
+                    "{strategy}: negative span for {}",
+                    span.stage
+                );
             }
             // First token comes after loading for every strategy.
-            let ft = r.spans.iter().find(|s| s.stage == Stage::FirstToken).unwrap();
+            let ft = r
+                .spans
+                .iter()
+                .find(|s| s.stage == Stage::FirstToken)
+                .unwrap();
             for span in &r.spans {
                 if span.stage != Stage::FirstToken {
-                    assert!(span.end <= ft.start, "{strategy}: {} overlaps first token", span.stage);
+                    assert!(
+                        span.end <= ft.start,
+                        "{strategy}: {} overlaps first token",
+                        span.stage
+                    );
                 }
             }
             // Structure init is strictly first within loading.
-            let s0 = r.spans.iter().find(|s| s.stage == Stage::StructureInit).unwrap();
+            let s0 = r
+                .spans
+                .iter()
+                .find(|s| s.stage == Stage::StructureInit)
+                .unwrap();
             for span in &r.spans {
                 if !matches!(span.stage, Stage::RuntimeInit | Stage::StructureInit) {
-                    assert!(span.start >= s0.end, "{strategy}: {} precedes structure init", span.stage);
+                    assert!(
+                        span.start >= s0.end,
+                        "{strategy}: {} precedes structure init",
+                        span.stage
+                    );
                 }
             }
         }
@@ -818,6 +1268,9 @@ mod tests {
         // Fig. 9: < 1 minute, ~39 s average across models (smallest model
         // comes in lower).
         assert!(total < 60.0, "offline phase {total}s exceeds a minute");
-        assert!(report.analysis > report.capture, "analysis dominates (Fig. 9)");
+        assert!(
+            report.analysis > report.capture,
+            "analysis dominates (Fig. 9)"
+        );
     }
 }

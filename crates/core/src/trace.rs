@@ -126,9 +126,17 @@ mod tests {
         w.on_alloc(0, 0xa000, 0x100); // i-th: returns A
         assert_eq!(w.on_free(0xa000), Some(0));
         w.on_alloc(1, 0xa000, 0x100); // (i+1)-th: reuses A
-        // some_kernel launches here with pointer A.
-        assert_eq!(w.resolve(0xa000), Some((1, 0)), "must match the live (second) alloc");
-        assert_eq!(w.naive_first_match(0xa000), Some((0, 0)), "naive-first is the false positive");
+                                      // some_kernel launches here with pointer A.
+        assert_eq!(
+            w.resolve(0xa000),
+            Some((1, 0)),
+            "must match the live (second) alloc"
+        );
+        assert_eq!(
+            w.naive_first_match(0xa000),
+            Some((0, 0)),
+            "naive-first is the false positive"
+        );
         assert_eq!(w.base_reuse_count(0xa000), 2);
     }
 

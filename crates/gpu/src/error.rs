@@ -12,7 +12,11 @@ use std::fmt;
 pub enum GpuError {
     /// Device memory exhausted: the allocation of `requested` bytes would
     /// exceed the device capacity given `in_use` live bytes.
-    OutOfMemory { requested: u64, in_use: u64, capacity: u64 },
+    OutOfMemory {
+        requested: u64,
+        in_use: u64,
+        capacity: u64,
+    },
     /// A pointer did not fall inside any live device allocation.
     InvalidPointer { addr: u64 },
     /// `cudaFree` of an address that is not the base of a live allocation.
@@ -45,7 +49,11 @@ pub enum GpuError {
     /// model (paper §8 scope).
     DeviceAllocDuringCapture,
     /// The launched parameter list does not match the kernel signature.
-    ParamMismatch { kernel: String, expected: usize, got: usize },
+    ParamMismatch {
+        kernel: String,
+        expected: usize,
+        got: usize,
+    },
     /// A kernel read an input pointer that does not reference a live buffer.
     DanglingRead { kernel: String, addr: u64 },
     /// A kernel write targeted a pointer outside any live buffer.
@@ -59,12 +67,19 @@ pub enum GpuError {
 impl fmt::Display for GpuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GpuError::OutOfMemory { requested, in_use, capacity } => write!(
+            GpuError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+            } => write!(
                 f,
                 "out of device memory: requested {requested} bytes with {in_use}/{capacity} in use"
             ),
             GpuError::InvalidPointer { addr } => {
-                write!(f, "pointer {addr:#x} is not inside a live device allocation")
+                write!(
+                    f,
+                    "pointer {addr:#x} is not inside a live device allocation"
+                )
             }
             GpuError::InvalidFree { addr } => {
                 write!(f, "free of {addr:#x} which is not a live allocation base")
@@ -76,7 +91,10 @@ impl fmt::Display for GpuError {
                 write!(f, "symbol `{symbol}` not found in `{library}`")
             }
             GpuError::SymbolHidden { library, symbol } => {
-                write!(f, "symbol `{symbol}` exists in `{library}` but is hidden from dlsym")
+                write!(
+                    f,
+                    "symbol `{symbol}` exists in `{library}` but is hidden from dlsym"
+                )
             }
             GpuError::LibraryNotFound { library } => {
                 write!(f, "library `{library}` not present in the catalog")
@@ -85,10 +103,16 @@ impl fmt::Display for GpuError {
                 write!(f, "library `{library}` has not been dlopen()ed")
             }
             GpuError::ModuleNotLoaded { library, module } => {
-                write!(f, "module `{module}` of `{library}` is not loaded by the driver")
+                write!(
+                    f,
+                    "module `{module}` of `{library}` is not loaded by the driver"
+                )
             }
             GpuError::SyncDuringCapture { origin } => {
-                write!(f, "synchronizing call from `{origin}` invalidated the stream capture")
+                write!(
+                    f,
+                    "synchronizing call from `{origin}` invalidated the stream capture"
+                )
             }
             GpuError::ConcurrentCapture => {
                 write!(f, "a stream capture is already in progress in this process")
@@ -98,16 +122,29 @@ impl fmt::Display for GpuError {
                 write!(f, "host-to-device copy issued during stream capture")
             }
             GpuError::DeviceAllocDuringCapture => {
-                write!(f, "device-side allocating kernel launched during stream capture")
+                write!(
+                    f,
+                    "device-side allocating kernel launched during stream capture"
+                )
             }
-            GpuError::ParamMismatch { kernel, expected, got } => {
-                write!(f, "kernel `{kernel}` expects {expected} parameters, got {got}")
+            GpuError::ParamMismatch {
+                kernel,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "kernel `{kernel}` expects {expected} parameters, got {got}"
+                )
             }
             GpuError::DanglingRead { kernel, addr } => {
                 write!(f, "kernel `{kernel}` read dangling pointer {addr:#x}")
             }
             GpuError::DanglingWrite { kernel, addr } => {
-                write!(f, "kernel `{kernel}` wrote through dangling pointer {addr:#x}")
+                write!(
+                    f,
+                    "kernel `{kernel}` wrote through dangling pointer {addr:#x}"
+                )
             }
             GpuError::InvalidStream { stream } => write!(f, "invalid stream id {stream}"),
             GpuError::InvalidEvent { event } => write!(f, "invalid event id {event}"),
@@ -127,23 +164,52 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase_ish() {
         let errs: Vec<GpuError> = vec![
-            GpuError::OutOfMemory { requested: 1, in_use: 2, capacity: 3 },
+            GpuError::OutOfMemory {
+                requested: 1,
+                in_use: 2,
+                capacity: 3,
+            },
             GpuError::InvalidPointer { addr: 0xdead },
             GpuError::InvalidFree { addr: 0xbeef },
             GpuError::InvalidDeviceFunction { addr: 0x1 },
-            GpuError::SymbolNotFound { library: "l".into(), symbol: "s".into() },
-            GpuError::SymbolHidden { library: "l".into(), symbol: "s".into() },
-            GpuError::LibraryNotFound { library: "l".into() },
-            GpuError::LibraryNotLoaded { library: "l".into() },
-            GpuError::ModuleNotLoaded { library: "l".into(), module: "m".into() },
-            GpuError::SyncDuringCapture { origin: "cublas_init".into() },
+            GpuError::SymbolNotFound {
+                library: "l".into(),
+                symbol: "s".into(),
+            },
+            GpuError::SymbolHidden {
+                library: "l".into(),
+                symbol: "s".into(),
+            },
+            GpuError::LibraryNotFound {
+                library: "l".into(),
+            },
+            GpuError::LibraryNotLoaded {
+                library: "l".into(),
+            },
+            GpuError::ModuleNotLoaded {
+                library: "l".into(),
+                module: "m".into(),
+            },
+            GpuError::SyncDuringCapture {
+                origin: "cublas_init".into(),
+            },
             GpuError::ConcurrentCapture,
             GpuError::NotCapturing,
             GpuError::MemcpyDuringCapture,
             GpuError::DeviceAllocDuringCapture,
-            GpuError::ParamMismatch { kernel: "k".into(), expected: 3, got: 2 },
-            GpuError::DanglingRead { kernel: "k".into(), addr: 0x2 },
-            GpuError::DanglingWrite { kernel: "k".into(), addr: 0x3 },
+            GpuError::ParamMismatch {
+                kernel: "k".into(),
+                expected: 3,
+                got: 2,
+            },
+            GpuError::DanglingRead {
+                kernel: "k".into(),
+                addr: 0x2,
+            },
+            GpuError::DanglingWrite {
+                kernel: "k".into(),
+                addr: 0x3,
+            },
             GpuError::InvalidStream { stream: 9 },
             GpuError::InvalidEvent { event: 9 },
         ];

@@ -52,7 +52,10 @@ impl ParamKind {
 
     /// Whether the kernel reads through this parameter.
     pub const fn is_read(self) -> bool {
-        matches!(self, ParamKind::PtrIn | ParamKind::PtrInOut | ParamKind::PtrArrayIn)
+        matches!(
+            self,
+            ParamKind::PtrIn | ParamKind::PtrInOut | ParamKind::PtrArrayIn
+        )
     }
 
     /// Whether the kernel writes through this parameter.
@@ -166,8 +169,7 @@ impl ParamBuffer {
     pub fn value(&self, i: usize) -> u64 {
         let (off, size) = self.layout[i];
         let mut buf = [0u8; 8];
-        buf[..size as usize]
-            .copy_from_slice(&self.bytes[off as usize..(off + size) as usize]);
+        buf[..size as usize].copy_from_slice(&self.bytes[off as usize..(off + size) as usize]);
         u64::from_le_bytes(buf)
     }
 
@@ -207,7 +209,10 @@ pub struct Work {
 
 impl Work {
     /// No work (auxiliary kernels).
-    pub const NONE: Work = Work { flops: 0.0, bytes: 0.0 };
+    pub const NONE: Work = Work {
+        flops: 0.0,
+        bytes: 0.0,
+    };
 
     /// Construct from FLOPs and bytes.
     pub fn new(flops: f64, bytes: f64) -> Self {
@@ -242,7 +247,12 @@ impl KernelDef {
     /// dynamic symbol table; closed-source cuBLAS-like kernels set it to
     /// `false` (paper §5).
     pub fn new(name: impl Into<String>, exported: bool, sig: KernelSig, class: CostClass) -> Self {
-        KernelDef { name: name.into(), exported, sig, class }
+        KernelDef {
+            name: name.into(),
+            exported,
+            sig,
+            class,
+        }
     }
 
     /// The kernel's mangled name.
@@ -311,7 +321,12 @@ mod tests {
     #[test]
     fn param_buffer_roundtrip() {
         let s = sig();
-        let vals = [0x0007_2000_0000_1000, 0xdead_beef_1234_5678, 0x0007_2000_0000_2000, 42];
+        let vals = [
+            0x0007_2000_0000_1000,
+            0xdead_beef_1234_5678,
+            0x0007_2000_0000_2000,
+            42,
+        ];
         let pb = ParamBuffer::encode(&s, &vals);
         assert_eq!(pb.param_count(), 4);
         assert_eq!(pb.value(0), vals[0]);
@@ -367,7 +382,11 @@ mod tests {
 
     #[test]
     fn kernel_ref_display() {
-        let r = KernelRef { lib: 1, module: 2, kernel: 3 };
+        let r = KernelRef {
+            lib: 1,
+            module: 2,
+            kernel: 3,
+        };
         assert_eq!(r.to_string(), "k1.2.3");
     }
 }

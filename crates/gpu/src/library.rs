@@ -27,7 +27,10 @@ pub struct ModuleSpec {
 impl ModuleSpec {
     /// Creates a module with the given kernels.
     pub fn new(name: impl Into<String>, kernels: Vec<KernelDef>) -> Self {
-        ModuleSpec { name: name.into(), kernels }
+        ModuleSpec {
+            name: name.into(),
+            kernels,
+        }
     }
 
     /// Module name.
@@ -56,7 +59,11 @@ impl LibrarySpec {
     /// triggers a lazy initialization containing a device synchronization —
     /// the reason warm-up forwarding is mandatory before capture (§2.3).
     pub fn new(name: impl Into<String>, needs_init: bool, modules: Vec<ModuleSpec>) -> Self {
-        LibrarySpec { name: name.into(), needs_init, modules }
+        LibrarySpec {
+            name: name.into(),
+            needs_init,
+            modules,
+        }
     }
 
     /// Library (file) name.
@@ -127,7 +134,9 @@ impl LibraryCatalog {
         self.by_name
             .get(name)
             .copied()
-            .ok_or_else(|| GpuError::LibraryNotFound { library: name.to_string() })
+            .ok_or_else(|| GpuError::LibraryNotFound {
+                library: name.to_string(),
+            })
     }
 
     /// The module containing `kref`.
@@ -152,7 +161,11 @@ impl LibraryCatalog {
         for (mi, m) in self.libs[lib].modules.iter().enumerate() {
             for (ki, k) in m.kernels().iter().enumerate() {
                 if k.name() == kernel_name {
-                    return Ok(KernelRef { lib: lib as u16, module: mi as u16, kernel: ki as u16 });
+                    return Ok(KernelRef {
+                        lib: lib as u16,
+                        module: mi as u16,
+                        kernel: ki as u16,
+                    });
                 }
             }
         }
@@ -167,7 +180,14 @@ impl LibraryCatalog {
         self.libs.iter().enumerate().flat_map(|(li, l)| {
             l.modules.iter().enumerate().flat_map(move |(mi, m)| {
                 m.kernels().iter().enumerate().map(move |(ki, k)| {
-                    (KernelRef { lib: li as u16, module: mi as u16, kernel: ki as u16 }, k)
+                    (
+                        KernelRef {
+                            lib: li as u16,
+                            module: mi as u16,
+                            kernel: ki as u16,
+                        },
+                        k,
+                    )
                 })
             })
         })
@@ -198,14 +218,20 @@ mod tests {
             LibrarySpec::new(
                 "libmodel.so",
                 false,
-                vec![ModuleSpec::new("elementwise", vec![k("add", true), k("norm", true)])],
+                vec![ModuleSpec::new(
+                    "elementwise",
+                    vec![k("add", true), k("norm", true)],
+                )],
             ),
             LibrarySpec::new(
                 "libcublas_sim.so",
                 true,
                 vec![
                     ModuleSpec::new("gemm_a", vec![k("ampere_gemm_1", false)]),
-                    ModuleSpec::new("gemm_b", vec![k("ampere_gemm_2", false), k("splitk", false)]),
+                    ModuleSpec::new(
+                        "gemm_b",
+                        vec![k("ampere_gemm_2", false), k("splitk", false)],
+                    ),
                 ],
             ),
         ])
@@ -221,7 +247,14 @@ mod tests {
             Err(GpuError::LibraryNotFound { .. })
         ));
         let r = c.find_kernel("libcublas_sim.so", "splitk").unwrap();
-        assert_eq!(r, KernelRef { lib: 1, module: 1, kernel: 1 });
+        assert_eq!(
+            r,
+            KernelRef {
+                lib: 1,
+                module: 1,
+                kernel: 1
+            }
+        );
         assert_eq!(c.kernel(r).name(), "splitk");
         assert_eq!(c.module(r).name(), "gemm_b");
         assert!(matches!(
@@ -234,7 +267,10 @@ mod tests {
     fn iter_kernels_covers_everything() {
         let c = catalog();
         assert_eq!(c.kernel_count(), 5);
-        let names: Vec<_> = c.iter_kernels().map(|(_, k)| k.name().to_string()).collect();
+        let names: Vec<_> = c
+            .iter_kernels()
+            .map(|(_, k)| k.name().to_string())
+            .collect();
         assert!(names.contains(&"ampere_gemm_2".to_string()));
     }
 

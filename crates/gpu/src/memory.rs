@@ -222,13 +222,22 @@ impl DeviceMemory {
         };
         let base = if reuse {
             self.reused += 1;
-            self.free_lists.get_mut(&size).expect("checked nonempty").pop().expect("nonempty")
+            self.free_lists
+                .get_mut(&size)
+                .expect("checked nonempty")
+                .pop()
+                .expect("nonempty")
         } else {
             let b = self.region_base + self.cursor;
             self.cursor += size;
             b
         };
-        let alloc = Allocation { base, size, seq: self.alloc_seq, tag };
+        let alloc = Allocation {
+            base,
+            size,
+            seq: self.alloc_seq,
+            tag,
+        };
         self.alloc_seq += 1;
         self.in_use += size;
         self.peak = self.peak.max(self.in_use);
@@ -245,9 +254,15 @@ impl DeviceMemory {
     ///
     /// Returns [`GpuError::InvalidFree`] if `ptr` is not a live base.
     pub fn free(&mut self, ptr: DevicePtr) -> GpuResult<u64> {
-        let alloc = self.live.remove(&ptr.0).ok_or(GpuError::InvalidFree { addr: ptr.0 })?;
+        let alloc = self
+            .live
+            .remove(&ptr.0)
+            .ok_or(GpuError::InvalidFree { addr: ptr.0 })?;
         self.in_use -= alloc.size;
-        self.free_lists.entry(alloc.size).or_default().push(alloc.base);
+        self.free_lists
+            .entry(alloc.size)
+            .or_default()
+            .push(alloc.base);
         Ok(alloc.size)
     }
 
@@ -270,7 +285,10 @@ impl DeviceMemory {
     /// Returns [`GpuError::InvalidPointer`] if `addr` is not inside a live
     /// allocation.
     pub fn write_digest(&mut self, addr: u64, digest: Digest) -> GpuResult<()> {
-        let base = self.containing(addr).ok_or(GpuError::InvalidPointer { addr })?.base;
+        let base = self
+            .containing(addr)
+            .ok_or(GpuError::InvalidPointer { addr })?
+            .base;
         self.contents.insert(base, digest);
         Ok(())
     }
@@ -285,7 +303,10 @@ impl DeviceMemory {
     /// Returns [`GpuError::InvalidPointer`] if `addr` is not inside a live
     /// allocation.
     pub fn read_digest(&self, addr: u64) -> GpuResult<Digest> {
-        let base = self.containing(addr).ok_or(GpuError::InvalidPointer { addr })?.base;
+        let base = self
+            .containing(addr)
+            .ok_or(GpuError::InvalidPointer { addr })?
+            .base;
         Ok(self.contents.get(&base).copied().unwrap_or([0u8; 16]))
     }
 
@@ -299,7 +320,10 @@ impl DeviceMemory {
     /// Returns [`GpuError::InvalidPointer`] if `addr` is not inside a live
     /// allocation.
     pub fn write_ptr_table(&mut self, addr: u64, table: Vec<u64>) -> GpuResult<()> {
-        let base = self.containing(addr).ok_or(GpuError::InvalidPointer { addr })?.base;
+        let base = self
+            .containing(addr)
+            .ok_or(GpuError::InvalidPointer { addr })?
+            .base;
         self.ptr_tables.insert(base, table);
         Ok(())
     }
@@ -312,7 +336,10 @@ impl DeviceMemory {
     /// Returns [`GpuError::InvalidPointer`] if `addr` is not inside a live
     /// allocation.
     pub fn read_ptr_table(&self, addr: u64) -> GpuResult<&[u64]> {
-        let base = self.containing(addr).ok_or(GpuError::InvalidPointer { addr })?.base;
+        let base = self
+            .containing(addr)
+            .ok_or(GpuError::InvalidPointer { addr })?
+            .base;
         Ok(self.ptr_tables.get(&base).map_or(&[], Vec::as_slice))
     }
 
@@ -403,7 +430,10 @@ mod tests {
     fn free_returns_size_and_rejects_non_base() {
         let mut m = mem();
         let p = m.alloc(300, AllocTag::Other).unwrap();
-        assert!(matches!(m.free(p.offset(8)), Err(GpuError::InvalidFree { .. })));
+        assert!(matches!(
+            m.free(p.offset(8)),
+            Err(GpuError::InvalidFree { .. })
+        ));
         assert_eq!(m.free(p).unwrap(), 512);
         assert!(matches!(m.free(p), Err(GpuError::InvalidFree { .. })));
     }
@@ -414,7 +444,10 @@ mod tests {
         let p = m.alloc(1024, AllocTag::Activation).unwrap();
         let a = *m.containing(p.addr() + 1000).unwrap();
         assert_eq!(a.base(), p);
-        assert!(m.containing(p.addr() + 1024).is_none() || m.containing(p.addr() + 1024).unwrap().base() != p);
+        assert!(
+            m.containing(p.addr() + 1024).is_none()
+                || m.containing(p.addr() + 1024).unwrap().base() != p
+        );
     }
 
     #[test]
@@ -434,7 +467,9 @@ mod tests {
         // ...but the raw addresses are not.
         let addrs = |seed: u64| -> Vec<u64> {
             let mut m = DeviceMemory::with_reuse_skip_prob(1 << 30, seed, 0.0);
-            (0..4).map(|_| m.alloc(256, AllocTag::Other).unwrap().addr()).collect()
+            (0..4)
+                .map(|_| m.alloc(256, AllocTag::Other).unwrap().addr())
+                .collect()
         };
         assert_ne!(addrs(1), addrs(2), "ASLR must differ across process seeds");
     }

@@ -38,7 +38,10 @@ pub struct GpuSpec {
 impl GpuSpec {
     /// Creates a GPU spec.
     pub fn new(name: impl Into<String>, total_mem: u64) -> Self {
-        GpuSpec { name: name.into(), total_mem }
+        GpuSpec {
+            name: name.into(),
+            total_mem,
+        }
     }
 
     /// The paper's A100-40GB SXM4.
@@ -169,8 +172,9 @@ impl ProcessRuntime {
     /// allocator base and reuse jitter).
     pub fn new(catalog: Arc<LibraryCatalog>, spec: GpuSpec, cost: CostModel, seed: u64) -> Self {
         let n_libs = catalog.len();
-        let module_loaded =
-            (0..n_libs).map(|i| vec![false; catalog.lib(i).modules().len()]).collect();
+        let module_loaded = (0..n_libs)
+            .map(|i| vec![false; catalog.lib(i).modules().len()])
+            .collect();
         ProcessRuntime {
             memory: DeviceMemory::new(spec.total_mem(), seed),
             catalog,
@@ -284,20 +288,25 @@ impl ProcessRuntime {
     pub fn dlopen(&mut self, name: &str) -> GpuResult<LibHandle> {
         let idx = self.catalog.lib_index(name)?;
         if self.lib_bases[idx].is_none() {
-            self.clock.advance(SimDuration::from_nanos(self.cost.dlopen_ns));
+            self.clock
+                .advance(SimDuration::from_nanos(self.cost.dlopen_ns));
             let base = self.lib_base_for(idx);
             self.lib_bases[idx] = Some(base);
             // Map every kernel's address now; module *loading* stays lazy.
             let catalog = Arc::clone(&self.catalog);
             for (mi, m) in catalog.lib(idx).modules().iter().enumerate() {
                 for (ki, _) in m.kernels().iter().enumerate() {
-                    let kref =
-                        KernelRef { lib: idx as u16, module: mi as u16, kernel: ki as u16 };
+                    let kref = KernelRef {
+                        lib: idx as u16,
+                        module: mi as u16,
+                        kernel: ki as u16,
+                    };
                     self.addr_to_kernel.insert(Self::addr_of(base, kref), kref);
                 }
             }
         } else {
-            self.clock.advance(SimDuration::from_nanos(self.cost.dlsym_ns));
+            self.clock
+                .advance(SimDuration::from_nanos(self.cost.dlsym_ns));
         }
         Ok(LibHandle(idx))
     }
@@ -324,14 +333,18 @@ impl ProcessRuntime {
     ///   dynamic symbol table (cuBLAS-like kernels, paper §5).
     /// * [`GpuError::SymbolNotFound`] if it does not exist at all.
     pub fn dlsym(&mut self, lib: LibHandle, symbol: &str) -> GpuResult<HostSymbol> {
-        self.clock.advance(SimDuration::from_nanos(self.cost.dlsym_ns));
+        self.clock
+            .advance(SimDuration::from_nanos(self.cost.dlsym_ns));
         let lib_name = self.catalog.lib(lib.0).name().to_string();
         if self.lib_bases[lib.0].is_none() {
             return Err(GpuError::LibraryNotLoaded { library: lib_name });
         }
         let kref = self.catalog.find_kernel(&lib_name, symbol)?;
         if !self.catalog.kernel(kref).exported() {
-            return Err(GpuError::SymbolHidden { library: lib_name, symbol: symbol.to_string() });
+            return Err(GpuError::SymbolHidden {
+                library: lib_name,
+                symbol: symbol.to_string(),
+            });
         }
         Ok(HostSymbol { kref })
     }
@@ -345,7 +358,8 @@ impl ProcessRuntime {
     /// Returns [`GpuError::SyncDuringCapture`] if the implied module load
     /// happens inside an active capture.
     pub fn cuda_get_func_by_symbol(&mut self, sym: HostSymbol) -> GpuResult<u64> {
-        self.clock.advance(SimDuration::from_nanos(self.cost.get_func_by_symbol_ns));
+        self.clock
+            .advance(SimDuration::from_nanos(self.cost.get_func_by_symbol_ns));
         self.ensure_module_loaded(sym.kref)?;
         Ok(self.kernel_address(sym.kref).expect("library is open"))
     }
@@ -360,7 +374,8 @@ impl ProcessRuntime {
                 origin: format!("module load `{}`", self.catalog.module(kref).name()),
             });
         }
-        self.clock.advance(SimDuration::from_nanos(self.cost.module_load_ns));
+        self.clock
+            .advance(SimDuration::from_nanos(self.cost.module_load_ns));
         self.module_loaded[kref.lib as usize][kref.module as usize] = true;
         Ok(())
     }
@@ -371,7 +386,10 @@ impl ProcessRuntime {
         for (li, mods) in self.module_loaded.iter().enumerate() {
             for (mi, &loaded) in mods.iter().enumerate() {
                 if loaded {
-                    out.push(ModuleHandle { lib: li as u16, module: mi as u16 });
+                    out.push(ModuleHandle {
+                        lib: li as u16,
+                        module: mi as u16,
+                    });
                 }
             }
         }
@@ -403,7 +421,11 @@ impl ProcessRuntime {
             .map(|ki| {
                 Self::addr_of(
                     base,
-                    KernelRef { lib: h.lib, module: h.module, kernel: ki as u16 },
+                    KernelRef {
+                        lib: h.lib,
+                        module: h.module,
+                        kernel: ki as u16,
+                    },
                 )
             })
             .collect())
@@ -448,10 +470,15 @@ impl ProcessRuntime {
     ///
     /// Returns [`GpuError::OutOfMemory`] when capacity is exceeded.
     pub fn cuda_malloc(&mut self, size: u64, tag: AllocTag) -> GpuResult<DevicePtr> {
-        self.clock.advance(SimDuration::from_nanos(self.cost.malloc_ns));
+        self.clock
+            .advance(SimDuration::from_nanos(self.cost.malloc_ns));
         let ptr = self.memory.alloc(size, tag)?;
         let alloc = *self.memory.containing(ptr.addr()).expect("just allocated");
-        self.record(TraceEvent::Alloc { seq: alloc.seq(), addr: ptr.addr(), size: alloc.size() });
+        self.record(TraceEvent::Alloc {
+            seq: alloc.seq(),
+            addr: ptr.addr(),
+            size: alloc.size(),
+        });
         Ok(ptr)
     }
 
@@ -461,9 +488,13 @@ impl ProcessRuntime {
     ///
     /// Returns [`GpuError::InvalidFree`] if `ptr` is not a live base.
     pub fn cuda_free(&mut self, ptr: DevicePtr) -> GpuResult<()> {
-        self.clock.advance(SimDuration::from_nanos(self.cost.free_ns));
+        self.clock
+            .advance(SimDuration::from_nanos(self.cost.free_ns));
         let size = self.memory.free(ptr)?;
-        self.record(TraceEvent::Free { addr: ptr.addr(), size });
+        self.record(TraceEvent::Free {
+            addr: ptr.addr(),
+            size,
+        });
         Ok(())
     }
 
@@ -475,7 +506,12 @@ impl ProcessRuntime {
     ///
     /// * [`GpuError::MemcpyDuringCapture`] inside a capture.
     /// * [`GpuError::InvalidPointer`] if `dst` is not a live buffer.
-    pub fn memcpy_h2d(&mut self, dst: DevicePtr, bytes: u64, content: Digest) -> GpuResult<SimDuration> {
+    pub fn memcpy_h2d(
+        &mut self,
+        dst: DevicePtr,
+        bytes: u64,
+        content: Digest,
+    ) -> GpuResult<SimDuration> {
         if self.capture.is_some() {
             return Err(GpuError::MemcpyDuringCapture);
         }
@@ -523,7 +559,11 @@ impl ProcessRuntime {
                 cap.pending_event_deps.entry(stream).or_default().push(n);
             }
         } else {
-            let completes = self.events.get(event)?.completes_at.unwrap_or(SimTime::ZERO);
+            let completes = self
+                .events
+                .get(event)?
+                .completes_at
+                .unwrap_or(SimTime::ZERO);
             let cur = self.streams.free_at(stream)?;
             self.streams.set_free_at(stream, cur.max(completes))?;
         }
@@ -624,13 +664,17 @@ impl ProcessRuntime {
                     ),
                 });
             }
-            self.clock.advance(SimDuration::from_nanos(self.cost.library_init_ns));
+            self.clock
+                .advance(SimDuration::from_nanos(self.cost.library_init_ns));
             self.lib_initialized[kref.lib as usize] = true;
         }
         self.ensure_module_loaded(kref)?;
 
         let params = ParamBuffer::encode(def.sig(), values);
-        self.record(TraceEvent::Launch { kernel_addr: addr, params: params.clone() });
+        self.record(TraceEvent::Launch {
+            kernel_addr: addr,
+            params: params.clone(),
+        });
 
         if let Some(cap) = self.capture.as_mut() {
             let idx = cap.launches.len();
@@ -645,14 +689,22 @@ impl ProcessRuntime {
                     }
                 }
             }
-            cap.launches.push(CapturedLaunch { kernel_addr: addr, params, work, stream, deps });
+            cap.launches.push(CapturedLaunch {
+                kernel_addr: addr,
+                params,
+                work,
+                stream,
+                deps,
+            });
             cap.stream_last.insert(stream, idx);
-            self.clock.advance(SimDuration::from_nanos(self.cost.capture_per_kernel_ns));
+            self.clock
+                .advance(SimDuration::from_nanos(self.cost.capture_per_kernel_ns));
             return Ok(());
         }
 
         // Eager path: CPU launch overhead, then pipelined GPU execution.
-        self.clock.advance(SimDuration::from_nanos(self.cost.eager_launch_cpu_ns));
+        self.clock
+            .advance(SimDuration::from_nanos(self.cost.eager_launch_cpu_ns));
         let exec = self.execute_kernel_raw(addr, &params, work)?;
         let start = self.clock.now().max(self.streams.free_at(stream)?);
         self.streams.set_free_at(stream, start + exec)?;
@@ -708,9 +760,13 @@ impl ProcessRuntime {
                     })?
                     .to_vec();
                 for entry in entries {
-                    let d = self.memory.read_digest(entry).map_err(|_| {
-                        GpuError::DanglingRead { kernel: def.name().to_string(), addr: entry }
-                    })?;
+                    let d = self
+                        .memory
+                        .read_digest(entry)
+                        .map_err(|_| GpuError::DanglingRead {
+                            kernel: def.name().to_string(),
+                            addr: entry,
+                        })?;
                     h.absorb_bytes(&d);
                 }
             } else if kind.is_pointer() {
@@ -798,11 +854,14 @@ impl ProcessRuntime {
     pub fn device_synchronize(&mut self) -> GpuResult<()> {
         if self.capture.is_some() {
             self.capture = None;
-            return Err(GpuError::SyncDuringCapture { origin: "cudaDeviceSynchronize".into() });
+            return Err(GpuError::SyncDuringCapture {
+                origin: "cudaDeviceSynchronize".into(),
+            });
         }
         let drain = self.streams.all_free_at();
         self.clock.advance_to(drain);
-        self.clock.advance(SimDuration::from_nanos(self.cost.sync_ns));
+        self.clock
+            .advance(SimDuration::from_nanos(self.cost.sync_ns));
         Ok(())
     }
 
@@ -830,7 +889,10 @@ impl DigestState {
 
     /// Starts a digest seeded with a label (kernel name, tensor id, ...).
     pub fn new(label: &str) -> Self {
-        let mut s = DigestState { a: Self::FNV_OFFSET, b: Self::FNV_OFFSET ^ 0x5bd1_e995 };
+        let mut s = DigestState {
+            a: Self::FNV_OFFSET,
+            b: Self::FNV_OFFSET ^ 0x5bd1_e995,
+        };
         s.absorb_bytes(label.as_bytes());
         s
     }
@@ -865,7 +927,11 @@ mod tests {
 
     fn catalog() -> Arc<LibraryCatalog> {
         let sig2 = KernelSig::new(vec![ParamKind::PtrIn, ParamKind::PtrOut]);
-        let sig3 = KernelSig::new(vec![ParamKind::PtrIn, ParamKind::Scalar4, ParamKind::PtrOut]);
+        let sig3 = KernelSig::new(vec![
+            ParamKind::PtrIn,
+            ParamKind::Scalar4,
+            ParamKind::PtrOut,
+        ]);
         LibraryCatalog::new(vec![
             LibrarySpec::new(
                 "libmodel.so",
@@ -883,14 +949,24 @@ mod tests {
                 true,
                 vec![ModuleSpec::new(
                     "gemm",
-                    vec![KernelDef::new("ampere_gemm", false, sig2, CostClass::ComputeBound)],
+                    vec![KernelDef::new(
+                        "ampere_gemm",
+                        false,
+                        sig2,
+                        CostClass::ComputeBound,
+                    )],
                 )],
             ),
         ])
     }
 
     fn rt(seed: u64) -> ProcessRuntime {
-        ProcessRuntime::new(catalog(), GpuSpec::new("test", 1 << 30), CostModel::default(), seed)
+        ProcessRuntime::new(
+            catalog(),
+            GpuSpec::new("test", 1 << 30),
+            CostModel::default(),
+            seed,
+        )
     }
 
     #[test]
@@ -915,7 +991,10 @@ mod tests {
             p.dlsym(h, "ampere_gemm"),
             Err(GpuError::SymbolHidden { .. })
         ));
-        assert!(matches!(p.dlsym(h, "nope"), Err(GpuError::SymbolNotFound { .. })));
+        assert!(matches!(
+            p.dlsym(h, "nope"),
+            Err(GpuError::SymbolNotFound { .. })
+        ));
     }
 
     #[test]
@@ -939,11 +1018,18 @@ mod tests {
             Err(GpuError::ModuleNotLoaded { .. })
         ));
         // Launch a kernel from the module (triggering-kernel): module loads.
-        let addr = p.kernel_address(KernelRef { lib: 1, module: 0, kernel: 0 }).unwrap();
+        let addr = p
+            .kernel_address(KernelRef {
+                lib: 1,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         let a = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         let b = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         p.memory_mut().write_digest(a.addr(), [1; 16]).unwrap();
-        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0).unwrap();
+        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
+            .unwrap();
         let addrs = p.cu_module_enumerate_functions(h).unwrap();
         assert_eq!(addrs, vec![addr]);
         assert_eq!(p.cu_func_get_name(addrs[0]).unwrap(), "ampere_gemm");
@@ -954,12 +1040,19 @@ mod tests {
     fn eager_launch_updates_digests_and_time() {
         let mut p = rt(5);
         p.dlopen("libmodel.so").unwrap();
-        let addr = p.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let addr = p
+            .kernel_address(KernelRef {
+                lib: 0,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         let a = p.cuda_malloc(1024, AllocTag::Activation).unwrap();
         let b = p.cuda_malloc(1024, AllocTag::Activation).unwrap();
         p.memory_mut().write_digest(a.addr(), [42; 16]).unwrap();
         let t0 = p.now();
-        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::new(0.0, 1e6), 0).unwrap();
+        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::new(0.0, 1e6), 0)
+            .unwrap();
         assert!(p.now() > t0, "CPU launch overhead must advance the clock");
         assert!(p.gpu_idle_at() > p.now(), "GPU work is asynchronous");
         let out = p.memory().read_digest(b.addr()).unwrap();
@@ -967,11 +1060,18 @@ mod tests {
         // Deterministic: same inputs → same output digest.
         let mut q = rt(5);
         q.dlopen("libmodel.so").unwrap();
-        let qaddr = q.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let qaddr = q
+            .kernel_address(KernelRef {
+                lib: 0,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         let qa = q.cuda_malloc(1024, AllocTag::Activation).unwrap();
         let qb = q.cuda_malloc(1024, AllocTag::Activation).unwrap();
         q.memory_mut().write_digest(qa.addr(), [42; 16]).unwrap();
-        q.launch_kernel(qaddr, &[qa.addr(), qb.addr()], Work::new(0.0, 1e6), 0).unwrap();
+        q.launch_kernel(qaddr, &[qa.addr(), qb.addr()], Work::new(0.0, 1e6), 0)
+            .unwrap();
         assert_eq!(q.memory().read_digest(qb.addr()).unwrap(), out);
     }
 
@@ -979,7 +1079,13 @@ mod tests {
     fn launch_validates_address_arity_and_pointers() {
         let mut p = rt(6);
         p.dlopen("libmodel.so").unwrap();
-        let addr = p.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let addr = p
+            .kernel_address(KernelRef {
+                lib: 0,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         assert!(matches!(
             p.launch_kernel(0xdead, &[], Work::NONE, 0),
             Err(GpuError::InvalidDeviceFunction { .. })
@@ -1006,19 +1112,29 @@ mod tests {
     fn lazy_library_init_syncs_and_breaks_capture() {
         let mut p = rt(7);
         p.dlopen("libcublas_sim.so").unwrap();
-        let addr = p.kernel_address(KernelRef { lib: 1, module: 0, kernel: 0 }).unwrap();
+        let addr = p
+            .kernel_address(KernelRef {
+                lib: 1,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         let a = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         let b = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         p.memory_mut().write_digest(a.addr(), [1; 16]).unwrap();
         p.begin_capture(0).unwrap();
-        let err = p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0).unwrap_err();
+        let err = p
+            .launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
+            .unwrap_err();
         assert!(matches!(err, GpuError::SyncDuringCapture { .. }));
         assert!(!p.is_capturing(), "failed capture is aborted");
         // Warm-up outside capture succeeds and initializes the library...
-        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0).unwrap();
+        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
+            .unwrap();
         // ...after which capture works.
         p.begin_capture(0).unwrap();
-        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0).unwrap();
+        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
+            .unwrap();
         let launches = p.end_capture().unwrap();
         assert_eq!(launches.len(), 1);
         assert_eq!(launches[0].kernel_addr, addr);
@@ -1028,20 +1144,30 @@ mod tests {
     fn capture_records_dependencies_per_stream_and_events() {
         let mut p = rt(8);
         p.dlopen("libmodel.so").unwrap();
-        let addr = p.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let addr = p
+            .kernel_address(KernelRef {
+                lib: 0,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         let a = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         let b = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         p.memory_mut().write_digest(a.addr(), [1; 16]).unwrap();
         // Warm up (loads module) outside capture.
-        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0).unwrap();
+        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
+            .unwrap();
 
         p.begin_capture(0).unwrap();
-        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0).unwrap(); // n0 s0
+        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
+            .unwrap(); // n0 s0
         let ev = p.event_create();
         p.event_record(ev, 0).unwrap();
         p.stream_wait_event(1, ev).unwrap();
-        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 1).unwrap(); // n1 s1 dep n0
-        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0).unwrap(); // n2 s0 dep n0
+        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 1)
+            .unwrap(); // n1 s1 dep n0
+        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
+            .unwrap(); // n2 s0 dep n0
         let l = p.end_capture().unwrap();
         assert_eq!(l.len(), 3);
         assert!(l[0].deps.is_empty());
@@ -1054,7 +1180,10 @@ mod tests {
     fn concurrent_capture_rejected() {
         let mut p = rt(9);
         p.begin_capture(0).unwrap();
-        assert!(matches!(p.begin_capture(1), Err(GpuError::ConcurrentCapture)));
+        assert!(matches!(
+            p.begin_capture(1),
+            Err(GpuError::ConcurrentCapture)
+        ));
         assert!(p.end_capture().is_ok());
         assert!(matches!(p.end_capture(), Err(GpuError::NotCapturing)));
     }
@@ -1064,7 +1193,10 @@ mod tests {
         let mut p = rt(10);
         let a = p.cuda_malloc(256, AllocTag::Weights).unwrap();
         p.begin_capture(0).unwrap();
-        assert!(matches!(p.memcpy_h2d(a, 1024, [0; 16]), Err(GpuError::MemcpyDuringCapture)));
+        assert!(matches!(
+            p.memcpy_h2d(a, 1024, [0; 16]),
+            Err(GpuError::MemcpyDuringCapture)
+        ));
         assert!(matches!(
             p.device_synchronize(),
             Err(GpuError::SyncDuringCapture { .. })
@@ -1076,12 +1208,19 @@ mod tests {
     fn trace_interleaves_allocs_frees_launches() {
         let mut p = rt(11);
         p.dlopen("libmodel.so").unwrap();
-        let addr = p.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let addr = p
+            .kernel_address(KernelRef {
+                lib: 0,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         p.enable_tracing();
         let a = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         let b = p.cuda_malloc(512, AllocTag::Activation).unwrap();
         p.memory_mut().write_digest(a.addr(), [1; 16]).unwrap();
-        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0).unwrap();
+        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
+            .unwrap();
         p.cuda_free(a).unwrap();
         let tr = p.take_trace();
         assert!(!p.is_tracing());
@@ -1106,11 +1245,18 @@ mod tests {
     fn device_synchronize_waits_for_gpu() {
         let mut p = rt(13);
         p.dlopen("libmodel.so").unwrap();
-        let addr = p.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let addr = p
+            .kernel_address(KernelRef {
+                lib: 0,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         let a = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         let b = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         p.memory_mut().write_digest(a.addr(), [1; 16]).unwrap();
-        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::new(0.0, 1.3e9), 0).unwrap();
+        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::new(0.0, 1.3e9), 0)
+            .unwrap();
         let before = p.now();
         p.device_synchronize().unwrap();
         assert!(p.now() > before);
@@ -1121,7 +1267,13 @@ mod tests {
     fn eager_events_order_cross_stream_work() {
         let mut p = rt(20);
         p.dlopen("libmodel.so").unwrap();
-        let addr = p.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let addr = p
+            .kernel_address(KernelRef {
+                lib: 0,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         let a = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         let b = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         p.memory_mut().write_digest(a.addr(), [1; 16]).unwrap();
@@ -1134,7 +1286,8 @@ mod tests {
         // Stream 1 cannot start before stream 0's work drains.
         let s0 = p.streams().free_at(0).unwrap();
         assert!(p.streams().free_at(1).unwrap() >= s0);
-        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 1).unwrap();
+        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 1)
+            .unwrap();
         assert!(p.streams().free_at(1).unwrap() > s0);
     }
 
@@ -1142,9 +1295,21 @@ mod tests {
     fn dlopen_is_idempotent_with_stable_addresses() {
         let mut p = rt(21);
         p.dlopen("libmodel.so").unwrap();
-        let a1 = p.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let a1 = p
+            .kernel_address(KernelRef {
+                lib: 0,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         p.dlopen("libmodel.so").unwrap();
-        let a2 = p.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let a2 = p
+            .kernel_address(KernelRef {
+                lib: 0,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         assert_eq!(a1, a2, "re-opening must not remap");
         assert!(matches!(
             p.dlopen("nope.so"),
@@ -1156,7 +1321,13 @@ mod tests {
     fn launch_on_invalid_stream_is_rejected() {
         let mut p = rt(22);
         p.dlopen("libmodel.so").unwrap();
-        let addr = p.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let addr = p
+            .kernel_address(KernelRef {
+                lib: 0,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         assert!(matches!(
             p.launch_kernel(addr, &[1, 2], Work::NONE, 99),
             Err(GpuError::InvalidStream { stream: 99 })
@@ -1216,20 +1387,46 @@ mod tests {
     fn device_alloc_interception_toggle_controls_trace() {
         let mut p = rt(27);
         p.dlopen("libmodel.so").unwrap();
-        let addr = p.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let addr = p
+            .kernel_address(KernelRef {
+                lib: 0,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         let a = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         p.memory_mut().write_digest(a.addr(), [1; 16]).unwrap();
         p.enable_tracing();
         let _ = p
-            .launch_allocating_kernel(addr, &[a.addr(), a.addr()], Work::NONE, 0, 64, AllocTag::Workspace)
+            .launch_allocating_kernel(
+                addr,
+                &[a.addr(), a.addr()],
+                Work::NONE,
+                0,
+                64,
+                AllocTag::Workspace,
+            )
             .unwrap();
-        assert!(p.take_trace().iter().any(|e| matches!(e, TraceEvent::DeviceAlloc { .. })));
+        assert!(p
+            .take_trace()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::DeviceAlloc { .. })));
         p.enable_tracing();
         p.set_intercept_device_allocs(false);
         let _ = p
-            .launch_allocating_kernel(addr, &[a.addr(), a.addr()], Work::NONE, 0, 64, AllocTag::Workspace)
+            .launch_allocating_kernel(
+                addr,
+                &[a.addr(), a.addr()],
+                Work::NONE,
+                0,
+                64,
+                AllocTag::Workspace,
+            )
             .unwrap();
-        assert!(!p.take_trace().iter().any(|e| matches!(e, TraceEvent::DeviceAlloc { .. })));
+        assert!(!p
+            .take_trace()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::DeviceAlloc { .. })));
     }
 
     #[test]

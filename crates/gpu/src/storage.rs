@@ -48,7 +48,10 @@ impl SimStorage {
         h2d_bandwidth: f64,
         slowdown: f64,
     ) -> SimDuration {
-        assert!(slowdown > 0.0 && slowdown <= 1.0, "slowdown must be in (0, 1]");
+        assert!(
+            slowdown > 0.0 && slowdown <= 1.0,
+            "slowdown must be in (0, 1]"
+        );
         let eff = self.bandwidth.min(h2d_bandwidth) * slowdown;
         SimDuration::from_nanos(self.seek_ns) + SimDuration::from_secs_f64(bytes as f64 / eff)
     }
@@ -91,7 +94,10 @@ mod tests {
         let s = SimStorage::from_cost_model(&cm);
         let d = s.pipelined_to_device(7_400_000_000, cm.h2d_bandwidth, 1.0);
         let secs = d.as_secs_f64();
-        assert!((0.30..0.48).contains(&secs), "weights load {secs}s out of calibrated band");
+        assert!(
+            (0.30..0.48).contains(&secs),
+            "weights load {secs}s out of calibrated band"
+        );
     }
 
     #[test]

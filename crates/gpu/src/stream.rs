@@ -24,7 +24,9 @@ pub struct StreamPool {
 impl StreamPool {
     /// Creates `count` streams, all idle at time zero.
     pub fn new(count: usize) -> Self {
-        StreamPool { free_at: vec![SimTime::ZERO; count.max(1)] }
+        StreamPool {
+            free_at: vec![SimTime::ZERO; count.max(1)],
+        }
     }
 
     /// Number of streams.
@@ -92,11 +94,15 @@ impl EventTable {
     }
 
     pub(crate) fn get(&self, id: EventId) -> GpuResult<&EventState> {
-        self.events.get(id.0 as usize).ok_or(GpuError::InvalidEvent { event: id.0 })
+        self.events
+            .get(id.0 as usize)
+            .ok_or(GpuError::InvalidEvent { event: id.0 })
     }
 
     pub(crate) fn get_mut(&mut self, id: EventId) -> GpuResult<&mut EventState> {
-        self.events.get_mut(id.0 as usize).ok_or(GpuError::InvalidEvent { event: id.0 })
+        self.events
+            .get_mut(id.0 as usize)
+            .ok_or(GpuError::InvalidEvent { event: id.0 })
     }
 }
 
@@ -114,8 +120,14 @@ mod tests {
         assert_eq!(p.free_at(0).unwrap(), SimTime::ZERO);
         assert_eq!(p.free_at(1).unwrap(), t);
         assert_eq!(p.all_free_at(), t);
-        assert!(matches!(p.free_at(7), Err(GpuError::InvalidStream { stream: 7 })));
-        assert!(matches!(p.set_free_at(7, t), Err(GpuError::InvalidStream { .. })));
+        assert!(matches!(
+            p.free_at(7),
+            Err(GpuError::InvalidStream { stream: 7 })
+        ));
+        assert!(matches!(
+            p.set_free_at(7, t),
+            Err(GpuError::InvalidStream { .. })
+        ));
     }
 
     #[test]

@@ -23,7 +23,11 @@ use medusa_gpu::{GpuResult, ProcessRuntime, StreamId};
 /// # Example
 ///
 /// See the crate-level docs for a complete capture-and-replay example.
-pub fn capture_graph<F>(rt: &mut ProcessRuntime, stream: StreamId, body: F) -> GraphResult<CudaGraph>
+pub fn capture_graph<F>(
+    rt: &mut ProcessRuntime,
+    stream: StreamId,
+    body: F,
+) -> GraphResult<CudaGraph>
 where
     F: FnOnce(&mut ProcessRuntime) -> GpuResult<()>,
 {
@@ -72,12 +76,19 @@ mod tests {
     #[test]
     fn capture_builds_a_chained_graph() {
         let mut p = rt();
-        let addr = p.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let addr = p
+            .kernel_address(KernelRef {
+                lib: 0,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         let a = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         let b = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         p.memory_mut().write_digest(a.addr(), [1; 16]).unwrap();
         // Warm-up loads the module.
-        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0).unwrap();
+        p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
+            .unwrap();
         let g = capture_graph(&mut p, 0, |p| {
             p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)?;
             p.launch_kernel(addr, &[b.addr(), a.addr()], Work::NONE, 0)?;
@@ -109,7 +120,13 @@ mod tests {
         let mut p =
             ProcessRuntime::new(catalog, GpuSpec::new("t", 1 << 30), CostModel::default(), 2);
         p.dlopen("cublas.so").unwrap();
-        let addr = p.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let addr = p
+            .kernel_address(KernelRef {
+                lib: 0,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         let a = p.cuda_malloc(256, AllocTag::Activation).unwrap();
         p.memory_mut().write_digest(a.addr(), [1; 16]).unwrap();
         let res = capture_graph(&mut p, 0, |p| {
@@ -117,7 +134,9 @@ mod tests {
         });
         assert!(matches!(
             res,
-            Err(crate::error::GraphError::Gpu(GpuError::SyncDuringCapture { .. }))
+            Err(crate::error::GraphError::Gpu(
+                GpuError::SyncDuringCapture { .. }
+            ))
         ));
         assert!(!p.is_capturing());
     }

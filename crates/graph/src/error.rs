@@ -31,7 +31,10 @@ impl fmt::Display for GraphError {
             GraphError::Gpu(e) => write!(f, "driver error: {e}"),
             GraphError::Cyclic => write!(f, "graph contains a dependency cycle"),
             GraphError::NodeOutOfRange { index, len } => {
-                write!(f, "node index {index} out of range for graph of {len} nodes")
+                write!(
+                    f,
+                    "node index {index} out of range for graph of {len} nodes"
+                )
             }
             GraphError::SelfEdge { index } => write!(f, "node {index} depends on itself"),
         }
@@ -68,6 +71,8 @@ mod tests {
         assert!(e.source().is_some());
         assert!(GraphError::Cyclic.source().is_none());
         assert!(!GraphError::SelfEdge { index: 3 }.to_string().is_empty());
-        assert!(!GraphError::NodeOutOfRange { index: 9, len: 2 }.to_string().is_empty());
+        assert!(!GraphError::NodeOutOfRange { index: 9, len: 2 }
+            .to_string()
+            .is_empty());
     }
 }

@@ -39,9 +39,9 @@ impl GraphExec {
                 .resolve_addr(addr)
                 .ok_or(medusa_gpu::GpuError::InvalidDeviceFunction { addr })?;
             if !rt.is_module_loaded(kref) {
-                return Err(GraphError::Gpu(medusa_gpu::GpuError::InvalidDeviceFunction {
-                    addr,
-                }));
+                return Err(GraphError::Gpu(
+                    medusa_gpu::GpuError::InvalidDeviceFunction { addr },
+                ));
             }
         }
         rt.advance(SimDuration::from_nanos(
@@ -133,16 +133,27 @@ mod tests {
     }
 
     fn fixture() -> Fixture {
-        let mut rt =
-            ProcessRuntime::new(catalog(), GpuSpec::new("t", 1 << 30), CostModel::default(), 7);
+        let mut rt = ProcessRuntime::new(
+            catalog(),
+            GpuSpec::new("t", 1 << 30),
+            CostModel::default(),
+            7,
+        );
         rt.dlopen("lib.so").unwrap();
-        let addr = rt.kernel_address(KernelRef { lib: 0, module: 0, kernel: 0 }).unwrap();
+        let addr = rt
+            .kernel_address(KernelRef {
+                lib: 0,
+                module: 0,
+                kernel: 0,
+            })
+            .unwrap();
         let a = rt.cuda_malloc(256, AllocTag::Activation).unwrap();
         let b = rt.cuda_malloc(256, AllocTag::Activation).unwrap();
         let c = rt.cuda_malloc(256, AllocTag::Activation).unwrap();
         rt.memory_mut().write_digest(a.addr(), [5; 16]).unwrap();
         // Warm up: loads the module.
-        rt.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0).unwrap();
+        rt.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
+            .unwrap();
         Fixture { rt, addr, a, b, c }
     }
 
@@ -150,7 +161,13 @@ mod tests {
     /// running the same kernels eagerly — the paper's validation criterion.
     #[test]
     fn replay_matches_eager_outputs() {
-        let Fixture { mut rt, addr, a, b, c } = fixture();
+        let Fixture {
+            mut rt,
+            addr,
+            a,
+            b,
+            c,
+        } = fixture();
         let g = capture_graph(&mut rt, 0, |p| {
             p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)?;
             p.launch_kernel(addr, &[b.addr(), c.addr()], Work::NONE, 0)?;
@@ -165,8 +182,10 @@ mod tests {
         // Fresh process, same control flow, eager execution.
         let f2 = fixture();
         let mut rt2 = f2.rt;
-        rt2.launch_kernel(f2.addr, &[f2.a.addr(), f2.b.addr()], Work::NONE, 0).unwrap();
-        rt2.launch_kernel(f2.addr, &[f2.b.addr(), f2.c.addr()], Work::NONE, 0).unwrap();
+        rt2.launch_kernel(f2.addr, &[f2.a.addr(), f2.b.addr()], Work::NONE, 0)
+            .unwrap();
+        rt2.launch_kernel(f2.addr, &[f2.b.addr(), f2.c.addr()], Work::NONE, 0)
+            .unwrap();
         rt2.device_synchronize().unwrap();
         let eager_c = rt2.memory().read_digest(f2.c.addr()).unwrap();
         assert_eq!(replay_c, eager_c);
@@ -174,7 +193,9 @@ mod tests {
 
     #[test]
     fn replay_costs_single_cpu_launch() {
-        let Fixture { mut rt, addr, a, b, .. } = fixture();
+        let Fixture {
+            mut rt, addr, a, b, ..
+        } = fixture();
         let n = 50;
         let g = capture_graph(&mut rt, 0, |p| {
             for _ in 0..n {
@@ -199,7 +220,9 @@ mod tests {
 
     #[test]
     fn chained_nodes_serialize_on_gpu() {
-        let Fixture { mut rt, addr, a, b, .. } = fixture();
+        let Fixture {
+            mut rt, addr, a, b, ..
+        } = fixture();
         let w = Work::new(0.0, rt.cost().mem_bandwidth); // exactly 1 s each
         let g = capture_graph(&mut rt, 0, |p| {
             p.launch_kernel(addr, &[a.addr(), b.addr()], w, 0)?;
@@ -209,21 +232,33 @@ mod tests {
         .unwrap();
         let exec = GraphExec::instantiate(&mut rt, g).unwrap();
         let makespan = exec.launch(&mut rt, 0).unwrap();
-        assert!(makespan.as_secs_f64() > 1.9, "dependent kernels cannot overlap");
+        assert!(
+            makespan.as_secs_f64() > 1.9,
+            "dependent kernels cannot overlap"
+        );
     }
 
     #[test]
     fn independent_branches_overlap_up_to_lane_count() {
-        let Fixture { mut rt, addr, a, b, c } = fixture();
+        let Fixture {
+            mut rt,
+            addr,
+            a,
+            b,
+            c,
+        } = fixture();
         let w = Work::new(0.0, rt.cost().mem_bandwidth); // 1 s each
-        // Two independent chains on different streams.
+                                                         // Two independent chains on different streams.
         let g = capture_graph(&mut rt, 0, |p| {
             p.launch_kernel(addr, &[a.addr(), b.addr()], w, 0)?;
             p.launch_kernel(addr, &[a.addr(), c.addr()], w, 1)?;
             Ok(())
         })
         .unwrap();
-        assert!(g.edges().is_empty(), "different streams, no event: independent");
+        assert!(
+            g.edges().is_empty(),
+            "different streams, no event: independent"
+        );
         let exec = GraphExec::instantiate(&mut rt, g).unwrap();
         let makespan = exec.launch(&mut rt, 0).unwrap();
         assert!(
@@ -234,7 +269,9 @@ mod tests {
 
     #[test]
     fn instantiate_rejects_stale_kernel_addresses() {
-        let Fixture { mut rt, addr, a, b, .. } = fixture();
+        let Fixture {
+            mut rt, addr, a, b, ..
+        } = fixture();
         let mut g = capture_graph(&mut rt, 0, |p| {
             p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
         })
@@ -242,12 +279,17 @@ mod tests {
         // Simulate a blindly-dumped graph from another process: bogus addr.
         g.node_mut(0).set_kernel_addr(addr ^ 0x5550_0000);
         let err = GraphExec::instantiate(&mut rt, g).unwrap_err();
-        assert!(matches!(err, GraphError::Gpu(GpuError::InvalidDeviceFunction { .. })));
+        assert!(matches!(
+            err,
+            GraphError::Gpu(GpuError::InvalidDeviceFunction { .. })
+        ));
     }
 
     #[test]
     fn replay_with_dangling_pointer_faults() {
-        let Fixture { mut rt, addr, a, b, .. } = fixture();
+        let Fixture {
+            mut rt, addr, a, b, ..
+        } = fixture();
         let g = capture_graph(&mut rt, 0, |p| {
             p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
         })
@@ -257,7 +299,10 @@ mod tests {
         // never freeing capture-time buffers; paper §2.2).
         rt.cuda_free(b).unwrap();
         let err = exec.launch(&mut rt, 0).unwrap_err();
-        assert!(matches!(err, GraphError::Gpu(GpuError::DanglingWrite { .. })));
+        assert!(matches!(
+            err,
+            GraphError::Gpu(GpuError::DanglingWrite { .. })
+        ));
     }
 
     #[test]
@@ -271,7 +316,9 @@ mod tests {
 
     #[test]
     fn graph_accessor_exposes_nodes_for_inspection() {
-        let Fixture { mut rt, addr, a, b, .. } = fixture();
+        let Fixture {
+            mut rt, addr, a, b, ..
+        } = fixture();
         let g = capture_graph(&mut rt, 0, |p| {
             p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
         })
@@ -284,7 +331,9 @@ mod tests {
 
     #[test]
     fn relaunching_same_exec_is_self_replaying() {
-        let Fixture { mut rt, addr, a, b, .. } = fixture();
+        let Fixture {
+            mut rt, addr, a, b, ..
+        } = fixture();
         let g = capture_graph(&mut rt, 0, |p| {
             p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)
         })
@@ -301,7 +350,9 @@ mod tests {
 
     #[test]
     fn instantiation_cost_scales_with_nodes() {
-        let Fixture { mut rt, addr, a, b, .. } = fixture();
+        let Fixture {
+            mut rt, addr, a, b, ..
+        } = fixture();
         let g = capture_graph(&mut rt, 0, |p| {
             for _ in 0..10 {
                 p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)?;

@@ -33,7 +33,8 @@ impl CudaGraph {
     pub fn from_captured(launches: Vec<CapturedLaunch>) -> Self {
         let mut g = CudaGraph::new();
         for (i, l) in launches.into_iter().enumerate() {
-            g.nodes.push(GraphNode::new(l.kernel_addr, l.params, l.work));
+            g.nodes
+                .push(GraphNode::new(l.kernel_addr, l.params, l.work));
             g.streams.push(l.stream);
             for d in l.deps {
                 debug_assert!(d < i);
@@ -45,12 +46,7 @@ impl CudaGraph {
 
     /// Explicit API: appends a kernel node, returning its index
     /// (`cudaGraphAddKernelNode` analogue).
-    pub fn add_kernel_node(
-        &mut self,
-        kernel_addr: u64,
-        params: ParamBuffer,
-        work: Work,
-    ) -> usize {
+    pub fn add_kernel_node(&mut self, kernel_addr: u64, params: ParamBuffer, work: Work) -> usize {
         self.nodes.push(GraphNode::new(kernel_addr, params, work));
         self.streams.push(0);
         self.nodes.len() - 1
@@ -173,7 +169,11 @@ impl CudaGraph {
     pub fn wide_param_count(&self) -> usize {
         self.nodes
             .iter()
-            .map(|n| (0..n.params().param_count()).filter(|&i| n.params().size_of(i) == 8).count())
+            .map(|n| {
+                (0..n.params().param_count())
+                    .filter(|&i| n.params().size_of(i) == 8)
+                    .count()
+            })
             .sum()
     }
 }
@@ -207,7 +207,10 @@ mod tests {
             g.add_dependency(0, 9),
             Err(GraphError::NodeOutOfRange { index: 9, len: 3 })
         ));
-        assert!(matches!(g.add_dependency(1, 1), Err(GraphError::SelfEdge { index: 1 })));
+        assert!(matches!(
+            g.add_dependency(1, 1),
+            Err(GraphError::SelfEdge { index: 1 })
+        ));
     }
 
     #[test]

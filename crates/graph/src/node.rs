@@ -20,7 +20,11 @@ pub struct GraphNode {
 impl GraphNode {
     /// Creates a node from its launch record contents.
     pub fn new(kernel_addr: u64, params: ParamBuffer, work: Work) -> Self {
-        GraphNode { kernel_addr, params, work }
+        GraphNode {
+            kernel_addr,
+            params,
+            work,
+        }
     }
 
     /// The device function address recorded in the node.

@@ -35,10 +35,15 @@ pub enum KvError {
 impl fmt::Display for KvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            KvError::OutOfBlocks { needed } => write!(f, "KV cache exhausted: {needed} more blocks needed"),
+            KvError::OutOfBlocks { needed } => {
+                write!(f, "KV cache exhausted: {needed} more blocks needed")
+            }
             KvError::UnknownSequence { seq } => write!(f, "unknown sequence id {seq}"),
             KvError::CacheTooSmall { bytes, block_bytes } => {
-                write!(f, "cache of {bytes} bytes cannot hold one {block_bytes}-byte block")
+                write!(
+                    f,
+                    "cache of {bytes} bytes cannot hold one {block_bytes}-byte block"
+                )
             }
         }
     }
@@ -102,7 +107,10 @@ pub struct BlockAllocator {
 impl BlockAllocator {
     /// Creates an allocator over `total` blocks.
     pub fn new(total: usize) -> Self {
-        BlockAllocator { total, free: (0..total as u32).rev().collect() }
+        BlockAllocator {
+            total,
+            free: (0..total as u32).rev().collect(),
+        }
     }
 
     /// Total blocks in the pool.
@@ -123,7 +131,9 @@ impl BlockAllocator {
     /// case nothing is allocated.
     pub fn alloc(&mut self, n: usize) -> Result<Vec<u32>, KvError> {
         if self.free.len() < n {
-            return Err(KvError::OutOfBlocks { needed: n - self.free.len() });
+            return Err(KvError::OutOfBlocks {
+                needed: n - self.free.len(),
+            });
         }
         Ok(self.free.split_off(self.free.len() - n))
     }
@@ -145,7 +155,10 @@ pub struct BlockTable {
 impl BlockTable {
     /// Creates an empty table for `block_size`-token blocks.
     pub fn new(block_size: u32) -> Self {
-        BlockTable { seqs: HashMap::new(), block_size }
+        BlockTable {
+            seqs: HashMap::new(),
+            block_size,
+        }
     }
 
     /// Number of tracked sequences.
@@ -192,11 +205,18 @@ impl BlockTable {
         old_tokens: u64,
         new_tokens: u64,
     ) -> Result<(), KvError> {
-        let owned = self.seqs.get(&seq).ok_or(KvError::UnknownSequence { seq })?.len();
+        let owned = self
+            .seqs
+            .get(&seq)
+            .ok_or(KvError::UnknownSequence { seq })?
+            .len();
         let needed = self.blocks_needed(old_tokens + new_tokens);
         if needed > owned {
             let extra = alloc.alloc(needed - owned)?;
-            self.seqs.get_mut(&seq).expect("checked above").extend(extra);
+            self.seqs
+                .get_mut(&seq)
+                .expect("checked above")
+                .extend(extra);
         }
         Ok(())
     }
@@ -207,7 +227,10 @@ impl BlockTable {
     ///
     /// Returns [`KvError::UnknownSequence`] for unknown ids.
     pub fn finish(&mut self, alloc: &mut BlockAllocator, seq: u64) -> Result<(), KvError> {
-        let blocks = self.seqs.remove(&seq).ok_or(KvError::UnknownSequence { seq })?;
+        let blocks = self
+            .seqs
+            .remove(&seq)
+            .ok_or(KvError::UnknownSequence { seq })?;
         alloc.release(blocks);
         Ok(())
     }
@@ -263,7 +286,10 @@ mod tests {
         t.finish(&mut a, 1).unwrap();
         assert_eq!(a.free_count(), 8);
         assert!(t.is_empty());
-        assert_eq!(t.finish(&mut a, 1), Err(KvError::UnknownSequence { seq: 1 }));
+        assert_eq!(
+            t.finish(&mut a, 1),
+            Err(KvError::UnknownSequence { seq: 1 })
+        );
     }
 
     #[test]
@@ -279,6 +305,11 @@ mod tests {
     fn errors_display() {
         assert!(!KvError::OutOfBlocks { needed: 1 }.to_string().is_empty());
         assert!(!KvError::UnknownSequence { seq: 2 }.to_string().is_empty());
-        assert!(!KvError::CacheTooSmall { bytes: 1, block_bytes: 2 }.to_string().is_empty());
+        assert!(!KvError::CacheTooSmall {
+            bytes: 1,
+            block_bytes: 2
+        }
+        .to_string()
+        .is_empty());
     }
 }

@@ -124,11 +124,16 @@ pub fn allocate_kv_cache(
     let per_side = num_blocks as u64 * config.block_bytes() / 2;
     let kcache = rt.cuda_malloc(per_side, AllocTag::KvCache)?;
     let vcache = rt.cuda_malloc(per_side, AllocTag::KvCache)?;
-    let block_table_buf =
-        rt.cuda_malloc((inst.spec().max_batch() as u64 * 8 * 64).max(256), AllocTag::KvCache)?;
-    rt.memory_mut().write_digest(kcache.addr(), input_digest("kv_init_k", 0, 0))?;
-    rt.memory_mut().write_digest(vcache.addr(), input_digest("kv_init_v", 0, 0))?;
-    rt.memory_mut().write_digest(block_table_buf.addr(), input_digest("kv_init_bt", 0, 0))?;
+    let block_table_buf = rt.cuda_malloc(
+        (inst.spec().max_batch() as u64 * 8 * 64).max(256),
+        AllocTag::KvCache,
+    )?;
+    rt.memory_mut()
+        .write_digest(kcache.addr(), input_digest("kv_init_k", 0, 0))?;
+    rt.memory_mut()
+        .write_digest(vcache.addr(), input_digest("kv_init_v", 0, 0))?;
+    rt.memory_mut()
+        .write_digest(block_table_buf.addr(), input_digest("kv_init_bt", 0, 0))?;
     Ok(KvCache {
         table: BlockTable::new(config.block_size),
         allocator: BlockAllocator::new(num_blocks),
@@ -212,7 +217,10 @@ mod tests {
         let (mut rt2, mut i2) = setup("Qwen1.5-0.5B", 777);
         let f1 = profile_available_memory(&mut rt1, &mut i1).unwrap();
         let f2 = profile_available_memory(&mut rt2, &mut i2).unwrap();
-        assert_eq!(f1, f2, "paper §6: same <GPU, model> must profile identically");
+        assert_eq!(
+            f1, f2,
+            "paper §6: same <GPU, model> must profile identically"
+        );
         assert!(f1 > 0);
     }
 
@@ -224,7 +232,10 @@ mod tests {
         let secs = rt.now().since(t0).as_secs_f64();
         // Paper Fig. 8a: KV-cache init ≈ 0.50 s, dominated by the profiling
         // forwarding.
-        assert!((0.30..0.65).contains(&secs), "profiling took {secs}s, out of band");
+        assert!(
+            (0.30..0.65).contains(&secs),
+            "profiling took {secs}s, out of band"
+        );
     }
 
     #[test]
@@ -232,7 +243,10 @@ mod tests {
         let (mut rt, mut inst) = setup("Qwen1.5-0.5B", 3);
         let free = profile_available_memory(&mut rt, &mut inst).unwrap();
         let cache = allocate_kv_cache(&mut rt, &inst, free).unwrap();
-        assert!(cache.num_blocks() > 1000, "a 40GB GPU should hold many 0.5B-model blocks");
+        assert!(
+            cache.num_blocks() > 1000,
+            "a 40GB GPU should hold many 0.5B-model blocks"
+        );
         assert_eq!(cache.free_blocks(), cache.num_blocks());
         assert!(cache.capacity_tokens() > 100_000);
         let view = cache.view();
@@ -243,7 +257,10 @@ mod tests {
     fn cache_too_small_is_reported() {
         let (mut rt, inst) = setup("Qwen1.5-0.5B", 4);
         let err = allocate_kv_cache(&mut rt, &inst, 100).unwrap_err();
-        assert!(matches!(err, KvCacheInitError::Kv(KvError::CacheTooSmall { .. })));
+        assert!(matches!(
+            err,
+            KvCacheInitError::Kv(KvError::CacheTooSmall { .. })
+        ));
     }
 
     #[test]

@@ -17,10 +17,10 @@ use crate::kernels::{batch_bucket, GemmFamily, KernelRole};
 use crate::schedule;
 use crate::spec::ModelSpec;
 use crate::structure::{magic_digest, ModelInstance};
-use medusa_graph::{capture_graph, CudaGraph, GraphExec, GraphResult};
 use medusa_gpu::{
     AllocTag, DevicePtr, Digest, DigestState, GpuResult, ProcessRuntime, SimDuration, Work,
 };
+use medusa_graph::{capture_graph, CudaGraph, GraphExec, GraphResult};
 
 /// View of the KV cache the forward pass reads/writes.
 #[derive(Debug, Clone, Copy)]
@@ -61,12 +61,20 @@ pub struct ForwardConfig {
 impl ForwardConfig {
     /// A decode step at `batch` with `ctx_len` context.
     pub fn decode(batch: u32, ctx_len: u32) -> Self {
-        ForwardConfig { batch, phase: Phase::Decode, ctx_len }
+        ForwardConfig {
+            batch,
+            phase: Phase::Decode,
+            ctx_len,
+        }
     }
 
     /// A prefill of `batch` sequences × `tokens_per_seq` tokens.
     pub fn prefill(batch: u32, tokens_per_seq: u32) -> Self {
-        ForwardConfig { batch, phase: Phase::Prefill { tokens_per_seq }, ctx_len: tokens_per_seq }
+        ForwardConfig {
+            batch,
+            phase: Phase::Prefill { tokens_per_seq },
+            ctx_len: tokens_per_seq,
+        }
     }
 
     /// Total tokens processed (`m` of the GEMMs).
@@ -187,7 +195,12 @@ fn emit_forward(
         launch(
             rt,
             KernelRole::EmbedTokens,
-            &[bufs.ids.addr(), inst.embed().ptr().addr(), bufs.hidden.addr(), h],
+            &[
+                bufs.ids.addr(),
+                inst.embed().ptr().addr(),
+                bufs.hidden.addr(),
+                h,
+            ],
             schedule::elementwise_work(m, h),
         )?;
     }
@@ -200,19 +213,37 @@ fn emit_forward(
         launch(
             rt,
             KernelRole::FusedRmsNorm,
-            &[bufs.hidden.addr(), lw.norm1.ptr().addr(), bufs.residual.addr(), h, EPS_BITS],
+            &[
+                bufs.hidden.addr(),
+                lw.norm1.ptr().addr(),
+                bufs.residual.addr(),
+                h,
+                EPS_BITS,
+            ],
             schedule::elementwise_work(m, h),
         )?;
         launch(
             rt,
             KernelRole::Gemm(GemmFamily::Qkv, bucket),
-            &[bufs.residual.addr(), lw.qkv.ptr().addr(), bufs.qkv.addr(), m, qkvw, h],
+            &[
+                bufs.residual.addr(),
+                lw.qkv.ptr().addr(),
+                bufs.qkv.addr(),
+                m,
+                qkvw,
+                h,
+            ],
             schedule::gemm_work(m, qkvw, h),
         )?;
         launch(
             rt,
             KernelRole::Rotary,
-            &[bufs.positions.addr(), bufs.qkv.addr(), spec.head_dim() as u64, ROPE_BASE],
+            &[
+                bufs.positions.addr(),
+                bufs.qkv.addr(),
+                spec.head_dim() as u64,
+                ROPE_BASE,
+            ],
             schedule::elementwise_work(m, qkvw),
         )?;
         launch(
@@ -247,7 +278,14 @@ fn emit_forward(
         launch(
             rt,
             KernelRole::Gemm(GemmFamily::Out, bucket),
-            &[bufs.attn_out.addr(), lw.o.ptr().addr(), bufs.hidden.addr(), m, h, h_shard],
+            &[
+                bufs.attn_out.addr(),
+                lw.o.ptr().addr(),
+                bufs.hidden.addr(),
+                m,
+                h,
+                h_shard,
+            ],
             schedule::gemm_work(m, h, h_shard),
         )?;
         if tp > 1 {
@@ -261,13 +299,26 @@ fn emit_forward(
         launch(
             rt,
             KernelRole::FusedAddRmsNorm,
-            &[bufs.hidden.addr(), bufs.residual.addr(), lw.norm2.ptr().addr(), bufs.residual.addr(), h],
+            &[
+                bufs.hidden.addr(),
+                bufs.residual.addr(),
+                lw.norm2.ptr().addr(),
+                bufs.residual.addr(),
+                h,
+            ],
             schedule::elementwise_work(m, h),
         )?;
         launch(
             rt,
             KernelRole::Gemm(GemmFamily::GateUp, bucket),
-            &[bufs.residual.addr(), lw.gate_up.ptr().addr(), bufs.gate_up.addr(), m, 2 * i, h],
+            &[
+                bufs.residual.addr(),
+                lw.gate_up.ptr().addr(),
+                bufs.gate_up.addr(),
+                m,
+                2 * i,
+                h,
+            ],
             schedule::gemm_work(m, 2 * i, h),
         )?;
         launch(
@@ -279,7 +330,14 @@ fn emit_forward(
         launch(
             rt,
             KernelRole::Gemm(GemmFamily::Down, bucket),
-            &[bufs.mlp_act.addr(), lw.down.ptr().addr(), bufs.hidden.addr(), m, h, i],
+            &[
+                bufs.mlp_act.addr(),
+                lw.down.ptr().addr(),
+                bufs.hidden.addr(),
+                m,
+                h,
+                i,
+            ],
             schedule::gemm_work(m, h, i),
         )?;
         if tp > 1 {
@@ -295,13 +353,26 @@ fn emit_forward(
         launch(
             rt,
             KernelRole::FusedRmsNorm,
-            &[bufs.hidden.addr(), inst.final_norm().ptr().addr(), bufs.residual.addr(), h, EPS_BITS],
+            &[
+                bufs.hidden.addr(),
+                inst.final_norm().ptr().addr(),
+                bufs.residual.addr(),
+                h,
+                EPS_BITS,
+            ],
             schedule::elementwise_work(m, h),
         )?;
         launch(
             rt,
             KernelRole::Gemm(GemmFamily::Out, bucket),
-            &[bufs.residual.addr(), inst.lm_head().ptr().addr(), bufs.logits.addr(), cfg.batch as u64, v, h],
+            &[
+                bufs.residual.addr(),
+                inst.lm_head().ptr().addr(),
+                bufs.logits.addr(),
+                cfg.batch as u64,
+                v,
+                h,
+            ],
             schedule::gemm_work(cfg.batch as u64, v, h),
         )?;
         launch(
@@ -411,18 +482,29 @@ fn alloc_temp_bufs(
             let kcache = rt.cuda_malloc(per_side.max(256), AllocTag::Activation)?;
             let vcache = rt.cuda_malloc(per_side.max(256), AllocTag::Activation)?;
             let bt = rt.cuda_malloc((cfg.batch as u64 * 8).max(256), AllocTag::Activation)?;
-            rt.memory_mut().write_digest(kcache.addr(), input_digest("dummy_k", cfg.batch, 0))?;
-            rt.memory_mut().write_digest(vcache.addr(), input_digest("dummy_v", cfg.batch, 0))?;
-            rt.memory_mut().write_digest(bt.addr(), input_digest("dummy_bt", cfg.batch, 0))?;
+            rt.memory_mut()
+                .write_digest(kcache.addr(), input_digest("dummy_k", cfg.batch, 0))?;
+            rt.memory_mut()
+                .write_digest(vcache.addr(), input_digest("dummy_v", cfg.batch, 0))?;
+            rt.memory_mut()
+                .write_digest(bt.addr(), input_digest("dummy_bt", cfg.batch, 0))?;
             dummy_kv.extend([kcache, vcache, bt]);
-            KvView { kcache, vcache, block_table: bt, block_size: 16 }
+            KvView {
+                kcache,
+                vcache,
+                block_table: bt,
+                block_size: 16,
+            }
         }
     };
 
     // Host-prepared inputs.
-    rt.memory_mut().write_digest(ids.addr(), input_digest("ids", cfg.batch, step))?;
-    rt.memory_mut().write_digest(positions.addr(), input_digest("positions", cfg.batch, step))?;
-    rt.memory_mut().write_digest(slots.addr(), input_digest("slots", cfg.batch, step))?;
+    rt.memory_mut()
+        .write_digest(ids.addr(), input_digest("ids", cfg.batch, step))?;
+    rt.memory_mut()
+        .write_digest(positions.addr(), input_digest("positions", cfg.batch, step))?;
+    rt.memory_mut()
+        .write_digest(slots.addr(), input_digest("slots", cfg.batch, step))?;
 
     // Eager forwardings initialize their own launch-magic workspace: one
     // correctly-written temporary pair per layer for decode (so an eager
@@ -436,8 +518,10 @@ fn alloc_temp_bufs(
     for l in 0..magic_pairs {
         let ma = rt.cuda_malloc(4, AllocTag::Activation)?;
         let mb = rt.cuda_malloc(4, AllocTag::Activation)?;
-        rt.memory_mut().write_digest(ma.addr(), magic_digest(l, 0))?;
-        rt.memory_mut().write_digest(mb.addr(), magic_digest(l, 1))?;
+        rt.memory_mut()
+            .write_digest(ma.addr(), magic_digest(l, 0))?;
+        rt.memory_mut()
+            .write_digest(mb.addr(), magic_digest(l, 1))?;
         magic.push((ma, mb));
     }
 
@@ -493,7 +577,11 @@ pub fn run_eager_forward_step(
 ) -> GpuResult<ForwardOutput> {
     let start = rt.now();
     let tmp = alloc_temp_bufs(rt, inst, cfg, kv, step)?;
-    let plan = EmitPlan { layers: 0..inst.spec().layers() as usize, include_head: true, aux_count: 0 };
+    let plan = EmitPlan {
+        layers: 0..inst.spec().layers() as usize,
+        include_head: true,
+        aux_count: 0,
+    };
     emit_forward(rt, inst, cfg, &tmp.emit_bufs(), &plan)?;
     rt.device_synchronize()?;
     let output = rt.memory().read_digest(tmp.next_tokens.addr())?;
@@ -507,7 +595,10 @@ pub fn run_eager_forward_step(
     for p in tmp.dummy_kv.into_iter().rev() {
         rt.cuda_free(p)?;
     }
-    Ok(ForwardOutput { duration: rt.now().since(start), output })
+    Ok(ForwardOutput {
+        duration: rt.now().since(start),
+        output,
+    })
 }
 
 /// Writes the persistent workspace's host-input digests for decode `step`.
@@ -521,14 +612,23 @@ pub fn write_ws_inputs(
     batch: u32,
     step: u64,
 ) -> GpuResult<()> {
-    let ws = inst.workspace().expect("workspace must be allocated before graph serving");
-    rt.memory_mut().write_digest(ws.ids.addr(), input_digest("ids", batch, step))?;
-    rt.memory_mut().write_digest(ws.positions.addr(), input_digest("positions", batch, step))?;
-    rt.memory_mut().write_digest(ws.slots.addr(), input_digest("slots", batch, step))?;
+    let ws = inst
+        .workspace()
+        .expect("workspace must be allocated before graph serving");
+    rt.memory_mut()
+        .write_digest(ws.ids.addr(), input_digest("ids", batch, step))?;
+    rt.memory_mut()
+        .write_digest(ws.positions.addr(), input_digest("positions", batch, step))?;
+    rt.memory_mut()
+        .write_digest(ws.slots.addr(), input_digest("slots", batch, step))?;
     Ok(())
 }
 
-fn ws_bufs(inst: &ModelInstance, kv: &KvView, scratch: Option<(DevicePtr, DevicePtr)>) -> EmitBufs<'static> {
+fn ws_bufs(
+    inst: &ModelInstance,
+    kv: &KvView,
+    scratch: Option<(DevicePtr, DevicePtr)>,
+) -> EmitBufs<'static> {
     let ws = inst.workspace().expect("workspace allocated");
     EmitBufs {
         ids: ws.ids,
@@ -567,12 +667,19 @@ pub fn warmup_decode(
     write_ws_inputs(rt, inst, batch, 0)?;
     let cfg = ForwardConfig::decode(batch, capture_ctx_len());
     let bufs = ws_bufs(inst, kv, None);
-    let plan = EmitPlan { layers: 0..inst.spec().layers() as usize, include_head: true, aux_count: 0 };
+    let plan = EmitPlan {
+        layers: 0..inst.spec().layers() as usize,
+        include_head: true,
+        aux_count: 0,
+    };
     emit_forward(rt, inst, &cfg, &bufs, &plan)?;
     rt.device_synchronize()?;
     let ws_next = inst.workspace().expect("ensured").next_tokens;
     let output = rt.memory().read_digest(ws_next.addr())?;
-    Ok(ForwardOutput { duration: rt.now().since(start), output })
+    Ok(ForwardOutput {
+        duration: rt.now().since(start),
+        output,
+    })
 }
 
 /// Nominal context length baked into captured decode graphs' attention
@@ -604,8 +711,11 @@ pub fn capture_decode_graph(
     let aux = schedule::aux_pad_for_graph(inst.spec(), graph_index);
     let cfg = ForwardConfig::decode(batch, capture_ctx_len());
     let bufs = ws_bufs(inst, kv, Some((sa, sb)));
-    let plan =
-        EmitPlan { layers: 0..inst.spec().layers() as usize, include_head: true, aux_count: aux };
+    let plan = EmitPlan {
+        layers: 0..inst.spec().layers() as usize,
+        include_head: true,
+        aux_count: aux,
+    };
     let inst_ref: &ModelInstance = inst;
     capture_graph(rt, 0, |rt| emit_forward(rt, inst_ref, &cfg, &bufs, &plan))
 }
@@ -628,7 +738,11 @@ pub fn warmup_first_layer(
     write_ws_inputs(rt, inst, batch, 0)?;
     let cfg = ForwardConfig::decode(batch, capture_ctx_len());
     let bufs = ws_bufs(inst, kv, None);
-    let plan = EmitPlan { layers: 0..1, include_head: false, aux_count: 0 };
+    let plan = EmitPlan {
+        layers: 0..1,
+        include_head: false,
+        aux_count: 0,
+    };
     emit_forward(rt, inst, &cfg, &bufs, &plan)?;
     rt.device_synchronize()
 }
@@ -660,13 +774,21 @@ pub fn run_handwritten_triggers(
 ) -> GpuResult<()> {
     inst.ensure_workspace(rt)?;
     let ws = inst.workspace().expect("just ensured");
-    rt.memory_mut().write_digest(ws.hidden.addr(), input_digest("trigger", 0, 0))?;
+    rt.memory_mut()
+        .write_digest(ws.hidden.addr(), input_digest("trigger", 0, 0))?;
     let addrs = inst.addrs().clone();
     for role in handwritten_triggering_kernels() {
         // Minimal 1x16x16 matrix multiplication, just enough to launch.
         rt.launch_kernel(
             addrs.addr(role),
-            &[ws.hidden.addr(), ws.residual.addr(), ws.attn_out.addr(), 1, 16, 16],
+            &[
+                ws.hidden.addr(),
+                ws.residual.addr(),
+                ws.attn_out.addr(),
+                1,
+                16,
+                16,
+            ],
             Work::NONE,
             0,
         )?;
@@ -691,7 +813,11 @@ pub fn capture_first_layer_graph(
     inst.ensure_magic_buffers(rt)?;
     let cfg = ForwardConfig::decode(batch, capture_ctx_len());
     let bufs = ws_bufs(inst, kv, None);
-    let plan = EmitPlan { layers: 0..1, include_head: false, aux_count: 0 };
+    let plan = EmitPlan {
+        layers: 0..1,
+        include_head: false,
+        aux_count: 0,
+    };
     let inst_ref: &ModelInstance = inst;
     capture_graph(rt, 0, |rt| emit_forward(rt, inst_ref, &cfg, &bufs, &plan))
 }
@@ -714,7 +840,10 @@ pub fn decode_step_with_graph(
     rt.device_synchronize()?;
     let ws = inst.workspace().expect("workspace allocated");
     let output = rt.memory().read_digest(ws.next_tokens.addr())?;
-    Ok(ForwardOutput { duration: rt.now().since(start), output })
+    Ok(ForwardOutput {
+        duration: rt.now().since(start),
+        output,
+    })
 }
 
 #[cfg(test)]
@@ -743,10 +872,21 @@ mod tests {
         let kcache = rt.cuda_malloc(1 << 20, AllocTag::KvCache).unwrap();
         let vcache = rt.cuda_malloc(1 << 20, AllocTag::KvCache).unwrap();
         let bt = rt.cuda_malloc(4096, AllocTag::KvCache).unwrap();
-        rt.memory_mut().write_digest(kcache.addr(), input_digest("k0", 0, 0)).unwrap();
-        rt.memory_mut().write_digest(vcache.addr(), input_digest("v0", 0, 0)).unwrap();
-        rt.memory_mut().write_digest(bt.addr(), input_digest("bt", 0, 0)).unwrap();
-        KvView { kcache, vcache, block_table: bt, block_size: 16 }
+        rt.memory_mut()
+            .write_digest(kcache.addr(), input_digest("k0", 0, 0))
+            .unwrap();
+        rt.memory_mut()
+            .write_digest(vcache.addr(), input_digest("v0", 0, 0))
+            .unwrap();
+        rt.memory_mut()
+            .write_digest(bt.addr(), input_digest("bt", 0, 0))
+            .unwrap();
+        KvView {
+            kcache,
+            vcache,
+            block_table: bt,
+            block_size: 16,
+        }
     }
 
     #[test]
@@ -755,10 +895,20 @@ mod tests {
         let (mut rt2, mut i2) = setup("Qwen1.5-0.5B", 999);
         let kv1 = kv(&mut rt1);
         let kv2 = kv(&mut rt2);
-        let o1 = run_eager_forward(&mut rt1, &mut i1, &ForwardConfig::decode(4, 512), Some(&kv1))
-            .unwrap();
-        let o2 = run_eager_forward(&mut rt2, &mut i2, &ForwardConfig::decode(4, 512), Some(&kv2))
-            .unwrap();
+        let o1 = run_eager_forward(
+            &mut rt1,
+            &mut i1,
+            &ForwardConfig::decode(4, 512),
+            Some(&kv1),
+        )
+        .unwrap();
+        let o2 = run_eager_forward(
+            &mut rt2,
+            &mut i2,
+            &ForwardConfig::decode(4, 512),
+            Some(&kv2),
+        )
+        .unwrap();
         assert_eq!(o1.output, o2.output, "digests must not depend on addresses");
         assert!(o1.duration.as_nanos() > 0);
     }
@@ -768,9 +918,21 @@ mod tests {
         let (mut rt, mut inst) = setup("Qwen1.5-0.5B", 2);
         let kvv = kv(&mut rt);
         // Burn in the magic buffers first (they persist by design).
-        run_eager_forward(&mut rt, &mut inst, &ForwardConfig::decode(1, 128), Some(&kvv)).unwrap();
+        run_eager_forward(
+            &mut rt,
+            &mut inst,
+            &ForwardConfig::decode(1, 128),
+            Some(&kvv),
+        )
+        .unwrap();
         let live = rt.memory().stats().live_allocations;
-        run_eager_forward(&mut rt, &mut inst, &ForwardConfig::decode(1, 128), Some(&kvv)).unwrap();
+        run_eager_forward(
+            &mut rt,
+            &mut inst,
+            &ForwardConfig::decode(1, 128),
+            Some(&kvv),
+        )
+        .unwrap();
         assert_eq!(rt.memory().stats().live_allocations, live);
     }
 
@@ -782,7 +944,10 @@ mod tests {
         let out = run_eager_forward(&mut rt, &mut inst, &cfg, None).unwrap();
         assert!(out.duration.as_nanos() > 0);
         let stats = rt.memory().stats();
-        assert!(stats.peak > stats.in_use, "profiling temps must raise the peak");
+        assert!(
+            stats.peak > stats.in_use,
+            "profiling temps must raise the peak"
+        );
     }
 
     #[test]
@@ -818,17 +983,33 @@ mod tests {
         let exec = GraphExec::instantiate(&mut rt, g).unwrap();
 
         // Reset KV state, run eager, record output.
-        rt.memory_mut().write_digest(kvv.kcache.addr(), input_digest("k0", 0, 0)).unwrap();
-        rt.memory_mut().write_digest(kvv.vcache.addr(), input_digest("v0", 0, 0)).unwrap();
-        let eager =
-            run_eager_forward_step(&mut rt, &mut inst, &ForwardConfig::decode(4, capture_ctx_len()), Some(&kvv), 7)
-                .unwrap();
+        rt.memory_mut()
+            .write_digest(kvv.kcache.addr(), input_digest("k0", 0, 0))
+            .unwrap();
+        rt.memory_mut()
+            .write_digest(kvv.vcache.addr(), input_digest("v0", 0, 0))
+            .unwrap();
+        let eager = run_eager_forward_step(
+            &mut rt,
+            &mut inst,
+            &ForwardConfig::decode(4, capture_ctx_len()),
+            Some(&kvv),
+            7,
+        )
+        .unwrap();
 
         // Reset KV state, replay graph with the same step inputs.
-        rt.memory_mut().write_digest(kvv.kcache.addr(), input_digest("k0", 0, 0)).unwrap();
-        rt.memory_mut().write_digest(kvv.vcache.addr(), input_digest("v0", 0, 0)).unwrap();
+        rt.memory_mut()
+            .write_digest(kvv.kcache.addr(), input_digest("k0", 0, 0))
+            .unwrap();
+        rt.memory_mut()
+            .write_digest(kvv.vcache.addr(), input_digest("v0", 0, 0))
+            .unwrap();
         let replay = decode_step_with_graph(&mut rt, &inst, &exec, 4, 7).unwrap();
-        assert_eq!(replay.output, eager.output, "self-replaying graph must match eager");
+        assert_eq!(
+            replay.output, eager.output,
+            "self-replaying graph must match eager"
+        );
     }
 
     #[test]
@@ -838,9 +1019,13 @@ mod tests {
         warmup_decode(&mut rt, &mut inst, 1, &kvv).unwrap();
         let g = capture_decode_graph(&mut rt, &mut inst, 1, &kvv, 0).unwrap();
         let exec = GraphExec::instantiate(&mut rt, g).unwrap();
-        let eager =
-            run_eager_forward(&mut rt, &mut inst, &ForwardConfig::decode(1, capture_ctx_len()), Some(&kvv))
-                .unwrap();
+        let eager = run_eager_forward(
+            &mut rt,
+            &mut inst,
+            &ForwardConfig::decode(1, capture_ctx_len()),
+            Some(&kvv),
+        )
+        .unwrap();
         let replay = decode_step_with_graph(&mut rt, &inst, &exec, 1, 1).unwrap();
         let speedup = eager.duration.as_secs_f64() / replay.duration.as_secs_f64();
         assert!(
@@ -858,9 +1043,15 @@ mod tests {
         assert_eq!(g.node_count() as u64, schedule::KERNELS_PER_LAYER);
         // Every cublas module must now be loaded (triggering-kernels).
         let loaded = rt.loaded_modules();
-        let cublas_idx = rt.catalog().lib_index(crate::kernels::CUBLAS_SIM_LIB).unwrap() as u16;
+        let cublas_idx = rt
+            .catalog()
+            .lib_index(crate::kernels::CUBLAS_SIM_LIB)
+            .unwrap() as u16;
         let cublas_loaded = loaded.iter().filter(|m| m.lib == cublas_idx).count();
-        assert_eq!(cublas_loaded, 4, "first layer must trigger all four GEMM family modules");
+        assert_eq!(
+            cublas_loaded, 4,
+            "first layer must trigger all four GEMM family modules"
+        );
     }
 
     #[test]
@@ -877,8 +1068,15 @@ mod tests {
     fn handwritten_triggers_load_every_gemm_module() {
         let (mut rt, mut inst) = setup("Qwen1.5-0.5B", 21);
         run_handwritten_triggers(&mut rt, &mut inst).unwrap();
-        let cublas_idx = rt.catalog().lib_index(crate::kernels::CUBLAS_SIM_LIB).unwrap() as u16;
-        let loaded = rt.loaded_modules().iter().filter(|m| m.lib == cublas_idx).count();
+        let cublas_idx = rt
+            .catalog()
+            .lib_index(crate::kernels::CUBLAS_SIM_LIB)
+            .unwrap() as u16;
+        let loaded = rt
+            .loaded_modules()
+            .iter()
+            .filter(|m| m.lib == cublas_idx)
+            .count();
         assert_eq!(loaded, 16, "4 families x 4 buckets must all be loaded");
     }
 
@@ -910,7 +1108,10 @@ mod tests {
         let cfg = ForwardConfig::decode(1, 64);
         let a = run_eager_forward_step(&mut rt, &mut inst, &cfg, Some(&kvv), 1).unwrap();
         let b = run_eager_forward_step(&mut rt, &mut inst, &cfg, Some(&kvv), 2).unwrap();
-        assert_ne!(a.output, b.output, "distinct step inputs must change outputs");
+        assert_ne!(
+            a.output, b.output,
+            "distinct step inputs must change outputs"
+        );
     }
 
     #[test]
@@ -924,12 +1125,20 @@ mod tests {
     fn prefill_scales_with_prompt_length() {
         let (mut rt, mut inst) = setup("Llama2-7B", 9);
         let kvv = kv(&mut rt);
-        let short =
-            run_eager_forward(&mut rt, &mut inst, &ForwardConfig::prefill(1, 64), Some(&kvv))
-                .unwrap();
-        let long =
-            run_eager_forward(&mut rt, &mut inst, &ForwardConfig::prefill(1, 1024), Some(&kvv))
-                .unwrap();
+        let short = run_eager_forward(
+            &mut rt,
+            &mut inst,
+            &ForwardConfig::prefill(1, 64),
+            Some(&kvv),
+        )
+        .unwrap();
+        let long = run_eager_forward(
+            &mut rt,
+            &mut inst,
+            &ForwardConfig::prefill(1, 1024),
+            Some(&kvv),
+        )
+        .unwrap();
         assert!(long.duration > short.duration);
     }
 }

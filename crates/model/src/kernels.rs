@@ -47,7 +47,12 @@ pub enum GemmFamily {
 
 impl GemmFamily {
     /// All families, in module order.
-    pub const ALL: [GemmFamily; 4] = [GemmFamily::Qkv, GemmFamily::Out, GemmFamily::GateUp, GemmFamily::Down];
+    pub const ALL: [GemmFamily; 4] = [
+        GemmFamily::Qkv,
+        GemmFamily::Out,
+        GemmFamily::GateUp,
+        GemmFamily::Down,
+    ];
 
     fn tag(self) -> &'static str {
         match self {
@@ -158,9 +163,9 @@ fn role_sig(role: KernelRole) -> KernelSig {
         KernelRole::ReshapeAndCache => {
             sig(&[PtrIn, PtrInOut, PtrInOut, PtrIn, PtrIn, PtrIn, Scalar4])
         }
-        KernelRole::PagedAttentionV1 | KernelRole::PagedAttentionV2 => {
-            sig(&[PtrIn, PtrIn, PtrIn, PtrIn, PtrOut, Scalar8, Scalar4, Scalar4])
-        }
+        KernelRole::PagedAttentionV1 | KernelRole::PagedAttentionV2 => sig(&[
+            PtrIn, PtrIn, PtrIn, PtrIn, PtrOut, Scalar8, Scalar4, Scalar4,
+        ]),
         KernelRole::SiluAndMul => sig(&[PtrIn, PtrOut, Scalar4]),
         KernelRole::EmbedTokens => sig(&[PtrIn, PtrIn, PtrOut, Scalar4]),
         KernelRole::GatherLogits => sig(&[PtrIn, PtrOut, Scalar4]),
@@ -184,7 +189,12 @@ fn role_class(role: KernelRole) -> CostClass {
 }
 
 fn def(role: KernelRole, exported: bool) -> KernelDef {
-    KernelDef::new(role.kernel_name(), exported, role_sig(role), role_class(role))
+    KernelDef::new(
+        role.kernel_name(),
+        exported,
+        role_sig(role),
+        role_class(role),
+    )
 }
 
 /// Builds the library catalog visible to an instance serving `spec`.
@@ -200,15 +210,24 @@ pub fn build_catalog(spec: &ModelSpec) -> Arc<LibraryCatalog> {
         vec![
             ModuleSpec::new(
                 "norm_ops",
-                vec![def(KernelRole::FusedRmsNorm, true), def(KernelRole::FusedAddRmsNorm, true)],
+                vec![
+                    def(KernelRole::FusedRmsNorm, true),
+                    def(KernelRole::FusedAddRmsNorm, true),
+                ],
             ),
             ModuleSpec::new(
                 "pos_cache_ops",
-                vec![def(KernelRole::Rotary, true), def(KernelRole::ReshapeAndCache, true)],
+                vec![
+                    def(KernelRole::Rotary, true),
+                    def(KernelRole::ReshapeAndCache, true),
+                ],
             ),
             ModuleSpec::new(
                 "act_ops",
-                vec![def(KernelRole::SiluAndMul, true), def(KernelRole::EmbedTokens, true)],
+                vec![
+                    def(KernelRole::SiluAndMul, true),
+                    def(KernelRole::EmbedTokens, true),
+                ],
             ),
             ModuleSpec::new(
                 "attn_ops",
@@ -219,7 +238,10 @@ pub fn build_catalog(spec: &ModelSpec) -> Arc<LibraryCatalog> {
             ),
             ModuleSpec::new(
                 "sampler_ops",
-                vec![def(KernelRole::GatherLogits, true), def(KernelRole::AdvanceStep, true)],
+                vec![
+                    def(KernelRole::GatherLogits, true),
+                    def(KernelRole::AdvanceStep, true),
+                ],
             ),
         ],
     );
@@ -253,7 +275,10 @@ pub fn build_catalog(spec: &ModelSpec) -> Arc<LibraryCatalog> {
     let nccl = LibrarySpec::new(
         NCCL_SIM_LIB,
         true,
-        vec![ModuleSpec::new("collectives", vec![def(KernelRole::AllReduce, true)])],
+        vec![ModuleSpec::new(
+            "collectives",
+            vec![def(KernelRole::AllReduce, true)],
+        )],
     );
 
     LibraryCatalog::new(vec![framework, cublas, nccl])
@@ -288,8 +313,12 @@ impl KernelAddrs {
     /// Returns a driver error if a kernel is missing from the catalog.
     pub fn resolve(rt: &ProcessRuntime, spec: &ModelSpec) -> GpuResult<Self> {
         let find = |role: KernelRole| -> GpuResult<u64> {
-            let kref = rt.catalog().find_kernel(role.library(), &role.kernel_name())?;
-            Ok(rt.kernel_address(kref).expect("library opened during structure init"))
+            let kref = rt
+                .catalog()
+                .find_kernel(role.library(), &role.kernel_name())?;
+            Ok(rt
+                .kernel_address(kref)
+                .expect("library opened during structure init"))
         };
         let mut gemm = [[0u64; GEMM_BUCKETS]; 4];
         for f in GemmFamily::ALL {
@@ -376,8 +405,7 @@ mod tests {
     fn catalog_exports_framework_hides_gemms() {
         let s = spec();
         let cat = build_catalog(&s);
-        let mut rt =
-            ProcessRuntime::new(cat, GpuSpec::a100_40gb(), CostModel::default(), 1);
+        let mut rt = ProcessRuntime::new(cat, GpuSpec::a100_40gb(), CostModel::default(), 1);
         let fw = rt.dlopen(MODEL_KERNELS_LIB).unwrap();
         let cb = rt.dlopen(CUBLAS_SIM_LIB).unwrap();
         assert!(rt.dlsym(fw, "fused_rms_norm_f16").is_ok());
@@ -403,7 +431,12 @@ mod tests {
         let aux_total: usize = lib
             .modules()
             .iter()
-            .map(|m| m.kernels().iter().filter(|k| k.name().contains("splitk")).count())
+            .map(|m| {
+                m.kernels()
+                    .iter()
+                    .filter(|k| k.name().contains("splitk"))
+                    .count()
+            })
             .sum();
         assert_eq!(aux_total, GEMM_BUCKETS * schedule::aux_kernel_count(&s));
         // With ≥4 aux kernels per bucket, each module holds at least one.
@@ -418,8 +451,7 @@ mod tests {
     fn kernel_addrs_resolve_all_roles() {
         let s = spec();
         let cat = build_catalog(&s);
-        let mut rt =
-            ProcessRuntime::new(cat, GpuSpec::a100_40gb(), CostModel::default(), 9);
+        let mut rt = ProcessRuntime::new(cat, GpuSpec::a100_40gb(), CostModel::default(), 9);
         rt.dlopen(MODEL_KERNELS_LIB).unwrap();
         rt.dlopen(CUBLAS_SIM_LIB).unwrap();
         rt.dlopen(NCCL_SIM_LIB).unwrap();
@@ -427,11 +459,21 @@ mod tests {
         assert_ne!(addrs.addr(KernelRole::FusedRmsNorm), 0);
         assert_ne!(addrs.addr(KernelRole::Gemm(GemmFamily::Down, 3)), 0);
         assert!(addrs.aux_count() > 0);
-        assert_ne!(addrs.addr(KernelRole::SplitKAux(0, 0)), addrs.addr(KernelRole::SplitKAux(0, 1)));
-        assert_ne!(addrs.addr(KernelRole::SplitKAux(0, 0)), addrs.addr(KernelRole::SplitKAux(1, 0)));
+        assert_ne!(
+            addrs.addr(KernelRole::SplitKAux(0, 0)),
+            addrs.addr(KernelRole::SplitKAux(0, 1))
+        );
+        assert_ne!(
+            addrs.addr(KernelRole::SplitKAux(0, 0)),
+            addrs.addr(KernelRole::SplitKAux(1, 0))
+        );
         // Addresses differ per process seed.
-        let mut rt2 =
-            ProcessRuntime::new(build_catalog(&s), GpuSpec::a100_40gb(), CostModel::default(), 10);
+        let mut rt2 = ProcessRuntime::new(
+            build_catalog(&s),
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            10,
+        );
         rt2.dlopen(MODEL_KERNELS_LIB).unwrap();
         rt2.dlopen(CUBLAS_SIM_LIB).unwrap();
         rt2.dlopen(NCCL_SIM_LIB).unwrap();

@@ -51,8 +51,8 @@ pub use forward::{
     ForwardOutput, KvView, Phase,
 };
 pub use kernels::{
-    batch_bucket, build_catalog, GemmFamily, KernelAddrs, KernelRole, CUBLAS_SIM_LIB,
-    GEMM_BUCKETS, MODEL_KERNELS_LIB,
+    batch_bucket, build_catalog, GemmFamily, KernelAddrs, KernelRole, CUBLAS_SIM_LIB, GEMM_BUCKETS,
+    MODEL_KERNELS_LIB,
 };
 pub use spec::ModelSpec;
 pub use structure::{

@@ -40,15 +40,21 @@ pub fn base_nodes_per_graph(spec: &ModelSpec) -> u64 {
 
 fn pad_total(spec: &ModelSpec) -> u64 {
     let base = NUM_GRAPHS * base_nodes_per_graph(spec);
-    spec.table1_nodes()
-        .checked_sub(base)
-        .unwrap_or_else(|| panic!("Table 1 node count below structural minimum for {}", spec.name()))
+    spec.table1_nodes().checked_sub(base).unwrap_or_else(|| {
+        panic!(
+            "Table 1 node count below structural minimum for {}",
+            spec.name()
+        )
+    })
 }
 
 /// Auxiliary split-K kernels in the graph for the `graph_index`-th batch
 /// size (0-based, batch sizes ascending). Larger batches get the remainder.
 pub fn aux_pad_for_graph(spec: &ModelSpec, graph_index: usize) -> u64 {
-    assert!(graph_index < NUM_GRAPHS as usize, "graph index out of range");
+    assert!(
+        graph_index < NUM_GRAPHS as usize,
+        "graph index out of range"
+    );
     let total = pad_total(spec);
     let base = total / NUM_GRAPHS;
     let rem = (total % NUM_GRAPHS) as usize;
@@ -58,7 +64,10 @@ pub fn aux_pad_for_graph(spec: &ModelSpec, graph_index: usize) -> u64 {
 /// Number of distinct auxiliary split-K kernels a model's catalog needs
 /// (the maximum per-graph pad).
 pub fn aux_kernel_count(spec: &ModelSpec) -> usize {
-    (0..NUM_GRAPHS as usize).map(|i| aux_pad_for_graph(spec, i)).max().unwrap_or(0) as usize
+    (0..NUM_GRAPHS as usize)
+        .map(|i| aux_pad_for_graph(spec, i))
+        .max()
+        .unwrap_or(0) as usize
 }
 
 /// Node count of the `graph_index`-th decode graph.
@@ -68,14 +77,19 @@ pub fn nodes_for_graph(spec: &ModelSpec, graph_index: usize) -> u64 {
 
 /// Total node count over all 35 graphs — equals Table 1 by construction.
 pub fn total_nodes(spec: &ModelSpec) -> u64 {
-    (0..NUM_GRAPHS as usize).map(|i| nodes_for_graph(spec, i)).sum()
+    (0..NUM_GRAPHS as usize)
+        .map(|i| nodes_for_graph(spec, i))
+        .sum()
 }
 
 // ----------------------------------------------------------------- work
 
 /// Work of a dense fp16 GEMM of shape `m×k · k×n`.
 pub fn gemm_work(m: u64, n: u64, k: u64) -> Work {
-    Work::new(2.0 * m as f64 * n as f64 * k as f64, 2.0 * (m * k + k * n + m * n) as f64)
+    Work::new(
+        2.0 * m as f64 * n as f64 * k as f64,
+        2.0 * (m * k + k * n + m * n) as f64,
+    )
 }
 
 /// Work of an elementwise/norm kernel over `m` rows of width `width`
@@ -121,8 +135,9 @@ mod tests {
     #[test]
     fn pads_are_monotone_over_graph_index() {
         for spec in ModelSpec::catalog() {
-            let pads: Vec<u64> =
-                (0..NUM_GRAPHS as usize).map(|i| aux_pad_for_graph(&spec, i)).collect();
+            let pads: Vec<u64> = (0..NUM_GRAPHS as usize)
+                .map(|i| aux_pad_for_graph(&spec, i))
+                .collect();
             assert!(pads.windows(2).all(|w| w[0] <= w[1]));
             assert!(pads[NUM_GRAPHS as usize - 1] - pads[0] <= 1);
         }
@@ -131,8 +146,10 @@ mod tests {
     #[test]
     fn aux_kernel_count_covers_max_pad() {
         for spec in ModelSpec::catalog() {
-            let max_pad =
-                (0..NUM_GRAPHS as usize).map(|i| aux_pad_for_graph(&spec, i)).max().unwrap();
+            let max_pad = (0..NUM_GRAPHS as usize)
+                .map(|i| aux_pad_for_graph(&spec, i))
+                .max()
+                .unwrap();
             assert_eq!(aux_kernel_count(&spec) as u64, max_pad);
         }
     }

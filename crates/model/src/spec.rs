@@ -143,14 +143,94 @@ impl ModelSpec {
     /// The ten models of Table 1.
     pub fn catalog() -> Vec<ModelSpec> {
         vec![
-            ModelSpec::new("Falcon-7B", 32, 4544, 71, 1, 18176, 65024, gib_f(13.4), 14406),
-            ModelSpec::new("Llama2-7B", 32, 4096, 32, 32, 11008, 32000, gib_f(12.6), 12518),
-            ModelSpec::new("Llama2-13B", 40, 5120, 40, 40, 13824, 32000, gib_f(24.2), 16150),
-            ModelSpec::new("Qwen1.5-0.5B", 24, 1024, 16, 16, 2816, 151936, gib_f(1.2), 9118),
-            ModelSpec::new("Qwen1.5-1.8B", 24, 2048, 16, 16, 5504, 151936, gib_f(3.4), 9550),
-            ModelSpec::new("Qwen1.5-4B", 40, 2560, 20, 20, 6912, 151936, gib_f(7.4), 16150),
-            ModelSpec::new("Qwen1.5-7B", 32, 4096, 32, 32, 11008, 151936, gib_f(14.4), 12902),
-            ModelSpec::new("Qwen1.5-14B", 40, 5120, 40, 40, 13696, 152064, gib_f(26.4), 16350),
+            ModelSpec::new(
+                "Falcon-7B",
+                32,
+                4544,
+                71,
+                1,
+                18176,
+                65024,
+                gib_f(13.4),
+                14406,
+            ),
+            ModelSpec::new(
+                "Llama2-7B",
+                32,
+                4096,
+                32,
+                32,
+                11008,
+                32000,
+                gib_f(12.6),
+                12518,
+            ),
+            ModelSpec::new(
+                "Llama2-13B",
+                40,
+                5120,
+                40,
+                40,
+                13824,
+                32000,
+                gib_f(24.2),
+                16150,
+            ),
+            ModelSpec::new(
+                "Qwen1.5-0.5B",
+                24,
+                1024,
+                16,
+                16,
+                2816,
+                151936,
+                gib_f(1.2),
+                9118,
+            ),
+            ModelSpec::new(
+                "Qwen1.5-1.8B",
+                24,
+                2048,
+                16,
+                16,
+                5504,
+                151936,
+                gib_f(3.4),
+                9550,
+            ),
+            ModelSpec::new(
+                "Qwen1.5-4B",
+                40,
+                2560,
+                20,
+                20,
+                6912,
+                151936,
+                gib_f(7.4),
+                16150,
+            ),
+            ModelSpec::new(
+                "Qwen1.5-7B",
+                32,
+                4096,
+                32,
+                32,
+                11008,
+                151936,
+                gib_f(14.4),
+                12902,
+            ),
+            ModelSpec::new(
+                "Qwen1.5-14B",
+                40,
+                5120,
+                40,
+                40,
+                13696,
+                152064,
+                gib_f(26.4),
+                16350,
+            ),
             ModelSpec::new("Yi-6B", 32, 4096, 32, 4, 11008, 64000, gib_f(11.3), 12902),
             ModelSpec::new("Yi-9B", 48, 4096, 32, 4, 11008, 64000, gib_f(16.4), 19318),
         ]

@@ -177,8 +177,7 @@ impl ModelInstance {
         rt.dlopen(kernels::NCCL_SIM_LIB)?;
         let addrs = KernelAddrs::resolve(rt, spec)?;
 
-        let tensors =
-            LOGICAL_TENSORS_PER_LAYER * spec.layers() as u64 + LOGICAL_HEAD_TENSORS;
+        let tensors = LOGICAL_TENSORS_PER_LAYER * spec.layers() as u64 + LOGICAL_HEAD_TENSORS;
         rt.advance(SimDuration::from_nanos(
             rt.cost().structure_fixed_ns + rt.cost().structure_per_tensor_ns * tensors,
         ));
@@ -190,11 +189,19 @@ impl ModelInstance {
             layers.push(LayerWeights {
                 qkv: WeightTensor::alloc(rt, format!("layers.{l}.qkv_proj"), sizes.qkv)?,
                 o: WeightTensor::alloc(rt, format!("layers.{l}.o_proj"), sizes.o)?,
-                gate_up: WeightTensor::alloc(rt, format!("layers.{l}.gate_up_proj"), sizes.gate_up)?,
+                gate_up: WeightTensor::alloc(
+                    rt,
+                    format!("layers.{l}.gate_up_proj"),
+                    sizes.gate_up,
+                )?,
                 down: WeightTensor::alloc(rt, format!("layers.{l}.down_proj"), sizes.down)?,
                 norm1: WeightTensor::alloc(rt, format!("layers.{l}.input_norm"), sizes.norm)?,
                 norm2: WeightTensor::alloc(rt, format!("layers.{l}.post_attn_norm"), sizes.norm)?,
-                inv_freq: WeightTensor::alloc(rt, format!("layers.{l}.rotary_inv_freq"), sizes.inv_freq)?,
+                inv_freq: WeightTensor::alloc(
+                    rt,
+                    format!("layers.{l}.rotary_inv_freq"),
+                    sizes.inv_freq,
+                )?,
             });
         }
         let final_norm = WeightTensor::alloc(rt, "final_norm".into(), sizes.norm)?;
@@ -259,7 +266,15 @@ impl ModelInstance {
     pub fn weight_tensors(&self) -> Vec<&WeightTensor> {
         let mut out = vec![&self.embed];
         for l in &self.layers {
-            out.extend([&l.qkv, &l.o, &l.gate_up, &l.down, &l.norm1, &l.norm2, &l.inv_freq]);
+            out.extend([
+                &l.qkv,
+                &l.o,
+                &l.gate_up,
+                &l.down,
+                &l.norm1,
+                &l.norm2,
+                &l.inv_freq,
+            ]);
         }
         out.push(&self.final_norm);
         out.push(&self.lm_head);
@@ -331,7 +346,11 @@ impl ModelInstance {
     ///
     /// Panics if the pair count does not match the layer count.
     pub fn bind_magic(&mut self, magic: Vec<(DevicePtr, DevicePtr)>) {
-        assert_eq!(magic.len(), self.spec.layers() as usize, "one magic pair per layer");
+        assert_eq!(
+            magic.len(),
+            self.spec.layers() as usize,
+            "one magic pair per layer"
+        );
         self.magic = magic;
     }
 
@@ -484,13 +503,21 @@ mod tests {
             assert_eq!(a.name(), b.name());
             assert_eq!(a.bytes(), b.bytes());
         }
-        assert_ne!(t1[0].ptr(), t2[0].ptr(), "ASLR: different processes, different addrs");
+        assert_ne!(
+            t1[0].ptr(),
+            t2[0].ptr(),
+            "ASLR: different processes, different addrs"
+        );
         // Allocation sequence indices are identical (determinism Medusa
         // relies on).
-        let seq1: Vec<u64> =
-            t1.iter().map(|t| rt1.memory().containing(t.ptr().addr()).unwrap().seq()).collect();
-        let seq2: Vec<u64> =
-            t2.iter().map(|t| rt2.memory().containing(t.ptr().addr()).unwrap().seq()).collect();
+        let seq1: Vec<u64> = t1
+            .iter()
+            .map(|t| rt1.memory().containing(t.ptr().addr()).unwrap().seq())
+            .collect();
+        let seq2: Vec<u64> = t2
+            .iter()
+            .map(|t| rt2.memory().containing(t.ptr().addr()).unwrap().seq())
+            .collect();
         assert_eq!(seq1, seq2);
     }
 
@@ -501,7 +528,10 @@ mod tests {
         let total = inst.weight_bytes();
         let target = spec.param_bytes();
         let ratio = total as f64 / target as f64;
-        assert!((0.95..1.05).contains(&ratio), "weight bytes {total} vs table {target}");
+        assert!(
+            (0.95..1.05).contains(&ratio),
+            "weight bytes {total} vs table {target}"
+        );
     }
 
     #[test]
@@ -517,7 +547,10 @@ mod tests {
         let _ = ModelInstance::initialize(&mut rt, &spec).unwrap();
         let secs = rt.now().since(t0).as_secs_f64();
         // Paper Fig. 8a: 0.85 s for Qwen1.5 4B.
-        assert!((0.70..1.00).contains(&secs), "structure init {secs}s out of band");
+        assert!(
+            (0.70..1.00).contains(&secs),
+            "structure init {secs}s out of band"
+        );
     }
 
     #[test]
@@ -538,7 +571,10 @@ mod tests {
         inst.ensure_magic_buffers(&mut rt).unwrap();
         assert_eq!(inst.magic_buffers().len(), 24);
         let (a, _) = inst.magic_buffers()[3];
-        assert_eq!(rt.memory().read_digest(a.addr()).unwrap(), magic_digest(3, 0));
+        assert_eq!(
+            rt.memory().read_digest(a.addr()).unwrap(),
+            magic_digest(3, 0)
+        );
         let before = rt.memory().stats().total_allocations;
         inst.ensure_magic_buffers(&mut rt).unwrap();
         assert_eq!(rt.memory().stats().total_allocations, before, "idempotent");
@@ -547,7 +583,9 @@ mod tests {
     #[test]
     fn graph_scratch_release_frees_everything() {
         let (mut rt, mut inst) = init(6);
-        let p = rt.cuda_malloc(512, medusa_gpu::AllocTag::Workspace).unwrap();
+        let p = rt
+            .cuda_malloc(512, medusa_gpu::AllocTag::Workspace)
+            .unwrap();
         inst.register_graph_scratch(p);
         assert_eq!(inst.graph_scratch().len(), 1);
         let live_before = rt.memory().stats().live_allocations;

@@ -41,15 +41,24 @@ impl Tokenizer {
         let mut seen: HashMap<Vec<u8>, ()> = vocab.iter().cloned().map(|v| (v, ())).collect();
         while (vocab.len() as u32) < vocab_size.max(256) {
             let len = 2 + (rng.gen::<usize>() % 7);
-            let piece: Vec<u8> =
-                (0..len).map(|_| CHARS[rng.gen::<usize>() % CHARS.len()]).collect();
+            let piece: Vec<u8> = (0..len)
+                .map(|_| CHARS[rng.gen::<usize>() % CHARS.len()])
+                .collect();
             if seen.insert(piece.clone(), ()).is_none() {
                 vocab.push(piece);
             }
         }
-        let lookup = vocab.iter().enumerate().map(|(i, v)| (v.clone(), i as u32)).collect();
+        let lookup = vocab
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
         let max_piece = vocab.iter().map(Vec::len).max().unwrap_or(1);
-        Tokenizer { vocab, lookup, max_piece }
+        Tokenizer {
+            vocab,
+            lookup,
+            max_piece,
+        }
     }
 
     /// Vocabulary size.
@@ -100,7 +109,13 @@ mod tests {
     #[test]
     fn roundtrip_is_lossless() {
         let (t, _) = Tokenizer::load(32_000, &CostModel::default());
-        for s in ["hello world", "the rain in spain", "", "ünïcödé 😀 text", "aaaaaa"] {
+        for s in [
+            "hello world",
+            "the rain in spain",
+            "",
+            "ünïcödé 😀 text",
+            "aaaaaa",
+        ] {
             let ids = t.encode(s);
             assert_eq!(t.decode(&ids), s.as_bytes(), "roundtrip failed for {s:?}");
         }
@@ -130,7 +145,10 @@ mod tests {
         assert!(large > small);
         // Paper Fig. 8a: ~0.21 s for Qwen1.5's 151936-entry vocab.
         let secs = large.as_secs_f64();
-        assert!((0.15..0.30).contains(&secs), "tokenizer load {secs}s out of band");
+        assert!(
+            (0.15..0.30).contains(&secs),
+            "tokenizer load {secs}s out of band"
+        );
     }
 
     #[test]

@@ -11,11 +11,7 @@ use medusa_gpu::{DigestState, GpuResult, ProcessRuntime, SimDuration, SimStorage
 
 /// Pure duration of loading `spec`'s weights with `slowdown ∈ (0, 1]`
 /// (1.0 = no interference).
-pub fn load_duration(
-    bytes: u64,
-    cost: &medusa_gpu::CostModel,
-    slowdown: f64,
-) -> SimDuration {
+pub fn load_duration(bytes: u64, cost: &medusa_gpu::CostModel, slowdown: f64) -> SimDuration {
     SimStorage::from_cost_model(cost).pipelined_to_device(bytes, cost.h2d_bandwidth, slowdown)
 }
 
@@ -29,7 +25,8 @@ pub fn load_duration(
 pub fn apply_weights(rt: &mut ProcessRuntime, inst: &ModelInstance) -> GpuResult<()> {
     let model = inst.spec().name().to_string();
     for t in inst.weight_tensors() {
-        rt.memory_mut().write_digest(t.ptr().addr(), weight_digest(&model, t.name()))?;
+        rt.memory_mut()
+            .write_digest(t.ptr().addr(), weight_digest(&model, t.name()))?;
     }
     Ok(())
 }
@@ -79,7 +76,10 @@ mod tests {
         let d = load_weights(&mut rt, &inst, 1.0).unwrap();
         let secs = d.as_secs_f64();
         // Paper Fig. 8a: 0.39 s.
-        assert!((0.30..0.50).contains(&secs), "weights load {secs}s out of band");
+        assert!(
+            (0.30..0.50).contains(&secs),
+            "weights load {secs}s out of band"
+        );
         // Contents are present.
         let t = inst.layers()[0].qkv.ptr();
         assert_eq!(

@@ -23,7 +23,10 @@ use medusa_model::{schedule, ModelSpec};
 /// captured size).
 fn graph_nodes(spec: &ModelSpec, batch: u32) -> u64 {
     let sizes = ModelSpec::capture_batch_sizes();
-    let gi = sizes.iter().position(|&b| b >= batch).unwrap_or(sizes.len() - 1);
+    let gi = sizes
+        .iter()
+        .position(|&b| b >= batch)
+        .unwrap_or(sizes.len() - 1);
     schedule::nodes_for_graph(spec, gi)
 }
 
@@ -108,9 +111,15 @@ mod tests {
     fn estimates_track_measurements() {
         let spec = ModelSpec::by_name("Qwen1.5-0.5B").unwrap();
         let cost = CostModel::default();
-        let vanilla =
-            PerfModel::measure(Strategy::Vanilla, &spec, GpuSpec::a100_40gb(), cost.clone(), None, 81)
-                .unwrap();
+        let vanilla = PerfModel::measure(
+            Strategy::Vanilla,
+            &spec,
+            GpuSpec::a100_40gb(),
+            cost.clone(),
+            None,
+            81,
+        )
+        .unwrap();
         let nograph = PerfModel::measure(
             Strategy::NoCudaGraph,
             &spec,
@@ -152,7 +161,10 @@ mod tests {
         let s_q4 = graph_speedup_estimate(&q4, &cost, 1);
         let s_l13 = graph_speedup_estimate(&l13, &cost, 1);
         assert!((1.8..3.2).contains(&s_q4), "Qwen4B analytic speedup {s_q4}");
-        assert!(s_l13 < s_q4, "bigger models are memory-bound: {s_l13} !< {s_q4}");
+        assert!(
+            s_l13 < s_q4,
+            "bigger models are memory-bound: {s_l13} !< {s_q4}"
+        );
     }
 
     #[test]

@@ -72,6 +72,11 @@ impl PerfModel {
     /// Measures a performance model by running a real cold start and timing
     /// real forward passes on the resulting engine.
     ///
+    /// Cold starts run with the default [`ColdStartOptions`], i.e. the
+    /// overlapped parallel cold-start engine — the cluster simulator
+    /// automatically sees the faster (dependency-graph-scheduled) loading
+    /// times rather than the serial linear sum.
+    ///
     /// # Errors
     ///
     /// Propagates cold-start and forwarding errors.
@@ -83,7 +88,11 @@ impl PerfModel {
         artifact: Option<&MaterializedState>,
         seed: u64,
     ) -> MedusaResult<Self> {
-        let opts = ColdStartOptions { seed, warm_container: true, ..Default::default() };
+        let opts = ColdStartOptions {
+            seed,
+            warm_container: true,
+            ..Default::default()
+        };
         let (mut engine, report) = cold_start(strategy, spec, gpu, cost, artifact, opts)?;
         let decode_batches = ModelSpec::capture_batch_sizes();
         // Warm each batch bucket once: the first eager decode of a bucket
@@ -160,8 +169,48 @@ mod tests {
                 SimDuration::from_millis(5),
                 SimDuration::from_millis(6),
             ],
-            vec![(100, SimDuration::from_millis(10)), (200, SimDuration::from_millis(20))],
+            vec![
+                (100, SimDuration::from_millis(10)),
+                (200, SimDuration::from_millis(20)),
+            ],
         )
+    }
+
+    #[test]
+    fn measure_uses_the_overlapped_cold_start_engine() {
+        use medusa::Parallelism;
+        let spec = ModelSpec::by_name("Qwen1.5-0.5B").expect("catalog model");
+        let perf = PerfModel::measure(
+            Strategy::VanillaAsync,
+            &spec,
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            None,
+            77,
+        )
+        .expect("measure");
+        let loading_with = |parallelism| {
+            let opts = ColdStartOptions {
+                seed: 77,
+                warm_container: true,
+                parallelism,
+                ..Default::default()
+            };
+            let (_, report) = cold_start(
+                Strategy::VanillaAsync,
+                &spec,
+                GpuSpec::a100_40gb(),
+                CostModel::default(),
+                None,
+                opts,
+            )
+            .expect("cold start");
+            report.loading
+        };
+        // The default options run the overlapped engine, so the simulator's
+        // loading time is the scheduled makespan, not the serial sum.
+        assert_eq!(perf.loading, loading_with(Parallelism::Overlapped));
+        assert!(perf.loading < loading_with(Parallelism::Serial));
     }
 
     #[test]
@@ -170,7 +219,11 @@ mod tests {
         assert_eq!(p.decode_duration(1), SimDuration::from_millis(3));
         assert_eq!(p.decode_duration(3), SimDuration::from_millis(5));
         assert_eq!(p.decode_duration(8), SimDuration::from_millis(6));
-        assert_eq!(p.decode_duration(99), SimDuration::from_millis(6), "clamped");
+        assert_eq!(
+            p.decode_duration(99),
+            SimDuration::from_millis(6),
+            "clamped"
+        );
     }
 
     #[test]
@@ -184,16 +237,19 @@ mod tests {
     #[test]
     fn measured_models_preserve_strategy_ordering() {
         let spec = ModelSpec::by_name("Qwen1.5-0.5B").unwrap();
-        let (artifact, _) = medusa::materialize_offline(
-            &spec,
-            GpuSpec::a100_40gb(),
-            CostModel::default(),
-            61,
-        )
-        .unwrap();
+        let (artifact, _) =
+            medusa::materialize_offline(&spec, GpuSpec::a100_40gb(), CostModel::default(), 61)
+                .unwrap();
         let measure = |s: Strategy, art: Option<&MaterializedState>| {
-            PerfModel::measure(s, &spec, GpuSpec::a100_40gb(), CostModel::default(), art, 62)
-                .unwrap()
+            PerfModel::measure(
+                s,
+                &spec,
+                GpuSpec::a100_40gb(),
+                CostModel::default(),
+                art,
+                62,
+            )
+            .unwrap()
         };
         let vanilla = measure(Strategy::Vanilla, None);
         let nograph = measure(Strategy::NoCudaGraph, None);
@@ -209,9 +265,12 @@ mod tests {
         assert!(medusa.decode_duration(1) < nograph.decode_duration(1));
         assert_eq!(vanilla.decode_duration(1), vanilla.decode[0]);
         // Medusa's restored graphs decode exactly as fast as vanilla's.
-        let ratio = medusa.decode_duration(1).as_secs_f64()
-            / vanilla.decode_duration(1).as_secs_f64();
-        assert!((0.95..1.05).contains(&ratio), "restored graph decode ratio {ratio}");
+        let ratio =
+            medusa.decode_duration(1).as_secs_f64() / vanilla.decode_duration(1).as_secs_f64();
+        assert!(
+            (0.95..1.05).contains(&ratio),
+            "restored graph decode ratio {ratio}"
+        );
         // Prefill grows with prompt length.
         assert!(vanilla.prefill_duration(1024) > vanilla.prefill_duration(64));
     }

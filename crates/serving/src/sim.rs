@@ -35,7 +35,12 @@ pub struct ClusterConfig {
 impl Default for ClusterConfig {
     fn default() -> Self {
         // The paper's trace experiments use 4 × A100.
-        ClusterConfig { gpus: 4, max_running: 32, drain_s: 600.0, keep_alive_s: 60.0 }
+        ClusterConfig {
+            gpus: 4,
+            max_running: 32,
+            drain_s: 600.0,
+            keep_alive_s: 60.0,
+        }
     }
 }
 
@@ -160,8 +165,15 @@ pub fn simulate(perf: &PerfModel, cluster: &ClusterConfig, trace: &[Request]) ->
             Event::Arrival(r) => {
                 queue.push_back(r);
                 dispatch(
-                    t, perf, cluster, trace, &mut instances, &mut cold_starting, &mut queue,
-                    &mut events, &mut seq,
+                    t,
+                    perf,
+                    cluster,
+                    trace,
+                    &mut instances,
+                    &mut cold_starting,
+                    &mut queue,
+                    &mut events,
+                    &mut seq,
                 );
             }
             Event::InstanceReady(i) => {
@@ -169,8 +181,15 @@ pub fn simulate(perf: &PerfModel, cluster: &ClusterConfig, trace: &[Request]) ->
                 cold_starting -= 1;
                 result.cold_starts.push(t);
                 dispatch(
-                    t, perf, cluster, trace, &mut instances, &mut cold_starting, &mut queue,
-                    &mut events, &mut seq,
+                    t,
+                    perf,
+                    cluster,
+                    trace,
+                    &mut instances,
+                    &mut cold_starting,
+                    &mut queue,
+                    &mut events,
+                    &mut seq,
                 );
             }
             Event::TryStart(i) => {
@@ -178,12 +197,32 @@ pub fn simulate(perf: &PerfModel, cluster: &ClusterConfig, trace: &[Request]) ->
                     continue;
                 }
                 pull_queue(&mut instances[i], perf, cluster, trace, &mut queue);
-                run_iteration(t, i, perf, trace, cluster, &mut instances, &mut result, &mut events, &mut seq);
+                run_iteration(
+                    t,
+                    i,
+                    perf,
+                    trace,
+                    cluster,
+                    &mut instances,
+                    &mut result,
+                    &mut events,
+                    &mut seq,
+                );
             }
             Event::IterationEnd(i) => {
                 instances[i].busy = false;
                 pull_queue(&mut instances[i], perf, cluster, trace, &mut queue);
-                run_iteration(t, i, perf, trace, cluster, &mut instances, &mut result, &mut events, &mut seq);
+                run_iteration(
+                    t,
+                    i,
+                    perf,
+                    trace,
+                    cluster,
+                    &mut instances,
+                    &mut result,
+                    &mut events,
+                    &mut seq,
+                );
             }
             Event::IdleCheck(i) => {
                 let inst = &mut instances[i];
@@ -191,9 +230,9 @@ pub fn simulate(perf: &PerfModel, cluster: &ClusterConfig, trace: &[Request]) ->
                     && !inst.busy
                     && inst.pending.is_empty()
                     && inst.running.is_empty()
-                    && inst
-                        .idle_since
-                        .is_some_and(|since| t.saturating_sub(since) >= (cluster.keep_alive_s * 1e9) as u64)
+                    && inst.idle_since.is_some_and(|since| {
+                        t.saturating_sub(since) >= (cluster.keep_alive_s * 1e9) as u64
+                    })
                 {
                     // Keep-alive expired: tear the instance down, freeing
                     // its GPU for a future (cold-started) replacement.
@@ -234,7 +273,8 @@ fn dispatch(
             Some((i, inst)) => {
                 inst.kv_tokens += need;
                 inst.idle_since = None;
-                inst.pending.push_back(queue.pop_front().expect("checked front"));
+                inst.pending
+                    .push_back(queue.pop_front().expect("checked front"));
                 if !inst.busy {
                     events.push(Reverse((t, *seq, Event::TryStart(i))));
                     *seq += 1;
@@ -248,14 +288,19 @@ fn dispatch(
     // start is the loading phase; warm container pool, §7.5).
     let live = instances.iter().filter(|i| !i.retired).count();
     let mut live_now = live;
-    while live_now < cluster.gpus
-        && queue.len() > *cold_starting * cluster.max_running as usize
-    {
-        instances.push(Instance { ready: false, ..Instance::default() });
+    while live_now < cluster.gpus && queue.len() > *cold_starting * cluster.max_running as usize {
+        instances.push(Instance {
+            ready: false,
+            ..Instance::default()
+        });
         *cold_starting += 1;
         live_now += 1;
         let ready_at = t + perf.loading.as_nanos();
-        events.push(Reverse((ready_at, *seq, Event::InstanceReady(instances.len() - 1))));
+        events.push(Reverse((
+            ready_at,
+            *seq,
+            Event::InstanceReady(instances.len() - 1),
+        )));
         *seq += 1;
     }
 }
@@ -277,10 +322,14 @@ fn run_iteration(
         // Prefill iteration: produces the request's first token.
         let dur = perf.prefill_duration(trace[r].prompt_tokens).as_nanos();
         let end = t + dur;
-        result.ttfts.push(SimDuration::from_nanos(end - trace[r].arrival_ns));
+        result
+            .ttfts
+            .push(SimDuration::from_nanos(end - trace[r].arrival_ns));
         if trace[r].output_tokens > 1 {
-            inst.running
-                .push(RunningSeq { remaining: trace[r].output_tokens - 1, kv_reserved: kv_need(&trace[r]) });
+            inst.running.push(RunningSeq {
+                remaining: trace[r].output_tokens - 1,
+                kv_reserved: kv_need(&trace[r]),
+            });
         } else {
             inst.kv_tokens = inst.kv_tokens.saturating_sub(kv_need(&trace[r]));
             result.completed += 1;
@@ -297,8 +346,12 @@ fn run_iteration(
             s.remaining -= 1;
         }
         let before = inst.running.len();
-        let released: u64 =
-            inst.running.iter().filter(|s| s.remaining == 0).map(|s| s.kv_reserved).sum();
+        let released: u64 = inst
+            .running
+            .iter()
+            .filter(|s| s.remaining == 0)
+            .map(|s| s.kv_reserved)
+            .sum();
         inst.running.retain(|s| s.remaining > 0);
         let finished = before - inst.running.len();
         if finished > 0 {
@@ -333,7 +386,8 @@ fn pull_queue(
             Some(&r) if inst.kv_tokens + kv_need(&trace[r]) <= perf.kv_capacity_tokens => {
                 inst.kv_tokens += kv_need(&trace[r]);
                 inst.idle_since = None;
-                inst.pending.push_back(queue.pop_front().expect("checked front"));
+                inst.pending
+                    .push_back(queue.pop_front().expect("checked front"));
             }
             _ => break,
         }
@@ -356,12 +410,20 @@ mod tests {
                 SimDuration::from_millis(6),
                 SimDuration::from_millis(8),
             ],
-            vec![(100, SimDuration::from_millis(20)), (200, SimDuration::from_millis(40))],
+            vec![
+                (100, SimDuration::from_millis(20)),
+                (200, SimDuration::from_millis(40)),
+            ],
         )
     }
 
     fn req(id: u64, arrival_ms: u64, prompt: u32, output: u32) -> Request {
-        Request { id, arrival_ns: arrival_ms * 1_000_000, prompt_tokens: prompt, output_tokens: output }
+        Request {
+            id,
+            arrival_ns: arrival_ms * 1_000_000,
+            prompt_tokens: prompt,
+            output_tokens: output,
+        }
     }
 
     #[test]
@@ -391,16 +453,24 @@ mod tests {
     fn burst_triggers_scale_up_to_gpu_limit() {
         // 200 simultaneous long requests with capacity 32/instance.
         let trace: Vec<Request> = (0..200).map(|i| req(i, 0, 100, 50)).collect();
-        let cfg = ClusterConfig { gpus: 4, max_running: 32, drain_s: 600.0, keep_alive_s: 60.0 };
+        let cfg = ClusterConfig {
+            gpus: 4,
+            max_running: 32,
+            drain_s: 600.0,
+            keep_alive_s: 60.0,
+        };
         let r = simulate(&perf(500), &cfg, &trace);
-        assert_eq!(r.cold_starts.len(), 4, "scale-up must stop at the GPU count");
+        assert_eq!(
+            r.cold_starts.len(),
+            4,
+            "scale-up must stop at the GPU count"
+        );
         assert_eq!(r.completed, 200);
     }
 
     #[test]
     fn faster_cold_start_lowers_tail_ttft() {
-        let trace: Vec<Request> =
-            (0..120).map(|i| req(i, i * 30, 150, 40)).collect();
+        let trace: Vec<Request> = (0..120).map(|i| req(i, i * 30, 150, 40)).collect();
         let cfg = ClusterConfig::default();
         let slow = simulate(&perf(3000), &cfg, &trace);
         let fast = simulate(&perf(800), &cfg, &trace);
@@ -440,10 +510,21 @@ mod tests {
         // Two requests 30 s apart with a 10 s keep-alive: the instance
         // retires between them and the second pays a fresh cold start.
         let trace = vec![req(0, 0, 100, 1), req(1, 30_000, 100, 1)];
-        let cfg = ClusterConfig { keep_alive_s: 10.0, ..ClusterConfig::default() };
+        let cfg = ClusterConfig {
+            keep_alive_s: 10.0,
+            ..ClusterConfig::default()
+        };
         let r = simulate(&perf(1000), &cfg, &trace);
-        assert_eq!(r.cold_starts.len(), 2, "scale-down must force a second cold start");
-        assert_eq!(r.ttfts[1], SimDuration::from_millis(1020), "second request pays cold start");
+        assert_eq!(
+            r.cold_starts.len(),
+            2,
+            "scale-down must force a second cold start"
+        );
+        assert_eq!(
+            r.ttfts[1],
+            SimDuration::from_millis(1020),
+            "second request pays cold start"
+        );
         // With a long keep-alive the instance survives the gap.
         let warm = simulate(&perf(1000), &ClusterConfig::default(), &trace);
         assert_eq!(warm.cold_starts.len(), 1);
@@ -456,14 +537,22 @@ mod tests {
         // per instance, the rest queue or scale out.
         let p = perf(100).with_kv_capacity(300);
         let trace: Vec<Request> = (0..8).map(|i| req(i, 0, 100, 50)).collect();
-        let cfg = ClusterConfig { gpus: 1, max_running: 32, drain_s: 600.0, keep_alive_s: 60.0 };
+        let cfg = ClusterConfig {
+            gpus: 1,
+            max_running: 32,
+            drain_s: 600.0,
+            keep_alive_s: 60.0,
+        };
         let r = simulate(&p, &cfg, &trace);
         assert_eq!(r.completed, 8, "everything eventually completes");
         // With only 2 concurrent, the last admissions wait for releases:
         // TTFTs must spread out instead of all being ~cold+prefill.
-        let spread = r.ttfts.iter().max().unwrap().as_nanos()
-            - r.ttfts.iter().min().unwrap().as_nanos();
-        assert!(spread > SimDuration::from_millis(200).as_nanos(), "admission must serialize");
+        let spread =
+            r.ttfts.iter().max().unwrap().as_nanos() - r.ttfts.iter().min().unwrap().as_nanos();
+        assert!(
+            spread > SimDuration::from_millis(200).as_nanos(),
+            "admission must serialize"
+        );
         // Unlimited capacity: everything admitted at once.
         let r2 = simulate(&perf(100), &cfg, &trace);
         assert!(

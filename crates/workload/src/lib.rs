@@ -62,7 +62,12 @@ impl LengthSampler {
         assert!(mean > 0.0 && sigma > 0.0 && min <= max);
         // E[lognormal(mu, sigma)] = exp(mu + sigma^2 / 2).
         let mu = mean.ln() - sigma * sigma / 2.0;
-        LengthSampler { mu, sigma, min, max }
+        LengthSampler {
+            mu,
+            sigma,
+            min,
+            max,
+        }
     }
 
     /// The ShareGPT prompt-length sampler.
@@ -109,14 +114,22 @@ pub enum ArrivalPattern {
 impl ArrivalPattern {
     /// The paper's motivating burstiness: 15× swings on a 30 s cycle.
     pub fn sharegpt_bursty() -> Self {
-        ArrivalPattern::Bursty { factor: 15.0, period_s: 30.0, duty: 0.2 }
+        ArrivalPattern::Bursty {
+            factor: 15.0,
+            period_s: 30.0,
+            duty: 0.2,
+        }
     }
 
     /// Instantaneous rate multiplier at time `t` (mean 1.0 over a cycle).
     fn multiplier(&self, t: f64) -> f64 {
         match *self {
             ArrivalPattern::Poisson => 1.0,
-            ArrivalPattern::Bursty { factor, period_s, duty } => {
+            ArrivalPattern::Bursty {
+                factor,
+                period_s,
+                duty,
+            } => {
                 // Peak and trough chosen so the cycle average is 1.0.
                 let mean = duty * factor + (1.0 - duty);
                 let phase = (t / period_s).fract();
@@ -180,9 +193,7 @@ impl TraceConfig {
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xa076_1d64_78bd_642f);
         let peak_multiplier = match self.pattern {
             ArrivalPattern::Poisson => 1.0,
-            ArrivalPattern::Bursty { factor, duty, .. } => {
-                factor / (duty * factor + (1.0 - duty))
-            }
+            ArrivalPattern::Bursty { factor, duty, .. } => factor / (duty * factor + (1.0 - duty)),
         };
         let peak_rate = self.rps * peak_multiplier;
         let mut out = Vec::new();
@@ -229,7 +240,10 @@ mod tests {
     fn arrival_rate_approximates_rps() {
         let trace = TraceConfig::sharegpt(10.0, 120.0).with_seed(3).generate();
         let rate = trace.len() as f64 / 120.0;
-        assert!((8.0..12.0).contains(&rate), "rate {rate} too far from 10 rps");
+        assert!(
+            (8.0..12.0).contains(&rate),
+            "rate {rate} too far from 10 rps"
+        );
         assert!(trace.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
     }
 
@@ -270,18 +284,26 @@ mod tests {
     fn bursty_pattern_preserves_mean_rate() {
         let base = TraceConfig::sharegpt(10.0, 300.0).with_seed(8);
         let poisson = base.clone().generate();
-        let bursty =
-            base.with_pattern(ArrivalPattern::sharegpt_bursty()).generate();
+        let bursty = base
+            .with_pattern(ArrivalPattern::sharegpt_bursty())
+            .generate();
         let r_p = poisson.len() as f64 / 300.0;
         let r_b = bursty.len() as f64 / 300.0;
-        assert!((r_b / r_p - 1.0).abs() < 0.2, "mean rate must be preserved: {r_p} vs {r_b}");
+        assert!(
+            (r_b / r_p - 1.0).abs() < 0.2,
+            "mean rate must be preserved: {r_p} vs {r_b}"
+        );
     }
 
     #[test]
     fn bursty_pattern_fluctuates_by_the_paper_factor() {
         let trace = TraceConfig::sharegpt(5.0, 300.0)
             .with_seed(9)
-            .with_pattern(ArrivalPattern::Bursty { factor: 15.0, period_s: 30.0, duty: 0.2 })
+            .with_pattern(ArrivalPattern::Bursty {
+                factor: 15.0,
+                period_s: 30.0,
+                duty: 0.2,
+            })
             .generate();
         // Count arrivals per 6-second bucket; peak buckets must dwarf
         // trough buckets (paper §1: 10-20x within 30 s).
@@ -295,6 +317,9 @@ mod tests {
             .filter(|&&b| b > 0)
             .map(|&b| b as f64)
             .fold(f64::INFINITY, f64::min);
-        assert!(peak / trough_avg.max(1.0) >= 5.0, "peak {peak} vs trough {trough_avg}");
+        assert!(
+            peak / trough_avg.max(1.0) >= 5.0,
+            "peak {peak} vs trough {trough_avg}"
+        );
     }
 }

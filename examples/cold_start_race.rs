@@ -8,7 +8,9 @@ use medusa_gpu::{CostModel, GpuSpec, SimTime};
 use medusa_model::ModelSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let model = std::env::args().nth(1).unwrap_or_else(|| "Qwen1.5-4B".to_string());
+    let model = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Qwen1.5-4B".to_string());
     let spec = ModelSpec::by_name(&model)
         .ok_or_else(|| format!("unknown model `{model}`; see ModelSpec::catalog()"))?;
     let gpu = GpuSpec::a100_40gb();
@@ -17,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Warm containers, as in the paper's trace experiments: the race is
     // about the loading phase.
-    let opts = ColdStartOptions { seed: 12, warm_container: true, ..Default::default() };
+    let opts = ColdStartOptions {
+        seed: 12,
+        warm_container: true,
+        ..Default::default()
+    };
 
     let mut reports = Vec::new();
     for strategy in Strategy::ALL {
@@ -39,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Stage::Capture => 'C',
         _ => '?',
     };
-    println!("loading-phase race for {} (S=structure W=weights T=tokenizer K=kv-init C=capture)", spec.name());
+    println!(
+        "loading-phase race for {} (S=structure W=weights T=tokenizer K=kv-init C=capture)",
+        spec.name()
+    );
     println!("time axis: 0 .. {horizon:.2}s; lower lanes run concurrently with upper ones\n");
     for r in &reports {
         println!("{} — {:.3}s", r.strategy, r.loading.as_secs_f64());
@@ -54,7 +63,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for c in lane.iter_mut().take(to).skip(from) {
                 *c = glyph(span.stage);
             }
-            println!("  |{}| {:<14} {:.3}s", lane.iter().collect::<String>(), span.stage.to_string(), span.duration().as_secs_f64());
+            println!(
+                "  |{}| {:<14} {:.3}s",
+                lane.iter().collect::<String>(),
+                span.stage.to_string(),
+                span.duration().as_secs_f64()
+            );
         }
         println!();
     }

@@ -11,15 +11,26 @@ use medusa_model::ModelSpec;
 use std::collections::BTreeMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let model = std::env::args().nth(1).unwrap_or_else(|| "Qwen1.5-0.5B".to_string());
+    let model = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Qwen1.5-0.5B".to_string());
     let spec = ModelSpec::by_name(&model)
         .ok_or_else(|| format!("unknown model `{model}`; see ModelSpec::catalog()"))?;
-    let (artifact, _) =
-        materialize_offline(&spec, GpuSpec::a100_40gb(), CostModel::default(), 3)?;
+    let (artifact, _) = materialize_offline(&spec, GpuSpec::a100_40gb(), CostModel::default(), 3)?;
 
-    println!("artifact for <{}, {}> (version {})", artifact.model, artifact.gpu, artifact.version);
-    println!("  materialized KV init: {} bytes free GPU memory", artifact.kv_free_bytes);
-    let mallocs = artifact.replay_ops.iter().filter(|o| matches!(o, ReplayOp::Malloc { .. })).count();
+    println!(
+        "artifact for <{}, {}> (version {})",
+        artifact.model, artifact.gpu, artifact.version
+    );
+    println!(
+        "  materialized KV init: {} bytes free GPU memory",
+        artifact.kv_free_bytes
+    );
+    let mallocs = artifact
+        .replay_ops
+        .iter()
+        .filter(|o| matches!(o, ReplayOp::Malloc { .. }))
+        .count();
     let frees = artifact.replay_ops.len() - mallocs;
     println!(
         "  replay sequence: {} natural prefix allocs + {} replayed ops ({} mallocs / {} frees)",
@@ -28,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mallocs,
         frees
     );
-    println!("  labels: {} semantic buffer bindings", artifact.labels.len());
+    println!(
+        "  labels: {} semantic buffer bindings",
+        artifact.labels.len()
+    );
     println!(
         "  permanent contents: {} buffers x 16-byte digests (copy-free restoration, §4.3)",
         artifact.permanent_contents.len()
@@ -36,9 +50,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let st = &artifact.stats;
     println!("\nanalysis statistics:");
-    println!("  graphs {} / nodes {} (Table 1: {})", artifact.graphs.len(), st.nodes, spec.table1_nodes());
-    println!("  params: {} pointers (indirect indices) / {} constants", st.pointer_params, st.const_params);
-    println!("  multi-match pointer hazards disambiguated (Fig. 6): {}", st.multi_match_pointers);
+    println!(
+        "  graphs {} / nodes {} (Table 1: {})",
+        artifact.graphs.len(),
+        st.nodes,
+        spec.table1_nodes()
+    );
+    println!(
+        "  params: {} pointers (indirect indices) / {} constants",
+        st.pointer_params, st.const_params
+    );
+    println!(
+        "  multi-match pointer hazards disambiguated (Fig. 6): {}",
+        st.multi_match_pointers
+    );
     println!(
         "  kernel restoration: {} nodes via dlsym ({:.1}%), {} via triggering-kernels",
         st.dlsym_restorable_nodes,
@@ -54,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut by_lib: BTreeMap<&str, BTreeMap<&str, usize>> = BTreeMap::new();
     for g in &artifact.graphs {
         for n in &g.nodes {
-            *by_lib.entry(&n.library).or_default().entry(&n.kernel).or_default() += 1;
+            *by_lib
+                .entry(&n.library)
+                .or_default()
+                .entry(&n.kernel)
+                .or_default() += 1;
         }
     }
     println!("\nkernel name table:");
@@ -71,7 +100,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One materialized node, spelled out (the Fig. 4 node after analysis).
     let g = &artifact.graphs[0];
     let node = &g.nodes[5];
-    println!("\nsample node (graph batch={}, node 5): kernel `{}` of `{}`", g.batch, node.kernel, node.library);
+    println!(
+        "\nsample node (graph batch={}, node 5): kernel `{}` of `{}`",
+        g.batch, node.kernel, node.library
+    );
     for (i, p) in node.params.iter().enumerate() {
         match p {
             ParamSpec::Const { bytes } => {
@@ -84,6 +116,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let json = artifact.to_json()?;
-    println!("\nserialized artifact size: {:.1} KiB of JSON", json.len() as f64 / 1024.0);
+    println!(
+        "\nserialized artifact size: {:.1} KiB of JSON",
+        json.len() as f64 / 1024.0
+    );
     Ok(())
 }

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use medusa::{cold_start, materialize_offline, ColdStartOptions, Stage, Strategy};
+use medusa::{cold_start, materialize_offline, ColdStartOptions, Parallelism, Stage, Strategy};
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
 
@@ -36,10 +36,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ----------------------------------------------------------- online
     // Two cold starts in *different* simulated processes (different seeds →
     // different library and buffer addresses): vanilla vs Medusa.
-    let opts = ColdStartOptions { seed: 2024, ..Default::default() };
-    let (_v_engine, vanilla) = cold_start(Strategy::Vanilla, &spec, gpu.clone(), cost.clone(), None, opts)?;
-    let (mut m_engine, medusa) =
-        cold_start(Strategy::Medusa, &spec, gpu, cost, Some(&artifact), opts)?;
+    let opts = ColdStartOptions {
+        seed: 2024,
+        ..Default::default()
+    };
+    let (_v_engine, vanilla) = cold_start(
+        Strategy::Vanilla,
+        &spec,
+        gpu.clone(),
+        cost.clone(),
+        None,
+        opts,
+    )?;
+    let (mut m_engine, medusa) = cold_start(
+        Strategy::Medusa,
+        &spec,
+        gpu.clone(),
+        cost.clone(),
+        Some(&artifact),
+        opts,
+    )?;
 
     println!("cold start comparison ({}):", spec.name());
     for (name, r) in [("vanilla vLLM", &vanilla), ("Medusa", &medusa)] {
@@ -53,13 +69,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let reduction = 1.0 - medusa.loading.as_secs_f64() / vanilla.loading.as_secs_f64();
-    println!("  => loading-phase reduction: {:.1}% (paper Fig. 7: 42.5% avg)\n", 100.0 * reduction);
+    println!(
+        "  => loading-phase reduction: {:.1}% (paper Fig. 7: 42.5% avg)\n",
+        100.0 * reduction
+    );
+
+    // ------------------------------------- parallel cold-start engine
+    // Restoration stages run on a dependency-graph scheduler (DESIGN.md
+    // §7); the `parallelism` knob on ColdStartOptions picks how much of
+    // the legal overlap is exploited. Total work is mode-invariant at
+    // tp=1 — only the layout on the timeline (and so the wall clock)
+    // changes.
+    println!("parallelism knob (Medusa, same seed):");
+    for mode in Parallelism::ALL {
+        let opts = ColdStartOptions {
+            seed: 2024,
+            parallelism: mode,
+            ..Default::default()
+        };
+        let (_, r) = cold_start(
+            Strategy::Medusa,
+            &spec,
+            gpu.clone(),
+            cost.clone(),
+            Some(&artifact),
+            opts,
+        )?;
+        let path: Vec<String> = r.critical_path.iter().map(|s| format!("{s:?}")).collect();
+        println!(
+            "  {:<26} loading {:.3}s  work {:.3}s  critical path: {}",
+            mode.to_string(),
+            r.loading.as_secs_f64(),
+            r.work().as_secs_f64(),
+            path.join(" -> ")
+        );
+    }
+    println!();
 
     // The restored instance actually serves: run a prefill + a few decode
     // steps through the restored CUDA graphs.
     let ttft = m_engine.prefill(1, 161)?;
     let step = m_engine.decode_step(1)?;
-    println!("restored instance serves: prefill(161 tok) {:.1}ms, graph decode step {:.2}ms",
-        ttft.as_millis_f64(), step.as_millis_f64());
+    println!(
+        "restored instance serves: prefill(161 tok) {:.1}ms, graph decode step {:.2}ms",
+        ttft.as_millis_f64(),
+        step.as_millis_f64()
+    );
     Ok(())
 }

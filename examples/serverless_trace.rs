@@ -11,12 +11,19 @@ use medusa_serving::{simulate, ClusterConfig, PerfModel};
 use medusa_workload::TraceConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rps: f64 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(6.0);
+    let rps: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(6.0);
     let spec = ModelSpec::by_name("Llama2-7B").expect("catalog model");
     let gpu = GpuSpec::a100_40gb();
     let cost = CostModel::default();
 
-    println!("measuring per-strategy serving parameters for {} ...", spec.name());
+    println!(
+        "measuring per-strategy serving parameters for {} ...",
+        spec.name()
+    );
     let (artifact, _) = materialize_offline(&spec, gpu.clone(), cost.clone(), 7)?;
     let mut perfs = Vec::new();
     for strategy in Strategy::ALL {

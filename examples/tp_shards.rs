@@ -9,12 +9,20 @@ use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let tp: u32 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(2);
+    let tp: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(2);
     let spec = ModelSpec::by_name("Qwen1.5-4B").expect("catalog model");
     let gpu = GpuSpec::a100_40gb();
     let cost = CostModel::default();
 
-    println!("offline phase for {} with tp={tp} ({} ranks in parallel)...", spec.name(), tp);
+    println!(
+        "offline phase for {} with tp={tp} ({} ranks in parallel)...",
+        spec.name(),
+        tp
+    );
     let (artifacts, report) = materialize_offline_tp(&spec, tp, gpu.clone(), cost.clone(), 7)?;
     for artifact in artifacts.iter() {
         println!(
@@ -27,12 +35,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             artifact.kv_free_bytes as f64 / (1u64 << 30) as f64
         );
     }
-    println!("  slowest rank: {:.1}s offline (simulated)\n", report.total().as_secs_f64());
+    println!(
+        "  slowest rank: {:.1}s offline (simulated)\n",
+        report.total().as_secs_f64()
+    );
 
-    let opts = ColdStartOptions { warm_container: true, ..Default::default() };
-    let vanilla = cold_start_tp(Strategy::Vanilla, &spec, tp, gpu.clone(), cost.clone(), None, opts)?;
-    let medusa =
-        cold_start_tp(Strategy::Medusa, &spec, tp, gpu, cost, Some(&artifacts), opts)?;
+    let opts = ColdStartOptions {
+        warm_container: true,
+        ..Default::default()
+    };
+    let vanilla = cold_start_tp(
+        Strategy::Vanilla,
+        &spec,
+        tp,
+        gpu.clone(),
+        cost.clone(),
+        None,
+        opts,
+    )?;
+    let medusa = cold_start_tp(
+        Strategy::Medusa,
+        &spec,
+        tp,
+        gpu,
+        cost,
+        Some(&artifacts),
+        opts,
+    )?;
 
     println!("tensor-parallel cold start (instance ready when the slowest rank is):");
     for (name, run) in [("vanilla vLLM", &vanilla), ("Medusa", &medusa)] {

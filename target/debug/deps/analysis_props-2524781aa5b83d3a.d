@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_props-2524781aa5b83d3a.d: tests/analysis_props.rs
+
+/root/repo/target/debug/deps/analysis_props-2524781aa5b83d3a: tests/analysis_props.rs
+
+tests/analysis_props.rs:

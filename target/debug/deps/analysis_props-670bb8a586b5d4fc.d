@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_props-670bb8a586b5d4fc.d: tests/analysis_props.rs
+
+/root/repo/target/debug/deps/analysis_props-670bb8a586b5d4fc: tests/analysis_props.rs
+
+tests/analysis_props.rs:

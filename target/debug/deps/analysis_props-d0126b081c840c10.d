@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_props-d0126b081c840c10.d: tests/analysis_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_props-d0126b081c840c10.rmeta: tests/analysis_props.rs Cargo.toml
+
+tests/analysis_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

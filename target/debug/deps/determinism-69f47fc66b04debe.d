@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-69f47fc66b04debe.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-69f47fc66b04debe: tests/determinism.rs
+
+tests/determinism.rs:

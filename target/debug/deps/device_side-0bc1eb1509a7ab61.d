@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/device_side-0bc1eb1509a7ab61.d: tests/device_side.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdevice_side-0bc1eb1509a7ab61.rmeta: tests/device_side.rs Cargo.toml
+
+tests/device_side.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

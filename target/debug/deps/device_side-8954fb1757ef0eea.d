@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_side-8954fb1757ef0eea.d: tests/device_side.rs
+
+/root/repo/target/debug/deps/device_side-8954fb1757ef0eea: tests/device_side.rs
+
+tests/device_side.rs:

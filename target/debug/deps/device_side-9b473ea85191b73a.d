@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_side-9b473ea85191b73a.d: tests/device_side.rs
+
+/root/repo/target/debug/deps/device_side-9b473ea85191b73a: tests/device_side.rs
+
+tests/device_side.rs:

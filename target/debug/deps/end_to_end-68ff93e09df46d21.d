@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-68ff93e09df46d21.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-68ff93e09df46d21: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c1f25b5a5be33e83.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c1f25b5a5be33e83: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/false_positive-0e7c1de8d95ecc65.d: tests/false_positive.rs
+
+/root/repo/target/debug/deps/false_positive-0e7c1de8d95ecc65: tests/false_positive.rs
+
+tests/false_positive.rs:

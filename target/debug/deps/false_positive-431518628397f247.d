@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/false_positive-431518628397f247.d: tests/false_positive.rs
+
+/root/repo/target/debug/deps/false_positive-431518628397f247: tests/false_positive.rs
+
+tests/false_positive.rs:

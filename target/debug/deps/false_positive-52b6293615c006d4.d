@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/false_positive-52b6293615c006d4.d: tests/false_positive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfalse_positive-52b6293615c006d4.rmeta: tests/false_positive.rs Cargo.toml
+
+tests/false_positive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

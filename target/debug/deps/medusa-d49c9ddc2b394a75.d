@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/medusa-d49c9ddc2b394a75.d: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline/analysis.rs crates/core/src/offline/capture.rs crates/core/src/online/kernels.rs crates/core/src/online/replay.rs crates/core/src/online/validate.rs crates/core/src/pipeline.rs crates/core/src/tp.rs crates/core/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedusa-d49c9ddc2b394a75.rmeta: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline/analysis.rs crates/core/src/offline/capture.rs crates/core/src/online/kernels.rs crates/core/src/online/replay.rs crates/core/src/online/validate.rs crates/core/src/pipeline.rs crates/core/src/tp.rs crates/core/src/trace.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/artifact.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/offline/analysis.rs:
+crates/core/src/offline/capture.rs:
+crates/core/src/online/kernels.rs:
+crates/core/src/online/replay.rs:
+crates/core/src/online/validate.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/tp.rs:
+crates/core/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

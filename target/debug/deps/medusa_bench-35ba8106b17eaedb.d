@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/medusa_bench-35ba8106b17eaedb.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/medusa_bench-35ba8106b17eaedb: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/common.rs:
+crates/bench/src/figures.rs:

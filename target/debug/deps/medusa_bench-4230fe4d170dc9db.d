@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/medusa_bench-4230fe4d170dc9db.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libmedusa_bench-4230fe4d170dc9db.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libmedusa_bench-4230fe4d170dc9db.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/common.rs:
+crates/bench/src/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medusa_cli-1a87ac1114205925.d: crates/core/src/bin/medusa-cli.rs
+
+/root/repo/target/debug/deps/medusa_cli-1a87ac1114205925: crates/core/src/bin/medusa-cli.rs
+
+crates/core/src/bin/medusa-cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/medusa_cli-5a819807be7d79f7.d: crates/core/src/bin/medusa-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedusa_cli-5a819807be7d79f7.rmeta: crates/core/src/bin/medusa-cli.rs Cargo.toml
+
+crates/core/src/bin/medusa-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medusa_cli-6a5807192adf1cc5.d: crates/core/src/bin/medusa-cli.rs
+
+/root/repo/target/debug/deps/medusa_cli-6a5807192adf1cc5: crates/core/src/bin/medusa-cli.rs
+
+crates/core/src/bin/medusa-cli.rs:

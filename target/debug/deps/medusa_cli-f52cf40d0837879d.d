@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medusa_cli-f52cf40d0837879d.d: crates/core/src/bin/medusa-cli.rs
+
+/root/repo/target/debug/deps/medusa_cli-f52cf40d0837879d: crates/core/src/bin/medusa-cli.rs
+
+crates/core/src/bin/medusa-cli.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/medusa_gpu-64a9642becf82d59.d: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/error.rs crates/gpu/src/kernel.rs crates/gpu/src/library.rs crates/gpu/src/memory.rs crates/gpu/src/process.rs crates/gpu/src/storage.rs crates/gpu/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedusa_gpu-64a9642becf82d59.rmeta: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/error.rs crates/gpu/src/kernel.rs crates/gpu/src/library.rs crates/gpu/src/memory.rs crates/gpu/src/process.rs crates/gpu/src/storage.rs crates/gpu/src/stream.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/clock.rs:
+crates/gpu/src/error.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/library.rs:
+crates/gpu/src/memory.rs:
+crates/gpu/src/process.rs:
+crates/gpu/src/storage.rs:
+crates/gpu/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

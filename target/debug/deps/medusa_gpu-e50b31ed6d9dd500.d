@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/medusa_gpu-e50b31ed6d9dd500.d: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/error.rs crates/gpu/src/kernel.rs crates/gpu/src/library.rs crates/gpu/src/memory.rs crates/gpu/src/process.rs crates/gpu/src/storage.rs crates/gpu/src/stream.rs
+
+/root/repo/target/debug/deps/medusa_gpu-e50b31ed6d9dd500: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/error.rs crates/gpu/src/kernel.rs crates/gpu/src/library.rs crates/gpu/src/memory.rs crates/gpu/src/process.rs crates/gpu/src/storage.rs crates/gpu/src/stream.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/clock.rs:
+crates/gpu/src/error.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/library.rs:
+crates/gpu/src/memory.rs:
+crates/gpu/src/process.rs:
+crates/gpu/src/storage.rs:
+crates/gpu/src/stream.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/medusa_graph-1f192da3a70e4147.d: crates/graph/src/lib.rs crates/graph/src/capture.rs crates/graph/src/error.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/node.rs
+
+/root/repo/target/debug/deps/medusa_graph-1f192da3a70e4147: crates/graph/src/lib.rs crates/graph/src/capture.rs crates/graph/src/error.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/node.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/capture.rs:
+crates/graph/src/error.rs:
+crates/graph/src/exec.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/node.rs:

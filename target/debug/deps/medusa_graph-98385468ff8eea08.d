@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/medusa_graph-98385468ff8eea08.d: crates/graph/src/lib.rs crates/graph/src/capture.rs crates/graph/src/error.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/node.rs
+
+/root/repo/target/debug/deps/libmedusa_graph-98385468ff8eea08.rlib: crates/graph/src/lib.rs crates/graph/src/capture.rs crates/graph/src/error.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/node.rs
+
+/root/repo/target/debug/deps/libmedusa_graph-98385468ff8eea08.rmeta: crates/graph/src/lib.rs crates/graph/src/capture.rs crates/graph/src/error.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/node.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/capture.rs:
+crates/graph/src/error.rs:
+crates/graph/src/exec.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/node.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/medusa_graph-ac825412b478280b.d: crates/graph/src/lib.rs crates/graph/src/capture.rs crates/graph/src/error.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedusa_graph-ac825412b478280b.rmeta: crates/graph/src/lib.rs crates/graph/src/capture.rs crates/graph/src/error.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/node.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/capture.rs:
+crates/graph/src/error.rs:
+crates/graph/src/exec.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

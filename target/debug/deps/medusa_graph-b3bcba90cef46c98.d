@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/medusa_graph-b3bcba90cef46c98.d: crates/graph/src/lib.rs crates/graph/src/capture.rs crates/graph/src/error.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/node.rs
+
+/root/repo/target/debug/deps/libmedusa_graph-b3bcba90cef46c98.rlib: crates/graph/src/lib.rs crates/graph/src/capture.rs crates/graph/src/error.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/node.rs
+
+/root/repo/target/debug/deps/libmedusa_graph-b3bcba90cef46c98.rmeta: crates/graph/src/lib.rs crates/graph/src/capture.rs crates/graph/src/error.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/node.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/capture.rs:
+crates/graph/src/error.rs:
+crates/graph/src/exec.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/node.rs:

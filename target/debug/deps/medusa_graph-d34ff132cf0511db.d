@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/medusa_graph-d34ff132cf0511db.d: crates/graph/src/lib.rs crates/graph/src/capture.rs crates/graph/src/error.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/node.rs
+
+/root/repo/target/debug/deps/medusa_graph-d34ff132cf0511db: crates/graph/src/lib.rs crates/graph/src/capture.rs crates/graph/src/error.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/node.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/capture.rs:
+crates/graph/src/error.rs:
+crates/graph/src/exec.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/node.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medusa_kvcache-37bf160431adbf5f.d: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs
+
+/root/repo/target/debug/deps/medusa_kvcache-37bf160431adbf5f: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs
+
+crates/kvcache/src/lib.rs:
+crates/kvcache/src/block.rs:
+crates/kvcache/src/profile.rs:

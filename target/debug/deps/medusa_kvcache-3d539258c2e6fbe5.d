@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medusa_kvcache-3d539258c2e6fbe5.d: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs
+
+/root/repo/target/debug/deps/medusa_kvcache-3d539258c2e6fbe5: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs
+
+crates/kvcache/src/lib.rs:
+crates/kvcache/src/block.rs:
+crates/kvcache/src/profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/medusa_kvcache-41aeade71d29b752.d: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs
+
+/root/repo/target/debug/deps/libmedusa_kvcache-41aeade71d29b752.rlib: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs
+
+/root/repo/target/debug/deps/libmedusa_kvcache-41aeade71d29b752.rmeta: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs
+
+crates/kvcache/src/lib.rs:
+crates/kvcache/src/block.rs:
+crates/kvcache/src/profile.rs:

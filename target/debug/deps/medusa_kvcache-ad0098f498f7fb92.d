@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/medusa_kvcache-ad0098f498f7fb92.d: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs
+
+/root/repo/target/debug/deps/libmedusa_kvcache-ad0098f498f7fb92.rlib: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs
+
+/root/repo/target/debug/deps/libmedusa_kvcache-ad0098f498f7fb92.rmeta: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs
+
+crates/kvcache/src/lib.rs:
+crates/kvcache/src/block.rs:
+crates/kvcache/src/profile.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/medusa_kvcache-e2132428cd3eb555.d: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedusa_kvcache-e2132428cd3eb555.rmeta: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs Cargo.toml
+
+crates/kvcache/src/lib.rs:
+crates/kvcache/src/block.rs:
+crates/kvcache/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

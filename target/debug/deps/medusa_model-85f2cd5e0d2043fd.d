@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/medusa_model-85f2cd5e0d2043fd.d: crates/model/src/lib.rs crates/model/src/forward.rs crates/model/src/kernels.rs crates/model/src/schedule.rs crates/model/src/spec.rs crates/model/src/structure.rs crates/model/src/tokenizer.rs crates/model/src/weights.rs
+
+/root/repo/target/debug/deps/medusa_model-85f2cd5e0d2043fd: crates/model/src/lib.rs crates/model/src/forward.rs crates/model/src/kernels.rs crates/model/src/schedule.rs crates/model/src/spec.rs crates/model/src/structure.rs crates/model/src/tokenizer.rs crates/model/src/weights.rs
+
+crates/model/src/lib.rs:
+crates/model/src/forward.rs:
+crates/model/src/kernels.rs:
+crates/model/src/schedule.rs:
+crates/model/src/spec.rs:
+crates/model/src/structure.rs:
+crates/model/src/tokenizer.rs:
+crates/model/src/weights.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/medusa_model-c2d55348b4ab254e.d: crates/model/src/lib.rs crates/model/src/forward.rs crates/model/src/kernels.rs crates/model/src/schedule.rs crates/model/src/spec.rs crates/model/src/structure.rs crates/model/src/tokenizer.rs crates/model/src/weights.rs
+
+/root/repo/target/debug/deps/libmedusa_model-c2d55348b4ab254e.rlib: crates/model/src/lib.rs crates/model/src/forward.rs crates/model/src/kernels.rs crates/model/src/schedule.rs crates/model/src/spec.rs crates/model/src/structure.rs crates/model/src/tokenizer.rs crates/model/src/weights.rs
+
+/root/repo/target/debug/deps/libmedusa_model-c2d55348b4ab254e.rmeta: crates/model/src/lib.rs crates/model/src/forward.rs crates/model/src/kernels.rs crates/model/src/schedule.rs crates/model/src/spec.rs crates/model/src/structure.rs crates/model/src/tokenizer.rs crates/model/src/weights.rs
+
+crates/model/src/lib.rs:
+crates/model/src/forward.rs:
+crates/model/src/kernels.rs:
+crates/model/src/schedule.rs:
+crates/model/src/spec.rs:
+crates/model/src/structure.rs:
+crates/model/src/tokenizer.rs:
+crates/model/src/weights.rs:

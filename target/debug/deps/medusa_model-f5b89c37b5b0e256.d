@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/medusa_model-f5b89c37b5b0e256.d: crates/model/src/lib.rs crates/model/src/forward.rs crates/model/src/kernels.rs crates/model/src/schedule.rs crates/model/src/spec.rs crates/model/src/structure.rs crates/model/src/tokenizer.rs crates/model/src/weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedusa_model-f5b89c37b5b0e256.rmeta: crates/model/src/lib.rs crates/model/src/forward.rs crates/model/src/kernels.rs crates/model/src/schedule.rs crates/model/src/spec.rs crates/model/src/structure.rs crates/model/src/tokenizer.rs crates/model/src/weights.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/forward.rs:
+crates/model/src/kernels.rs:
+crates/model/src/schedule.rs:
+crates/model/src/spec.rs:
+crates/model/src/structure.rs:
+crates/model/src/tokenizer.rs:
+crates/model/src/weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

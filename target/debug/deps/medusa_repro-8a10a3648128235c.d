@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medusa_repro-8a10a3648128235c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmedusa_repro-8a10a3648128235c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmedusa_repro-8a10a3648128235c.rmeta: src/lib.rs
+
+src/lib.rs:

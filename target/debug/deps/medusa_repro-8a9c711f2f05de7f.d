@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medusa_repro-8a9c711f2f05de7f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmedusa_repro-8a9c711f2f05de7f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmedusa_repro-8a9c711f2f05de7f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medusa_repro-af822c40b640f15a.d: src/lib.rs
+
+/root/repo/target/debug/deps/medusa_repro-af822c40b640f15a: src/lib.rs
+
+src/lib.rs:

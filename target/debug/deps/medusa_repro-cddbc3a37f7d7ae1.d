@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medusa_repro-cddbc3a37f7d7ae1.d: src/lib.rs
+
+/root/repo/target/debug/deps/medusa_repro-cddbc3a37f7d7ae1: src/lib.rs
+
+src/lib.rs:

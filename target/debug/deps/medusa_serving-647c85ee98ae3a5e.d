@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/medusa_serving-647c85ee98ae3a5e.d: crates/serving/src/lib.rs crates/serving/src/analytic.rs crates/serving/src/params.rs crates/serving/src/sim.rs
+
+/root/repo/target/debug/deps/medusa_serving-647c85ee98ae3a5e: crates/serving/src/lib.rs crates/serving/src/analytic.rs crates/serving/src/params.rs crates/serving/src/sim.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/analytic.rs:
+crates/serving/src/params.rs:
+crates/serving/src/sim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/medusa_serving-665eb7537d7c6d3c.d: crates/serving/src/lib.rs crates/serving/src/analytic.rs crates/serving/src/params.rs crates/serving/src/sim.rs
+
+/root/repo/target/debug/deps/libmedusa_serving-665eb7537d7c6d3c.rlib: crates/serving/src/lib.rs crates/serving/src/analytic.rs crates/serving/src/params.rs crates/serving/src/sim.rs
+
+/root/repo/target/debug/deps/libmedusa_serving-665eb7537d7c6d3c.rmeta: crates/serving/src/lib.rs crates/serving/src/analytic.rs crates/serving/src/params.rs crates/serving/src/sim.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/analytic.rs:
+crates/serving/src/params.rs:
+crates/serving/src/sim.rs:

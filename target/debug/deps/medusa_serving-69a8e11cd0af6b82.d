@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/medusa_serving-69a8e11cd0af6b82.d: crates/serving/src/lib.rs crates/serving/src/analytic.rs crates/serving/src/params.rs crates/serving/src/sim.rs
+
+/root/repo/target/debug/deps/medusa_serving-69a8e11cd0af6b82: crates/serving/src/lib.rs crates/serving/src/analytic.rs crates/serving/src/params.rs crates/serving/src/sim.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/analytic.rs:
+crates/serving/src/params.rs:
+crates/serving/src/sim.rs:

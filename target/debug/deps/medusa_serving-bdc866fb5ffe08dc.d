@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/medusa_serving-bdc866fb5ffe08dc.d: crates/serving/src/lib.rs crates/serving/src/analytic.rs crates/serving/src/params.rs crates/serving/src/sim.rs
+
+/root/repo/target/debug/deps/libmedusa_serving-bdc866fb5ffe08dc.rlib: crates/serving/src/lib.rs crates/serving/src/analytic.rs crates/serving/src/params.rs crates/serving/src/sim.rs
+
+/root/repo/target/debug/deps/libmedusa_serving-bdc866fb5ffe08dc.rmeta: crates/serving/src/lib.rs crates/serving/src/analytic.rs crates/serving/src/params.rs crates/serving/src/sim.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/analytic.rs:
+crates/serving/src/params.rs:
+crates/serving/src/sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medusa_workload-23b83285b8c4ccb8.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/medusa_workload-23b83285b8c4ccb8: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

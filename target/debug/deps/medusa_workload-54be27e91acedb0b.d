@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medusa_workload-54be27e91acedb0b.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/medusa_workload-54be27e91acedb0b: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medusa_workload-b61c9909109f8031.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libmedusa_workload-b61c9909109f8031.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libmedusa_workload-b61c9909109f8031.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/medusa_workload-cb8c90501079e7b4.d: crates/workload/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedusa_workload-cb8c90501079e7b4.rmeta: crates/workload/src/lib.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

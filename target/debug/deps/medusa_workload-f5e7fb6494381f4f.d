@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medusa_workload-f5e7fb6494381f4f.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libmedusa_workload-f5e7fb6494381f4f.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libmedusa_workload-f5e7fb6494381f4f.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

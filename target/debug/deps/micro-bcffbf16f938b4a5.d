@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-bcffbf16f938b4a5.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-bcffbf16f938b4a5: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

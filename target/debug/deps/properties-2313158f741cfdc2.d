@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2313158f741cfdc2.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2313158f741cfdc2: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b28a5d0cf7817538.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b28a5d0cf7817538: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-0aed82962e19c58e.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0aed82962e19c58e.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0aed82962e19c58e.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

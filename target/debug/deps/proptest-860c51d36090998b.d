@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-860c51d36090998b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-860c51d36090998b: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

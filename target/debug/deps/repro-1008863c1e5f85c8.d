@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-1008863c1e5f85c8.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/repro-1008863c1e5f85c8: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-349ddd77521ce36d.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/repro-349ddd77521ce36d: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-5188ad8a5c747868.d: crates/bench/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-5188ad8a5c747868.rmeta: crates/bench/src/main.rs Cargo.toml
+
+crates/bench/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-dbde05b9cb136ae6.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/repro-dbde05b9cb136ae6: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

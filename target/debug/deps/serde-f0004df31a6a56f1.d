@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-f0004df31a6a56f1.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-f0004df31a6a56f1: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

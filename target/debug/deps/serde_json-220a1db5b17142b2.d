@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-220a1db5b17142b2.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-220a1db5b17142b2.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-220a1db5b17142b2.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

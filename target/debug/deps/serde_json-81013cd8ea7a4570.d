@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-81013cd8ea7a4570.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-81013cd8ea7a4570: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

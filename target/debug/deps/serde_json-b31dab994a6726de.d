@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-b31dab994a6726de.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-b31dab994a6726de: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

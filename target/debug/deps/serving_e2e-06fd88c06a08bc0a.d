@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serving_e2e-06fd88c06a08bc0a.d: tests/serving_e2e.rs
+
+/root/repo/target/debug/deps/serving_e2e-06fd88c06a08bc0a: tests/serving_e2e.rs
+
+tests/serving_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serving_e2e-7a42062eb765bf53.d: tests/serving_e2e.rs
+
+/root/repo/target/debug/deps/serving_e2e-7a42062eb765bf53: tests/serving_e2e.rs
+
+tests/serving_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serving_e2e-d14d1dedcae2ec0d.d: tests/serving_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserving_e2e-d14d1dedcae2ec0d.rmeta: tests/serving_e2e.rs Cargo.toml
+
+tests/serving_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

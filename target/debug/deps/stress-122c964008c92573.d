@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-122c964008c92573.d: tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-122c964008c92573.rmeta: tests/stress.rs Cargo.toml
+
+tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

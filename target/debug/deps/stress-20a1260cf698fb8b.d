@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-20a1260cf698fb8b.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-20a1260cf698fb8b: tests/stress.rs
+
+tests/stress.rs:

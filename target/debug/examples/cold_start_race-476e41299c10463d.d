@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cold_start_race-476e41299c10463d.d: examples/cold_start_race.rs
+
+/root/repo/target/debug/examples/cold_start_race-476e41299c10463d: examples/cold_start_race.rs
+
+examples/cold_start_race.rs:

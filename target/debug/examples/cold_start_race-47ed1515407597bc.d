@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cold_start_race-47ed1515407597bc.d: examples/cold_start_race.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcold_start_race-47ed1515407597bc.rmeta: examples/cold_start_race.rs Cargo.toml
+
+examples/cold_start_race.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

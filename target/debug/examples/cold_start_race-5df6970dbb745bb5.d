@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cold_start_race-5df6970dbb745bb5.d: examples/cold_start_race.rs
+
+/root/repo/target/debug/examples/cold_start_race-5df6970dbb745bb5: examples/cold_start_race.rs
+
+examples/cold_start_race.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inspect_artifact-2b941fd62a041acc.d: examples/inspect_artifact.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinspect_artifact-2b941fd62a041acc.rmeta: examples/inspect_artifact.rs Cargo.toml
+
+examples/inspect_artifact.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

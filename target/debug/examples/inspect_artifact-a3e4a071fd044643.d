@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inspect_artifact-a3e4a071fd044643.d: examples/inspect_artifact.rs
+
+/root/repo/target/debug/examples/inspect_artifact-a3e4a071fd044643: examples/inspect_artifact.rs
+
+examples/inspect_artifact.rs:

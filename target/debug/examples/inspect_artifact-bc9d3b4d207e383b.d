@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inspect_artifact-bc9d3b4d207e383b.d: examples/inspect_artifact.rs
+
+/root/repo/target/debug/examples/inspect_artifact-bc9d3b4d207e383b: examples/inspect_artifact.rs
+
+examples/inspect_artifact.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-62ffc9a85651b475.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-62ffc9a85651b475: examples/quickstart.rs
+
+examples/quickstart.rs:

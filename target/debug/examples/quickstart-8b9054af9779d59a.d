@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8b9054af9779d59a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8b9054af9779d59a: examples/quickstart.rs
+
+examples/quickstart.rs:

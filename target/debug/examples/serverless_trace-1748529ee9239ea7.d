@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serverless_trace-1748529ee9239ea7.d: examples/serverless_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserverless_trace-1748529ee9239ea7.rmeta: examples/serverless_trace.rs Cargo.toml
+
+examples/serverless_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

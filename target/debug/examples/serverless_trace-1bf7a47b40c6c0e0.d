@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serverless_trace-1bf7a47b40c6c0e0.d: examples/serverless_trace.rs
+
+/root/repo/target/debug/examples/serverless_trace-1bf7a47b40c6c0e0: examples/serverless_trace.rs
+
+examples/serverless_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serverless_trace-4fc6276ce479e051.d: examples/serverless_trace.rs
+
+/root/repo/target/debug/examples/serverless_trace-4fc6276ce479e051: examples/serverless_trace.rs
+
+examples/serverless_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tp_shards-35aed665d19f9b10.d: examples/tp_shards.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtp_shards-35aed665d19f9b10.rmeta: examples/tp_shards.rs Cargo.toml
+
+examples/tp_shards.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

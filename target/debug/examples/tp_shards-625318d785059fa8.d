@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tp_shards-625318d785059fa8.d: examples/tp_shards.rs
+
+/root/repo/target/debug/examples/tp_shards-625318d785059fa8: examples/tp_shards.rs
+
+examples/tp_shards.rs:

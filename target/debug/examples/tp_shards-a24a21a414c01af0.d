@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tp_shards-a24a21a414c01af0.d: examples/tp_shards.rs
+
+/root/repo/target/debug/examples/tp_shards-a24a21a414c01af0: examples/tp_shards.rs
+
+examples/tp_shards.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libmedusa_workload.rlib: /root/repo/crates/workload/src/lib.rs /root/repo/vendor/rand/src/lib.rs /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde_derive/src/lib.rs

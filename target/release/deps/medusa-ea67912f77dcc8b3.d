@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/medusa-ea67912f77dcc8b3.d: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline/analysis.rs crates/core/src/offline/capture.rs crates/core/src/online/kernels.rs crates/core/src/online/replay.rs crates/core/src/online/validate.rs crates/core/src/pipeline.rs crates/core/src/tp.rs crates/core/src/trace.rs
+
+/root/repo/target/release/deps/libmedusa-ea67912f77dcc8b3.rlib: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline/analysis.rs crates/core/src/offline/capture.rs crates/core/src/online/kernels.rs crates/core/src/online/replay.rs crates/core/src/online/validate.rs crates/core/src/pipeline.rs crates/core/src/tp.rs crates/core/src/trace.rs
+
+/root/repo/target/release/deps/libmedusa-ea67912f77dcc8b3.rmeta: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/offline/analysis.rs crates/core/src/offline/capture.rs crates/core/src/online/kernels.rs crates/core/src/online/replay.rs crates/core/src/online/validate.rs crates/core/src/pipeline.rs crates/core/src/tp.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/artifact.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/offline/analysis.rs:
+crates/core/src/offline/capture.rs:
+crates/core/src/online/kernels.rs:
+crates/core/src/online/replay.rs:
+crates/core/src/online/validate.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/tp.rs:
+crates/core/src/trace.rs:

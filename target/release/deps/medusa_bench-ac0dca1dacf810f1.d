@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/medusa_bench-ac0dca1dacf810f1.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/figures.rs
+
+/root/repo/target/release/deps/libmedusa_bench-ac0dca1dacf810f1.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/figures.rs
+
+/root/repo/target/release/deps/libmedusa_bench-ac0dca1dacf810f1.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/common.rs:
+crates/bench/src/figures.rs:

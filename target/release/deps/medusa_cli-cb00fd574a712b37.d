@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/medusa_cli-cb00fd574a712b37.d: crates/core/src/bin/medusa-cli.rs
+
+/root/repo/target/release/deps/medusa_cli-cb00fd574a712b37: crates/core/src/bin/medusa-cli.rs
+
+crates/core/src/bin/medusa-cli.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/medusa_gpu-63c2a48691599778.d: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/error.rs crates/gpu/src/kernel.rs crates/gpu/src/library.rs crates/gpu/src/memory.rs crates/gpu/src/process.rs crates/gpu/src/storage.rs crates/gpu/src/stream.rs
+
+/root/repo/target/release/deps/libmedusa_gpu-63c2a48691599778.rlib: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/error.rs crates/gpu/src/kernel.rs crates/gpu/src/library.rs crates/gpu/src/memory.rs crates/gpu/src/process.rs crates/gpu/src/storage.rs crates/gpu/src/stream.rs
+
+/root/repo/target/release/deps/libmedusa_gpu-63c2a48691599778.rmeta: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/error.rs crates/gpu/src/kernel.rs crates/gpu/src/library.rs crates/gpu/src/memory.rs crates/gpu/src/process.rs crates/gpu/src/storage.rs crates/gpu/src/stream.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/clock.rs:
+crates/gpu/src/error.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/library.rs:
+crates/gpu/src/memory.rs:
+crates/gpu/src/process.rs:
+crates/gpu/src/storage.rs:
+crates/gpu/src/stream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/medusa_kvcache-90567056f0dd0343.d: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs
+
+/root/repo/target/release/deps/libmedusa_kvcache-90567056f0dd0343.rlib: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs
+
+/root/repo/target/release/deps/libmedusa_kvcache-90567056f0dd0343.rmeta: crates/kvcache/src/lib.rs crates/kvcache/src/block.rs crates/kvcache/src/profile.rs
+
+crates/kvcache/src/lib.rs:
+crates/kvcache/src/block.rs:
+crates/kvcache/src/profile.rs:

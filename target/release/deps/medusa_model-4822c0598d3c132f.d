@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/medusa_model-4822c0598d3c132f.d: crates/model/src/lib.rs crates/model/src/forward.rs crates/model/src/kernels.rs crates/model/src/schedule.rs crates/model/src/spec.rs crates/model/src/structure.rs crates/model/src/tokenizer.rs crates/model/src/weights.rs
+
+/root/repo/target/release/deps/libmedusa_model-4822c0598d3c132f.rlib: crates/model/src/lib.rs crates/model/src/forward.rs crates/model/src/kernels.rs crates/model/src/schedule.rs crates/model/src/spec.rs crates/model/src/structure.rs crates/model/src/tokenizer.rs crates/model/src/weights.rs
+
+/root/repo/target/release/deps/libmedusa_model-4822c0598d3c132f.rmeta: crates/model/src/lib.rs crates/model/src/forward.rs crates/model/src/kernels.rs crates/model/src/schedule.rs crates/model/src/spec.rs crates/model/src/structure.rs crates/model/src/tokenizer.rs crates/model/src/weights.rs
+
+crates/model/src/lib.rs:
+crates/model/src/forward.rs:
+crates/model/src/kernels.rs:
+crates/model/src/schedule.rs:
+crates/model/src/spec.rs:
+crates/model/src/structure.rs:
+crates/model/src/tokenizer.rs:
+crates/model/src/weights.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/medusa_repro-ff20c703332c3bd9.d: src/lib.rs
+
+/root/repo/target/release/deps/libmedusa_repro-ff20c703332c3bd9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmedusa_repro-ff20c703332c3bd9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/medusa_serving-66551156474bd1e2.d: crates/serving/src/lib.rs crates/serving/src/analytic.rs crates/serving/src/params.rs crates/serving/src/sim.rs
+
+/root/repo/target/release/deps/libmedusa_serving-66551156474bd1e2.rlib: crates/serving/src/lib.rs crates/serving/src/analytic.rs crates/serving/src/params.rs crates/serving/src/sim.rs
+
+/root/repo/target/release/deps/libmedusa_serving-66551156474bd1e2.rmeta: crates/serving/src/lib.rs crates/serving/src/analytic.rs crates/serving/src/params.rs crates/serving/src/sim.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/analytic.rs:
+crates/serving/src/params.rs:
+crates/serving/src/sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/medusa_workload-7d4d872fecaeb6ed.d: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libmedusa_workload-7d4d872fecaeb6ed.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libmedusa_workload-7d4d872fecaeb6ed.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-160ccf0b2511fbf4.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-160ccf0b2511fbf4: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

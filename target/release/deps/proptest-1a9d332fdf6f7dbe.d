@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-1a9d332fdf6f7dbe.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1a9d332fdf6f7dbe.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1a9d332fdf6f7dbe.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

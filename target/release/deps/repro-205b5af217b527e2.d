@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-205b5af217b527e2.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/repro-205b5af217b527e2: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-fa00fab5b1655adb.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-fa00fab5b1655adb.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-fa00fab5b1655adb.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

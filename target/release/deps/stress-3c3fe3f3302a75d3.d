@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress-3c3fe3f3302a75d3.d: tests/stress.rs
+
+/root/repo/target/release/deps/stress-3c3fe3f3302a75d3: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b665554439a6aa22.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b665554439a6aa22: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -7,14 +7,17 @@
 //! This is the paper's core correctness claim (§4) quantified over the
 //! space of control flows, not just the LLM schedule.
 
-use medusa::{analyze, replay_allocations, restore_graph, CaptureOutput, GraphWindow, KernelInfo};
-use medusa_graph::{capture_graph, GraphExec};
-use medusa_gpu::{
-    AllocTag, CostClass, CostModel, DevicePtr, Digest, DigestState, GpuSpec, KernelDef,
-    KernelSig, LibraryCatalog, LibrarySpec, ModuleSpec, ParamKind, ProcessRuntime, Work,
+use medusa::{
+    analyze, count_naive_mismatches, replay_allocations, restore_graph, CaptureOutput, GraphWindow,
+    KernelInfo, ParamSpec,
 };
+use medusa_gpu::{
+    AllocTag, CostClass, CostModel, DevicePtr, Digest, DigestState, GpuSpec, KernelDef, KernelSig,
+    LibraryCatalog, LibrarySpec, ModuleSpec, ParamKind, ProcessRuntime, Work,
+};
+use medusa_graph::{capture_graph, GraphExec};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 const LIB: &str = "libprop.so";
@@ -27,7 +30,12 @@ fn catalog() -> Arc<LibraryCatalog> {
         vec![ModuleSpec::new(
             "ops",
             vec![
-                KernelDef::new("copy2", true, KernelSig::new(vec![PtrIn, PtrOut]), CostClass::MemoryBound),
+                KernelDef::new(
+                    "copy2",
+                    true,
+                    KernelSig::new(vec![PtrIn, PtrOut]),
+                    CostClass::MemoryBound,
+                ),
                 KernelDef::new(
                     "mix3",
                     true,
@@ -75,25 +83,40 @@ struct OfflineResult {
     /// graph offline, keyed by (node, param).
     reference: HashMap<(usize, usize), Digest>,
     prefix_count: usize,
+    /// Seqs of allocations live at capture time (nothing is freed after).
+    live_seqs: HashSet<u64>,
+    /// How many captured pointers naive whole-history address matching
+    /// would bind to the wrong allocation (the Fig. 6 hazard count).
+    naive_mismatches: u64,
 }
 
 /// Runs the program offline: record, capture, analyze, and self-replay for
 /// reference outputs. Returns `None` when the random program degenerates
 /// (no live buffers to launch over).
 fn offline(p: &Program, seed: u64) -> Option<OfflineResult> {
-    let mut rt = ProcessRuntime::new(catalog(), GpuSpec::new("prop-gpu", 1 << 30), CostModel::default(), seed);
+    let mut rt = ProcessRuntime::new(
+        catalog(),
+        GpuSpec::new("prop-gpu", 1 << 30),
+        CostModel::default(),
+        seed,
+    );
     rt.enable_tracing();
     rt.dlopen(LIB).unwrap();
     let kaddrs: Vec<u64> = ["copy2", "mix3", "scaled"]
         .iter()
-        .map(|n| rt.kernel_address(rt.catalog().find_kernel(LIB, n).unwrap()).unwrap())
+        .map(|n| {
+            rt.kernel_address(rt.catalog().find_kernel(LIB, n).unwrap())
+                .unwrap()
+        })
         .collect();
 
     // Natural prefix.
     let mut prefix_ptrs = Vec::new();
     for (i, &size) in p.prefix_sizes.iter().enumerate() {
         let ptr = rt.cuda_malloc(size, AllocTag::Weights).unwrap();
-        rt.memory_mut().write_digest(ptr.addr(), prefix_digest(i)).unwrap();
+        rt.memory_mut()
+            .write_digest(ptr.addr(), prefix_digest(i))
+            .unwrap();
         prefix_ptrs.push(ptr);
     }
     let replay_start_pos = rt.trace_len();
@@ -107,7 +130,9 @@ fn offline(p: &Program, seed: u64) -> Option<OfflineResult> {
         if is_alloc || live.len() <= prefix_count {
             let size = 256 * (1 + v % 8);
             let ptr = rt.cuda_malloc(size, AllocTag::Activation).unwrap();
-            rt.memory_mut().write_digest(ptr.addr(), phase_b_digest(b_alloc_counter)).unwrap();
+            rt.memory_mut()
+                .write_digest(ptr.addr(), phase_b_digest(b_alloc_counter))
+                .unwrap();
             b_alloc_counter += 1;
             live.push(ptr);
         } else {
@@ -126,9 +151,16 @@ fn offline(p: &Program, seed: u64) -> Option<OfflineResult> {
     // writes the persistent workspace, which serving rewrites per step).
     let pick = |arr: &[DevicePtr], v: u64| arr[v as usize % arr.len()];
     let warmup_scratch = rt.cuda_malloc(256, AllocTag::Workspace).unwrap();
-    rt.memory_mut().write_digest(warmup_scratch.addr(), [0xaa; 16]).unwrap();
-    rt.launch_kernel(kaddrs[0], &[warmup_scratch.addr(), warmup_scratch.addr()], Work::NONE, 0)
+    rt.memory_mut()
+        .write_digest(warmup_scratch.addr(), [0xaa; 16])
         .unwrap();
+    rt.launch_kernel(
+        kaddrs[0],
+        &[warmup_scratch.addr(), warmup_scratch.addr()],
+        Work::NONE,
+        0,
+    )
+    .unwrap();
     let trace_start = rt.trace_len();
     let live_c = live.clone();
     let launches = p.launches.clone();
@@ -138,7 +170,10 @@ fn offline(p: &Program, seed: u64) -> Option<OfflineResult> {
             match k % 3 {
                 0 => rt.launch_kernel(
                     kaddrs_c[0],
-                    &[pick(&live_c, picks[0]).addr(), pick(&live_c, picks[1]).addr()],
+                    &[
+                        pick(&live_c, picks[0]).addr(),
+                        pick(&live_c, picks[1]).addr(),
+                    ],
                     Work::NONE,
                     0,
                 )?,
@@ -176,12 +211,20 @@ fn offline(p: &Program, seed: u64) -> Option<OfflineResult> {
     for (addr, name) in kaddrs.iter().zip(["copy2", "mix3", "scaled"]) {
         kernel_info.insert(
             *addr,
-            KernelInfo { name: name.to_string(), library: LIB.into(), exported: true },
+            KernelInfo {
+                name: name.to_string(),
+                library: LIB.into(),
+                exported: true,
+            },
         );
     }
     let mut final_contents = HashMap::new();
-    let snapshot: Vec<(u64, u64)> =
-        rt.memory().iter().map(|a| (a.seq(), a.base().addr())).collect();
+    let snapshot: Vec<(u64, u64)> = rt
+        .memory()
+        .iter()
+        .map(|a| (a.seq(), a.base().addr()))
+        .collect();
+    let live_seqs: HashSet<u64> = snapshot.iter().map(|&(sq, _)| sq).collect();
     for (sq, addr) in snapshot {
         final_contents.insert(sq, rt.memory().read_digest(addr).unwrap());
     }
@@ -195,7 +238,12 @@ fn offline(p: &Program, seed: u64) -> Option<OfflineResult> {
         replay_start_pos,
         stage_start_pos,
         capture_end_pos,
-        windows: vec![GraphWindow { batch: 1, trace_start, trace_end, graph: graph.clone() }],
+        windows: vec![GraphWindow {
+            batch: 1,
+            trace_start,
+            trace_end,
+            graph: graph.clone(),
+        }],
         kernel_info,
         final_contents,
         final_ptr_tables: HashMap::new(),
@@ -203,6 +251,7 @@ fn offline(p: &Program, seed: u64) -> Option<OfflineResult> {
         labels: HashMap::new(),
         duration: medusa_gpu::SimDuration::ZERO,
     };
+    let naive_mismatches = count_naive_mismatches(&capture);
     let artifact = analyze(&capture, &CostModel::default()).unwrap().state;
 
     // Reference: self-replay the captured graph offline and read every
@@ -221,22 +270,31 @@ fn offline(p: &Program, seed: u64) -> Option<OfflineResult> {
             }
         }
     }
-    Some(OfflineResult { artifact, reference, prefix_count })
+    Some(OfflineResult {
+        artifact,
+        reference,
+        prefix_count,
+        live_seqs,
+        naive_mismatches,
+    })
 }
 
 /// Restores the artifact in a fresh process and replays; returns per-param
 /// buffer digests for comparison.
-fn online(
-    p: &Program,
-    r: &OfflineResult,
-    seed: u64,
-) -> HashMap<(usize, usize), Digest> {
-    let mut rt = ProcessRuntime::new(catalog(), GpuSpec::new("prop-gpu", 1 << 30), CostModel::default(), seed);
+fn online(p: &Program, r: &OfflineResult, seed: u64) -> HashMap<(usize, usize), Digest> {
+    let mut rt = ProcessRuntime::new(
+        catalog(),
+        GpuSpec::new("prop-gpu", 1 << 30),
+        CostModel::default(),
+        seed,
+    );
     // Natural prefix with identical control flow + contents (the "weights
     // loading" equivalent).
     for (i, &size) in p.prefix_sizes.iter().enumerate() {
         let ptr = rt.cuda_malloc(size, AllocTag::Weights).unwrap();
-        rt.memory_mut().write_digest(ptr.addr(), prefix_digest(i)).unwrap();
+        rt.memory_mut()
+            .write_digest(ptr.addr(), prefix_digest(i))
+            .unwrap();
     }
     assert_eq!(r.prefix_count, p.prefix_sizes.len());
     let (layout, _) = replay_allocations(&mut rt, &r.artifact).unwrap();
@@ -293,4 +351,97 @@ proptest! {
             );
         }
     }
+
+    /// §4.1: trace-based indirect-pointer matching never binds a captured
+    /// kernel pointer to a freed allocation, even under allocator churn
+    /// engineered so freed addresses get recycled for new buffers (the
+    /// failure mode of naive whole-history address matching, Fig. 6).
+    #[test]
+    fn reuse_churn_never_resolves_to_freed_allocations(
+        prefix_sizes in prop::collection::vec(256u64..1024, 1..3),
+        churn in prop::collection::vec(any::<u64>(), 4..16),
+        launches in prop::collection::vec((any::<u8>(), [any::<u64>(), any::<u64>(), any::<u64>()]), 1..6),
+        offline_seed in 0u64..1000,
+        online_seed in 1000u64..2000,
+    ) {
+        // Single 256-byte size class: seed a few buffers, then alternate
+        // free/alloc so every new allocation is a free-list reuse candidate
+        // for an address a captured-era pointer could stale-match.
+        let mut phase_b = vec![(true, 0u64); 3];
+        for &v in &churn {
+            phase_b.push((false, v));
+            phase_b.push((true, 0));
+        }
+        let program = Program { prefix_sizes, phase_b, launches };
+        let result = offline(&program, offline_seed).expect("churn keeps live buffers");
+        for (ni, node) in result.artifact.graphs[0].nodes.iter().enumerate() {
+            for (pi, param) in node.params.iter().enumerate() {
+                if let ParamSpec::IndirectPtr { alloc_seq, .. } = param {
+                    prop_assert!(
+                        result.live_seqs.contains(alloc_seq),
+                        "node {} param {} bound to freed allocation seq {}",
+                        ni,
+                        pi,
+                        alloc_seq
+                    );
+                }
+            }
+        }
+        let restored = online(&program, &result, online_seed);
+        for (key, digest) in &result.reference {
+            prop_assert_eq!(restored.get(key), Some(digest));
+        }
+    }
+}
+
+/// Deterministic regression for the paper's Fig. 6 hazard: allocation A is
+/// freed, allocation B recycles A's device address, and a captured kernel
+/// reads B. Naive first-match binds the pointer to A (history order);
+/// trace-based matching must bind it to B, and the artifact must restore
+/// to B's contents in a fresh process.
+#[test]
+fn fig6_address_reuse_binds_to_live_allocation() {
+    let program = Program {
+        prefix_sizes: vec![512],
+        // Alloc A (256 B), free A, alloc B (256 B): the allocator's
+        // size-class free list hands B the address A vacated (modulo
+        // seeded reuse jitter, hence the seed scan below).
+        phase_b: vec![(true, 0), (false, 0), (true, 0)],
+        // copy2(B -> prefix buffer): the captured pointer at risk is B's.
+        launches: vec![(0, [1, 0, 0])],
+    };
+    let mut hazard_seen = false;
+    for seed in 0..64 {
+        let r = offline(&program, seed).expect("program is non-degenerate");
+        // Whether or not reuse fired under this seed, the artifact must
+        // only ever reference live-at-capture allocations.
+        for node in &r.artifact.graphs[0].nodes {
+            for param in &node.params {
+                if let ParamSpec::IndirectPtr { alloc_seq, .. } = param {
+                    assert!(
+                        r.live_seqs.contains(alloc_seq),
+                        "seed {seed}: pointer bound to freed allocation seq {alloc_seq}"
+                    );
+                }
+            }
+        }
+        if r.naive_mismatches > 0 {
+            // Reuse fired: naive matching would have corrupted this graph.
+            // The trace-matched artifact must still roundtrip exactly.
+            hazard_seen = true;
+            let restored = online(&program, &r, 7_000 + seed);
+            assert_eq!(restored.len(), r.reference.len());
+            for (key, digest) in &r.reference {
+                assert_eq!(
+                    restored.get(key),
+                    Some(digest),
+                    "seed {seed}: hazard-case restore diverged at {key:?}"
+                );
+            }
+        }
+    }
+    assert!(
+        hazard_seen,
+        "no seed in 0..64 produced address reuse — the regression lost its teeth"
+    );
 }

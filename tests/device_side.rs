@@ -15,11 +15,11 @@ use medusa::{
     analyze, replay_allocations, restore_graph, CaptureOutput, GraphWindow, KernelInfo,
     KernelResolver, MaterializedState, MedusaError,
 };
-use medusa_graph::{capture_graph, GraphExec};
 use medusa_gpu::{
     AllocTag, CostClass, CostModel, DevicePtr, Digest, GpuSpec, KernelDef, KernelSig,
     LibraryCatalog, LibrarySpec, ModuleSpec, ParamKind, ProcessRuntime, Work,
 };
+use medusa_graph::{capture_graph, GraphExec};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -50,7 +50,12 @@ fn catalog() -> Arc<LibraryCatalog> {
 }
 
 fn rt(seed: u64) -> ProcessRuntime {
-    ProcessRuntime::new(catalog(), GpuSpec::new("test-gpu", 1 << 30), CostModel::default(), seed)
+    ProcessRuntime::new(
+        catalog(),
+        GpuSpec::new("test-gpu", 1 << 30),
+        CostModel::default(),
+        seed,
+    )
 }
 
 struct OfflineRun {
@@ -65,10 +70,12 @@ fn offline(seed: u64, intercept: bool) -> OfflineRun {
     p.set_intercept_device_allocs(intercept);
     p.enable_tracing();
     p.dlopen(LIB).unwrap();
-    let producer =
-        p.kernel_address(p.catalog().find_kernel(LIB, "moe_router_alloc").unwrap()).unwrap();
-    let gather =
-        p.kernel_address(p.catalog().find_kernel(LIB, "gather_indirect").unwrap()).unwrap();
+    let producer = p
+        .kernel_address(p.catalog().find_kernel(LIB, "moe_router_alloc").unwrap())
+        .unwrap();
+    let gather = p
+        .kernel_address(p.catalog().find_kernel(LIB, "gather_indirect").unwrap())
+        .unwrap();
 
     // "Structure init": one natural weight allocation.
     let w = p.cuda_malloc(1024, AllocTag::Weights).unwrap();
@@ -78,20 +85,34 @@ fn offline(seed: u64, intercept: bool) -> OfflineRun {
 
     // Warm-up: producer performs a device-side allocation...
     let input = p.cuda_malloc(512, AllocTag::Activation).unwrap();
-    p.memory_mut().write_digest(input.addr(), [7u8; 16]).unwrap();
+    p.memory_mut()
+        .write_digest(input.addr(), [7u8; 16])
+        .unwrap();
     let routed = p
-        .launch_allocating_kernel(producer, &[w.addr(), input.addr()], Work::NONE, 0, 2048, AllocTag::Workspace)
+        .launch_allocating_kernel(
+            producer,
+            &[w.addr(), input.addr()],
+            Work::NONE,
+            0,
+            2048,
+            AllocTag::Workspace,
+        )
         .unwrap();
     // ...and writes into it on-device.
-    p.memory_mut().write_digest(routed.addr(), [9u8; 16]).unwrap();
+    p.memory_mut()
+        .write_digest(routed.addr(), [9u8; 16])
+        .unwrap();
 
     // Host code builds a pointer table referencing the device-side buffer.
     let table = p.cuda_malloc(64, AllocTag::Workspace).unwrap();
-    p.memory_mut().write_ptr_table(table.addr(), vec![routed.addr(), input.addr()]).unwrap();
+    p.memory_mut()
+        .write_ptr_table(table.addr(), vec![routed.addr(), input.addr()])
+        .unwrap();
     let out = p.cuda_malloc(512, AllocTag::Workspace).unwrap();
 
     // Warm-up launch (loads the module), then capture the gather.
-    p.launch_kernel(gather, &[table.addr(), out.addr()], Work::NONE, 0).unwrap();
+    p.launch_kernel(gather, &[table.addr(), out.addr()], Work::NONE, 0)
+        .unwrap();
     let reference = p.memory().read_digest(out.addr()).unwrap();
     let trace_start = p.trace_len();
     let graph = capture_graph(&mut p, 0, |p| {
@@ -104,12 +125,20 @@ fn offline(seed: u64, intercept: bool) -> OfflineRun {
     let mut kernel_info = HashMap::new();
     kernel_info.insert(
         gather,
-        KernelInfo { name: "gather_indirect".into(), library: LIB.into(), exported: true },
+        KernelInfo {
+            name: "gather_indirect".into(),
+            library: LIB.into(),
+            exported: true,
+        },
     );
 
     let mut final_contents = HashMap::new();
     let mut final_ptr_tables = HashMap::new();
-    let live: Vec<(u64, u64)> = p.memory().iter().map(|a| (a.seq(), a.base().addr())).collect();
+    let live: Vec<(u64, u64)> = p
+        .memory()
+        .iter()
+        .map(|a| (a.seq(), a.base().addr()))
+        .collect();
     for (seq, addr) in live {
         final_contents.insert(seq, p.memory().read_digest(addr).unwrap());
         let t = p.memory().read_ptr_table(addr).unwrap();
@@ -128,7 +157,12 @@ fn offline(seed: u64, intercept: bool) -> OfflineRun {
             replay_start_pos,
             stage_start_pos,
             capture_end_pos,
-            windows: vec![GraphWindow { batch: 1, trace_start, trace_end, graph }],
+            windows: vec![GraphWindow {
+                batch: 1,
+                trace_start,
+                trace_end,
+                graph,
+            }],
             kernel_info,
             final_contents,
             final_ptr_tables,
@@ -166,10 +200,17 @@ fn device_allocs_and_ptr_tables_roundtrip() {
     let artifact = analyze(&run.capture, &CostModel::default()).unwrap().state;
     // The device-side allocation is part of the replay ops.
     assert!(artifact.replay_ops.len() >= 4, "input, routed, table, out");
-    assert_eq!(artifact.permanent_ptr_tables.len(), 1, "one materialized pointer table");
+    assert_eq!(
+        artifact.permanent_ptr_tables.len(),
+        1,
+        "one materialized pointer table"
+    );
     assert_eq!(artifact.permanent_ptr_tables[0].1.len(), 2);
     let restored = restore_and_replay(&artifact, 2);
-    assert_eq!(restored, run.reference, "indirect targets must restore exactly");
+    assert_eq!(
+        restored, run.reference,
+        "indirect targets must restore exactly"
+    );
     // And across a different online seed, too.
     assert_eq!(restore_and_replay(&artifact, 77), run.reference);
 }
@@ -192,17 +233,29 @@ fn missing_interception_is_detected() {
 fn allocating_kernel_rejected_during_capture() {
     let mut p = rt(4);
     p.dlopen(LIB).unwrap();
-    let producer =
-        p.kernel_address(p.catalog().find_kernel(LIB, "moe_router_alloc").unwrap()).unwrap();
+    let producer = p
+        .kernel_address(p.catalog().find_kernel(LIB, "moe_router_alloc").unwrap())
+        .unwrap();
     let a = p.cuda_malloc(256, AllocTag::Activation).unwrap();
     p.memory_mut().write_digest(a.addr(), [1; 16]).unwrap();
     // Warm up (module load) outside capture.
-    p.launch_kernel(producer, &[a.addr(), a.addr()], Work::NONE, 0).unwrap();
+    p.launch_kernel(producer, &[a.addr(), a.addr()], Work::NONE, 0)
+        .unwrap();
     p.begin_capture(0).unwrap();
     let err = p
-        .launch_allocating_kernel(producer, &[a.addr(), a.addr()], Work::NONE, 0, 64, AllocTag::Workspace)
+        .launch_allocating_kernel(
+            producer,
+            &[a.addr(), a.addr()],
+            Work::NONE,
+            0,
+            64,
+            AllocTag::Workspace,
+        )
         .unwrap_err();
-    assert!(matches!(err, medusa_gpu::GpuError::DeviceAllocDuringCapture));
+    assert!(matches!(
+        err,
+        medusa_gpu::GpuError::DeviceAllocDuringCapture
+    ));
     p.end_capture().unwrap();
 }
 
@@ -212,17 +265,23 @@ fn allocating_kernel_rejected_during_capture() {
 fn dangling_indirect_target_faults() {
     let mut p = rt(5);
     p.dlopen(LIB).unwrap();
-    let gather =
-        p.kernel_address(p.catalog().find_kernel(LIB, "gather_indirect").unwrap()).unwrap();
+    let gather = p
+        .kernel_address(p.catalog().find_kernel(LIB, "gather_indirect").unwrap())
+        .unwrap();
     let target = p.cuda_malloc(256, AllocTag::Workspace).unwrap();
     p.memory_mut().write_digest(target.addr(), [5; 16]).unwrap();
     let table = p.cuda_malloc(64, AllocTag::Workspace).unwrap();
-    p.memory_mut().write_ptr_table(table.addr(), vec![target.addr()]).unwrap();
+    p.memory_mut()
+        .write_ptr_table(table.addr(), vec![target.addr()])
+        .unwrap();
     let out = p.cuda_malloc(256, AllocTag::Workspace).unwrap();
-    p.launch_kernel(gather, &[table.addr(), out.addr()], Work::NONE, 0).unwrap();
+    p.launch_kernel(gather, &[table.addr(), out.addr()], Work::NONE, 0)
+        .unwrap();
     // Kill the indirect target: subsequent execution must fault.
     p.cuda_free(target).unwrap();
-    let err = p.launch_kernel(gather, &[table.addr(), out.addr()], Work::NONE, 0).unwrap_err();
+    let err = p
+        .launch_kernel(gather, &[table.addr(), out.addr()], Work::NONE, 0)
+        .unwrap_err();
     assert!(matches!(err, medusa_gpu::GpuError::DanglingRead { .. }));
     let _ = DevicePtr::NULL;
 }

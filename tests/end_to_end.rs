@@ -7,8 +7,8 @@ use medusa::{
     cold_start, materialize_offline, replay_allocations, restore_graph, ColdStartOptions,
     KernelResolver, MaterializedState, MedusaError, Strategy,
 };
-use medusa_graph::{GraphError, GraphExec};
 use medusa_gpu::{CostModel, GpuError, GpuSpec, ProcessRuntime};
+use medusa_graph::{GraphError, GraphExec};
 use medusa_model::ModelSpec;
 
 fn spec() -> ModelSpec {
@@ -60,7 +60,9 @@ fn restoration_without_triggering_kernels_is_incomplete() {
     let _inst = medusa_model::ModelInstance::initialize(&mut rt, &s).expect("structure");
     let (layout, _) = replay_allocations(&mut rt, &art).expect("replay");
     let mut resolver = KernelResolver::new();
-    resolver.resolve_exported(&mut rt, &art).expect("dlsym path");
+    resolver
+        .resolve_exported(&mut rt, &art)
+        .expect("dlsym path");
     let err = restore_graph(&art.graphs[0], &layout, resolver.addrs()).expect_err("must fail");
     assert!(matches!(err, MedusaError::KernelUnresolved { .. }), "{err}");
 }
@@ -78,7 +80,11 @@ fn missing_permanent_contents_fail_validation() {
         GpuSpec::a100_40gb(),
         CostModel::default(),
         Some(&art),
-        ColdStartOptions { seed: 6, validate: true, ..Default::default() },
+        ColdStartOptions {
+            seed: 6,
+            validate: true,
+            ..Default::default()
+        },
     )
     .expect_err("validation must catch missing magic contents");
     assert!(matches!(err, MedusaError::ValidationFailed { .. }), "{err}");
@@ -92,7 +98,10 @@ fn missing_permanent_contents_change_outputs_silently() {
     let mut art = artifact(7);
     let good = art.clone();
     art.permanent_contents.clear();
-    let opts = ColdStartOptions { seed: 8, ..Default::default() };
+    let opts = ColdStartOptions {
+        seed: 8,
+        ..Default::default()
+    };
     let (mut bad_engine, _) = cold_start(
         Strategy::Medusa,
         &spec(),
@@ -131,7 +140,10 @@ fn missing_permanent_contents_change_outputs_silently() {
         9,
     )
     .expect("replays");
-    assert_ne!(out_b.output, out_g.output, "missing magic contents must corrupt outputs");
+    assert_ne!(
+        out_b.output, out_g.output,
+        "missing magic contents must corrupt outputs"
+    );
 }
 
 /// The artifact survives serialization: a JSON round-trip restores exactly
@@ -141,7 +153,10 @@ fn artifact_roundtrip_restores_identically() {
     let art = artifact(10);
     let json = art.to_json().expect("encode");
     let back = MaterializedState::from_json(&json).expect("decode");
-    let opts = ColdStartOptions { seed: 11, ..Default::default() };
+    let opts = ColdStartOptions {
+        seed: 11,
+        ..Default::default()
+    };
     let run = |a: &MaterializedState| {
         let (mut e, r) = cold_start(
             Strategy::Medusa,
@@ -154,9 +169,8 @@ fn artifact_roundtrip_restores_identically() {
         .expect("cold start");
         let kv = e.kv_view();
         medusa::reset_kv_state(&mut e.rt, &kv).expect("reset");
-        let out =
-            medusa_model::decode_step_with_graph(&mut e.rt, &e.inst, &e.graphs[3].1, 8, 12)
-                .expect("decode");
+        let out = medusa_model::decode_step_with_graph(&mut e.rt, &e.inst, &e.graphs[3].1, 8, 12)
+            .expect("decode");
         (r.loading, out.output)
     };
     assert_eq!(run(&art), run(&back));
@@ -175,7 +189,11 @@ fn offline_seed_does_not_leak_into_restored_behaviour() {
     assert_eq!(a1.total_nodes(), a2.total_nodes());
     assert_eq!(a1.kv_free_bytes, a2.kv_free_bytes, "§6 invariance");
     // ...but restored outputs agree.
-    let opts = ColdStartOptions { seed: 22, validate: true, ..Default::default() };
+    let opts = ColdStartOptions {
+        seed: 22,
+        validate: true,
+        ..Default::default()
+    };
     let out = |a: &MaterializedState, seed: u64| {
         let (mut e, _) = cold_start(
             Strategy::Medusa,

@@ -19,7 +19,10 @@ fn spec() -> ModelSpec {
 /// a speculative indirect pointer, as a prefix-heuristic false positive
 /// would have.
 fn poison(artifact: &mut MaterializedState) -> (usize, usize) {
-    let target_seq = *artifact.labels.get("ws.positions").expect("labelled buffer");
+    let target_seq = *artifact
+        .labels
+        .get("ws.positions")
+        .expect("labelled buffer");
     let g = &mut artifact.graphs[0];
     for (ni, node) in g.nodes.iter_mut().enumerate() {
         if node.kernel.contains("rotary") {
@@ -29,7 +32,11 @@ fn poison(artifact: &mut MaterializedState) -> (usize, usize) {
                         let mut buf = [0u8; 8];
                         buf.copy_from_slice(bytes);
                         let raw = u64::from_le_bytes(buf);
-                        *p = ParamSpec::IndirectPtr { alloc_seq: target_seq, offset: 0, raw };
+                        *p = ParamSpec::IndirectPtr {
+                            alloc_seq: target_seq,
+                            offset: 0,
+                            raw,
+                        };
                         return (ni, pi);
                     }
                 }
@@ -53,14 +60,24 @@ fn validation_corrects_injected_false_positive() {
         GpuSpec::a100_40gb(),
         CostModel::default(),
         Some(&artifact),
-        ColdStartOptions { seed: 32, validate: true, ..Default::default() },
+        ColdStartOptions {
+            seed: 32,
+            validate: true,
+            ..Default::default()
+        },
     )
     .expect("correction must repair the artifact");
     // Sanity: the corrected engine still decodes deterministically.
     let kv = engine.kv_view();
     medusa::reset_kv_state(&mut engine.rt, &kv).expect("reset");
-    let out = medusa_model::decode_step_with_graph(&mut engine.rt, &engine.inst, &engine.graphs[0].1, 1, 40)
-        .expect("decode");
+    let out = medusa_model::decode_step_with_graph(
+        &mut engine.rt,
+        &engine.inst,
+        &engine.graphs[0].1,
+        1,
+        40,
+    )
+    .expect("decode");
     assert_ne!(out.output, [0u8; 16]);
     let _ = (ni, pi);
 }
@@ -74,7 +91,10 @@ fn unvalidated_false_positive_corrupts_outputs() {
         materialize_offline(&s, GpuSpec::a100_40gb(), CostModel::default(), 33).expect("offline");
     let mut poisoned = artifact.clone();
     poison(&mut poisoned);
-    let opts = ColdStartOptions { seed: 34, ..Default::default() };
+    let opts = ColdStartOptions {
+        seed: 34,
+        ..Default::default()
+    };
     let out_of = |a: &MaterializedState| {
         let (mut e, _) = cold_start(
             Strategy::Medusa,
@@ -122,8 +142,14 @@ fn poisoned_pointer_to_dead_allocation_fails_restore() {
         GpuSpec::a100_40gb(),
         CostModel::default(),
         Some(&artifact),
-        ColdStartOptions { seed: 36, ..Default::default() },
+        ColdStartOptions {
+            seed: 36,
+            ..Default::default()
+        },
     )
     .expect_err("restore must fail");
-    assert!(matches!(err, medusa::MedusaError::UnmatchedPointer { .. }), "{err}");
+    assert!(
+        matches!(err, medusa::MedusaError::UnmatchedPointer { .. }),
+        "{err}"
+    );
 }

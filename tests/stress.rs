@@ -1,0 +1,107 @@
+//! Concurrency stress: many simultaneous cold starts on distinct
+//! `ProcessRuntime`s must neither panic nor cross-talk. Each thread's
+//! report is compared against a single-threaded run of the identical
+//! configuration — any shared mutable state between instances would show
+//! up as a timing or span divergence.
+
+use medusa::{
+    cold_start, materialize_offline, ColdStartOptions, MaterializedState, Parallelism, Strategy,
+};
+use medusa_gpu::{CostModel, GpuSpec};
+use medusa_model::ModelSpec;
+
+fn spec() -> ModelSpec {
+    ModelSpec::by_name("Qwen1.5-0.5B").expect("catalog model")
+}
+
+/// One cold start under the given configuration, reduced to a comparable
+/// JSON fingerprint.
+fn run_one(
+    strategy: Strategy,
+    mode: Parallelism,
+    seed: u64,
+    artifact: Option<&MaterializedState>,
+) -> String {
+    let opts = ColdStartOptions {
+        seed,
+        warm_container: true,
+        parallelism: mode,
+        ..Default::default()
+    };
+    let (_, report) = cold_start(
+        strategy,
+        &spec(),
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        artifact,
+        opts,
+    )
+    .expect("cold start");
+    serde_json::to_string(&report).expect("encode report")
+}
+
+fn configs(n: usize) -> Vec<(Strategy, Parallelism, u64)> {
+    let strategies = [
+        Strategy::Medusa,
+        Strategy::VanillaAsync,
+        Strategy::Vanilla,
+        Strategy::NoCudaGraph,
+    ];
+    (0..n)
+        .map(|i| {
+            (
+                strategies[i % strategies.len()],
+                Parallelism::ALL[i % 3],
+                9000 + i as u64,
+            )
+        })
+        .collect()
+}
+
+fn run_stress(n: usize) {
+    let (artifact, _) =
+        materialize_offline(&spec(), GpuSpec::a100_40gb(), CostModel::default(), 21)
+            .expect("offline materialization");
+    let configs = configs(n);
+    // Ground truth, single-threaded.
+    let expected: Vec<String> = configs
+        .iter()
+        .map(|&(s, m, seed)| run_one(s, m, seed, (s == Strategy::Medusa).then_some(&artifact)))
+        .collect();
+    // The same configurations, all at once on real threads.
+    let observed: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .map(|&(s, m, seed)| {
+                let artifact = &artifact;
+                scope
+                    .spawn(move || run_one(s, m, seed, (s == Strategy::Medusa).then_some(artifact)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cold-start thread panicked"))
+            .collect()
+    });
+    for (i, (exp, obs)) in expected.iter().zip(&observed).enumerate() {
+        assert_eq!(
+            exp, obs,
+            "concurrent run {i} ({:?}/{}) diverged from its single-threaded twin",
+            configs[i].0, configs[i].1
+        );
+    }
+}
+
+#[test]
+fn concurrent_cold_starts_do_not_interfere() {
+    run_stress(4);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "stress sized for --release; ci.sh runs it there"
+)]
+fn stress_sixteen_simultaneous_cold_starts() {
+    run_stress(16);
+}

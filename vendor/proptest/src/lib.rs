@@ -1,0 +1,386 @@
+//! Vendored, dependency-free stand-in for `proptest`.
+//!
+//! Implements the exact surface the workspace's property tests use: the
+//! `proptest!` macro (with an optional `#![proptest_config(..)]` header),
+//! `prop_assert!`/`prop_assert_eq!`, integer/float range strategies,
+//! `any::<T>()`, tuple and array strategies, `prop::collection::vec`, and
+//! a tiny `\PC{m,n}`-style string strategy.
+//!
+//! Unlike the real crate there is no shrinking: a failing case panics with
+//! the generated inputs still bound, and cases are derived
+//! deterministically from the test name, so failures reproduce exactly on
+//! every run and every machine.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-case generator (SplitMix64 seeded from the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator for case number `case` of the property named `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, perturbed by the case index.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Next 64 uniform random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.next_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+/// Types with a canonical "uniform over the whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_f64() as f32
+    }
+}
+
+/// Strategy adapter produced by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy for an arbitrary value of type `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+/// String strategy from a miniature pattern language: an optional char
+/// class (`\PC` — any printable char — is the only class supported)
+/// followed by a `{min,max}` repetition. A bare literal pattern generates
+/// itself.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        const PRINTABLE: &[char] = &[
+            'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
+            'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'F', '0', '1',
+            '2', '3', '4', '5', '6', '7', '8', '9', ' ', '.', ',', '!', '?', '-', '_', '/', ':',
+            '"', '\\', '{', '}', 'é', 'ß', 'π', 'λ', '中', '語', '❤', '🚀',
+        ];
+        let Some(class_end) = self.find('{') else {
+            return (*self).to_string();
+        };
+        let (class, rep) = self.split_at(class_end);
+        assert!(
+            class == "\\PC" || class == "\\\\PC",
+            "string strategy: unsupported pattern `{self}` (only \\PC{{m,n}})"
+        );
+        let rep = rep
+            .trim_start_matches('{')
+            .trim_end_matches('}')
+            .split_once(',')
+            .expect("string strategy: expected `{min,max}` repetition");
+        let (min, max): (usize, usize) = (rep.0.parse().expect("min"), rep.1.parse().expect("max"));
+        let len = min + (rng.next_u64() as usize) % (max - min + 1);
+        (0..len)
+            .map(|_| PRINTABLE[(rng.next_u64() as usize) % PRINTABLE.len()])
+            .collect()
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing a `Vec` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy: `len` elements (half-open range) drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.len.clone().generate(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` resolves.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Runner-facing types referenced by generated test bodies.
+pub mod test_runner {
+    /// A test-case failure carrying a message.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Result type of one property-test case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// expands to a `#[test]`-style function running `config.cases` generated
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let __result: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!("property `{}` case {} failed: {}", stringify!($name), __case, e);
+                }
+            }
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..50, f in 1.0f64..2.0) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((1.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(any::<u8>(), 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn early_return_is_allowed(flag in any::<bool>(), _x in any::<u64>()) {
+            if flag {
+                return Ok(());
+            }
+            prop_assert!(!flag);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_header_parses(pair in (0u32..4, any::<bool>()), arr in [any::<u16>(), any::<u16>()]) {
+            prop_assert!(pair.0 < 4);
+            prop_assert_eq!(arr.len(), 2);
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_bounded_strings() {
+        let mut rng = crate::TestRng::for_case("strings", 0);
+        for _ in 0..100 {
+            let s = crate::Strategy::generate(&"\\PC{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let a = crate::TestRng::for_case("t", 3).next_u64();
+        let b = crate::TestRng::for_case("t", 3).next_u64();
+        let c = crate::TestRng::for_case("t", 4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,389 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! The workspace only needs derived `Serialize`/`Deserialize` and JSON
+//! round-trips through `serde_json::{to_string, from_str}`, so this crate
+//! models serialization as conversion to and from a small [`Value`] tree.
+//! Numbers keep their exact source literal (`Num(String)`) so integer and
+//! float round-trips are lossless. The derive macros live in the sibling
+//! `serde_derive` crate and are re-exported here, exactly like the real
+//! crate layout, so `use serde::{Deserialize, Serialize}` keeps working.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree — the intermediate form between Rust values
+/// and JSON text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number, kept as its exact literal for lossless round-trips.
+    Num(String),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization / deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ------------------------------------------------------------------
+// Helpers used by the derive expansion (public, hidden from docs).
+
+/// Fetches a required struct field out of a map value.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when `v` is not a map or lacks `key`.
+#[doc(hidden)]
+pub fn field<'v>(v: &'v Value, key: &str, ctx: &str) -> Result<&'v Value, Error> {
+    match v {
+        Value::Map(_) => v
+            .get(key)
+            .ok_or_else(|| Error(format!("missing field `{key}` while decoding {ctx}"))),
+        other => Err(Error(format!(
+            "expected map for {ctx}, got {}",
+            kind(other)
+        ))),
+    }
+}
+
+/// Fetches a fixed-arity sequence out of a value.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when `v` is not a sequence of exactly `n` elements.
+#[doc(hidden)]
+pub fn seq_n<'v>(v: &'v Value, n: usize, ctx: &str) -> Result<&'v [Value], Error> {
+    match v {
+        Value::Seq(items) if items.len() == n => Ok(items),
+        Value::Seq(items) => Err(Error(format!(
+            "expected {n} elements for {ctx}, got {}",
+            items.len()
+        ))),
+        other => Err(Error(format!(
+            "expected sequence for {ctx}, got {}",
+            kind(other)
+        ))),
+    }
+}
+
+fn kind(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Num(_) => "number",
+        Value::Str(_) => "string",
+        Value::Seq(_) => "sequence",
+        Value::Map(_) => "map",
+    }
+}
+
+// ------------------------------------------------------------------
+// Primitive impls.
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(s) => s.parse::<$t>().map_err(|e| {
+                        Error(format!("invalid {}: `{s}` ({e})", stringify!($t)))
+                    }),
+                    other => Err(Error(format!(
+                        "expected {}, got {}", stringify!($t), kind(other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // `{:?}` prints the shortest literal that round-trips.
+                Value::Num(format!("{:?}", self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(s) => s.parse::<$t>().map_err(|e| {
+                        Error(format!("invalid {}: `{s}` ({e})", stringify!($t)))
+                    }),
+                    other => Err(Error(format!(
+                        "expected {}, got {}", stringify!($t), kind(other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, got {}", kind(other)))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, got {}", kind(other)))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error(format!(
+                "expected single-char string, got {}",
+                kind(other)
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected sequence, got {}", kind(other)))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = seq_n(v, N, "fixed-size array")?;
+        let decoded: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        decoded
+            .try_into()
+            .map_err(|_| Error("array length mismatch".to_string()))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = seq_n(v, 2, "2-tuple")?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = seq_n(v, 3, "3-tuple")?;
+        Ok((
+            A::from_value(&items[0])?,
+            B::from_value(&items[1])?,
+            C::from_value(&items[2])?,
+        ))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sorted keys: derived artifacts must serialize deterministically.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Map(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(Error(format!("expected map, got {}", kind(other)))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_float_round_trip() {
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        let x = 0.1f64 + 0.2;
+        assert_eq!(f64::from_value(&x.to_value()).unwrap(), x);
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        match m.to_value() {
+            Value::Map(entries) => {
+                assert_eq!(entries[0].0, "a");
+                assert_eq!(entries[1].0, "b");
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let digest = [7u8; 16];
+        assert_eq!(<[u8; 16]>::from_value(&digest.to_value()).unwrap(), digest);
+    }
+}
