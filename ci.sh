@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, the full test suite, and the
-# concurrency stress test (sized for --release, hence run separately).
+# Local CI gate: formatting, lints, rustdoc, the full test suite, the
+# deterministic perf-smoke regression gate, and the concurrency stress
+# test (sized for --release, hence run separately).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -10,10 +11,25 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (workspace, -D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> perf smoke (simulated makespans vs committed baseline)"
+mkdir -p target
+cargo bench -q -p medusa-bench --bench micro -- --smoke --out "$PWD/target/BENCH_coldstart.json"
+cargo run -q -p medusa-bench --bin ci-check-bench -- \
+  compare target/BENCH_coldstart.json results/BENCH_coldstart.json
+
 echo "==> stress test (release)"
-cargo test --release -q --test stress -- --include-ignored
+CORES="$(cargo run -q -p medusa-bench --bin ci-check-bench -- cores)"
+if [ "$CORES" -lt 2 ]; then
+  echo "SKIP: stress test needs >=2 cores to exercise real thread interleavings;"
+  echo "      this host reports available_parallelism=$CORES."
+else
+  cargo test --release -q --test stress -- --include-ignored
+fi
 
 echo "CI OK"

@@ -8,6 +8,11 @@
 //! closure and reports the per-iteration mean and median.
 //!
 //! Run with: `cargo bench --bench micro`
+//!
+//! `-- --smoke [--out FILE]` runs only the deterministic cold-start smoke
+//! benchmark (simulated makespans, machine-independent) and writes
+//! `BENCH_coldstart.json` for the CI regression gate. `--emit-telemetry DIR`
+//! additionally exports per-mode Chrome traces and Prometheus snapshots.
 
 use std::time::{Duration, Instant};
 
@@ -284,7 +289,55 @@ fn bench_parallel_cold_start() {
     }
 }
 
+/// Returns the value following `key`, if present (unknown flags — e.g. the
+/// `--bench` cargo injects — are tolerated and ignored).
+fn flag_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Runs the deterministic smoke benchmark, writes `BENCH_coldstart.json`,
+/// and optionally exports per-mode telemetry snapshots.
+fn run_smoke(out: &str, emit_dir: Option<&str>) {
+    use medusa_bench::smoke;
+    let result = smoke::run();
+    println!(
+        "smoke/coldstart_tp{}_{}   serial {} us   overlapped {} us   tp-pipelined {} us",
+        result.tp, result.model, result.serial_us, result.overlapped_us, result.pipelined_us
+    );
+    std::fs::write(out, result.to_json()).expect("write smoke result");
+    println!("smoke: wrote {out}");
+    if let Some(dir) = emit_dir {
+        std::fs::create_dir_all(dir).expect("create telemetry dir");
+        for (label, mode) in [
+            ("serial", Parallelism::Serial),
+            ("overlapped", Parallelism::Overlapped),
+            ("pipelined", Parallelism::PipelinedTp),
+        ] {
+            let tele = medusa_telemetry::Registry::new();
+            smoke::run_mode(mode, Some(&tele));
+            let snap = tele.snapshot();
+            let trace = format!("{dir}/coldstart_{label}.trace.json");
+            std::fs::write(&trace, medusa_telemetry::export::chrome::render(&snap))
+                .expect("write chrome trace");
+            let prom = format!("{dir}/coldstart_{label}.prom");
+            std::fs::write(&prom, medusa_telemetry::export::prometheus::render(&snap))
+                .expect("write prometheus snapshot");
+            println!("smoke: wrote {trace} and {prom}");
+        }
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_coldstart.json".to_string());
+    let emit = flag_value(&args, "--emit-telemetry");
+    if args.iter().any(|a| a == "--smoke") {
+        run_smoke(&out, emit.as_deref());
+        return;
+    }
     println!("medusa micro-benchmarks (self-contained harness)\n");
     bench_allocator();
     bench_param_buffer();
@@ -294,4 +347,7 @@ fn main() {
     bench_serde();
     bench_serving_and_workload();
     bench_parallel_cold_start();
+    if let Some(dir) = emit {
+        run_smoke(&out, Some(&dir));
+    }
 }

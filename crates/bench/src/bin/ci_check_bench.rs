@@ -1,0 +1,60 @@
+//! `ci-check-bench` — the CI helpers around the smoke benchmark.
+//!
+//! ```text
+//! ci-check-bench cores
+//! ci-check-bench compare <fresh.json> <baseline.json> [--tolerance-pct N]
+//! ```
+//!
+//! `cores` prints the host's available parallelism (CI uses it to decide
+//! whether the multi-threaded stress step can mean anything). `compare`
+//! diffs a fresh `BENCH_coldstart.json` against the committed baseline and
+//! exits non-zero when the overlapped loading makespan regressed beyond
+//! the tolerance (default 5%).
+
+use medusa_bench::smoke::{check_regression, BenchColdstart};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("cores") => {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            println!("{cores}");
+        }
+        Some("compare") => {
+            if let Err(e) = compare(&args[1..]) {
+                eprintln!("ci-check-bench: FAIL: {e}");
+                exit(1);
+            }
+        }
+        _ => {
+            eprintln!("usage: ci-check-bench <cores|compare <fresh.json> <baseline.json> [--tolerance-pct N]>");
+            exit(2);
+        }
+    }
+}
+
+fn compare(args: &[String]) -> Result<(), String> {
+    let [fresh_path, baseline_path, rest @ ..] = args else {
+        return Err("compare needs <fresh.json> <baseline.json>".into());
+    };
+    let tolerance = match rest {
+        [] => 5.0,
+        [flag, v] if flag == "--tolerance-pct" => v
+            .parse::<f64>()
+            .map_err(|e| format!("bad --tolerance-pct `{v}`: {e}"))?,
+        other => return Err(format!("unexpected arguments {other:?}")),
+    };
+    let read = |path: &String| -> Result<BenchColdstart, String> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        BenchColdstart::from_json(&json).map_err(|e| format!("cannot parse `{path}`: {e}"))
+    };
+    let fresh = read(fresh_path)?;
+    let baseline = read(baseline_path)?;
+    let verdict = check_regression(&fresh, &baseline, tolerance)?;
+    println!("ci-check-bench: OK: {verdict}");
+    Ok(())
+}

@@ -11,3 +11,4 @@
 pub mod ablations;
 pub mod common;
 pub mod figures;
+pub mod smoke;

@@ -1,0 +1,202 @@
+//! Deterministic cold-start smoke benchmark backing the CI perf gate.
+//!
+//! The smoke run replays the same tp=2 Medusa offline+online pipeline under
+//! each [`Parallelism`] mode and records the **simulated** loading makespan.
+//! Because every number derives from the virtual clock, the result is
+//! byte-identical across machines and runs — which is what lets CI diff a
+//! fresh run against the committed baseline in `results/BENCH_coldstart.json`
+//! and fail on a >5% regression without flakiness.
+
+use medusa::{
+    cold_start_tp_traced, materialize_offline_tp_with, ColdStartOptions, Parallelism, Strategy,
+};
+use medusa_gpu::{CostModel, GpuSpec};
+use medusa_model::ModelSpec;
+use medusa_telemetry::Registry;
+use serde::{Deserialize, Serialize};
+
+/// Catalog model the smoke benchmark runs (smallest — CI time matters).
+pub const MODEL: &str = "Qwen1.5-0.5B";
+/// Tensor-parallel degree of the smoke run.
+pub const TP: u32 = 2;
+/// Seed of the offline (materialization) phase.
+pub const SEED_OFFLINE: u64 = 31;
+/// Seed of the online (cold start) phase.
+pub const SEED_ONLINE: u64 = 32;
+
+/// One smoke-benchmark result: the simulated loading makespan, in
+/// microseconds, of each scheduling mode on the same model/seeds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchColdstart {
+    /// Catalog model name.
+    pub model: String,
+    /// Tensor-parallel degree.
+    pub tp: u32,
+    /// Offline-phase seed.
+    pub seed_offline: u64,
+    /// Online-phase seed.
+    pub seed_online: u64,
+    /// Loading makespan under [`Parallelism::Serial`], µs.
+    pub serial_us: u64,
+    /// Loading makespan under [`Parallelism::Overlapped`], µs.
+    pub overlapped_us: u64,
+    /// Loading makespan under [`Parallelism::PipelinedTp`], µs.
+    pub pipelined_us: u64,
+}
+
+impl BenchColdstart {
+    /// Encodes as JSON (one stable line — committed as the CI baseline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plain struct encodes")
+    }
+
+    /// Decodes from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// Runs one mode of the smoke pipeline, returning the simulated loading
+/// makespan in µs and optionally filling `tele` with spans/metrics.
+pub fn run_mode(mode: Parallelism, tele: Option<&Registry>) -> u64 {
+    let spec = ModelSpec::by_name(MODEL).expect("catalog model");
+    let gpu = GpuSpec::a100_40gb();
+    let cost = CostModel::default();
+    let (arts, _) =
+        materialize_offline_tp_with(&spec, TP, gpu.clone(), cost.clone(), SEED_OFFLINE, mode)
+            .expect("tp offline");
+    let opts = ColdStartOptions {
+        seed: SEED_ONLINE,
+        warm_container: true,
+        parallelism: mode,
+        ..Default::default()
+    };
+    let cold = cold_start_tp_traced(
+        Strategy::Medusa,
+        &spec,
+        TP,
+        gpu,
+        cost,
+        Some(&arts),
+        opts,
+        tele,
+    )
+    .expect("tp cold start");
+    cold.loading().as_nanos() / 1_000
+}
+
+/// Runs the full smoke benchmark (all three modes).
+pub fn run() -> BenchColdstart {
+    BenchColdstart {
+        model: MODEL.to_string(),
+        tp: TP,
+        seed_offline: SEED_OFFLINE,
+        seed_online: SEED_ONLINE,
+        serial_us: run_mode(Parallelism::Serial, None),
+        overlapped_us: run_mode(Parallelism::Overlapped, None),
+        pipelined_us: run_mode(Parallelism::PipelinedTp, None),
+    }
+}
+
+/// Compares a fresh smoke run against the committed baseline. Returns a
+/// human-readable verdict, or an error when the overlapped makespan
+/// regressed by more than `tolerance_pct` percent (the CI gate) or the
+/// baseline no longer matches the benchmark's configuration.
+pub fn check_regression(
+    fresh: &BenchColdstart,
+    baseline: &BenchColdstart,
+    tolerance_pct: f64,
+) -> Result<String, String> {
+    if (
+        &fresh.model,
+        fresh.tp,
+        fresh.seed_offline,
+        fresh.seed_online,
+    ) != (
+        &baseline.model,
+        baseline.tp,
+        baseline.seed_offline,
+        baseline.seed_online,
+    ) {
+        return Err(format!(
+            "baseline configuration mismatch: fresh ran {}/tp{} seeds {}/{}, baseline has {}/tp{} \
+             seeds {}/{} — regenerate results/BENCH_coldstart.json",
+            fresh.model,
+            fresh.tp,
+            fresh.seed_offline,
+            fresh.seed_online,
+            baseline.model,
+            baseline.tp,
+            baseline.seed_offline,
+            baseline.seed_online,
+        ));
+    }
+    let limit = baseline.overlapped_us as f64 * (1.0 + tolerance_pct / 100.0);
+    if (fresh.overlapped_us as f64) > limit {
+        return Err(format!(
+            "overlapped loading makespan regressed: {} µs vs baseline {} µs (> {:.1}% tolerance)",
+            fresh.overlapped_us, baseline.overlapped_us, tolerance_pct
+        ));
+    }
+    let delta = fresh.overlapped_us as i64 - baseline.overlapped_us as i64;
+    Ok(format!(
+        "overlapped loading makespan {} µs vs baseline {} µs ({delta:+} µs, within {:.1}%)",
+        fresh.overlapped_us, baseline.overlapped_us, tolerance_pct
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchColdstart {
+        BenchColdstart {
+            model: MODEL.to_string(),
+            tp: TP,
+            seed_offline: SEED_OFFLINE,
+            seed_online: SEED_ONLINE,
+            serial_us: 1_000_000,
+            overlapped_us: 700_000,
+            pipelined_us: 650_000,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let b = sample();
+        assert_eq!(BenchColdstart::from_json(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn regression_gate_passes_within_tolerance_and_fails_beyond() {
+        let base = sample();
+        let mut fresh = sample();
+        fresh.overlapped_us = 734_000; // +4.9%
+        assert!(check_regression(&fresh, &base, 5.0).is_ok());
+        fresh.overlapped_us = 736_000; // +5.1%
+        assert!(check_regression(&fresh, &base, 5.0).is_err());
+        // Improvements always pass.
+        fresh.overlapped_us = 600_000;
+        assert!(check_regression(&fresh, &base, 5.0).is_ok());
+    }
+
+    #[test]
+    fn stale_baseline_config_is_rejected() {
+        let base = sample();
+        let mut fresh = sample();
+        fresh.seed_online = 99;
+        let err = check_regression(&fresh, &base, 5.0).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn smoke_run_is_deterministic_and_ordered() {
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "simulated makespans must be run-invariant");
+        assert!(
+            a.pipelined_us <= a.overlapped_us && a.overlapped_us < a.serial_us,
+            "parallel modes must beat serial: {a:?}"
+        );
+    }
+}

@@ -7,11 +7,13 @@
 //!                        [--artifact artifact.json] [--validate] [--warm]
 //!                        [--triggering <first-layer|handwritten>] [--seed N]
 //! medusa-cli inspect     --artifact artifact.json
+//! medusa-cli trace       [--model <name>] [--strategy <vllm|async|medusa|nograph>]
+//!                        [--format <chrome|prom>] [--seed N] [--out FILE]
 //! ```
 
 use medusa::{
-    cold_start, materialize_offline, ColdStartOptions, MaterializedState, Stage, Strategy,
-    TriggeringMode,
+    cold_start, cold_start_traced, materialize_offline, ColdStartOptions, MaterializedState, Stage,
+    Strategy, TriggeringMode,
 };
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
@@ -30,6 +32,7 @@ fn main() {
         "materialize" => materialize(&flags),
         "coldstart" => coldstart(&flags),
         "inspect" => inspect(&flags),
+        "trace" => trace(&flags),
         other => {
             eprintln!("unknown command `{other}`");
             usage();
@@ -43,12 +46,14 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: medusa-cli <models|materialize|coldstart|inspect> [flags]");
+    eprintln!("usage: medusa-cli <models|materialize|coldstart|inspect|trace> [flags]");
     eprintln!("  materialize --model <name> [--out FILE] [--seed N]");
     eprintln!("  coldstart   --model <name> --strategy <vllm|async|medusa|nograph>");
     eprintln!("              [--artifact FILE] [--validate] [--warm]");
     eprintln!("              [--triggering <first-layer|handwritten>] [--seed N]");
     eprintln!("  inspect     --artifact FILE");
+    eprintln!("  trace       [--model <name>] [--strategy <vllm|async|medusa|nograph>]");
+    eprintln!("              [--format <chrome|prom>] [--artifact FILE] [--seed N] [--out FILE]");
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -139,15 +144,19 @@ fn load_artifact(flags: &HashMap<String, String>) -> Result<Option<MaterializedS
     }
 }
 
+fn parse_strategy(flags: &HashMap<String, String>) -> Result<Strategy, String> {
+    match flags.get("strategy").map(String::as_str) {
+        Some("vllm") | None => Ok(Strategy::Vanilla),
+        Some("async") => Ok(Strategy::VanillaAsync),
+        Some("medusa") => Ok(Strategy::Medusa),
+        Some("nograph") => Ok(Strategy::NoCudaGraph),
+        Some(other) => Err(format!("unknown strategy `{other}`")),
+    }
+}
+
 fn coldstart(flags: &HashMap<String, String>) -> Result<(), String> {
     let spec = require_model(flags)?;
-    let strategy = match flags.get("strategy").map(String::as_str) {
-        Some("vllm") | None => Strategy::Vanilla,
-        Some("async") => Strategy::VanillaAsync,
-        Some("medusa") => Strategy::Medusa,
-        Some("nograph") => Strategy::NoCudaGraph,
-        Some(other) => return Err(format!("unknown strategy `{other}`")),
-    };
+    let strategy = parse_strategy(flags)?;
     let triggering = match flags.get("triggering").map(String::as_str) {
         Some("handwritten") => TriggeringMode::Handwritten,
         Some("first-layer") | None => TriggeringMode::FirstLayer,
@@ -189,6 +198,65 @@ fn coldstart(flags: &HashMap<String, String>) -> Result<(), String> {
         report.total.as_secs_f64()
     );
     let _ = Stage::Capture;
+    Ok(())
+}
+
+fn trace(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = flags
+        .get("model")
+        .map(String::as_str)
+        .unwrap_or("Qwen1.5-0.5B");
+    let spec = ModelSpec::by_name(name)
+        .ok_or_else(|| format!("unknown model `{name}` (see `medusa-cli models`)"))?;
+    let strategy = parse_strategy(flags)?;
+    let format = flags.get("format").map(String::as_str).unwrap_or("chrome");
+    let mut artifact = load_artifact(flags)?;
+    if strategy == Strategy::Medusa && artifact.is_none() {
+        // Medusa needs a materialized artifact; build one inline so the
+        // command works standalone on any catalog model.
+        let (art, _) = materialize_offline(
+            &spec,
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            seed(flags),
+        )
+        .map_err(|e| e.to_string())?;
+        artifact = Some(art);
+    }
+    let opts = ColdStartOptions {
+        seed: seed(flags),
+        ..Default::default()
+    };
+    let tele = medusa_telemetry::Registry::new();
+    let (_engine, report) = cold_start_traced(
+        strategy,
+        &spec,
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        artifact.as_ref(),
+        opts,
+        Some(&tele),
+    )
+    .map_err(|e| e.to_string())?;
+    let snap = tele.snapshot();
+    let rendered = match format {
+        "chrome" => medusa_telemetry::export::chrome::render(&snap),
+        "prom" => medusa_telemetry::export::prometheus::render(&snap),
+        other => return Err(format!("unknown format `{other}` (chrome|prom)")),
+    };
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote {path}: {} spans from a {} cold start of {} ({:.3}s simulated)",
+                snap.spans.len(),
+                report.strategy,
+                report.model,
+                report.total.as_secs_f64()
+            );
+        }
+        None => print!("{rendered}"),
+    }
     Ok(())
 }
 

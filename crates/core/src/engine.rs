@@ -32,6 +32,18 @@ pub enum Lane {
     Storage,
 }
 
+impl Lane {
+    /// Stable lowercase lane name, used as the telemetry lane label (the
+    /// Chrome trace exporter turns each lane into one thread row).
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Device => "device",
+            Lane::Host => "host",
+            Lane::Storage => "storage",
+        }
+    }
+}
+
 /// Node id inside a [`StageGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeId(usize);
@@ -165,6 +177,27 @@ impl Schedule {
         self.graph.nodes.iter().map(|n| n.duration).sum()
     }
 
+    /// The constraint that bound `node`'s start: the dependency edge or
+    /// lane predecessor whose end equals the node's start, if any (`None`
+    /// means the node started at the origin or its floor). This is the
+    /// single step of the critical-path walk, exposed so telemetry can
+    /// attach the same causal parent to each span that
+    /// [`Schedule::critical_path`] reports.
+    pub fn binder(&self, node: NodeId) -> Option<NodeId> {
+        let start = self.starts[node.0];
+        let n = &self.graph.nodes[node.0];
+        let lane_pred = (0..node.0)
+            .rev()
+            .find(|&i| self.graph.nodes[i].lane == n.lane);
+        n.deps
+            .iter()
+            .map(|d| d.0)
+            .chain(lane_pred)
+            .filter(|&i| self.ends[i] == start)
+            .max()
+            .map(NodeId)
+    }
+
     /// The binding critical path, in start order: walks back from the
     /// latest-ending node through whichever constraint (dependency edge or
     /// lane predecessor) bound each node's start.
@@ -173,27 +206,9 @@ impl Schedule {
             return Vec::new();
         };
         let mut path = vec![self.graph.nodes[at].stage];
-        loop {
-            let start = self.starts[at];
-            let node = &self.graph.nodes[at];
-            // Candidate binders: dependencies and the lane predecessor.
-            let lane_pred = (0..at)
-                .rev()
-                .find(|&i| self.graph.nodes[i].lane == node.lane);
-            let binder = node
-                .deps
-                .iter()
-                .map(|d| d.0)
-                .chain(lane_pred)
-                .filter(|&i| self.ends[i] == start)
-                .max();
-            match binder {
-                Some(prev) => {
-                    path.push(self.graph.nodes[prev].stage);
-                    at = prev;
-                }
-                None => break,
-            }
+        while let Some(prev) = self.binder(NodeId(at)) {
+            path.push(self.graph.nodes[prev.0].stage);
+            at = prev.0;
         }
         path.reverse();
         path
@@ -330,6 +345,27 @@ mod tests {
             g.schedule(SimTime::from_nanos(123)).spans()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn binder_reports_the_constraint_that_critical_path_walks() {
+        let mut g = StageGraph::new();
+        let s = g.add(Stage::StructureInit, Lane::Device, ms(5), &[]);
+        let w = g.add(Stage::WeightsLoad, Lane::Storage, ms(50), &[s]);
+        let k = g.add(Stage::KvCacheInit, Lane::Device, ms(10), &[s]);
+        let c = g.add(Stage::Capture, Lane::Device, ms(20), &[k, w]);
+        let sched = g.schedule(SimTime::ZERO);
+        assert_eq!(sched.binder(s), None, "root starts at the origin");
+        assert_eq!(sched.binder(w), Some(s));
+        assert_eq!(sched.binder(k), Some(s));
+        assert_eq!(sched.binder(c), Some(w), "capture was gated by weights");
+    }
+
+    #[test]
+    fn lane_names_are_stable() {
+        assert_eq!(Lane::Device.name(), "device");
+        assert_eq!(Lane::Host.name(), "host");
+        assert_eq!(Lane::Storage.name(), "storage");
     }
 
     #[test]

@@ -84,11 +84,12 @@ pub use online::validate::{
     reset_kv_state, validate_and_correct, validate_graph, ValidatedGraph, VALIDATION_STEP,
 };
 pub use pipeline::{
-    cold_start, materialize_offline, materialize_offline_sharded, ColdStartOptions,
-    ColdStartReport, OfflineReport, Parallelism, ReadyEngine, Stage, StageSpan, Strategy,
-    TriggeringMode,
+    cold_start, cold_start_traced, materialize_offline, materialize_offline_sharded,
+    ColdStartOptions, ColdStartReport, OfflineReport, Parallelism, ReadyEngine, Stage, StageSpan,
+    Strategy, TriggeringMode,
 };
 pub use tp::{
-    cold_start_tp, materialize_offline_tp, materialize_offline_tp_with, TpArtifacts, TpColdStart,
+    cold_start_tp, cold_start_tp_traced, materialize_offline_tp, materialize_offline_tp_with,
+    TpArtifacts, TpColdStart,
 };
 pub use trace::{AllocEvent, TraceWalker};

@@ -20,12 +20,13 @@ use crate::online::replay::{replay_allocations, restore_graph, ReplayedLayout};
 use crate::online::validate::validate_and_correct;
 use medusa_gpu::{CostModel, GpuSpec, ProcessRuntime, SimDuration, SimStorage, SimTime};
 use medusa_graph::GraphExec;
-use medusa_kvcache::{kv_cache_init_stage, KvCache, KvCacheConfig};
+use medusa_kvcache::{kv_cache_init_stage_traced, KvCache, KvCacheConfig};
 use medusa_model::{
     apply_weights, build_catalog, capture_decode_graph, capture_first_layer_graph,
     decode_step_with_graph, load_duration, run_eager_forward_step, run_handwritten_triggers,
     warmup_decode, warmup_first_layer, ForwardConfig, KvView, ModelInstance, ModelSpec, Tokenizer,
 };
+use medusa_telemetry::{Registry, SpanRecord};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -420,6 +421,29 @@ pub fn cold_start(
     artifact: Option<&MaterializedState>,
     opts: ColdStartOptions,
 ) -> MedusaResult<(ReadyEngine, ColdStartReport)> {
+    cold_start_traced(strategy, spec, gpu, cost, artifact, opts, None)
+}
+
+/// [`cold_start`] with an optional telemetry registry: stage spans (with
+/// critical-path parent linkage), per-stage duration histograms, and
+/// loading/total histograms are recorded into `tele`, all in simulated
+/// time — same-seed runs produce identical registries. Under tensor
+/// parallelism (`opts.tp > 1`) span names are `rank{r}/`-prefixed and
+/// lanes `/rank{r}`-suffixed so per-rank timelines stay separate rows in
+/// the Chrome trace.
+///
+/// # Errors
+///
+/// Same as [`cold_start`].
+pub fn cold_start_traced(
+    strategy: Strategy,
+    spec: &ModelSpec,
+    gpu: GpuSpec,
+    cost: CostModel,
+    artifact: Option<&MaterializedState>,
+    opts: ColdStartOptions,
+    tele: Option<&Registry>,
+) -> MedusaResult<(ReadyEngine, ColdStartReport)> {
     let mut rt = ProcessRuntime::new(build_catalog(spec), gpu, cost, opts.seed);
     let mut spans = Vec::new();
 
@@ -467,7 +491,7 @@ pub fn cold_start(
             });
             // ❹ KV cache initialization (profiling forwarding).
             let k0 = rt.now();
-            let (kv, _free) = kv_cache_init_stage(&mut rt, &mut inst)?;
+            let (kv, _free) = kv_cache_init_stage_traced(&mut rt, &mut inst, tele)?;
             inst.ensure_workspace(&mut rt)?;
             spans.push(StageSpan {
                 stage: Stage::KvCacheInit,
@@ -529,7 +553,7 @@ pub fn cold_start(
                 end: rt.now(),
             });
             let k0 = rt.now();
-            let (kv, _free) = kv_cache_init_stage(&mut rt, &mut inst)?;
+            let (kv, _free) = kv_cache_init_stage_traced(&mut rt, &mut inst, tele)?;
             inst.ensure_workspace(&mut rt)?;
             spans.push(StageSpan {
                 stage: Stage::KvCacheInit,
@@ -577,7 +601,7 @@ pub fn cold_start(
                 || -> MedusaResult<_> {
                     // ❹ KV cache initialization (profiling forwarding).
                     let k0 = rt.now();
-                    let (kv, _free) = kv_cache_init_stage(&mut rt, &mut inst)?;
+                    let (kv, _free) = kv_cache_init_stage_traced(&mut rt, &mut inst, tele)?;
                     inst.ensure_workspace(&mut rt)?;
                     Ok((k0, rt.now(), kv))
                 },
@@ -644,6 +668,10 @@ pub fn cold_start(
                 kv_view.block_table,
                 config.blocks_for(artifact.kv_free_bytes),
             );
+            if let Some(t) = tele {
+                t.inc("kv_restore_total", 1);
+                t.gauge_max("kv_free_bytes", artifact.kv_free_bytes);
+            }
             spans.push(StageSpan {
                 stage: Stage::KvCacheInit,
                 start: k0,
@@ -669,7 +697,7 @@ pub fn cold_start(
             // ❺ restoration.
             let c0 = rt.now();
             let graphs =
-                restore_all_graphs(&mut rt, &mut inst, artifact, &layout, &kv_view, &opts)?;
+                restore_all_graphs(&mut rt, &mut inst, artifact, &layout, &kv_view, &opts, tele)?;
             spans.push(StageSpan {
                 stage: Stage::Capture,
                 start: c0,
@@ -714,6 +742,10 @@ pub fn cold_start(
                 kv_view.block_table,
                 config.blocks_for(artifact.kv_free_bytes),
             );
+            if let Some(t) = tele {
+                t.inc("kv_restore_total", 1);
+                t.gauge_max("kv_free_bytes", artifact.kv_free_bytes);
+            }
             let kv_end = rt.now();
 
             // ❷ weights on the storage lane (no profiling → no
@@ -732,7 +764,7 @@ pub fn cold_start(
             let tok_cost = rt.cost().clone();
             let ((tokenizer, tok_dur), graphs) = host_pair(
                 move || Tokenizer::load(vocab, &tok_cost),
-                || restore_all_graphs(&mut rt, &mut inst, artifact, &layout, &kv_view, &opts),
+                || restore_all_graphs(&mut rt, &mut inst, artifact, &layout, &kv_view, &opts, tele),
             );
             let graphs = graphs?;
             let cap_dur = rt.now() - c0;
@@ -787,7 +819,92 @@ pub fn cold_start(
         total,
         critical_path,
     };
+    if let Some(t) = tele {
+        record_cold_start_telemetry(t, &report, &opts);
+    }
     Ok((engine, report))
+}
+
+/// The engine lane a stage occupies on the telemetry timeline (the same
+/// lane assignment the overlapped [`StageGraph`]s use).
+fn stage_lane(stage: Stage) -> Lane {
+    match stage {
+        Stage::RuntimeInit | Stage::TokenizerLoad => Lane::Host,
+        Stage::WeightsLoad => Lane::Storage,
+        Stage::StructureInit | Stage::KvCacheInit | Stage::Capture | Stage::FirstToken => {
+            Lane::Device
+        }
+    }
+}
+
+/// Snake-case stage identifier used in metric names
+/// (`coldstart_stage_<ident>_us`).
+fn stage_ident(stage: Stage) -> &'static str {
+    match stage {
+        Stage::RuntimeInit => "runtime_init",
+        Stage::StructureInit => "structure_init",
+        Stage::WeightsLoad => "weights_load",
+        Stage::TokenizerLoad => "tokenizer_load",
+        Stage::KvCacheInit => "kv_cache_init",
+        Stage::Capture => "capture",
+        Stage::FirstToken => "first_token",
+    }
+}
+
+/// Records one finished cold start into the registry: a [`SpanRecord`]
+/// per stage with critical-path parent linkage, per-stage duration
+/// histograms, and the loading/total histograms. All values come from the
+/// report's simulated spans, so recording is deterministic per seed.
+///
+/// Parent linkage mirrors [`crate::engine::Schedule::binder`]: each stage
+/// on the report's critical path points at its predecessor on that path;
+/// off-path loading stages point at structure init (the fan-out root);
+/// structure init points at runtime init when present; the first token
+/// points at the last loading stage of the critical path.
+fn record_cold_start_telemetry(tele: &Registry, report: &ColdStartReport, opts: &ColdStartOptions) {
+    let name_of = |stage: Stage| {
+        if opts.tp > 1 {
+            format!("rank{}/{}", opts.rank, stage)
+        } else {
+            stage.to_string()
+        }
+    };
+    let lane_of = |stage: Stage| {
+        if opts.tp > 1 {
+            format!("{}/rank{}", stage_lane(stage).name(), opts.rank)
+        } else {
+            stage_lane(stage).name().to_string()
+        }
+    };
+    let cp = &report.critical_path;
+    let has_runtime = report.spans.iter().any(|s| s.stage == Stage::RuntimeInit);
+    let parent_of = |stage: Stage| -> Option<Stage> {
+        match stage {
+            Stage::RuntimeInit => None,
+            Stage::StructureInit => has_runtime.then_some(Stage::RuntimeInit),
+            Stage::FirstToken => cp.last().copied(),
+            _ => match cp.iter().position(|&c| c == stage) {
+                Some(0) | None => Some(Stage::StructureInit),
+                Some(i) => Some(cp[i - 1]),
+            },
+        }
+    };
+    for span in &report.spans {
+        tele.record_span(SpanRecord {
+            name: name_of(span.stage),
+            lane: lane_of(span.stage),
+            start_us: span.start.as_nanos() / 1_000,
+            end_us: span.end.as_nanos() / 1_000,
+            parent: parent_of(span.stage).map(name_of),
+        });
+        tele.observe_us(
+            &format!("coldstart_stage_{}_us", stage_ident(span.stage)),
+            span.duration().as_nanos() / 1_000,
+        );
+    }
+    tele.inc("coldstart_total", 1);
+    tele.observe_us("coldstart_loading_us", report.loading.as_nanos() / 1_000);
+    tele.observe_us("coldstart_total_us", report.total.as_nanos() / 1_000);
 }
 
 /// Interleaved-read efficiency when multiple tensor-parallel ranks stream
@@ -827,7 +944,10 @@ fn weights_lane_timing(
 }
 
 /// Medusa's restoration loop (❺): first-layer triggering-kernels +
-/// per-graph restore, shared by the serial and overlapped paths.
+/// per-graph restore, shared by the serial and overlapped paths. When a
+/// telemetry registry is given, per-graph restore counters
+/// (`graph_restore_graphs_total`, `graph_restore_nodes_total`) accumulate
+/// into it.
 fn restore_all_graphs(
     rt: &mut ProcessRuntime,
     inst: &mut ModelInstance,
@@ -835,6 +955,7 @@ fn restore_all_graphs(
     layout: &ReplayedLayout,
     kv_view: &KvView,
     opts: &ColdStartOptions,
+    tele: Option<&Registry>,
 ) -> MedusaResult<Vec<(u32, GraphExec)>> {
     let mut resolver = KernelResolver::new();
     resolver.resolve_exported(rt, artifact)?;
@@ -866,6 +987,10 @@ fn restore_all_graphs(
             GraphExec::instantiate(rt, graph)?
         };
         rt.advance(SimDuration::from_nanos(rt.cost().node_patch_ns * nodes));
+        if let Some(t) = tele {
+            t.inc("graph_restore_graphs_total", 1);
+            t.inc("graph_restore_nodes_total", nodes);
+        }
         graphs.push((batch, exec));
     }
     resolver.ensure_complete(artifact)?;

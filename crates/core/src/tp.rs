@@ -15,12 +15,15 @@
 use crate::artifact::MaterializedState;
 use crate::engine::par_map;
 use crate::error::{MedusaError, MedusaResult};
+#[cfg(test)]
+use crate::pipeline::cold_start;
 use crate::pipeline::{
-    cold_start, materialize_offline_sharded, ColdStartOptions, ColdStartReport, OfflineReport,
-    Parallelism, ReadyEngine, Strategy,
+    cold_start_traced, materialize_offline_sharded, ColdStartOptions, ColdStartReport,
+    OfflineReport, Parallelism, ReadyEngine, Strategy,
 };
 use medusa_gpu::{CostModel, GpuSpec, SimDuration};
 use medusa_model::ModelSpec;
+use medusa_telemetry::Registry;
 
 /// The per-rank artifacts of one `<GPU type, model type, tp>` combination.
 #[derive(Debug, Clone, PartialEq)]
@@ -199,6 +202,30 @@ pub fn cold_start_tp(
     artifacts: Option<&TpArtifacts>,
     opts: ColdStartOptions,
 ) -> MedusaResult<TpColdStart> {
+    cold_start_tp_traced(strategy, spec, tp, gpu, cost, artifacts, opts, None)
+}
+
+/// [`cold_start_tp`] with an optional telemetry registry shared by every
+/// rank: per-rank stage spans land under `rank{r}/`-prefixed names on
+/// `/rank{r}`-suffixed lanes, and the cross-rank barrier is recorded as
+/// `tp_sync_us`. The registry is internally synchronized and every write
+/// is commutative or rank-keyed, so concurrent rank threads still produce
+/// a deterministic snapshot.
+///
+/// # Errors
+///
+/// Same as [`cold_start_tp`].
+#[allow(clippy::too_many_arguments)]
+pub fn cold_start_tp_traced(
+    strategy: Strategy,
+    spec: &ModelSpec,
+    tp: u32,
+    gpu: GpuSpec,
+    cost: CostModel,
+    artifacts: Option<&TpArtifacts>,
+    opts: ColdStartOptions,
+    tele: Option<&Registry>,
+) -> MedusaResult<TpColdStart> {
     assert!(tp > 0, "tensor-parallel degree must be positive");
     if let Some(a) = artifacts {
         if a.tp() != tp {
@@ -216,7 +243,15 @@ pub fn cold_start_tp(
             ..opts
         };
         let art = artifacts.map(|a| a.rank(rank));
-        cold_start(strategy, spec, gpu.clone(), cost.clone(), art, rank_opts)
+        cold_start_traced(
+            strategy,
+            spec,
+            gpu.clone(),
+            cost.clone(),
+            art,
+            rank_opts,
+            tele,
+        )
     };
     // Each rank owns an independent ProcessRuntime, so the parallel modes
     // restore all ranks on real worker threads; simulated timings are
@@ -239,6 +274,10 @@ pub fn cold_start_tp(
     } else {
         SimDuration::ZERO
     };
+    if let Some(t) = tele {
+        t.inc("tp_cold_starts_total", 1);
+        t.observe_us("tp_sync_us", sync.as_nanos() / 1_000);
+    }
     Ok(TpColdStart {
         engines,
         reports,

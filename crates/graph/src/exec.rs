@@ -68,6 +68,23 @@ impl GraphExec {
     /// resolves or a node dereferences a dead pointer (illegal memory
     /// access on replay, paper §2.2).
     pub fn launch(&self, rt: &mut ProcessRuntime, stream: StreamId) -> GraphResult<SimDuration> {
+        self.launch_traced(rt, stream, None)
+    }
+
+    /// [`GraphExec::launch`] with an optional telemetry registry: each
+    /// replay increments `graph_replay_launches_total`, adds the graph's
+    /// node count to `graph_replay_nodes_total`, and records the GPU
+    /// makespan into the `graph_replay_makespan_us` histogram.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GraphExec::launch`].
+    pub fn launch_traced(
+        &self,
+        rt: &mut ProcessRuntime,
+        stream: StreamId,
+        tele: Option<&medusa_telemetry::Registry>,
+    ) -> GraphResult<SimDuration> {
         rt.advance(SimDuration::from_nanos(rt.cost().graph_launch_cpu_ns));
         let base: SimTime = rt.now().max(rt.streams().free_at(stream)?);
 
@@ -94,6 +111,11 @@ impl GraphExec {
 
         let makespan = finish.iter().copied().max().unwrap_or(base) - base;
         rt.streams_mut().set_free_at(stream, base + makespan)?;
+        if let Some(t) = tele {
+            t.inc("graph_replay_launches_total", 1);
+            t.inc("graph_replay_nodes_total", self.graph.node_count() as u64);
+            t.observe_us("graph_replay_makespan_us", makespan.as_nanos() / 1_000);
+        }
         Ok(makespan)
     }
 }
@@ -346,6 +368,28 @@ mod tests {
         rt.device_synchronize().unwrap();
         // Same inputs, same kernel: replay is idempotent on contents.
         assert_eq!(rt.memory().read_digest(b.addr()).unwrap(), first);
+    }
+
+    #[test]
+    fn traced_launch_counts_replays_and_nodes() {
+        let Fixture {
+            mut rt, addr, a, b, ..
+        } = fixture();
+        let g = capture_graph(&mut rt, 0, |p| {
+            for _ in 0..3 {
+                p.launch_kernel(addr, &[a.addr(), b.addr()], Work::NONE, 0)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let exec = GraphExec::instantiate(&mut rt, g).unwrap();
+        let tele = medusa_telemetry::Registry::new();
+        exec.launch_traced(&mut rt, 0, Some(&tele)).unwrap();
+        exec.launch_traced(&mut rt, 0, Some(&tele)).unwrap();
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("graph_replay_launches_total"), Some(2));
+        assert_eq!(snap.counter("graph_replay_nodes_total"), Some(6));
+        assert_eq!(snap.histogram("graph_replay_makespan_us").unwrap().count, 2);
     }
 
     #[test]

@@ -38,5 +38,6 @@ mod profile;
 
 pub use block::{BlockAllocator, BlockTable, KvCacheConfig, KvError};
 pub use profile::{
-    allocate_kv_cache, kv_cache_init_stage, profile_available_memory, KvCache, KvCacheInitError,
+    allocate_kv_cache, kv_cache_init_stage, kv_cache_init_stage_traced, profile_available_memory,
+    KvCache, KvCacheInitError,
 };

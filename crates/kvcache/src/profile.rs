@@ -154,8 +154,34 @@ pub fn kv_cache_init_stage(
     rt: &mut ProcessRuntime,
     inst: &mut ModelInstance,
 ) -> Result<(KvCache, u64), KvCacheInitError> {
+    kv_cache_init_stage_traced(rt, inst, None)
+}
+
+/// [`kv_cache_init_stage`] with an optional telemetry registry: counts
+/// profiling runs (`kv_profile_runs_total`), records the profiling
+/// forwarding's simulated duration (`kv_profile_us`), and tracks the
+/// profiled free memory and resulting block-pool size as high-water
+/// gauges (`kv_free_bytes`, `kv_blocks`).
+///
+/// # Errors
+///
+/// Propagates profiling and allocation failures.
+pub fn kv_cache_init_stage_traced(
+    rt: &mut ProcessRuntime,
+    inst: &mut ModelInstance,
+    tele: Option<&medusa_telemetry::Registry>,
+) -> Result<(KvCache, u64), KvCacheInitError> {
+    let t0 = rt.now();
     let free = profile_available_memory(rt, inst)?;
+    if let Some(t) = tele {
+        t.inc("kv_profile_runs_total", 1);
+        t.observe_us("kv_profile_us", rt.now().since(t0).as_nanos() / 1_000);
+        t.gauge_max("kv_free_bytes", free);
+    }
     let cache = allocate_kv_cache(rt, inst, free)?;
+    if let Some(t) = tele {
+        t.gauge_max("kv_blocks", cache.num_blocks() as u64);
+    }
     Ok((cache, free))
 }
 

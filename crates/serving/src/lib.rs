@@ -43,4 +43,4 @@ mod params;
 mod sim;
 
 pub use params::PerfModel;
-pub use sim::{simulate, ClusterConfig, SimResult};
+pub use sim::{simulate, simulate_traced, ClusterConfig, SimResult};

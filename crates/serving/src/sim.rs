@@ -135,6 +135,19 @@ fn kv_need(r: &Request) -> u64 {
 
 /// Simulates `trace` against a cluster serving with `perf`.
 pub fn simulate(perf: &PerfModel, cluster: &ClusterConfig, trace: &[Request]) -> SimResult {
+    simulate_traced(perf, cluster, trace, None)
+}
+
+/// [`simulate`] with an optional telemetry registry: per-request TTFT and
+/// queueing-delay histograms (`serving_ttft_us`, `serving_queue_delay_us`),
+/// plus cold-start / completion counters. All values are simulated event
+/// times, so same-trace runs record identically.
+pub fn simulate_traced(
+    perf: &PerfModel,
+    cluster: &ClusterConfig,
+    trace: &[Request],
+    tele: Option<&medusa_telemetry::Registry>,
+) -> SimResult {
     let mut events: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut push = |events: &mut BinaryHeap<Reverse<(u64, u64, Event)>>, t: u64, e: Event| {
@@ -180,6 +193,9 @@ pub fn simulate(perf: &PerfModel, cluster: &ClusterConfig, trace: &[Request]) ->
                 instances[i].ready = true;
                 cold_starting -= 1;
                 result.cold_starts.push(t);
+                if let Some(tl) = tele {
+                    tl.inc("serving_cold_starts_total", 1);
+                }
                 dispatch(
                     t,
                     perf,
@@ -207,6 +223,7 @@ pub fn simulate(perf: &PerfModel, cluster: &ClusterConfig, trace: &[Request]) ->
                     &mut result,
                     &mut events,
                     &mut seq,
+                    tele,
                 );
             }
             Event::IterationEnd(i) => {
@@ -222,6 +239,7 @@ pub fn simulate(perf: &PerfModel, cluster: &ClusterConfig, trace: &[Request]) ->
                     &mut result,
                     &mut events,
                     &mut seq,
+                    tele,
                 );
             }
             Event::IdleCheck(i) => {
@@ -241,6 +259,11 @@ pub fn simulate(perf: &PerfModel, cluster: &ClusterConfig, trace: &[Request]) ->
                 }
             }
         }
+    }
+    if let Some(tl) = tele {
+        tl.inc("serving_requests_offered_total", result.offered as u64);
+        tl.inc("serving_requests_completed_total", result.completed as u64);
+        tl.gauge_max("serving_makespan_us", result.makespan_ns / 1_000);
     }
     result
 }
@@ -316,6 +339,7 @@ fn run_iteration(
     result: &mut SimResult,
     events: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
     seq: &mut u64,
+    tele: Option<&medusa_telemetry::Registry>,
 ) {
     let inst = &mut instances[i];
     if let Some(r) = inst.pending.pop_front() {
@@ -325,6 +349,10 @@ fn run_iteration(
         result
             .ttfts
             .push(SimDuration::from_nanos(end - trace[r].arrival_ns));
+        if let Some(tl) = tele {
+            tl.observe_us("serving_ttft_us", (end - trace[r].arrival_ns) / 1_000);
+            tl.observe_us("serving_queue_delay_us", (t - trace[r].arrival_ns) / 1_000);
+        }
         if trace[r].output_tokens > 1 {
             inst.running.push(RunningSeq {
                 remaining: trace[r].output_tokens - 1,
@@ -559,6 +587,27 @@ mod tests {
             r2.ttfts.iter().max().unwrap() < r.ttfts.iter().max().unwrap(),
             "kv pressure must raise tail TTFT"
         );
+    }
+
+    #[test]
+    fn traced_simulation_records_ttft_and_cold_start_metrics() {
+        let trace = vec![req(0, 0, 100, 3), req(1, 5000, 100, 1)];
+        let tele = medusa_telemetry::Registry::new();
+        let r = simulate_traced(&perf(1000), &ClusterConfig::default(), &trace, Some(&tele));
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("serving_cold_starts_total"), Some(1));
+        assert_eq!(snap.counter("serving_requests_offered_total"), Some(2));
+        assert_eq!(snap.counter("serving_requests_completed_total"), Some(2));
+        let ttft = snap.histogram("serving_ttft_us").expect("ttft histogram");
+        assert_eq!(ttft.count, 2);
+        let expected_sum: u64 = r.ttfts.iter().map(|d| d.as_nanos() / 1_000).sum();
+        assert_eq!(ttft.sum, expected_sum);
+        let queue = snap
+            .histogram("serving_queue_delay_us")
+            .expect("queue histogram");
+        // Request 0 waits out the cold start; request 1 hits a warm instance.
+        assert_eq!(queue.count, 2);
+        assert_eq!(queue.sum, 1_000_000);
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Chrome `trace_event` JSON exporter.
+//!
+//! Renders spans as complete (`"ph":"X"`) events in the
+//! [Trace Event Format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+//! loadable in `chrome://tracing` or <https://ui.perfetto.dev>. Each
+//! distinct lane becomes one "thread" row (named via `"M"` metadata
+//! events), timestamps/durations are integer simulated microseconds, and
+//! the span's parent name rides along in `args.parent`. Counters and
+//! gauges are appended as `args` on a single summary metadata event so a
+//! trace file is self-describing.
+
+use crate::export::json_escape;
+use crate::Snapshot;
+use std::fmt::Write as _;
+
+/// Renders `snapshot` as a Chrome `trace_event` JSON document.
+///
+/// Lanes are assigned `tid`s in sorted order and spans are emitted in
+/// snapshot order, so same-seed runs render byte-identical JSON.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut lanes: Vec<&str> = snapshot.spans.iter().map(|s| s.lane.as_str()).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    let tid_of = |lane: &str| lanes.iter().position(|&l| l == lane).unwrap_or(0);
+
+    let mut events: Vec<String> = Vec::new();
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"medusa-sim\"}}"
+            .to_string(),
+    );
+    for (tid, lane) in lanes.iter().enumerate() {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(lane)
+        ));
+    }
+    for span in &snapshot.spans {
+        let mut args = String::new();
+        if let Some(parent) = &span.parent {
+            let _ = write!(args, "\"parent\":\"{}\"", json_escape(parent));
+        }
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":0,\"tid\":{},\"args\":{{{args}}}}}",
+            json_escape(&span.name),
+            json_escape(&span.lane),
+            span.start_us,
+            span.duration_us(),
+            tid_of(&span.lane),
+        ));
+    }
+    if !snapshot.counters.is_empty() || !snapshot.gauges.is_empty() {
+        let metrics: Vec<String> = snapshot
+            .counters
+            .iter()
+            .chain(snapshot.gauges.iter())
+            .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+            .collect();
+        events.push(format!(
+            "{{\"name\":\"metrics\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{{{}}}}}",
+            metrics.join(",")
+        ));
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Registry, SpanRecord};
+
+    fn sample() -> Registry {
+        let r = Registry::new();
+        r.record_span(SpanRecord {
+            name: "weights load".into(),
+            lane: "storage".into(),
+            start_us: 10,
+            end_us: 30,
+            parent: Some("structure init".into()),
+        });
+        r.record_span(SpanRecord {
+            name: "structure init".into(),
+            lane: "device".into(),
+            start_us: 0,
+            end_us: 10,
+            parent: None,
+        });
+        r.inc("coldstart_total", 1);
+        r
+    }
+
+    #[test]
+    fn emits_metadata_and_complete_events() {
+        let json = super::render(&sample().snapshot());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("\"args\":{\"name\":\"storage\"}"));
+        assert!(json.contains(
+            "{\"name\":\"weights load\",\"cat\":\"storage\",\"ph\":\"X\",\
+             \"ts\":10,\"dur\":20,\"pid\":0,\"tid\":1,\
+             \"args\":{\"parent\":\"structure init\"}}"
+        ));
+        assert!(json.contains("\"coldstart_total\":1"));
+    }
+
+    #[test]
+    fn lane_tids_are_sorted_and_stable() {
+        let json = super::render(&sample().snapshot());
+        // "device" sorts before "storage" → tid 0 and 1.
+        let device_meta = json.find("\"args\":{\"name\":\"device\"}").unwrap();
+        let storage_meta = json.find("\"args\":{\"name\":\"storage\"}").unwrap();
+        assert!(device_meta < storage_meta);
+        assert!(json
+            .contains("\"cat\":\"device\",\"ph\":\"X\",\"ts\":0,\"dur\":10,\"pid\":0,\"tid\":0"));
+    }
+}

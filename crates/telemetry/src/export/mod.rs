@@ -1,0 +1,38 @@
+//! Snapshot exporters.
+//!
+//! Both exporters are pure functions over a [`crate::Snapshot`], so the
+//! determinism guarantee of [`crate::Registry::snapshot`] carries through
+//! to the exported bytes: same seed → same snapshot → same artifact.
+
+pub mod chrome;
+pub mod prometheus;
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_escape;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny\u{1}"), "x\\ny\\u0001");
+        assert_eq!(json_escape("plain/rank0"), "plain/rank0");
+    }
+}

@@ -1,0 +1,74 @@
+//! Prometheus text exposition format.
+//!
+//! Renders counters, gauges, and histograms in the classic
+//! [text format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! one `# TYPE` line per metric, histogram buckets as cumulative
+//! `_bucket{le="..."}` series ending in `le="+Inf"`, plus `_sum` and
+//! `_count`. All metric names get a `medusa_` namespace prefix. Spans are
+//! not part of the Prometheus model; export those via
+//! [`crate::export::chrome`].
+
+use crate::{bucket_bounds_us, Snapshot};
+use std::fmt::Write as _;
+
+/// Renders `snapshot` as Prometheus exposition text.
+///
+/// Output is fully determined by the snapshot (metrics are pre-sorted by
+/// name), so same-seed runs render byte-identical text.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = format!("medusa_{name}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = format!("medusa_{name}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, hist) in &snapshot.histograms {
+        let name = format!("medusa_{name}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in bucket_bounds_us().iter().zip(hist.counts.iter()) {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += hist.counts[hist.counts.len() - 1];
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", hist.sum);
+        let _ = writeln!(out, "{name}_count {}", hist.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn renders_types_buckets_sum_and_count() {
+        let r = Registry::new();
+        r.inc("starts_total", 2);
+        r.set_gauge("free_bytes", 7);
+        r.observe_us("load_us", 3);
+        r.observe_us("load_us", 3_000);
+        let text = super::render(&r.snapshot());
+        assert!(text.contains("# TYPE medusa_starts_total counter\nmedusa_starts_total 2\n"));
+        assert!(text.contains("# TYPE medusa_free_bytes gauge\nmedusa_free_bytes 7\n"));
+        assert!(text.contains("# TYPE medusa_load_us histogram"));
+        // 3 lands in le=5; the series is cumulative from there on.
+        assert!(text.contains("medusa_load_us_bucket{le=\"2\"} 0\n"));
+        assert!(text.contains("medusa_load_us_bucket{le=\"5\"} 1\n"));
+        assert!(text.contains("medusa_load_us_bucket{le=\"5000\"} 2\n"));
+        assert!(text.contains("medusa_load_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("medusa_load_us_sum 3003\n"));
+        assert!(text.contains("medusa_load_us_count 2\n"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_text() {
+        assert_eq!(super::render(&Registry::new().snapshot()), "");
+    }
+}
