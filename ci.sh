@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, rustdoc, the full test suite, the
-# deterministic perf-smoke regression gate, and the concurrency stress
-# test (sized for --release, hence run separately).
+# deterministic perf-smoke regression gates (per-instance cold start and
+# fleet scenario), every example end-to-end, the proptest regression-corpus
+# check, and the concurrency stress test (sized for --release, hence run
+# separately).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,14 +16,49 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc (workspace, -D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
+echo "==> proptest regression corpus (tracked and non-empty when present)"
+# Convention (DESIGN.md): proptest failure persistence files are a shared
+# regression corpus — when one exists it must be committed, and an empty
+# file is a broken merge, not a corpus.
+PROPTEST_FILES="$(find . -path ./target -prune -o -path ./.git -prune -o \
+  \( -name '*.proptest-regressions' -o -path '*/proptest-regressions/*' \) \
+  -type f -print)"
+if [ -z "$PROPTEST_FILES" ]; then
+  echo "    none present - OK"
+else
+  while IFS= read -r f; do
+    if ! git ls-files --error-unmatch "$f" >/dev/null 2>&1; then
+      echo "FAIL: $f is not tracked by git - commit the regression corpus"
+      exit 1
+    fi
+    if [ ! -s "$f" ]; then
+      echo "FAIL: $f is empty - delete it or commit the real regressions"
+      exit 1
+    fi
+    echo "    $f - tracked, non-empty"
+  done <<<"$PROPTEST_FILES"
+fi
+
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
-echo "==> perf smoke (simulated makespans vs committed baseline)"
+echo "==> examples (release, end-to-end)"
+cargo build --release -q --examples
+for ex in examples/*.rs; do
+  name="$(basename "$ex" .rs)"
+  echo "    running example $name"
+  cargo run --release -q --example "$name" >/dev/null
+done
+
+echo "==> perf smoke (simulated makespans vs committed baselines)"
 mkdir -p target
-cargo bench -q -p medusa-bench --bench micro -- --smoke --out "$PWD/target/BENCH_coldstart.json"
+cargo bench -q -p medusa-bench --bench micro -- --smoke \
+  --out "$PWD/target/BENCH_coldstart.json" \
+  --out-cluster "$PWD/target/BENCH_cluster.json"
 cargo run -q -p medusa-bench --bin ci-check-bench -- \
   compare target/BENCH_coldstart.json results/BENCH_coldstart.json
+cargo run -q -p medusa-bench --bin ci-check-bench -- \
+  compare-cluster target/BENCH_cluster.json results/BENCH_cluster.json
 
 echo "==> stress test (release)"
 CORES="$(cargo run -q -p medusa-bench --bin ci-check-bench -- cores)"

@@ -11,8 +11,11 @@
 //!
 //! `-- --smoke [--out FILE]` runs only the deterministic cold-start smoke
 //! benchmark (simulated makespans, machine-independent) and writes
-//! `BENCH_coldstart.json` for the CI regression gate. `--emit-telemetry DIR`
-//! additionally exports per-mode Chrome traces and Prometheus snapshots.
+//! `BENCH_coldstart.json` for the CI regression gate. `--out-cluster FILE`
+//! additionally runs the fleet scenario (Medusa vs vanilla cluster under a
+//! burst trace) and writes `BENCH_cluster.json`. `--emit-telemetry DIR`
+//! additionally exports Chrome traces and Prometheus snapshots for every
+//! cold-start mode and both fleet sides.
 
 use std::time::{Duration, Instant};
 
@@ -298,9 +301,10 @@ fn flag_value(args: &[String], key: &str) -> Option<String> {
         .cloned()
 }
 
-/// Runs the deterministic smoke benchmark, writes `BENCH_coldstart.json`,
-/// and optionally exports per-mode telemetry snapshots.
-fn run_smoke(out: &str, emit_dir: Option<&str>) {
+/// Runs the deterministic smoke benchmarks, writes `BENCH_coldstart.json`
+/// (and `BENCH_cluster.json` when `out_cluster` is set), and optionally
+/// exports telemetry snapshots.
+fn run_smoke(out: &str, out_cluster: Option<&str>, emit_dir: Option<&str>) {
     use medusa_bench::smoke;
     let result = smoke::run();
     println!(
@@ -309,6 +313,20 @@ fn run_smoke(out: &str, emit_dir: Option<&str>) {
     );
     std::fs::write(out, result.to_json()).expect("write smoke result");
     println!("smoke: wrote {out}");
+    if let Some(path) = out_cluster {
+        let cluster = smoke::run_cluster();
+        println!(
+            "smoke/cluster_{}x{}   medusa {} colds / p99 {} us   vanilla {} colds / p99 {} us",
+            cluster.model,
+            cluster.nodes,
+            cluster.medusa_cold_starts,
+            cluster.medusa_ttft_p99_us,
+            cluster.vanilla_cold_starts,
+            cluster.vanilla_ttft_p99_us
+        );
+        std::fs::write(path, cluster.to_json()).expect("write cluster smoke result");
+        println!("smoke: wrote {path}");
+    }
     if let Some(dir) = emit_dir {
         std::fs::create_dir_all(dir).expect("create telemetry dir");
         for (label, mode) in [
@@ -327,15 +345,28 @@ fn run_smoke(out: &str, emit_dir: Option<&str>) {
                 .expect("write prometheus snapshot");
             println!("smoke: wrote {trace} and {prom}");
         }
+        for (label, strategy) in [("medusa", Strategy::Medusa), ("vanilla", Strategy::Vanilla)] {
+            let tele = medusa_telemetry::Registry::new();
+            medusa_bench::smoke::run_cluster_side(strategy, Some(&tele));
+            let snap = tele.snapshot();
+            let trace = format!("{dir}/cluster_{label}.trace.json");
+            std::fs::write(&trace, medusa_telemetry::export::chrome::render(&snap))
+                .expect("write chrome trace");
+            let prom = format!("{dir}/cluster_{label}.prom");
+            std::fs::write(&prom, medusa_telemetry::export::prometheus::render(&snap))
+                .expect("write prometheus snapshot");
+            println!("smoke: wrote {trace} and {prom}");
+        }
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_coldstart.json".to_string());
+    let out_cluster = flag_value(&args, "--out-cluster");
     let emit = flag_value(&args, "--emit-telemetry");
     if args.iter().any(|a| a == "--smoke") {
-        run_smoke(&out, emit.as_deref());
+        run_smoke(&out, out_cluster.as_deref(), emit.as_deref());
         return;
     }
     println!("medusa micro-benchmarks (self-contained harness)\n");
@@ -348,6 +379,6 @@ fn main() {
     bench_serving_and_workload();
     bench_parallel_cold_start();
     if let Some(dir) = emit {
-        run_smoke(&out, Some(&dir));
+        run_smoke(&out, out_cluster.as_deref(), Some(&dir));
     }
 }

@@ -2,16 +2,21 @@
 //!
 //! ```text
 //! ci-check-bench cores
-//! ci-check-bench compare <fresh.json> <baseline.json> [--tolerance-pct N]
+//! ci-check-bench compare         <fresh.json> <baseline.json> [--tolerance-pct N]
+//! ci-check-bench compare-cluster <fresh.json> <baseline.json> [--tolerance-pct N]
 //! ```
 //!
 //! `cores` prints the host's available parallelism (CI uses it to decide
 //! whether the multi-threaded stress step can mean anything). `compare`
 //! diffs a fresh `BENCH_coldstart.json` against the committed baseline and
 //! exits non-zero when the overlapped loading makespan regressed beyond
-//! the tolerance (default 5%).
+//! the tolerance (default 5%). `compare-cluster` does the same for
+//! `BENCH_cluster.json` (Medusa-fleet TTFT p99 and makespan, plus the
+//! medusa-beats-vanilla invariant).
 
-use medusa_bench::smoke::{check_regression, BenchColdstart};
+use medusa_bench::smoke::{
+    check_cluster_regression, check_regression, BenchCluster, BenchColdstart,
+};
 use std::process::exit;
 
 fn main() {
@@ -24,19 +29,28 @@ fn main() {
             println!("{cores}");
         }
         Some("compare") => {
-            if let Err(e) = compare(&args[1..]) {
+            if let Err(e) = compare(&args[1..], false) {
+                eprintln!("ci-check-bench: FAIL: {e}");
+                exit(1);
+            }
+        }
+        Some("compare-cluster") => {
+            if let Err(e) = compare(&args[1..], true) {
                 eprintln!("ci-check-bench: FAIL: {e}");
                 exit(1);
             }
         }
         _ => {
-            eprintln!("usage: ci-check-bench <cores|compare <fresh.json> <baseline.json> [--tolerance-pct N]>");
+            eprintln!(
+                "usage: ci-check-bench <cores|compare|compare-cluster> \
+                 [<fresh.json> <baseline.json> [--tolerance-pct N]]"
+            );
             exit(2);
         }
     }
 }
 
-fn compare(args: &[String]) -> Result<(), String> {
+fn compare(args: &[String], cluster: bool) -> Result<(), String> {
     let [fresh_path, baseline_path, rest @ ..] = args else {
         return Err("compare needs <fresh.json> <baseline.json>".into());
     };
@@ -47,14 +61,23 @@ fn compare(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("bad --tolerance-pct `{v}`: {e}"))?,
         other => return Err(format!("unexpected arguments {other:?}")),
     };
-    let read = |path: &String| -> Result<BenchColdstart, String> {
-        let json =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-        BenchColdstart::from_json(&json).map_err(|e| format!("cannot parse `{path}`: {e}"))
+    let read = |path: &String| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
     };
-    let fresh = read(fresh_path)?;
-    let baseline = read(baseline_path)?;
-    let verdict = check_regression(&fresh, &baseline, tolerance)?;
+    let parse_err = |path: &String, e: String| format!("cannot parse `{path}`: {e}");
+    let verdict = if cluster {
+        let fresh =
+            BenchCluster::from_json(&read(fresh_path)?).map_err(|e| parse_err(fresh_path, e))?;
+        let baseline = BenchCluster::from_json(&read(baseline_path)?)
+            .map_err(|e| parse_err(baseline_path, e))?;
+        check_cluster_regression(&fresh, &baseline, tolerance)?
+    } else {
+        let fresh =
+            BenchColdstart::from_json(&read(fresh_path)?).map_err(|e| parse_err(fresh_path, e))?;
+        let baseline = BenchColdstart::from_json(&read(baseline_path)?)
+            .map_err(|e| parse_err(baseline_path, e))?;
+        check_regression(&fresh, &baseline, tolerance)?
+    };
     println!("ci-check-bench: OK: {verdict}");
     Ok(())
 }

@@ -12,7 +12,9 @@ use medusa::{
 };
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
+use medusa_serving::{simulate_fleet_traced, ClusterSpec, FleetProfile, Policy};
 use medusa_telemetry::Registry;
+use medusa_workload::{ArrivalPattern, TraceConfig};
 use serde::{Deserialize, Serialize};
 
 /// Catalog model the smoke benchmark runs (smallest — CI time matters).
@@ -145,6 +147,201 @@ pub fn check_regression(
     ))
 }
 
+// ---------------------------------------------------------------------
+// Cluster makespan smoke scenario.
+
+/// Fleet size of the cluster smoke scenario.
+pub const CLUSTER_NODES: usize = 4;
+/// Trace seed of the cluster smoke scenario.
+pub const CLUSTER_SEED: u64 = 42;
+/// Offered request rate, requests/second (integer to keep the committed
+/// baseline `Eq`-comparable).
+pub const CLUSTER_RPS: u64 = 8;
+/// Trace duration, seconds.
+pub const CLUSTER_DURATION_S: u64 = 45;
+
+/// One cluster-smoke result: the same bursty trace replayed on a Medusa
+/// fleet and a vanilla fleet (both [`Policy::ColdStartAware`], node-local
+/// caches pre-seeded per the §6 registry model), recording fleet makespan,
+/// TTFT tail, and cold-start count per side. Simulated clock only —
+/// byte-identical across machines, committed as `results/BENCH_cluster.json`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchCluster {
+    /// Catalog model name.
+    pub model: String,
+    /// Fleet size.
+    pub nodes: u32,
+    /// Trace seed.
+    pub seed: u64,
+    /// Offered rate, requests/second.
+    pub rps: u64,
+    /// Trace duration, seconds.
+    pub duration_s: u64,
+    /// Fingerprint of the replayed trace (config drift detector).
+    pub trace_fingerprint: u64,
+    /// Medusa-fleet cold starts.
+    pub medusa_cold_starts: u32,
+    /// Medusa-fleet makespan, µs.
+    pub medusa_makespan_us: u64,
+    /// Medusa-fleet TTFT p99, µs.
+    pub medusa_ttft_p99_us: u64,
+    /// Vanilla-fleet cold starts.
+    pub vanilla_cold_starts: u32,
+    /// Vanilla-fleet makespan, µs.
+    pub vanilla_makespan_us: u64,
+    /// Vanilla-fleet TTFT p99, µs.
+    pub vanilla_ttft_p99_us: u64,
+}
+
+impl BenchCluster {
+    /// Encodes as JSON (one stable line — committed as the CI baseline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plain struct encodes")
+    }
+
+    /// Decodes from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// Runs one side of the cluster smoke scenario, optionally filling `tele`.
+/// Returns (cold starts, makespan µs, ttft p99 µs).
+pub fn run_cluster_side(strategy: Strategy, tele: Option<&Registry>) -> (u32, u64, u64) {
+    let spec = ModelSpec::by_name(MODEL).expect("catalog model");
+    let profile = FleetProfile::measure(
+        strategy,
+        &spec,
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        1,
+        Parallelism::Overlapped,
+        CLUSTER_SEED,
+    )
+    .expect("fleet profile");
+    // §6 registry model: node-local caches are pre-seeded, so Medusa cold
+    // starts are local restores (vanilla has nothing to cache either way).
+    let cluster = ClusterSpec::uniform(CLUSTER_NODES).with_cached_prefix(CLUSTER_NODES);
+    let trace = cluster_trace();
+    let out = simulate_fleet_traced(&profile, &cluster, Policy::ColdStartAware, &trace, tele);
+    (
+        out.report.cold_starts,
+        out.report.makespan_ns / 1_000,
+        out.report.ttft_p99_us,
+    )
+}
+
+fn cluster_trace() -> Vec<medusa_workload::Request> {
+    TraceConfig::sharegpt(CLUSTER_RPS as f64, CLUSTER_DURATION_S as f64)
+        .with_seed(CLUSTER_SEED)
+        .with_pattern(ArrivalPattern::sharegpt_bursty())
+        .generate()
+}
+
+/// Runs the full cluster smoke scenario (Medusa fleet vs vanilla fleet on
+/// the same burst trace).
+pub fn run_cluster() -> BenchCluster {
+    let (medusa_cold_starts, medusa_makespan_us, medusa_ttft_p99_us) =
+        run_cluster_side(Strategy::Medusa, None);
+    let (vanilla_cold_starts, vanilla_makespan_us, vanilla_ttft_p99_us) =
+        run_cluster_side(Strategy::Vanilla, None);
+    BenchCluster {
+        model: MODEL.to_string(),
+        nodes: CLUSTER_NODES as u32,
+        seed: CLUSTER_SEED,
+        rps: CLUSTER_RPS,
+        duration_s: CLUSTER_DURATION_S,
+        trace_fingerprint: medusa_workload::fingerprint(&cluster_trace()),
+        medusa_cold_starts,
+        medusa_makespan_us,
+        medusa_ttft_p99_us,
+        vanilla_cold_starts,
+        vanilla_makespan_us,
+        vanilla_ttft_p99_us,
+    }
+}
+
+/// Compares a fresh cluster smoke run against the committed baseline.
+/// Returns a human-readable verdict, or an error when the Medusa fleet's
+/// TTFT p99 or makespan regressed by more than `tolerance_pct` percent,
+/// when the Medusa fleet no longer beats the vanilla fleet's TTFT tail, or
+/// when the baseline no longer matches the benchmark's configuration.
+pub fn check_cluster_regression(
+    fresh: &BenchCluster,
+    baseline: &BenchCluster,
+    tolerance_pct: f64,
+) -> Result<String, String> {
+    if (
+        &fresh.model,
+        fresh.nodes,
+        fresh.seed,
+        fresh.rps,
+        fresh.duration_s,
+        fresh.trace_fingerprint,
+    ) != (
+        &baseline.model,
+        baseline.nodes,
+        baseline.seed,
+        baseline.rps,
+        baseline.duration_s,
+        baseline.trace_fingerprint,
+    ) {
+        return Err(format!(
+            "baseline configuration mismatch: fresh ran {}x{} seed {} ({} rps, {}s, trace {:#x}), \
+             baseline has {}x{} seed {} ({} rps, {}s, trace {:#x}) — regenerate \
+             results/BENCH_cluster.json",
+            fresh.model,
+            fresh.nodes,
+            fresh.seed,
+            fresh.rps,
+            fresh.duration_s,
+            fresh.trace_fingerprint,
+            baseline.model,
+            baseline.nodes,
+            baseline.seed,
+            baseline.rps,
+            baseline.duration_s,
+            baseline.trace_fingerprint,
+        ));
+    }
+    let gate = |name: &str, fresh_us: u64, base_us: u64| -> Result<(), String> {
+        let limit = base_us as f64 * (1.0 + tolerance_pct / 100.0);
+        if (fresh_us as f64) > limit {
+            return Err(format!(
+                "medusa fleet {name} regressed: {fresh_us} µs vs baseline {base_us} µs \
+                 (> {tolerance_pct:.1}% tolerance)"
+            ));
+        }
+        Ok(())
+    };
+    gate(
+        "ttft p99",
+        fresh.medusa_ttft_p99_us,
+        baseline.medusa_ttft_p99_us,
+    )?;
+    gate(
+        "makespan",
+        fresh.medusa_makespan_us,
+        baseline.medusa_makespan_us,
+    )?;
+    if fresh.medusa_ttft_p99_us >= fresh.vanilla_ttft_p99_us {
+        return Err(format!(
+            "medusa fleet no longer beats vanilla on TTFT p99: {} µs vs {} µs",
+            fresh.medusa_ttft_p99_us, fresh.vanilla_ttft_p99_us
+        ));
+    }
+    Ok(format!(
+        "medusa fleet ttft p99 {} µs vs baseline {} µs (vanilla {} µs), makespan {} µs vs \
+         baseline {} µs, within {:.1}%",
+        fresh.medusa_ttft_p99_us,
+        baseline.medusa_ttft_p99_us,
+        fresh.vanilla_ttft_p99_us,
+        fresh.medusa_makespan_us,
+        baseline.medusa_makespan_us,
+        tolerance_pct
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +384,72 @@ mod tests {
         fresh.seed_online = 99;
         let err = check_regression(&fresh, &base, 5.0).unwrap_err();
         assert!(err.contains("mismatch"), "{err}");
+    }
+
+    fn sample_cluster() -> BenchCluster {
+        BenchCluster {
+            model: MODEL.to_string(),
+            nodes: CLUSTER_NODES as u32,
+            seed: CLUSTER_SEED,
+            rps: CLUSTER_RPS,
+            duration_s: CLUSTER_DURATION_S,
+            trace_fingerprint: 0xabcd,
+            medusa_cold_starts: 2,
+            medusa_makespan_us: 45_000_000,
+            medusa_ttft_p99_us: 900_000,
+            vanilla_cold_starts: 3,
+            vanilla_makespan_us: 46_000_000,
+            vanilla_ttft_p99_us: 1_600_000,
+        }
+    }
+
+    #[test]
+    fn cluster_json_round_trips() {
+        let b = sample_cluster();
+        assert_eq!(BenchCluster::from_json(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn cluster_gate_passes_within_tolerance_and_fails_beyond() {
+        let base = sample_cluster();
+        let mut fresh = sample_cluster();
+        fresh.medusa_ttft_p99_us = 944_000; // +4.9%
+        assert!(check_cluster_regression(&fresh, &base, 5.0).is_ok());
+        fresh.medusa_ttft_p99_us = 946_000; // +5.1%
+        assert!(check_cluster_regression(&fresh, &base, 5.0).is_err());
+        fresh.medusa_ttft_p99_us = 900_000;
+        fresh.medusa_makespan_us = 48_000_000; // +6.7%
+        assert!(check_cluster_regression(&fresh, &base, 5.0).is_err());
+    }
+
+    #[test]
+    fn cluster_gate_requires_medusa_to_beat_vanilla() {
+        let base = sample_cluster();
+        let mut fresh = sample_cluster();
+        fresh.medusa_ttft_p99_us = fresh.vanilla_ttft_p99_us;
+        let err = check_cluster_regression(&fresh, &base, 1000.0).unwrap_err();
+        assert!(err.contains("no longer beats"), "{err}");
+    }
+
+    #[test]
+    fn cluster_gate_rejects_stale_config() {
+        let base = sample_cluster();
+        let mut fresh = sample_cluster();
+        fresh.trace_fingerprint = 0xbeef;
+        let err = check_cluster_regression(&fresh, &base, 5.0).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn cluster_smoke_is_deterministic_and_medusa_wins() {
+        let a = run_cluster();
+        let b = run_cluster();
+        assert_eq!(a, b, "simulated fleet results must be run-invariant");
+        assert!(
+            a.medusa_ttft_p99_us < a.vanilla_ttft_p99_us,
+            "medusa fleet must beat vanilla on the burst tail: {a:?}"
+        );
+        assert!(a.medusa_makespan_us <= a.vanilla_makespan_us, "{a:?}");
     }
 
     #[test]

@@ -1,0 +1,1249 @@
+//! Multi-node serverless cluster simulator with cold-start-aware
+//! scheduling — the fleet layer above the per-instance simulator in
+//! [`crate::simulate`].
+//!
+//! The paper evaluates Medusa per GPU, but its payoff is fleet-level:
+//! materialization makes cold starts cheap enough that a serverless
+//! scheduler can scale instances up and down aggressively. This module
+//! models that layer: `N` simulated GPU workers serve one shared request
+//! stream; each worker's cold start replays the measured cost of the
+//! *real* per-instance pipeline (see [`FleetProfile::measure`], which runs
+//! [`medusa::cold_start_tp`] under the configured
+//! [`Parallelism`] knob), and on top sits a pluggable
+//! [`Scheduler`] plus an autoscaler with keep-alive and scale-to-zero.
+//!
+//! Artifact locality follows the paper's §6 sharing model: materialized
+//! state is keyed by `<GPU type, model type>` and lives in a registry; a
+//! node whose **local cache** already holds the entry cold-starts at the
+//! Medusa loading cost, while a cache miss additionally pays the registry
+//! fetch before restoring (the fetch then populates the cache, so
+//! scale-to-zero followed by re-warm is cheap). Vanilla fleets never pay a
+//! fetch — they have nothing materialized to fetch — but reload from
+//! scratch every time.
+//!
+//! Everything runs on the simulated clock with a deterministic event
+//! order, so same-trace runs produce **byte-identical** reports and
+//! telemetry exports — which is what lets CI gate this layer.
+
+use crate::params::PerfModel;
+use medusa::{
+    cold_start_tp, materialize_offline, materialize_offline_tp_with, ColdStartOptions,
+    MedusaResult, Parallelism, Strategy,
+};
+use medusa_gpu::{CostModel, GpuSpec, SimDuration};
+use medusa_model::ModelSpec;
+use medusa_telemetry::Registry;
+use medusa_workload::{fingerprint, Request};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Modeled fabric bandwidth for registry fetches, bytes/second (10 Gb/s —
+/// the materialized `<GPU type, model type>` entry streams weights plus
+/// graph state to the node's local cache on a miss).
+const FETCH_BANDWIDTH_BPS: f64 = 1.25e9;
+
+// ---------------------------------------------------------------------
+// Cluster shape.
+
+/// One simulated GPU worker of the fleet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// GPU type — one half of the paper's §6 artifact cache key.
+    pub gpu: String,
+    /// Tensor-parallel degree of the instance this worker hosts. Serving
+    /// iterations and cold starts consume `tp`× their wall-clock in
+    /// aggregate rank *work* (every rank executes every iteration).
+    pub tp: u32,
+    /// Whether the node-local artifact cache holds the
+    /// `<GPU type, model type>` materialized state at `t = 0`.
+    pub cached: bool,
+}
+
+/// Autoscaler knobs: when to start nodes beyond explicit routing, and when
+/// to scale idle ones back to zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscalerConfig {
+    /// A warm node idle for this long is scaled to zero (its instance is
+    /// torn down; the local artifact cache survives, so re-warming costs
+    /// only the loading phase).
+    pub keep_alive_s: f64,
+    /// Whether keep-alive expiry actually tears instances down. `false`
+    /// pins warm nodes forever (a reserved-capacity fleet).
+    pub scale_to_zero: bool,
+    /// Unplaced backlog per live node above which the autoscaler starts
+    /// the cheapest cold node.
+    pub target_queue_depth: usize,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            keep_alive_s: 60.0,
+            scale_to_zero: true,
+            target_queue_depth: 4,
+        }
+    }
+}
+
+/// Shape of the simulated fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// The fleet's workers.
+    pub nodes: Vec<NodeSpec>,
+    /// Maximum concurrently admitted sequences per node.
+    pub max_running: u32,
+    /// Horizon after the last arrival at which the simulation stops
+    /// (drains stragglers), in seconds.
+    pub drain_s: f64,
+    /// Autoscaler configuration.
+    pub autoscaler: AutoscalerConfig,
+}
+
+impl ClusterSpec {
+    /// A fleet of `n` identical single-GPU A100 workers with cold local
+    /// artifact caches.
+    pub fn uniform(n: usize) -> Self {
+        ClusterSpec {
+            nodes: (0..n)
+                .map(|_| NodeSpec {
+                    gpu: "A100-40GB".to_string(),
+                    tp: 1,
+                    cached: false,
+                })
+                .collect(),
+            max_running: 32,
+            drain_s: 600.0,
+            autoscaler: AutoscalerConfig::default(),
+        }
+    }
+
+    /// Marks the first `k` nodes' local caches as pre-populated (builder
+    /// style).
+    pub fn with_cached_prefix(mut self, k: usize) -> Self {
+        for node in self.nodes.iter_mut().take(k) {
+            node.cached = true;
+        }
+        self
+    }
+
+    /// Sets every node's tensor-parallel degree (builder style).
+    pub fn with_tp(mut self, tp: u32) -> Self {
+        for node in &mut self.nodes {
+            node.tp = tp;
+        }
+        self
+    }
+
+    /// Sets the autoscaler configuration (builder style).
+    pub fn with_autoscaler(mut self, autoscaler: AutoscalerConfig) -> Self {
+        self.autoscaler = autoscaler;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fleet cost profile.
+
+/// The measured cost model every node of a fleet replays: serving tables
+/// plus the cold-start costs of the per-instance pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetProfile {
+    /// Strategy each node's cold start runs.
+    pub strategy: Strategy,
+    /// Serving tables; `perf.loading` is the **cache-hit** cold-start
+    /// makespan (for Medusa: restoring a locally cached artifact).
+    pub perf: PerfModel,
+    /// Aggregate loading-phase work across ranks of one cold start (equal
+    /// to `perf.loading` at `tp = 1`; the sum of per-rank stage durations
+    /// at `tp > 1`).
+    pub coldstart_work: SimDuration,
+    /// Registry-fetch penalty a Medusa cold start pays when the node-local
+    /// cache misses. Zero for non-materialized strategies.
+    pub fetch: SimDuration,
+}
+
+impl FleetProfile {
+    /// Builds a profile from an explicit [`PerfModel`] (tests/analysis).
+    /// `coldstart_work` defaults to the loading makespan (a `tp = 1`
+    /// instance); `fetch` defaults to zero.
+    pub fn from_perf(strategy: Strategy, perf: PerfModel) -> Self {
+        FleetProfile {
+            strategy,
+            coldstart_work: perf.loading,
+            perf,
+            fetch: SimDuration::ZERO,
+        }
+    }
+
+    /// Sets the cache-miss fetch penalty (builder style).
+    pub fn with_fetch(mut self, fetch: SimDuration) -> Self {
+        self.fetch = fetch;
+        self
+    }
+
+    /// Sets the aggregate per-rank cold-start work (builder style).
+    pub fn with_coldstart_work(mut self, work: SimDuration) -> Self {
+        self.coldstart_work = work;
+        self
+    }
+
+    /// Measures a fleet profile by running the **real** per-instance
+    /// pipelines: serving tables via [`PerfModel::measure`] and the
+    /// cold-start makespan/work via a `tp`-way [`medusa::cold_start_tp`]
+    /// under the requested [`Parallelism`] knob — the fleet simulator then
+    /// replays those numbers at queueing scale.
+    ///
+    /// The cache-miss fetch penalty models streaming the materialized
+    /// `<GPU type, model type>` entry (dominated by the weights) over a
+    /// 10 Gb/s fabric; non-Medusa strategies fetch nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates materialization and cold-start errors.
+    pub fn measure(
+        strategy: Strategy,
+        spec: &ModelSpec,
+        gpu: GpuSpec,
+        cost: CostModel,
+        tp: u32,
+        parallelism: Parallelism,
+        seed: u64,
+    ) -> MedusaResult<Self> {
+        // Serving tables are per-GPU; measure them on a single-GPU
+        // instance (with its own tp=1 artifact for Medusa).
+        let serving_artifact = match strategy {
+            Strategy::Medusa => Some(materialize_offline(spec, gpu.clone(), cost.clone(), seed)?.0),
+            _ => None,
+        };
+        let mut perf = PerfModel::measure(
+            strategy,
+            spec,
+            gpu.clone(),
+            cost.clone(),
+            serving_artifact.as_ref(),
+            seed,
+        )?;
+        // Loading replays the real tp-way pipeline under the knob.
+        let tp_artifacts = match strategy {
+            Strategy::Medusa => Some(
+                materialize_offline_tp_with(
+                    spec,
+                    tp,
+                    gpu.clone(),
+                    cost.clone(),
+                    seed,
+                    parallelism,
+                )?
+                .0,
+            ),
+            _ => None,
+        };
+        let opts = ColdStartOptions {
+            seed: seed ^ 0x5eed,
+            warm_container: true,
+            parallelism,
+            ..Default::default()
+        };
+        let cold = cold_start_tp(strategy, spec, tp, gpu, cost, tp_artifacts.as_ref(), opts)?;
+        perf.loading = cold.loading();
+        let fetch = match strategy {
+            Strategy::Medusa => {
+                SimDuration::from_secs_f64(spec.param_bytes() as f64 / FETCH_BANDWIDTH_BPS)
+            }
+            _ => SimDuration::ZERO,
+        };
+        Ok(FleetProfile {
+            strategy,
+            perf,
+            coldstart_work: cold.aggregate_work(),
+            fetch,
+        })
+    }
+
+    /// Cold-start makespan for a node whose local cache state is `cached`.
+    fn coldstart_makespan(&self, cached: bool) -> SimDuration {
+        if cached || self.strategy != Strategy::Medusa {
+            self.perf.loading
+        } else {
+            self.perf.loading + self.fetch
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler policies.
+
+/// Lifecycle state of one node — the state machine is
+/// `Cold → Starting → Warm → (keep-alive expiry) → Cold`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Scaled to zero: no instance. Routing here triggers a cold start.
+    Cold,
+    /// Cold start in flight; queued requests wait for readiness.
+    Starting,
+    /// Instance live and serving.
+    Warm,
+}
+
+/// Read-only view of one node, handed to [`Scheduler`] policies for one
+/// routing decision.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView {
+    /// Lifecycle state.
+    pub state: NodeState,
+    /// Pending + running sequences on the node.
+    pub load: usize,
+    /// Whether the local artifact cache holds the materialized state (so
+    /// a cold start here skips the registry fetch).
+    pub cached: bool,
+    /// Whether admitting *this* request respects the node's batch-slot
+    /// and KV-capacity limits (always `true` for cold nodes — they start
+    /// empty).
+    pub accepts: bool,
+}
+
+/// A routing decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Route to node `i`, cold-starting it first when necessary.
+    Node(usize),
+    /// No placement — leave the request in the global queue.
+    Queue,
+}
+
+/// A pluggable routing policy.
+///
+/// [`Scheduler::route`] places one request; [`Scheduler::pick_cold`] is
+/// consulted by the autoscaler whenever backlog (or an empty fleet) calls
+/// for waking a scaled-to-zero node — this is where a policy accounts the
+/// Medusa vs vanilla cold-start cost difference.
+pub trait Scheduler {
+    /// Policy name (embedded in reports and telemetry).
+    fn name(&self) -> &'static str;
+
+    /// Routes one request.
+    fn route(&mut self, nodes: &[NodeView]) -> Decision;
+
+    /// Picks which cold node the autoscaler should start. The default is
+    /// cold-start-cost-oblivious: the first cold node by index.
+    fn pick_cold(&mut self, nodes: &[NodeView]) -> Option<usize> {
+        nodes.iter().position(|n| n.state == NodeState::Cold)
+    }
+}
+
+/// Rotates over nodes, skipping ones that cannot accept; wakes cold nodes
+/// as the rotation reaches them.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, nodes: &[NodeView]) -> Decision {
+        if nodes.is_empty() {
+            return Decision::Queue;
+        }
+        for off in 0..nodes.len() {
+            let i = (self.next + off) % nodes.len();
+            if nodes[i].accepts {
+                self.next = (i + 1) % nodes.len();
+                return Decision::Node(i);
+            }
+        }
+        Decision::Queue
+    }
+}
+
+/// Routes to the least-loaded node that can accept, **oblivious to
+/// cold-start cost**: a cold node counts as load zero, so bursts fan out
+/// across the fleet and wake every worker — the classic serverless
+/// anti-pattern Medusa's cheap cold starts paper over.
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl Scheduler for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn route(&mut self, nodes: &[NodeView]) -> Decision {
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.accepts)
+            .min_by_key(|(i, n)| (n.load, *i))
+            .map_or(Decision::Queue, |(i, _)| Decision::Node(i))
+    }
+}
+
+/// Cold-start-aware routing (§6-informed): warm instances first (packed by
+/// load), then instances whose cold start is already in flight; it never
+/// wakes a cold node just to spread load — scale-out is left to the
+/// autoscaler's backlog threshold, and when the fleet *must* start a node
+/// this policy picks the one whose local artifact cache already holds the
+/// `<GPU type, model type>` entry, i.e. the cheapest Medusa cold start
+/// (no registry fetch).
+#[derive(Debug, Default)]
+pub struct ColdStartAware;
+
+impl Scheduler for ColdStartAware {
+    fn name(&self) -> &'static str {
+        "coldstart-aware"
+    }
+
+    fn route(&mut self, nodes: &[NodeView]) -> Decision {
+        let pick = |state: NodeState| {
+            nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.state == state && n.accepts)
+                .min_by_key(|(i, n)| (n.load, *i))
+                .map(|(i, _)| i)
+        };
+        if let Some(i) = pick(NodeState::Warm) {
+            return Decision::Node(i);
+        }
+        if let Some(i) = pick(NodeState::Starting) {
+            return Decision::Node(i);
+        }
+        Decision::Queue
+    }
+
+    fn pick_cold(&mut self, nodes: &[NodeView]) -> Option<usize> {
+        // Cheapest start first: a cached node skips the registry fetch.
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.state == NodeState::Cold)
+            .min_by_key(|(i, n)| (!n.cached, *i))
+            .map(|(i, _)| i)
+    }
+}
+
+/// The built-in policies, nameable from the CLI and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastLoaded`].
+    LeastLoaded,
+    /// [`ColdStartAware`].
+    ColdStartAware,
+}
+
+impl Policy {
+    /// All built-in policies.
+    pub const ALL: [Policy; 3] = [
+        Policy::RoundRobin,
+        Policy::LeastLoaded,
+        Policy::ColdStartAware,
+    ];
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            Policy::RoundRobin => Box::new(RoundRobin::default()),
+            Policy::LeastLoaded => Box::new(LeastLoaded),
+            Policy::ColdStartAware => Box::new(ColdStartAware),
+        }
+    }
+
+    /// Parses a CLI policy name.
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s {
+            "round-robin" => Some(Policy::RoundRobin),
+            "least-loaded" => Some(Policy::LeastLoaded),
+            "coldstart-aware" => Some(Policy::ColdStartAware),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reports.
+
+/// Per-node accounting of one fleet run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// GPU type.
+    pub gpu: String,
+    /// Tensor-parallel degree.
+    pub tp: u32,
+    /// Cold starts this node paid.
+    pub cold_starts: u32,
+    /// Simulated time spent cold-starting, ns.
+    pub cold_ns: u64,
+    /// First tokens produced (requests prefilled here).
+    pub served: u32,
+    /// Busy (iterating) wall-clock, ns.
+    pub busy_ns: u64,
+    /// Aggregate per-rank work, ns: cold-start work plus `tp`× the busy
+    /// wall-clock (every rank executes every serving iteration).
+    pub work_ns: u64,
+    /// Whether the local artifact cache holds the entry after the run.
+    pub cached_at_end: bool,
+}
+
+/// Deterministic summary of one fleet simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Scheduler policy name.
+    pub policy: String,
+    /// Fleet-wide cold-start strategy.
+    pub strategy: Strategy,
+    /// Requests in the trace.
+    pub offered: usize,
+    /// Requests fully completed before the drain horizon.
+    pub completed: usize,
+    /// Total cold starts across the fleet.
+    pub cold_starts: u32,
+    /// Scale-to-zero (keep-alive expiry) events.
+    pub scale_to_zero_events: u32,
+    /// Time of the last completion, ns.
+    pub makespan_ns: u64,
+    /// Median time-to-first-token, µs.
+    pub ttft_p50_us: u64,
+    /// 99th-percentile time-to-first-token, µs.
+    pub ttft_p99_us: u64,
+    /// Mean time-to-first-token, µs.
+    pub ttft_mean_us: u64,
+    /// Order-sensitive fingerprint of the replayed trace
+    /// ([`medusa_workload::fingerprint`]).
+    pub trace_fingerprint: u64,
+    /// Per-node accounting, node order.
+    pub nodes: Vec<NodeReport>,
+}
+
+impl ClusterReport {
+    /// Encodes the report as one stable JSON line.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plain struct encodes")
+    }
+
+    /// Decodes a report from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error message.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// Full outcome of one fleet simulation: the serializable report plus the
+/// raw per-request TTFT samples (completion order) for analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// The deterministic summary.
+    pub report: ClusterReport,
+    /// Per-request TTFT samples.
+    pub ttfts: Vec<SimDuration>,
+}
+
+// ---------------------------------------------------------------------
+// The simulator.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Arrive(usize),
+    NodeReady(usize),
+    TryStart(usize),
+    IterEnd(usize),
+    IdleCheck(usize),
+}
+
+#[derive(Debug)]
+struct RunningSeq {
+    remaining: u32,
+    kv_reserved: u64,
+}
+
+struct Node {
+    spec: NodeSpec,
+    state: NodeState,
+    busy: bool,
+    pending: VecDeque<usize>,
+    running: Vec<RunningSeq>,
+    kv_tokens: u64,
+    idle_since: Option<u64>,
+    cold_starts: u32,
+    cold_ns: u64,
+    served: u32,
+    busy_ns: u64,
+    work_ns: u64,
+}
+
+impl Node {
+    fn new(spec: NodeSpec) -> Self {
+        Node {
+            spec,
+            state: NodeState::Cold,
+            busy: false,
+            pending: VecDeque::new(),
+            running: Vec::new(),
+            kv_tokens: 0,
+            idle_since: None,
+            cold_starts: 0,
+            cold_ns: 0,
+            served: 0,
+            busy_ns: 0,
+            work_ns: 0,
+        }
+    }
+
+    fn load(&self) -> usize {
+        self.pending.len() + self.running.len()
+    }
+
+    fn view(&self, need: u64, max_running: u32, kv_capacity: u64) -> NodeView {
+        let live_accepts =
+            self.load() < max_running as usize && self.kv_tokens + need <= kv_capacity;
+        NodeView {
+            state: self.state,
+            load: self.load(),
+            cached: self.spec.cached,
+            accepts: match self.state {
+                NodeState::Cold => true,
+                NodeState::Starting | NodeState::Warm => live_accepts,
+            },
+        }
+    }
+}
+
+/// Worst-case KV reservation of a request (prompt + all output tokens).
+fn kv_need(r: &Request) -> u64 {
+    r.prompt_tokens as u64 + r.output_tokens as u64
+}
+
+struct Sim<'a> {
+    profile: &'a FleetProfile,
+    cluster: &'a ClusterSpec,
+    trace: &'a [Request],
+    tele: Option<&'a Registry>,
+    nodes: Vec<Node>,
+    queue: VecDeque<usize>,
+    events: BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    seq: u64,
+    ttfts: Vec<SimDuration>,
+    completed: usize,
+    makespan_ns: u64,
+    cold_starts: u32,
+    scale_to_zero_events: u32,
+}
+
+impl Sim<'_> {
+    fn push(&mut self, t: u64, ev: Ev) {
+        self.events.push(Reverse((t, self.seq, ev)));
+        self.seq += 1;
+    }
+
+    fn views_for(&self, need: u64) -> Vec<NodeView> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.view(
+                    need,
+                    self.cluster.max_running,
+                    self.profile.perf.kv_capacity_tokens,
+                )
+            })
+            .collect()
+    }
+
+    /// Begins a cold start on node `i` at time `t`.
+    fn start_cold(&mut self, t: u64, i: usize) {
+        let node = &mut self.nodes[i];
+        debug_assert_eq!(node.state, NodeState::Cold);
+        let makespan = self.profile.coldstart_makespan(node.spec.cached);
+        let fetch_ns = if node.spec.cached {
+            0
+        } else if self.profile.strategy == Strategy::Medusa {
+            self.profile.fetch.as_nanos()
+        } else {
+            0
+        };
+        node.state = NodeState::Starting;
+        node.cold_starts += 1;
+        node.cold_ns += makespan.as_nanos();
+        // Aggregate rank work: every rank restores; a fetch occupies the
+        // node once (the cache is shared across local ranks).
+        node.work_ns += self.profile.coldstart_work.as_nanos() + fetch_ns;
+        self.cold_starts += 1;
+        let ready = t + makespan.as_nanos();
+        if let Some(tl) = self.tele {
+            tl.inc("cluster_cold_starts_total", 1);
+            tl.inc(&format!("cluster_node{i}_cold_starts_total"), 1);
+            tl.span(
+                format!("coldstart/n{i}"),
+                format!("node{i}"),
+                t / 1_000,
+                ready / 1_000,
+            );
+        }
+        self.push(ready, Ev::NodeReady(i));
+    }
+
+    /// Places request `r` on node `i` at time `t` (cold-starting first
+    /// when needed) and records the scheduler-decision span.
+    fn place(&mut self, t: u64, r: usize, i: usize) {
+        if self.nodes[i].state == NodeState::Cold {
+            self.start_cold(t, i);
+        }
+        let need = kv_need(&self.trace[r]);
+        let node = &mut self.nodes[i];
+        node.kv_tokens += need;
+        node.idle_since = None;
+        node.pending.push_back(r);
+        if let Some(tl) = self.tele {
+            tl.span(
+                format!("route/r{}->n{i}", self.trace[r].id),
+                "scheduler".to_string(),
+                self.trace[r].arrival_ns / 1_000,
+                t / 1_000,
+            );
+        }
+        if node.state == NodeState::Warm && !node.busy {
+            self.push(t, Ev::TryStart(i));
+        }
+    }
+
+    /// Routes as much of the global queue as the policy will place, then
+    /// lets the autoscaler start nodes for any remaining backlog.
+    fn drain(&mut self, t: u64, sched: &mut dyn Scheduler) {
+        while let Some(&r) = self.queue.front() {
+            let views = self.views_for(kv_need(&self.trace[r]));
+            match sched.route(&views) {
+                Decision::Node(i) => {
+                    self.queue.pop_front();
+                    self.place(t, r, i);
+                }
+                Decision::Queue => break,
+            }
+        }
+        // Autoscaler scale-up: an empty fleet, or backlog beyond the
+        // per-live-node target, wakes a cold node — the *policy* picks
+        // which one (ColdStartAware prefers artifact-cached nodes).
+        loop {
+            if self.queue.is_empty() {
+                break;
+            }
+            let live = self
+                .nodes
+                .iter()
+                .filter(|n| n.state != NodeState::Cold)
+                .count();
+            let limit = self.cluster.autoscaler.target_queue_depth * live.max(1);
+            if live > 0 && self.queue.len() <= limit {
+                break;
+            }
+            let need = self.queue.front().map_or(0, |&r| kv_need(&self.trace[r]));
+            let views = self.views_for(need);
+            match sched.pick_cold(&views) {
+                Some(i) => self.start_cold(t, i),
+                None => break,
+            }
+        }
+    }
+}
+
+/// Runs `trace` through a fleet shaped by `cluster` whose nodes replay
+/// `profile`, routed by `policy`.
+pub fn simulate_fleet(
+    profile: &FleetProfile,
+    cluster: &ClusterSpec,
+    policy: Policy,
+    trace: &[Request],
+) -> FleetOutcome {
+    simulate_fleet_traced(profile, cluster, policy, trace, None)
+}
+
+/// [`simulate_fleet`] with telemetry: per-node TTFT/queue-delay
+/// histograms, fleet and per-node cold-start counters, scale-to-zero
+/// counters, and scheduler-decision + cold-start spans. All values derive
+/// from the simulated clock, so same-trace runs export byte-identically.
+pub fn simulate_fleet_traced(
+    profile: &FleetProfile,
+    cluster: &ClusterSpec,
+    policy: Policy,
+    trace: &[Request],
+    tele: Option<&Registry>,
+) -> FleetOutcome {
+    let mut sched = policy.build();
+    let mut sim = Sim {
+        profile,
+        cluster,
+        trace,
+        tele,
+        nodes: cluster.nodes.iter().cloned().map(Node::new).collect(),
+        queue: VecDeque::new(),
+        events: BinaryHeap::new(),
+        seq: 0,
+        ttfts: Vec::new(),
+        completed: 0,
+        makespan_ns: 0,
+        cold_starts: 0,
+        scale_to_zero_events: 0,
+    };
+    for (i, r) in trace.iter().enumerate() {
+        sim.push(r.arrival_ns, Ev::Arrive(i));
+    }
+    let horizon = trace.last().map_or(0, |r| r.arrival_ns) + (cluster.drain_s * 1e9) as u64;
+    let keep_alive_ns = (cluster.autoscaler.keep_alive_s * 1e9) as u64;
+
+    while let Some(Reverse((t, _, ev))) = sim.events.pop() {
+        if t > horizon {
+            break;
+        }
+        match ev {
+            Ev::Arrive(r) => {
+                sim.queue.push_back(r);
+                sim.drain(t, sched.as_mut());
+            }
+            Ev::NodeReady(i) => {
+                let node = &mut sim.nodes[i];
+                node.state = NodeState::Warm;
+                // The cold start populated the local cache (Medusa fetch
+                // or in-place materialization reuse).
+                if sim.profile.strategy == Strategy::Medusa {
+                    node.spec.cached = true;
+                }
+                sim.push(t, Ev::TryStart(i));
+                sim.drain(t, sched.as_mut());
+            }
+            Ev::TryStart(i) => {
+                if !sim.nodes[i].busy {
+                    iteration(&mut sim, t, i, keep_alive_ns);
+                }
+            }
+            Ev::IterEnd(i) => {
+                sim.nodes[i].busy = false;
+                sim.drain(t, sched.as_mut());
+                iteration(&mut sim, t, i, keep_alive_ns);
+            }
+            Ev::IdleCheck(i) => {
+                let scale = cluster.autoscaler.scale_to_zero;
+                let node = &mut sim.nodes[i];
+                if scale
+                    && node.state == NodeState::Warm
+                    && !node.busy
+                    && node.pending.is_empty()
+                    && node.running.is_empty()
+                    && node
+                        .idle_since
+                        .is_some_and(|since| t.saturating_sub(since) >= keep_alive_ns)
+                {
+                    // Keep-alive expired: scale to zero. The local
+                    // artifact cache survives, so re-warming is cheap.
+                    node.state = NodeState::Cold;
+                    node.idle_since = None;
+                    sim.scale_to_zero_events += 1;
+                    if let Some(tl) = tele {
+                        tl.inc("cluster_scale_to_zero_total", 1);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut sorted: Vec<u64> = sim.ttfts.iter().map(|d| d.as_nanos() / 1_000).collect();
+    sorted.sort_unstable();
+    let q = |f: f64| -> u64 {
+        if sorted.is_empty() {
+            0
+        } else {
+            sorted[((sorted.len() as f64 - 1.0) * f).round() as usize]
+        }
+    };
+    let mean = if sorted.is_empty() {
+        0
+    } else {
+        sorted.iter().sum::<u64>() / sorted.len() as u64
+    };
+    if let Some(tl) = tele {
+        tl.inc("cluster_requests_offered_total", trace.len() as u64);
+        tl.inc("cluster_requests_completed_total", sim.completed as u64);
+        tl.gauge_max("cluster_makespan_us", sim.makespan_ns / 1_000);
+    }
+    let report = ClusterReport {
+        policy: sched.name().to_string(),
+        strategy: profile.strategy,
+        offered: trace.len(),
+        completed: sim.completed,
+        cold_starts: sim.cold_starts,
+        scale_to_zero_events: sim.scale_to_zero_events,
+        makespan_ns: sim.makespan_ns,
+        ttft_p50_us: q(0.5),
+        ttft_p99_us: q(0.99),
+        ttft_mean_us: mean,
+        trace_fingerprint: fingerprint(trace),
+        nodes: sim
+            .nodes
+            .iter()
+            .map(|n| NodeReport {
+                gpu: n.spec.gpu.clone(),
+                tp: n.spec.tp,
+                cold_starts: n.cold_starts,
+                cold_ns: n.cold_ns,
+                served: n.served,
+                busy_ns: n.busy_ns,
+                work_ns: n.work_ns,
+                cached_at_end: n.spec.cached,
+            })
+            .collect(),
+    };
+    FleetOutcome {
+        report,
+        ttfts: sim.ttfts,
+    }
+}
+
+/// One serving iteration on node `i` at time `t`.
+fn iteration(sim: &mut Sim<'_>, t: u64, i: usize, keep_alive_ns: u64) {
+    let perf = &sim.profile.perf;
+    let tele = sim.tele;
+    let node = &mut sim.nodes[i];
+    if node.state != NodeState::Warm {
+        return;
+    }
+    if let Some(r) = node.pending.pop_front() {
+        // Prefill: produces the request's first token.
+        let req = &sim.trace[r];
+        let dur = perf.prefill_duration(req.prompt_tokens).as_nanos();
+        let end = t + dur;
+        sim.ttfts
+            .push(SimDuration::from_nanos(end - req.arrival_ns));
+        node.served += 1;
+        if let Some(tl) = tele {
+            tl.observe_us("cluster_ttft_us", (end - req.arrival_ns) / 1_000);
+            tl.observe_us(
+                &format!("cluster_node{i}_ttft_us"),
+                (end - req.arrival_ns) / 1_000,
+            );
+            tl.observe_us(
+                &format!("cluster_node{i}_queue_delay_us"),
+                (t - req.arrival_ns) / 1_000,
+            );
+        }
+        if req.output_tokens > 1 {
+            node.running.push(RunningSeq {
+                remaining: req.output_tokens - 1,
+                kv_reserved: kv_need(req),
+            });
+        } else {
+            node.kv_tokens = node.kv_tokens.saturating_sub(kv_need(req));
+            sim.completed += 1;
+            sim.makespan_ns = sim.makespan_ns.max(end);
+        }
+        node.busy = true;
+        node.busy_ns += dur;
+        node.work_ns += dur * node.spec.tp as u64;
+        sim.push(end, Ev::IterEnd(i));
+    } else if !node.running.is_empty() {
+        // Batched decode step.
+        let dur = perf.decode_duration(node.running.len() as u32).as_nanos();
+        let end = t + dur;
+        for s in &mut node.running {
+            s.remaining -= 1;
+        }
+        let released: u64 = node
+            .running
+            .iter()
+            .filter(|s| s.remaining == 0)
+            .map(|s| s.kv_reserved)
+            .sum();
+        let before = node.running.len();
+        node.running.retain(|s| s.remaining > 0);
+        let finished = before - node.running.len();
+        if finished > 0 {
+            node.kv_tokens = node.kv_tokens.saturating_sub(released);
+            sim.completed += finished;
+            sim.makespan_ns = sim.makespan_ns.max(end);
+        }
+        node.busy = true;
+        node.busy_ns += dur;
+        node.work_ns += dur * node.spec.tp as u64;
+        sim.push(end, Ev::IterEnd(i));
+    } else {
+        // Idle: arm the keep-alive countdown.
+        node.idle_since = Some(t);
+        sim.push(t + keep_alive_ns, Ev::IdleCheck(i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medusa_workload::{ArrivalPattern, TraceConfig};
+
+    fn perf(loading_ms: u64) -> PerfModel {
+        PerfModel::from_tables(
+            Strategy::Vanilla,
+            "toy",
+            SimDuration::from_millis(loading_ms),
+            vec![1, 8, 32],
+            vec![
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(6),
+                SimDuration::from_millis(8),
+            ],
+            vec![
+                (100, SimDuration::from_millis(20)),
+                (200, SimDuration::from_millis(40)),
+            ],
+        )
+    }
+
+    fn medusa_profile(loading_ms: u64, fetch_ms: u64) -> FleetProfile {
+        let mut p = perf(loading_ms);
+        p.strategy = Strategy::Medusa;
+        FleetProfile::from_perf(Strategy::Medusa, p).with_fetch(SimDuration::from_millis(fetch_ms))
+    }
+
+    fn req(id: u64, arrival_ms: u64, prompt: u32, output: u32) -> Request {
+        Request {
+            id,
+            arrival_ns: arrival_ms * 1_000_000,
+            prompt_tokens: prompt,
+            output_tokens: output,
+        }
+    }
+
+    #[test]
+    fn single_request_pays_fetch_plus_loading_plus_prefill_on_cache_miss() {
+        let profile = medusa_profile(500, 300);
+        let spec = ClusterSpec::uniform(2);
+        let out = simulate_fleet(
+            &profile,
+            &spec,
+            Policy::ColdStartAware,
+            &[req(0, 0, 100, 1)],
+        );
+        assert_eq!(out.ttfts.len(), 1);
+        // fetch 300 + loading 500 + prefill 20.
+        assert_eq!(out.ttfts[0], SimDuration::from_millis(820));
+        assert_eq!(out.report.cold_starts, 1);
+        assert!(out.report.nodes[0].cached_at_end);
+        assert!(!out.report.nodes[1].cached_at_end, "only node 0 started");
+    }
+
+    #[test]
+    fn cached_node_skips_the_fetch() {
+        let profile = medusa_profile(500, 300);
+        let spec = ClusterSpec::uniform(2).with_cached_prefix(1);
+        let out = simulate_fleet(
+            &profile,
+            &spec,
+            Policy::ColdStartAware,
+            &[req(0, 0, 100, 1)],
+        );
+        assert_eq!(out.ttfts[0], SimDuration::from_millis(520));
+    }
+
+    #[test]
+    fn coldstart_aware_prefers_the_cached_cold_node() {
+        let profile = medusa_profile(500, 300);
+        // Node 1 (not 0) holds the artifact: the policy must pick it.
+        let mut spec = ClusterSpec::uniform(3);
+        spec.nodes[1].cached = true;
+        let out = simulate_fleet(
+            &profile,
+            &spec,
+            Policy::ColdStartAware,
+            &[req(0, 0, 100, 1)],
+        );
+        assert_eq!(out.report.nodes[1].cold_starts, 1);
+        assert_eq!(out.report.nodes[0].cold_starts, 0);
+        assert_eq!(out.ttfts[0], SimDuration::from_millis(520));
+    }
+
+    #[test]
+    fn vanilla_fleet_never_fetches() {
+        let profile = FleetProfile::from_perf(Strategy::Vanilla, perf(800))
+            .with_fetch(SimDuration::from_millis(300));
+        let spec = ClusterSpec::uniform(1);
+        let out = simulate_fleet(&profile, &spec, Policy::LeastLoaded, &[req(0, 0, 100, 1)]);
+        assert_eq!(out.ttfts[0], SimDuration::from_millis(820));
+        assert!(
+            !out.report.nodes[0].cached_at_end,
+            "vanilla materializes nothing"
+        );
+    }
+
+    #[test]
+    fn round_robin_rotates_over_the_fleet() {
+        let profile = medusa_profile(100, 0);
+        let spec = ClusterSpec::uniform(3);
+        let trace: Vec<Request> = (0..3).map(|i| req(i, 0, 100, 1)).collect();
+        let out = simulate_fleet(&profile, &spec, Policy::RoundRobin, &trace);
+        assert_eq!(out.report.cold_starts, 3, "rotation wakes each node once");
+        for n in &out.report.nodes {
+            assert_eq!(n.served, 1);
+        }
+    }
+
+    #[test]
+    fn least_loaded_wakes_the_fleet_on_a_burst_but_coldstart_aware_packs() {
+        let profile = medusa_profile(500, 200);
+        let spec = ClusterSpec::uniform(4);
+        // 8 simultaneous short requests fit comfortably on one node.
+        let trace: Vec<Request> = (0..8).map(|i| req(i, 0, 100, 2)).collect();
+        let ll = simulate_fleet(&profile, &spec, Policy::LeastLoaded, &trace);
+        let ca = simulate_fleet(&profile, &spec, Policy::ColdStartAware, &trace);
+        assert_eq!(ll.report.cold_starts, 4, "least-loaded fans out");
+        assert_eq!(ca.report.cold_starts, 1, "coldstart-aware packs");
+        assert_eq!(ll.report.completed, 8);
+        assert_eq!(ca.report.completed, 8);
+    }
+
+    #[test]
+    fn autoscaler_starts_nodes_when_backlog_exceeds_target_depth() {
+        let profile = medusa_profile(500, 0);
+        let mut spec = ClusterSpec::uniform(4);
+        spec.autoscaler.target_queue_depth = 2;
+        spec.max_running = 2; // routing saturates fast → global backlog
+        let trace: Vec<Request> = (0..24).map(|i| req(i, 0, 100, 5)).collect();
+        let out = simulate_fleet(&profile, &spec, Policy::ColdStartAware, &trace);
+        assert!(
+            out.report.cold_starts >= 2,
+            "backlog must wake extra nodes: {:?}",
+            out.report
+        );
+        assert_eq!(out.report.completed, 24);
+    }
+
+    #[test]
+    fn keep_alive_expiry_scales_to_zero_and_rewarm_skips_the_fetch() {
+        let profile = medusa_profile(500, 300);
+        let mut spec = ClusterSpec::uniform(1);
+        spec.autoscaler.keep_alive_s = 5.0;
+        let trace = vec![req(0, 0, 100, 1), req(1, 30_000, 100, 1)];
+        let out = simulate_fleet(&profile, &spec, Policy::ColdStartAware, &trace);
+        assert_eq!(out.report.cold_starts, 2, "node retired between requests");
+        // One expiry between the requests, one after the second completes.
+        assert_eq!(out.report.scale_to_zero_events, 2);
+        // First start: fetch 300 + load 500 + prefill 20. Re-warm: the
+        // cache survived scale-to-zero, so only load 500 + prefill 20.
+        assert_eq!(out.ttfts[0], SimDuration::from_millis(820));
+        assert_eq!(out.ttfts[1], SimDuration::from_millis(520));
+    }
+
+    #[test]
+    fn scale_to_zero_disabled_pins_warm_nodes() {
+        let profile = medusa_profile(500, 300);
+        let mut spec = ClusterSpec::uniform(1);
+        spec.autoscaler.keep_alive_s = 5.0;
+        spec.autoscaler.scale_to_zero = false;
+        let trace = vec![req(0, 0, 100, 1), req(1, 30_000, 100, 1)];
+        let out = simulate_fleet(&profile, &spec, Policy::ColdStartAware, &trace);
+        assert_eq!(out.report.cold_starts, 1);
+        assert_eq!(out.ttfts[1], SimDuration::from_millis(20), "warm hit");
+    }
+
+    #[test]
+    fn tp_nodes_aggregate_per_rank_work() {
+        let base = medusa_profile(500, 0);
+        let tp2 = base
+            .clone()
+            .with_coldstart_work(SimDuration::from_millis(1000)); // 2 ranks × 500ms
+        let trace = vec![req(0, 0, 100, 3)];
+        let out1 = simulate_fleet(
+            &base,
+            &ClusterSpec::uniform(1),
+            Policy::ColdStartAware,
+            &trace,
+        );
+        let out2 = simulate_fleet(
+            &tp2,
+            &ClusterSpec::uniform(1).with_tp(2),
+            Policy::ColdStartAware,
+            &trace,
+        );
+        let n1 = &out1.report.nodes[0];
+        let n2 = &out2.report.nodes[0];
+        assert_eq!(n1.cold_ns, n2.cold_ns, "same wall-clock makespan");
+        assert_eq!(
+            n2.work_ns,
+            2 * n1.work_ns,
+            "tp=2 consumes twice the rank work"
+        );
+        assert_eq!(out1.ttfts, out2.ttfts, "wall-clock TTFT is tp-invariant");
+    }
+
+    #[test]
+    fn reports_and_telemetry_are_deterministic_per_trace() {
+        let profile = medusa_profile(400, 150);
+        let spec = ClusterSpec::uniform(4).with_cached_prefix(2);
+        let trace = TraceConfig::sharegpt(6.0, 40.0)
+            .with_seed(42)
+            .with_pattern(ArrivalPattern::sharegpt_bursty())
+            .generate();
+        let run = || {
+            let tele = Registry::new();
+            let out =
+                simulate_fleet_traced(&profile, &spec, Policy::ColdStartAware, &trace, Some(&tele));
+            (
+                out.report.to_json(),
+                medusa_telemetry::export::prometheus::render(&tele.snapshot()),
+            )
+        };
+        assert_eq!(run(), run(), "same trace must export byte-identically");
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let profile = medusa_profile(400, 150);
+        let spec = ClusterSpec::uniform(2);
+        let trace: Vec<Request> = (0..5).map(|i| req(i, i * 100, 100, 3)).collect();
+        let out = simulate_fleet(&profile, &spec, Policy::LeastLoaded, &trace);
+        let back = ClusterReport::from_json(&out.report.to_json()).expect("parse");
+        assert_eq!(back, out.report);
+        assert_eq!(back.trace_fingerprint, fingerprint(&trace));
+    }
+
+    #[test]
+    fn telemetry_records_decisions_and_per_node_histograms() {
+        let profile = medusa_profile(400, 0);
+        let spec = ClusterSpec::uniform(2);
+        let trace: Vec<Request> = (0..4).map(|i| req(i, 0, 100, 1)).collect();
+        let tele = Registry::new();
+        let out =
+            simulate_fleet_traced(&profile, &spec, Policy::ColdStartAware, &trace, Some(&tele));
+        let snap = tele.snapshot();
+        assert_eq!(
+            snap.counter("cluster_cold_starts_total"),
+            Some(out.report.cold_starts as u64)
+        );
+        assert_eq!(snap.counter("cluster_requests_offered_total"), Some(4));
+        let routes = snap
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("route/"))
+            .count();
+        assert_eq!(routes, 4, "one scheduler-decision span per request");
+        assert!(snap.histogram("cluster_node0_ttft_us").is_some());
+        assert!(snap.histogram("cluster_node0_queue_delay_us").is_some());
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let profile = medusa_profile(400, 0);
+        let out = simulate_fleet(&profile, &ClusterSpec::uniform(2), Policy::LeastLoaded, &[]);
+        assert_eq!(out.report.offered, 0);
+        assert_eq!(out.report.ttft_p99_us, 0);
+        assert_eq!(out.report.cold_starts, 0);
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in Policy::ALL {
+            let name = p.build().name();
+            assert_eq!(Policy::parse(name), Some(p));
+        }
+        assert_eq!(Policy::parse("nope"), None);
+    }
+}

@@ -9,6 +9,12 @@
 //! queueing scale: Poisson arrivals, a global queue, reactive scale-up with
 //! cold starts, iteration-level batched serving, and TTFT tail metrics.
 //!
+//! Above the per-instance simulator sits the fleet layer ([`cluster`]):
+//! `N` simulated GPU workers, a pluggable [`Scheduler`] (round-robin,
+//! least-loaded, cold-start-aware with §6 artifact-cache locality), and an
+//! autoscaler with keep-alive, scale-to-zero, and backlog-triggered
+//! scale-up.
+//!
 //! ## Example
 //!
 //! ```rust,no_run
@@ -39,8 +45,14 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod cluster;
 mod params;
 mod sim;
 
+pub use cluster::{
+    simulate_fleet, simulate_fleet_traced, AutoscalerConfig, ClusterReport, ClusterSpec,
+    ColdStartAware, Decision, FleetOutcome, FleetProfile, LeastLoaded, NodeReport, NodeSpec,
+    NodeState, NodeView, Policy, RoundRobin, Scheduler,
+};
 pub use params::PerfModel;
 pub use sim::{simulate, simulate_traced, ClusterConfig, SimResult};

@@ -179,6 +179,25 @@ impl Registry {
         g.spans.push(span);
     }
 
+    /// Records a parentless interval span — convenience over
+    /// [`Registry::record_span`] for callers (e.g. the cluster simulator's
+    /// scheduler decisions) that build name and lane on the fly.
+    pub fn span(
+        &self,
+        name: impl Into<String>,
+        lane: impl Into<String>,
+        start_us: u64,
+        end_us: u64,
+    ) {
+        self.record_span(SpanRecord {
+            name: name.into(),
+            lane: lane.into(),
+            start_us,
+            end_us,
+            parent: None,
+        });
+    }
+
     /// Takes a deterministic snapshot: metric maps are sorted by name
     /// (`BTreeMap` order) and spans by `(start, end, lane, name)`, so the
     /// result is independent of thread interleaving.

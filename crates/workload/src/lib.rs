@@ -46,6 +46,27 @@ pub struct Request {
     pub output_tokens: u32,
 }
 
+/// Order-sensitive FNV-1a fingerprint of a trace.
+///
+/// Embedded in cluster reports so two runs can assert (cheaply, without
+/// storing the trace) that they replayed the same request stream.
+pub fn fingerprint(trace: &[Request]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for r in trace {
+        for v in [
+            r.id,
+            r.arrival_ns,
+            r.prompt_tokens as u64,
+            r.output_tokens as u64,
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
 /// A seeded log-normal sampler for token lengths.
 #[derive(Debug, Clone)]
 pub struct LengthSampler {

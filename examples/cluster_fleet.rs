@@ -1,0 +1,102 @@
+//! Fleet-level cold-start economics: run the same bursty trace through
+//! Medusa fleets (cold vs pre-populated node-local artifact caches) and a
+//! vanilla fleet under every scheduler policy, and compare makespan, TTFT
+//! tails, and cold-start counts.
+//!
+//! What the paper's §6 sharing model implies at fleet scale: a Medusa node
+//! whose local cache holds the `<GPU type, model type>` entry restores far
+//! faster than a vanilla reload, while a cache miss additionally streams
+//! the entry from the registry — so *where* the scheduler wakes nodes
+//! matters (coldstart-aware prefers cached ones), and pre-seeding caches
+//! makes aggressive scale-out nearly free.
+//!
+//! Run with: `cargo run --release --example cluster_fleet [rps]`
+
+use medusa::{Parallelism, Strategy};
+use medusa_gpu::{CostModel, GpuSpec};
+use medusa_model::ModelSpec;
+use medusa_serving::{simulate_fleet, ClusterSpec, FleetProfile, Policy};
+use medusa_workload::{ArrivalPattern, TraceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rps: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(8.0);
+    let spec = ModelSpec::by_name("Qwen1.5-0.5B").expect("catalog model");
+    let gpu = GpuSpec::a100_40gb();
+    let cost = CostModel::default();
+
+    println!("measuring fleet profiles for {} ...", spec.name());
+    let medusa = FleetProfile::measure(
+        Strategy::Medusa,
+        &spec,
+        gpu.clone(),
+        cost.clone(),
+        1,
+        Parallelism::Overlapped,
+        7,
+    )?;
+    let vanilla = FleetProfile::measure(
+        Strategy::Vanilla,
+        &spec,
+        gpu,
+        cost,
+        1,
+        Parallelism::Overlapped,
+        7,
+    )?;
+    println!(
+        "  medusa  loading {:.3}s + fetch {:.3}s on cache miss",
+        medusa.perf.loading.as_secs_f64(),
+        medusa.fetch.as_secs_f64()
+    );
+    println!(
+        "  vanilla loading {:.3}s (nothing to fetch, nothing cached)",
+        vanilla.perf.loading.as_secs_f64()
+    );
+
+    // 4 workers under a 15x burst trace; fleets differ only in strategy
+    // and how many node-local caches start populated.
+    let trace = TraceConfig::sharegpt(rps, 60.0)
+        .with_seed(42)
+        .with_pattern(ArrivalPattern::sharegpt_bursty())
+        .generate();
+    println!(
+        "\nreplaying {} requests ({} rps offered, 15x bursts) on 4 nodes:\n",
+        trace.len(),
+        rps
+    );
+    let fleets = [
+        ("medusa/seeded", &medusa, 4usize), // every cache pre-populated
+        ("medusa/1-cache", &medusa, 1),     // registry seeded one node
+        ("vanilla", &vanilla, 0),
+    ];
+    println!(
+        "{:<16} {:<16} {:>6} {:>10} {:>12} {:>12}",
+        "fleet", "policy", "colds", "makespan", "ttft p50", "ttft p99"
+    );
+    for (label, profile, cached) in fleets {
+        let cluster = ClusterSpec::uniform(4).with_cached_prefix(cached);
+        for policy in Policy::ALL {
+            let out = simulate_fleet(profile, &cluster, policy, &trace);
+            let r = &out.report;
+            println!(
+                "{:<16} {:<16} {:>6} {:>9.3}s {:>10.1}ms {:>10.1}ms",
+                label,
+                r.policy,
+                r.cold_starts,
+                r.makespan_ns as f64 / 1e9,
+                r.ttft_p50_us as f64 / 1e3,
+                r.ttft_p99_us as f64 / 1e3
+            );
+        }
+    }
+    println!(
+        "\npre-seeded caches make every Medusa cold start a cheap local\n\
+         restore; with one seeded cache, coldstart-aware routes scale-ups\n\
+         there first, while cold caches pay the registry fetch once."
+    );
+    Ok(())
+}

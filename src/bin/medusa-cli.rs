@@ -9,14 +9,26 @@
 //! medusa-cli inspect     --artifact artifact.json
 //! medusa-cli trace       [--model <name>] [--strategy <vllm|async|medusa|nograph>]
 //!                        [--format <chrome|prom>] [--seed N] [--out FILE]
+//! medusa-cli cluster     [--nodes N] [--seed N] [--model <name>]
+//!                        [--policy <round-robin|least-loaded|coldstart-aware>]
+//!                        [--strategy <vllm|async|medusa|nograph>] [--tp N]
+//!                        [--rps F] [--duration F] [--pattern <poisson|bursty>]
+//!                        [--cached K] [--keep-alive F] [--queue-depth N]
+//!                        [--format <chrome|prom>] [--out FILE] [--telemetry FILE]
 //! ```
+//!
+//! Every number the CLI prints derives from the simulated clock, so any
+//! subcommand re-run with the same flags produces byte-identical output —
+//! including the `cluster` report and its telemetry exports.
 
 use medusa::{
-    cold_start, cold_start_traced, materialize_offline, ColdStartOptions, MaterializedState, Stage,
-    Strategy, TriggeringMode,
+    cold_start, cold_start_traced, materialize_offline, ColdStartOptions, MaterializedState,
+    Parallelism, Stage, Strategy, TriggeringMode,
 };
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
+use medusa_serving::{simulate_fleet_traced, ClusterSpec, FleetProfile, Policy};
+use medusa_workload::{ArrivalPattern, TraceConfig};
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -33,6 +45,7 @@ fn main() {
         "coldstart" => coldstart(&flags),
         "inspect" => inspect(&flags),
         "trace" => trace(&flags),
+        "cluster" => cluster(&flags),
         other => {
             eprintln!("unknown command `{other}`");
             usage();
@@ -46,7 +59,7 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: medusa-cli <models|materialize|coldstart|inspect|trace> [flags]");
+    eprintln!("usage: medusa-cli <models|materialize|coldstart|inspect|trace|cluster> [flags]");
     eprintln!("  materialize --model <name> [--out FILE] [--seed N]");
     eprintln!("  coldstart   --model <name> --strategy <vllm|async|medusa|nograph>");
     eprintln!("              [--artifact FILE] [--validate] [--warm]");
@@ -54,6 +67,12 @@ fn usage() {
     eprintln!("  inspect     --artifact FILE");
     eprintln!("  trace       [--model <name>] [--strategy <vllm|async|medusa|nograph>]");
     eprintln!("              [--format <chrome|prom>] [--artifact FILE] [--seed N] [--out FILE]");
+    eprintln!("  cluster     [--nodes N] [--seed N] [--model <name>] [--tp N]");
+    eprintln!("              [--policy <round-robin|least-loaded|coldstart-aware>]");
+    eprintln!("              [--strategy <vllm|async|medusa|nograph>]");
+    eprintln!("              [--rps F] [--duration F] [--pattern <poisson|bursty>]");
+    eprintln!("              [--cached K] [--keep-alive F] [--queue-depth N]");
+    eprintln!("              [--format <chrome|prom>] [--out FILE] [--telemetry FILE]");
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -256,6 +275,139 @@ fn trace(flags: &HashMap<String, String>) -> Result<(), String> {
             );
         }
         None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = flags
+        .get("model")
+        .map(String::as_str)
+        .unwrap_or("Qwen1.5-0.5B");
+    let spec = ModelSpec::by_name(name)
+        .ok_or_else(|| format!("unknown model `{name}` (see `medusa-cli models`)"))?;
+    let strategy = match flags.get("strategy").map(String::as_str) {
+        None => Strategy::Medusa,
+        Some(_) => parse_strategy(flags)?,
+    };
+    let policy = match flags.get("policy").map(String::as_str) {
+        None => Policy::ColdStartAware,
+        Some(s) => Policy::parse(s).ok_or_else(|| {
+            format!("unknown policy `{s}` (round-robin|least-loaded|coldstart-aware)")
+        })?,
+    };
+    let get_f64 = |key: &str, default: f64| -> Result<f64, String> {
+        match flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} wants a number, got `{v}`")),
+        }
+    };
+    let get_usize = |key: &str, default: usize| -> Result<usize, String> {
+        match flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} wants an integer, got `{v}`")),
+        }
+    };
+    let nodes = get_usize("nodes", 4)?;
+    let tp = get_usize("tp", 1)? as u32;
+    let cached = get_usize("cached", 0)?;
+    let rps = get_f64("rps", 8.0)?;
+    let duration = get_f64("duration", 60.0)?;
+    let keep_alive = get_f64("keep-alive", 60.0)?;
+    let queue_depth = get_usize("queue-depth", 4)?;
+    let pattern = match flags.get("pattern").map(String::as_str) {
+        Some("poisson") => ArrivalPattern::Poisson,
+        Some("bursty") | None => ArrivalPattern::sharegpt_bursty(),
+        Some(other) => return Err(format!("unknown pattern `{other}` (poisson|bursty)")),
+    };
+    let parallelism = match flags.get("parallelism").map(String::as_str) {
+        Some("serial") => Parallelism::Serial,
+        Some("overlapped") | None => Parallelism::Overlapped,
+        Some("pipelined-tp") => Parallelism::PipelinedTp,
+        Some(other) => return Err(format!("unknown parallelism `{other}`")),
+    };
+
+    // Measure the real per-instance pipeline once; the fleet replays it.
+    let profile = FleetProfile::measure(
+        strategy,
+        &spec,
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        tp,
+        parallelism,
+        seed(flags),
+    )
+    .map_err(|e| e.to_string())?;
+    let cluster_spec = {
+        let mut c = ClusterSpec::uniform(nodes)
+            .with_tp(tp)
+            .with_cached_prefix(cached);
+        c.autoscaler.keep_alive_s = keep_alive;
+        c.autoscaler.target_queue_depth = queue_depth;
+        c
+    };
+    let trace = TraceConfig::sharegpt(rps, duration)
+        .with_seed(seed(flags))
+        .with_pattern(pattern)
+        .generate();
+
+    let tele = medusa_telemetry::Registry::new();
+    let out = simulate_fleet_traced(&profile, &cluster_spec, policy, &trace, Some(&tele));
+    let r = &out.report;
+    println!(
+        "{} fleet of {nodes} node(s), policy {}, seed {} (simulated):",
+        r.strategy,
+        r.policy,
+        seed(flags)
+    );
+    println!(
+        "  offered {} / completed {}; cold starts {}; scale-to-zero {}",
+        r.offered, r.completed, r.cold_starts, r.scale_to_zero_events
+    );
+    println!(
+        "  makespan {:.3}s; ttft p50 {:.1}ms / p99 {:.1}ms / mean {:.1}ms",
+        r.makespan_ns as f64 / 1e9,
+        r.ttft_p50_us as f64 / 1e3,
+        r.ttft_p99_us as f64 / 1e3,
+        r.ttft_mean_us as f64 / 1e3
+    );
+    println!("  trace fingerprint {:#018x}", r.trace_fingerprint);
+    println!(
+        "  {:<6} {:<10} {:>3} {:>6} {:>9} {:>7} {:>9} {:>9} {:>7}",
+        "node", "gpu", "tp", "colds", "cold_s", "served", "busy_s", "work_s", "cached"
+    );
+    for (i, n) in r.nodes.iter().enumerate() {
+        println!(
+            "  n{:<5} {:<10} {:>3} {:>6} {:>9.3} {:>7} {:>9.3} {:>9.3} {:>7}",
+            i,
+            n.gpu,
+            n.tp,
+            n.cold_starts,
+            n.cold_ns as f64 / 1e9,
+            n.served,
+            n.busy_ns as f64 / 1e9,
+            n.work_ns as f64 / 1e9,
+            n.cached_at_end
+        );
+    }
+    if let Some(path) = flags.get("out") {
+        let json = r.to_json();
+        std::fs::write(path, &json).map_err(|e| e.to_string())?;
+        println!("wrote report {path} ({} bytes)", json.len());
+    }
+    if let Some(path) = flags.get("telemetry") {
+        let snap = tele.snapshot();
+        let rendered = match flags.get("format").map(String::as_str).unwrap_or("prom") {
+            "chrome" => medusa_telemetry::export::chrome::render(&snap),
+            "prom" => medusa_telemetry::export::prometheus::render(&snap),
+            other => return Err(format!("unknown format `{other}` (chrome|prom)")),
+        };
+        std::fs::write(path, &rendered).map_err(|e| e.to_string())?;
+        println!("wrote telemetry {path} ({} bytes)", rendered.len());
     }
     Ok(())
 }
