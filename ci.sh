@@ -39,8 +39,25 @@ else
   done <<<"$PROPTEST_FILES"
 fi
 
+echo "==> deprecated carve-out (allow(deprecated) only in the core compat shims)"
+FOUND="$(git grep -l 'allow(deprecated)' -- '*.rs' || true)"
+BAD="$(echo "$FOUND" | grep -vx \
+  -e crates/core/src/lib.rs \
+  -e crates/core/src/pipeline.rs \
+  -e crates/core/src/tp.rs || true)"
+if [ -n "$BAD" ]; then
+  echo "FAIL: allow(deprecated) outside the compat carve-out - migrate to the ColdStart builder:"
+  echo "$BAD"
+  exit 1
+fi
+echo "    carve-out respected"
+
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
+
+echo "==> fault-injection matrix (debug + release)"
+cargo test -q --test faults
+cargo test --release -q --test faults
 
 echo "==> examples (release, end-to-end)"
 cargo build --release -q --examples

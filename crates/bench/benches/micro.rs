@@ -20,9 +20,9 @@
 use std::time::{Duration, Instant};
 
 use medusa::{
-    analyze, cold_start_tp, count_naive_mismatches, materialize_offline,
-    materialize_offline_tp_with, replay_allocations, restore_graph, ColdStartOptions,
-    KernelResolver, Parallelism, Strategy,
+    analyze, count_naive_mismatches, materialize_offline, materialize_offline_tp_with,
+    replay_allocations, restore_graph, ColdStart, ColdStartOptions, KernelResolver, Parallelism,
+    Strategy,
 };
 use medusa_gpu::{AllocTag, CostModel, GpuSpec, ParamBuffer, ProcessRuntime};
 use medusa_model::{build_catalog, ModelSpec};
@@ -254,16 +254,14 @@ fn bench_parallel_cold_start() {
             parallelism: mode,
             ..Default::default()
         };
-        let cold = cold_start_tp(
-            Strategy::Medusa,
-            &s,
-            tp,
-            gpu.clone(),
-            cost.clone(),
-            Some(&arts),
-            opts,
-        )
-        .expect("tp cold start");
+        let cold = ColdStart::new(&s)
+            .strategy(Strategy::Medusa)
+            .gpu(gpu.clone())
+            .cost(cost.clone())
+            .options(opts)
+            .artifacts(&arts)
+            .run()
+            .expect("tp cold start");
         (t0.elapsed(), cold.loading())
     };
     let (serial_wall, serial_sim) = run(Parallelism::Serial);

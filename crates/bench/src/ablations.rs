@@ -16,7 +16,7 @@
 
 use crate::common::{self, gpu, offline, run_cold, s};
 use medusa::{
-    analyze, cold_start, count_naive_mismatches, run_offline_capture, ColdStartOptions, ParamSpec,
+    analyze, count_naive_mismatches, run_offline_capture, ColdStart, ColdStartOptions, ParamSpec,
     Stage, Strategy, TriggeringMode,
 };
 use medusa_gpu::{SimStorage, TraceEvent};
@@ -119,15 +119,15 @@ pub fn triggering() {
                 triggering: mode,
                 ..Default::default()
             };
-            let (_e, r) = cold_start(
-                Strategy::Medusa,
-                &spec,
-                gpu(),
-                common::cost(),
-                Some(&artifact),
-                opts,
-            )
-            .expect("cold start");
+            let (_e, r) = ColdStart::new(&spec)
+                .strategy(Strategy::Medusa)
+                .gpu(gpu())
+                .cost(common::cost())
+                .options(opts)
+                .artifact(&artifact)
+                .run()
+                .expect("cold start")
+                .into_single();
             r.stage(Stage::Capture)
         };
         println!(
@@ -159,15 +159,15 @@ pub fn validation_cost() {
                 validate,
                 ..Default::default()
             };
-            let (_e, r) = cold_start(
-                Strategy::Medusa,
-                &spec,
-                gpu(),
-                common::cost(),
-                Some(&artifact),
-                opts,
-            )
-            .expect("cold start");
+            let (_e, r) = ColdStart::new(&spec)
+                .strategy(Strategy::Medusa)
+                .gpu(gpu())
+                .cost(common::cost())
+                .options(opts)
+                .artifact(&artifact)
+                .run()
+                .expect("cold start")
+                .into_single();
             r.loading
         };
         let without = loading(false);

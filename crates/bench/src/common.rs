@@ -1,7 +1,7 @@
 //! Shared helpers for the figure/table harnesses.
 
 use medusa::{
-    cold_start, materialize_offline, ColdStartOptions, ColdStartReport, MaterializedState,
+    materialize_offline, ColdStart, ColdStartOptions, ColdStartReport, MaterializedState,
     OfflineReport, ReadyEngine, Strategy,
 };
 use medusa_gpu::{CostModel, GpuSpec, SimDuration};
@@ -44,7 +44,15 @@ pub fn run_cold(
         warm_container,
         ..Default::default()
     };
-    cold_start(strategy, spec, gpu(), cost(), artifact, opts).expect("cold start")
+    let mut builder = ColdStart::new(spec)
+        .strategy(strategy)
+        .gpu(gpu())
+        .cost(cost())
+        .options(opts);
+    if let Some(a) = artifact {
+        builder = builder.artifact(a);
+    }
+    builder.run().expect("cold start").into_single()
 }
 
 /// Seconds with 3 decimals.

@@ -7,9 +7,7 @@
 //! fresh run against the committed baseline in `results/BENCH_coldstart.json`
 //! and fail on a >5% regression without flakiness.
 
-use medusa::{
-    cold_start_tp_traced, materialize_offline_tp_with, ColdStartOptions, Parallelism, Strategy,
-};
+use medusa::{materialize_offline_tp_with, ColdStart, ColdStartOptions, Parallelism, Strategy};
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
 use medusa_serving::{simulate_fleet_traced, ClusterSpec, FleetProfile, Policy};
@@ -73,17 +71,16 @@ pub fn run_mode(mode: Parallelism, tele: Option<&Registry>) -> u64 {
         parallelism: mode,
         ..Default::default()
     };
-    let cold = cold_start_tp_traced(
-        Strategy::Medusa,
-        &spec,
-        TP,
-        gpu,
-        cost,
-        Some(&arts),
-        opts,
-        tele,
-    )
-    .expect("tp cold start");
+    let mut builder = ColdStart::new(&spec)
+        .strategy(Strategy::Medusa)
+        .gpu(gpu)
+        .cost(cost)
+        .options(opts)
+        .artifacts(&arts);
+    if let Some(t) = tele {
+        builder = builder.telemetry(t);
+    }
+    let cold = builder.run().expect("tp cold start");
     cold.loading().as_nanos() / 1_000
 }
 

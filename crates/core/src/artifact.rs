@@ -23,8 +23,9 @@ use medusa_gpu::{Digest, Work};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-/// Format version, bumped on breaking layout changes.
-pub const ARTIFACT_VERSION: u32 = 1;
+/// Format version, bumped on breaking layout changes (v2 added the sealed
+/// content checksum).
+pub const ARTIFACT_VERSION: u32 = 2;
 
 /// One materialized kernel parameter.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -165,12 +166,170 @@ pub struct MaterializedState {
     pub graphs: Vec<GraphSpec>,
     /// Analysis statistics.
     pub stats: AnalysisStats,
+    /// Content checksum sealed at materialization time: an FNV-1a fold over
+    /// every field except `version` and the checksum itself, with `labels`
+    /// folded in sorted key order so the value is independent of hash-map
+    /// iteration order. Registry transfers and caches verify it before any
+    /// restore is attempted.
+    pub checksum: u64,
+}
+
+/// FNV-1a 64-bit fold used for the artifact content checksum. Deliberately
+/// *not* a hash of the JSON encoding: the encoder's map ordering is not part
+/// of the artifact contract, the field fold below is.
+struct ContentFold(u64);
+
+impl ContentFold {
+    fn new() -> Self {
+        ContentFold(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn bytes(&mut self, bs: &[u8]) {
+        self.u64(bs.len() as u64);
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
 }
 
 impl MaterializedState {
     /// Total node count across graphs.
     pub fn total_nodes(&self) -> u64 {
         self.graphs.iter().map(|g| g.nodes.len() as u64).sum()
+    }
+
+    /// Recomputes the content checksum over the artifact's fields.
+    ///
+    /// The fold order is fixed (struct field order, `labels` sorted by key)
+    /// so same-content artifacts always agree regardless of how they were
+    /// produced or transported.
+    pub fn content_checksum(&self) -> u64 {
+        let mut f = ContentFold::new();
+        f.str(&self.model);
+        f.str(&self.gpu);
+        f.u64(u64::from(self.rank));
+        f.u64(u64::from(self.tp));
+        f.u64(self.kv_free_bytes);
+        f.u64(self.replay_prefix_allocs);
+        f.u64(self.replay_ops.len() as u64);
+        for op in &self.replay_ops {
+            match op {
+                ReplayOp::Malloc { size } => {
+                    f.byte(0);
+                    f.u64(*size);
+                }
+                ReplayOp::Free { alloc_seq } => {
+                    f.byte(1);
+                    f.u64(*alloc_seq);
+                }
+            }
+        }
+        let mut labels: Vec<_> = self.labels.iter().collect();
+        labels.sort_by(|a, b| a.0.cmp(b.0));
+        f.u64(labels.len() as u64);
+        for (k, v) in labels {
+            f.str(k);
+            f.u64(*v);
+        }
+        f.u64(self.permanent_contents.len() as u64);
+        for (seq, digest) in &self.permanent_contents {
+            f.u64(*seq);
+            f.bytes(digest);
+        }
+        f.u64(self.permanent_ptr_tables.len() as u64);
+        for (seq, entries) in &self.permanent_ptr_tables {
+            f.u64(*seq);
+            f.u64(entries.len() as u64);
+            for e in entries {
+                f.u64(e.alloc_seq);
+                f.u64(e.offset);
+            }
+        }
+        f.u64(self.graphs.len() as u64);
+        for g in &self.graphs {
+            f.u64(u64::from(g.batch));
+            f.u64(g.nodes.len() as u64);
+            for n in &g.nodes {
+                f.str(&n.kernel);
+                f.str(&n.library);
+                f.byte(u8::from(n.exported));
+                f.u64(n.params.len() as u64);
+                for p in &n.params {
+                    match p {
+                        ParamSpec::Const { bytes } => {
+                            f.byte(0);
+                            f.bytes(bytes);
+                        }
+                        ParamSpec::IndirectPtr {
+                            alloc_seq,
+                            offset,
+                            raw,
+                        } => {
+                            f.byte(1);
+                            f.u64(*alloc_seq);
+                            f.u64(*offset);
+                            f.u64(*raw);
+                        }
+                    }
+                }
+                f.u64(n.work.flops.to_bits());
+                f.u64(n.work.bytes.to_bits());
+                f.u64(u64::from(n.stream));
+            }
+            f.u64(g.edges.len() as u64);
+            for (a, b) in &g.edges {
+                f.u64(u64::from(*a));
+                f.u64(u64::from(*b));
+            }
+        }
+        for v in [
+            self.stats.nodes,
+            self.stats.pointer_params,
+            self.stats.const_params,
+            self.stats.multi_match_pointers,
+            self.stats.dlsym_restorable_nodes,
+            self.stats.hidden_kernel_nodes,
+            self.stats.param_buffers,
+            self.stats.temp_buffers,
+            self.stats.permanent_buffers,
+        ] {
+            f.u64(v);
+        }
+        f.0
+    }
+
+    /// Seals the artifact: stamps the content checksum over the current
+    /// field values. Called once by the offline analysis stage.
+    pub fn seal(&mut self) {
+        self.checksum = self.content_checksum();
+    }
+
+    /// Verifies the sealed checksum against a recomputation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MedusaError::ChecksumMismatch`] when the payload no longer
+    /// matches what was sealed.
+    pub fn verify_checksum(&self) -> MedusaResult<()> {
+        let actual = self.content_checksum();
+        if self.checksum != actual {
+            return Err(MedusaError::ChecksumMismatch {
+                expected: self.checksum,
+                actual,
+            });
+        }
+        Ok(())
     }
 
     /// Checks the artifact matches the restoring `<GPU, model>` pair and
@@ -240,7 +399,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> MaterializedState {
-        MaterializedState {
+        let mut a = MaterializedState {
             version: ARTIFACT_VERSION,
             model: "Qwen1.5-4B".into(),
             gpu: "A100-40GB-SXM4".into(),
@@ -283,7 +442,10 @@ mod tests {
                 edges: vec![],
             }],
             stats: AnalysisStats::default(),
-        }
+            checksum: 0,
+        };
+        a.seal();
+        a
     }
 
     #[test]
@@ -330,6 +492,28 @@ mod tests {
             a.check_target("Qwen1.5-4B", "A100-40GB-SXM4", 1, 2),
             Err(MedusaError::ArtifactMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn checksum_seals_and_detects_tampering() {
+        let a = tiny();
+        assert!(a.verify_checksum().is_ok());
+        assert_eq!(a.checksum, a.content_checksum(), "seal stamps the fold");
+        let mut b = tiny();
+        assert_eq!(a.checksum, b.checksum, "same content, same checksum");
+        b.kv_free_bytes ^= 1;
+        assert!(matches!(
+            b.verify_checksum(),
+            Err(MedusaError::ChecksumMismatch { .. })
+        ));
+        // Label-map iteration order must not affect the fold.
+        let mut c = tiny();
+        c.labels.insert("zz.extra".into(), 9);
+        c.labels.insert("aa.extra".into(), 8);
+        let mut d = tiny();
+        d.labels.insert("aa.extra".into(), 8);
+        d.labels.insert("zz.extra".into(), 9);
+        assert_eq!(c.content_checksum(), d.content_checksum());
     }
 
     #[test]

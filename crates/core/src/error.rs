@@ -82,6 +82,78 @@ pub enum MedusaError {
         /// The label.
         label: String,
     },
+    /// The artifact's stored content checksum disagrees with the checksum
+    /// recomputed over its fields — the payload was corrupted in storage
+    /// or transit.
+    ChecksumMismatch {
+        /// Checksum recorded when the artifact was sealed.
+        expected: u64,
+        /// Checksum recomputed by the validator.
+        actual: u64,
+    },
+    /// The weight stream ended before the full parameter payload arrived
+    /// (injected fault or a torn registry transfer).
+    WeightStreamTruncated {
+        /// Bytes actually delivered.
+        loaded: u64,
+        /// Bytes the model requires.
+        expected: u64,
+    },
+    /// The cold start was aborted mid-flight at the named stage (node
+    /// preemption, OOM-kill, injected fault).
+    StageAborted {
+        /// Stage at which the abort fired.
+        stage: String,
+    },
+    /// An error wrapped with a human-readable context describing what the
+    /// caller was doing. `kind()` sees through the wrapper to the root.
+    Context {
+        /// What the caller was doing.
+        context: String,
+        /// The underlying error.
+        source: Box<MedusaError>,
+    },
+}
+
+impl MedusaError {
+    /// Stable machine-readable identifier for this error class.
+    ///
+    /// The namespace is flat across the gpu/graph/core layers: driver and
+    /// graph errors delegate to their own `kind()`, and [`Context`] wrappers
+    /// are transparent. The strings are a public contract — tests and
+    /// telemetry labels match on them — and never change once released.
+    ///
+    /// [`Context`]: MedusaError::Context
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MedusaError::Gpu(e) => e.kind(),
+            MedusaError::Graph(e) => e.kind(),
+            MedusaError::Kv(_) => "kv_init",
+            MedusaError::UnmatchedPointer { .. } => "unmatched_pointer",
+            MedusaError::ReplayMisaligned { .. } => "replay_misaligned",
+            MedusaError::ReplayDanglingFree { .. } => "replay_dangling_free",
+            MedusaError::KernelUnresolved { .. } => "kernel_unresolved",
+            MedusaError::ValidationFailed { .. } => "validation_failed",
+            MedusaError::ArtifactMismatch { .. } => "artifact_mismatch",
+            MedusaError::ArtifactCorrupt { .. } => "artifact_corrupt",
+            MedusaError::ArtifactRequired => "artifact_required",
+            MedusaError::UnmatchedTableEntry { .. } => "unmatched_table_entry",
+            MedusaError::MissingLabel { .. } => "missing_label",
+            MedusaError::ChecksumMismatch { .. } => "checksum_mismatch",
+            MedusaError::WeightStreamTruncated { .. } => "weight_stream_truncated",
+            MedusaError::StageAborted { .. } => "stage_aborted",
+            MedusaError::Context { source, .. } => source.kind(),
+        }
+    }
+
+    /// Wrap this error with a context string describing the operation that
+    /// failed. Chains nest: the outermost context displays first.
+    pub fn with_context(self, context: impl Into<String>) -> MedusaError {
+        MedusaError::Context {
+            context: context.into(),
+            source: Box::new(self),
+        }
+    }
 }
 
 impl fmt::Display for MedusaError {
@@ -121,6 +193,18 @@ impl fmt::Display for MedusaError {
             MedusaError::MissingLabel { label } => {
                 write!(f, "artifact lacks semantic buffer label `{label}`")
             }
+            MedusaError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "artifact checksum mismatch: sealed {expected:#018x}, recomputed {actual:#018x}"
+            ),
+            MedusaError::WeightStreamTruncated { loaded, expected } => write!(
+                f,
+                "weight stream truncated after {loaded} of {expected} bytes"
+            ),
+            MedusaError::StageAborted { stage } => {
+                write!(f, "cold start aborted during stage `{stage}`")
+            }
+            MedusaError::Context { context, source } => write!(f, "{context}: {source}"),
         }
     }
 }
@@ -131,6 +215,7 @@ impl std::error::Error for MedusaError {
             MedusaError::Gpu(e) => Some(e),
             MedusaError::Graph(e) => Some(e),
             MedusaError::Kv(e) => Some(e),
+            MedusaError::Context { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -156,6 +241,19 @@ impl From<KvCacheInitError> for MedusaError {
 
 /// Result alias for the Medusa layer.
 pub type MedusaResult<T> = Result<T, MedusaError>;
+
+/// Extension trait adding `.context("...")` to [`MedusaResult`] (and to any
+/// result whose error converts into [`MedusaError`], e.g. `GpuResult`).
+pub trait ErrorContext<T> {
+    /// Wrap the error, if any, with a context string.
+    fn context(self, context: impl Into<String>) -> MedusaResult<T>;
+}
+
+impl<T, E: Into<MedusaError>> ErrorContext<T> for Result<T, E> {
+    fn context(self, context: impl Into<String>) -> MedusaResult<T> {
+        self.map_err(|e| e.into().with_context(context))
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -203,5 +301,47 @@ mod tests {
             assert!(!e.to_string().is_empty());
             assert!(e.source().is_none());
         }
+    }
+
+    #[test]
+    fn kind_is_stable_and_sees_through_context() {
+        let e = MedusaError::from(GpuError::LibraryNotFound {
+            library: "libfoo.so".into(),
+        });
+        assert_eq!(e.kind(), "gpu_library_not_found");
+        let wrapped = e.with_context("restoring graphs");
+        assert_eq!(wrapped.kind(), "gpu_library_not_found");
+        assert!(wrapped.to_string().starts_with("restoring graphs: "));
+        use std::error::Error;
+        assert!(wrapped.source().is_some());
+        assert_eq!(MedusaError::ArtifactRequired.kind(), "artifact_required");
+        assert_eq!(
+            MedusaError::ChecksumMismatch {
+                expected: 1,
+                actual: 2
+            }
+            .kind(),
+            "checksum_mismatch"
+        );
+        assert_eq!(
+            MedusaError::StageAborted {
+                stage: "weights_load".into()
+            }
+            .kind(),
+            "stage_aborted"
+        );
+    }
+
+    #[test]
+    fn result_context_extension_wraps_errors() {
+        let r: Result<(), GpuError> = Err(GpuError::NotCapturing);
+        let wrapped = r.context("capturing graphs").unwrap_err();
+        assert_eq!(wrapped.kind(), "gpu_not_capturing");
+        assert_eq!(
+            wrapped.to_string(),
+            "capturing graphs: driver: end_capture called with no active capture"
+        );
+        let ok: MedusaResult<u32> = Ok(7);
+        assert_eq!(ok.context("nope").unwrap(), 7);
     }
 }

@@ -1,0 +1,317 @@
+//! Deterministic, seed-driven fault injection for the cold-start pipeline.
+//!
+//! Serverless platforms live on the unhappy path: artifacts rot in caches,
+//! library upgrades skew kernel name tables, registry transfers tear, and
+//! nodes die mid-cold-start. The paper's §7 answer is graceful degradation —
+//! when the materialized state cannot be trusted, fall back to the vanilla
+//! path rather than crash. This module provides the *injection* half of that
+//! story: a [`FaultPlan`] enumerates which fault classes to arm, and every
+//! derived quantity (which field gets corrupted, where the weight stream
+//! tears, which stage aborts) is a pure function of the plan's seed, so a
+//! faulty run is exactly as reproducible as a healthy one.
+//!
+//! Artifact-level faults ([`FaultKind::CorruptArtifact`],
+//! [`FaultKind::VersionSkew`], [`FaultKind::MissingLibrary`]) tamper with a
+//! *copy* of the artifact before validation; runtime faults
+//! ([`FaultKind::TruncatedWeights`], [`FaultKind::MidStageAbort`]) fire
+//! inside the pipeline itself. Registry and node failures are fleet-level
+//! concerns and live in `medusa-serving`'s `ClusterFaults`.
+
+use crate::artifact::MaterializedState;
+
+/// Mixes a seed into a well-distributed 64-bit value (SplitMix64 finalizer).
+pub(crate) fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The injectable fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Flip payload bits after the artifact was sealed, so the stored
+    /// checksum no longer matches the content.
+    CorruptArtifact,
+    /// Stamp a future format version on the artifact (a registry serving
+    /// entries written by a newer materializer).
+    VersionSkew,
+    /// Rename one materialized kernel's library to one absent from the
+    /// process catalog (a library upgrade that dropped the `.so`), then
+    /// re-seal — the artifact is internally consistent but unrestorable.
+    MissingLibrary,
+    /// Tear the weight stream partway through the loading stage.
+    TruncatedWeights,
+    /// Abort the cold start mid-flight at a seed-chosen stage boundary
+    /// (node preemption / OOM-kill).
+    MidStageAbort,
+}
+
+impl FaultKind {
+    /// All fault classes, in matrix order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::CorruptArtifact,
+        FaultKind::VersionSkew,
+        FaultKind::MissingLibrary,
+        FaultKind::TruncatedWeights,
+        FaultKind::MidStageAbort,
+    ];
+
+    /// Stable name, used in CLI specs and telemetry labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::CorruptArtifact => "corrupt",
+            FaultKind::VersionSkew => "version_skew",
+            FaultKind::MissingLibrary => "missing_library",
+            FaultKind::TruncatedWeights => "truncated_weights",
+            FaultKind::MidStageAbort => "abort",
+        }
+    }
+}
+
+/// Where a [`FaultKind::MidStageAbort`] fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortPoint {
+    /// Right after model structure initialization, before any strategy work.
+    AfterStructureInit,
+    /// After all loading completed, just before the first-token prefill.
+    BeforeFirstToken,
+}
+
+/// A deterministic plan of which faults to inject into one cold start.
+///
+/// `Copy` so it can ride inside `ColdStartOptions`. An all-`false` plan (the
+/// `Default`) injects nothing and leaves the pipeline byte-identical to a
+/// run without a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed every derived quantity is a pure function of.
+    pub seed: u64,
+    /// Arm [`FaultKind::CorruptArtifact`].
+    pub corrupt_artifact: bool,
+    /// Arm [`FaultKind::VersionSkew`].
+    pub version_skew: bool,
+    /// Arm [`FaultKind::MissingLibrary`].
+    pub missing_library: bool,
+    /// Arm [`FaultKind::TruncatedWeights`].
+    pub truncated_weights: bool,
+    /// Arm [`FaultKind::MidStageAbort`].
+    pub mid_stage_abort: bool,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed; arm faults with [`FaultPlan::with`].
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan arming exactly one fault class.
+    pub fn single(kind: FaultKind, seed: u64) -> Self {
+        FaultPlan::new(seed).with(kind)
+    }
+
+    /// A plan arming every fault class — the CI fault matrix.
+    pub fn matrix(seed: u64) -> Self {
+        FaultKind::ALL
+            .iter()
+            .fold(FaultPlan::new(seed), |p, &k| p.with(k))
+    }
+
+    /// Arms one fault class.
+    pub fn with(mut self, kind: FaultKind) -> Self {
+        match kind {
+            FaultKind::CorruptArtifact => self.corrupt_artifact = true,
+            FaultKind::VersionSkew => self.version_skew = true,
+            FaultKind::MissingLibrary => self.missing_library = true,
+            FaultKind::TruncatedWeights => self.truncated_weights = true,
+            FaultKind::MidStageAbort => self.mid_stage_abort = true,
+        }
+        self
+    }
+
+    /// Whether the given class is armed.
+    pub fn enabled(&self, kind: FaultKind) -> bool {
+        match kind {
+            FaultKind::CorruptArtifact => self.corrupt_artifact,
+            FaultKind::VersionSkew => self.version_skew,
+            FaultKind::MissingLibrary => self.missing_library,
+            FaultKind::TruncatedWeights => self.truncated_weights,
+            FaultKind::MidStageAbort => self.mid_stage_abort,
+        }
+    }
+
+    /// Whether no fault is armed.
+    pub fn is_empty(&self) -> bool {
+        FaultKind::ALL.iter().all(|&k| !self.enabled(k))
+    }
+
+    /// Parses a comma-separated fault spec (`"corrupt,abort"`). Accepts the
+    /// [`FaultKind::name`] strings plus `all` for the full matrix; `-` is
+    /// accepted in place of `_`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown token.
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
+        let mut plan = FaultPlan::new(seed);
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let canon = token.replace('-', "_");
+            if canon == "all" {
+                plan = FaultPlan::matrix(seed);
+                continue;
+            }
+            match FaultKind::ALL.iter().find(|k| k.name() == canon) {
+                Some(&k) => plan = plan.with(k),
+                None => return Err(token.to_string()),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Applies the armed *artifact-level* faults to a copy of `artifact`.
+    ///
+    /// Corruption flips payload bits without re-sealing (a storage/transit
+    /// error the checksum catches); version skew stamps a future version;
+    /// a missing library renames a seed-chosen node's library and re-seals
+    /// (an internally consistent artifact that no longer resolves).
+    pub fn apply_to_artifact(&self, artifact: &MaterializedState) -> MaterializedState {
+        let mut a = artifact.clone();
+        if self.missing_library {
+            let total: usize = a.graphs.iter().map(|g| g.nodes.len()).sum();
+            if total > 0 {
+                let mut pick = (splitmix64(self.seed ^ 0xfa_0001) as usize) % total;
+                'outer: for g in &mut a.graphs {
+                    for n in &mut g.nodes {
+                        if pick == 0 {
+                            n.library = format!("libghost-{}.so.0", self.seed & 0xffff);
+                            break 'outer;
+                        }
+                        pick -= 1;
+                    }
+                }
+                a.seal();
+            }
+        }
+        if self.corrupt_artifact {
+            // Bit-flip after sealing: pick the field from the seed.
+            match splitmix64(self.seed ^ 0xfa_0002) % 3 {
+                0 => a.kv_free_bytes ^= 1 << (splitmix64(self.seed ^ 0xfa_0003) % 32),
+                1 => a.replay_prefix_allocs ^= 1,
+                _ => {
+                    if let Some(op) = a.replay_ops.first_mut() {
+                        match op {
+                            crate::artifact::ReplayOp::Malloc { size } => *size ^= 0x40,
+                            crate::artifact::ReplayOp::Free { alloc_seq } => *alloc_seq ^= 0x1,
+                        }
+                    } else {
+                        a.kv_free_bytes ^= 0x2;
+                    }
+                }
+            }
+        }
+        if self.version_skew {
+            a.version += 1 + (splitmix64(self.seed ^ 0xfa_0004) % 3) as u32;
+        }
+        a
+    }
+
+    /// For an armed [`FaultKind::TruncatedWeights`]: the fraction of the
+    /// weight payload delivered before the stream tears, in `[0.25, 0.90]`.
+    pub fn weight_truncation(&self) -> Option<f64> {
+        if !self.truncated_weights {
+            return None;
+        }
+        let u = splitmix64(self.seed ^ 0xfa_0005) % 10_000;
+        Some(0.25 + 0.65 * (u as f64 / 10_000.0))
+    }
+
+    /// For an armed [`FaultKind::MidStageAbort`]: where the abort fires.
+    pub fn abort_point(&self) -> Option<AbortPoint> {
+        if !self.mid_stage_abort {
+            return None;
+        }
+        if splitmix64(self.seed ^ 0xfa_0006).is_multiple_of(2) {
+            Some(AbortPoint::AfterStructureInit)
+        } else {
+            Some(AbortPoint::BeforeFirstToken)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::materialize_offline;
+    use medusa_gpu::{CostModel, GpuSpec};
+    use medusa_model::ModelSpec;
+
+    fn artifact() -> MaterializedState {
+        let spec = ModelSpec::by_name("Qwen1.5-0.5B").unwrap();
+        materialize_offline(&spec, GpuSpec::a100_40gb(), CostModel::default(), 41)
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn parse_accepts_names_aliases_and_all() {
+        let p = FaultPlan::parse("corrupt, abort", 7).unwrap();
+        assert!(p.corrupt_artifact && p.mid_stage_abort);
+        assert!(!p.version_skew);
+        let m = FaultPlan::parse("all", 7).unwrap();
+        assert!(FaultKind::ALL.iter().all(|&k| m.enabled(k)));
+        let d = FaultPlan::parse("missing-library,version-skew", 7).unwrap();
+        assert!(d.missing_library && d.version_skew);
+        assert_eq!(FaultPlan::parse("bogus", 7).unwrap_err(), "bogus");
+        assert!(FaultPlan::parse("", 7).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tampering_is_deterministic_per_seed() {
+        let a = artifact();
+        let p = FaultPlan::matrix(99);
+        let x = p.apply_to_artifact(&a);
+        let y = p.apply_to_artifact(&a);
+        assert_eq!(x, y, "same seed, same tampering");
+        let z = FaultPlan::matrix(100).apply_to_artifact(&a);
+        assert!(z == x || z.version != x.version || z != x);
+        assert_eq!(p.weight_truncation(), p.weight_truncation());
+        assert_eq!(p.abort_point(), p.abort_point());
+    }
+
+    #[test]
+    fn corruption_breaks_the_checksum_but_skew_does_not() {
+        let a = artifact();
+        let c = FaultPlan::single(FaultKind::CorruptArtifact, 3).apply_to_artifact(&a);
+        assert!(c.verify_checksum().is_err(), "bit flip must break the seal");
+        let v = FaultPlan::single(FaultKind::VersionSkew, 3).apply_to_artifact(&a);
+        assert!(v.verify_checksum().is_ok(), "skew is a version-only change");
+        assert!(v.version > a.version);
+        let m = FaultPlan::single(FaultKind::MissingLibrary, 3).apply_to_artifact(&a);
+        assert!(
+            m.verify_checksum().is_ok(),
+            "missing-library artifact re-seals: consistent but unrestorable"
+        );
+        assert!(m
+            .graphs
+            .iter()
+            .flat_map(|g| g.nodes.iter())
+            .any(|n| n.library.starts_with("libghost-")));
+    }
+
+    #[test]
+    fn runtime_fault_parameters_are_bounded() {
+        for seed in 0..50 {
+            let p = FaultPlan::matrix(seed);
+            let frac = p.weight_truncation().unwrap();
+            assert!((0.25..=0.90).contains(&frac), "{frac}");
+            assert!(p.abort_point().is_some());
+        }
+        let none = FaultPlan::new(1);
+        assert!(none.weight_truncation().is_none());
+        assert!(none.abort_point().is_none());
+        assert!(none.is_empty());
+    }
+}

@@ -20,31 +20,29 @@
 //!   triggering-kernel-enhanced kernel address restoration
 //!   ([`KernelResolver`]), and validation with false-positive correction
 //!   ([`validate_and_correct`]).
-//! * **Cold-start pipelines** ([`cold_start`]) — the paper's compared
-//!   strategies: `vLLM`, `vLLM+Async`, `Medusa`, and `w/o CUDA graph`.
+//! * **Cold-start pipelines** ([`ColdStart`]) — the paper's compared
+//!   strategies: `vLLM`, `vLLM+Async`, `Medusa`, and `w/o CUDA graph` —
+//!   with pre-restore artifact validation ([`ArtifactValidator`]),
+//!   deterministic fault injection ([`FaultPlan`]), and graceful
+//!   degradation to the vanilla path (§7).
 //!
 //! ## Example
 //!
 //! ```rust,no_run
-//! use medusa::{cold_start, materialize_offline, ColdStartOptions, Strategy};
-//! use medusa_gpu::{CostModel, GpuSpec};
+//! use medusa::{ColdStart, Strategy};
 //! use medusa_model::ModelSpec;
 //!
 //! # fn main() -> Result<(), medusa::MedusaError> {
 //! let spec = ModelSpec::by_name("Qwen1.5-4B").expect("catalog model");
 //! // Offline, once per <GPU type, model type>:
-//! let (artifact, _) =
-//!     materialize_offline(&spec, GpuSpec::a100_40gb(), CostModel::default(), 1)?;
-//! // Online, on every cold start:
-//! let (_engine, report) = cold_start(
-//!     Strategy::Medusa,
-//!     &spec,
-//!     GpuSpec::a100_40gb(),
-//!     CostModel::default(),
-//!     Some(&artifact),
-//!     ColdStartOptions::default(),
-//! )?;
-//! println!("loading phase: {}", report.loading);
+//! let (artifacts, _) = ColdStart::new(&spec).materialize(1)?;
+//! // Online, on every cold start (falls back to vanilla if the artifact
+//! // fails validation or restoration):
+//! let outcome = ColdStart::new(&spec)
+//!     .strategy(Strategy::Medusa)
+//!     .artifacts(&artifacts)
+//!     .run()?;
+//! println!("loading phase: {}", outcome.report().loading);
 //! # Ok(())
 //! # }
 //! ```
@@ -53,8 +51,10 @@
 #![warn(missing_docs)]
 
 mod artifact;
+mod builder;
 mod engine;
 mod error;
+mod faults;
 mod offline {
     pub mod analysis;
     pub mod capture;
@@ -67,13 +67,16 @@ mod online {
 mod pipeline;
 mod tp;
 mod trace;
+mod validator;
 
 pub use artifact::{
     AnalysisStats, GraphSpec, MaterializedState, NodeSpec, ParamSpec, PtrTableEntry, ReplayOp,
     ARTIFACT_VERSION,
 };
+pub use builder::{ColdStart, ColdStartOutcome, Fallback};
 pub use engine::{host_pair, par_map, Lane, NodeId, Schedule, StageGraph};
-pub use error::{MedusaError, MedusaResult};
+pub use error::{ErrorContext, MedusaError, MedusaResult};
+pub use faults::{AbortPoint, FaultKind, FaultPlan};
 pub use offline::analysis::{analyze, count_naive_mismatches, AnalysisOutput};
 pub use offline::capture::{
     run_offline_capture, run_offline_capture_sharded, CaptureOutput, GraphWindow, KernelInfo,
@@ -84,12 +87,15 @@ pub use online::validate::{
     reset_kv_state, validate_and_correct, validate_graph, ValidatedGraph, VALIDATION_STEP,
 };
 pub use pipeline::{
-    cold_start, cold_start_traced, materialize_offline, materialize_offline_sharded,
-    ColdStartOptions, ColdStartReport, OfflineReport, Parallelism, ReadyEngine, Stage, StageSpan,
-    Strategy, TriggeringMode,
+    materialize_offline, ColdStartOptions, ColdStartReport, OfflineReport, Parallelism,
+    ReadyEngine, Stage, StageSpan, Strategy, TriggeringMode,
 };
-pub use tp::{
-    cold_start_tp, cold_start_tp_traced, materialize_offline_tp, materialize_offline_tp_with,
-    TpArtifacts, TpColdStart,
-};
+// Deprecated entry points stay re-exported for one release so downstream
+// callers migrate on their own schedule; the builder replaces them.
+#[allow(deprecated)]
+pub use pipeline::{cold_start, cold_start_traced, materialize_offline_sharded};
+#[allow(deprecated)]
+pub use tp::{cold_start_tp, cold_start_tp_traced};
+pub use tp::{materialize_offline_tp, materialize_offline_tp_with, TpArtifacts, TpColdStart};
 pub use trace::{AllocEvent, TraceWalker};
+pub use validator::{ArtifactValidator, ValidationCheck, ValidationReport};

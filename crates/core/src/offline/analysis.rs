@@ -230,24 +230,24 @@ pub fn analyze(capture: &CaptureOutput, cost: &CostModel) -> MedusaResult<Analys
     permanent_ptr_tables.sort_by_key(|(seq, _)| *seq);
 
     let duration = SimDuration::from_nanos(cost.analysis_per_node_ns * stats.nodes);
-    Ok(AnalysisOutput {
-        state: MaterializedState {
-            version: ARTIFACT_VERSION,
-            model: capture.model.clone(),
-            gpu: capture.gpu.clone(),
-            rank: capture.rank,
-            tp: capture.tp,
-            kv_free_bytes: capture.kv_free_bytes,
-            replay_prefix_allocs,
-            replay_ops,
-            labels: capture.labels.clone(),
-            permanent_contents,
-            permanent_ptr_tables,
-            graphs,
-            stats,
-        },
-        duration,
-    })
+    let mut state = MaterializedState {
+        version: ARTIFACT_VERSION,
+        model: capture.model.clone(),
+        gpu: capture.gpu.clone(),
+        rank: capture.rank,
+        tp: capture.tp,
+        kv_free_bytes: capture.kv_free_bytes,
+        replay_prefix_allocs,
+        replay_ops,
+        labels: capture.labels.clone(),
+        permanent_contents,
+        permanent_ptr_tables,
+        graphs,
+        stats,
+        checksum: 0,
+    };
+    state.seal();
+    Ok(AnalysisOutput { state, duration })
 }
 
 /// Naive-matching ablation (Figure 6): how many graph pointer parameters

@@ -277,6 +277,7 @@ mod tests {
             permanent_ptr_tables: vec![],
             graphs: vec![],
             stats: AnalysisStats::default(),
+            checksum: 0,
         }
     }
 

@@ -14,6 +14,7 @@
 use crate::artifact::{GraphSpec, MaterializedState};
 use crate::engine::{host_pair, Lane, StageGraph};
 use crate::error::{MedusaError, MedusaResult};
+use crate::faults::{AbortPoint, FaultPlan};
 use crate::offline::analysis::{analyze, AnalysisOutput};
 use crate::online::kernels::KernelResolver;
 use crate::online::replay::{replay_allocations, restore_graph, ReplayedLayout};
@@ -244,6 +245,10 @@ pub struct ColdStartOptions {
     /// How much parallelism the cold-start engine exploits across stages
     /// and ranks.
     pub parallelism: Parallelism,
+    /// Runtime fault injection (truncated weight streams, mid-stage
+    /// aborts). `None` injects nothing; artifact-level faults are applied
+    /// by the [`crate::builder::ColdStart`] builder before validation.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ColdStartOptions {
@@ -257,6 +262,7 @@ impl Default for ColdStartOptions {
             rank: 0,
             tp: 1,
             parallelism: Parallelism::Overlapped,
+            fault: None,
         }
     }
 }
@@ -366,7 +372,7 @@ pub fn materialize_offline(
     cost: CostModel,
     seed: u64,
 ) -> MedusaResult<(MaterializedState, OfflineReport)> {
-    materialize_offline_sharded(spec, 0, 1, gpu, cost, seed)
+    materialize_offline_shard_impl(spec, 0, 1, gpu, cost, seed)
 }
 
 /// Runs the offline phase for one tensor-parallel shard (paper §8): rank
@@ -375,7 +381,24 @@ pub fn materialize_offline(
 /// # Errors
 ///
 /// Propagates capture and analysis failures.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `ColdStart::new(spec).tp(n).materialize()` (the builder shards per rank)"
+)]
 pub fn materialize_offline_sharded(
+    spec: &ModelSpec,
+    rank: u32,
+    tp: u32,
+    gpu: GpuSpec,
+    cost: CostModel,
+    seed: u64,
+) -> MedusaResult<(MaterializedState, OfflineReport)> {
+    materialize_offline_shard_impl(spec, rank, tp, gpu, cost, seed)
+}
+
+/// Shared implementation behind [`materialize_offline`], the deprecated
+/// [`materialize_offline_sharded`], and the builder's materialize path.
+pub(crate) fn materialize_offline_shard_impl(
     spec: &ModelSpec,
     rank: u32,
     tp: u32,
@@ -413,6 +436,10 @@ pub fn materialize_offline_sharded(
 /// * [`MedusaError::ArtifactRequired`] for [`Strategy::Medusa`] without an
 ///   artifact.
 /// * Propagated driver / KV / restoration errors.
+#[deprecated(
+    since = "0.6.0",
+    note = "use the `ColdStart` builder: `ColdStart::new(spec).strategy(s).options(opts).run()`"
+)]
 pub fn cold_start(
     strategy: Strategy,
     spec: &ModelSpec,
@@ -421,7 +448,7 @@ pub fn cold_start(
     artifact: Option<&MaterializedState>,
     opts: ColdStartOptions,
 ) -> MedusaResult<(ReadyEngine, ColdStartReport)> {
-    cold_start_traced(strategy, spec, gpu, cost, artifact, opts, None)
+    cold_start_impl(strategy, spec, gpu, cost, artifact, opts, None)
 }
 
 /// [`cold_start`] with an optional telemetry registry: stage spans (with
@@ -435,7 +462,26 @@ pub fn cold_start(
 /// # Errors
 ///
 /// Same as [`cold_start`].
+#[deprecated(
+    since = "0.6.0",
+    note = "use the `ColdStart` builder: `ColdStart::new(spec).telemetry(t).run()`"
+)]
 pub fn cold_start_traced(
+    strategy: Strategy,
+    spec: &ModelSpec,
+    gpu: GpuSpec,
+    cost: CostModel,
+    artifact: Option<&MaterializedState>,
+    opts: ColdStartOptions,
+    tele: Option<&Registry>,
+) -> MedusaResult<(ReadyEngine, ColdStartReport)> {
+    cold_start_impl(strategy, spec, gpu, cost, artifact, opts, tele)
+}
+
+/// Shared single-rank cold-start implementation behind the deprecated free
+/// functions and the [`crate::builder::ColdStart`] builder. Timing, seeding,
+/// and telemetry are exactly those of the original `cold_start_traced`.
+pub(crate) fn cold_start_impl(
     strategy: Strategy,
     spec: &ModelSpec,
     gpu: GpuSpec,
@@ -467,12 +513,14 @@ pub fn cold_start_traced(
         start: s0,
         end: structure_end,
     });
+    fault_gate(&opts, AbortPoint::AfterStructureInit, Stage::StructureInit)?;
 
     let weights_bytes = inst.weight_bytes();
     let (engine, loading_end, critical_path) = match strategy {
         Strategy::Vanilla | Strategy::NoCudaGraph => {
             // Synchronous by definition: the parallelism knob is a no-op.
             // ❷ weights, synchronous.
+            weights_fault_gate(&opts, weights_bytes)?;
             let w0 = rt.now();
             medusa_model::load_weights(&mut rt, &inst, 1.0)?;
             spans.push(StageSpan {
@@ -537,6 +585,7 @@ pub fn cold_start_traced(
         Strategy::VanillaAsync if opts.parallelism == Parallelism::Serial => {
             // Serial mode: the async weights lane degenerates to a
             // synchronous load — no overlap, hence no §7.3 interference.
+            weights_fault_gate(&opts, weights_bytes)?;
             let w0 = rt.now();
             medusa_model::load_weights(&mut rt, &inst, 1.0)?;
             spans.push(StageSpan {
@@ -590,6 +639,7 @@ pub fn cold_start_traced(
         }
         Strategy::VanillaAsync => {
             // ❷ weights on the storage lane starting now.
+            weights_fault_gate(&opts, weights_bytes)?;
             let w0 = rt.now();
             apply_weights(&mut rt, &inst)?;
             // ❸ tokenizer on a real host thread while the device runs the
@@ -678,6 +728,7 @@ pub fn cold_start_traced(
                 end: rt.now(),
             });
             // ❷ weights fully synchronous on the exclusive storage lane.
+            weights_fault_gate(&opts, weights_bytes)?;
             let w0 = rt.now();
             medusa_model::load_weights(&mut rt, &inst, 1.0)?;
             spans.push(StageSpan {
@@ -750,6 +801,7 @@ pub fn cold_start_traced(
 
             // ❷ weights on the storage lane (no profiling → no
             // interference, Fig. 8c).
+            weights_fault_gate(&opts, weights_bytes)?;
             let w0 = rt.now();
             apply_weights(&mut rt, &inst)?;
             let (w_dur, w_delay) = weights_lane_timing(weights_bytes, rt.cost(), 1.0, &opts);
@@ -800,6 +852,7 @@ pub fn cold_start_traced(
 
     let mut engine = engine;
     let loading = loading_end - loading_start;
+    fault_gate(&opts, AbortPoint::BeforeFirstToken, Stage::FirstToken)?;
 
     // First token: one eager prefill.
     let f0 = engine.rt.now();
@@ -905,6 +958,29 @@ fn record_cold_start_telemetry(tele: &Registry, report: &ColdStartReport, opts: 
     tele.inc("coldstart_total", 1);
     tele.observe_us("coldstart_loading_us", report.loading.as_nanos() / 1_000);
     tele.observe_us("coldstart_total_us", report.total.as_nanos() / 1_000);
+}
+
+/// Fires an armed mid-stage abort at the given checkpoint (injected fault,
+/// modeling node preemption / OOM-kill).
+fn fault_gate(opts: &ColdStartOptions, point: AbortPoint, stage: Stage) -> MedusaResult<()> {
+    if opts.fault.and_then(|f| f.abort_point()) == Some(point) {
+        return Err(MedusaError::StageAborted {
+            stage: stage_ident(stage).to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Tears the weight stream before the loading stage when the fault plan
+/// arms [`crate::faults::FaultKind::TruncatedWeights`].
+fn weights_fault_gate(opts: &ColdStartOptions, expected: u64) -> MedusaResult<()> {
+    if let Some(frac) = opts.fault.and_then(|f| f.weight_truncation()) {
+        return Err(MedusaError::WeightStreamTruncated {
+            loaded: (expected as f64 * frac) as u64,
+            expected,
+        });
+    }
+    Ok(())
 }
 
 /// Interleaved-read efficiency when multiple tensor-parallel ranks stream
@@ -1034,13 +1110,14 @@ mod tests {
         art: Option<&MaterializedState>,
         opts: ColdStartOptions,
     ) -> (ReadyEngine, ColdStartReport) {
-        cold_start(
+        cold_start_impl(
             strategy,
             &spec(),
             GpuSpec::a100_40gb(),
             CostModel::default(),
             art,
             opts,
+            None,
         )
         .unwrap()
     }
@@ -1195,13 +1272,14 @@ mod tests {
 
     #[test]
     fn medusa_without_artifact_is_rejected() {
-        let err = cold_start(
+        let err = cold_start_impl(
             Strategy::Medusa,
             &spec(),
             GpuSpec::a100_40gb(),
             CostModel::default(),
             None,
             ColdStartOptions::default(),
+            None,
         )
         .unwrap_err();
         assert!(matches!(err, MedusaError::ArtifactRequired));
@@ -1211,16 +1289,109 @@ mod tests {
     fn medusa_rejects_mismatched_artifact() {
         let art = artifact();
         let other = ModelSpec::by_name("Qwen1.5-1.8B").unwrap();
-        let err = cold_start(
+        let err = cold_start_impl(
             Strategy::Medusa,
             &other,
             GpuSpec::a100_40gb(),
             CostModel::default(),
             Some(&art),
             ColdStartOptions::default(),
+            None,
         )
         .unwrap_err();
         assert!(matches!(err, MedusaError::ArtifactMismatch { .. }));
+    }
+
+    /// The deprecated free functions stay as thin wrappers for one release:
+    /// identical results to the impl they forward to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_impl() {
+        let opts = ColdStartOptions {
+            seed: 17,
+            warm_container: true,
+            ..Default::default()
+        };
+        let (_e1, via_wrapper) = cold_start(
+            Strategy::Vanilla,
+            &spec(),
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            None,
+            opts,
+        )
+        .unwrap();
+        let (_e2, via_impl) = cold_start_impl(
+            Strategy::Vanilla,
+            &spec(),
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            None,
+            opts,
+            None,
+        )
+        .unwrap();
+        assert_eq!(via_wrapper, via_impl);
+        let (a, _) = materialize_offline_sharded(
+            &spec(),
+            0,
+            1,
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            41,
+        )
+        .unwrap();
+        assert_eq!(a, artifact());
+    }
+
+    #[test]
+    fn injected_faults_surface_as_typed_errors() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let art = artifact();
+        // Find seeds for both abort checkpoints so each gate is exercised.
+        let mut seen_early = false;
+        let mut seen_late = false;
+        for fault_seed in 0..8u64 {
+            let plan = FaultPlan::single(FaultKind::MidStageAbort, fault_seed);
+            let opts = ColdStartOptions {
+                fault: Some(plan),
+                ..Default::default()
+            };
+            let err = cold_start_impl(
+                Strategy::Medusa,
+                &spec(),
+                GpuSpec::a100_40gb(),
+                CostModel::default(),
+                Some(&art),
+                opts,
+                None,
+            )
+            .unwrap_err();
+            assert_eq!(err.kind(), "stage_aborted");
+            match plan.abort_point().unwrap() {
+                AbortPoint::AfterStructureInit => seen_early = true,
+                AbortPoint::BeforeFirstToken => seen_late = true,
+            }
+        }
+        assert!(seen_early && seen_late, "both checkpoints exercised");
+        let opts = ColdStartOptions {
+            fault: Some(FaultPlan::single(FaultKind::TruncatedWeights, 3)),
+            ..Default::default()
+        };
+        let err = cold_start_impl(
+            Strategy::Vanilla,
+            &spec(),
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            None,
+            opts,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MedusaError::WeightStreamTruncated { loaded, expected } if loaded < expected
+        ));
     }
 
     #[test]

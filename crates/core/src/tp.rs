@@ -15,10 +15,8 @@
 use crate::artifact::MaterializedState;
 use crate::engine::par_map;
 use crate::error::{MedusaError, MedusaResult};
-#[cfg(test)]
-use crate::pipeline::cold_start;
 use crate::pipeline::{
-    cold_start_traced, materialize_offline_sharded, ColdStartOptions, ColdStartReport,
+    cold_start_impl, materialize_offline_shard_impl, ColdStartOptions, ColdStartReport,
     OfflineReport, Parallelism, ReadyEngine, Strategy,
 };
 use medusa_gpu::{CostModel, GpuSpec, SimDuration};
@@ -99,7 +97,7 @@ pub fn materialize_offline_tp_with(
 ) -> MedusaResult<(TpArtifacts, OfflineReport)> {
     assert!(tp > 0, "tensor-parallel degree must be positive");
     let run_rank = |rank: u32| {
-        materialize_offline_sharded(
+        materialize_offline_shard_impl(
             spec,
             rank,
             tp,
@@ -193,6 +191,10 @@ impl TpColdStart {
 /// * [`MedusaError::ArtifactMismatch`] if `artifacts` has a different
 ///   degree.
 /// * Propagated per-rank errors.
+#[deprecated(
+    since = "0.6.0",
+    note = "use the `ColdStart` builder: `ColdStart::new(spec).tp(n).run()`"
+)]
 pub fn cold_start_tp(
     strategy: Strategy,
     spec: &ModelSpec,
@@ -202,7 +204,7 @@ pub fn cold_start_tp(
     artifacts: Option<&TpArtifacts>,
     opts: ColdStartOptions,
 ) -> MedusaResult<TpColdStart> {
-    cold_start_tp_traced(strategy, spec, tp, gpu, cost, artifacts, opts, None)
+    cold_start_tp_impl(strategy, spec, tp, gpu, cost, artifacts, opts, None)
 }
 
 /// [`cold_start_tp`] with an optional telemetry registry shared by every
@@ -216,7 +218,27 @@ pub fn cold_start_tp(
 ///
 /// Same as [`cold_start_tp`].
 #[allow(clippy::too_many_arguments)]
+#[deprecated(
+    since = "0.6.0",
+    note = "use the `ColdStart` builder: `ColdStart::new(spec).tp(n).telemetry(t).run()`"
+)]
 pub fn cold_start_tp_traced(
+    strategy: Strategy,
+    spec: &ModelSpec,
+    tp: u32,
+    gpu: GpuSpec,
+    cost: CostModel,
+    artifacts: Option<&TpArtifacts>,
+    opts: ColdStartOptions,
+    tele: Option<&Registry>,
+) -> MedusaResult<TpColdStart> {
+    cold_start_tp_impl(strategy, spec, tp, gpu, cost, artifacts, opts, tele)
+}
+
+/// Shared multi-rank implementation behind the deprecated free functions
+/// and the [`crate::builder::ColdStart`] builder.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cold_start_tp_impl(
     strategy: Strategy,
     spec: &ModelSpec,
     tp: u32,
@@ -243,7 +265,7 @@ pub fn cold_start_tp_traced(
             ..opts
         };
         let art = artifacts.map(|a| a.rank(rank));
-        cold_start_traced(
+        cold_start_impl(
             strategy,
             spec,
             gpu.clone(),
@@ -293,6 +315,60 @@ mod tests {
 
     fn spec() -> ModelSpec {
         ModelSpec::by_name("Qwen1.5-0.5B").unwrap()
+    }
+
+    // Local shims shadowing the deprecated glob-imported free functions:
+    // the tests exercise the impls directly.
+    fn cold_start_tp(
+        strategy: Strategy,
+        spec: &ModelSpec,
+        tp: u32,
+        gpu: GpuSpec,
+        cost: CostModel,
+        artifacts: Option<&TpArtifacts>,
+        opts: ColdStartOptions,
+    ) -> MedusaResult<TpColdStart> {
+        cold_start_tp_impl(strategy, spec, tp, gpu, cost, artifacts, opts, None)
+    }
+
+    fn cold_start(
+        strategy: Strategy,
+        spec: &ModelSpec,
+        gpu: GpuSpec,
+        cost: CostModel,
+        artifact: Option<&MaterializedState>,
+        opts: ColdStartOptions,
+    ) -> MedusaResult<(ReadyEngine, ColdStartReport)> {
+        cold_start_impl(strategy, spec, gpu, cost, artifact, opts, None)
+    }
+
+    /// The deprecated tp wrapper stays byte-compatible with the impl.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_tp_wrapper_matches_the_impl() {
+        let s = spec();
+        let a = super::cold_start_tp(
+            Strategy::NoCudaGraph,
+            &s,
+            2,
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            None,
+            ColdStartOptions::default(),
+        )
+        .unwrap();
+        let b = cold_start_tp(
+            Strategy::NoCudaGraph,
+            &s,
+            2,
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            None,
+            ColdStartOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(a.reports, b.reports);
+        assert_eq!(a.sync, b.sync);
     }
 
     #[test]

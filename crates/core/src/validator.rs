@@ -1,0 +1,342 @@
+//! Pre-restore artifact validation.
+//!
+//! A materialized artifact is only trustworthy for the exact
+//! `<GPU type, model type>` it was built for, against the exact library set
+//! the online process loads (§5 — raw kernel addresses rot, which is why the
+//! artifact stores kernel *names*; those names rot too when a library
+//! upgrade removes a symbol). The [`ArtifactValidator`] runs every integrity
+//! check that can be answered *before* touching the device:
+//!
+//! 1. **format version** — the artifact's layout version matches this
+//!    build's [`ARTIFACT_VERSION`];
+//! 2. **content checksum** — the sealed FNV fold still matches the payload
+//!    (storage/transit corruption);
+//! 3. **target key** — `<model, GPU, rank, tp>` match the restoring process;
+//! 4. **kernel name table** — every materialized `(library, kernel)` pair
+//!    resolves against the process's library catalog;
+//! 5. **pointer bounds** — the replay sequence is well-formed (frees hit
+//!    live allocations) and every indirect index pointer, semantic label,
+//!    permanent buffer, and pointer-table entry references an allocation
+//!    that is live once replay completes.
+//!
+//! Any failure downgrades the cold start to the vanilla path (§7); the
+//! report records which check rejected the artifact and why.
+
+use crate::artifact::{MaterializedState, ParamSpec, ReplayOp, ARTIFACT_VERSION};
+use crate::error::{MedusaError, MedusaResult};
+use medusa_gpu::{GpuSpec, LibraryCatalog};
+use medusa_model::{build_catalog, ModelSpec};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The individual checks run by [`ArtifactValidator::validate`], in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationCheck {
+    /// Artifact layout version equals [`ARTIFACT_VERSION`].
+    FormatVersion,
+    /// Sealed content checksum matches a recomputation.
+    Checksum,
+    /// `<model, GPU, rank, tp>` key matches the restoring process.
+    TargetKey,
+    /// Every materialized kernel name resolves in the library catalog.
+    KernelTable,
+    /// Replay sequence and index pointers are in-bounds and live.
+    PointerBounds,
+}
+
+impl ValidationCheck {
+    /// All checks in execution order.
+    pub const ALL: [ValidationCheck; 5] = [
+        ValidationCheck::FormatVersion,
+        ValidationCheck::Checksum,
+        ValidationCheck::TargetKey,
+        ValidationCheck::KernelTable,
+        ValidationCheck::PointerBounds,
+    ];
+
+    /// Stable name for reports and CLI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ValidationCheck::FormatVersion => "format_version",
+            ValidationCheck::Checksum => "checksum",
+            ValidationCheck::TargetKey => "target_key",
+            ValidationCheck::KernelTable => "kernel_table",
+            ValidationCheck::PointerBounds => "pointer_bounds",
+        }
+    }
+}
+
+/// Outcome of validating one artifact: every check's verdict.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// `(check, failure)` per check, in execution order; `None` = passed.
+    pub checks: Vec<(ValidationCheck, Option<MedusaError>)>,
+}
+
+impl ValidationReport {
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|(_, e)| e.is_none())
+    }
+
+    /// The first failing check and its error, if any.
+    pub fn first_failure(&self) -> Option<(&ValidationCheck, &MedusaError)> {
+        self.checks
+            .iter()
+            .find_map(|(c, e)| e.as_ref().map(|e| (c, e)))
+    }
+
+    /// Converts the report into a result: `Ok` iff every check passed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing check's error, wrapped with the check name
+    /// as context.
+    pub fn ok(&self) -> MedusaResult<()> {
+        match self.first_failure() {
+            None => Ok(()),
+            Some((check, err)) => Err(err
+                .clone()
+                .with_context(format!("artifact validation ({})", check.name()))),
+        }
+    }
+}
+
+/// Validates materialized artifacts against one restoring target.
+#[derive(Debug, Clone)]
+pub struct ArtifactValidator {
+    model: String,
+    gpu: String,
+    rank: u32,
+    tp: u32,
+    catalog: Arc<LibraryCatalog>,
+}
+
+impl ArtifactValidator {
+    /// Builds a validator for the `<model, GPU>` pair a process would
+    /// restore into, at rank 0 of tp 1. The kernel-name-table check runs
+    /// against the same simulated library catalog the online process loads.
+    pub fn for_target(spec: &ModelSpec, gpu: &GpuSpec) -> Self {
+        ArtifactValidator {
+            model: spec.name().to_string(),
+            gpu: gpu.name().to_string(),
+            rank: 0,
+            tp: 1,
+            catalog: build_catalog(spec),
+        }
+    }
+
+    /// Retargets the validator at a tensor-parallel shard.
+    pub fn shard(mut self, rank: u32, tp: u32) -> Self {
+        self.rank = rank;
+        self.tp = tp;
+        self
+    }
+
+    /// Runs every check against `artifact`. All checks always run, so a CLI
+    /// report can show each verdict; use [`ValidationReport::ok`] for the
+    /// pass/fail decision.
+    pub fn validate(&self, artifact: &MaterializedState) -> ValidationReport {
+        let checks = vec![
+            (
+                ValidationCheck::FormatVersion,
+                self.check_version(artifact).err(),
+            ),
+            (ValidationCheck::Checksum, artifact.verify_checksum().err()),
+            (
+                ValidationCheck::TargetKey,
+                artifact
+                    .check_target(&self.model, &self.gpu, self.rank, self.tp)
+                    .err(),
+            ),
+            (
+                ValidationCheck::KernelTable,
+                self.check_kernel_table(artifact).err(),
+            ),
+            (
+                ValidationCheck::PointerBounds,
+                self.check_pointer_bounds(artifact).err(),
+            ),
+        ];
+        ValidationReport { checks }
+    }
+
+    fn check_version(&self, artifact: &MaterializedState) -> MedusaResult<()> {
+        if artifact.version != ARTIFACT_VERSION {
+            return Err(MedusaError::ArtifactCorrupt {
+                detail: format!(
+                    "format version {} != supported {}",
+                    artifact.version, ARTIFACT_VERSION
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// §5: every `(library, kernel)` pair the graphs reference must exist in
+    /// the catalog — export status does not matter here (hidden kernels are
+    /// reachable via triggering), existence does.
+    fn check_kernel_table(&self, artifact: &MaterializedState) -> MedusaResult<()> {
+        let mut seen = BTreeSet::new();
+        for g in &artifact.graphs {
+            for n in &g.nodes {
+                if !seen.insert((n.library.as_str(), n.kernel.as_str())) {
+                    continue;
+                }
+                if self.catalog.find_kernel(&n.library, &n.kernel).is_err() {
+                    return Err(MedusaError::KernelUnresolved {
+                        library: n.library.clone(),
+                        kernel: n.kernel.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// §4.1/§4.2: walk the replay sequence tracking liveness, then require
+    /// every indirect reference to land on an allocation that is live once
+    /// replay completes.
+    fn check_pointer_bounds(&self, artifact: &MaterializedState) -> MedusaResult<()> {
+        let mut live: BTreeSet<u64> = (0..artifact.replay_prefix_allocs).collect();
+        let mut next = artifact.replay_prefix_allocs;
+        for op in &artifact.replay_ops {
+            match op {
+                ReplayOp::Malloc { .. } => {
+                    live.insert(next);
+                    next += 1;
+                }
+                ReplayOp::Free { alloc_seq } => {
+                    if !live.remove(alloc_seq) {
+                        return Err(MedusaError::ReplayDanglingFree {
+                            alloc_seq: *alloc_seq,
+                        });
+                    }
+                }
+            }
+        }
+        let require = |seq: u64, what: &str| -> MedusaResult<()> {
+            if live.contains(&seq) {
+                Ok(())
+            } else {
+                Err(MedusaError::ArtifactCorrupt {
+                    detail: format!("{what} references dead allocation #{seq}"),
+                })
+            }
+        };
+        for (label, seq) in &artifact.labels {
+            require(*seq, &format!("label `{label}`"))?;
+        }
+        for (seq, _) in &artifact.permanent_contents {
+            require(*seq, "permanent buffer")?;
+        }
+        for (seq, entries) in &artifact.permanent_ptr_tables {
+            require(*seq, "pointer table")?;
+            for (i, e) in entries.iter().enumerate() {
+                if !live.contains(&e.alloc_seq) {
+                    return Err(MedusaError::UnmatchedTableEntry {
+                        table_seq: *seq,
+                        index: i,
+                        addr: e.alloc_seq,
+                    });
+                }
+            }
+        }
+        for g in &artifact.graphs {
+            for (node, n) in g.nodes.iter().enumerate() {
+                for (param, p) in n.params.iter().enumerate() {
+                    if let ParamSpec::IndirectPtr { alloc_seq, raw, .. } = p {
+                        if !live.contains(alloc_seq) {
+                            return Err(MedusaError::UnmatchedPointer {
+                                batch: g.batch,
+                                node,
+                                param,
+                                addr: *raw,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultKind, FaultPlan};
+    use crate::pipeline::materialize_offline;
+    use medusa_gpu::CostModel;
+
+    fn target() -> (ModelSpec, GpuSpec) {
+        (
+            ModelSpec::by_name("Qwen1.5-0.5B").unwrap(),
+            GpuSpec::a100_40gb(),
+        )
+    }
+
+    fn artifact() -> MaterializedState {
+        let (spec, gpu) = target();
+        materialize_offline(&spec, gpu, CostModel::default(), 41)
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn healthy_artifact_passes_every_check() {
+        let (spec, gpu) = target();
+        let report = ArtifactValidator::for_target(&spec, &gpu).validate(&artifact());
+        assert!(report.passed(), "{:?}", report.first_failure());
+        assert!(report.ok().is_ok());
+        assert_eq!(report.checks.len(), ValidationCheck::ALL.len());
+    }
+
+    #[test]
+    fn each_fault_class_trips_its_check() {
+        let (spec, gpu) = target();
+        let v = ArtifactValidator::for_target(&spec, &gpu);
+        let a = artifact();
+
+        let corrupt = FaultPlan::single(FaultKind::CorruptArtifact, 5).apply_to_artifact(&a);
+        let r = v.validate(&corrupt);
+        assert!(!r.passed());
+        assert_eq!(r.first_failure().unwrap().1.kind(), "checksum_mismatch");
+
+        let skewed = FaultPlan::single(FaultKind::VersionSkew, 5).apply_to_artifact(&a);
+        let r = v.validate(&skewed);
+        assert_eq!(r.first_failure().unwrap().0.name(), "format_version");
+        assert_eq!(r.first_failure().unwrap().1.kind(), "artifact_corrupt");
+
+        let ghost = FaultPlan::single(FaultKind::MissingLibrary, 5).apply_to_artifact(&a);
+        let r = v.validate(&ghost);
+        assert_eq!(r.first_failure().unwrap().0.name(), "kernel_table");
+        assert_eq!(r.first_failure().unwrap().1.kind(), "kernel_unresolved");
+    }
+
+    #[test]
+    fn wrong_target_and_bad_replay_are_rejected() {
+        let (spec, gpu) = target();
+        let v = ArtifactValidator::for_target(&spec, &gpu);
+        let mut a = artifact();
+        a.gpu = "H100-80GB".into();
+        a.seal();
+        let r = v.validate(&a);
+        assert_eq!(r.first_failure().unwrap().1.kind(), "artifact_mismatch");
+
+        let mut b = artifact();
+        b.replay_ops.push(ReplayOp::Free { alloc_seq: 1 << 40 });
+        b.seal();
+        let r = v.validate(&b);
+        assert_eq!(r.first_failure().unwrap().1.kind(), "replay_dangling_free");
+        assert!(r.ok().unwrap_err().to_string().contains("pointer_bounds"));
+    }
+
+    #[test]
+    fn shard_retargets_the_key() {
+        let (spec, gpu) = target();
+        let v = ArtifactValidator::for_target(&spec, &gpu).shard(1, 2);
+        let r = v.validate(&artifact());
+        assert_eq!(r.first_failure().unwrap().1.kind(), "artifact_mismatch");
+    }
+}

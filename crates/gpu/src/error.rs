@@ -64,6 +64,36 @@ pub enum GpuError {
     InvalidEvent { event: u32 },
 }
 
+impl GpuError {
+    /// Stable machine-readable identifier for this error class.
+    ///
+    /// Used as a telemetry label and for matching in tests; the strings are
+    /// part of the public contract and never change once released.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GpuError::OutOfMemory { .. } => "gpu_oom",
+            GpuError::InvalidPointer { .. } => "gpu_invalid_pointer",
+            GpuError::InvalidFree { .. } => "gpu_invalid_free",
+            GpuError::InvalidDeviceFunction { .. } => "gpu_invalid_device_function",
+            GpuError::SymbolNotFound { .. } => "gpu_symbol_not_found",
+            GpuError::SymbolHidden { .. } => "gpu_symbol_hidden",
+            GpuError::LibraryNotFound { .. } => "gpu_library_not_found",
+            GpuError::LibraryNotLoaded { .. } => "gpu_library_not_loaded",
+            GpuError::ModuleNotLoaded { .. } => "gpu_module_not_loaded",
+            GpuError::SyncDuringCapture { .. } => "gpu_sync_during_capture",
+            GpuError::ConcurrentCapture => "gpu_concurrent_capture",
+            GpuError::NotCapturing => "gpu_not_capturing",
+            GpuError::MemcpyDuringCapture => "gpu_memcpy_during_capture",
+            GpuError::DeviceAllocDuringCapture => "gpu_device_alloc_during_capture",
+            GpuError::ParamMismatch { .. } => "gpu_param_mismatch",
+            GpuError::DanglingRead { .. } => "gpu_dangling_read",
+            GpuError::DanglingWrite { .. } => "gpu_dangling_write",
+            GpuError::InvalidStream { .. } => "gpu_invalid_stream",
+            GpuError::InvalidEvent { .. } => "gpu_invalid_event",
+        }
+    }
+}
+
 impl fmt::Display for GpuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -25,6 +25,21 @@ pub enum GraphError {
     },
 }
 
+impl GraphError {
+    /// Stable machine-readable identifier for this error class.
+    ///
+    /// Driver-originated errors delegate to [`GpuError::kind`], so the
+    /// namespace is flat across layers.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GraphError::Gpu(e) => e.kind(),
+            GraphError::Cyclic => "graph_cyclic",
+            GraphError::NodeOutOfRange { .. } => "graph_node_out_of_range",
+            GraphError::SelfEdge { .. } => "graph_self_edge",
+        }
+    }
+}
+
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -8,9 +8,17 @@
 //! models that layer: `N` simulated GPU workers serve one shared request
 //! stream; each worker's cold start replays the measured cost of the
 //! *real* per-instance pipeline (see [`FleetProfile::measure`], which runs
-//! [`medusa::cold_start_tp`] under the configured
+//! the [`medusa::ColdStart`] builder under the configured
 //! [`Parallelism`] knob), and on top sits a pluggable
 //! [`Scheduler`] plus an autoscaler with keep-alive and scale-to-zero.
+//!
+//! The fleet also models the paper's §7 degradation story at registry
+//! scale: fetches run under a [`RegistryPolicy`] (timeout, bounded
+//! exponential backoff, retry budget), an exhausted budget degrades that
+//! cold start to the vanilla path instead of failing it, and nodes can
+//! crash mid-cold-start ([`ClusterFaults`]) with their queued requests
+//! re-routed by the scheduler. All fault decisions are seed-derived from
+//! the simulated state, so faulty runs are as deterministic as clean ones.
 //!
 //! Artifact locality follows the paper's §6 sharing model: materialized
 //! state is keyed by `<GPU type, model type>` and lives in a registry; a
@@ -27,8 +35,7 @@
 
 use crate::params::PerfModel;
 use medusa::{
-    cold_start_tp, materialize_offline, materialize_offline_tp_with, ColdStartOptions,
-    MedusaResult, Parallelism, Strategy,
+    materialize_offline, ColdStart, ColdStartOptions, MedusaResult, Parallelism, Strategy,
 };
 use medusa_gpu::{CostModel, GpuSpec, SimDuration};
 use medusa_model::ModelSpec;
@@ -86,6 +93,48 @@ impl Default for AutoscalerConfig {
     }
 }
 
+/// Resilience knobs for registry fetches (§6): a fetch attempt that the
+/// registry fails costs a timeout, retries back off exponentially (bounded),
+/// and an exhausted retry budget **degrades** that cold start to the
+/// vanilla path (§7) instead of failing it — the node still comes up, just
+/// without the materialized artifact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegistryPolicy {
+    /// Wall-clock charged per failed fetch attempt, seconds.
+    pub timeout_s: f64,
+    /// Retries after the initial attempt before degrading.
+    pub retry_budget: u32,
+    /// First retry's backoff, seconds; doubles per retry.
+    pub backoff_base_s: f64,
+    /// Backoff ceiling, seconds.
+    pub backoff_max_s: f64,
+}
+
+impl Default for RegistryPolicy {
+    fn default() -> Self {
+        RegistryPolicy {
+            timeout_s: 2.0,
+            retry_budget: 3,
+            backoff_base_s: 0.25,
+            backoff_max_s: 4.0,
+        }
+    }
+}
+
+/// Deterministic fleet-level fault injection. All-zero (the default)
+/// injects nothing and leaves the simulation byte-identical to a fault-free
+/// build; every decision is derived from `seed` plus simulated state, never
+/// from host randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClusterFaults {
+    /// Seed all fault decisions derive from.
+    pub seed: u64,
+    /// Per-mille probability that one registry fetch attempt fails.
+    pub registry_fail_per_mille: u32,
+    /// Per-mille probability that a cold start crashes its node midway.
+    pub node_crash_per_mille: u32,
+}
+
 /// Shape of the simulated fleet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
@@ -98,6 +147,10 @@ pub struct ClusterSpec {
     pub drain_s: f64,
     /// Autoscaler configuration.
     pub autoscaler: AutoscalerConfig,
+    /// Registry-fetch resilience policy.
+    pub registry: RegistryPolicy,
+    /// Fault injection (defaults to none).
+    pub faults: ClusterFaults,
 }
 
 impl ClusterSpec {
@@ -115,6 +168,8 @@ impl ClusterSpec {
             max_running: 32,
             drain_s: 600.0,
             autoscaler: AutoscalerConfig::default(),
+            registry: RegistryPolicy::default(),
+            faults: ClusterFaults::default(),
         }
     }
 
@@ -140,6 +195,18 @@ impl ClusterSpec {
         self.autoscaler = autoscaler;
         self
     }
+
+    /// Sets the registry-fetch resilience policy (builder style).
+    pub fn with_registry(mut self, registry: RegistryPolicy) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Arms fleet-level fault injection (builder style).
+    pub fn with_faults(mut self, faults: ClusterFaults) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -161,16 +228,21 @@ pub struct FleetProfile {
     /// Registry-fetch penalty a Medusa cold start pays when the node-local
     /// cache misses. Zero for non-materialized strategies.
     pub fetch: SimDuration,
+    /// Loading makespan of the **degraded** (vanilla-path) cold start a
+    /// node falls back to when its registry fetch budget is exhausted
+    /// (§7). Equal to `perf.loading` for non-materialized strategies.
+    pub degraded_loading: SimDuration,
 }
 
 impl FleetProfile {
     /// Builds a profile from an explicit [`PerfModel`] (tests/analysis).
-    /// `coldstart_work` defaults to the loading makespan (a `tp = 1`
-    /// instance); `fetch` defaults to zero.
+    /// `coldstart_work` and `degraded_loading` default to the loading
+    /// makespan (a `tp = 1` instance); `fetch` defaults to zero.
     pub fn from_perf(strategy: Strategy, perf: PerfModel) -> Self {
         FleetProfile {
             strategy,
             coldstart_work: perf.loading,
+            degraded_loading: perf.loading,
             perf,
             fetch: SimDuration::ZERO,
         }
@@ -188,11 +260,19 @@ impl FleetProfile {
         self
     }
 
+    /// Sets the degraded (vanilla-path) loading makespan (builder style).
+    pub fn with_degraded_loading(mut self, loading: SimDuration) -> Self {
+        self.degraded_loading = loading;
+        self
+    }
+
     /// Measures a fleet profile by running the **real** per-instance
     /// pipelines: serving tables via [`PerfModel::measure`] and the
-    /// cold-start makespan/work via a `tp`-way [`medusa::cold_start_tp`]
+    /// cold-start makespan/work via a `tp`-way [`medusa::ColdStart`] run
     /// under the requested [`Parallelism`] knob — the fleet simulator then
-    /// replays those numbers at queueing scale.
+    /// replays those numbers at queueing scale. For Medusa the degraded
+    /// (vanilla-path) loading makespan is measured alongside, so the
+    /// simulator can price registry-budget-exhausted cold starts.
     ///
     /// The cache-miss fetch penalty models streaming the materialized
     /// `<GPU type, model type>` entry (dominated by the weights) over a
@@ -225,39 +305,49 @@ impl FleetProfile {
             seed,
         )?;
         // Loading replays the real tp-way pipeline under the knob.
-        let tp_artifacts = match strategy {
-            Strategy::Medusa => Some(
-                materialize_offline_tp_with(
-                    spec,
-                    tp,
-                    gpu.clone(),
-                    cost.clone(),
-                    seed,
-                    parallelism,
-                )?
-                .0,
-            ),
-            _ => None,
-        };
         let opts = ColdStartOptions {
             seed: seed ^ 0x5eed,
             warm_container: true,
             parallelism,
             ..Default::default()
         };
-        let cold = cold_start_tp(strategy, spec, tp, gpu, cost, tp_artifacts.as_ref(), opts)?;
+        let builder = || {
+            ColdStart::new(spec)
+                .gpu(gpu.clone())
+                .cost(cost.clone())
+                .options(opts)
+                .tp(tp)
+        };
+        let tp_artifacts = match strategy {
+            Strategy::Medusa => Some(
+                ColdStart::new(spec)
+                    .gpu(gpu.clone())
+                    .cost(cost.clone())
+                    .parallelism(parallelism)
+                    .tp(tp)
+                    .materialize(seed)?
+                    .0,
+            ),
+            _ => None,
+        };
+        let cold = match &tp_artifacts {
+            Some(arts) => builder().strategy(strategy).artifacts(arts).run()?,
+            None => builder().strategy(strategy).run()?,
+        };
         perf.loading = cold.loading();
-        let fetch = match strategy {
-            Strategy::Medusa => {
-                SimDuration::from_secs_f64(spec.param_bytes() as f64 / FETCH_BANDWIDTH_BPS)
-            }
-            _ => SimDuration::ZERO,
+        let (fetch, degraded_loading) = match strategy {
+            Strategy::Medusa => (
+                SimDuration::from_secs_f64(spec.param_bytes() as f64 / FETCH_BANDWIDTH_BPS),
+                builder().strategy(Strategy::Vanilla).run()?.loading(),
+            ),
+            _ => (SimDuration::ZERO, perf.loading),
         };
         Ok(FleetProfile {
             strategy,
             perf,
             coldstart_work: cold.aggregate_work(),
             fetch,
+            degraded_loading,
         })
     }
 
@@ -504,6 +594,16 @@ pub struct ClusterReport {
     pub cold_starts: u32,
     /// Scale-to-zero (keep-alive expiry) events.
     pub scale_to_zero_events: u32,
+    /// Registry-fetch retries across the fleet (failed attempts that were
+    /// re-tried within the budget).
+    pub fetch_retries: u32,
+    /// Cold starts degraded to the vanilla path after exhausting the
+    /// registry retry budget (§7 at fleet scale).
+    pub degraded_cold_starts: u32,
+    /// Nodes crashed mid-cold-start.
+    pub node_failures: u32,
+    /// Requests re-routed off a crashed node back through the scheduler.
+    pub reroutes: u32,
     /// Time of the last completion, ns.
     pub makespan_ns: u64,
     /// Median time-to-first-token, µs.
@@ -551,10 +651,30 @@ pub struct FleetOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
     Arrive(usize),
-    NodeReady(usize),
+    /// Cold start finished. Carries the node's start epoch: a crash bumps
+    /// the epoch, so a ready event from a crashed start is stale and
+    /// ignored.
+    NodeReady(usize, u32),
+    /// Node crashes mid-cold-start (same-epoch guard as `NodeReady`).
+    NodeCrash(usize, u32),
     TryStart(usize),
     IterEnd(usize),
     IdleCheck(usize),
+}
+
+/// splitmix64 — the fleet's deterministic fault-decision hash.
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-mille roll for one fault decision, keyed by the fleet fault seed
+/// plus simulated state (node, start ordinal, attempt).
+fn roll_per_mille(seed: u64, node: usize, start: u32, attempt: u32) -> u32 {
+    let key = seed ^ ((node as u64) << 48) ^ ((start as u64) << 16) ^ (attempt as u64);
+    (mix(key) % 1000) as u32
 }
 
 #[derive(Debug)]
@@ -576,6 +696,11 @@ struct Node {
     served: u32,
     busy_ns: u64,
     work_ns: u64,
+    /// Bumped on every crash; stale `NodeReady` events are ignored.
+    epoch: u32,
+    /// Whether the in-flight cold start degraded to the vanilla path
+    /// (registry budget exhausted) — a degraded start populates no cache.
+    degraded_start: bool,
 }
 
 impl Node {
@@ -593,6 +718,8 @@ impl Node {
             served: 0,
             busy_ns: 0,
             work_ns: 0,
+            epoch: 0,
+            degraded_start: false,
         }
     }
 
@@ -634,6 +761,10 @@ struct Sim<'a> {
     makespan_ns: u64,
     cold_starts: u32,
     scale_to_zero_events: u32,
+    fetch_retries: u32,
+    degraded_cold_starts: u32,
+    node_failures: u32,
+    reroutes: u32,
 }
 
 impl Sim<'_> {
@@ -657,27 +788,82 @@ impl Sim<'_> {
 
     /// Begins a cold start on node `i` at time `t`.
     fn start_cold(&mut self, t: u64, i: usize) {
+        let faults = self.cluster.faults;
+        let reg = self.cluster.registry;
         let node = &mut self.nodes[i];
         debug_assert_eq!(node.state, NodeState::Cold);
-        let makespan = self.profile.coldstart_makespan(node.spec.cached);
-        let fetch_ns = if node.spec.cached {
-            0
-        } else if self.profile.strategy == Strategy::Medusa {
-            self.profile.fetch.as_nanos()
-        } else {
-            0
-        };
+        let needs_fetch = self.profile.strategy == Strategy::Medusa && !node.spec.cached;
         node.state = NodeState::Starting;
         node.cold_starts += 1;
-        node.cold_ns += makespan.as_nanos();
-        // Aggregate rank work: every rank restores; a fetch occupies the
-        // node once (the cache is shared across local ranks).
-        node.work_ns += self.profile.coldstart_work.as_nanos() + fetch_ns;
         self.cold_starts += 1;
-        let ready = t + makespan.as_nanos();
+        let node = &mut self.nodes[i];
+
+        // Registry fetch under the resilience policy: each failed attempt
+        // costs a timeout, retries back off exponentially (bounded), and an
+        // exhausted budget degrades this start to the vanilla path (§7).
+        let mut retry_ns: u64 = 0;
+        let mut retries: u32 = 0;
+        let mut degraded = false;
+        if needs_fetch && faults.registry_fail_per_mille > 0 {
+            let mut failures: u32 = 0;
+            loop {
+                let roll = roll_per_mille(faults.seed, i, node.cold_starts, failures);
+                if roll >= faults.registry_fail_per_mille {
+                    break;
+                }
+                failures += 1;
+                retry_ns += (reg.timeout_s * 1e9) as u64;
+                if failures > reg.retry_budget {
+                    degraded = true;
+                    break;
+                }
+                let backoff =
+                    (reg.backoff_base_s * 2f64.powi(failures as i32 - 1)).min(reg.backoff_max_s);
+                retry_ns += (backoff * 1e9) as u64;
+                retries += 1;
+            }
+        }
+        node.degraded_start = degraded;
+
+        let (makespan, fetch_ns) = if degraded {
+            // No artifact to restore: vanilla-path loading, cache stays
+            // cold so the next start tries the registry again.
+            (self.profile.degraded_loading, 0)
+        } else {
+            (
+                self.profile.coldstart_makespan(node.spec.cached),
+                if needs_fetch {
+                    self.profile.fetch.as_nanos()
+                } else {
+                    0
+                },
+            )
+        };
+        node.cold_ns += retry_ns + makespan.as_nanos();
+        // Aggregate rank work: every rank restores; fetch attempts and the
+        // fetch itself occupy the node once (the cache is shared across
+        // local ranks).
+        let restore_work = if degraded {
+            self.profile.degraded_loading.as_nanos() * node.spec.tp as u64
+        } else {
+            self.profile.coldstart_work.as_nanos()
+        };
+        node.work_ns += restore_work + retry_ns + fetch_ns;
+        self.fetch_retries += retries;
+        if degraded {
+            self.degraded_cold_starts += 1;
+        }
+        let epoch = node.epoch;
+        let ready = t + retry_ns + makespan.as_nanos();
         if let Some(tl) = self.tele {
             tl.inc("cluster_cold_starts_total", 1);
             tl.inc(&format!("cluster_node{i}_cold_starts_total"), 1);
+            if retries > 0 {
+                tl.inc("cluster_fetch_retries_total", retries as u64);
+            }
+            if degraded {
+                tl.inc("cluster_degraded_coldstarts_total", 1);
+            }
             tl.span(
                 format!("coldstart/n{i}"),
                 format!("node{i}"),
@@ -685,7 +871,16 @@ impl Sim<'_> {
                 ready / 1_000,
             );
         }
-        self.push(ready, Ev::NodeReady(i));
+        // A crashing start schedules its crash midway; the crash bumps the
+        // epoch, so the ready event below arrives stale and is dropped.
+        if faults.node_crash_per_mille > 0 {
+            let roll = roll_per_mille(faults.seed ^ 0xc7a5_11fe, i, self.nodes[i].cold_starts, 0);
+            if roll < faults.node_crash_per_mille {
+                let crash_at = t + (retry_ns + makespan.as_nanos()) / 2;
+                self.push(crash_at, Ev::NodeCrash(i, epoch));
+            }
+        }
+        self.push(ready, Ev::NodeReady(i, epoch));
     }
 
     /// Places request `r` on node `i` at time `t` (cold-starting first
@@ -788,6 +983,10 @@ pub fn simulate_fleet_traced(
         makespan_ns: 0,
         cold_starts: 0,
         scale_to_zero_events: 0,
+        fetch_retries: 0,
+        degraded_cold_starts: 0,
+        node_failures: 0,
+        reroutes: 0,
     };
     for (i, r) in trace.iter().enumerate() {
         sim.push(r.arrival_ns, Ev::Arrive(i));
@@ -804,15 +1003,54 @@ pub fn simulate_fleet_traced(
                 sim.queue.push_back(r);
                 sim.drain(t, sched.as_mut());
             }
-            Ev::NodeReady(i) => {
+            Ev::NodeReady(i, epoch) => {
                 let node = &mut sim.nodes[i];
+                if node.epoch != epoch {
+                    // This start crashed before finishing; the event is
+                    // stale.
+                    continue;
+                }
                 node.state = NodeState::Warm;
                 // The cold start populated the local cache (Medusa fetch
-                // or in-place materialization reuse).
-                if sim.profile.strategy == Strategy::Medusa {
+                // or in-place materialization reuse) — unless it degraded
+                // to the vanilla path, which materializes nothing.
+                if sim.profile.strategy == Strategy::Medusa && !node.degraded_start {
                     node.spec.cached = true;
                 }
                 sim.push(t, Ev::TryStart(i));
+                sim.drain(t, sched.as_mut());
+            }
+            Ev::NodeCrash(i, epoch) => {
+                let node = &mut sim.nodes[i];
+                if node.epoch != epoch || node.state != NodeState::Starting {
+                    continue;
+                }
+                // Crash mid-cold-start: the node scales back to cold and
+                // its queued requests go back through the scheduler.
+                node.epoch += 1;
+                node.state = NodeState::Cold;
+                node.idle_since = None;
+                node.kv_tokens = 0;
+                let rerouted: Vec<usize> = node.pending.drain(..).collect();
+                sim.node_failures += 1;
+                sim.reroutes += rerouted.len() as u32;
+                if let Some(tl) = tele {
+                    tl.inc("cluster_node_failures_total", 1);
+                    if !rerouted.is_empty() {
+                        tl.inc("cluster_reroutes_total", rerouted.len() as u64);
+                    }
+                    tl.span(
+                        format!("nodefail/n{i}"),
+                        format!("node{i}"),
+                        t / 1_000,
+                        t / 1_000,
+                    );
+                }
+                // Front of the queue, original order: the crashed node's
+                // requests have been waiting longest.
+                for r in rerouted.into_iter().rev() {
+                    sim.queue.push_front(r);
+                }
                 sim.drain(t, sched.as_mut());
             }
             Ev::TryStart(i) => {
@@ -876,6 +1114,10 @@ pub fn simulate_fleet_traced(
         completed: sim.completed,
         cold_starts: sim.cold_starts,
         scale_to_zero_events: sim.scale_to_zero_events,
+        fetch_retries: sim.fetch_retries,
+        degraded_cold_starts: sim.degraded_cold_starts,
+        node_failures: sim.node_failures,
+        reroutes: sim.reroutes,
         makespan_ns: sim.makespan_ns,
         ttft_p50_us: q(0.5),
         ttft_p99_us: q(0.99),
@@ -1236,6 +1478,124 @@ mod tests {
         assert_eq!(out.report.offered, 0);
         assert_eq!(out.report.ttft_p99_us, 0);
         assert_eq!(out.report.cold_starts, 0);
+    }
+
+    fn flaky_registry() -> RegistryPolicy {
+        RegistryPolicy {
+            timeout_s: 1.0,
+            retry_budget: 3,
+            backoff_base_s: 0.5,
+            backoff_max_s: 2.0,
+        }
+    }
+
+    #[test]
+    fn exhausted_registry_budget_degrades_to_vanilla_without_caching() {
+        let profile = medusa_profile(500, 300).with_degraded_loading(SimDuration::from_millis(800));
+        let spec = ClusterSpec::uniform(1)
+            .with_registry(flaky_registry())
+            .with_faults(ClusterFaults {
+                seed: 1,
+                registry_fail_per_mille: 1000,
+                node_crash_per_mille: 0,
+            });
+        let out = simulate_fleet(
+            &profile,
+            &spec,
+            Policy::ColdStartAware,
+            &[req(0, 0, 100, 1)],
+        );
+        // 4 failed attempts × 1 s timeout, backoffs 0.5 + 1 + 2 s, then the
+        // degraded vanilla load 800 ms + prefill 20 ms.
+        assert_eq!(out.ttfts[0], SimDuration::from_millis(8320));
+        assert_eq!(out.report.degraded_cold_starts, 1);
+        assert_eq!(out.report.fetch_retries, 3);
+        assert!(
+            !out.report.nodes[0].cached_at_end,
+            "a degraded start materializes nothing"
+        );
+    }
+
+    #[test]
+    fn transient_registry_failure_retries_with_backoff_and_still_fetches() {
+        // A seed whose first attempt fails and whose retry succeeds.
+        let seed = (0..1000u64)
+            .find(|&s| roll_per_mille(s, 0, 1, 0) < 500 && roll_per_mille(s, 0, 1, 1) >= 500)
+            .expect("such a seed exists");
+        let profile = medusa_profile(500, 300);
+        let spec = ClusterSpec::uniform(1)
+            .with_registry(flaky_registry())
+            .with_faults(ClusterFaults {
+                seed,
+                registry_fail_per_mille: 500,
+                node_crash_per_mille: 0,
+            });
+        let out = simulate_fleet(
+            &profile,
+            &spec,
+            Policy::ColdStartAware,
+            &[req(0, 0, 100, 1)],
+        );
+        // Timeout 1 s + backoff 0.5 s, then fetch 300 + load 500 + prefill
+        // 20 ms as usual.
+        assert_eq!(out.ttfts[0], SimDuration::from_millis(2320));
+        assert_eq!(out.report.fetch_retries, 1);
+        assert_eq!(out.report.degraded_cold_starts, 0);
+        assert!(out.report.nodes[0].cached_at_end);
+    }
+
+    #[test]
+    fn node_crash_mid_cold_start_reroutes_and_restarts() {
+        // A seed whose first start crashes and whose second survives.
+        let crash = |s: u64, start: u32| roll_per_mille(s ^ 0xc7a5_11fe, 0, start, 0);
+        let seed = (0..1000u64)
+            .find(|&s| crash(s, 1) < 500 && crash(s, 2) >= 500)
+            .expect("such a seed exists");
+        let profile = medusa_profile(500, 300);
+        let spec = ClusterSpec::uniform(1).with_faults(ClusterFaults {
+            seed,
+            registry_fail_per_mille: 0,
+            node_crash_per_mille: 500,
+        });
+        // LeastLoaded places the request on the starting node (ColdStartAware
+        // would hold it in the global queue), so the crash must re-route it.
+        let out = simulate_fleet(&profile, &spec, Policy::LeastLoaded, &[req(0, 0, 100, 1)]);
+        assert_eq!(out.report.node_failures, 1);
+        assert_eq!(out.report.reroutes, 1);
+        assert_eq!(out.report.cold_starts, 2, "crashed start plus the retry");
+        assert_eq!(out.report.completed, 1);
+        // Crash at 400 ms (half of fetch 300 + load 500), restart pays the
+        // full 800 ms again (the crashed fetch cached nothing), prefill 20.
+        assert_eq!(out.ttfts[0], SimDuration::from_millis(1220));
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed() {
+        let profile = medusa_profile(400, 150).with_degraded_loading(SimDuration::from_millis(700));
+        let spec = ClusterSpec::uniform(4)
+            .with_registry(flaky_registry())
+            .with_faults(ClusterFaults {
+                seed: 9,
+                registry_fail_per_mille: 400,
+                node_crash_per_mille: 100,
+            });
+        let trace = TraceConfig::sharegpt(6.0, 40.0)
+            .with_seed(42)
+            .with_pattern(ArrivalPattern::sharegpt_bursty())
+            .generate();
+        let run = || {
+            let tele = Registry::new();
+            let out =
+                simulate_fleet_traced(&profile, &spec, Policy::ColdStartAware, &trace, Some(&tele));
+            (
+                out.report.to_json(),
+                medusa_telemetry::export::prometheus::render(&tele.snapshot()),
+            )
+        };
+        let (report, prom) = run();
+        assert_eq!((report.clone(), prom.clone()), run());
+        let parsed = ClusterReport::from_json(&report).expect("parse");
+        assert_eq!(parsed.offered, trace.len());
     }
 
     #[test]

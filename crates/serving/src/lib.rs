@@ -50,9 +50,9 @@ mod params;
 mod sim;
 
 pub use cluster::{
-    simulate_fleet, simulate_fleet_traced, AutoscalerConfig, ClusterReport, ClusterSpec,
-    ColdStartAware, Decision, FleetOutcome, FleetProfile, LeastLoaded, NodeReport, NodeSpec,
-    NodeState, NodeView, Policy, RoundRobin, Scheduler,
+    simulate_fleet, simulate_fleet_traced, AutoscalerConfig, ClusterFaults, ClusterReport,
+    ClusterSpec, ColdStartAware, Decision, FleetOutcome, FleetProfile, LeastLoaded, NodeReport,
+    NodeSpec, NodeState, NodeView, Policy, RegistryPolicy, RoundRobin, Scheduler,
 };
 pub use params::PerfModel;
 pub use sim::{simulate, simulate_traced, ClusterConfig, SimResult};

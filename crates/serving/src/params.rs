@@ -7,7 +7,7 @@
 //! the simulator then replays them at queueing scale without re-executing
 //! tens of millions of kernel digests.
 
-use medusa::{cold_start, ColdStartOptions, MaterializedState, MedusaResult, Strategy};
+use medusa::{ColdStart, ColdStartOptions, MaterializedState, MedusaResult, Strategy};
 use medusa_gpu::{CostModel, GpuSpec, SimDuration};
 use medusa_model::ModelSpec;
 use serde::{Deserialize, Serialize};
@@ -93,7 +93,15 @@ impl PerfModel {
             warm_container: true,
             ..Default::default()
         };
-        let (mut engine, report) = cold_start(strategy, spec, gpu, cost, artifact, opts)?;
+        let mut builder = ColdStart::new(spec)
+            .strategy(strategy)
+            .gpu(gpu)
+            .cost(cost)
+            .options(opts);
+        if let Some(a) = artifact {
+            builder = builder.artifact(a);
+        }
+        let (mut engine, report) = builder.run()?.into_single();
         let decode_batches = ModelSpec::capture_batch_sizes();
         // Warm each batch bucket once: the first eager decode of a bucket
         // pays one-time GEMM module loads, and the table should reflect
@@ -196,16 +204,12 @@ mod tests {
                 parallelism,
                 ..Default::default()
             };
-            let (_, report) = cold_start(
-                Strategy::VanillaAsync,
-                &spec,
-                GpuSpec::a100_40gb(),
-                CostModel::default(),
-                None,
-                opts,
-            )
-            .expect("cold start");
-            report.loading
+            let outcome = medusa::ColdStart::new(&spec)
+                .strategy(Strategy::VanillaAsync)
+                .options(opts)
+                .run()
+                .expect("cold start");
+            outcome.report().loading
         };
         // The default options run the overlapped engine, so the simulator's
         // loading time is the scheduled makespan, not the serial sum.

@@ -149,6 +149,25 @@ impl Registry {
         *g.counters.entry(name.to_string()).or_insert(0) += by;
     }
 
+    /// Increments the labeled counter `{base}_{label}_total` by `by`. The
+    /// label is sanitized to `[a-z0-9_]` (anything else becomes `_`) so
+    /// error kinds and fault names can be used verbatim without producing
+    /// invalid Prometheus metric names.
+    pub fn inc_labeled(&self, base: &str, label: &str, by: u64) {
+        let clean: String = label
+            .chars()
+            .map(|c| {
+                let c = c.to_ascii_lowercase();
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.inc(&format!("{base}_{clean}_total"), by);
+    }
+
     /// Sets gauge `name` to `value` (last write wins — use only from a
     /// single thread; prefer [`Registry::gauge_max`] under concurrency).
     pub fn set_gauge(&self, name: &str, value: u64) {
@@ -335,6 +354,23 @@ mod tests {
         assert_eq!(snap.counter("a_total"), Some(3));
         assert_eq!(snap.gauge("hw"), Some(5));
         assert_eq!(snap.spans[0].name, "y", "sorted by start time");
+    }
+
+    #[test]
+    fn labeled_counters_sanitize_the_label() {
+        let r = Registry::new();
+        r.inc_labeled("coldstart_fallback", "checksum_mismatch", 1);
+        r.inc_labeled("coldstart_fallback", "checksum_mismatch", 2);
+        r.inc_labeled("coldstart_fallback", "Weird-Kind!", 1);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter("coldstart_fallback_checksum_mismatch_total"),
+            Some(3)
+        );
+        assert_eq!(
+            snap.counter("coldstart_fallback_weird_kind__total"),
+            Some(1)
+        );
     }
 
     #[test]

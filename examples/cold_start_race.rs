@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example cold_start_race [model]`
 
-use medusa::{cold_start, materialize_offline, ColdStartOptions, Stage, Strategy};
+use medusa::{materialize_offline, ColdStart, ColdStartOptions, Stage, Strategy};
 use medusa_gpu::{CostModel, GpuSpec, SimTime};
 use medusa_model::ModelSpec;
 
@@ -27,8 +27,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut reports = Vec::new();
     for strategy in Strategy::ALL {
-        let art = (strategy == Strategy::Medusa).then_some(&artifact);
-        let (_, r) = cold_start(strategy, &spec, gpu.clone(), cost.clone(), art, opts)?;
+        let mut builder = ColdStart::new(&spec)
+            .strategy(strategy)
+            .gpu(gpu.clone())
+            .cost(cost.clone())
+            .options(opts);
+        if strategy == Strategy::Medusa {
+            builder = builder.artifact(&artifact);
+        }
+        let (_, r) = builder.run()?.into_single();
         reports.push(r);
     }
     let horizon = reports

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use medusa::{cold_start, materialize_offline, ColdStartOptions, Parallelism, Stage, Strategy};
+use medusa::{materialize_offline, ColdStart, ColdStartOptions, Parallelism, Stage, Strategy};
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
 
@@ -40,22 +40,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 2024,
         ..Default::default()
     };
-    let (_v_engine, vanilla) = cold_start(
-        Strategy::Vanilla,
-        &spec,
-        gpu.clone(),
-        cost.clone(),
-        None,
-        opts,
-    )?;
-    let (mut m_engine, medusa) = cold_start(
-        Strategy::Medusa,
-        &spec,
-        gpu.clone(),
-        cost.clone(),
-        Some(&artifact),
-        opts,
-    )?;
+    let (_v_engine, vanilla) = ColdStart::new(&spec)
+        .strategy(Strategy::Vanilla)
+        .gpu(gpu.clone())
+        .cost(cost.clone())
+        .options(opts)
+        .run()?
+        .into_single();
+    let (mut m_engine, medusa) = ColdStart::new(&spec)
+        .strategy(Strategy::Medusa)
+        .gpu(gpu.clone())
+        .cost(cost.clone())
+        .options(opts)
+        .artifact(&artifact)
+        .run()?
+        .into_single();
 
     println!("cold start comparison ({}):", spec.name());
     for (name, r) in [("vanilla vLLM", &vanilla), ("Medusa", &medusa)] {
@@ -87,14 +86,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             parallelism: mode,
             ..Default::default()
         };
-        let (_, r) = cold_start(
-            Strategy::Medusa,
-            &spec,
-            gpu.clone(),
-            cost.clone(),
-            Some(&artifact),
-            opts,
-        )?;
+        let (_, r) = ColdStart::new(&spec)
+            .strategy(Strategy::Medusa)
+            .gpu(gpu.clone())
+            .cost(cost.clone())
+            .options(opts)
+            .artifact(&artifact)
+            .run()?
+            .into_single();
         let path: Vec<String> = r.critical_path.iter().map(|s| format!("{s:?}")).collect();
         println!(
             "  {:<26} loading {:.3}s  work {:.3}s  critical path: {}",

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example tp_shards [tp]`
 
-use medusa::{cold_start_tp, materialize_offline_tp, ColdStartOptions, Stage, Strategy};
+use medusa::{materialize_offline_tp, ColdStart, ColdStartOptions, Stage, Strategy};
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
 
@@ -44,24 +44,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         warm_container: true,
         ..Default::default()
     };
-    let vanilla = cold_start_tp(
-        Strategy::Vanilla,
-        &spec,
-        tp,
-        gpu.clone(),
-        cost.clone(),
-        None,
-        opts,
-    )?;
-    let medusa = cold_start_tp(
-        Strategy::Medusa,
-        &spec,
-        tp,
-        gpu,
-        cost,
-        Some(&artifacts),
-        opts,
-    )?;
+    let vanilla = ColdStart::new(&spec)
+        .strategy(Strategy::Vanilla)
+        .gpu(gpu.clone())
+        .cost(cost.clone())
+        .options(opts)
+        .tp(tp)
+        .run()?;
+    let medusa = ColdStart::new(&spec)
+        .strategy(Strategy::Medusa)
+        .gpu(gpu)
+        .cost(cost)
+        .options(opts)
+        .artifacts(&artifacts)
+        .run()?;
 
     println!("tensor-parallel cold start (instance ready when the slowest rank is):");
     for (name, run) in [("vanilla vLLM", &vanilla), ("Medusa", &medusa)] {

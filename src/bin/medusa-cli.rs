@@ -7,27 +7,31 @@
 //!                        [--artifact artifact.json] [--validate] [--warm]
 //!                        [--triggering <first-layer|handwritten>] [--seed N]
 //! medusa-cli inspect     --artifact artifact.json
+//! medusa-cli validate    --artifact artifact.json [--model <name>]
 //! medusa-cli trace       [--model <name>] [--strategy <vllm|async|medusa|nograph>]
 //!                        [--format <chrome|prom>] [--seed N] [--out FILE]
+//!                        [--faults <spec>] [--fault-seed N]
 //! medusa-cli cluster     [--nodes N] [--seed N] [--model <name>]
 //!                        [--policy <round-robin|least-loaded|coldstart-aware>]
 //!                        [--strategy <vllm|async|medusa|nograph>] [--tp N]
 //!                        [--rps F] [--duration F] [--pattern <poisson|bursty>]
 //!                        [--cached K] [--keep-alive F] [--queue-depth N]
+//!                        [--faults <flaky-registry,node-crash>] [--fault-seed N]
 //!                        [--format <chrome|prom>] [--out FILE] [--telemetry FILE]
 //! ```
 //!
 //! Every number the CLI prints derives from the simulated clock, so any
 //! subcommand re-run with the same flags produces byte-identical output —
-//! including the `cluster` report and its telemetry exports.
+//! including the `cluster` report, its telemetry exports, and any
+//! fault-injected (`--faults`) run.
 
 use medusa::{
-    cold_start, cold_start_traced, materialize_offline, ColdStartOptions, MaterializedState,
-    Parallelism, Stage, Strategy, TriggeringMode,
+    materialize_offline, ArtifactValidator, ColdStart, ColdStartOptions, FaultPlan,
+    MaterializedState, Parallelism, Stage, Strategy, TriggeringMode,
 };
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
-use medusa_serving::{simulate_fleet_traced, ClusterSpec, FleetProfile, Policy};
+use medusa_serving::{simulate_fleet_traced, ClusterFaults, ClusterSpec, FleetProfile, Policy};
 use medusa_workload::{ArrivalPattern, TraceConfig};
 use std::collections::HashMap;
 use std::process::exit;
@@ -44,6 +48,7 @@ fn main() {
         "materialize" => materialize(&flags),
         "coldstart" => coldstart(&flags),
         "inspect" => inspect(&flags),
+        "validate" => validate(&flags),
         "trace" => trace(&flags),
         "cluster" => cluster(&flags),
         other => {
@@ -59,19 +64,25 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: medusa-cli <models|materialize|coldstart|inspect|trace|cluster> [flags]");
+    eprintln!(
+        "usage: medusa-cli <models|materialize|coldstart|inspect|validate|trace|cluster> [flags]"
+    );
     eprintln!("  materialize --model <name> [--out FILE] [--seed N]");
     eprintln!("  coldstart   --model <name> --strategy <vllm|async|medusa|nograph>");
     eprintln!("              [--artifact FILE] [--validate] [--warm]");
     eprintln!("              [--triggering <first-layer|handwritten>] [--seed N]");
     eprintln!("  inspect     --artifact FILE");
+    eprintln!("  validate    --artifact FILE [--model <name>]");
     eprintln!("  trace       [--model <name>] [--strategy <vllm|async|medusa|nograph>]");
     eprintln!("              [--format <chrome|prom>] [--artifact FILE] [--seed N] [--out FILE]");
+    eprintln!("              [--faults corrupt,version-skew,missing-library,...|all]");
+    eprintln!("              [--fault-seed N]");
     eprintln!("  cluster     [--nodes N] [--seed N] [--model <name>] [--tp N]");
     eprintln!("              [--policy <round-robin|least-loaded|coldstart-aware>]");
     eprintln!("              [--strategy <vllm|async|medusa|nograph>]");
     eprintln!("              [--rps F] [--duration F] [--pattern <poisson|bursty>]");
     eprintln!("              [--cached K] [--keep-alive F] [--queue-depth N]");
+    eprintln!("              [--faults <flaky-registry,node-crash>] [--fault-seed N]");
     eprintln!("              [--format <chrome|prom>] [--out FILE] [--telemetry FILE]");
 }
 
@@ -163,6 +174,21 @@ fn load_artifact(flags: &HashMap<String, String>) -> Result<Option<MaterializedS
     }
 }
 
+/// Parses `--faults <spec>` (+ `--fault-seed N`) into a per-instance
+/// [`FaultPlan`]; absent flag means no injection.
+fn fault_plan(flags: &HashMap<String, String>) -> Result<Option<FaultPlan>, String> {
+    let Some(spec) = flags.get("faults") else {
+        return Ok(None);
+    };
+    let fault_seed = flags
+        .get("fault-seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    FaultPlan::parse(spec, fault_seed).map(Some).map_err(|t| {
+        format!("unknown fault `{t}` (corrupt|version-skew|missing-library|truncated-weights|abort|all)")
+    })
+}
+
 fn parse_strategy(flags: &HashMap<String, String>) -> Result<Strategy, String> {
     match flags.get("strategy").map(String::as_str) {
         Some("vllm") | None => Ok(Strategy::Vanilla),
@@ -189,15 +215,21 @@ fn coldstart(flags: &HashMap<String, String>) -> Result<(), String> {
         triggering,
         ..Default::default()
     };
-    let (_engine, report) = cold_start(
-        strategy,
-        &spec,
-        GpuSpec::a100_40gb(),
-        CostModel::default(),
-        artifact.as_ref(),
-        opts,
-    )
-    .map_err(|e| e.to_string())?;
+    let mut builder = ColdStart::new(&spec).strategy(strategy).options(opts);
+    if let Some(a) = &artifact {
+        builder = builder.artifact(a);
+    }
+    if let Some(plan) = fault_plan(flags)? {
+        builder = builder.faults(plan);
+    }
+    let outcome = builder.run().map_err(|e| e.to_string())?;
+    if let Some(fb) = outcome.fallback() {
+        println!(
+            "degraded {} -> vanilla ({}): {}",
+            fb.from, fb.reason, fb.detail
+        );
+    }
+    let report = outcome.report();
     println!(
         "{} cold start of {} (simulated):",
         report.strategy, report.model
@@ -247,16 +279,24 @@ fn trace(flags: &HashMap<String, String>) -> Result<(), String> {
         ..Default::default()
     };
     let tele = medusa_telemetry::Registry::new();
-    let (_engine, report) = cold_start_traced(
-        strategy,
-        &spec,
-        GpuSpec::a100_40gb(),
-        CostModel::default(),
-        artifact.as_ref(),
-        opts,
-        Some(&tele),
-    )
-    .map_err(|e| e.to_string())?;
+    let mut builder = ColdStart::new(&spec)
+        .strategy(strategy)
+        .options(opts)
+        .telemetry(&tele);
+    if let Some(a) = &artifact {
+        builder = builder.artifact(a);
+    }
+    if let Some(plan) = fault_plan(flags)? {
+        builder = builder.faults(plan);
+    }
+    let outcome = builder.run().map_err(|e| e.to_string())?;
+    if let Some(fb) = outcome.fallback() {
+        eprintln!(
+            "degraded {} -> vanilla ({}): {}",
+            fb.from, fb.reason, fb.detail
+        );
+    }
+    let report = outcome.report().clone();
     let snap = tele.snapshot();
     let rendered = match format {
         "chrome" => medusa_telemetry::export::chrome::render(&snap),
@@ -342,10 +382,35 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         seed(flags),
     )
     .map_err(|e| e.to_string())?;
+    let faults = match flags.get("faults") {
+        None => ClusterFaults::default(),
+        Some(spec) => {
+            let mut f = ClusterFaults {
+                seed: flags
+                    .get("fault-seed")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(1),
+                ..Default::default()
+            };
+            for token in spec.split(',').filter(|t| !t.is_empty()) {
+                match token {
+                    "flaky-registry" => f.registry_fail_per_mille = 300,
+                    "node-crash" => f.node_crash_per_mille = 50,
+                    other => {
+                        return Err(format!(
+                            "unknown cluster fault `{other}` (flaky-registry|node-crash)"
+                        ))
+                    }
+                }
+            }
+            f
+        }
+    };
     let cluster_spec = {
         let mut c = ClusterSpec::uniform(nodes)
             .with_tp(tp)
-            .with_cached_prefix(cached);
+            .with_cached_prefix(cached)
+            .with_faults(faults);
         c.autoscaler.keep_alive_s = keep_alive;
         c.autoscaler.target_queue_depth = queue_depth;
         c
@@ -368,6 +433,12 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         "  offered {} / completed {}; cold starts {}; scale-to-zero {}",
         r.offered, r.completed, r.cold_starts, r.scale_to_zero_events
     );
+    if r.fetch_retries + r.degraded_cold_starts + r.node_failures + r.reroutes > 0 {
+        println!(
+            "  faults: fetch retries {}; degraded cold starts {}; node failures {}; reroutes {}",
+            r.fetch_retries, r.degraded_cold_starts, r.node_failures, r.reroutes
+        );
+    }
     println!(
         "  makespan {:.3}s; ttft p50 {:.1}ms / p99 {:.1}ms / mean {:.1}ms",
         r.makespan_ns as f64 / 1e9,
@@ -410,6 +481,42 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("wrote telemetry {path} ({} bytes)", rendered.len());
     }
     Ok(())
+}
+
+/// `validate` — run every [`ArtifactValidator`] check against an artifact
+/// file and print per-check verdicts. Exits non-zero when any check fails.
+fn validate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let artifact = load_artifact(flags)?.ok_or("--artifact is required")?;
+    let name = flags
+        .get("model")
+        .map(String::as_str)
+        .unwrap_or(artifact.model.as_str());
+    let spec = ModelSpec::by_name(name)
+        .ok_or_else(|| format!("unknown model `{name}` (see `medusa-cli models`)"))?;
+    let validator = ArtifactValidator::for_target(&spec, &GpuSpec::a100_40gb())
+        .shard(artifact.rank, artifact.tp);
+    let report = validator.validate(&artifact);
+    println!(
+        "validating artifact <{}, {}> rank {}/{} v{}:",
+        artifact.model, artifact.gpu, artifact.rank, artifact.tp, artifact.version
+    );
+    for (check, verdict) in &report.checks {
+        match verdict {
+            None => println!("  {:<16} ok", check.name()),
+            Some(err) => println!("  {:<16} FAILED: {err}", check.name()),
+        }
+    }
+    match report.first_failure() {
+        None => {
+            println!("artifact is valid");
+            Ok(())
+        }
+        Some((check, err)) => Err(format!(
+            "artifact failed validation at {} ({})",
+            check.name(),
+            err.kind()
+        )),
+    }
 }
 
 fn inspect(flags: &HashMap<String, String>) -> Result<(), String> {

@@ -8,7 +8,7 @@
 //! how the same work is laid out on the timeline.
 
 use medusa::{
-    cold_start, materialize_offline, ColdStartOptions, MaterializedState, Parallelism, ReadyEngine,
+    materialize_offline, ColdStart, ColdStartOptions, MaterializedState, Parallelism, ReadyEngine,
     Strategy,
 };
 use medusa_gpu::{CostModel, GpuSpec, SimTime};
@@ -52,19 +52,16 @@ fn engine_fingerprint(engine: &mut ReadyEngine) -> Vec<u64> {
 #[test]
 fn same_seed_cold_starts_are_byte_identical_per_mode() {
     let artifact = artifact();
+    let s = spec();
     for strategy in [Strategy::Medusa, Strategy::VanillaAsync] {
         for mode in Parallelism::ALL {
             let art = (strategy == Strategy::Medusa).then_some(&artifact);
             let run = || {
-                cold_start(
-                    strategy,
-                    &spec(),
-                    GpuSpec::a100_40gb(),
-                    CostModel::default(),
-                    art,
-                    opts(mode),
-                )
-                .expect("cold start")
+                let mut builder = ColdStart::new(&s).strategy(strategy).options(opts(mode));
+                if let Some(a) = art {
+                    builder = builder.artifact(a);
+                }
+                builder.run().expect("cold start").into_single()
             };
             let (mut engine_a, report_a) = run();
             let (mut engine_b, report_b) = run();
@@ -91,15 +88,13 @@ fn same_seed_cold_starts_are_byte_identical_per_mode() {
 fn medusa_serial_and_overlapped_agree_on_work_but_not_wall_clock() {
     let artifact = artifact();
     let run = |mode| {
-        let (_, report) = cold_start(
-            Strategy::Medusa,
-            &spec(),
-            GpuSpec::a100_40gb(),
-            CostModel::default(),
-            Some(&artifact),
-            opts(mode),
-        )
-        .expect("cold start");
+        let (_, report) = ColdStart::new(&spec())
+            .strategy(Strategy::Medusa)
+            .artifact(&artifact)
+            .options(opts(mode))
+            .run()
+            .expect("cold start")
+            .into_single();
         report
     };
     let serial = run(Parallelism::Serial);
@@ -133,15 +128,12 @@ fn vanilla_async_interference_inflates_work_but_overlap_still_wins() {
     // serial — yet the cold start still finishes earlier because the rest
     // of the pipeline hides it (Fig. 8b).
     let run = |mode| {
-        let (_, report) = cold_start(
-            Strategy::VanillaAsync,
-            &spec(),
-            GpuSpec::a100_40gb(),
-            CostModel::default(),
-            None,
-            opts(mode),
-        )
-        .expect("cold start");
+        let (_, report) = ColdStart::new(&spec())
+            .strategy(Strategy::VanillaAsync)
+            .options(opts(mode))
+            .run()
+            .expect("cold start")
+            .into_single();
         report
     };
     let serial = run(Parallelism::Serial);

@@ -4,7 +4,7 @@
 //! observably fail.
 
 use medusa::{
-    cold_start, materialize_offline, replay_allocations, restore_graph, ColdStartOptions,
+    materialize_offline, replay_allocations, restore_graph, ColdStart, ColdStartOptions,
     KernelResolver, MaterializedState, MedusaError, Strategy,
 };
 use medusa_gpu::{CostModel, GpuError, GpuSpec, ProcessRuntime};
@@ -68,26 +68,27 @@ fn restoration_without_triggering_kernels_is_incomplete() {
 }
 
 /// Copy-free contents restoration is load-bearing: dropping the permanent
-/// (magic) buffer contents from the artifact makes validation fail (§4.3).
+/// (magic) buffer contents from the artifact makes validation fail (§4.3)
+/// — and the builder degrades that cold start to the vanilla path rather
+/// than erroring out (§7).
 #[test]
 fn missing_permanent_contents_fail_validation() {
     let mut art = artifact(5);
     assert!(!art.permanent_contents.is_empty());
     art.permanent_contents.clear();
-    let err = cold_start(
-        Strategy::Medusa,
-        &spec(),
-        GpuSpec::a100_40gb(),
-        CostModel::default(),
-        Some(&art),
-        ColdStartOptions {
-            seed: 6,
-            validate: true,
-            ..Default::default()
-        },
-    )
-    .expect_err("validation must catch missing magic contents");
-    assert!(matches!(err, MedusaError::ValidationFailed { .. }), "{err}");
+    // Skip the pre-restore artifact checks so the runtime validation
+    // forwardings (§8) are what catches the corruption.
+    let outcome = ColdStart::new(&spec())
+        .strategy(Strategy::Medusa)
+        .artifact(&art)
+        .validate_artifact(false)
+        .validate_graphs(true)
+        .seed(6)
+        .run()
+        .expect("degrades instead of erroring");
+    assert_eq!(outcome.strategy_used(), Strategy::Vanilla);
+    let fb = outcome.fallback().expect("fallback recorded");
+    assert_eq!(fb.reason, "validation_failed", "{}", fb.detail);
 }
 
 /// Without validation the same broken artifact restores silently — the
@@ -102,24 +103,19 @@ fn missing_permanent_contents_change_outputs_silently() {
         seed: 8,
         ..Default::default()
     };
-    let (mut bad_engine, _) = cold_start(
-        Strategy::Medusa,
-        &spec(),
-        GpuSpec::a100_40gb(),
-        CostModel::default(),
-        Some(&art),
-        opts,
-    )
-    .expect("restores without validation");
-    let (mut good_engine, _) = cold_start(
-        Strategy::Medusa,
-        &spec(),
-        GpuSpec::a100_40gb(),
-        CostModel::default(),
-        Some(&good),
-        opts,
-    )
-    .expect("restores");
+    // Both validation layers off: the point is the *silent* corruption.
+    let restore = |a: &MaterializedState| {
+        ColdStart::new(&spec())
+            .strategy(Strategy::Medusa)
+            .artifact(a)
+            .validate_artifact(false)
+            .options(opts)
+            .run()
+            .expect("restores without validation")
+            .into_single()
+    };
+    let (mut bad_engine, _) = restore(&art);
+    let (mut good_engine, _) = restore(&good);
     let kv_b = bad_engine.kv_view();
     let kv_g = good_engine.kv_view();
     medusa::reset_kv_state(&mut bad_engine.rt, &kv_b).expect("reset");
@@ -158,15 +154,13 @@ fn artifact_roundtrip_restores_identically() {
         ..Default::default()
     };
     let run = |a: &MaterializedState| {
-        let (mut e, r) = cold_start(
-            Strategy::Medusa,
-            &spec(),
-            GpuSpec::a100_40gb(),
-            CostModel::default(),
-            Some(a),
-            opts,
-        )
-        .expect("cold start");
+        let (mut e, r) = ColdStart::new(&spec())
+            .strategy(Strategy::Medusa)
+            .artifact(a)
+            .options(opts)
+            .run()
+            .expect("cold start")
+            .into_single();
         let kv = e.kv_view();
         medusa::reset_kv_state(&mut e.rt, &kv).expect("reset");
         let out = medusa_model::decode_step_with_graph(&mut e.rt, &e.inst, &e.graphs[3].1, 8, 12)
@@ -195,15 +189,13 @@ fn offline_seed_does_not_leak_into_restored_behaviour() {
         ..Default::default()
     };
     let out = |a: &MaterializedState, seed: u64| {
-        let (mut e, _) = cold_start(
-            Strategy::Medusa,
-            &spec(),
-            GpuSpec::a100_40gb(),
-            CostModel::default(),
-            Some(a),
-            ColdStartOptions { seed, ..opts },
-        )
-        .expect("cold start");
+        let (mut e, _) = ColdStart::new(&spec())
+            .strategy(Strategy::Medusa)
+            .artifact(a)
+            .options(ColdStartOptions { seed, ..opts })
+            .run()
+            .expect("cold start")
+            .into_single();
         let kv = e.kv_view();
         medusa::reset_kv_state(&mut e.rt, &kv).expect("reset");
         medusa_model::decode_step_with_graph(&mut e.rt, &e.inst, &e.graphs[0].1, 1, 13)

@@ -6,7 +6,7 @@
 //! validation forwarding detects it and the correction pass repairs it.
 
 use medusa::{
-    cold_start, materialize_offline, ColdStartOptions, MaterializedState, ParamSpec, Strategy,
+    materialize_offline, ColdStart, ColdStartOptions, MaterializedState, ParamSpec, Strategy,
 };
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
@@ -54,19 +54,19 @@ fn validation_corrects_injected_false_positive() {
     let (mut artifact, _) =
         materialize_offline(&s, GpuSpec::a100_40gb(), CostModel::default(), 31).expect("offline");
     let (ni, pi) = poison(&mut artifact);
-    let (mut engine, _) = cold_start(
-        Strategy::Medusa,
-        &s,
-        GpuSpec::a100_40gb(),
-        CostModel::default(),
-        Some(&artifact),
-        ColdStartOptions {
-            seed: 32,
-            validate: true,
-            ..Default::default()
-        },
-    )
-    .expect("correction must repair the artifact");
+    // The pre-restore checksum check would reject the tampered copy before
+    // correction gets a chance — skip it so the validation forwardings and
+    // the correction pass are what run.
+    let outcome = ColdStart::new(&s)
+        .strategy(Strategy::Medusa)
+        .artifact(&artifact)
+        .validate_artifact(false)
+        .validate_graphs(true)
+        .seed(32)
+        .run()
+        .expect("correction must repair the artifact");
+    assert!(outcome.fallback().is_none(), "repaired, not degraded");
+    let (mut engine, _) = outcome.into_single();
     // Sanity: the corrected engine still decodes deterministically.
     let kv = engine.kv_view();
     medusa::reset_kv_state(&mut engine.rt, &kv).expect("reset");
@@ -96,15 +96,14 @@ fn unvalidated_false_positive_corrupts_outputs() {
         ..Default::default()
     };
     let out_of = |a: &MaterializedState| {
-        let (mut e, _) = cold_start(
-            Strategy::Medusa,
-            &s,
-            GpuSpec::a100_40gb(),
-            CostModel::default(),
-            Some(a),
-            opts,
-        )
-        .expect("restores without validation");
+        let (mut e, _) = ColdStart::new(&s)
+            .strategy(Strategy::Medusa)
+            .artifact(a)
+            .validate_artifact(false)
+            .options(opts)
+            .run()
+            .expect("restores without validation")
+            .into_single();
         let kv = e.kv_view();
         medusa::reset_kv_state(&mut e.rt, &kv).expect("reset");
         medusa_model::decode_step_with_graph(&mut e.rt, &e.inst, &e.graphs[0].1, 1, 41)
@@ -115,7 +114,8 @@ fn unvalidated_false_positive_corrupts_outputs() {
 }
 
 /// An unmatchable poisoned pointer (dead allocation index) fails loudly at
-/// restore time rather than silently.
+/// restore time rather than silently — and the builder records exactly that
+/// failure while degrading the cold start to the vanilla path.
 #[test]
 fn poisoned_pointer_to_dead_allocation_fails_restore() {
     let s = spec();
@@ -136,20 +136,14 @@ fn poisoned_pointer_to_dead_allocation_fails_restore() {
     } else {
         panic!("expected first param of first node to be a pointer");
     }
-    let err = cold_start(
-        Strategy::Medusa,
-        &s,
-        GpuSpec::a100_40gb(),
-        CostModel::default(),
-        Some(&artifact),
-        ColdStartOptions {
-            seed: 36,
-            ..Default::default()
-        },
-    )
-    .expect_err("restore must fail");
-    assert!(
-        matches!(err, medusa::MedusaError::UnmatchedPointer { .. }),
-        "{err}"
-    );
+    let outcome = ColdStart::new(&s)
+        .strategy(Strategy::Medusa)
+        .artifact(&artifact)
+        .validate_artifact(false)
+        .seed(36)
+        .run()
+        .expect("degrades to vanilla instead of erroring");
+    assert_eq!(outcome.strategy_used(), Strategy::Vanilla);
+    let fb = outcome.fallback().expect("restore failure recorded");
+    assert_eq!(fb.reason, "unmatched_pointer", "{}", fb.detail);
 }

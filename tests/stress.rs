@@ -5,7 +5,7 @@
 //! up as a timing or span divergence.
 
 use medusa::{
-    cold_start, materialize_offline, ColdStartOptions, MaterializedState, Parallelism, Strategy,
+    materialize_offline, ColdStart, ColdStartOptions, MaterializedState, Parallelism, Strategy,
 };
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
@@ -28,15 +28,12 @@ fn run_one(
         parallelism: mode,
         ..Default::default()
     };
-    let (_, report) = cold_start(
-        strategy,
-        &spec(),
-        GpuSpec::a100_40gb(),
-        CostModel::default(),
-        artifact,
-        opts,
-    )
-    .expect("cold start");
+    let s = spec();
+    let mut builder = ColdStart::new(&s).strategy(strategy).options(opts);
+    if let Some(a) = artifact {
+        builder = builder.artifact(a);
+    }
+    let (_, report) = builder.run().expect("cold start").into_single();
     serde_json::to_string(&report).expect("encode report")
 }
 

@@ -6,8 +6,8 @@
 use std::collections::HashMap;
 
 use medusa::{
-    cold_start_tp_traced, cold_start_traced, materialize_offline, materialize_offline_tp_with,
-    ColdStartOptions, Parallelism, Strategy,
+    materialize_offline, materialize_offline_tp_with, ColdStart, ColdStartOptions, Parallelism,
+    Strategy,
 };
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
@@ -26,19 +26,14 @@ fn traced_cold_start() -> (Snapshot, medusa::ColdStartReport) {
     let (artifact, _) =
         materialize_offline(&s, GpuSpec::a100_40gb(), CostModel::default(), SEED).expect("offline");
     let tele = Registry::new();
-    let (_engine, report) = cold_start_traced(
-        Strategy::Medusa,
-        &s,
-        GpuSpec::a100_40gb(),
-        CostModel::default(),
-        Some(&artifact),
-        ColdStartOptions {
-            seed: SEED,
-            ..Default::default()
-        },
-        Some(&tele),
-    )
-    .expect("cold start");
+    let (_engine, report) = ColdStart::new(&s)
+        .strategy(Strategy::Medusa)
+        .artifact(&artifact)
+        .seed(SEED)
+        .telemetry(&tele)
+        .run()
+        .expect("cold start")
+        .into_single();
     (tele.snapshot(), report)
 }
 
@@ -58,22 +53,20 @@ fn traced_tp_cold_start() -> Snapshot {
     )
     .expect("tp offline");
     let tele = Registry::new();
-    cold_start_tp_traced(
-        Strategy::Medusa,
-        &s,
-        2,
-        gpu,
-        cost,
-        Some(&arts),
-        ColdStartOptions {
+    ColdStart::new(&s)
+        .strategy(Strategy::Medusa)
+        .gpu(gpu)
+        .cost(cost)
+        .options(ColdStartOptions {
             seed: SEED + 1,
             warm_container: true,
             parallelism: Parallelism::PipelinedTp,
             ..Default::default()
-        },
-        Some(&tele),
-    )
-    .expect("tp cold start");
+        })
+        .artifacts(&arts)
+        .telemetry(&tele)
+        .run()
+        .expect("tp cold start");
     tele.snapshot()
 }
 
