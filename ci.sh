@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, rustdoc, the full test suite, the
-# deterministic perf-smoke regression gates (per-instance cold start and
-# fleet scenario), every example end-to-end, the proptest regression-corpus
-# check, and the concurrency stress test (sized for --release, hence run
-# separately).
+# event-core golden differential gate, the deterministic perf-smoke
+# regression gates (per-instance cold start and fleet scenario), the
+# large-fleet scale smoke (wall-clock budget), every example end-to-end,
+# the proptest regression-corpus check, and the concurrency stress test
+# (sized for --release, hence run separately).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -55,6 +56,18 @@ echo "    carve-out respected"
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> event-core differential gate (golden ClusterReports)"
+# Regenerate the seed x scheduler x fault matrix into a scratch dir and
+# byte-diff against the committed oracle; any observable change to the
+# fleet simulator's semantics must re-commit results/golden/ on purpose.
+cargo run -q -p medusa-bench --bin ci-check-bench -- golden target/golden-check
+if ! diff -ru results/golden target/golden-check >target/golden.diff; then
+  echo "FAIL: event core diverged from committed golden reports:"
+  cat target/golden.diff
+  exit 1
+fi
+echo "    all golden reports byte-identical"
+
 echo "==> fault-injection matrix (debug + release)"
 cargo test -q --test faults
 cargo test --release -q --test faults
@@ -76,6 +89,9 @@ cargo run -q -p medusa-bench --bin ci-check-bench -- \
   compare target/BENCH_coldstart.json results/BENCH_coldstart.json
 cargo run -q -p medusa-bench --bin ci-check-bench -- \
   compare-cluster target/BENCH_cluster.json results/BENCH_cluster.json
+
+echo "==> large-fleet scale smoke (release, wall-clock budget)"
+cargo run --release -q -p medusa-bench --bin ci-check-bench -- scale-smoke --budget-s 120
 
 echo "==> stress test (release)"
 CORES="$(cargo run -q -p medusa-bench --bin ci-check-bench -- cores)"

@@ -4,6 +4,8 @@
 //! ci-check-bench cores
 //! ci-check-bench compare         <fresh.json> <baseline.json> [--tolerance-pct N]
 //! ci-check-bench compare-cluster <fresh.json> <baseline.json> [--tolerance-pct N]
+//! ci-check-bench golden          <out-dir>
+//! ci-check-bench scale-smoke     [--budget-s N] [--nodes N] [--rps N]
 //! ```
 //!
 //! `cores` prints the host's available parallelism (CI uses it to decide
@@ -13,10 +15,25 @@
 //! the tolerance (default 5%). `compare-cluster` does the same for
 //! `BENCH_cluster.json` (Medusa-fleet TTFT p99 and makespan, plus the
 //! medusa-beats-vanilla invariant).
+//!
+//! `golden` writes one `ClusterReport` JSON per scenario of the
+//! differential matrix ([`medusa_serving::scenarios`]) into `<out-dir>` —
+//! CI regenerates them into a scratch directory and diffs against the
+//! committed `results/golden/`, so any change to the fleet simulator's
+//! observable semantics fails loudly with a readable report diff.
+//!
+//! `scale-smoke` runs the large-fleet scenario (1000 nodes, 10k rps by
+//! default) on both a Medusa and a vanilla fleet, asserts the
+//! medusa-beats-vanilla TTFT invariant still holds at that scale, and
+//! fails when the wall-clock exceeds the budget (default 120 s) — the
+//! event core's "millions of events in wall-clock seconds" contract.
 
 use medusa_bench::smoke::{
-    check_cluster_regression, check_regression, BenchCluster, BenchColdstart,
+    check_cluster_regression, check_regression, check_scale, run_scale, BenchCluster,
+    BenchColdstart, SCALE_BUDGET_S, SCALE_NODES, SCALE_RPS,
 };
+use medusa_serving::scenarios::differential_matrix;
+use medusa_serving::simulate_fleet;
 use std::process::exit;
 
 fn main() {
@@ -40,10 +57,22 @@ fn main() {
                 exit(1);
             }
         }
+        Some("golden") => {
+            if let Err(e) = golden(&args[1..]) {
+                eprintln!("ci-check-bench: FAIL: {e}");
+                exit(1);
+            }
+        }
+        Some("scale-smoke") => {
+            if let Err(e) = scale_smoke(&args[1..]) {
+                eprintln!("ci-check-bench: FAIL: {e}");
+                exit(1);
+            }
+        }
         _ => {
             eprintln!(
-                "usage: ci-check-bench <cores|compare|compare-cluster> \
-                 [<fresh.json> <baseline.json> [--tolerance-pct N]]"
+                "usage: ci-check-bench <cores|compare|compare-cluster|golden|scale-smoke> \
+                 [args]"
             );
             exit(2);
         }
@@ -78,6 +107,50 @@ fn compare(args: &[String], cluster: bool) -> Result<(), String> {
             .map_err(|e| parse_err(baseline_path, e))?;
         check_regression(&fresh, &baseline, tolerance)?
     };
+    println!("ci-check-bench: OK: {verdict}");
+    Ok(())
+}
+
+/// Writes one report JSON per differential-matrix scenario into `dir`.
+fn golden(args: &[String]) -> Result<(), String> {
+    let [dir] = args else {
+        return Err("golden needs <out-dir>".into());
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+    let matrix = differential_matrix();
+    for s in &matrix {
+        let out = simulate_fleet(&s.profile, &s.cluster, s.policy, &s.trace);
+        let path = format!("{dir}/{}.json", s.name);
+        let mut json = out.report.to_json();
+        json.push('\n');
+        std::fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    println!(
+        "ci-check-bench: OK: wrote {} golden reports to {dir}",
+        matrix.len()
+    );
+    Ok(())
+}
+
+/// Runs the large-fleet scale scenario under a wall-clock budget.
+fn scale_smoke(args: &[String]) -> Result<(), String> {
+    let mut budget_s = SCALE_BUDGET_S;
+    let mut nodes = SCALE_NODES;
+    let mut rps = SCALE_RPS;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--budget-s" => budget_s = v.parse().map_err(|e| format!("bad --budget-s: {e}"))?,
+            "--nodes" => nodes = v.parse().map_err(|e| format!("bad --nodes: {e}"))?,
+            "--rps" => rps = v.parse().map_err(|e| format!("bad --rps: {e}"))?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let start = std::time::Instant::now();
+    let scale = run_scale(nodes, rps);
+    let elapsed = start.elapsed().as_secs_f64();
+    let verdict = check_scale(&scale, elapsed, budget_s)?;
     println!("ci-check-bench: OK: {verdict}");
     Ok(())
 }

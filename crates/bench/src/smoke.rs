@@ -10,7 +10,7 @@
 use medusa::{materialize_offline_tp_with, ColdStart, ColdStartOptions, Parallelism, Strategy};
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
-use medusa_serving::{simulate_fleet_traced, ClusterSpec, FleetProfile, Policy};
+use medusa_serving::{simulate_fleet, simulate_fleet_traced, ClusterSpec, FleetProfile, Policy};
 use medusa_telemetry::Registry;
 use medusa_workload::{ArrivalPattern, TraceConfig};
 use serde::{Deserialize, Serialize};
@@ -336,6 +336,128 @@ pub fn check_cluster_regression(
         fresh.medusa_makespan_us,
         baseline.medusa_makespan_us,
         tolerance_pct
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Large-fleet scale smoke (event-core throughput gate).
+
+/// Fleet size of the scale scenario.
+pub const SCALE_NODES: usize = 1000;
+/// Offered rate of the scale scenario, requests/second.
+pub const SCALE_RPS: u64 = 10_000;
+/// Trace duration of the scale scenario, seconds.
+pub const SCALE_DURATION_S: u64 = 100;
+/// Trace seed of the scale scenario.
+pub const SCALE_SEED: u64 = 77;
+/// Default wall-clock budget of the CI scale-smoke step, seconds.
+pub const SCALE_BUDGET_S: f64 = 120.0;
+
+/// Result of one large-fleet scale run: the same interactive trace
+/// replayed on a Medusa fleet and a vanilla fleet at thousand-node scale.
+/// Simulated-clock metrics are byte-deterministic; the wall-clock budget
+/// is checked by the caller ([`check_scale`]), since wall time is the one
+/// number that legitimately varies across hosts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchScale {
+    /// Fleet size.
+    pub nodes: usize,
+    /// Offered rate, requests/second.
+    pub rps: u64,
+    /// Requests in the trace.
+    pub offered: usize,
+    /// Events processed by the Medusa-side event loop.
+    pub medusa_events: u64,
+    /// Medusa-fleet completions before the horizon.
+    pub medusa_completed: usize,
+    /// Medusa-fleet cold starts.
+    pub medusa_cold_starts: u32,
+    /// Medusa-fleet TTFT p99, µs.
+    pub medusa_ttft_p99_us: u64,
+    /// Vanilla-fleet completions before the horizon.
+    pub vanilla_completed: usize,
+    /// Vanilla-fleet TTFT p99, µs.
+    pub vanilla_ttft_p99_us: u64,
+}
+
+/// Runs the large-fleet scale scenario: `nodes` workers under an
+/// interactive trace at `rps` requests/s for [`SCALE_DURATION_S`]
+/// simulated seconds, Medusa (caches pre-seeded per §6) vs vanilla.
+pub fn run_scale(nodes: usize, rps: u64) -> BenchScale {
+    let spec = ModelSpec::by_name(MODEL).expect("catalog model");
+    let profile = |strategy| {
+        FleetProfile::measure(
+            strategy,
+            &spec,
+            GpuSpec::a100_40gb(),
+            CostModel::default(),
+            1,
+            Parallelism::Overlapped,
+            SCALE_SEED,
+        )
+        .expect("fleet profile")
+    };
+    let trace = TraceConfig::interactive(rps as f64, SCALE_DURATION_S as f64)
+        .with_seed(SCALE_SEED)
+        .generate();
+    let cluster = ClusterSpec::uniform(nodes).with_cached_prefix(nodes);
+    let medusa = simulate_fleet(
+        &profile(Strategy::Medusa),
+        &cluster,
+        Policy::ColdStartAware,
+        &trace,
+    );
+    let vanilla = simulate_fleet(
+        &profile(Strategy::Vanilla),
+        &cluster,
+        Policy::ColdStartAware,
+        &trace,
+    );
+    BenchScale {
+        nodes,
+        rps,
+        offered: trace.len(),
+        medusa_events: medusa.stats.events_processed,
+        medusa_completed: medusa.report.completed,
+        medusa_cold_starts: medusa.report.cold_starts,
+        medusa_ttft_p99_us: medusa.report.ttft_p99_us,
+        vanilla_completed: vanilla.report.completed,
+        vanilla_ttft_p99_us: vanilla.report.ttft_p99_us,
+    }
+}
+
+/// Gates one scale run: all requests served, the medusa-beats-vanilla
+/// TTFT invariant at fleet scale, and the wall-clock budget.
+pub fn check_scale(scale: &BenchScale, elapsed_s: f64, budget_s: f64) -> Result<String, String> {
+    if scale.medusa_completed != scale.offered {
+        return Err(format!(
+            "medusa fleet dropped requests at scale: completed {} of {}",
+            scale.medusa_completed, scale.offered
+        ));
+    }
+    if scale.medusa_ttft_p99_us >= scale.vanilla_ttft_p99_us {
+        return Err(format!(
+            "medusa fleet no longer beats vanilla on TTFT p99 at {} nodes: {} µs vs {} µs",
+            scale.nodes, scale.medusa_ttft_p99_us, scale.vanilla_ttft_p99_us
+        ));
+    }
+    if elapsed_s > budget_s {
+        return Err(format!(
+            "scale run blew the wall-clock budget: {elapsed_s:.1} s for both fleets \
+             (budget {budget_s:.1} s, {} events medusa-side)",
+            scale.medusa_events
+        ));
+    }
+    Ok(format!(
+        "{} nodes, {} requests, {} medusa-side events in {elapsed_s:.1} s wall \
+         ({:.0} events/s); medusa ttft p99 {} µs vs vanilla {} µs; {} cold starts",
+        scale.nodes,
+        scale.offered,
+        scale.medusa_events,
+        scale.medusa_events as f64 / elapsed_s.max(1e-9),
+        scale.medusa_ttft_p99_us,
+        scale.vanilla_ttft_p99_us,
+        scale.medusa_cold_starts
     ))
 }
 

@@ -29,10 +29,18 @@
 //! fetch — they have nothing materialized to fetch — but reload from
 //! scratch every time.
 //!
-//! Everything runs on the simulated clock with a deterministic event
-//! order, so same-trace runs produce **byte-identical** reports and
-//! telemetry exports — which is what lets CI gate this layer.
+//! The whole layer runs on the discrete-event core in [`crate::event`]:
+//! one [`EventQueue`] keyed by `(sim_time, seq)` drives every state
+//! transition through a typed [`FleetEvent`], same-timestamp events fire
+//! in insertion order, and retractable futures (keep-alive expiries,
+//! crashed starts' stage completions) are cancelled instead of firing
+//! stale. The deterministic event order makes same-trace runs produce
+//! **byte-identical** reports and telemetry exports — which is what lets
+//! CI gate this layer — and the handler structure keeps the per-event
+//! cost flat, so thousand-node, multi-million-event fleets simulate in
+//! wall-clock seconds.
 
+use crate::event::{EventQueue, EventToken, FleetEvent};
 use crate::params::PerfModel;
 use medusa::{
     materialize_offline, ColdStart, ColdStartOptions, MedusaResult, Parallelism, Strategy,
@@ -42,8 +50,7 @@ use medusa_model::ModelSpec;
 use medusa_telemetry::Registry;
 use medusa_workload::{fingerprint, Request};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// Modeled fabric bandwidth for registry fetches, bytes/second (10 Gb/s —
 /// the materialized `<GPU type, model type>` entry streams weights plus
@@ -81,6 +88,13 @@ pub struct AutoscalerConfig {
     /// Unplaced backlog per live node above which the autoscaler starts
     /// the cheapest cold node.
     pub target_queue_depth: usize,
+    /// Optional periodic autoscaler cadence, seconds: when set, a
+    /// recurring [`FleetEvent::ScaleDecision`] re-evaluates the backlog on
+    /// this interval, decoupling scale-up from arrival events. `None`
+    /// (the default) keeps the purely reactive behavior — the event
+    /// schedule, and therefore the report, is byte-identical to the
+    /// pre-event-core simulator.
+    pub eval_interval_s: Option<f64>,
 }
 
 impl Default for AutoscalerConfig {
@@ -89,6 +103,7 @@ impl Default for AutoscalerConfig {
             keep_alive_s: 60.0,
             scale_to_zero: true,
             target_queue_depth: 4,
+            eval_interval_s: None,
         }
     }
 }
@@ -635,6 +650,29 @@ impl ClusterReport {
     }
 }
 
+/// Execution statistics of one fleet simulation — *not* part of the
+/// serialized [`ClusterReport`] (so the byte-identity contract is
+/// unaffected), but useful for throughput gates and conservation checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetStats {
+    /// Events the simulation loop processed.
+    pub events_processed: u64,
+    /// Events retracted before firing (cancelled keep-alives, crashed
+    /// starts' stage completions).
+    pub events_cancelled: u64,
+    /// Arrival events handled before the horizon (≤ `offered`).
+    pub arrived: usize,
+    /// Requests still in the global queue when the simulation stopped.
+    pub queued_at_end: usize,
+    /// Requests pending or running on nodes when the simulation stopped.
+    pub in_flight_at_end: usize,
+    /// Nodes still mid-cold-start when the simulation stopped.
+    pub starting_nodes_at_end: usize,
+    /// Whether the run stopped at the drain horizon with events still
+    /// pending (as opposed to draining the queue dry).
+    pub horizon_truncated: bool,
+}
+
 /// Full outcome of one fleet simulation: the serializable report plus the
 /// raw per-request TTFT samples (completion order) for analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -643,24 +681,25 @@ pub struct FleetOutcome {
     pub report: ClusterReport,
     /// Per-request TTFT samples.
     pub ttfts: Vec<SimDuration>,
+    /// Execution statistics (event counts etc.).
+    pub stats: FleetStats,
+}
+
+impl FleetOutcome {
+    /// Request-conservation residual: arrivals minus completions minus
+    /// everything still queued or in flight at the end. Zero iff no
+    /// request was lost or double-counted — the fuzz harness asserts this
+    /// over adversarial workloads.
+    pub fn conservation_residual(&self) -> i64 {
+        self.stats.arrived as i64
+            - self.report.completed as i64
+            - self.stats.queued_at_end as i64
+            - self.stats.in_flight_at_end as i64
+    }
 }
 
 // ---------------------------------------------------------------------
 // The simulator.
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Ev {
-    Arrive(usize),
-    /// Cold start finished. Carries the node's start epoch: a crash bumps
-    /// the epoch, so a ready event from a crashed start is stale and
-    /// ignored.
-    NodeReady(usize, u32),
-    /// Node crashes mid-cold-start (same-epoch guard as `NodeReady`).
-    NodeCrash(usize, u32),
-    TryStart(usize),
-    IterEnd(usize),
-    IdleCheck(usize),
-}
 
 /// splitmix64 — the fleet's deterministic fault-decision hash.
 fn mix(seed: u64) -> u64 {
@@ -696,11 +735,21 @@ struct Node {
     served: u32,
     busy_ns: u64,
     work_ns: u64,
-    /// Bumped on every crash; stale `NodeReady` events are ignored.
+    /// Bumped on every crash; stale stage events are ignored (and
+    /// retracted via their tokens, so they normally never even fire).
     epoch: u32,
     /// Whether the in-flight cold start degraded to the vanilla path
     /// (registry budget exhausted) — a degraded start populates no cache.
     degraded_start: bool,
+    /// Pending [`FleetEvent::KeepAliveExpiry`]; retracted the moment work
+    /// lands on the node, so a cancelled expiry never fires.
+    keep_alive: Option<EventToken>,
+    /// Pending [`FleetEvent::RegistryFetchDone`] of the in-flight cold
+    /// start (Medusa cache-miss starts only); retracted on crash.
+    stage_fetch: Option<EventToken>,
+    /// Pending [`FleetEvent::ColdStartStageDone`] of the in-flight cold
+    /// start; retracted on crash.
+    stage_ready: Option<EventToken>,
 }
 
 impl Node {
@@ -720,6 +769,9 @@ impl Node {
             work_ns: 0,
             epoch: 0,
             degraded_start: false,
+            keep_alive: None,
+            stage_fetch: None,
+            stage_ready: None,
         }
     }
 
@@ -747,15 +799,25 @@ fn kv_need(r: &Request) -> u64 {
     r.prompt_tokens as u64 + r.output_tokens as u64
 }
 
-struct Sim<'a> {
+/// The fleet simulator's mutable state. Every transition happens inside
+/// the handler of exactly one [`FleetEvent`]; handlers communicate only
+/// by scheduling further events on `events`.
+struct FleetSim<'a> {
     profile: &'a FleetProfile,
     cluster: &'a ClusterSpec,
     trace: &'a [Request],
     tele: Option<&'a Registry>,
     nodes: Vec<Node>,
     queue: VecDeque<usize>,
-    events: BinaryHeap<Reverse<(u64, u64, Ev)>>,
-    seq: u64,
+    events: EventQueue<FleetEvent>,
+    /// Nodes not `Cold`, maintained incrementally so the autoscaler's
+    /// backlog check is O(1) per drained request instead of O(nodes).
+    live: usize,
+    /// Scratch buffer for [`NodeView`]s, reused across routing decisions
+    /// so a thousand-node fleet doesn't allocate per request.
+    views_buf: Vec<NodeView>,
+    keep_alive_ns: u64,
+    arrived: usize,
     ttfts: Vec<SimDuration>,
     completed: usize,
     makespan_ns: u64,
@@ -767,23 +829,20 @@ struct Sim<'a> {
     reroutes: u32,
 }
 
-impl Sim<'_> {
-    fn push(&mut self, t: u64, ev: Ev) {
-        self.events.push(Reverse((t, self.seq, ev)));
-        self.seq += 1;
-    }
-
-    fn views_for(&self, need: u64) -> Vec<NodeView> {
-        self.nodes
-            .iter()
-            .map(|n| {
-                n.view(
-                    need,
-                    self.cluster.max_running,
-                    self.profile.perf.kv_capacity_tokens,
-                )
-            })
-            .collect()
+impl FleetSim<'_> {
+    /// Fills the scratch view buffer for one routing decision; the caller
+    /// hands the buffer back by assigning to `views_buf`.
+    fn fill_views(&mut self, need: u64) -> Vec<NodeView> {
+        let mut views = std::mem::take(&mut self.views_buf);
+        views.clear();
+        views.extend(self.nodes.iter().map(|n| {
+            n.view(
+                need,
+                self.cluster.max_running,
+                self.profile.perf.kv_capacity_tokens,
+            )
+        }));
+        views
     }
 
     /// Begins a cold start on node `i` at time `t`.
@@ -796,6 +855,7 @@ impl Sim<'_> {
         node.state = NodeState::Starting;
         node.cold_starts += 1;
         self.cold_starts += 1;
+        self.live += 1;
         let node = &mut self.nodes[i];
 
         // Registry fetch under the resilience policy: each failed attempt
@@ -872,19 +932,36 @@ impl Sim<'_> {
             );
         }
         // A crashing start schedules its crash midway; the crash bumps the
-        // epoch, so the ready event below arrives stale and is dropped.
+        // epoch and retracts the stage events below.
         if faults.node_crash_per_mille > 0 {
             let roll = roll_per_mille(faults.seed ^ 0xc7a5_11fe, i, self.nodes[i].cold_starts, 0);
             if roll < faults.node_crash_per_mille {
                 let crash_at = t + (retry_ns + makespan.as_nanos()) / 2;
-                self.push(crash_at, Ev::NodeCrash(i, epoch));
+                self.events
+                    .schedule(crash_at, FleetEvent::NodeCrash { node: i, epoch });
             }
         }
-        self.push(ready, Ev::NodeReady(i, epoch));
+        // The start's whole stage timeline is determined here (every fault
+        // roll happens at start time), so both stages go on the queue now:
+        // the registry fetch (cache-miss Medusa starts only), then the
+        // restore whose completion makes the node ready.
+        let fetch_tok = (needs_fetch && !degraded).then(|| {
+            self.events.schedule(
+                t + retry_ns + self.profile.fetch.as_nanos(),
+                FleetEvent::RegistryFetchDone { node: i, epoch },
+            )
+        });
+        let ready_tok = self
+            .events
+            .schedule(ready, FleetEvent::ColdStartStageDone { node: i, epoch });
+        let node = &mut self.nodes[i];
+        node.stage_fetch = fetch_tok;
+        node.stage_ready = Some(ready_tok);
     }
 
     /// Places request `r` on node `i` at time `t` (cold-starting first
-    /// when needed) and records the scheduler-decision span.
+    /// when needed), retracts the node's keep-alive countdown, and records
+    /// the scheduler-decision span.
     fn place(&mut self, t: u64, r: usize, i: usize) {
         if self.nodes[i].state == NodeState::Cold {
             self.start_cold(t, i);
@@ -894,6 +971,11 @@ impl Sim<'_> {
         node.kv_tokens += need;
         node.idle_since = None;
         node.pending.push_back(r);
+        // Work landed: the pending keep-alive expiry (if any) must never
+        // fire.
+        if let Some(tok) = node.keep_alive.take() {
+            self.events.cancel(tok);
+        }
         if let Some(tl) = self.tele {
             tl.span(
                 format!("route/r{}->n{i}", self.trace[r].id),
@@ -902,8 +984,9 @@ impl Sim<'_> {
                 t / 1_000,
             );
         }
+        let node = &self.nodes[i];
         if node.state == NodeState::Warm && !node.busy {
-            self.push(t, Ev::TryStart(i));
+            self.events.schedule(t, FleetEvent::Route { node: i });
         }
     }
 
@@ -911,8 +994,10 @@ impl Sim<'_> {
     /// lets the autoscaler start nodes for any remaining backlog.
     fn drain(&mut self, t: u64, sched: &mut dyn Scheduler) {
         while let Some(&r) = self.queue.front() {
-            let views = self.views_for(kv_need(&self.trace[r]));
-            match sched.route(&views) {
+            let views = self.fill_views(kv_need(&self.trace[r]));
+            let decision = sched.route(&views);
+            self.views_buf = views;
+            match decision {
                 Decision::Node(i) => {
                     self.queue.pop_front();
                     self.place(t, r, i);
@@ -927,20 +1012,261 @@ impl Sim<'_> {
             if self.queue.is_empty() {
                 break;
             }
-            let live = self
-                .nodes
-                .iter()
-                .filter(|n| n.state != NodeState::Cold)
-                .count();
-            let limit = self.cluster.autoscaler.target_queue_depth * live.max(1);
-            if live > 0 && self.queue.len() <= limit {
+            let limit = self.cluster.autoscaler.target_queue_depth * self.live.max(1);
+            if self.live > 0 && self.queue.len() <= limit {
                 break;
             }
             let need = self.queue.front().map_or(0, |&r| kv_need(&self.trace[r]));
-            let views = self.views_for(need);
-            match sched.pick_cold(&views) {
+            let views = self.fill_views(need);
+            let pick = sched.pick_cold(&views);
+            self.views_buf = views;
+            match pick {
                 Some(i) => self.start_cold(t, i),
                 None => break,
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Event handlers. One per [`FleetEvent`] variant; the dispatch loop in
+    // [`simulate_fleet_traced`] is the only caller.
+
+    /// [`FleetEvent::Arrival`]: the request joins the global queue and the
+    /// scheduler immediately tries to drain it.
+    fn on_arrival(&mut self, t: u64, r: usize, sched: &mut dyn Scheduler) {
+        self.arrived += 1;
+        self.queue.push_back(r);
+        self.drain(t, sched);
+    }
+
+    /// [`FleetEvent::RegistryFetchDone`]: the fetch stage of the in-flight
+    /// cold start finished; the restore stage is already on the queue, so
+    /// this only closes out the stage bookkeeping.
+    fn on_fetch_done(&mut self, i: usize, epoch: u32) {
+        let node = &mut self.nodes[i];
+        if node.epoch != epoch {
+            // A crash retracted this start; the token was cancelled, so a
+            // stale fetch normally never fires.
+            return;
+        }
+        node.stage_fetch = None;
+        debug_assert!(
+            node.state == NodeState::Starting && node.stage_ready.is_some(),
+            "the fetch stage completes mid-start, before the restore stage"
+        );
+    }
+
+    /// [`FleetEvent::ColdStartStageDone`]: the restore (terminal) stage
+    /// finished — the node is warm and may populate its artifact cache.
+    fn on_stage_done(&mut self, t: u64, i: usize, epoch: u32, sched: &mut dyn Scheduler) {
+        let node = &mut self.nodes[i];
+        if node.epoch != epoch {
+            // This start crashed before finishing; the event is stale.
+            return;
+        }
+        node.stage_ready = None;
+        node.state = NodeState::Warm;
+        // The cold start populated the local cache (Medusa fetch or
+        // in-place materialization reuse) — unless it degraded to the
+        // vanilla path, which materializes nothing.
+        if self.profile.strategy == Strategy::Medusa && !node.degraded_start {
+            node.spec.cached = true;
+        }
+        self.events.schedule(t, FleetEvent::Route { node: i });
+        self.drain(t, sched);
+    }
+
+    /// [`FleetEvent::NodeCrash`]: crash mid-cold-start — the node scales
+    /// back to cold, its pending stage events are retracted, and its
+    /// queued requests go back through the scheduler.
+    fn on_crash(&mut self, t: u64, i: usize, epoch: u32, sched: &mut dyn Scheduler) {
+        {
+            let node = &self.nodes[i];
+            if node.epoch != epoch || node.state != NodeState::Starting {
+                return;
+            }
+        }
+        let (fetch_tok, ready_tok, rerouted) = {
+            let node = &mut self.nodes[i];
+            node.epoch += 1;
+            node.state = NodeState::Cold;
+            node.idle_since = None;
+            node.kv_tokens = 0;
+            let rerouted: Vec<usize> = node.pending.drain(..).collect();
+            (node.stage_fetch.take(), node.stage_ready.take(), rerouted)
+        };
+        self.live -= 1;
+        if let Some(tok) = fetch_tok {
+            self.events.cancel(tok);
+        }
+        if let Some(tok) = ready_tok {
+            self.events.cancel(tok);
+        }
+        self.node_failures += 1;
+        self.reroutes += rerouted.len() as u32;
+        if let Some(tl) = self.tele {
+            tl.inc("cluster_node_failures_total", 1);
+            if !rerouted.is_empty() {
+                tl.inc("cluster_reroutes_total", rerouted.len() as u64);
+            }
+            tl.span(
+                format!("nodefail/n{i}"),
+                format!("node{i}"),
+                t / 1_000,
+                t / 1_000,
+            );
+        }
+        // Front of the queue, original order: the crashed node's requests
+        // have been waiting longest.
+        for r in rerouted.into_iter().rev() {
+            self.queue.push_front(r);
+        }
+        self.drain(t, sched);
+    }
+
+    /// [`FleetEvent::KeepAliveExpiry`]: the keep-alive countdown ran out
+    /// without being retracted — scale the node to zero. The local
+    /// artifact cache survives, so re-warming is cheap.
+    fn on_keep_alive_expiry(&mut self, t: u64, i: usize) {
+        let scale = self.cluster.autoscaler.scale_to_zero;
+        let keep_alive_ns = self.keep_alive_ns;
+        let node = &mut self.nodes[i];
+        node.keep_alive = None;
+        // An un-retracted expiry implies the node sat idle the whole
+        // countdown; the full predicate stays as a guard so the report is
+        // exactly what the predicate says even if retraction ever missed a
+        // path.
+        if scale
+            && node.state == NodeState::Warm
+            && !node.busy
+            && node.pending.is_empty()
+            && node.running.is_empty()
+            && node
+                .idle_since
+                .is_some_and(|since| t.saturating_sub(since) >= keep_alive_ns)
+        {
+            node.state = NodeState::Cold;
+            node.idle_since = None;
+            self.live -= 1;
+            self.scale_to_zero_events += 1;
+            if let Some(tl) = self.tele {
+                tl.inc("cluster_scale_to_zero_total", 1);
+            }
+        }
+    }
+
+    /// [`FleetEvent::ScaleDecision`]: periodic autoscaler tick — re-run
+    /// the drain (which evaluates the backlog threshold) and re-arm the
+    /// next tick.
+    fn on_scale_decision(&mut self, t: u64, sched: &mut dyn Scheduler) {
+        self.drain(t, sched);
+        if let Some(interval_s) = self.cluster.autoscaler.eval_interval_s {
+            let step = (interval_s * 1e9) as u64;
+            if step > 0 {
+                self.events.schedule(t + step, FleetEvent::ScaleDecision);
+            }
+        }
+    }
+
+    /// [`FleetEvent::Route`]: the node re-examines its run queue and
+    /// starts an iteration unless one is already in flight.
+    fn on_route(&mut self, t: u64, i: usize) {
+        if !self.nodes[i].busy {
+            self.iteration(t, i);
+        }
+    }
+
+    /// [`FleetEvent::IterationDone`]: the iteration's time elapsed; give
+    /// the scheduler a chance to top the node up, then iterate again.
+    fn on_iteration_done(&mut self, t: u64, i: usize, sched: &mut dyn Scheduler) {
+        self.nodes[i].busy = false;
+        self.drain(t, sched);
+        self.iteration(t, i);
+    }
+
+    /// One serving iteration on node `i` at time `t`: prefill one pending
+    /// request, else run one batched decode step, else go idle and arm the
+    /// keep-alive countdown.
+    fn iteration(&mut self, t: u64, i: usize) {
+        let profile = self.profile;
+        let trace = self.trace;
+        let tele = self.tele;
+        let perf = &profile.perf;
+        let node = &mut self.nodes[i];
+        if node.state != NodeState::Warm {
+            return;
+        }
+        if let Some(r) = node.pending.pop_front() {
+            // Prefill: produces the request's first token.
+            let req = &trace[r];
+            let dur = perf.prefill_duration(req.prompt_tokens).as_nanos();
+            let end = t + dur;
+            self.ttfts
+                .push(SimDuration::from_nanos(end - req.arrival_ns));
+            node.served += 1;
+            if let Some(tl) = tele {
+                tl.observe_us("cluster_ttft_us", (end - req.arrival_ns) / 1_000);
+                tl.observe_us(
+                    &format!("cluster_node{i}_ttft_us"),
+                    (end - req.arrival_ns) / 1_000,
+                );
+                tl.observe_us(
+                    &format!("cluster_node{i}_queue_delay_us"),
+                    (t - req.arrival_ns) / 1_000,
+                );
+            }
+            if req.output_tokens > 1 {
+                node.running.push(RunningSeq {
+                    remaining: req.output_tokens - 1,
+                    kv_reserved: kv_need(req),
+                });
+            } else {
+                node.kv_tokens = node.kv_tokens.saturating_sub(kv_need(req));
+                self.completed += 1;
+                self.makespan_ns = self.makespan_ns.max(end);
+            }
+            node.busy = true;
+            node.busy_ns += dur;
+            node.work_ns += dur * node.spec.tp as u64;
+            self.events
+                .schedule(end, FleetEvent::IterationDone { node: i });
+        } else if !node.running.is_empty() {
+            // Batched decode step.
+            let dur = perf.decode_duration(node.running.len() as u32).as_nanos();
+            let end = t + dur;
+            for s in &mut node.running {
+                s.remaining -= 1;
+            }
+            let released: u64 = node
+                .running
+                .iter()
+                .filter(|s| s.remaining == 0)
+                .map(|s| s.kv_reserved)
+                .sum();
+            let before = node.running.len();
+            node.running.retain(|s| s.remaining > 0);
+            let finished = before - node.running.len();
+            if finished > 0 {
+                node.kv_tokens = node.kv_tokens.saturating_sub(released);
+                self.completed += finished;
+                self.makespan_ns = self.makespan_ns.max(end);
+            }
+            node.busy = true;
+            node.busy_ns += dur;
+            node.work_ns += dur * node.spec.tp as u64;
+            self.events
+                .schedule(end, FleetEvent::IterationDone { node: i });
+        } else {
+            // Idle: arm the keep-alive countdown. When scale-to-zero is
+            // off the expiry could never fire anyway, so don't schedule
+            // one at all.
+            node.idle_since = Some(t);
+            if self.cluster.autoscaler.scale_to_zero {
+                let tok = self.events.schedule(
+                    t + self.keep_alive_ns,
+                    FleetEvent::KeepAliveExpiry { node: i },
+                );
+                self.nodes[i].keep_alive = Some(tok);
             }
         }
     }
@@ -969,15 +1295,18 @@ pub fn simulate_fleet_traced(
     tele: Option<&Registry>,
 ) -> FleetOutcome {
     let mut sched = policy.build();
-    let mut sim = Sim {
+    let mut sim = FleetSim {
         profile,
         cluster,
         trace,
         tele,
         nodes: cluster.nodes.iter().cloned().map(Node::new).collect(),
         queue: VecDeque::new(),
-        events: BinaryHeap::new(),
-        seq: 0,
+        events: EventQueue::new(),
+        live: 0,
+        views_buf: Vec::with_capacity(cluster.nodes.len()),
+        keep_alive_ns: (cluster.autoscaler.keep_alive_s * 1e9) as u64,
+        arrived: 0,
         ttfts: Vec::new(),
         completed: 0,
         makespan_ns: 0,
@@ -989,104 +1318,39 @@ pub fn simulate_fleet_traced(
         reroutes: 0,
     };
     for (i, r) in trace.iter().enumerate() {
-        sim.push(r.arrival_ns, Ev::Arrive(i));
+        sim.events
+            .schedule(r.arrival_ns, FleetEvent::Arrival { req: i });
+    }
+    if let Some(interval_s) = cluster.autoscaler.eval_interval_s {
+        let step = (interval_s * 1e9) as u64;
+        if step > 0 {
+            sim.events.schedule(step, FleetEvent::ScaleDecision);
+        }
     }
     let horizon = trace.last().map_or(0, |r| r.arrival_ns) + (cluster.drain_s * 1e9) as u64;
-    let keep_alive_ns = (cluster.autoscaler.keep_alive_s * 1e9) as u64;
 
-    while let Some(Reverse((t, _, ev))) = sim.events.pop() {
+    let mut events_processed: u64 = 0;
+    let mut truncated = false;
+    while let Some((t, ev)) = sim.events.pop() {
         if t > horizon {
+            truncated = true;
             break;
         }
+        events_processed += 1;
         match ev {
-            Ev::Arrive(r) => {
-                sim.queue.push_back(r);
-                sim.drain(t, sched.as_mut());
+            FleetEvent::Arrival { req } => sim.on_arrival(t, req, sched.as_mut()),
+            FleetEvent::Route { node } => sim.on_route(t, node),
+            FleetEvent::RegistryFetchDone { node, epoch } => sim.on_fetch_done(node, epoch),
+            FleetEvent::ColdStartStageDone { node, epoch } => {
+                sim.on_stage_done(t, node, epoch, sched.as_mut());
             }
-            Ev::NodeReady(i, epoch) => {
-                let node = &mut sim.nodes[i];
-                if node.epoch != epoch {
-                    // This start crashed before finishing; the event is
-                    // stale.
-                    continue;
-                }
-                node.state = NodeState::Warm;
-                // The cold start populated the local cache (Medusa fetch
-                // or in-place materialization reuse) — unless it degraded
-                // to the vanilla path, which materializes nothing.
-                if sim.profile.strategy == Strategy::Medusa && !node.degraded_start {
-                    node.spec.cached = true;
-                }
-                sim.push(t, Ev::TryStart(i));
-                sim.drain(t, sched.as_mut());
-            }
-            Ev::NodeCrash(i, epoch) => {
-                let node = &mut sim.nodes[i];
-                if node.epoch != epoch || node.state != NodeState::Starting {
-                    continue;
-                }
-                // Crash mid-cold-start: the node scales back to cold and
-                // its queued requests go back through the scheduler.
-                node.epoch += 1;
-                node.state = NodeState::Cold;
-                node.idle_since = None;
-                node.kv_tokens = 0;
-                let rerouted: Vec<usize> = node.pending.drain(..).collect();
-                sim.node_failures += 1;
-                sim.reroutes += rerouted.len() as u32;
-                if let Some(tl) = tele {
-                    tl.inc("cluster_node_failures_total", 1);
-                    if !rerouted.is_empty() {
-                        tl.inc("cluster_reroutes_total", rerouted.len() as u64);
-                    }
-                    tl.span(
-                        format!("nodefail/n{i}"),
-                        format!("node{i}"),
-                        t / 1_000,
-                        t / 1_000,
-                    );
-                }
-                // Front of the queue, original order: the crashed node's
-                // requests have been waiting longest.
-                for r in rerouted.into_iter().rev() {
-                    sim.queue.push_front(r);
-                }
-                sim.drain(t, sched.as_mut());
-            }
-            Ev::TryStart(i) => {
-                if !sim.nodes[i].busy {
-                    iteration(&mut sim, t, i, keep_alive_ns);
-                }
-            }
-            Ev::IterEnd(i) => {
-                sim.nodes[i].busy = false;
-                sim.drain(t, sched.as_mut());
-                iteration(&mut sim, t, i, keep_alive_ns);
-            }
-            Ev::IdleCheck(i) => {
-                let scale = cluster.autoscaler.scale_to_zero;
-                let node = &mut sim.nodes[i];
-                if scale
-                    && node.state == NodeState::Warm
-                    && !node.busy
-                    && node.pending.is_empty()
-                    && node.running.is_empty()
-                    && node
-                        .idle_since
-                        .is_some_and(|since| t.saturating_sub(since) >= keep_alive_ns)
-                {
-                    // Keep-alive expired: scale to zero. The local
-                    // artifact cache survives, so re-warming is cheap.
-                    node.state = NodeState::Cold;
-                    node.idle_since = None;
-                    sim.scale_to_zero_events += 1;
-                    if let Some(tl) = tele {
-                        tl.inc("cluster_scale_to_zero_total", 1);
-                    }
-                }
-            }
+            FleetEvent::KeepAliveExpiry { node } => sim.on_keep_alive_expiry(t, node),
+            FleetEvent::NodeCrash { node, epoch } => sim.on_crash(t, node, epoch, sched.as_mut()),
+            FleetEvent::ScaleDecision => sim.on_scale_decision(t, sched.as_mut()),
+            FleetEvent::IterationDone { node } => sim.on_iteration_done(t, node, sched.as_mut()),
         }
     }
+    let truncated = truncated || !sim.events.is_empty();
 
     let mut sorted: Vec<u64> = sim.ttfts.iter().map(|d| d.as_nanos() / 1_000).collect();
     sorted.sort_unstable();
@@ -1138,82 +1402,24 @@ pub fn simulate_fleet_traced(
             })
             .collect(),
     };
+    let in_flight_at_end: usize = sim.nodes.iter().map(Node::load).sum();
+    let starting_nodes_at_end = sim
+        .nodes
+        .iter()
+        .filter(|n| n.state == NodeState::Starting)
+        .count();
     FleetOutcome {
         report,
+        stats: FleetStats {
+            events_processed,
+            events_cancelled: sim.events.cancelled_total(),
+            arrived: sim.arrived,
+            queued_at_end: sim.queue.len(),
+            in_flight_at_end,
+            starting_nodes_at_end,
+            horizon_truncated: truncated,
+        },
         ttfts: sim.ttfts,
-    }
-}
-
-/// One serving iteration on node `i` at time `t`.
-fn iteration(sim: &mut Sim<'_>, t: u64, i: usize, keep_alive_ns: u64) {
-    let perf = &sim.profile.perf;
-    let tele = sim.tele;
-    let node = &mut sim.nodes[i];
-    if node.state != NodeState::Warm {
-        return;
-    }
-    if let Some(r) = node.pending.pop_front() {
-        // Prefill: produces the request's first token.
-        let req = &sim.trace[r];
-        let dur = perf.prefill_duration(req.prompt_tokens).as_nanos();
-        let end = t + dur;
-        sim.ttfts
-            .push(SimDuration::from_nanos(end - req.arrival_ns));
-        node.served += 1;
-        if let Some(tl) = tele {
-            tl.observe_us("cluster_ttft_us", (end - req.arrival_ns) / 1_000);
-            tl.observe_us(
-                &format!("cluster_node{i}_ttft_us"),
-                (end - req.arrival_ns) / 1_000,
-            );
-            tl.observe_us(
-                &format!("cluster_node{i}_queue_delay_us"),
-                (t - req.arrival_ns) / 1_000,
-            );
-        }
-        if req.output_tokens > 1 {
-            node.running.push(RunningSeq {
-                remaining: req.output_tokens - 1,
-                kv_reserved: kv_need(req),
-            });
-        } else {
-            node.kv_tokens = node.kv_tokens.saturating_sub(kv_need(req));
-            sim.completed += 1;
-            sim.makespan_ns = sim.makespan_ns.max(end);
-        }
-        node.busy = true;
-        node.busy_ns += dur;
-        node.work_ns += dur * node.spec.tp as u64;
-        sim.push(end, Ev::IterEnd(i));
-    } else if !node.running.is_empty() {
-        // Batched decode step.
-        let dur = perf.decode_duration(node.running.len() as u32).as_nanos();
-        let end = t + dur;
-        for s in &mut node.running {
-            s.remaining -= 1;
-        }
-        let released: u64 = node
-            .running
-            .iter()
-            .filter(|s| s.remaining == 0)
-            .map(|s| s.kv_reserved)
-            .sum();
-        let before = node.running.len();
-        node.running.retain(|s| s.remaining > 0);
-        let finished = before - node.running.len();
-        if finished > 0 {
-            node.kv_tokens = node.kv_tokens.saturating_sub(released);
-            sim.completed += finished;
-            sim.makespan_ns = sim.makespan_ns.max(end);
-        }
-        node.busy = true;
-        node.busy_ns += dur;
-        node.work_ns += dur * node.spec.tp as u64;
-        sim.push(end, Ev::IterEnd(i));
-    } else {
-        // Idle: arm the keep-alive countdown.
-        node.idle_since = Some(t);
-        sim.push(t + keep_alive_ns, Ev::IdleCheck(i));
     }
 }
 

@@ -1,0 +1,309 @@
+//! The discrete-event core of the fleet simulator.
+//!
+//! [`EventQueue`] is a binary-heap priority queue keyed by
+//! `(sim_time, seq)`: `sim_time` is the simulated nanosecond the event
+//! fires at, `seq` is a monotonically increasing insertion ordinal. The
+//! composite key gives the two determinism rules every simulation built on
+//! this queue inherits:
+//!
+//! 1. **Events pop in non-decreasing timestamp order** — simulated time
+//!    never runs backwards.
+//! 2. **Same-timestamp events pop in insertion order** (FIFO) — ties are
+//!    broken by `seq`, never by payload contents or heap internals, so a
+//!    run's event interleaving is a pure function of *when things were
+//!    scheduled*, not of how the heap happened to rebalance.
+//!
+//! Together these make same-seed runs byte-identical: the handlers see the
+//! exact same event sequence every time.
+//!
+//! [`EventQueue::schedule`] returns an [`EventToken`] that
+//! [`EventQueue::cancel`] consumes; a cancelled event **never fires** —
+//! its payload is dropped immediately and its heap entry is skipped on
+//! pop. This is how the fleet retracts keep-alive expiries when work
+//! lands on an idle node, and retracts a crashed cold start's pending
+//! stage completions.
+//!
+//! [`FleetEvent`] is the typed event taxonomy of the fleet layer
+//! ([`crate::cluster`]): nodes, the scheduler, and the registry interact
+//! *only* by scheduling these events against the shared queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for the queue's `u64` seq keys. Seqs are dense
+/// monotone counters, so a single Fibonacci multiply mixes them plenty —
+/// and at millions of events per run, SipHash on every schedule/pop is
+/// measurable wall-clock.
+#[derive(Debug, Default)]
+pub struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed; this path exists for trait
+        // completeness.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type SeqMap<E> = HashMap<u64, E, BuildHasherDefault<SeqHasher>>;
+
+/// Handle to one scheduled event, used to cancel it before it fires.
+///
+/// Tokens are unique per [`EventQueue`] for its whole lifetime (they wrap
+/// the event's insertion `seq`), so a stale token can never cancel a
+/// different, later event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+/// Deterministic discrete-event priority queue keyed by `(sim_time, seq)`.
+///
+/// See the [module docs](self) for the two ordering rules. `E` is the
+/// event payload type; the queue imposes no trait bounds on it beyond the
+/// implicit `Sized`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    /// Min-heap over `(fire_time_ns, seq)`.
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Payloads of *pending* events by `seq`; cancellation removes the
+    /// payload, leaving a tombstone key in the heap that `pop` skips.
+    payloads: SeqMap<E>,
+    next_seq: u64,
+    scheduled: u64,
+    cancelled: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: SeqMap::default(),
+            next_seq: 0,
+            scheduled: 0,
+            cancelled: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at simulated nanosecond `t_ns` and
+    /// returns its cancellation token. Events scheduled at the same
+    /// `t_ns` fire in the order they were scheduled.
+    pub fn schedule(&mut self, t_ns: u64, event: E) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Reverse((t_ns, seq)));
+        self.payloads.insert(seq, event);
+        EventToken(seq)
+    }
+
+    /// Cancels a pending event so it never fires. Returns `true` if the
+    /// event was still pending (and is now retracted), `false` if it had
+    /// already fired or was already cancelled.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        let retracted = self.payloads.remove(&token.0).is_some();
+        if retracted {
+            self.cancelled += 1;
+        }
+        retracted
+    }
+
+    /// Pops the next event as `(fire_time_ns, event)`, skipping cancelled
+    /// entries. Returns `None` when no pending events remain.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        while let Some(Reverse((t, seq))) = self.heap.pop() {
+            if let Some(event) = self.payloads.remove(&seq) {
+                return Some((t, event));
+            }
+            // Tombstone of a cancelled event: skip.
+        }
+        None
+    }
+
+    /// Fire time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<u64> {
+        while let Some(&Reverse((t, seq))) = self.heap.peek() {
+            if self.payloads.contains_key(&seq) {
+                return Some(t);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of pending (scheduled, not yet fired or cancelled) events.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Total events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total events cancelled before firing.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled
+    }
+}
+
+/// The fleet simulator's typed event taxonomy. Every state transition in
+/// [`crate::cluster`] is driven by exactly one of these firing; handlers
+/// communicate only by scheduling further events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// Request `req` (a trace index) arrives at the global queue.
+    Arrival {
+        /// Trace index of the arriving request.
+        req: usize,
+    },
+    /// Node `node` should re-examine its run queue and start an iteration
+    /// if it is warm and not already iterating.
+    Route {
+        /// Node index.
+        node: usize,
+    },
+    /// The registry fetch stage of node `node`'s in-flight cold start
+    /// completed (Medusa cache-miss starts only); the restore stage is
+    /// already on the queue. Carries the start's epoch: a crash bumps the
+    /// node epoch, making this event stale.
+    RegistryFetchDone {
+        /// Node index.
+        node: usize,
+        /// Cold-start epoch the fetch belongs to.
+        epoch: u32,
+    },
+    /// The final (restore) stage of node `node`'s cold start completed —
+    /// the node is ready to serve. Same epoch staleness guard as
+    /// [`FleetEvent::RegistryFetchDone`].
+    ColdStartStageDone {
+        /// Node index.
+        node: usize,
+        /// Cold-start epoch the stage belongs to.
+        epoch: u32,
+    },
+    /// Node `node`'s keep-alive countdown ran out; if still armed (the
+    /// token is cancelled whenever work lands on the node) the node scales
+    /// to zero.
+    KeepAliveExpiry {
+        /// Node index.
+        node: usize,
+    },
+    /// Node `node` crashes mid-cold-start (same epoch guard as the stage
+    /// events).
+    NodeCrash {
+        /// Node index.
+        node: usize,
+        /// Cold-start epoch the crash belongs to.
+        epoch: u32,
+    },
+    /// Periodic autoscaler evaluation tick (only scheduled when
+    /// [`crate::AutoscalerConfig::eval_interval_s`] is set).
+    ScaleDecision,
+    /// Node `node` finished a serving iteration (prefill or batched decode
+    /// step).
+    IterationDone {
+        /// Node index.
+        node: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_timestamp_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_timestamp_pops_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(7, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn cancelled_events_never_fire() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(10, "keep");
+        let drop_ = q.schedule(10, "drop");
+        assert!(q.cancel(drop_));
+        assert!(!q.cancel(drop_), "double-cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((10, "keep")));
+        assert_eq!(q.pop(), None);
+        assert!(!q.cancel(keep), "already fired");
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.cancelled_total(), 1);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_heads() {
+        let mut q = EventQueue::new();
+        let head = q.schedule(5, "head");
+        q.schedule(9, "tail");
+        q.cancel(head);
+        assert_eq!(q.peek_time(), Some(9));
+        assert_eq!(q.pop(), Some((9, "tail")));
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn distinct_time_insertion_order_is_irrelevant() {
+        // Two schedules of the same (time, payload) set in different
+        // insertion orders pop identically when all times are distinct.
+        let times = [40u64, 10, 30, 20, 50];
+        let mut fwd = EventQueue::new();
+        for &t in &times {
+            fwd.schedule(t, t);
+        }
+        let mut rev = EventQueue::new();
+        for &t in times.iter().rev() {
+            rev.schedule(t, t);
+        }
+        let drain = |q: &mut EventQueue<u64>| {
+            let mut out = Vec::new();
+            while let Some(e) = q.pop() {
+                out.push(e);
+            }
+            out
+        };
+        assert_eq!(drain(&mut fwd), drain(&mut rev));
+    }
+}

@@ -46,13 +46,16 @@
 
 pub mod analytic;
 pub mod cluster;
+pub mod event;
 mod params;
+pub mod scenarios;
 mod sim;
 
 pub use cluster::{
     simulate_fleet, simulate_fleet_traced, AutoscalerConfig, ClusterFaults, ClusterReport,
-    ClusterSpec, ColdStartAware, Decision, FleetOutcome, FleetProfile, LeastLoaded, NodeReport,
-    NodeSpec, NodeState, NodeView, Policy, RegistryPolicy, RoundRobin, Scheduler,
+    ClusterSpec, ColdStartAware, Decision, FleetOutcome, FleetProfile, FleetStats, LeastLoaded,
+    NodeReport, NodeSpec, NodeState, NodeView, Policy, RegistryPolicy, RoundRobin, Scheduler,
 };
+pub use event::{EventQueue, EventToken, FleetEvent};
 pub use params::PerfModel;
 pub use sim::{simulate, simulate_traced, ClusterConfig, SimResult};

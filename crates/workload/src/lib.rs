@@ -204,6 +204,25 @@ impl TraceConfig {
         self
     }
 
+    /// Sets both length distributions (builder style). Large-fleet scale
+    /// runs use short interactive completions so simulated hours stay
+    /// dominated by arrivals rather than decode iterations.
+    pub fn with_lengths(mut self, prompt: LengthSampler, output: LengthSampler) -> Self {
+        self.prompt = prompt;
+        self.output = output;
+        self
+    }
+
+    /// An interactive chat-completion shape for scale runs: short prompts
+    /// (mean 64 tokens) and short outputs (mean 8 tokens), Poisson
+    /// arrivals at `rps` for `duration_s` seconds.
+    pub fn interactive(rps: f64, duration_s: f64) -> Self {
+        TraceConfig::sharegpt(rps, duration_s).with_lengths(
+            LengthSampler::new(64.0, 0.6, 8, 256),
+            LengthSampler::new(8.0, 0.5, 1, 32),
+        )
+    }
+
     /// Generates the trace: (possibly modulated) Poisson arrivals with
     /// per-request sampled lengths, sorted by arrival time.
     ///

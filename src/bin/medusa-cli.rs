@@ -15,10 +15,18 @@
 //!                        [--policy <round-robin|least-loaded|coldstart-aware>]
 //!                        [--strategy <vllm|async|medusa|nograph>] [--tp N]
 //!                        [--rps F] [--duration F] [--pattern <poisson|bursty>]
+//!                        [--workload <sharegpt|interactive>]
 //!                        [--cached K] [--keep-alive F] [--queue-depth N]
+//!                        [--eval-interval F]
 //!                        [--faults <flaky-registry,node-crash>] [--fault-seed N]
 //!                        [--format <chrome|prom>] [--out FILE] [--telemetry FILE]
 //! ```
+//!
+//! `cluster` scales to large fleets: `--nodes 1000 --rps 10000 --workload
+//! interactive --cached 1000` replays a million requests through the
+//! event core in wall-clock seconds, and fleets beyond 16 nodes print an
+//! aggregate node summary plus the busiest workers instead of the full
+//! per-node table (`--all-nodes` forces the table).
 //!
 //! Every number the CLI prints derives from the simulated clock, so any
 //! subcommand re-run with the same flags produces byte-identical output —
@@ -81,7 +89,9 @@ fn usage() {
     eprintln!("              [--policy <round-robin|least-loaded|coldstart-aware>]");
     eprintln!("              [--strategy <vllm|async|medusa|nograph>]");
     eprintln!("              [--rps F] [--duration F] [--pattern <poisson|bursty>]");
+    eprintln!("              [--workload <sharegpt|interactive>] [--all-nodes]");
     eprintln!("              [--cached K] [--keep-alive F] [--queue-depth N]");
+    eprintln!("              [--eval-interval F]");
     eprintln!("              [--faults <flaky-registry,node-crash>] [--fault-seed N]");
     eprintln!("              [--format <chrome|prom>] [--out FILE] [--telemetry FILE]");
 }
@@ -413,9 +423,18 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
             .with_faults(faults);
         c.autoscaler.keep_alive_s = keep_alive;
         c.autoscaler.target_queue_depth = queue_depth;
+        match get_f64("eval-interval", 0.0)? {
+            iv if iv > 0.0 => c.autoscaler.eval_interval_s = Some(iv),
+            _ => {}
+        }
         c
     };
-    let trace = TraceConfig::sharegpt(rps, duration)
+    let trace_cfg = match flags.get("workload").map(String::as_str) {
+        Some("interactive") => TraceConfig::interactive(rps, duration),
+        Some("sharegpt") | None => TraceConfig::sharegpt(rps, duration),
+        Some(other) => return Err(format!("unknown workload `{other}` (sharegpt|interactive)")),
+    };
+    let trace = trace_cfg
         .with_seed(seed(flags))
         .with_pattern(pattern)
         .generate();
@@ -448,10 +467,38 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     println!("  trace fingerprint {:#018x}", r.trace_fingerprint);
     println!(
+        "  events processed {} / cancelled {}; conservation residual {}",
+        out.stats.events_processed,
+        out.stats.events_cancelled,
+        out.conservation_residual()
+    );
+    // Per-node tables stop being readable at fleet scale: beyond 16 nodes
+    // print an aggregate summary plus the busiest workers unless
+    // --all-nodes asks for everything.
+    let full_table = nodes <= 16 || flags.contains_key("all-nodes");
+    let shown: Vec<usize> = if full_table {
+        (0..r.nodes.len()).collect()
+    } else {
+        let active = r.nodes.iter().filter(|n| n.served > 0).count();
+        let cached_at_end = r.nodes.iter().filter(|n| n.cached_at_end).count();
+        let busy_s: f64 = r.nodes.iter().map(|n| n.busy_ns as f64 / 1e9).sum();
+        println!(
+            "  fleet: {} of {nodes} nodes served traffic; {} cached at end; {:.3}s busy total",
+            active, cached_at_end, busy_s
+        );
+        let mut by_served: Vec<usize> = (0..r.nodes.len()).collect();
+        by_served.sort_by_key(|&i| (std::cmp::Reverse(r.nodes[i].served), i));
+        by_served.truncate(8);
+        by_served.sort_unstable();
+        println!("  busiest {} node(s):", by_served.len());
+        by_served
+    };
+    println!(
         "  {:<6} {:<10} {:>3} {:>6} {:>9} {:>7} {:>9} {:>9} {:>7}",
         "node", "gpu", "tp", "colds", "cold_s", "served", "busy_s", "work_s", "cached"
     );
-    for (i, n) in r.nodes.iter().enumerate() {
+    for i in shown {
+        let n = &r.nodes[i];
         println!(
             "  n{:<5} {:<10} {:>3} {:>6} {:>9.3} {:>7} {:>9.3} {:>9.3} {:>7}",
             i,
