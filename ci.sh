@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, rustdoc, the full test suite, the
 # event-core golden differential gate, the deterministic perf-smoke
-# regression gates (per-instance cold start and fleet scenario), the
+# regression gates (per-instance cold start, single-tenant fleet, and the
+# multi-tenant contended-cache scenario with its per-tenant p99
+# invariant), the
 # large-fleet scale smoke (wall-clock budget), every example end-to-end,
 # the proptest regression-corpus check, and the concurrency stress test
 # (sized for --release, hence run separately).
@@ -84,11 +86,17 @@ echo "==> perf smoke (simulated makespans vs committed baselines)"
 mkdir -p target
 cargo bench -q -p medusa-bench --bench micro -- --smoke \
   --out "$PWD/target/BENCH_coldstart.json" \
-  --out-cluster "$PWD/target/BENCH_cluster.json"
+  --out-cluster "$PWD/target/BENCH_cluster.json" \
+  --out-cluster-mt "$PWD/target/BENCH_cluster_multitenant.json"
 cargo run -q -p medusa-bench --bin ci-check-bench -- \
   compare target/BENCH_coldstart.json results/BENCH_coldstart.json
 cargo run -q -p medusa-bench --bin ci-check-bench -- \
   compare-cluster target/BENCH_cluster.json results/BENCH_cluster.json
+
+echo "==> multi-tenant perf smoke (per-tenant p99 invariant + cache-hit floor)"
+cargo run -q -p medusa-bench --bin ci-check-bench -- \
+  compare-cluster target/BENCH_cluster_multitenant.json \
+  results/BENCH_cluster_multitenant.json
 
 echo "==> large-fleet scale smoke (release, wall-clock budget)"
 cargo run --release -q -p medusa-bench --bin ci-check-bench -- scale-smoke --budget-s 120

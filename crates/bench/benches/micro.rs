@@ -13,7 +13,10 @@
 //! benchmark (simulated makespans, machine-independent) and writes
 //! `BENCH_coldstart.json` for the CI regression gate. `--out-cluster FILE`
 //! additionally runs the fleet scenario (Medusa vs vanilla cluster under a
-//! burst trace) and writes `BENCH_cluster.json`. `--emit-telemetry DIR`
+//! burst trace) and writes `BENCH_cluster.json`; `--out-cluster-mt FILE`
+//! runs the multi-tenant fleet scenario (eight Zipf-skewed models against
+//! a bounded cost-aware artifact cache) and writes
+//! `BENCH_cluster_multitenant.json`. `--emit-telemetry DIR`
 //! additionally exports Chrome traces and Prometheus snapshots for every
 //! cold-start mode and both fleet sides.
 
@@ -302,7 +305,12 @@ fn flag_value(args: &[String], key: &str) -> Option<String> {
 /// Runs the deterministic smoke benchmarks, writes `BENCH_coldstart.json`
 /// (and `BENCH_cluster.json` when `out_cluster` is set), and optionally
 /// exports telemetry snapshots.
-fn run_smoke(out: &str, out_cluster: Option<&str>, emit_dir: Option<&str>) {
+fn run_smoke(
+    out: &str,
+    out_cluster: Option<&str>,
+    out_cluster_mt: Option<&str>,
+    emit_dir: Option<&str>,
+) {
     use medusa_bench::smoke;
     let result = smoke::run();
     println!(
@@ -323,6 +331,24 @@ fn run_smoke(out: &str, out_cluster: Option<&str>, emit_dir: Option<&str>) {
             cluster.vanilla_ttft_p99_us
         );
         std::fs::write(path, cluster.to_json()).expect("write cluster smoke result");
+        println!("smoke: wrote {path}");
+    }
+    if let Some(path) = out_cluster_mt {
+        let mt = smoke::run_cluster_mt();
+        println!(
+            "smoke/cluster_mt_{}x{}_{}models   medusa p99 {} us   vanilla p99 {} us   cache \
+             {}h/{}m/{}e ({} permille)",
+            mt.model,
+            mt.nodes,
+            mt.models,
+            mt.medusa_ttft_p99_us,
+            mt.vanilla_ttft_p99_us,
+            mt.cache_hits,
+            mt.cache_misses,
+            mt.cache_evictions,
+            mt.cache_hit_rate_pm
+        );
+        std::fs::write(path, mt.to_json()).expect("write multi-tenant smoke result");
         println!("smoke: wrote {path}");
     }
     if let Some(dir) = emit_dir {
@@ -362,9 +388,15 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_coldstart.json".to_string());
     let out_cluster = flag_value(&args, "--out-cluster");
+    let out_cluster_mt = flag_value(&args, "--out-cluster-mt");
     let emit = flag_value(&args, "--emit-telemetry");
     if args.iter().any(|a| a == "--smoke") {
-        run_smoke(&out, out_cluster.as_deref(), emit.as_deref());
+        run_smoke(
+            &out,
+            out_cluster.as_deref(),
+            out_cluster_mt.as_deref(),
+            emit.as_deref(),
+        );
         return;
     }
     println!("medusa micro-benchmarks (self-contained harness)\n");
@@ -377,6 +409,11 @@ fn main() {
     bench_serving_and_workload();
     bench_parallel_cold_start();
     if let Some(dir) = emit {
-        run_smoke(&out, out_cluster.as_deref(), Some(&dir));
+        run_smoke(
+            &out,
+            out_cluster.as_deref(),
+            out_cluster_mt.as_deref(),
+            Some(&dir),
+        );
     }
 }

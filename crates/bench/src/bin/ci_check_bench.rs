@@ -4,6 +4,7 @@
 //! ci-check-bench cores
 //! ci-check-bench compare         <fresh.json> <baseline.json> [--tolerance-pct N]
 //! ci-check-bench compare-cluster <fresh.json> <baseline.json> [--tolerance-pct N]
+//!                                [--hit-rate-floor-pm N]
 //! ci-check-bench golden          <out-dir>
 //! ci-check-bench scale-smoke     [--budget-s N] [--nodes N] [--rps N]
 //! ```
@@ -14,7 +15,11 @@
 //! exits non-zero when the overlapped loading makespan regressed beyond
 //! the tolerance (default 5%). `compare-cluster` does the same for
 //! `BENCH_cluster.json` (Medusa-fleet TTFT p99 and makespan, plus the
-//! medusa-beats-vanilla invariant).
+//! medusa-beats-vanilla invariant). When the fresh report carries a
+//! `per_tenant` field it is treated as the multi-tenant baseline
+//! (`BENCH_cluster_multitenant.json`): the gate then also requires every
+//! tenant's Medusa TTFT p99 to beat vanilla's and the artifact-cache hit
+//! rate to stay above the floor (default 200‰, `--hit-rate-floor-pm`).
 //!
 //! `golden` writes one `ClusterReport` JSON per scenario of the
 //! differential matrix ([`medusa_serving::scenarios`]) into `<out-dir>` —
@@ -29,8 +34,9 @@
 //! event core's "millions of events in wall-clock seconds" contract.
 
 use medusa_bench::smoke::{
-    check_cluster_regression, check_regression, check_scale, run_scale, BenchCluster,
-    BenchColdstart, SCALE_BUDGET_S, SCALE_NODES, SCALE_RPS,
+    check_cluster_mt_regression, check_cluster_regression, check_regression, check_scale,
+    run_scale, BenchCluster, BenchClusterMultiTenant, BenchColdstart, MT_HIT_RATE_FLOOR_PM,
+    SCALE_BUDGET_S, SCALE_NODES, SCALE_RPS,
 };
 use medusa_serving::scenarios::differential_matrix;
 use medusa_serving::simulate_fleet;
@@ -83,23 +89,46 @@ fn compare(args: &[String], cluster: bool) -> Result<(), String> {
     let [fresh_path, baseline_path, rest @ ..] = args else {
         return Err("compare needs <fresh.json> <baseline.json>".into());
     };
-    let tolerance = match rest {
-        [] => 5.0,
-        [flag, v] if flag == "--tolerance-pct" => v
-            .parse::<f64>()
-            .map_err(|e| format!("bad --tolerance-pct `{v}`: {e}"))?,
-        other => return Err(format!("unexpected arguments {other:?}")),
-    };
+    let mut tolerance = 5.0;
+    let mut hit_rate_floor_pm = MT_HIT_RATE_FLOOR_PM;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--tolerance-pct" => {
+                tolerance = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --tolerance-pct `{v}`: {e}"))?;
+            }
+            "--hit-rate-floor-pm" => {
+                hit_rate_floor_pm = v
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad --hit-rate-floor-pm `{v}`: {e}"))?;
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
     let read = |path: &String| -> Result<String, String> {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
     };
     let parse_err = |path: &String, e: String| format!("cannot parse `{path}`: {e}");
     let verdict = if cluster {
-        let fresh =
-            BenchCluster::from_json(&read(fresh_path)?).map_err(|e| parse_err(fresh_path, e))?;
-        let baseline = BenchCluster::from_json(&read(baseline_path)?)
-            .map_err(|e| parse_err(baseline_path, e))?;
-        check_cluster_regression(&fresh, &baseline, tolerance)?
+        // The multi-tenant baseline is distinguished by its `per_tenant`
+        // field; both shapes share the `compare-cluster` subcommand.
+        let fresh_json = read(fresh_path)?;
+        if fresh_json.contains("\"per_tenant\"") {
+            let fresh = BenchClusterMultiTenant::from_json(&fresh_json)
+                .map_err(|e| parse_err(fresh_path, e))?;
+            let baseline = BenchClusterMultiTenant::from_json(&read(baseline_path)?)
+                .map_err(|e| parse_err(baseline_path, e))?;
+            check_cluster_mt_regression(&fresh, &baseline, tolerance, hit_rate_floor_pm)?
+        } else {
+            let fresh =
+                BenchCluster::from_json(&fresh_json).map_err(|e| parse_err(fresh_path, e))?;
+            let baseline = BenchCluster::from_json(&read(baseline_path)?)
+                .map_err(|e| parse_err(baseline_path, e))?;
+            check_cluster_regression(&fresh, &baseline, tolerance)?
+        }
     } else {
         let fresh =
             BenchColdstart::from_json(&read(fresh_path)?).map_err(|e| parse_err(fresh_path, e))?;

@@ -10,7 +10,10 @@
 use medusa::{materialize_offline_tp_with, ColdStart, ColdStartOptions, Parallelism, Strategy};
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
-use medusa_serving::{simulate_fleet, simulate_fleet_traced, ClusterSpec, FleetProfile, Policy};
+use medusa_serving::{
+    simulate_fleet, simulate_fleet_traced, CacheCapacity, CacheConfig, ClusterSpec, EvictionPolicy,
+    FleetProfile, Policy,
+};
 use medusa_telemetry::Registry;
 use medusa_workload::{ArrivalPattern, TraceConfig};
 use serde::{Deserialize, Serialize};
@@ -340,6 +343,277 @@ pub fn check_cluster_regression(
 }
 
 // ---------------------------------------------------------------------
+// Multi-tenant cluster smoke scenario (contended artifact cache).
+
+/// Distinct models of the multi-tenant smoke scenario.
+pub const MT_MODELS: u32 = 8;
+/// Zipf popularity skew, in milli-units (1000 = s of 1.0; integer so the
+/// committed baseline stays `Eq`-comparable).
+pub const MT_ZIPF_S_MILLI: u32 = 1000;
+/// Trace seed of the multi-tenant scenario.
+pub const MT_SEED: u64 = 42;
+/// Offered rate, requests/second.
+pub const MT_RPS: u64 = 1;
+/// Trace duration, seconds.
+pub const MT_DURATION_S: u64 = 120;
+/// Per-node artifact-cache capacity, artifacts.
+pub const MT_CACHE_ARTIFACTS: u32 = 4;
+/// Fleet size of the multi-tenant scenario (one node per model, so tail
+/// waits are cold-start-cost-bound rather than keep-alive-bound).
+pub const MT_NODES: usize = 8;
+/// Idle keep-alive of the multi-tenant fleet, seconds (short, so nodes
+/// churn and the bounded cache actually evicts).
+pub const MT_KEEP_ALIVE_S: u64 = 2;
+/// Default cache-hit-rate floor of the CI gate, per-mille.
+pub const MT_HIT_RATE_FLOOR_PM: u32 = 200;
+
+/// One tenant's slice of the multi-tenant smoke result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchTenant {
+    /// Tenant/model id.
+    pub model: u32,
+    /// Requests offered by this tenant.
+    pub offered: u64,
+    /// Medusa-fleet TTFT p99, µs.
+    pub medusa_ttft_p99_us: u64,
+    /// Vanilla-fleet TTFT p99, µs.
+    pub vanilla_ttft_p99_us: u64,
+    /// Medusa-fleet SLO attainment, per-mille.
+    pub medusa_slo_attained_pm: u32,
+}
+
+/// One multi-tenant cluster-smoke result: a Zipf-skewed eight-model trace
+/// replayed on a Medusa fleet and a vanilla fleet whose nodes hold a
+/// bounded cost-aware artifact cache. Simulated clock only —
+/// byte-identical across machines, committed as
+/// `results/BENCH_cluster_multitenant.json`. The `per_tenant` field is
+/// how `ci-check-bench compare-cluster` tells this baseline apart from
+/// the single-tenant one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchClusterMultiTenant {
+    /// Catalog model name backing the measured cost profile.
+    pub model: String,
+    /// Fleet size.
+    pub nodes: u32,
+    /// Trace seed.
+    pub seed: u64,
+    /// Distinct tenant models.
+    pub models: u32,
+    /// Zipf skew, milli-units.
+    pub zipf_s_milli: u32,
+    /// Offered rate, requests/second.
+    pub rps: u64,
+    /// Trace duration, seconds.
+    pub duration_s: u64,
+    /// Per-node cache capacity, artifacts.
+    pub cache_artifacts: u32,
+    /// Eviction policy name.
+    pub eviction: String,
+    /// Fingerprint of the replayed trace (config drift detector; covers
+    /// the per-request model ids).
+    pub trace_fingerprint: u64,
+    /// Medusa-fleet cold starts.
+    pub medusa_cold_starts: u32,
+    /// Medusa-fleet aggregate TTFT p99, µs.
+    pub medusa_ttft_p99_us: u64,
+    /// Vanilla-fleet cold starts.
+    pub vanilla_cold_starts: u32,
+    /// Vanilla-fleet aggregate TTFT p99, µs.
+    pub vanilla_ttft_p99_us: u64,
+    /// Medusa-fleet artifact-cache hits.
+    pub cache_hits: u64,
+    /// Medusa-fleet artifact-cache misses.
+    pub cache_misses: u64,
+    /// Medusa-fleet artifact-cache evictions.
+    pub cache_evictions: u64,
+    /// Cache hit rate, per-mille of (hits + misses).
+    pub cache_hit_rate_pm: u32,
+    /// Per-tenant breakdown, ascending model id.
+    pub per_tenant: Vec<BenchTenant>,
+}
+
+impl BenchClusterMultiTenant {
+    /// Encodes as JSON (one stable line — committed as the CI baseline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plain struct encodes")
+    }
+
+    /// Decodes from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+fn mt_trace() -> Vec<medusa_workload::Request> {
+    TraceConfig::sharegpt(MT_RPS as f64, MT_DURATION_S as f64)
+        .with_seed(MT_SEED)
+        .with_models(medusa_workload::ModelMix::Zipf {
+            models: MT_MODELS,
+            s: MT_ZIPF_S_MILLI as f64 / 1000.0,
+        })
+        .generate()
+}
+
+fn mt_cluster() -> ClusterSpec {
+    ClusterSpec::uniform(MT_NODES)
+        .with_cache(CacheConfig {
+            capacity: CacheCapacity::Artifacts(MT_CACHE_ARTIFACTS),
+            eviction: EvictionPolicy::CostAware,
+        })
+        .with_keep_alive(MT_KEEP_ALIVE_S as f64)
+}
+
+/// Runs one side of the multi-tenant smoke scenario.
+pub fn run_cluster_mt_side(
+    strategy: Strategy,
+    tele: Option<&Registry>,
+) -> medusa_serving::ClusterReport {
+    let spec = ModelSpec::by_name(MODEL).expect("catalog model");
+    let profile = FleetProfile::measure(
+        strategy,
+        &spec,
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        1,
+        Parallelism::Overlapped,
+        MT_SEED,
+    )
+    .expect("fleet profile")
+    .with_scaled_models(MT_MODELS);
+    let trace = mt_trace();
+    simulate_fleet_traced(
+        &profile,
+        &mt_cluster(),
+        Policy::ColdStartAware,
+        &trace,
+        tele,
+    )
+    .report
+}
+
+/// Runs the full multi-tenant cluster smoke scenario (Medusa fleet vs
+/// vanilla fleet on the same Zipf-skewed trace).
+pub fn run_cluster_mt() -> BenchClusterMultiTenant {
+    let medusa = run_cluster_mt_side(Strategy::Medusa, None);
+    let vanilla = run_cluster_mt_side(Strategy::Vanilla, None);
+    let cache = medusa.cache.expect("multi-tenant run reports cache");
+    let lookups = cache.hits + cache.misses;
+    let per_tenant = medusa
+        .tenants
+        .iter()
+        .map(|m| {
+            let v = vanilla
+                .tenants
+                .iter()
+                .find(|v| v.model == m.model)
+                .expect("same trace, same tenants");
+            BenchTenant {
+                model: m.model,
+                offered: m.offered as u64,
+                medusa_ttft_p99_us: m.ttft_p99_us,
+                vanilla_ttft_p99_us: v.ttft_p99_us,
+                medusa_slo_attained_pm: m.slo_attained_pm,
+            }
+        })
+        .collect();
+    BenchClusterMultiTenant {
+        model: MODEL.to_string(),
+        nodes: MT_NODES as u32,
+        seed: MT_SEED,
+        models: MT_MODELS,
+        zipf_s_milli: MT_ZIPF_S_MILLI,
+        rps: MT_RPS,
+        duration_s: MT_DURATION_S,
+        cache_artifacts: MT_CACHE_ARTIFACTS,
+        eviction: EvictionPolicy::CostAware.name().to_string(),
+        trace_fingerprint: medusa_workload::fingerprint(&mt_trace()),
+        medusa_cold_starts: medusa.cold_starts,
+        medusa_ttft_p99_us: medusa.ttft_p99_us,
+        vanilla_cold_starts: vanilla.cold_starts,
+        vanilla_ttft_p99_us: vanilla.ttft_p99_us,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_evictions: cache.evictions,
+        cache_hit_rate_pm: (cache.hits * 1_000).checked_div(lookups).unwrap_or(0) as u32,
+        per_tenant,
+    }
+}
+
+/// Compares a fresh multi-tenant smoke run against the committed baseline.
+/// Returns a human-readable verdict, or an error when the Medusa fleet's
+/// aggregate TTFT p99 regressed beyond `tolerance_pct`, when any tenant's
+/// Medusa TTFT p99 no longer beats the vanilla fleet's, when the cache hit
+/// rate fell below `hit_rate_floor_pm`, or when the baseline no longer
+/// matches the benchmark's configuration.
+pub fn check_cluster_mt_regression(
+    fresh: &BenchClusterMultiTenant,
+    baseline: &BenchClusterMultiTenant,
+    tolerance_pct: f64,
+    hit_rate_floor_pm: u32,
+) -> Result<String, String> {
+    let config = |b: &BenchClusterMultiTenant| {
+        (
+            b.model.clone(),
+            b.nodes,
+            b.seed,
+            b.models,
+            b.zipf_s_milli,
+            b.rps,
+            b.duration_s,
+            b.cache_artifacts,
+            b.eviction.clone(),
+            b.trace_fingerprint,
+        )
+    };
+    if config(fresh) != config(baseline) {
+        return Err(format!(
+            "baseline configuration mismatch: fresh ran {:?}, baseline has {:?} — regenerate \
+             results/BENCH_cluster_multitenant.json",
+            config(fresh),
+            config(baseline),
+        ));
+    }
+    let limit = baseline.medusa_ttft_p99_us as f64 * (1.0 + tolerance_pct / 100.0);
+    if (fresh.medusa_ttft_p99_us as f64) > limit {
+        return Err(format!(
+            "medusa multi-tenant ttft p99 regressed: {} µs vs baseline {} µs \
+             (> {tolerance_pct:.1}% tolerance)",
+            fresh.medusa_ttft_p99_us, baseline.medusa_ttft_p99_us
+        ));
+    }
+    for t in &fresh.per_tenant {
+        if t.medusa_ttft_p99_us >= t.vanilla_ttft_p99_us {
+            return Err(format!(
+                "medusa no longer beats vanilla for tenant {} on TTFT p99: {} µs vs {} µs",
+                t.model, t.medusa_ttft_p99_us, t.vanilla_ttft_p99_us
+            ));
+        }
+    }
+    if fresh.cache_hit_rate_pm < hit_rate_floor_pm {
+        return Err(format!(
+            "artifact-cache hit rate fell below the floor: {}‰ < {}‰ ({} hits / {} misses / {} \
+             evictions)",
+            fresh.cache_hit_rate_pm,
+            hit_rate_floor_pm,
+            fresh.cache_hits,
+            fresh.cache_misses,
+            fresh.cache_evictions
+        ));
+    }
+    Ok(format!(
+        "medusa multi-tenant ttft p99 {} µs vs baseline {} µs (vanilla {} µs), {} tenants all \
+         beat vanilla, cache hit rate {}‰ (floor {}‰), within {:.1}%",
+        fresh.medusa_ttft_p99_us,
+        baseline.medusa_ttft_p99_us,
+        fresh.vanilla_ttft_p99_us,
+        fresh.per_tenant.len(),
+        fresh.cache_hit_rate_pm,
+        hit_rate_floor_pm,
+        tolerance_pct
+    ))
+}
+
+// ---------------------------------------------------------------------
 // Large-fleet scale smoke (event-core throughput gate).
 
 /// Fleet size of the scale scenario.
@@ -569,6 +843,100 @@ mod tests {
             "medusa fleet must beat vanilla on the burst tail: {a:?}"
         );
         assert!(a.medusa_makespan_us <= a.vanilla_makespan_us, "{a:?}");
+    }
+
+    fn sample_cluster_mt() -> BenchClusterMultiTenant {
+        BenchClusterMultiTenant {
+            model: MODEL.to_string(),
+            nodes: MT_NODES as u32,
+            seed: MT_SEED,
+            models: MT_MODELS,
+            zipf_s_milli: MT_ZIPF_S_MILLI,
+            rps: MT_RPS,
+            duration_s: MT_DURATION_S,
+            cache_artifacts: MT_CACHE_ARTIFACTS,
+            eviction: EvictionPolicy::CostAware.name().to_string(),
+            trace_fingerprint: 0xfeed,
+            medusa_cold_starts: 40,
+            medusa_ttft_p99_us: 2_000_000,
+            vanilla_cold_starts: 38,
+            vanilla_ttft_p99_us: 3_000_000,
+            cache_hits: 30,
+            cache_misses: 10,
+            cache_evictions: 2,
+            cache_hit_rate_pm: 750,
+            per_tenant: vec![
+                BenchTenant {
+                    model: 0,
+                    offered: 30,
+                    medusa_ttft_p99_us: 1_000_000,
+                    vanilla_ttft_p99_us: 1_500_000,
+                    medusa_slo_attained_pm: 933,
+                },
+                BenchTenant {
+                    model: 1,
+                    offered: 10,
+                    medusa_ttft_p99_us: 2_000_000,
+                    vanilla_ttft_p99_us: 3_000_000,
+                    medusa_slo_attained_pm: 800,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn cluster_mt_json_round_trips() {
+        let b = sample_cluster_mt();
+        assert_eq!(BenchClusterMultiTenant::from_json(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn cluster_mt_gate_passes_within_tolerance_and_fails_beyond() {
+        let base = sample_cluster_mt();
+        let mut fresh = sample_cluster_mt();
+        fresh.medusa_ttft_p99_us = 2_098_000; // +4.9%
+        assert!(check_cluster_mt_regression(&fresh, &base, 5.0, 200).is_ok());
+        fresh.medusa_ttft_p99_us = 2_102_000; // +5.1%
+        assert!(check_cluster_mt_regression(&fresh, &base, 5.0, 200).is_err());
+    }
+
+    #[test]
+    fn cluster_mt_gate_requires_every_tenant_to_beat_vanilla() {
+        let base = sample_cluster_mt();
+        let mut fresh = sample_cluster_mt();
+        // One lagging tenant fails the gate even when the aggregate wins.
+        fresh.per_tenant[1].medusa_ttft_p99_us = fresh.per_tenant[1].vanilla_ttft_p99_us;
+        let err = check_cluster_mt_regression(&fresh, &base, 1000.0, 0).unwrap_err();
+        assert!(err.contains("tenant 1"), "{err}");
+    }
+
+    #[test]
+    fn cluster_mt_gate_enforces_hit_rate_floor_and_config() {
+        let base = sample_cluster_mt();
+        let mut fresh = sample_cluster_mt();
+        fresh.cache_hit_rate_pm = 199;
+        let err = check_cluster_mt_regression(&fresh, &base, 5.0, 200).unwrap_err();
+        assert!(err.contains("below the floor"), "{err}");
+        let mut fresh = sample_cluster_mt();
+        fresh.trace_fingerprint = 0xdead;
+        let err = check_cluster_mt_regression(&fresh, &base, 5.0, 200).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn cluster_mt_smoke_is_deterministic_and_every_tenant_wins() {
+        let a = run_cluster_mt();
+        let b = run_cluster_mt();
+        assert_eq!(a, b, "simulated multi-tenant results must be run-invariant");
+        assert_eq!(a.per_tenant.len(), MT_MODELS as usize, "{a:?}");
+        for t in &a.per_tenant {
+            assert!(
+                t.medusa_ttft_p99_us < t.vanilla_ttft_p99_us,
+                "medusa must beat vanilla for every tenant: {t:?}"
+            );
+        }
+        assert!(a.cache_hit_rate_pm >= MT_HIT_RATE_FLOOR_PM, "{a:?}");
+        assert!(a.cache_evictions > 0, "cache must be contended: {a:?}");
     }
 
     #[test]

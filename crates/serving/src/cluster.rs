@@ -52,10 +52,12 @@ use medusa_workload::{fingerprint, Request};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
-/// Modeled fabric bandwidth for registry fetches, bytes/second (10 Gb/s —
-/// the materialized `<GPU type, model type>` entry streams weights plus
-/// graph state to the node's local cache on a miss).
-const FETCH_BANDWIDTH_BPS: f64 = 1.25e9;
+/// Modeled fabric bandwidth for registry fetches, bytes/second (100 Gb/s,
+/// a stock ML-cluster NIC — the materialized `<GPU type, model type>`
+/// entry streams weights plus graph state to the node's local cache on a
+/// miss, so a miss costs a fetch on top of the restore but still undercuts
+/// a vanilla from-scratch load).
+const FETCH_BANDWIDTH_BPS: f64 = 1.25e10;
 
 // ---------------------------------------------------------------------
 // Cluster shape.
@@ -150,6 +152,80 @@ pub struct ClusterFaults {
     pub node_crash_per_mille: u32,
 }
 
+/// Eviction policy of the bounded node-local artifact cache (§6). All
+/// tie-breaks are deterministic (by model id), so cache churn is as
+/// reproducible as everything else in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used artifact.
+    Lru,
+    /// Evict the least-frequently-used artifact (ties by recency).
+    Lfu,
+    /// Evict the artifact that is cheapest to re-materialize — the one
+    /// with the smallest fetch + restore cost — keeping expensive (large)
+    /// artifacts resident even when they are touched rarely.
+    CostAware,
+}
+
+impl EvictionPolicy {
+    /// All built-in eviction policies.
+    pub const ALL: [EvictionPolicy; 3] = [
+        EvictionPolicy::Lru,
+        EvictionPolicy::Lfu,
+        EvictionPolicy::CostAware,
+    ];
+
+    /// Stable CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Lfu => "lfu",
+            EvictionPolicy::CostAware => "cost-aware",
+        }
+    }
+
+    /// Parses a CLI eviction-policy name.
+    pub fn parse(s: &str) -> Option<EvictionPolicy> {
+        match s {
+            "lru" => Some(EvictionPolicy::Lru),
+            "lfu" => Some(EvictionPolicy::Lfu),
+            "cost-aware" => Some(EvictionPolicy::CostAware),
+            _ => None,
+        }
+    }
+}
+
+/// Capacity bound of the node-local artifact cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheCapacity {
+    /// No bound — the pre-multi-tenant behavior (nothing is ever evicted).
+    Unlimited,
+    /// At most this many materialized artifacts per node.
+    Artifacts(u32),
+    /// At most this many artifact bytes per node.
+    Bytes(u64),
+}
+
+/// Node-local artifact cache configuration: capacity bound plus eviction
+/// policy. The default (unlimited, LRU) never evicts, which reproduces the
+/// single-model fleet byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Capacity bound.
+    pub capacity: CacheCapacity,
+    /// Eviction policy applied when an insert exceeds the bound.
+    pub eviction: EvictionPolicy,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: CacheCapacity::Unlimited,
+            eviction: EvictionPolicy::Lru,
+        }
+    }
+}
+
 /// Shape of the simulated fleet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
@@ -166,6 +242,11 @@ pub struct ClusterSpec {
     pub registry: RegistryPolicy,
     /// Fault injection (defaults to none).
     pub faults: ClusterFaults,
+    /// Node-local artifact cache bound + eviction policy.
+    pub cache: CacheConfig,
+    /// Per-tenant TTFT SLO threshold, seconds: a request whose TTFT lands
+    /// at or under this counts toward its tenant's SLO attainment.
+    pub slo_ttft_s: f64,
 }
 
 impl ClusterSpec {
@@ -185,6 +266,8 @@ impl ClusterSpec {
             autoscaler: AutoscalerConfig::default(),
             registry: RegistryPolicy::default(),
             faults: ClusterFaults::default(),
+            cache: CacheConfig::default(),
+            slo_ttft_s: 2.5,
         }
     }
 
@@ -222,6 +305,24 @@ impl ClusterSpec {
         self.faults = faults;
         self
     }
+
+    /// Bounds the node-local artifact caches (builder style).
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the per-tenant TTFT SLO threshold (builder style).
+    pub fn with_slo_ttft(mut self, slo_ttft_s: f64) -> Self {
+        self.slo_ttft_s = slo_ttft_s;
+        self
+    }
+
+    /// Sets the idle keep-alive window (builder style).
+    pub fn with_keep_alive(mut self, keep_alive_s: f64) -> Self {
+        self.autoscaler.keep_alive_s = keep_alive_s;
+        self
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -247,6 +348,23 @@ pub struct FleetProfile {
     /// node falls back to when its registry fetch budget is exhausted
     /// (§7). Equal to `perf.loading` for non-materialized strategies.
     pub degraded_loading: SimDuration,
+    /// Per-model cold-start cost overrides, indexed by model id. Empty
+    /// (the default) makes every model cost the base `perf.loading` /
+    /// `fetch` — the single-model fleet. Multi-tenant fleets populate
+    /// this so artifacts differ in fetch and restore cost, which is what
+    /// gives eviction policy a signal to weigh.
+    pub model_costs: Vec<ModelCost>,
+}
+
+/// Cold-start costs of one model's materialized artifact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelCost {
+    /// Registry-fetch penalty on a node-local cache miss.
+    pub fetch: SimDuration,
+    /// Cache-hit cold-start (restore) makespan.
+    pub loading: SimDuration,
+    /// Artifact size, for byte-bounded caches.
+    pub artifact_bytes: u64,
 }
 
 impl FleetProfile {
@@ -260,6 +378,7 @@ impl FleetProfile {
             degraded_loading: perf.loading,
             perf,
             fetch: SimDuration::ZERO,
+            model_costs: Vec::new(),
         }
     }
 
@@ -281,6 +400,74 @@ impl FleetProfile {
         self
     }
 
+    /// Sets explicit per-model cold-start costs (builder style).
+    pub fn with_model_costs(mut self, model_costs: Vec<ModelCost>) -> Self {
+        self.model_costs = model_costs;
+        self
+    }
+
+    /// Derives a heterogeneous `models`-way cost table from the base
+    /// profile (builder style): model `m` scales the base fetch, loading,
+    /// and artifact size by `(4 + m) / 4`, so model 0 costs exactly the
+    /// base profile and each higher id is 25% larger — rare tail models
+    /// are the expensive ones, the shape that makes cost-aware eviction
+    /// diverge from pure recency.
+    pub fn with_scaled_models(mut self, models: u32) -> Self {
+        let base_bytes = self.fetch.as_nanos().saturating_mul(5) / 4;
+        let base_fetch = self.fetch.as_nanos();
+        let base_loading = self.perf.loading.as_nanos();
+        self.model_costs = (0..models)
+            .map(|m| {
+                let num = 4 + m as u64;
+                ModelCost {
+                    fetch: SimDuration::from_nanos(base_fetch * num / 4),
+                    loading: SimDuration::from_nanos(base_loading * num / 4),
+                    artifact_bytes: base_bytes * num / 4,
+                }
+            })
+            .collect();
+        self
+    }
+
+    /// Cache-miss fetch penalty of `model` (base `fetch` when no per-model
+    /// cost is configured).
+    pub fn fetch_for(&self, model: u32) -> SimDuration {
+        self.model_costs
+            .get(model as usize)
+            .map_or(self.fetch, |c| c.fetch)
+    }
+
+    /// Cache-hit loading makespan of `model`.
+    pub fn loading_for(&self, model: u32) -> SimDuration {
+        self.model_costs
+            .get(model as usize)
+            .map_or(self.perf.loading, |c| c.loading)
+    }
+
+    /// Artifact size of `model`, bytes (derived from the fetch penalty at
+    /// the modeled fabric bandwidth when no per-model cost is configured).
+    pub fn artifact_bytes_for(&self, model: u32) -> u64 {
+        self.model_costs
+            .get(model as usize)
+            .map_or(self.fetch.as_nanos().saturating_mul(5) / 4, |c| {
+                c.artifact_bytes
+            })
+    }
+
+    /// Aggregate per-rank cold-start work of `model`: the base work scaled
+    /// by the model's loading ratio.
+    fn coldstart_work_for(&self, model: u32) -> SimDuration {
+        match self.model_costs.get(model as usize) {
+            None => self.coldstart_work,
+            Some(c) => {
+                let base = self.perf.loading.as_nanos().max(1);
+                SimDuration::from_nanos(
+                    self.coldstart_work.as_nanos() * c.loading.as_nanos() / base,
+                )
+            }
+        }
+    }
+
     /// Measures a fleet profile by running the **real** per-instance
     /// pipelines: serving tables via [`PerfModel::measure`] and the
     /// cold-start makespan/work via a `tp`-way [`medusa::ColdStart`] run
@@ -291,7 +478,7 @@ impl FleetProfile {
     ///
     /// The cache-miss fetch penalty models streaming the materialized
     /// `<GPU type, model type>` entry (dominated by the weights) over a
-    /// 10 Gb/s fabric; non-Medusa strategies fetch nothing.
+    /// 100 Gb/s fabric; non-Medusa strategies fetch nothing.
     ///
     /// # Errors
     ///
@@ -363,15 +550,18 @@ impl FleetProfile {
             coldstart_work: cold.aggregate_work(),
             fetch,
             degraded_loading,
+            model_costs: Vec::new(),
         })
     }
 
-    /// Cold-start makespan for a node whose local cache state is `cached`.
-    fn coldstart_makespan(&self, cached: bool) -> SimDuration {
+    /// Cold-start makespan of `model` on a node whose local cache state
+    /// for that model is `cached`.
+    fn coldstart_makespan(&self, cached: bool, model: u32) -> SimDuration {
+        let loading = self.loading_for(model);
         if cached || self.strategy != Strategy::Medusa {
-            self.perf.loading
+            loading
         } else {
-            self.perf.loading + self.fetch
+            loading + self.fetch_for(model)
         }
     }
 }
@@ -392,19 +582,23 @@ pub enum NodeState {
 }
 
 /// Read-only view of one node, handed to [`Scheduler`] policies for one
-/// routing decision.
+/// routing decision. Views are computed **per candidate request**, so
+/// `cached` and `accepts` already encode that request's model: a warm
+/// node serving a different model does not accept, and `cached` answers
+/// "does this node's cache hold *the requested model's* artifact".
 #[derive(Debug, Clone, Copy)]
 pub struct NodeView {
     /// Lifecycle state.
     pub state: NodeState,
     /// Pending + running sequences on the node.
     pub load: usize,
-    /// Whether the local artifact cache holds the materialized state (so
-    /// a cold start here skips the registry fetch).
+    /// Whether the local artifact cache holds the materialized state for
+    /// the candidate request's model (so a cold start here skips the
+    /// registry fetch).
     pub cached: bool,
     /// Whether admitting *this* request respects the node's batch-slot
-    /// and KV-capacity limits (always `true` for cold nodes — they start
-    /// empty).
+    /// and KV-capacity limits and model affinity (always `true` for cold
+    /// nodes — they start empty and can start any model).
     pub accepts: bool,
 }
 
@@ -430,9 +624,12 @@ pub trait Scheduler {
     /// Routes one request.
     fn route(&mut self, nodes: &[NodeView]) -> Decision;
 
-    /// Picks which cold node the autoscaler should start. The default is
-    /// cold-start-cost-oblivious: the first cold node by index.
-    fn pick_cold(&mut self, nodes: &[NodeView]) -> Option<usize> {
+    /// Picks which cold node the autoscaler should start for a request of
+    /// `model` (the views' `cached` bit already reflects that model's
+    /// locality). The default is cold-start-cost-oblivious: the first
+    /// cold node by index.
+    fn pick_cold(&mut self, nodes: &[NodeView], model: u32) -> Option<usize> {
+        let _ = model;
         nodes.iter().position(|n| n.state == NodeState::Cold)
     }
 }
@@ -519,8 +716,9 @@ impl Scheduler for ColdStartAware {
         Decision::Queue
     }
 
-    fn pick_cold(&mut self, nodes: &[NodeView]) -> Option<usize> {
-        // Cheapest start first: a cached node skips the registry fetch.
+    fn pick_cold(&mut self, nodes: &[NodeView], _model: u32) -> Option<usize> {
+        // Cheapest start first: a node whose cache holds this model's
+        // artifact skips the registry fetch.
         nodes
             .iter()
             .enumerate()
@@ -594,8 +792,44 @@ pub struct NodeReport {
     pub cached_at_end: bool,
 }
 
-/// Deterministic summary of one fleet simulation.
+/// Per-tenant (per-model) accounting of one multi-tenant fleet run.
+///
+/// Only present in reports of traces that actually carry nonzero model
+/// ids — single-tenant reports serialize byte-identically to the
+/// pre-multi-tenant format.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Model/tenant id.
+    pub model: u32,
+    /// Requests this tenant offered.
+    pub offered: usize,
+    /// Requests fully completed before the drain horizon.
+    pub completed: usize,
+    /// Cold starts paid for this tenant's model.
+    pub cold_starts: u32,
+    /// Median time-to-first-token, µs.
+    pub ttft_p50_us: u64,
+    /// 99th-percentile time-to-first-token, µs.
+    pub ttft_p99_us: u64,
+    /// Per-mille of this tenant's prefilled requests whose TTFT met the
+    /// cluster's [`ClusterSpec::slo_ttft_s`] threshold.
+    pub slo_attained_pm: u32,
+}
+
+/// Fleet-wide artifact-cache counters (bounded-cache or multi-tenant runs
+/// only — hit/miss is accounted per Medusa cold start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// Cold starts whose node-local cache already held the model.
+    pub hits: u64,
+    /// Cold starts that had to fetch from the registry.
+    pub misses: u64,
+    /// Artifacts evicted under the capacity bound.
+    pub evictions: u64,
+}
+
+/// Deterministic summary of one fleet simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterReport {
     /// Scheduler policy name.
     pub policy: String,
@@ -630,8 +864,90 @@ pub struct ClusterReport {
     /// Order-sensitive fingerprint of the replayed trace
     /// ([`medusa_workload::fingerprint`]).
     pub trace_fingerprint: u64,
+    /// Per-tenant accounting, ascending model id. Empty for single-tenant
+    /// traces (and then omitted from the serialized report, keeping the
+    /// committed goldens byte-identical).
+    pub tenants: Vec<TenantReport>,
+    /// Artifact-cache counters; `None` (omitted) for unbounded
+    /// single-tenant runs.
+    pub cache: Option<CacheReport>,
     /// Per-node accounting, node order.
     pub nodes: Vec<NodeReport>,
+}
+
+// Serialization is hand-written (the vendored serde stub has no
+// `skip_serializing_if`): `tenants`/`cache` appear in the JSON only when
+// populated, so pre-multi-tenant reports — including every committed
+// golden — serialize byte-identically.
+impl serde::Serialize for ClusterReport {
+    fn to_value(&self) -> serde::Value {
+        let mut m: Vec<(String, serde::Value)> = vec![
+            ("policy".into(), self.policy.to_value()),
+            ("strategy".into(), self.strategy.to_value()),
+            ("offered".into(), self.offered.to_value()),
+            ("completed".into(), self.completed.to_value()),
+            ("cold_starts".into(), self.cold_starts.to_value()),
+            (
+                "scale_to_zero_events".into(),
+                self.scale_to_zero_events.to_value(),
+            ),
+            ("fetch_retries".into(), self.fetch_retries.to_value()),
+            (
+                "degraded_cold_starts".into(),
+                self.degraded_cold_starts.to_value(),
+            ),
+            ("node_failures".into(), self.node_failures.to_value()),
+            ("reroutes".into(), self.reroutes.to_value()),
+            ("makespan_ns".into(), self.makespan_ns.to_value()),
+            ("ttft_p50_us".into(), self.ttft_p50_us.to_value()),
+            ("ttft_p99_us".into(), self.ttft_p99_us.to_value()),
+            ("ttft_mean_us".into(), self.ttft_mean_us.to_value()),
+            (
+                "trace_fingerprint".into(),
+                self.trace_fingerprint.to_value(),
+            ),
+        ];
+        if !self.tenants.is_empty() {
+            m.push(("tenants".into(), self.tenants.to_value()));
+        }
+        if let Some(cache) = &self.cache {
+            m.push(("cache".into(), cache.to_value()));
+        }
+        m.push(("nodes".into(), self.nodes.to_value()));
+        serde::Value::Map(m)
+    }
+}
+
+impl serde::Deserialize for ClusterReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let ctx = "ClusterReport";
+        Ok(ClusterReport {
+            policy: String::from_value(serde::field(v, "policy", ctx)?)?,
+            strategy: Strategy::from_value(serde::field(v, "strategy", ctx)?)?,
+            offered: usize::from_value(serde::field(v, "offered", ctx)?)?,
+            completed: usize::from_value(serde::field(v, "completed", ctx)?)?,
+            cold_starts: u32::from_value(serde::field(v, "cold_starts", ctx)?)?,
+            scale_to_zero_events: u32::from_value(serde::field(v, "scale_to_zero_events", ctx)?)?,
+            fetch_retries: u32::from_value(serde::field(v, "fetch_retries", ctx)?)?,
+            degraded_cold_starts: u32::from_value(serde::field(v, "degraded_cold_starts", ctx)?)?,
+            node_failures: u32::from_value(serde::field(v, "node_failures", ctx)?)?,
+            reroutes: u32::from_value(serde::field(v, "reroutes", ctx)?)?,
+            makespan_ns: u64::from_value(serde::field(v, "makespan_ns", ctx)?)?,
+            ttft_p50_us: u64::from_value(serde::field(v, "ttft_p50_us", ctx)?)?,
+            ttft_p99_us: u64::from_value(serde::field(v, "ttft_p99_us", ctx)?)?,
+            ttft_mean_us: u64::from_value(serde::field(v, "ttft_mean_us", ctx)?)?,
+            trace_fingerprint: u64::from_value(serde::field(v, "trace_fingerprint", ctx)?)?,
+            tenants: match v.get("tenants") {
+                Some(t) => Vec::<TenantReport>::from_value(t)?,
+                None => Vec::new(),
+            },
+            cache: match v.get("cache") {
+                Some(c) => Some(CacheReport::from_value(c)?),
+                None => None,
+            },
+            nodes: Vec::<NodeReport>::from_value(serde::field(v, "nodes", ctx)?)?,
+        })
+    }
 }
 
 impl ClusterReport {
@@ -720,6 +1036,18 @@ fn roll_per_mille(seed: u64, node: usize, start: u32, attempt: u32) -> u32 {
 struct RunningSeq {
     remaining: u32,
     kv_reserved: u64,
+    model: u32,
+}
+
+/// One resident artifact of a node-local cache.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    model: u32,
+    bytes: u64,
+    /// Simulated time of the last touch (placement or cold-start hit).
+    last_used: u64,
+    /// Touch count, for LFU.
+    uses: u64,
 }
 
 struct Node {
@@ -735,6 +1063,12 @@ struct Node {
     served: u32,
     busy_ns: u64,
     work_ns: u64,
+    /// Model the live (Warm/Starting) instance hosts; `None` when cold.
+    /// The node-local artifact cache outlives the instance — it survives
+    /// scale-to-zero — so it lives in `cache`, not here.
+    model: Option<u32>,
+    /// Node-local §6 artifact cache (linear scan: capacities are small).
+    cache: Vec<CacheEntry>,
     /// Bumped on every crash; stale stage events are ignored (and
     /// retracted via their tokens, so they normally never even fire).
     epoch: u32,
@@ -753,7 +1087,20 @@ struct Node {
 }
 
 impl Node {
-    fn new(spec: NodeSpec) -> Self {
+    /// Builds a node; a pre-seeded spec (`spec.cached`) starts with model
+    /// 0's artifact resident (`seed_bytes` sizes it for byte-bounded
+    /// caches).
+    fn new(spec: NodeSpec, seed_bytes: u64) -> Self {
+        let cache = if spec.cached {
+            vec![CacheEntry {
+                model: 0,
+                bytes: seed_bytes,
+                last_used: 0,
+                uses: 0,
+            }]
+        } else {
+            Vec::new()
+        };
         Node {
             spec,
             state: NodeState::Cold,
@@ -767,6 +1114,8 @@ impl Node {
             served: 0,
             busy_ns: 0,
             work_ns: 0,
+            model: None,
+            cache,
             epoch: 0,
             degraded_start: false,
             keep_alive: None,
@@ -779,13 +1128,26 @@ impl Node {
         self.pending.len() + self.running.len()
     }
 
-    fn view(&self, need: u64, max_running: u32, kv_capacity: u64) -> NodeView {
-        let live_accepts =
-            self.load() < max_running as usize && self.kv_tokens + need <= kv_capacity;
+    fn cache_holds(&self, model: u32) -> bool {
+        self.cache.iter().any(|e| e.model == model)
+    }
+
+    /// Touches `model`'s cache entry (recency + frequency), if resident.
+    fn cache_touch(&mut self, model: u32, t: u64) {
+        if let Some(e) = self.cache.iter_mut().find(|e| e.model == model) {
+            e.last_used = t;
+            e.uses += 1;
+        }
+    }
+
+    fn view(&self, need: u64, max_running: u32, kv_capacity: u64, model: u32) -> NodeView {
+        let live_accepts = self.load() < max_running as usize
+            && self.kv_tokens + need <= kv_capacity
+            && self.model == Some(model);
         NodeView {
             state: self.state,
             load: self.load(),
-            cached: self.spec.cached,
+            cached: self.cache_holds(model),
             accepts: match self.state {
                 NodeState::Cold => true,
                 NodeState::Starting | NodeState::Warm => live_accepts,
@@ -827,12 +1189,32 @@ struct FleetSim<'a> {
     degraded_cold_starts: u32,
     node_failures: u32,
     reroutes: u32,
+    /// Whether the trace carries any nonzero model id. Per-tenant
+    /// bookkeeping is skipped entirely for single-tenant traces, so the
+    /// hot path (and the report) is unchanged from the single-model fleet.
+    multi_tenant: bool,
+    slo_ns: u64,
+    tenant_stats: std::collections::BTreeMap<u32, TenantStat>,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+}
+
+/// Per-tenant accumulator (multi-tenant traces only).
+#[derive(Debug, Default)]
+struct TenantStat {
+    offered: usize,
+    completed: usize,
+    cold_starts: u32,
+    ttfts_us: Vec<u64>,
+    slo_attained: usize,
 }
 
 impl FleetSim<'_> {
-    /// Fills the scratch view buffer for one routing decision; the caller
-    /// hands the buffer back by assigning to `views_buf`.
-    fn fill_views(&mut self, need: u64) -> Vec<NodeView> {
+    /// Fills the scratch view buffer for one routing decision on a request
+    /// of `model`; the caller hands the buffer back by assigning to
+    /// `views_buf`.
+    fn fill_views(&mut self, need: u64, model: u32) -> Vec<NodeView> {
         let mut views = std::mem::take(&mut self.views_buf);
         views.clear();
         views.extend(self.nodes.iter().map(|n| {
@@ -840,22 +1222,102 @@ impl FleetSim<'_> {
                 need,
                 self.cluster.max_running,
                 self.profile.perf.kv_capacity_tokens,
+                model,
             )
         }));
         views
     }
 
-    /// Begins a cold start on node `i` at time `t`.
-    fn start_cold(&mut self, t: u64, i: usize) {
+    /// Inserts `model` into node `i`'s artifact cache at time `t` (or
+    /// touches the resident entry), evicting under the capacity bound.
+    /// The just-inserted model is never its own victim.
+    fn cache_insert(&mut self, t: u64, i: usize, model: u32) {
+        let profile = self.profile;
+        let cfg = self.cluster.cache;
+        let tele = self.tele;
+        let node = &mut self.nodes[i];
+        if node.cache_holds(model) {
+            node.cache_touch(model, t);
+            return;
+        }
+        node.cache.push(CacheEntry {
+            model,
+            bytes: profile.artifact_bytes_for(model),
+            last_used: t,
+            uses: 1,
+        });
+        loop {
+            let over = match cfg.capacity {
+                CacheCapacity::Unlimited => false,
+                CacheCapacity::Artifacts(n) => node.cache.len() > n as usize,
+                CacheCapacity::Bytes(b) => node.cache.iter().map(|e| e.bytes).sum::<u64>() > b,
+            };
+            if !over {
+                break;
+            }
+            // Deterministic victim: metric, then recency, then model id.
+            let victim = node
+                .cache
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.model != model)
+                .min_by_key(|(_, e)| match cfg.eviction {
+                    EvictionPolicy::Lru => (e.last_used, 0, e.model),
+                    EvictionPolicy::Lfu => (e.uses, e.last_used, e.model),
+                    EvictionPolicy::CostAware => {
+                        let cost = profile.fetch_for(e.model).as_nanos()
+                            + profile.loading_for(e.model).as_nanos();
+                        (cost, e.last_used, e.model)
+                    }
+                })
+                .map(|(idx, _)| idx);
+            match victim {
+                Some(idx) => {
+                    node.cache.remove(idx);
+                    self.cache_evictions += 1;
+                    if let Some(tl) = tele {
+                        tl.inc("cluster_cache_evictions_total", 1);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Begins a cold start of `model` on node `i` at time `t`.
+    fn start_cold(&mut self, t: u64, i: usize, model: u32) {
         let faults = self.cluster.faults;
         let reg = self.cluster.registry;
         let node = &mut self.nodes[i];
         debug_assert_eq!(node.state, NodeState::Cold);
-        let needs_fetch = self.profile.strategy == Strategy::Medusa && !node.spec.cached;
+        let cached = node.cache_holds(model);
+        let needs_fetch = self.profile.strategy == Strategy::Medusa && !cached;
         node.state = NodeState::Starting;
+        node.model = Some(model);
         node.cold_starts += 1;
         self.cold_starts += 1;
         self.live += 1;
+        if self.profile.strategy == Strategy::Medusa {
+            if needs_fetch {
+                self.cache_misses += 1;
+            } else {
+                self.cache_hits += 1;
+                self.nodes[i].cache_touch(model, t);
+            }
+            if let Some(tl) = self.tele {
+                tl.inc(
+                    if needs_fetch {
+                        "cluster_cache_misses_total"
+                    } else {
+                        "cluster_cache_hits_total"
+                    },
+                    1,
+                );
+            }
+        }
+        if self.multi_tenant {
+            self.tenant_stats.entry(model).or_default().cold_starts += 1;
+        }
         let node = &mut self.nodes[i];
 
         // Registry fetch under the resilience policy: each failed attempt
@@ -891,9 +1353,9 @@ impl FleetSim<'_> {
             (self.profile.degraded_loading, 0)
         } else {
             (
-                self.profile.coldstart_makespan(node.spec.cached),
+                self.profile.coldstart_makespan(cached, model),
                 if needs_fetch {
-                    self.profile.fetch.as_nanos()
+                    self.profile.fetch_for(model).as_nanos()
                 } else {
                     0
                 },
@@ -906,7 +1368,7 @@ impl FleetSim<'_> {
         let restore_work = if degraded {
             self.profile.degraded_loading.as_nanos() * node.spec.tp as u64
         } else {
-            self.profile.coldstart_work.as_nanos()
+            self.profile.coldstart_work_for(model).as_nanos()
         };
         node.work_ns += restore_work + retry_ns + fetch_ns;
         self.fetch_retries += retries;
@@ -925,7 +1387,7 @@ impl FleetSim<'_> {
                 tl.inc("cluster_degraded_coldstarts_total", 1);
             }
             tl.span(
-                format!("coldstart/n{i}"),
+                format!("coldstart/n{i}/m{model}"),
                 format!("node{i}"),
                 t / 1_000,
                 ready / 1_000,
@@ -947,7 +1409,7 @@ impl FleetSim<'_> {
         // restore whose completion makes the node ready.
         let fetch_tok = (needs_fetch && !degraded).then(|| {
             self.events.schedule(
-                t + retry_ns + self.profile.fetch.as_nanos(),
+                t + retry_ns + self.profile.fetch_for(model).as_nanos(),
                 FleetEvent::RegistryFetchDone { node: i, epoch },
             )
         });
@@ -963,11 +1425,13 @@ impl FleetSim<'_> {
     /// when needed), retracts the node's keep-alive countdown, and records
     /// the scheduler-decision span.
     fn place(&mut self, t: u64, r: usize, i: usize) {
+        let model = self.trace[r].model;
         if self.nodes[i].state == NodeState::Cold {
-            self.start_cold(t, i);
+            self.start_cold(t, i, model);
         }
         let need = kv_need(&self.trace[r]);
         let node = &mut self.nodes[i];
+        node.cache_touch(model, t);
         node.kv_tokens += need;
         node.idle_since = None;
         node.pending.push_back(r);
@@ -978,7 +1442,7 @@ impl FleetSim<'_> {
         }
         if let Some(tl) = self.tele {
             tl.span(
-                format!("route/r{}->n{i}", self.trace[r].id),
+                format!("route/r{}/m{model}->n{i}", self.trace[r].id),
                 "scheduler".to_string(),
                 self.trace[r].arrival_ns / 1_000,
                 t / 1_000,
@@ -992,36 +1456,79 @@ impl FleetSim<'_> {
 
     /// Routes as much of the global queue as the policy will place, then
     /// lets the autoscaler start nodes for any remaining backlog.
+    ///
+    /// Single-tenant traces keep the legacy strict-FIFO discipline: the
+    /// queue head either routes or blocks everything behind it (which is
+    /// harmless when every node can serve every request — only capacity
+    /// blocks the head, and capacity frees in arrival order).
+    /// Multi-tenant traces route with skip-ahead instead: a head whose
+    /// model has no live affine node must not stall tenants whose warm
+    /// nodes sit idle behind it.
     fn drain(&mut self, t: u64, sched: &mut dyn Scheduler) {
-        while let Some(&r) = self.queue.front() {
-            let views = self.fill_views(kv_need(&self.trace[r]));
-            let decision = sched.route(&views);
-            self.views_buf = views;
-            match decision {
-                Decision::Node(i) => {
-                    self.queue.pop_front();
-                    self.place(t, r, i);
+        if self.multi_tenant {
+            let mut idx = 0;
+            while idx < self.queue.len() {
+                let r = self.queue[idx];
+                let views = self.fill_views(kv_need(&self.trace[r]), self.trace[r].model);
+                let decision = sched.route(&views);
+                self.views_buf = views;
+                match decision {
+                    Decision::Node(i) => {
+                        self.queue.remove(idx);
+                        self.place(t, r, i);
+                    }
+                    Decision::Queue => idx += 1,
                 }
-                Decision::Queue => break,
+            }
+        } else {
+            while let Some(&r) = self.queue.front() {
+                let views = self.fill_views(kv_need(&self.trace[r]), self.trace[r].model);
+                let decision = sched.route(&views);
+                self.views_buf = views;
+                match decision {
+                    Decision::Node(i) => {
+                        self.queue.pop_front();
+                        self.place(t, r, i);
+                    }
+                    Decision::Queue => break,
+                }
             }
         }
-        // Autoscaler scale-up: an empty fleet, or backlog beyond the
-        // per-live-node target, wakes a cold node — the *policy* picks
-        // which one (ColdStartAware prefers artifact-cached nodes).
+        // Autoscaler scale-up: an empty fleet, backlog beyond the
+        // per-live-node target, or (multi-tenant) a starved tenant — a
+        // queued model with no live affine node — wakes a cold node; the
+        // *policy* picks which one (ColdStartAware prefers artifact-cached
+        // nodes). Single-model traces never see the starvation clause:
+        // every live node is affine to model 0.
         loop {
             if self.queue.is_empty() {
                 break;
             }
+            let affine_live = |nodes: &[Node], model: u32| {
+                nodes.iter().any(|n| {
+                    matches!(n.state, NodeState::Warm | NodeState::Starting)
+                        && n.model == Some(model)
+                })
+            };
+            // The request the next cold start is for: the first queued one
+            // whose model is starved, else the queue head.
+            let &r = self
+                .queue
+                .iter()
+                .find(|&&r| !affine_live(&self.nodes, self.trace[r].model))
+                .unwrap_or_else(|| self.queue.front().expect("queue non-empty"));
+            let model = self.trace[r].model;
+            let starved = !affine_live(&self.nodes, model);
             let limit = self.cluster.autoscaler.target_queue_depth * self.live.max(1);
-            if self.live > 0 && self.queue.len() <= limit {
+            if self.live > 0 && !starved && self.queue.len() <= limit {
                 break;
             }
-            let need = self.queue.front().map_or(0, |&r| kv_need(&self.trace[r]));
-            let views = self.fill_views(need);
-            let pick = sched.pick_cold(&views);
+            let need = kv_need(&self.trace[r]);
+            let views = self.fill_views(need, model);
+            let pick = sched.pick_cold(&views, model);
             self.views_buf = views;
             match pick {
-                Some(i) => self.start_cold(t, i),
+                Some(i) => self.start_cold(t, i, model),
                 None => break,
             }
         }
@@ -1069,8 +1576,10 @@ impl FleetSim<'_> {
         // The cold start populated the local cache (Medusa fetch or
         // in-place materialization reuse) — unless it degraded to the
         // vanilla path, which materializes nothing.
-        if self.profile.strategy == Strategy::Medusa && !node.degraded_start {
-            node.spec.cached = true;
+        let populate = self.profile.strategy == Strategy::Medusa && !node.degraded_start;
+        let model = node.model.unwrap_or(0);
+        if populate {
+            self.cache_insert(t, i, model);
         }
         self.events.schedule(t, FleetEvent::Route { node: i });
         self.drain(t, sched);
@@ -1090,6 +1599,7 @@ impl FleetSim<'_> {
             let node = &mut self.nodes[i];
             node.epoch += 1;
             node.state = NodeState::Cold;
+            node.model = None;
             node.idle_since = None;
             node.kv_tokens = 0;
             let rerouted: Vec<usize> = node.pending.drain(..).collect();
@@ -1146,6 +1656,7 @@ impl FleetSim<'_> {
                 .is_some_and(|since| t.saturating_sub(since) >= keep_alive_ns)
         {
             node.state = NodeState::Cold;
+            node.model = None;
             node.idle_since = None;
             self.live -= 1;
             self.scale_to_zero_events += 1;
@@ -1203,6 +1714,14 @@ impl FleetSim<'_> {
             let end = t + dur;
             self.ttfts
                 .push(SimDuration::from_nanos(end - req.arrival_ns));
+            if self.multi_tenant {
+                let ttft_ns = end - req.arrival_ns;
+                let stat = self.tenant_stats.entry(req.model).or_default();
+                stat.ttfts_us.push(ttft_ns / 1_000);
+                if ttft_ns <= self.slo_ns {
+                    stat.slo_attained += 1;
+                }
+            }
             node.served += 1;
             if let Some(tl) = tele {
                 tl.observe_us("cluster_ttft_us", (end - req.arrival_ns) / 1_000);
@@ -1219,10 +1738,14 @@ impl FleetSim<'_> {
                 node.running.push(RunningSeq {
                     remaining: req.output_tokens - 1,
                     kv_reserved: kv_need(req),
+                    model: req.model,
                 });
             } else {
                 node.kv_tokens = node.kv_tokens.saturating_sub(kv_need(req));
                 self.completed += 1;
+                if self.multi_tenant {
+                    self.tenant_stats.entry(req.model).or_default().completed += 1;
+                }
                 self.makespan_ns = self.makespan_ns.max(end);
             }
             node.busy = true;
@@ -1244,6 +1767,11 @@ impl FleetSim<'_> {
                 .map(|s| s.kv_reserved)
                 .sum();
             let before = node.running.len();
+            if self.multi_tenant {
+                for s in node.running.iter().filter(|s| s.remaining == 0) {
+                    self.tenant_stats.entry(s.model).or_default().completed += 1;
+                }
+            }
             node.running.retain(|s| s.remaining > 0);
             let finished = before - node.running.len();
             if finished > 0 {
@@ -1272,6 +1800,17 @@ impl FleetSim<'_> {
     }
 }
 
+/// Nearest-rank quantile over an already-sorted slice of microsecond
+/// samples (0 when empty) — shared by the aggregate and per-tenant
+/// report paths so both round identically.
+fn quantile_us(sorted: &[u64], f: f64) -> u64 {
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[((sorted.len() as f64 - 1.0) * f).round() as usize]
+    }
+}
+
 /// Runs `trace` through a fleet shaped by `cluster` whose nodes replay
 /// `profile`, routed by `policy`.
 pub fn simulate_fleet(
@@ -1295,12 +1834,19 @@ pub fn simulate_fleet_traced(
     tele: Option<&Registry>,
 ) -> FleetOutcome {
     let mut sched = policy.build();
+    let multi_tenant = trace.iter().any(|r| r.model != 0);
+    let seed_bytes = profile.artifact_bytes_for(0);
     let mut sim = FleetSim {
         profile,
         cluster,
         trace,
         tele,
-        nodes: cluster.nodes.iter().cloned().map(Node::new).collect(),
+        nodes: cluster
+            .nodes
+            .iter()
+            .cloned()
+            .map(|s| Node::new(s, seed_bytes))
+            .collect(),
         queue: VecDeque::new(),
         events: EventQueue::new(),
         live: 0,
@@ -1316,7 +1862,20 @@ pub fn simulate_fleet_traced(
         degraded_cold_starts: 0,
         node_failures: 0,
         reroutes: 0,
+        multi_tenant,
+        slo_ns: (cluster.slo_ttft_s * 1e9) as u64,
+        tenant_stats: std::collections::BTreeMap::new(),
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
     };
+    if multi_tenant {
+        // Pre-populate so tenants whose every request times out still show
+        // up in the report with `completed: 0`.
+        for r in trace {
+            sim.tenant_stats.entry(r.model).or_default().offered += 1;
+        }
+    }
     for (i, r) in trace.iter().enumerate() {
         sim.events
             .schedule(r.arrival_ns, FleetEvent::Arrival { req: i });
@@ -1354,13 +1913,7 @@ pub fn simulate_fleet_traced(
 
     let mut sorted: Vec<u64> = sim.ttfts.iter().map(|d| d.as_nanos() / 1_000).collect();
     sorted.sort_unstable();
-    let q = |f: f64| -> u64 {
-        if sorted.is_empty() {
-            0
-        } else {
-            sorted[((sorted.len() as f64 - 1.0) * f).round() as usize]
-        }
-    };
+    let q = |f: f64| -> u64 { quantile_us(&sorted, f) };
     let mean = if sorted.is_empty() {
         0
     } else {
@@ -1387,6 +1940,33 @@ pub fn simulate_fleet_traced(
         ttft_p99_us: q(0.99),
         ttft_mean_us: mean,
         trace_fingerprint: fingerprint(trace),
+        tenants: sim
+            .tenant_stats
+            .iter_mut()
+            .map(|(&model, stat)| {
+                stat.ttfts_us.sort_unstable();
+                TenantReport {
+                    model,
+                    offered: stat.offered,
+                    completed: stat.completed,
+                    cold_starts: stat.cold_starts,
+                    ttft_p50_us: quantile_us(&stat.ttfts_us, 0.5),
+                    ttft_p99_us: quantile_us(&stat.ttfts_us, 0.99),
+                    slo_attained_pm: if stat.offered == 0 {
+                        0
+                    } else {
+                        (stat.slo_attained as u64 * 1_000 / stat.offered as u64) as u32
+                    },
+                }
+            })
+            .collect(),
+        cache: (sim.multi_tenant || cluster.cache.capacity != CacheCapacity::Unlimited).then_some(
+            CacheReport {
+                hits: sim.cache_hits,
+                misses: sim.cache_misses,
+                evictions: sim.cache_evictions,
+            },
+        ),
         nodes: sim
             .nodes
             .iter()
@@ -1398,7 +1978,7 @@ pub fn simulate_fleet_traced(
                 served: n.served,
                 busy_ns: n.busy_ns,
                 work_ns: n.work_ns,
-                cached_at_end: n.spec.cached,
+                cached_at_end: !n.cache.is_empty(),
             })
             .collect(),
     };
@@ -1458,6 +2038,17 @@ mod tests {
             arrival_ns: arrival_ms * 1_000_000,
             prompt_tokens: prompt,
             output_tokens: output,
+            model: 0,
+        }
+    }
+
+    fn mt_req(id: u64, arrival_ms: u64, model: u32) -> Request {
+        Request {
+            id,
+            arrival_ns: arrival_ms * 1_000_000,
+            prompt_tokens: 100,
+            output_tokens: 1,
+            model,
         }
     }
 
@@ -1811,5 +2402,184 @@ mod tests {
             assert_eq!(Policy::parse(name), Some(p));
         }
         assert_eq!(Policy::parse("nope"), None);
+    }
+
+    #[test]
+    fn eviction_policy_parse_round_trips() {
+        for e in EvictionPolicy::ALL {
+            assert_eq!(EvictionPolicy::parse(e.name()), Some(e));
+        }
+        assert_eq!(EvictionPolicy::parse("random"), None);
+    }
+
+    #[test]
+    fn single_tenant_report_json_has_no_tenant_or_cache_fields() {
+        let profile = medusa_profile(500, 300);
+        let spec = ClusterSpec::uniform(2);
+        let out = simulate_fleet(
+            &profile,
+            &spec,
+            Policy::ColdStartAware,
+            &[req(0, 0, 100, 1)],
+        );
+        let json = out.report.to_json();
+        assert!(
+            !json.contains("\"tenants\"") && !json.contains("\"cache\""),
+            "single-tenant reports must stay byte-compatible: {json}"
+        );
+        let parsed = ClusterReport::from_json(&json).expect("parse");
+        assert!(parsed.tenants.is_empty());
+        assert!(parsed.cache.is_none());
+    }
+
+    #[test]
+    fn multi_tenant_report_json_round_trips_tenants_and_cache() {
+        let profile = medusa_profile(500, 300).with_scaled_models(4);
+        let spec = ClusterSpec::uniform(2).with_cache(CacheConfig {
+            capacity: CacheCapacity::Artifacts(1),
+            eviction: EvictionPolicy::Lru,
+        });
+        let trace = vec![mt_req(0, 0, 1), mt_req(1, 3_000, 2), mt_req(2, 6_000, 1)];
+        let out = simulate_fleet(&profile, &spec, Policy::ColdStartAware, &trace);
+        let json = out.report.to_json();
+        let parsed = ClusterReport::from_json(&json).expect("parse");
+        assert_eq!(parsed.tenants.len(), 2, "{json}");
+        assert_eq!(parsed.tenants[0].model, 1);
+        assert_eq!(parsed.tenants[0].offered, 2);
+        assert_eq!(parsed.tenants[1].model, 2);
+        let cache = parsed.cache.expect("cache report present");
+        assert_eq!(cache.hits + cache.misses, out.report.cold_starts as u64);
+        assert_eq!(parsed, out.report);
+    }
+
+    #[test]
+    fn per_model_costs_price_cold_starts_differently() {
+        let profile = medusa_profile(500, 300).with_scaled_models(4);
+        let spec = ClusterSpec::uniform(1);
+        // Model 0 is the base table exactly; model 3 costs (4+3)/4 = 1.75x.
+        let base = simulate_fleet(&profile, &spec, Policy::ColdStartAware, &[mt_req(0, 0, 0)]);
+        let tail = simulate_fleet(&profile, &spec, Policy::ColdStartAware, &[mt_req(0, 0, 3)]);
+        // fetch 300 + loading 500 + prefill 20.
+        assert_eq!(base.ttfts[0], SimDuration::from_millis(820));
+        // fetch 525 + loading 875 + prefill 20.
+        assert_eq!(tail.ttfts[0], SimDuration::from_millis(1420));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_victim_and_counts_it() {
+        let profile = medusa_profile(400, 200).with_scaled_models(3);
+        let spec = ClusterSpec::uniform(1)
+            .with_cache(CacheConfig {
+                capacity: CacheCapacity::Artifacts(1),
+                eviction: EvictionPolicy::Lru,
+            })
+            .with_keep_alive(0.5);
+        // Sequential one-shot requests with 10s gaps: the single node
+        // scales to zero between each, and the 1-artifact cache can only
+        // retain the most recent model.
+        let trace = vec![mt_req(0, 0, 0), mt_req(1, 10_000, 1), mt_req(2, 20_000, 0)];
+        let out = simulate_fleet(&profile, &spec, Policy::ColdStartAware, &trace);
+        assert_eq!(out.report.cold_starts, 3);
+        let cache = out.report.cache.expect("bounded cache reports counters");
+        // Every start misses: model 1 evicts model 0, model 0 evicts 1.
+        assert_eq!(cache.hits, 0);
+        assert_eq!(cache.misses, 3);
+        assert_eq!(cache.evictions, 2);
+    }
+
+    #[test]
+    fn unbounded_cache_turns_repeat_models_into_hits() {
+        let profile = medusa_profile(400, 200).with_scaled_models(3);
+        let spec = ClusterSpec::uniform(1).with_keep_alive(0.5);
+        let trace = vec![mt_req(0, 0, 0), mt_req(1, 10_000, 1), mt_req(2, 20_000, 0)];
+        let out = simulate_fleet(&profile, &spec, Policy::ColdStartAware, &trace);
+        assert_eq!(out.report.cold_starts, 3);
+        let cache = out.report.cache.expect("multi-tenant run reports cache");
+        assert_eq!(cache.misses, 2, "models 0 and 1 fetch once each");
+        assert_eq!(cache.hits, 1, "model 0 re-warm hits the cache");
+        assert_eq!(cache.evictions, 0);
+    }
+
+    #[test]
+    fn cost_aware_eviction_keeps_the_expensive_artifact() {
+        // Capacity 1 forces an eviction choice between the resident model
+        // and the incoming one... but the incoming model is never its own
+        // victim, so capacity 2 with three models exercises the policy:
+        // after models 2 (expensive) and 0 (cheap) are resident, model 1's
+        // insert must evict — Lru evicts model 2 (oldest), CostAware
+        // evicts model 0 (cheapest to rematerialize).
+        let profile = medusa_profile(400, 200).with_scaled_models(3);
+        let trace = vec![
+            mt_req(0, 0, 2),
+            mt_req(1, 10_000, 0),
+            mt_req(2, 20_000, 1),
+            mt_req(3, 30_000, 2),
+        ];
+        let run = |eviction| {
+            let spec = ClusterSpec::uniform(1)
+                .with_cache(CacheConfig {
+                    capacity: CacheCapacity::Artifacts(2),
+                    eviction,
+                })
+                .with_keep_alive(0.5);
+            simulate_fleet(&profile, &spec, Policy::ColdStartAware, &trace)
+        };
+        let lru = run(EvictionPolicy::Lru).report;
+        let cost = run(EvictionPolicy::CostAware).report;
+        let (lru_c, cost_c) = (lru.cache.unwrap(), cost.cache.unwrap());
+        assert_eq!(lru_c.hits, 0, "Lru evicted model 2 before its return");
+        assert_eq!(cost_c.hits, 1, "CostAware kept model 2 resident");
+        // Keeping the expensive artifact resident shaves model 2's second
+        // cold start by the saved registry fetch, so the aggregate mean
+        // TTFT is strictly lower (the compulsory first miss keeps the
+        // worst case — and thus p99-of-4 — identical).
+        assert!(
+            cost.ttft_mean_us < lru.ttft_mean_us,
+            "cost-aware mean {} !< lru mean {}",
+            cost.ttft_mean_us,
+            lru.ttft_mean_us
+        );
+    }
+
+    #[test]
+    fn warm_nodes_only_accept_their_resident_model() {
+        let profile = medusa_profile(400, 200).with_scaled_models(2);
+        // Two models arriving together on a two-node fleet: affinity must
+        // fan them out to separate nodes rather than queueing both behind
+        // one warm instance.
+        let spec = ClusterSpec::uniform(2);
+        let trace = vec![mt_req(0, 0, 0), mt_req(1, 10, 1)];
+        let out = simulate_fleet(&profile, &spec, Policy::ColdStartAware, &trace);
+        assert_eq!(out.report.cold_starts, 2, "one start per model");
+        let served: Vec<u32> = out.report.nodes.iter().map(|n| n.served).collect();
+        assert_eq!(served, vec![1, 1], "each node serves exactly one model");
+    }
+
+    #[test]
+    fn multi_tenant_runs_are_deterministic_per_seed() {
+        let profile = medusa_profile(400, 150).with_scaled_models(6);
+        let spec = ClusterSpec::uniform(4)
+            .with_cache(CacheConfig {
+                capacity: CacheCapacity::Artifacts(2),
+                eviction: EvictionPolicy::CostAware,
+            })
+            .with_faults(ClusterFaults {
+                seed: 9,
+                registry_fail_per_mille: 300,
+                node_crash_per_mille: 100,
+            })
+            .with_registry(flaky_registry());
+        let trace = TraceConfig::sharegpt(6.0, 40.0)
+            .with_seed(42)
+            .with_models(medusa_workload::ModelMix::Zipf { models: 6, s: 1.0 })
+            .with_pattern(ArrivalPattern::sharegpt_bursty())
+            .generate();
+        assert!(trace.iter().any(|r| r.model != 0), "trace is multi-tenant");
+        let a = simulate_fleet(&profile, &spec, Policy::ColdStartAware, &trace);
+        let b = simulate_fleet(&profile, &spec, Policy::ColdStartAware, &trace);
+        assert_eq!(a.report.to_json(), b.report.to_json());
+        assert_eq!(a.conservation_residual(), 0);
+        let offered: usize = a.report.tenants.iter().map(|t| t.offered).sum();
+        assert_eq!(offered, trace.len(), "tenant offered counts partition");
     }
 }

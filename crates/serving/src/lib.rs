@@ -52,9 +52,10 @@ pub mod scenarios;
 mod sim;
 
 pub use cluster::{
-    simulate_fleet, simulate_fleet_traced, AutoscalerConfig, ClusterFaults, ClusterReport,
-    ClusterSpec, ColdStartAware, Decision, FleetOutcome, FleetProfile, FleetStats, LeastLoaded,
-    NodeReport, NodeSpec, NodeState, NodeView, Policy, RegistryPolicy, RoundRobin, Scheduler,
+    simulate_fleet, simulate_fleet_traced, AutoscalerConfig, CacheCapacity, CacheConfig,
+    CacheReport, ClusterFaults, ClusterReport, ClusterSpec, ColdStartAware, Decision,
+    EvictionPolicy, FleetOutcome, FleetProfile, FleetStats, LeastLoaded, ModelCost, NodeReport,
+    NodeSpec, NodeState, NodeView, Policy, RegistryPolicy, RoundRobin, Scheduler, TenantReport,
 };
 pub use event::{EventQueue, EventToken, FleetEvent};
 pub use params::PerfModel;

@@ -19,11 +19,14 @@
 //! measured, so the matrix exercises only the fleet layer and runs in
 //! milliseconds.
 
-use crate::cluster::{ClusterFaults, ClusterSpec, FleetProfile, Policy, RegistryPolicy};
+use crate::cluster::{
+    CacheCapacity, CacheConfig, ClusterFaults, ClusterSpec, EvictionPolicy, FleetProfile, Policy,
+    RegistryPolicy,
+};
 use crate::params::PerfModel;
 use medusa::Strategy;
 use medusa_gpu::SimDuration;
-use medusa_workload::{ArrivalPattern, Request, TraceConfig};
+use medusa_workload::{ArrivalPattern, ModelMix, Request, TraceConfig};
 
 /// One pinned differential scenario: everything needed to reproduce one
 /// fleet run whose report is committed as a golden.
@@ -177,7 +180,38 @@ pub fn differential_matrix() -> Vec<Scenario> {
         policy: Policy::ColdStartAware,
         trace: TraceConfig::sharegpt(0.8, 40.0).with_seed(7).generate(),
     });
+    // Multi-tenant contention: Zipf-skewed traffic over six models against
+    // a 2-artifact per-node cache, crossed seeds × eviction policies. The
+    // reports carry per-tenant TTFT quantiles and cache counters, so any
+    // drift in eviction order, model-affinity routing, or per-tenant
+    // accounting shows up as a golden diff.
+    for seed in [11u64, 42] {
+        for eviction in [EvictionPolicy::Lru, EvictionPolicy::CostAware] {
+            out.push(Scenario {
+                name: format!("s{seed}-mt-zipf6-{}", eviction.name()),
+                profile: medusa_profile().with_scaled_models(6),
+                cluster: base_cluster(ClusterFaults::default())
+                    .with_cache(CacheConfig {
+                        capacity: CacheCapacity::Artifacts(2),
+                        eviction,
+                    })
+                    .with_keep_alive(1.5),
+                policy: Policy::ColdStartAware,
+                trace: trace_mt(seed),
+            });
+        }
+    }
     out
+}
+
+/// A Zipf-skewed six-model trace for the multi-tenant scenarios: sparse
+/// enough that nodes churn through scale-to-zero (so the bounded cache
+/// actually evicts), long enough that every tenant recurs.
+fn trace_mt(seed: u64) -> Vec<Request> {
+    TraceConfig::sharegpt(1.5, 60.0)
+        .with_seed(seed)
+        .with_models(ModelMix::Zipf { models: 6, s: 1.0 })
+        .generate()
 }
 
 #[cfg(test)]

@@ -451,6 +451,7 @@ mod tests {
             arrival_ns: arrival_ms * 1_000_000,
             prompt_tokens: prompt,
             output_tokens: output,
+            model: 0,
         }
     }
 

@@ -14,8 +14,12 @@
 //! medusa-cli cluster     [--nodes N] [--seed N] [--model <name>]
 //!                        [--policy <round-robin|least-loaded|coldstart-aware>]
 //!                        [--strategy <vllm|async|medusa|nograph>] [--tp N]
-//!                        [--rps F] [--duration F] [--pattern <poisson|bursty>]
+//!                        [--rps F] [--duration F]
+//!                        [--pattern <poisson|bursty|mmpp|diurnal>]
 //!                        [--workload <sharegpt|interactive>]
+//!                        [--models N] [--zipf S] [--trace-file FILE]
+//!                        [--cache-cap N | --cache-cap-bytes N]
+//!                        [--eviction <lru|lfu|cost-aware>]
 //!                        [--cached K] [--keep-alive F] [--queue-depth N]
 //!                        [--eval-interval F]
 //!                        [--faults <flaky-registry,node-crash>] [--fault-seed N]
@@ -26,7 +30,13 @@
 //! interactive --cached 1000` replays a million requests through the
 //! event core in wall-clock seconds, and fleets beyond 16 nodes print an
 //! aggregate node summary plus the busiest workers instead of the full
-//! per-node table (`--all-nodes` forces the table).
+//! per-node table (`--all-nodes` forces the table). Multi-tenant fleets
+//! come from `--models N --zipf S` (Zipf-skewed synthetic traffic over N
+//! models) or `--trace-file` (an Azure-Functions-style per-model
+//! invocation CSV, see `medusa_workload::InvocationTrace`); bound each
+//! node's artifact cache with `--cache-cap`/`--cache-cap-bytes` and pick
+//! the victim order with `--eviction`. Multi-tenant reports append a
+//! per-tenant TTFT/SLO table and fleet-wide cache counters.
 //!
 //! Every number the CLI prints derives from the simulated clock, so any
 //! subcommand re-run with the same flags produces byte-identical output —
@@ -39,8 +49,11 @@ use medusa::{
 };
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
-use medusa_serving::{simulate_fleet_traced, ClusterFaults, ClusterSpec, FleetProfile, Policy};
-use medusa_workload::{ArrivalPattern, TraceConfig};
+use medusa_serving::{
+    simulate_fleet_traced, CacheCapacity, CacheConfig, ClusterFaults, ClusterSpec, EvictionPolicy,
+    FleetProfile, Policy,
+};
+use medusa_workload::{ArrivalPattern, InvocationTrace, LengthSampler, ModelMix, TraceConfig};
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -88,8 +101,12 @@ fn usage() {
     eprintln!("  cluster     [--nodes N] [--seed N] [--model <name>] [--tp N]");
     eprintln!("              [--policy <round-robin|least-loaded|coldstart-aware>]");
     eprintln!("              [--strategy <vllm|async|medusa|nograph>]");
-    eprintln!("              [--rps F] [--duration F] [--pattern <poisson|bursty>]");
+    eprintln!("              [--rps F] [--duration F] [--pattern <poisson|bursty|mmpp|diurnal>]");
     eprintln!("              [--workload <sharegpt|interactive>] [--all-nodes]");
+    eprintln!("              [--models N] [--zipf S] [--trace-file FILE]");
+    eprintln!(
+        "              [--cache-cap N | --cache-cap-bytes N] [--eviction <lru|lfu|cost-aware>]"
+    );
     eprintln!("              [--cached K] [--keep-alive F] [--queue-depth N]");
     eprintln!("              [--eval-interval F]");
     eprintln!("              [--faults <flaky-registry,node-crash>] [--fault-seed N]");
@@ -372,7 +389,13 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
     let pattern = match flags.get("pattern").map(String::as_str) {
         Some("poisson") => ArrivalPattern::Poisson,
         Some("bursty") | None => ArrivalPattern::sharegpt_bursty(),
-        Some(other) => return Err(format!("unknown pattern `{other}` (poisson|bursty)")),
+        Some("mmpp") => ArrivalPattern::serverless_mmpp(),
+        Some("diurnal") => ArrivalPattern::compressed_diurnal(),
+        Some(other) => {
+            return Err(format!(
+                "unknown pattern `{other}` (poisson|bursty|mmpp|diurnal)"
+            ))
+        }
     };
     let parallelism = match flags.get("parallelism").map(String::as_str) {
         Some("serial") => Parallelism::Serial,
@@ -381,8 +404,57 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         Some(other) => return Err(format!("unknown parallelism `{other}`")),
     };
 
-    // Measure the real per-instance pipeline once; the fleet replays it.
-    let profile = FleetProfile::measure(
+    let models = get_usize("models", 1)? as u32;
+    let zipf_s = get_f64("zipf", 1.0)?;
+    let cache_cap = get_usize("cache-cap", 0)? as u32;
+    let cache_bytes = get_usize("cache-cap-bytes", 0)? as u64;
+    let eviction = match flags.get("eviction") {
+        None => EvictionPolicy::Lru,
+        Some(s) => EvictionPolicy::parse(s)
+            .ok_or_else(|| format!("unknown eviction policy `{s}` (lru|lfu|cost-aware)"))?,
+    };
+    let cache_capacity = match (cache_cap, cache_bytes) {
+        (0, 0) => CacheCapacity::Unlimited,
+        (n, 0) => CacheCapacity::Artifacts(n),
+        (0, b) => CacheCapacity::Bytes(b),
+        _ => return Err("pass only one of --cache-cap / --cache-cap-bytes".into()),
+    };
+
+    // The request stream comes first: an imported invocation table fixes
+    // the tenant count, which in turn scales the fleet cost profile.
+    let (trace, models) = match flags.get("trace-file") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read --trace-file `{path}`: {e}"))?;
+            let inv = InvocationTrace::parse_csv(&text)
+                .map_err(|e| format!("bad --trace-file `{path}`: {e}"))?;
+            let trace = inv.generate(
+                seed(flags),
+                &LengthSampler::sharegpt_prompt(),
+                &LengthSampler::sharegpt_output(),
+            );
+            let models = trace.iter().map(|r| r.model + 1).max().unwrap_or(1);
+            (trace, models)
+        }
+        None => {
+            let trace_cfg = match flags.get("workload").map(String::as_str) {
+                Some("interactive") => TraceConfig::interactive(rps, duration),
+                Some("sharegpt") | None => TraceConfig::sharegpt(rps, duration),
+                Some(other) => {
+                    return Err(format!("unknown workload `{other}` (sharegpt|interactive)"))
+                }
+            };
+            let mut trace_cfg = trace_cfg.with_seed(seed(flags)).with_pattern(pattern);
+            if models > 1 {
+                trace_cfg = trace_cfg.with_models(ModelMix::zipf(models, zipf_s));
+            }
+            (trace_cfg.generate(), models)
+        }
+    };
+
+    // Measure the real per-instance pipeline once; the fleet replays it
+    // (per-model costs scale off the measured base on multi-tenant runs).
+    let mut profile = FleetProfile::measure(
         strategy,
         &spec,
         GpuSpec::a100_40gb(),
@@ -392,6 +464,9 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         seed(flags),
     )
     .map_err(|e| e.to_string())?;
+    if models > 1 {
+        profile = profile.with_scaled_models(models);
+    }
     let faults = match flags.get("faults") {
         None => ClusterFaults::default(),
         Some(spec) => {
@@ -420,6 +495,10 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         let mut c = ClusterSpec::uniform(nodes)
             .with_tp(tp)
             .with_cached_prefix(cached)
+            .with_cache(CacheConfig {
+                capacity: cache_capacity,
+                eviction,
+            })
             .with_faults(faults);
         c.autoscaler.keep_alive_s = keep_alive;
         c.autoscaler.target_queue_depth = queue_depth;
@@ -429,15 +508,6 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         c
     };
-    let trace_cfg = match flags.get("workload").map(String::as_str) {
-        Some("interactive") => TraceConfig::interactive(rps, duration),
-        Some("sharegpt") | None => TraceConfig::sharegpt(rps, duration),
-        Some(other) => return Err(format!("unknown workload `{other}` (sharegpt|interactive)")),
-    };
-    let trace = trace_cfg
-        .with_seed(seed(flags))
-        .with_pattern(pattern)
-        .generate();
 
     let tele = medusa_telemetry::Registry::new();
     let out = simulate_fleet_traced(&profile, &cluster_spec, policy, &trace, Some(&tele));
@@ -472,6 +542,32 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         out.stats.events_cancelled,
         out.conservation_residual()
     );
+    if let Some(c) = &r.cache {
+        let lookups = c.hits + c.misses;
+        let rate_pm = (c.hits * 1_000).checked_div(lookups).unwrap_or(0);
+        println!(
+            "  artifact cache: {} hits / {} misses / {} evictions ({rate_pm}\u{2030} hit rate)",
+            c.hits, c.misses, c.evictions
+        );
+    }
+    if !r.tenants.is_empty() {
+        println!(
+            "  {:<7} {:>7} {:>9} {:>6} {:>9} {:>9} {:>7}",
+            "tenant", "offered", "completed", "colds", "p50_ms", "p99_ms", "slo_pm"
+        );
+        for t in &r.tenants {
+            println!(
+                "  m{:<6} {:>7} {:>9} {:>6} {:>9.1} {:>9.1} {:>7}",
+                t.model,
+                t.offered,
+                t.completed,
+                t.cold_starts,
+                t.ttft_p50_us as f64 / 1e3,
+                t.ttft_p99_us as f64 / 1e3,
+                t.slo_attained_pm
+            );
+        }
+    }
     // Per-node tables stop being readable at fleet scale: beyond 16 nodes
     // print an aggregate summary plus the busiest workers unless
     // --all-nodes asks for everything.

@@ -128,6 +128,7 @@ fn scale_to_zero_then_rewarm_round_trips() {
         arrival_ns: at_ms * 1_000_000,
         prompt_tokens: 100,
         output_tokens: 1,
+        model: 0,
     };
     let trace = vec![mk(0, 0), mk(1, 30_000)];
     let out = simulate_fleet(&profile, &cluster, Policy::ColdStartAware, &trace);
@@ -166,6 +167,7 @@ fn tp_workers_aggregate_per_rank_work() {
         arrival_ns: 0,
         prompt_tokens: 100,
         output_tokens: 4,
+        model: 0,
     }];
     let one = simulate_fleet(
         &tp2,
@@ -202,6 +204,7 @@ fn autoscaler_knobs_shape_the_fleet() {
             arrival_ns: 0,
             prompt_tokens: 100,
             output_tokens: 5,
+            model: 0,
         })
         .collect();
     let out = simulate_fleet(&profile, &cluster, Policy::ColdStartAware, &trace);
@@ -220,12 +223,14 @@ fn autoscaler_knobs_shape_the_fleet() {
             arrival_ns: 0,
             prompt_tokens: 100,
             output_tokens: 1,
+            model: 0,
         },
         medusa_workload::Request {
             id: 1,
             arrival_ns: 20_000_000_000,
             prompt_tokens: 100,
             output_tokens: 1,
+            model: 0,
         },
     ];
     let out = simulate_fleet(&profile, &pinned, Policy::ColdStartAware, &sparse);
@@ -276,6 +281,7 @@ fn flaky_registry_medusa_still_beats_vanilla_end_to_end() {
         arrival_ns,
         prompt_tokens: 100,
         output_tokens: 4,
+        model: 0,
     };
     let mut trace: Vec<medusa_workload::Request> =
         (0..8000).map(|i| mk(i, i * 10_000_000)).collect();
