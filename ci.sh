@@ -3,7 +3,8 @@
 # event-core golden differential gate, the deterministic perf-smoke
 # regression gates (per-instance cold start, single-tenant fleet, and the
 # multi-tenant contended-cache scenario with its per-tenant p99
-# invariant), the
+# invariant), the MAF2 artifact size sweep (byte-exact baseline, O(header)
+# open, wall-clock speedup floor), the
 # large-fleet scale smoke (wall-clock budget), every example end-to-end,
 # the proptest regression-corpus check, and the concurrency stress test
 # (sized for --release, hence run separately).
@@ -97,6 +98,12 @@ echo "==> multi-tenant perf smoke (per-tenant p99 invariant + cache-hit floor)"
 cargo run -q -p medusa-bench --bin ci-check-bench -- \
   compare-cluster target/BENCH_cluster_multitenant.json \
   results/BENCH_cluster_multitenant.json
+
+echo "==> MAF2 artifact size sweep (release; byte-exact baseline + O(header) + speedup floor)"
+# The sweep times JSON parse vs MAF2 open on this host, so it runs the
+# release binary; the byte counts it gates are machine-independent.
+cargo run --release -q -p medusa-bench --bin ci-check-bench -- \
+  compare-artifact results/BENCH_artifact.json
 
 echo "==> large-fleet scale smoke (release, wall-clock budget)"
 cargo run --release -q -p medusa-bench --bin ci-check-bench -- scale-smoke --budget-s 120

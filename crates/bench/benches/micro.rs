@@ -16,7 +16,9 @@
 //! burst trace) and writes `BENCH_cluster.json`; `--out-cluster-mt FILE`
 //! runs the multi-tenant fleet scenario (eight Zipf-skewed models against
 //! a bounded cost-aware artifact cache) and writes
-//! `BENCH_cluster_multitenant.json`. `--emit-telemetry DIR`
+//! `BENCH_cluster_multitenant.json`; `--out-artifact FILE` runs the MAF2
+//! size sweep (encode / open / validate / lazy restore at 1×/10×/100×)
+//! and writes `BENCH_artifact.json`. `--emit-telemetry DIR`
 //! additionally exports Chrome traces and Prometheus snapshots for every
 //! cold-start mode and both fleet sides.
 
@@ -309,6 +311,7 @@ fn run_smoke(
     out: &str,
     out_cluster: Option<&str>,
     out_cluster_mt: Option<&str>,
+    out_artifact: Option<&str>,
     emit_dir: Option<&str>,
 ) {
     use medusa_bench::smoke;
@@ -351,6 +354,26 @@ fn run_smoke(
         std::fs::write(path, mt.to_json()).expect("write multi-tenant smoke result");
         println!("smoke: wrote {path}");
     }
+    if let Some(path) = out_artifact {
+        let (sweep, timings) = smoke::run_artifact();
+        for (s, t) in sweep.scales.iter().zip(&timings) {
+            println!(
+                "smoke/artifact_{}x   maf2 {} B (json {} B)   encode {:?}   open+validate {:?} \
+                 ({} B read)   json parse+validate {:?}   rank0 restore {:?} ({} B read)",
+                s.scale,
+                s.maf2_bytes,
+                s.json_bytes,
+                t.encode,
+                t.maf2_open_validate,
+                s.open_read_bytes,
+                t.json_parse_validate,
+                t.shard_restore,
+                s.shard_restore_read_bytes
+            );
+        }
+        std::fs::write(path, sweep.to_json()).expect("write artifact sweep result");
+        println!("smoke: wrote {path}");
+    }
     if let Some(dir) = emit_dir {
         std::fs::create_dir_all(dir).expect("create telemetry dir");
         for (label, mode) in [
@@ -389,12 +412,14 @@ fn main() {
     let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_coldstart.json".to_string());
     let out_cluster = flag_value(&args, "--out-cluster");
     let out_cluster_mt = flag_value(&args, "--out-cluster-mt");
+    let out_artifact = flag_value(&args, "--out-artifact");
     let emit = flag_value(&args, "--emit-telemetry");
     if args.iter().any(|a| a == "--smoke") {
         run_smoke(
             &out,
             out_cluster.as_deref(),
             out_cluster_mt.as_deref(),
+            out_artifact.as_deref(),
             emit.as_deref(),
         );
         return;
@@ -413,6 +438,7 @@ fn main() {
             &out,
             out_cluster.as_deref(),
             out_cluster_mt.as_deref(),
+            out_artifact.as_deref(),
             Some(&dir),
         );
     }

@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! ci-check-bench cores
-//! ci-check-bench compare         <fresh.json> <baseline.json> [--tolerance-pct N]
-//! ci-check-bench compare-cluster <fresh.json> <baseline.json> [--tolerance-pct N]
-//!                                [--hit-rate-floor-pm N]
-//! ci-check-bench golden          <out-dir>
-//! ci-check-bench scale-smoke     [--budget-s N] [--nodes N] [--rps N]
+//! ci-check-bench compare          <fresh.json> <baseline.json> [--tolerance-pct N]
+//! ci-check-bench compare-cluster  <fresh.json> <baseline.json> [--tolerance-pct N]
+//!                                 [--hit-rate-floor-pm N]
+//! ci-check-bench compare-artifact <baseline.json> [--speedup-floor N]
+//! ci-check-bench golden           <out-dir>
+//! ci-check-bench scale-smoke      [--budget-s N] [--nodes N] [--rps N]
 //! ```
 //!
 //! `cores` prints the host's available parallelism (CI uses it to decide
@@ -21,6 +22,13 @@
 //! tenant's Medusa TTFT p99 to beat vanilla's and the artifact-cache hit
 //! rate to stay above the floor (default 200‰, `--hit-rate-floor-pm`).
 //!
+//! `compare-artifact` runs the MAF2 size sweep (1×/10×/100×) fresh and
+//! gates it against the committed `results/BENCH_artifact.json`: the
+//! deterministic byte counts (bundle size, O(header) open cost, < 1/tp
+//! lazy-restore reads) must match the baseline exactly, and MAF2
+//! open+validate must beat JSON parse+validate by at least the wall-clock
+//! speedup floor (default 10×) at the largest scale on this host.
+//!
 //! `golden` writes one `ClusterReport` JSON per scenario of the
 //! differential matrix ([`medusa_serving::scenarios`]) into `<out-dir>` —
 //! CI regenerates them into a scratch directory and diffs against the
@@ -34,8 +42,9 @@
 //! event core's "millions of events in wall-clock seconds" contract.
 
 use medusa_bench::smoke::{
-    check_cluster_mt_regression, check_cluster_regression, check_regression, check_scale,
-    run_scale, BenchCluster, BenchClusterMultiTenant, BenchColdstart, MT_HIT_RATE_FLOOR_PM,
+    check_artifact_regression, check_cluster_mt_regression, check_cluster_regression,
+    check_regression, check_scale, run_artifact, run_scale, BenchArtifact, BenchCluster,
+    BenchClusterMultiTenant, BenchColdstart, ARTIFACT_SPEEDUP_FLOOR, MT_HIT_RATE_FLOOR_PM,
     SCALE_BUDGET_S, SCALE_NODES, SCALE_RPS,
 };
 use medusa_serving::scenarios::differential_matrix;
@@ -63,6 +72,12 @@ fn main() {
                 exit(1);
             }
         }
+        Some("compare-artifact") => {
+            if let Err(e) = compare_artifact(&args[1..]) {
+                eprintln!("ci-check-bench: FAIL: {e}");
+                exit(1);
+            }
+        }
         Some("golden") => {
             if let Err(e) = golden(&args[1..]) {
                 eprintln!("ci-check-bench: FAIL: {e}");
@@ -77,8 +92,8 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: ci-check-bench <cores|compare|compare-cluster|golden|scale-smoke> \
-                 [args]"
+                "usage: ci-check-bench <cores|compare|compare-cluster|compare-artifact|golden|\
+                 scale-smoke> [args]"
             );
             exit(2);
         }
@@ -136,6 +151,35 @@ fn compare(args: &[String], cluster: bool) -> Result<(), String> {
             .map_err(|e| parse_err(baseline_path, e))?;
         check_regression(&fresh, &baseline, tolerance)?
     };
+    println!("ci-check-bench: OK: {verdict}");
+    Ok(())
+}
+
+/// Runs the MAF2 size sweep fresh and gates it against the committed
+/// baseline (byte-exact) plus the in-run wall-clock speedup floor.
+fn compare_artifact(args: &[String]) -> Result<(), String> {
+    let [baseline_path, rest @ ..] = args else {
+        return Err("compare-artifact needs <baseline.json>".into());
+    };
+    let mut speedup_floor = ARTIFACT_SPEEDUP_FLOOR;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--speedup-floor" => {
+                speedup_floor = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --speedup-floor `{v}`: {e}"))?;
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let baseline_json = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read `{baseline_path}`: {e}"))?;
+    let baseline = BenchArtifact::from_json(&baseline_json)
+        .map_err(|e| format!("cannot parse `{baseline_path}`: {e}"))?;
+    let (fresh, timings) = run_artifact();
+    let verdict = check_artifact_regression(&fresh, &baseline, &timings, speedup_floor)?;
     println!("ci-check-bench: OK: {verdict}");
     Ok(())
 }

@@ -7,7 +7,10 @@
 //! fresh run against the committed baseline in `results/BENCH_coldstart.json`
 //! and fail on a >5% regression without flakiness.
 
-use medusa::{materialize_offline_tp_with, ColdStart, ColdStartOptions, Parallelism, Strategy};
+use medusa::{
+    encode_maf2_bundle, materialize_offline_tp, materialize_offline_tp_with, ArtifactValidator,
+    ColdStart, ColdStartOptions, Maf2Reader, MaterializedState, Parallelism, Strategy,
+};
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
 use medusa_serving::{
@@ -614,6 +617,301 @@ pub fn check_cluster_mt_regression(
 }
 
 // ---------------------------------------------------------------------
+// MAF2 artifact size sweep (encode / open / validate / lazy restore).
+
+/// Tensor-parallel degree of the artifact sweep's bundle.
+pub const ARTIFACT_TP: u32 = 2;
+/// Offline seed of the artifact sweep's base materialization.
+pub const ARTIFACT_SEED: u64 = 33;
+/// Graphs kept per shard in the 1× base artifact (the sweep multiplies
+/// the graph section, so a small base keeps the 100× point CI-sized).
+pub const ARTIFACT_BASE_GRAPHS: u32 = 2;
+/// Size multipliers of the sweep.
+pub const ARTIFACT_SCALES: [u32; 3] = [1, 10, 100];
+/// CI floor on (JSON parse+validate) / (MAF2 open+validate) wall time at
+/// the largest scale. The observed gap is orders of magnitude larger —
+/// O(file) vs O(header) — but wall-clock ratios vary by host, so the
+/// gate keeps a wide margin.
+pub const ARTIFACT_SPEEDUP_FLOOR: f64 = 10.0;
+
+/// One scale point of the artifact sweep. Every field derives from the
+/// canonical encodings of a seed-fixed materialization, so the committed
+/// baseline is compared **exactly**: any drift means the on-disk format
+/// changed and `results/BENCH_artifact.json` must be regenerated
+/// deliberately.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchArtifactScale {
+    /// Size multiplier over the base artifact.
+    pub scale: u32,
+    /// MAF2 bundle size, bytes.
+    pub maf2_bytes: u64,
+    /// Total JSON size of the same shards, bytes.
+    pub json_bytes: u64,
+    /// Bytes the zero-copy reader touches to open **and** header-validate
+    /// every shard: header + key + section index + per-shard ShardMeta.
+    /// Constant across scales — the O(header) contract.
+    pub open_read_bytes: u64,
+    /// Additional bytes read to lazily materialize rank 0 (< 1/tp of the
+    /// file — single-shard restore does not pay for the other ranks).
+    pub shard_restore_read_bytes: u64,
+}
+
+/// The artifact size sweep committed as `results/BENCH_artifact.json`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchArtifact {
+    /// Catalog model name of the base materialization.
+    pub model: String,
+    /// Tensor-parallel degree of the bundle.
+    pub tp: u32,
+    /// Offline seed.
+    pub seed: u64,
+    /// Graphs kept per shard in the 1× base.
+    pub base_graphs: u32,
+    /// One entry per sweep scale, ascending.
+    pub scales: Vec<BenchArtifactScale>,
+}
+
+impl BenchArtifact {
+    /// Encodes as JSON (one stable line — committed as the CI baseline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plain struct encodes")
+    }
+
+    /// Decodes from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// Wall-clock timings of one sweep scale. Host-dependent, so never
+/// committed — the CI gate only checks the JSON-vs-MAF2 **ratio** within
+/// one run on one host.
+#[derive(Debug, Clone)]
+pub struct ArtifactTiming {
+    /// Size multiplier over the base artifact.
+    pub scale: u32,
+    /// Encoding the bundle to MAF2.
+    pub encode: std::time::Duration,
+    /// MAF2 open + O(header) validation of every shard.
+    pub maf2_open_validate: std::time::Duration,
+    /// JSON parse + full validation of every shard.
+    pub json_parse_validate: std::time::Duration,
+    /// Lazy materialization of rank 0 from an opened reader.
+    pub shard_restore: std::time::Duration,
+}
+
+/// The trimmed tp-bundle the sweep scales: a seed-fixed materialization
+/// with each shard's graph list cut to [`ARTIFACT_BASE_GRAPHS`], re-sealed.
+fn artifact_base() -> Vec<MaterializedState> {
+    let spec = ModelSpec::by_name(MODEL).expect("catalog model");
+    let (arts, _) = materialize_offline_tp(
+        &spec,
+        ARTIFACT_TP,
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        ARTIFACT_SEED,
+    )
+    .expect("offline tp phase");
+    arts.iter()
+        .map(|shard| {
+            let mut s = shard.clone();
+            s.graphs.truncate(ARTIFACT_BASE_GRAPHS as usize);
+            s.seal();
+            s
+        })
+        .collect()
+}
+
+/// Multiplies each shard's graph section `scale`× (fresh batch ids keep
+/// the captured-batch key unique) and re-seals. Replay, labels, and
+/// pointer tables are untouched, so the scaled shard still validates.
+fn scaled_shards(base: &[MaterializedState], scale: u32) -> Vec<MaterializedState> {
+    base.iter()
+        .map(|shard| {
+            let mut s = shard.clone();
+            let stride = shard.graphs.iter().map(|g| g.batch).max().unwrap_or(0) + 1;
+            for round in 1..scale {
+                for g in &shard.graphs {
+                    let mut g = g.clone();
+                    g.batch += round * stride;
+                    s.graphs.push(g);
+                }
+            }
+            s.seal();
+            s
+        })
+        .collect()
+}
+
+fn time_op<T>(iters: u32, mut f: impl FnMut() -> T) -> std::time::Duration {
+    std::hint::black_box(f()); // warm-up
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    t0.elapsed() / iters
+}
+
+/// Runs the artifact size sweep: for each scale, encode the bundle, open
+/// and header-validate it, parse and fully validate the JSON twin, and
+/// lazily restore one shard — recording deterministic byte counts (the
+/// committed baseline) and host wall-clock timings (the in-run ratio
+/// gate).
+pub fn run_artifact() -> (BenchArtifact, Vec<ArtifactTiming>) {
+    let spec = ModelSpec::by_name(MODEL).expect("catalog model");
+    let gpu = GpuSpec::a100_40gb();
+    let validator = ArtifactValidator::for_target(&spec, &gpu);
+    let base = artifact_base();
+    let mut scales = Vec::new();
+    let mut timings = Vec::new();
+    for scale in ARTIFACT_SCALES {
+        let shards = scaled_shards(&base, scale);
+        let refs: Vec<&MaterializedState> = shards.iter().collect();
+        let encode = time_op(3, || encode_maf2_bundle(&refs).expect("encode bundle"));
+        let maf2 = encode_maf2_bundle(&refs).expect("encode bundle");
+        let jsons: Vec<String> = shards
+            .iter()
+            .map(|s| s.to_json().expect("to_json"))
+            .collect();
+        let json_bytes: u64 = jsons.iter().map(|j| j.len() as u64).sum();
+
+        // O(file): parse every shard and run the full deep validation.
+        let json_parse_validate = time_op(3, || {
+            for json in &jsons {
+                let s = MaterializedState::from_json(json).expect("from_json");
+                let report = validator.clone().shard(s.rank, s.tp).validate(&s);
+                assert!(report.ok().is_ok(), "scaled JSON shard must validate");
+            }
+        });
+
+        // O(header): open once, header-validate every shard off the shared
+        // section index.
+        let maf2_open_validate = time_op(10, || {
+            let reader = Maf2Reader::open(&maf2).expect("open");
+            for rank in reader.shard_ranks() {
+                let v = validator.clone().shard(rank, reader.tp());
+                let report = v.validate_maf2_header(&reader);
+                assert!(report.ok().is_ok(), "scaled MAF2 shard must validate");
+            }
+            reader.bytes_read()
+        });
+        let reader = Maf2Reader::open(&maf2).expect("open");
+        for rank in reader.shard_ranks() {
+            let v = validator.clone().shard(rank, reader.tp());
+            assert!(v.validate_maf2_header(&reader).ok().is_ok());
+        }
+        let open_read_bytes = reader.bytes_read();
+
+        // Lazy single-shard restore: only rank 0's sections leave the file.
+        let shard_restore = time_op(3, || {
+            let r = Maf2Reader::open(&maf2).expect("open");
+            r.shard(0).expect("lazy shard").total_nodes()
+        });
+        let restored = reader.shard(0).expect("lazy shard");
+        assert_eq!(restored, &shards[0], "lazy restore must equal eager state");
+        let shard_restore_read_bytes = reader.bytes_read() - open_read_bytes;
+
+        scales.push(BenchArtifactScale {
+            scale,
+            maf2_bytes: maf2.len() as u64,
+            json_bytes,
+            open_read_bytes,
+            shard_restore_read_bytes,
+        });
+        timings.push(ArtifactTiming {
+            scale,
+            encode,
+            maf2_open_validate,
+            json_parse_validate,
+            shard_restore,
+        });
+    }
+    (
+        BenchArtifact {
+            model: MODEL.to_string(),
+            tp: ARTIFACT_TP,
+            seed: ARTIFACT_SEED,
+            base_graphs: ARTIFACT_BASE_GRAPHS,
+            scales,
+        },
+        timings,
+    )
+}
+
+/// Gates the artifact sweep. The deterministic byte counts must match the
+/// committed baseline **exactly** (they are a pure function of the seed
+/// and the canonical encoding — drift means the on-disk format changed);
+/// the fresh run must uphold the O(header) open and < 1/tp lazy-restore
+/// contracts at every scale; and when timings are supplied, JSON
+/// parse+validate must be at least `speedup_floor`× slower than MAF2
+/// open+validate at the largest scale.
+pub fn check_artifact_regression(
+    fresh: &BenchArtifact,
+    baseline: &BenchArtifact,
+    timings: &[ArtifactTiming],
+    speedup_floor: f64,
+) -> Result<String, String> {
+    let config = |b: &BenchArtifact| (b.model.clone(), b.tp, b.seed, b.base_graphs);
+    if config(fresh) != config(baseline) {
+        return Err(format!(
+            "baseline configuration mismatch: fresh ran {:?}, baseline has {:?} — regenerate \
+             results/BENCH_artifact.json",
+            config(fresh),
+            config(baseline)
+        ));
+    }
+    if fresh.scales != baseline.scales {
+        return Err(format!(
+            "artifact encoding drifted from the committed baseline:\n  fresh    {:?}\n  \
+             baseline {:?}\nMAF2 bytes are canonical — if the format change is intentional, \
+             regenerate results/BENCH_artifact.json",
+            fresh.scales, baseline.scales
+        ));
+    }
+    let first = fresh.scales.first().ok_or("empty sweep")?;
+    let last = fresh.scales.last().ok_or("empty sweep")?;
+    for s in &fresh.scales {
+        if s.open_read_bytes != first.open_read_bytes {
+            return Err(format!(
+                "open+validate is not O(header): reads {} bytes at {}x vs {} bytes at {}x",
+                s.open_read_bytes, s.scale, first.open_read_bytes, first.scale
+            ));
+        }
+        if s.shard_restore_read_bytes > s.maf2_bytes / fresh.tp as u64 {
+            return Err(format!(
+                "lazy restore at {}x read {} of {} bytes — not < 1/{} of the file",
+                s.scale, s.shard_restore_read_bytes, s.maf2_bytes, fresh.tp
+            ));
+        }
+    }
+    let speedup = match timings.iter().find(|t| t.scale == last.scale) {
+        Some(t) => {
+            let ratio =
+                t.json_parse_validate.as_secs_f64() / t.maf2_open_validate.as_secs_f64().max(1e-12);
+            if ratio < speedup_floor {
+                return Err(format!(
+                    "MAF2 open+validate is only {ratio:.1}x faster than JSON parse+validate at \
+                     {}x (floor {speedup_floor:.0}x): {:?} vs {:?}",
+                    last.scale, t.maf2_open_validate, t.json_parse_validate
+                ));
+            }
+            format!("{ratio:.0}x faster than JSON parse+validate")
+        }
+        None => "timings not measured".to_string(),
+    };
+    Ok(format!(
+        "byte-exact vs baseline at {:?}x; open+validate touches {} bytes of a {} byte file at \
+         {}x ({speedup}); rank-0 restore reads {} bytes (1/tp floor {})",
+        fresh.scales.iter().map(|s| s.scale).collect::<Vec<_>>(),
+        last.open_read_bytes,
+        last.maf2_bytes,
+        last.scale,
+        last.shard_restore_read_bytes,
+        last.maf2_bytes / fresh.tp as u64
+    ))
+}
+
+// ---------------------------------------------------------------------
 // Large-fleet scale smoke (event-core throughput gate).
 
 /// Fleet size of the scale scenario.
@@ -937,6 +1235,107 @@ mod tests {
         }
         assert!(a.cache_hit_rate_pm >= MT_HIT_RATE_FLOOR_PM, "{a:?}");
         assert!(a.cache_evictions > 0, "cache must be contended: {a:?}");
+    }
+
+    fn sample_artifact() -> BenchArtifact {
+        BenchArtifact {
+            model: MODEL.to_string(),
+            tp: ARTIFACT_TP,
+            seed: ARTIFACT_SEED,
+            base_graphs: ARTIFACT_BASE_GRAPHS,
+            scales: vec![
+                BenchArtifactScale {
+                    scale: 1,
+                    maf2_bytes: 100_000,
+                    json_bytes: 220_000,
+                    open_read_bytes: 800,
+                    shard_restore_read_bytes: 45_000,
+                },
+                BenchArtifactScale {
+                    scale: 100,
+                    maf2_bytes: 10_000_000,
+                    json_bytes: 22_000_000,
+                    open_read_bytes: 800,
+                    shard_restore_read_bytes: 4_500_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn artifact_json_round_trips() {
+        let b = sample_artifact();
+        assert_eq!(BenchArtifact::from_json(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn artifact_gate_rejects_byte_drift_and_stale_config() {
+        let base = sample_artifact();
+        assert!(check_artifact_regression(&base, &base, &[], 10.0).is_ok());
+        let mut fresh = sample_artifact();
+        fresh.scales[1].maf2_bytes += 1;
+        let err = check_artifact_regression(&fresh, &base, &[], 10.0).unwrap_err();
+        assert!(err.contains("drifted"), "{err}");
+        let mut fresh = sample_artifact();
+        fresh.seed = 99;
+        let err = check_artifact_regression(&fresh, &base, &[], 10.0).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn artifact_gate_enforces_o_header_open_and_lazy_fraction() {
+        // Open cost growing with file size fails the O(header) clause.
+        let mut grown = sample_artifact();
+        grown.scales[1].open_read_bytes = 80_000;
+        let err = check_artifact_regression(&grown, &grown.clone(), &[], 10.0).unwrap_err();
+        assert!(err.contains("not O(header)"), "{err}");
+        // A shard restore that reads half the tp=2 file fails the 1/tp clause.
+        let mut fat = sample_artifact();
+        fat.scales[1].shard_restore_read_bytes = fat.scales[1].maf2_bytes / 2 + 1;
+        let err = check_artifact_regression(&fat, &fat.clone(), &[], 10.0).unwrap_err();
+        assert!(err.contains("1/2 of the file"), "{err}");
+    }
+
+    #[test]
+    fn artifact_gate_enforces_the_speedup_floor() {
+        let base = sample_artifact();
+        let slow = vec![ArtifactTiming {
+            scale: 100,
+            encode: std::time::Duration::from_millis(50),
+            maf2_open_validate: std::time::Duration::from_micros(200),
+            json_parse_validate: std::time::Duration::from_micros(900),
+            shard_restore: std::time::Duration::from_millis(5),
+        }];
+        let err = check_artifact_regression(&base, &base, &slow, 10.0).unwrap_err();
+        assert!(err.contains("only 4.5x faster"), "{err}");
+        let fast = vec![ArtifactTiming {
+            json_parse_validate: std::time::Duration::from_millis(90),
+            ..slow[0].clone()
+        }];
+        assert!(check_artifact_regression(&base, &base, &fast, 10.0).is_ok());
+    }
+
+    #[test]
+    fn artifact_sweep_meets_its_own_contracts() {
+        let (fresh, timings) = run_artifact();
+        assert_eq!(fresh.scales.len(), ARTIFACT_SCALES.len());
+        // Self-comparison exercises every live clause: O(header) open,
+        // lazy-restore fraction, and the wall-clock speedup floor.
+        let verdict =
+            check_artifact_regression(&fresh, &fresh, &timings, ARTIFACT_SPEEDUP_FLOOR).unwrap();
+        assert!(verdict.contains("byte-exact"), "{verdict}");
+        for s in &fresh.scales {
+            assert!(
+                s.maf2_bytes < s.json_bytes,
+                "binary encoding must be smaller: {s:?}"
+            );
+        }
+        // The graph section dominates, so size grows near-linearly.
+        let (first, last) = (&fresh.scales[0], &fresh.scales[fresh.scales.len() - 1]);
+        assert!(
+            last.maf2_bytes > first.maf2_bytes * (last.scale as u64 / 2),
+            "sweep did not scale the artifact: {first:?} -> {last:?}"
+        );
     }
 
     #[test]

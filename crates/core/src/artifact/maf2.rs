@@ -1,0 +1,1332 @@
+//! MAF2: the Medusa Artifact Format v2 — a zero-copy binary container for
+//! [`MaterializedState`] bundles.
+//!
+//! The JSON encoding (kept as a debug import/export, see
+//! [`MaterializedState::to_json`]) must be parsed in full before a single
+//! field can be read, so open + validate is O(file). ServerlessLLM showed
+//! that a loading-optimized checkpoint layout is itself a first-order
+//! cold-start lever; MAF2 applies the same idea to the materialization
+//! artifact:
+//!
+//! * a fixed-width 64-byte **header** (magic, format version, target key
+//!   lengths, file length, section-index offset, streaming checksum over
+//!   the section digests, and an index digest sealing the header + target
+//!   key + section index);
+//! * a fixed-width **section index** — 32-byte entries `(kind, shard,
+//!   offset, length, digest)` — that addresses every per-shard section
+//!   without touching payload bytes;
+//! * fixed-width **tables** for the allocation/replay sequence, labels,
+//!   permanent contents, pointer tables, and graph nodes/params/edges;
+//! * an offset-indexed, deduplicated **string table** per shard for kernel,
+//!   library, and label names;
+//! * one group of sections per `(rank, tp)` shard, **lazily materialized**
+//!   on first touch, so a rank restores by reading only its own sections.
+//!
+//! Opening a MAF2 file therefore costs O(header + index): length, magic,
+//! bounds, and index-digest checks — never a payload scan. Payload integrity
+//! is enforced per section, on first materialization, against the digest
+//! sealed in the index. See DESIGN.md §13 for the byte-level layout.
+//!
+//! All integers are little-endian. The format is deliberately *not*
+//! self-describing: the layout is pinned by `format_version` and the
+//! decoder rejects anything it does not understand with a typed error.
+
+use super::{
+    AnalysisStats, GraphSpec, MaterializedState, NodeSpec, ParamSpec, PtrTableEntry, ReplayOp,
+    ARTIFACT_VERSION,
+};
+use crate::error::{MedusaError, MedusaResult};
+use std::cell::{Cell, OnceCell};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// MAF2 magic: `MAF2` followed by the PNG-style `\r\n\x1a\n` transfer-
+/// corruption canary (detects CRLF translation and EOF truncation).
+pub const MAF2_MAGIC: [u8; 8] = *b"MAF2\x0d\x0a\x1a\x0a";
+
+/// Fixed header length in bytes.
+pub const MAF2_HEADER_LEN: usize = 64;
+
+/// Length of one section-index entry in bytes.
+pub const MAF2_INDEX_ENTRY_LEN: usize = 32;
+
+/// Fixed byte length of a ShardMeta section payload.
+const SHARD_META_LEN: usize = 104;
+
+/// Section kinds, one group per shard. The `kind` discriminant is part of
+/// the on-disk format and must never be renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SectionKind {
+    /// Shard scalars: rank, tp, kv bytes, replay prefix, sealed checksum,
+    /// analysis stats. Fixed 104 bytes.
+    ShardMeta,
+    /// The (de)allocation replay sequence, 16 bytes per op.
+    Replay,
+    /// Deduplicated string table (kernel/library/label names).
+    Strings,
+    /// Semantic labels, 16 bytes per entry, sorted by name.
+    Labels,
+    /// Permanent buffer contents, 24 bytes per entry.
+    PermContents,
+    /// Permanent pointer tables (variable-width, sequentially decoded).
+    PtrTables,
+    /// Materialized graphs: fixed node/param/edge records plus a spill blob
+    /// for oversized constants.
+    Graphs,
+}
+
+impl SectionKind {
+    /// All kinds in per-shard encode order.
+    pub const ALL: [SectionKind; 7] = [
+        SectionKind::ShardMeta,
+        SectionKind::Replay,
+        SectionKind::Strings,
+        SectionKind::Labels,
+        SectionKind::PermContents,
+        SectionKind::PtrTables,
+        SectionKind::Graphs,
+    ];
+
+    fn code(self) -> u32 {
+        match self {
+            SectionKind::ShardMeta => 0,
+            SectionKind::Replay => 1,
+            SectionKind::Strings => 2,
+            SectionKind::Labels => 3,
+            SectionKind::PermContents => 4,
+            SectionKind::PtrTables => 5,
+            SectionKind::Graphs => 6,
+        }
+    }
+
+    fn from_code(c: u32) -> Option<SectionKind> {
+        SectionKind::ALL.into_iter().find(|k| k.code() == c)
+    }
+}
+
+/// FNV-1a 64-bit over raw bytes — the digest primitive for sections, the
+/// section index, and the header's checksum-of-digests. Same constants as
+/// the artifact's [`content_checksum`](MaterializedState::content_checksum)
+/// fold, but over encoded bytes rather than logical fields.
+fn fnv1a(chunks: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn corrupt(detail: impl Into<String>) -> MedusaError {
+    MedusaError::ArtifactCorrupt {
+        detail: detail.into(),
+    }
+}
+
+/// Returns `true` when `bytes` begin with the MAF2 magic — the format
+/// auto-detection used by `medusa-cli` and the validator.
+pub fn is_maf2(bytes: &[u8]) -> bool {
+    bytes.len() >= MAF2_MAGIC.len() && bytes[..MAF2_MAGIC.len()] == MAF2_MAGIC
+}
+
+/// Coarse region map parsed from a header, used by fault injection to aim
+/// tampering at a specific region without a full open.
+pub(crate) struct HeaderLayout {
+    /// First byte past the target-key strings (= first payload byte).
+    pub payload_off: usize,
+    /// Bytes between the target key and the section index.
+    pub payload_len: usize,
+    /// Section-index offset.
+    pub index_off: usize,
+    /// Number of index entries.
+    pub section_count: usize,
+}
+
+/// Parses the region map from a (possibly tampered) header; `None` when the
+/// header is too short or internally inconsistent to locate the regions.
+pub(crate) fn header_layout(bytes: &[u8]) -> Option<HeaderLayout> {
+    if bytes.len() < MAF2_HEADER_LEN || !is_maf2(bytes) {
+        return None;
+    }
+    let le32 = |o: usize| u32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+    let model_len = le32(24) as usize;
+    let gpu_len = le32(28) as usize;
+    let section_count = le32(20) as usize;
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[40..48]);
+    let index_off = u64::from_le_bytes(b) as usize;
+    let payload_off = MAF2_HEADER_LEN
+        .checked_add(model_len)?
+        .checked_add(gpu_len)?;
+    let index_end = index_off.checked_add(section_count.checked_mul(MAF2_INDEX_ENTRY_LEN)?)?;
+    if payload_off > index_off || index_end > bytes.len() {
+        return None;
+    }
+    Some(HeaderLayout {
+        payload_off,
+        payload_len: index_off - payload_off,
+        index_off,
+        section_count,
+    })
+}
+
+/// Recomputes and re-stamps the sealed index digest from the current header
+/// fields. Fault injection uses this to craft files that are self-consistent
+/// *except* for one targeted inconsistency (e.g. a version skew or an
+/// out-of-bounds index offset), so the tampering is caught by the check
+/// under test rather than masked by the digest seal. No-op when the header
+/// is too mangled to locate the regions.
+pub(crate) fn reseal_index_digest(bytes: &mut [u8]) {
+    let Some(layout) = header_layout(bytes) else {
+        return;
+    };
+    let index_end = layout.index_off + layout.section_count * MAF2_INDEX_ENTRY_LEN;
+    let digest = fnv1a(&[
+        &bytes[..56],
+        &bytes[MAF2_HEADER_LEN..layout.payload_off],
+        &bytes[layout.index_off..index_end],
+    ]);
+    bytes[56..64].copy_from_slice(&digest.to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Little-endian append helpers over a `Vec<u8>` payload buffer.
+trait PutLe {
+    fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
+}
+
+impl PutLe for Vec<u8> {
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Per-shard deduplicated string table: indices are assigned in sorted
+/// order so encoding is deterministic for a given content.
+struct StringTable {
+    index: BTreeMap<String, u32>,
+}
+
+impl StringTable {
+    fn build(shard: &MaterializedState) -> Self {
+        let mut names: BTreeSet<&str> = BTreeSet::new();
+        for label in shard.labels.keys() {
+            names.insert(label);
+        }
+        for g in &shard.graphs {
+            for n in &g.nodes {
+                names.insert(&n.kernel);
+                names.insert(&n.library);
+            }
+        }
+        let index = names
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (s.to_string(), i as u32))
+            .collect();
+        StringTable { index }
+    }
+
+    fn id(&self, s: &str) -> u32 {
+        // Every string was inserted by `build`; absence is an encoder bug.
+        self.index[s]
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut blob = Vec::new();
+        let mut entries = Vec::with_capacity(self.index.len() * 8);
+        for s in self.index.keys() {
+            entries.put_u32(blob.len() as u32);
+            entries.put_u32(s.len() as u32);
+            blob.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::with_capacity(8 + entries.len() + blob.len());
+        out.put_u32(self.index.len() as u32);
+        out.put_u32(0); // pad to 8-byte entry alignment
+        out.extend_from_slice(&entries);
+        out.extend_from_slice(&blob);
+        out
+    }
+}
+
+fn encode_shard_meta(s: &MaterializedState) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SHARD_META_LEN);
+    out.put_u32(s.rank);
+    out.put_u32(s.tp);
+    out.put_u64(s.kv_free_bytes);
+    out.put_u64(s.replay_prefix_allocs);
+    out.put_u64(s.checksum);
+    for v in [
+        s.stats.nodes,
+        s.stats.pointer_params,
+        s.stats.const_params,
+        s.stats.multi_match_pointers,
+        s.stats.dlsym_restorable_nodes,
+        s.stats.hidden_kernel_nodes,
+        s.stats.param_buffers,
+        s.stats.temp_buffers,
+        s.stats.permanent_buffers,
+    ] {
+        out.put_u64(v);
+    }
+    debug_assert_eq!(out.len(), SHARD_META_LEN);
+    out
+}
+
+fn encode_replay(s: &MaterializedState) -> Vec<u8> {
+    let mut out = Vec::with_capacity(s.replay_ops.len() * 16);
+    for op in &s.replay_ops {
+        match op {
+            ReplayOp::Malloc { size } => {
+                out.put_u64(0);
+                out.put_u64(*size);
+            }
+            ReplayOp::Free { alloc_seq } => {
+                out.put_u64(1);
+                out.put_u64(*alloc_seq);
+            }
+        }
+    }
+    out
+}
+
+fn encode_labels(s: &MaterializedState, strings: &StringTable) -> Vec<u8> {
+    let mut labels: Vec<(&String, &u64)> = s.labels.iter().collect();
+    labels.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = Vec::with_capacity(labels.len() * 16);
+    for (name, seq) in labels {
+        out.put_u32(strings.id(name));
+        out.put_u32(0);
+        out.put_u64(*seq);
+    }
+    out
+}
+
+fn encode_perm_contents(s: &MaterializedState) -> Vec<u8> {
+    let mut out = Vec::with_capacity(s.permanent_contents.len() * 24);
+    for (seq, digest) in &s.permanent_contents {
+        out.put_u64(*seq);
+        out.extend_from_slice(digest);
+    }
+    out
+}
+
+fn encode_ptr_tables(s: &MaterializedState) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_u64(s.permanent_ptr_tables.len() as u64);
+    for (seq, entries) in &s.permanent_ptr_tables {
+        out.put_u64(*seq);
+        out.put_u64(entries.len() as u64);
+        for e in entries {
+            out.put_u64(e.alloc_seq);
+            out.put_u64(e.offset);
+        }
+    }
+    out
+}
+
+/// Constants longer than the 24-byte inline window of a param record spill
+/// into a blob at the end of the Graphs section.
+const PARAM_INLINE_LEN: usize = 24;
+
+fn encode_graphs(s: &MaterializedState, strings: &StringTable) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut spill: Vec<u8> = Vec::new();
+    out.put_u64(s.graphs.len() as u64);
+    for g in &s.graphs {
+        let total_params: usize = g.nodes.iter().map(|n| n.params.len()).sum();
+        out.put_u32(g.batch);
+        out.put_u32(g.nodes.len() as u32);
+        out.put_u32(g.edges.len() as u32);
+        out.put_u32(total_params as u32);
+        for n in &g.nodes {
+            out.put_u32(strings.id(&n.kernel));
+            out.put_u32(strings.id(&n.library));
+            out.put_u32(u32::from(n.exported));
+            out.put_u32(n.stream);
+            out.put_u32(n.params.len() as u32);
+            out.put_u32(0);
+            out.put_u64(n.work.flops.to_bits());
+            out.put_u64(n.work.bytes.to_bits());
+        }
+        for n in &g.nodes {
+            for p in &n.params {
+                match p {
+                    ParamSpec::Const { bytes } => {
+                        out.put_u32(0);
+                        out.put_u32(bytes.len() as u32);
+                        if bytes.len() <= PARAM_INLINE_LEN {
+                            let mut inline = [0u8; PARAM_INLINE_LEN];
+                            inline[..bytes.len()].copy_from_slice(bytes);
+                            out.extend_from_slice(&inline);
+                        } else {
+                            out.put_u64(spill.len() as u64);
+                            out.put_u64(0);
+                            out.put_u64(0);
+                            spill.extend_from_slice(bytes);
+                        }
+                    }
+                    ParamSpec::IndirectPtr {
+                        alloc_seq,
+                        offset,
+                        raw,
+                    } => {
+                        out.put_u32(1);
+                        out.put_u32(0);
+                        out.put_u64(*alloc_seq);
+                        out.put_u64(*offset);
+                        out.put_u64(*raw);
+                    }
+                }
+            }
+        }
+        for (a, b) in &g.edges {
+            out.put_u32(*a);
+            out.put_u32(*b);
+        }
+    }
+    out.extend_from_slice(&spill);
+    out
+}
+
+/// Encodes a bundle of shards (one [`MaterializedState`] per rank) into a
+/// single MAF2 file. Shards must agree on `<model, gpu, tp, version>` and
+/// carry distinct ranks; they are written in ascending rank order so
+/// encoding is deterministic — re-encoding a decoded bundle reproduces the
+/// bytes exactly.
+///
+/// # Errors
+///
+/// Returns [`MedusaError::ArtifactCorrupt`] when the bundle is empty or the
+/// shards disagree on the target key.
+pub fn encode_bundle(shards: &[&MaterializedState]) -> MedusaResult<Vec<u8>> {
+    let first = shards
+        .first()
+        .ok_or_else(|| corrupt("cannot encode an empty artifact bundle"))?;
+    let mut ordered: Vec<&MaterializedState> = shards.to_vec();
+    ordered.sort_by_key(|s| s.rank);
+    let mut seen = BTreeSet::new();
+    for s in &ordered {
+        if s.model != first.model
+            || s.gpu != first.gpu
+            || s.tp != first.tp
+            || s.version != first.version
+        {
+            return Err(corrupt(format!(
+                "bundle shards disagree: {}/{} tp{} v{} vs {}/{} tp{} v{}",
+                s.model, s.gpu, s.tp, s.version, first.model, first.gpu, first.tp, first.version
+            )));
+        }
+        if !seen.insert(s.rank) {
+            return Err(corrupt(format!("duplicate rank {} in bundle", s.rank)));
+        }
+    }
+
+    // Section payloads, in rank order then kind order.
+    let mut sections: Vec<(SectionKind, u32, Vec<u8>)> = Vec::new();
+    for s in &ordered {
+        let strings = StringTable::build(s);
+        sections.push((SectionKind::ShardMeta, s.rank, encode_shard_meta(s)));
+        sections.push((SectionKind::Replay, s.rank, encode_replay(s)));
+        sections.push((SectionKind::Strings, s.rank, strings.encode()));
+        sections.push((SectionKind::Labels, s.rank, encode_labels(s, &strings)));
+        sections.push((SectionKind::PermContents, s.rank, encode_perm_contents(s)));
+        sections.push((SectionKind::PtrTables, s.rank, encode_ptr_tables(s)));
+        sections.push((SectionKind::Graphs, s.rank, encode_graphs(s, &strings)));
+    }
+
+    let model = first.model.as_bytes();
+    let gpu = first.gpu.as_bytes();
+    let payload_base = MAF2_HEADER_LEN + model.len() + gpu.len();
+    let payload_len: usize = sections.iter().map(|(_, _, p)| p.len()).sum();
+    let index_off = payload_base + payload_len;
+    let file_len = index_off + sections.len() * MAF2_INDEX_ENTRY_LEN;
+
+    // Section index: (kind, shard, off, len, digest) per section.
+    let mut index = Vec::with_capacity(sections.len() * MAF2_INDEX_ENTRY_LEN);
+    let mut digest_fold: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut off = payload_base as u64;
+    for (kind, shard, payload) in &sections {
+        let digest = fnv1a(&[payload]);
+        index.put_u32(kind.code());
+        index.put_u32(*shard);
+        index.put_u64(off);
+        index.put_u64(payload.len() as u64);
+        index.put_u64(digest);
+        off += payload.len() as u64;
+        for b in digest.to_le_bytes() {
+            digest_fold ^= u64::from(b);
+            digest_fold = digest_fold.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    let mut out = Vec::with_capacity(file_len);
+    out.extend_from_slice(&MAF2_MAGIC);
+    out.put_u32(first.version);
+    out.put_u32(first.tp);
+    out.put_u32(ordered.len() as u32);
+    out.put_u32(sections.len() as u32);
+    out.put_u32(model.len() as u32);
+    out.put_u32(gpu.len() as u32);
+    out.put_u64(file_len as u64);
+    out.put_u64(index_off as u64);
+    out.put_u64(digest_fold);
+    out.put_u64(0); // index_digest, patched below
+    debug_assert_eq!(out.len(), MAF2_HEADER_LEN);
+    out.extend_from_slice(model);
+    out.extend_from_slice(gpu);
+    for (_, _, payload) in &sections {
+        out.extend_from_slice(payload);
+    }
+    out.extend_from_slice(&index);
+    debug_assert_eq!(out.len(), file_len);
+
+    // index_digest seals header scalars, target key, and the whole index.
+    let index_digest = fnv1a(&[&out[..56], model, gpu, &index]);
+    out[56..64].copy_from_slice(&index_digest.to_le_bytes());
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian cursor over a section payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8], what: &'static str) -> Self {
+        Cursor {
+            bytes,
+            pos: 0,
+            what,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> MedusaResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(corrupt(format!(
+                "{} section truncated: need {} bytes at offset {} of {}",
+                self.what,
+                n,
+                self.pos,
+                self.bytes.len()
+            ))),
+        }
+    }
+
+    fn u32(&mut self) -> MedusaResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> MedusaResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn done(&self) -> MedusaResult<()> {
+        if self.pos != self.bytes.len() {
+            return Err(corrupt(format!(
+                "{} section has {} trailing bytes",
+                self.what,
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One parsed section-index entry.
+#[derive(Debug, Clone, Copy)]
+struct SectionEntry {
+    kind: SectionKind,
+    shard: u32,
+    off: u64,
+    len: u64,
+    digest: u64,
+}
+
+/// Parsed ShardMeta section: the per-shard scalars readable in O(1) without
+/// materializing the shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMeta {
+    /// Tensor-parallel rank.
+    pub rank: u32,
+    /// Tensor-parallel degree.
+    pub tp: u32,
+    /// Materialized KV cache initialization bytes.
+    pub kv_free_bytes: u64,
+    /// Natural allocation prefix length.
+    pub replay_prefix_allocs: u64,
+    /// The shard's sealed content checksum.
+    pub checksum: u64,
+    /// Analysis statistics.
+    pub stats: AnalysisStats,
+}
+
+/// Per-shard decoded string table.
+struct ShardStrings {
+    strings: Vec<String>,
+}
+
+impl ShardStrings {
+    fn get(&self, id: u32, what: &str) -> MedusaResult<&str> {
+        self.strings
+            .get(id as usize)
+            .map(String::as_str)
+            .ok_or_else(|| {
+                corrupt(format!(
+                    "{what} references string #{id} out of bounds ({} strings)",
+                    self.strings.len()
+                ))
+            })
+    }
+}
+
+/// A zero-copy reader over an in-memory MAF2 file.
+///
+/// [`Maf2Reader::open`] performs only O(header + index) work: length, magic,
+/// bounds, and index-digest verification. Shard payloads stay untouched
+/// until [`Maf2Reader::shard`] materializes them on first use, verifying
+/// each section's digest as it is read. [`Maf2Reader::bytes_read`] counts
+/// every payload byte the reader has actually consumed, which tests and the
+/// size-sweep benchmark use to prove the lazy-restore bound (a single shard
+/// reads < 1/tp of the file).
+pub struct Maf2Reader<'a> {
+    bytes: &'a [u8],
+    version: u32,
+    tp: u32,
+    model: &'a str,
+    gpu: &'a str,
+    content_checksum: u64,
+    index: Vec<SectionEntry>,
+    /// One lazy slot per ShardMeta entry, same order as `shard_ranks`.
+    shards: Vec<(u32, OnceCell<MaterializedState>)>,
+    bytes_read: Cell<u64>,
+}
+
+impl<'a> Maf2Reader<'a> {
+    /// Opens a MAF2 file, validating the fixed header, the target-key
+    /// strings, and the section index (bounds + sealed index digest) — an
+    /// O(header + index) operation that never reads section payloads.
+    ///
+    /// A format-version skew is *not* rejected here so the validator can
+    /// report it as the `format_version` check; materialization rejects it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MedusaError::ArtifactCorrupt`] for truncation, bad magic,
+    /// or malformed index entries, and [`MedusaError::ChecksumMismatch`]
+    /// when the sealed index digest does not match.
+    pub fn open(bytes: &'a [u8]) -> MedusaResult<Maf2Reader<'a>> {
+        if bytes.len() < MAF2_HEADER_LEN {
+            return Err(corrupt(format!(
+                "truncated: {} bytes < {MAF2_HEADER_LEN}-byte header",
+                bytes.len()
+            )));
+        }
+        if bytes[..8] != MAF2_MAGIC {
+            return Err(corrupt("bad magic: not a MAF2 artifact"));
+        }
+        let le32 =
+            |o: usize| u32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+        let le64 = |o: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[o..o + 8]);
+            u64::from_le_bytes(b)
+        };
+        let version = le32(8);
+        let tp = le32(12);
+        let shard_count = le32(16) as usize;
+        let section_count = le32(20) as usize;
+        let model_len = le32(24) as usize;
+        let gpu_len = le32(28) as usize;
+        let file_len = le64(32);
+        let index_off = le64(40) as usize;
+        let content_checksum = le64(48);
+        let index_digest = le64(56);
+
+        if file_len != bytes.len() as u64 {
+            return Err(corrupt(format!(
+                "truncated: header declares {file_len} bytes, have {}",
+                bytes.len()
+            )));
+        }
+        let key_end = MAF2_HEADER_LEN
+            .checked_add(model_len)
+            .and_then(|e| e.checked_add(gpu_len))
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| corrupt("target-key strings exceed file bounds"))?;
+        let model_bytes = &bytes[MAF2_HEADER_LEN..MAF2_HEADER_LEN + model_len];
+        let gpu_bytes = &bytes[MAF2_HEADER_LEN + model_len..key_end];
+        let model = std::str::from_utf8(model_bytes)
+            .map_err(|_| corrupt("model name is not valid UTF-8"))?;
+        let gpu =
+            std::str::from_utf8(gpu_bytes).map_err(|_| corrupt("gpu name is not valid UTF-8"))?;
+
+        let index_len = section_count
+            .checked_mul(MAF2_INDEX_ENTRY_LEN)
+            .ok_or_else(|| corrupt("section count overflows"))?;
+        let index_end = index_off
+            .checked_add(index_len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| {
+                corrupt(format!(
+                    "section index [{index_off}, +{index_len}) exceeds file bounds"
+                ))
+            })?;
+        let index_bytes = &bytes[index_off..index_end];
+
+        let actual = fnv1a(&[&bytes[..56], model_bytes, gpu_bytes, index_bytes]);
+        if actual != index_digest {
+            return Err(MedusaError::ChecksumMismatch {
+                expected: index_digest,
+                actual,
+            });
+        }
+
+        let mut index = Vec::with_capacity(section_count);
+        let mut shards: Vec<(u32, OnceCell<MaterializedState>)> = Vec::new();
+        for (i, entry) in index_bytes.chunks_exact(MAF2_INDEX_ENTRY_LEN).enumerate() {
+            let kind_code = u32::from_le_bytes([entry[0], entry[1], entry[2], entry[3]]);
+            let kind = SectionKind::from_code(kind_code)
+                .ok_or_else(|| corrupt(format!("index entry {i} has unknown kind {kind_code}")))?;
+            let shard = u32::from_le_bytes([entry[4], entry[5], entry[6], entry[7]]);
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&entry[8..16]);
+            let off = u64::from_le_bytes(b);
+            b.copy_from_slice(&entry[16..24]);
+            let len = u64::from_le_bytes(b);
+            b.copy_from_slice(&entry[24..32]);
+            let digest = u64::from_le_bytes(b);
+            let end = off.checked_add(len).filter(|&e| e <= file_len);
+            if end.is_none() || off < key_end as u64 {
+                return Err(corrupt(format!(
+                    "index entry {i} ({kind:?} shard {shard}) [{off}, +{len}) is out of bounds"
+                )));
+            }
+            if kind == SectionKind::ShardMeta {
+                shards.push((shard, OnceCell::new()));
+            }
+            index.push(SectionEntry {
+                kind,
+                shard,
+                off,
+                len,
+                digest,
+            });
+        }
+        if shards.len() != shard_count {
+            return Err(corrupt(format!(
+                "header declares {shard_count} shards, index has {}",
+                shards.len()
+            )));
+        }
+
+        let reader = Maf2Reader {
+            bytes,
+            version,
+            tp,
+            model,
+            gpu,
+            content_checksum,
+            index,
+            shards,
+            bytes_read: Cell::new((key_end + index_len) as u64),
+        };
+        Ok(reader)
+    }
+
+    /// Declared format version (may differ from [`ARTIFACT_VERSION`]; see
+    /// [`Maf2Reader::open`]).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Model name from the header's target key.
+    pub fn model(&self) -> &'a str {
+        self.model
+    }
+
+    /// GPU name from the header's target key.
+    pub fn gpu(&self) -> &'a str {
+        self.gpu
+    }
+
+    /// Tensor-parallel degree of the bundle.
+    pub fn tp(&self) -> u32 {
+        self.tp
+    }
+
+    /// Number of shards stored in this file (a file may carry a subset of
+    /// the tp ranks).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ranks present in the file, in index order.
+    pub fn shard_ranks(&self) -> Vec<u32> {
+        self.shards.iter().map(|(r, _)| *r).collect()
+    }
+
+    /// Total file length in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Payload bytes actually consumed so far (header + index + every
+    /// section read), the observable cost of lazy restoration.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.get()
+    }
+
+    /// Verifies the header's streaming checksum: an FNV fold over every
+    /// section digest in index order. O(index); never touches payloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MedusaError::ChecksumMismatch`] on disagreement.
+    pub fn verify_content_checksum(&self) -> MedusaResult<()> {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for e in &self.index {
+            for b in e.digest.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        if h != self.content_checksum {
+            return Err(MedusaError::ChecksumMismatch {
+                expected: self.content_checksum,
+                actual: h,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fetches one section's payload, verifying its sealed digest. Counts
+    /// the payload against [`Maf2Reader::bytes_read`].
+    fn section(&self, kind: SectionKind, rank: u32) -> MedusaResult<&'a [u8]> {
+        let entry = self
+            .index
+            .iter()
+            .find(|e| e.kind == kind && e.shard == rank)
+            .ok_or_else(|| corrupt(format!("no {kind:?} section for rank {rank}")))?;
+        let payload = &self.bytes[entry.off as usize..(entry.off + entry.len) as usize];
+        let actual = fnv1a(&[payload]);
+        if actual != entry.digest {
+            return Err(MedusaError::ChecksumMismatch {
+                expected: entry.digest,
+                actual,
+            });
+        }
+        self.bytes_read.set(self.bytes_read.get() + entry.len);
+        Ok(payload)
+    }
+
+    /// Reads and verifies one shard's ShardMeta section — O(1) in file
+    /// size, used by the header-first validator for per-shard target and
+    /// checksum checks without materialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MedusaError::ArtifactCorrupt`] when absent or malformed,
+    /// [`MedusaError::ChecksumMismatch`] when the section digest disagrees.
+    pub fn shard_meta(&self, rank: u32) -> MedusaResult<ShardMeta> {
+        let payload = self.section(SectionKind::ShardMeta, rank)?;
+        if payload.len() != SHARD_META_LEN {
+            return Err(corrupt(format!(
+                "ShardMeta section is {} bytes, expected {SHARD_META_LEN}",
+                payload.len()
+            )));
+        }
+        let mut c = Cursor::new(payload, "ShardMeta");
+        let meta = ShardMeta {
+            rank: c.u32()?,
+            tp: c.u32()?,
+            kv_free_bytes: c.u64()?,
+            replay_prefix_allocs: c.u64()?,
+            checksum: c.u64()?,
+            stats: AnalysisStats {
+                nodes: c.u64()?,
+                pointer_params: c.u64()?,
+                const_params: c.u64()?,
+                multi_match_pointers: c.u64()?,
+                dlsym_restorable_nodes: c.u64()?,
+                hidden_kernel_nodes: c.u64()?,
+                param_buffers: c.u64()?,
+                temp_buffers: c.u64()?,
+                permanent_buffers: c.u64()?,
+            },
+        };
+        c.done()?;
+        Ok(meta)
+    }
+
+    /// Lazily materializes one shard, reading only that shard's sections
+    /// (each verified against its sealed digest on the way in). Subsequent
+    /// calls return the cached state without re-reading.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MedusaError::ArtifactCorrupt`] on format-version skew or
+    /// malformed sections, [`MedusaError::ChecksumMismatch`] on a section
+    /// digest mismatch.
+    pub fn shard(&self, rank: u32) -> MedusaResult<&MaterializedState> {
+        let cell = self
+            .shards
+            .iter()
+            .find(|(r, _)| *r == rank)
+            .map(|(_, c)| c)
+            .ok_or_else(|| corrupt(format!("no shard for rank {rank} in artifact")))?;
+        if let Some(state) = cell.get() {
+            return Ok(state);
+        }
+        if self.version != ARTIFACT_VERSION {
+            return Err(corrupt(format!(
+                "format version {} != supported {ARTIFACT_VERSION}",
+                self.version
+            )));
+        }
+        let state = self.materialize_shard(rank)?;
+        let _ = cell.set(state);
+        Ok(cell.get().expect("just set"))
+    }
+
+    /// Eagerly materializes every shard in the file, in index order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure (see [`Maf2Reader::shard`]).
+    pub fn materialize_all(&self) -> MedusaResult<Vec<MaterializedState>> {
+        self.shard_ranks()
+            .into_iter()
+            .map(|r| self.shard(r).cloned())
+            .collect()
+    }
+
+    fn decode_strings(&self, rank: u32) -> MedusaResult<ShardStrings> {
+        let payload = self.section(SectionKind::Strings, rank)?;
+        let mut c = Cursor::new(payload, "Strings");
+        let count = c.u32()? as usize;
+        let _pad = c.u32()?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let off = c.u32()? as usize;
+            let len = c.u32()? as usize;
+            entries.push((off, len));
+        }
+        let blob = &payload[c.pos..];
+        let mut strings = Vec::with_capacity(count);
+        for (i, (off, len)) in entries.into_iter().enumerate() {
+            let end = off.checked_add(len).filter(|&e| e <= blob.len());
+            let end = end.ok_or_else(|| {
+                corrupt(format!(
+                    "string #{i} [{off}, +{len}) exceeds blob of {} bytes",
+                    blob.len()
+                ))
+            })?;
+            let s = std::str::from_utf8(&blob[off..end])
+                .map_err(|_| corrupt(format!("string #{i} is not valid UTF-8")))?;
+            strings.push(s.to_string());
+        }
+        Ok(ShardStrings { strings })
+    }
+
+    fn materialize_shard(&self, rank: u32) -> MedusaResult<MaterializedState> {
+        let meta = self.shard_meta(rank)?;
+        let strings = self.decode_strings(rank)?;
+
+        let replay = self.section(SectionKind::Replay, rank)?;
+        if replay.len() % 16 != 0 {
+            return Err(corrupt(format!(
+                "Replay section length {} is not a multiple of 16",
+                replay.len()
+            )));
+        }
+        let mut replay_ops = Vec::with_capacity(replay.len() / 16);
+        let mut c = Cursor::new(replay, "Replay");
+        while c.pos < replay.len() {
+            let tag = c.u64()?;
+            let value = c.u64()?;
+            replay_ops.push(match tag {
+                0 => ReplayOp::Malloc { size: value },
+                1 => ReplayOp::Free { alloc_seq: value },
+                t => return Err(corrupt(format!("replay op has unknown tag {t}"))),
+            });
+        }
+
+        let labels_payload = self.section(SectionKind::Labels, rank)?;
+        if labels_payload.len() % 16 != 0 {
+            return Err(corrupt(format!(
+                "Labels section length {} is not a multiple of 16",
+                labels_payload.len()
+            )));
+        }
+        let mut labels = HashMap::new();
+        let mut c = Cursor::new(labels_payload, "Labels");
+        while c.pos < labels_payload.len() {
+            let name_id = c.u32()?;
+            let _pad = c.u32()?;
+            let seq = c.u64()?;
+            let name = strings.get(name_id, "label")?;
+            labels.insert(name.to_string(), seq);
+        }
+
+        let perm = self.section(SectionKind::PermContents, rank)?;
+        if perm.len() % 24 != 0 {
+            return Err(corrupt(format!(
+                "PermContents section length {} is not a multiple of 24",
+                perm.len()
+            )));
+        }
+        let mut permanent_contents = Vec::with_capacity(perm.len() / 24);
+        let mut c = Cursor::new(perm, "PermContents");
+        while c.pos < perm.len() {
+            let seq = c.u64()?;
+            let raw = c.take(16)?;
+            let mut digest = [0u8; 16];
+            digest.copy_from_slice(raw);
+            permanent_contents.push((seq, digest));
+        }
+
+        let tables_payload = self.section(SectionKind::PtrTables, rank)?;
+        let mut c = Cursor::new(tables_payload, "PtrTables");
+        let table_count = c.u64()? as usize;
+        let mut permanent_ptr_tables = Vec::with_capacity(table_count);
+        for _ in 0..table_count {
+            let seq = c.u64()?;
+            let entry_count = c.u64()? as usize;
+            let mut entries = Vec::with_capacity(entry_count);
+            for _ in 0..entry_count {
+                entries.push(PtrTableEntry {
+                    alloc_seq: c.u64()?,
+                    offset: c.u64()?,
+                });
+            }
+            permanent_ptr_tables.push((seq, entries));
+        }
+        c.done()?;
+
+        let graphs = self.decode_graphs(rank, &strings)?;
+
+        Ok(MaterializedState {
+            version: self.version,
+            model: self.model.to_string(),
+            gpu: self.gpu.to_string(),
+            rank: meta.rank,
+            tp: meta.tp,
+            kv_free_bytes: meta.kv_free_bytes,
+            replay_prefix_allocs: meta.replay_prefix_allocs,
+            replay_ops,
+            labels,
+            permanent_contents,
+            permanent_ptr_tables,
+            graphs,
+            stats: meta.stats,
+            checksum: meta.checksum,
+        })
+    }
+
+    fn decode_graphs(&self, rank: u32, strings: &ShardStrings) -> MedusaResult<Vec<GraphSpec>> {
+        let payload = self.section(SectionKind::Graphs, rank)?;
+        // Pass 1: walk the fixed-width headers to locate the spill blob.
+        let mut c = Cursor::new(payload, "Graphs");
+        let graph_count = c.u64()? as usize;
+        let mut spans = Vec::with_capacity(graph_count);
+        for _ in 0..graph_count {
+            let batch = c.u32()?;
+            let node_count = c.u32()? as usize;
+            let edge_count = c.u32()? as usize;
+            let param_count = c.u32()? as usize;
+            spans.push((batch, node_count, edge_count, param_count));
+            c.take(node_count * 40 + param_count * 32 + edge_count * 8)?;
+        }
+        let spill = &payload[c.pos..];
+
+        // Pass 2: decode records.
+        let mut c = Cursor::new(payload, "Graphs");
+        let _ = c.u64()?;
+        let mut graphs = Vec::with_capacity(graph_count);
+        for (batch, node_count, edge_count, param_count) in spans {
+            let _ = c.u32()?; // batch (from pass 1)
+            let _ = c.u32()?;
+            let _ = c.u32()?;
+            let _ = c.u32()?;
+            let mut nodes = Vec::with_capacity(node_count);
+            let mut node_param_counts = Vec::with_capacity(node_count);
+            for _ in 0..node_count {
+                let kernel = strings.get(c.u32()?, "graph node kernel")?.to_string();
+                let library = strings.get(c.u32()?, "graph node library")?.to_string();
+                let flags = c.u32()?;
+                let stream = c.u32()?;
+                let n_params = c.u32()? as usize;
+                let _pad = c.u32()?;
+                let flops = f64::from_bits(c.u64()?);
+                let bytes = f64::from_bits(c.u64()?);
+                node_param_counts.push(n_params);
+                nodes.push(NodeSpec {
+                    kernel,
+                    library,
+                    exported: flags & 1 != 0,
+                    params: Vec::with_capacity(n_params),
+                    work: medusa_gpu::Work { flops, bytes },
+                    stream,
+                });
+            }
+            let declared: usize = node_param_counts.iter().sum();
+            if declared != param_count {
+                return Err(corrupt(format!(
+                    "graph batch {batch}: nodes declare {declared} params, header says {param_count}"
+                )));
+            }
+            for (node, &n_params) in nodes.iter_mut().zip(&node_param_counts) {
+                for _ in 0..n_params {
+                    let tag = c.u32()?;
+                    let aux = c.u32()? as usize;
+                    let body = c.take(PARAM_INLINE_LEN)?;
+                    node.params.push(match tag {
+                        0 if aux <= PARAM_INLINE_LEN => ParamSpec::Const {
+                            bytes: body[..aux].to_vec(),
+                        },
+                        0 => {
+                            let mut b = [0u8; 8];
+                            b.copy_from_slice(&body[..8]);
+                            let off = u64::from_le_bytes(b) as usize;
+                            let end = off.checked_add(aux).filter(|&e| e <= spill.len());
+                            let end = end.ok_or_else(|| {
+                                corrupt(format!(
+                                    "const spill [{off}, +{aux}) exceeds blob of {} bytes",
+                                    spill.len()
+                                ))
+                            })?;
+                            ParamSpec::Const {
+                                bytes: spill[off..end].to_vec(),
+                            }
+                        }
+                        1 => {
+                            let mut b = [0u8; 8];
+                            b.copy_from_slice(&body[..8]);
+                            let alloc_seq = u64::from_le_bytes(b);
+                            b.copy_from_slice(&body[8..16]);
+                            let offset = u64::from_le_bytes(b);
+                            b.copy_from_slice(&body[16..24]);
+                            let raw = u64::from_le_bytes(b);
+                            ParamSpec::IndirectPtr {
+                                alloc_seq,
+                                offset,
+                                raw,
+                            }
+                        }
+                        t => return Err(corrupt(format!("param has unknown tag {t}"))),
+                    });
+                }
+            }
+            let mut edges = Vec::with_capacity(edge_count);
+            for _ in 0..edge_count {
+                edges.push((c.u32()?, c.u32()?));
+            }
+            graphs.push(GraphSpec {
+                batch,
+                nodes,
+                edges,
+            });
+        }
+        Ok(graphs)
+    }
+}
+
+impl std::fmt::Debug for Maf2Reader<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Maf2Reader")
+            .field("version", &self.version)
+            .field("model", &self.model)
+            .field("gpu", &self.gpu)
+            .field("tp", &self.tp)
+            .field("shards", &self.shard_ranks())
+            .field("file_len", &self.file_len())
+            .field("bytes_read", &self.bytes_read())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::tests_support::tiny_sealed;
+
+    fn tiny() -> MaterializedState {
+        tiny_sealed()
+    }
+
+    fn shard_for(rank: u32, tp: u32) -> MaterializedState {
+        let mut s = tiny();
+        s.rank = rank;
+        s.tp = tp;
+        s.kv_free_bytes ^= u64::from(rank) << 32;
+        s.seal();
+        s
+    }
+
+    #[test]
+    fn roundtrip_single_shard() {
+        let a = tiny();
+        let bytes = encode_bundle(&[&a]).unwrap();
+        assert!(is_maf2(&bytes));
+        let r = Maf2Reader::open(&bytes).unwrap();
+        assert_eq!(r.model(), a.model);
+        assert_eq!(r.gpu(), a.gpu);
+        assert_eq!(r.tp(), 1);
+        assert_eq!(r.shard_count(), 1);
+        r.verify_content_checksum().unwrap();
+        let b = r.shard(0).unwrap();
+        assert_eq!(&a, b);
+        assert_eq!(b.content_checksum(), b.checksum);
+    }
+
+    #[test]
+    fn reencode_is_byte_identical() {
+        let a = tiny();
+        let bytes = encode_bundle(&[&a]).unwrap();
+        let r = Maf2Reader::open(&bytes).unwrap();
+        let decoded = r.shard(0).unwrap().clone();
+        let again = encode_bundle(&[&decoded]).unwrap();
+        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn multi_shard_lazy_reads_fraction() {
+        let tp = 4;
+        let shards: Vec<MaterializedState> = (0..tp).map(|r| shard_for(r, tp)).collect();
+        let refs: Vec<&MaterializedState> = shards.iter().collect();
+        let bytes = encode_bundle(&refs).unwrap();
+        let r = Maf2Reader::open(&bytes).unwrap();
+        assert_eq!(r.shard_ranks(), vec![0, 1, 2, 3]);
+        let opened = r.bytes_read();
+        let s2 = r.shard(2).unwrap();
+        assert_eq!(s2.rank, 2);
+        let after = r.bytes_read();
+        assert!(
+            after - opened < r.file_len() / u64::from(tp) + 1,
+            "single-shard restore read {} of {} file bytes",
+            after - opened,
+            r.file_len()
+        );
+        // Cached: a second access reads nothing.
+        let _ = r.shard(2).unwrap();
+        assert_eq!(r.bytes_read(), after);
+    }
+
+    #[test]
+    fn open_rejects_truncation_and_bad_magic() {
+        let bytes = encode_bundle(&[&tiny()]).unwrap();
+        for cut in [0, 7, 63, bytes.len() - 1] {
+            let err = Maf2Reader::open(&bytes[..cut]).unwrap_err();
+            assert_eq!(err.kind(), "artifact_corrupt", "cut at {cut}: {err}");
+        }
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(
+            Maf2Reader::open(&bad).unwrap_err().kind(),
+            "artifact_corrupt"
+        );
+    }
+
+    #[test]
+    fn open_detects_index_tampering() {
+        let bytes = encode_bundle(&[&tiny()]).unwrap();
+        // Flip a byte inside the index region (covered by index_digest).
+        let mut bad = bytes.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 1;
+        assert_eq!(
+            Maf2Reader::open(&bad).unwrap_err().kind(),
+            "checksum_mismatch"
+        );
+    }
+
+    #[test]
+    fn payload_corruption_is_caught_lazily() {
+        let a = tiny();
+        let bytes = encode_bundle(&[&a]).unwrap();
+        let mut bad = bytes.clone();
+        // Corrupt one payload byte just past the target-key strings.
+        let off = MAF2_HEADER_LEN + a.model.len() + a.gpu.len() + 3;
+        bad[off] ^= 0x40;
+        let r = Maf2Reader::open(&bad).unwrap();
+        assert_eq!(r.shard(0).unwrap_err().kind(), "checksum_mismatch");
+    }
+
+    #[test]
+    fn version_skew_opens_but_does_not_materialize() {
+        let bytes = encode_bundle(&[&tiny()]).unwrap();
+        let mut skewed = bytes.clone();
+        skewed[8..12].copy_from_slice(&999u32.to_le_bytes());
+        // Re-seal the index digest so the skew is the only inconsistency.
+        let model_gpu_end = {
+            let r = Maf2Reader::open(&bytes).unwrap();
+            MAF2_HEADER_LEN + r.model().len() + r.gpu().len()
+        };
+        let index_off = u64::from_le_bytes(skewed[40..48].try_into().unwrap()) as usize;
+        let digest = fnv1a(&[
+            &skewed[..56],
+            &skewed[MAF2_HEADER_LEN..model_gpu_end],
+            &skewed[index_off..],
+        ]);
+        skewed[56..64].copy_from_slice(&digest.to_le_bytes());
+        let r = Maf2Reader::open(&skewed).unwrap();
+        assert_eq!(r.version(), 999);
+        let err = r.shard(0).unwrap_err();
+        assert_eq!(err.kind(), "artifact_corrupt");
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn bundle_consistency_is_enforced() {
+        assert!(encode_bundle(&[]).is_err());
+        let a = tiny();
+        let mut b = tiny();
+        b.gpu = "H100".into();
+        b.seal();
+        assert_eq!(
+            encode_bundle(&[&a, &b]).unwrap_err().kind(),
+            "artifact_corrupt"
+        );
+        assert_eq!(
+            encode_bundle(&[&a, &a]).unwrap_err().kind(),
+            "artifact_corrupt"
+        );
+    }
+
+    #[test]
+    fn oversized_const_spills_and_restores() {
+        let mut a = tiny();
+        a.graphs[0].nodes[0].params.push(ParamSpec::Const {
+            bytes: (0..=255).collect(),
+        });
+        a.seal();
+        let bytes = encode_bundle(&[&a]).unwrap();
+        let r = Maf2Reader::open(&bytes).unwrap();
+        assert_eq!(r.shard(0).unwrap(), &a);
+    }
+}

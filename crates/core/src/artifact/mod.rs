@@ -23,6 +23,8 @@ use medusa_gpu::{Digest, Work};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+pub mod maf2;
+
 /// Format version, bumped on breaking layout changes (v2 added the sealed
 /// content checksum).
 pub const ARTIFACT_VERSION: u32 = 2;
@@ -392,13 +394,52 @@ impl MaterializedState {
         }
         Ok(v)
     }
+
+    /// Encodes this artifact as a single-shard MAF2 binary file (the
+    /// production persistence format; JSON remains the debug encoding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MedusaError::ArtifactCorrupt`] on encoder failure.
+    pub fn to_maf2(&self) -> MedusaResult<Vec<u8>> {
+        maf2::encode_bundle(&[self])
+    }
+
+    /// Decodes a single-shard MAF2 file eagerly, validating the version.
+    /// For bundles or lazy per-shard access use [`maf2::Maf2Reader`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MedusaError::ArtifactCorrupt`] on decode failure, version
+    /// mismatch, or when the file holds more than one shard, and
+    /// [`MedusaError::ChecksumMismatch`] on digest disagreement.
+    pub fn from_maf2(bytes: &[u8]) -> MedusaResult<Self> {
+        let reader = maf2::Maf2Reader::open(bytes)?;
+        if reader.version() != ARTIFACT_VERSION {
+            return Err(MedusaError::ArtifactCorrupt {
+                detail: format!("version {} != {}", reader.version(), ARTIFACT_VERSION),
+            });
+        }
+        let ranks = reader.shard_ranks();
+        match ranks.as_slice() {
+            [rank] => Ok(reader.shard(*rank)?.clone()),
+            _ => Err(MedusaError::ArtifactCorrupt {
+                detail: format!(
+                    "expected a single-shard artifact, file holds {} shards",
+                    ranks.len()
+                ),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests_support {
     use super::*;
 
-    fn tiny() -> MaterializedState {
+    /// A tiny sealed artifact exercising every field, shared by the JSON
+    /// and MAF2 unit tests.
+    pub(crate) fn tiny_sealed() -> MaterializedState {
         let mut a = MaterializedState {
             version: ARTIFACT_VERSION,
             model: "Qwen1.5-4B".into(),
@@ -447,6 +488,12 @@ mod tests {
         a.seal();
         a
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::tiny_sealed as tiny;
+    use super::*;
 
     #[test]
     fn json_roundtrip() {

@@ -189,6 +189,9 @@ impl From<TpColdStart> for ColdStartOutcome {
 enum ArtifactSource<'a> {
     Single(&'a MaterializedState),
     Tp(&'a TpArtifacts),
+    /// MAF2-encoded bundle bytes, validated header-first and materialized
+    /// lazily (only the ranks this cold start restores).
+    Bytes(&'a [u8]),
 }
 
 /// Builder for cold starts: strategy, target, options, artifacts,
@@ -317,6 +320,18 @@ impl<'a> ColdStart<'a> {
         self
     }
 
+    /// Supplies a MAF2-encoded artifact bundle (see
+    /// [`TpArtifacts::to_maf2`]) — the path a registry fetch feeds. The
+    /// bundle is validated header-first against the shared section index
+    /// and only the ranks this cold start restores are materialized; on the
+    /// single-instance path that means reading one shard's sections, not
+    /// the whole file. Binary fault classes
+    /// ([`FaultPlan::apply_to_maf2`]) tamper the byte stream before open.
+    pub fn artifact_bytes(mut self, bytes: &'a [u8]) -> Self {
+        self.artifact = Some(ArtifactSource::Bytes(bytes));
+        self
+    }
+
     /// Records spans and metrics into `tele` (validation outcomes and
     /// fallbacks included).
     pub fn telemetry(mut self, tele: &'a Registry) -> Self {
@@ -385,6 +400,34 @@ impl<'a> ColdStart<'a> {
         if let Some(plan) = self.faults {
             opts.fault = Some(plan);
         }
+        // A binary source is opened header-first and materialized lazily;
+        // decode/validation failures degrade like any validation failure.
+        // Binary fault classes tamper the byte stream before open, so the
+        // decoded-artifact tampering below never applies to this path.
+        if let Some(ArtifactSource::Bytes(raw)) = &self.artifact {
+            let tampered_bytes: Option<Vec<u8>> = match self.faults {
+                Some(plan) if !plan.is_empty() => Some(plan.apply_to_maf2(raw)),
+                _ => None,
+            };
+            let bytes: &[u8] = tampered_bytes.as_deref().unwrap_or(raw);
+            let decoded = match self.decode_validated(bytes, &opts) {
+                Ok(ranks) => ranks,
+                Err(err) if requested == Strategy::Medusa => {
+                    if let Some(t) = self.tele {
+                        t.inc_labeled("artifact_validation_failed", err.kind(), 1);
+                    }
+                    let fb = Fallback {
+                        from: requested,
+                        reason: err.kind(),
+                        detail: err.to_string(),
+                    };
+                    return self.finish_fallback(requested, fb, opts);
+                }
+                Err(err) => return Err(err),
+            };
+            let refs: Vec<&MaterializedState> = decoded.iter().collect();
+            return self.finish_attempt(requested, Some(&refs), opts);
+        }
 
         // Artifact-level faults tamper copies; healthy runs borrow.
         let tampered: Option<Vec<MaterializedState>> = match (&self.artifact, self.faults) {
@@ -394,6 +437,7 @@ impl<'a> ColdStart<'a> {
                     ArtifactSource::Tp(arts) => {
                         arts.iter().map(|a| plan.apply_to_artifact(a)).collect()
                     }
+                    ArtifactSource::Bytes(_) => unreachable!("handled above"),
                 };
                 Some(ranks)
             }
@@ -403,7 +447,7 @@ impl<'a> ColdStart<'a> {
             (Some(t), _) => Some(t.iter().collect()),
             (None, Some(ArtifactSource::Single(a))) => Some(vec![a]),
             (None, Some(ArtifactSource::Tp(arts))) => Some(arts.iter().collect()),
-            (None, None) => None,
+            (None, Some(ArtifactSource::Bytes(_))) | (None, None) => None,
         };
 
         // Pre-restore validation (Medusa only): any failing check records
@@ -440,8 +484,18 @@ impl<'a> ColdStart<'a> {
             return self.finish_fallback(requested, fb, opts);
         }
 
-        let attempt = self.attempt(requested, rank_artifacts.as_deref(), opts);
-        match attempt {
+        self.finish_attempt(requested, rank_artifacts.as_deref(), opts)
+    }
+
+    /// The shared run tail: attempt the requested strategy, degrading a
+    /// failed Medusa attempt (that had an artifact) to a clean vanilla run.
+    fn finish_attempt(
+        &self,
+        requested: Strategy,
+        rank_artifacts: Option<&[&MaterializedState]>,
+        opts: ColdStartOptions,
+    ) -> MedusaResult<ColdStartOutcome> {
+        match self.attempt(requested, rank_artifacts, opts) {
             Ok(outcome) => Ok(self.stamp(outcome, requested, requested, None)),
             Err(err)
                 if requested == Strategy::Medusa
@@ -456,6 +510,39 @@ impl<'a> ColdStart<'a> {
                 self.finish_fallback(requested, fb, opts)
             }
             Err(err) => Err(err),
+        }
+    }
+
+    /// Opens a MAF2 bundle and validates it header-first against the shared
+    /// section index (one open, per-rank ShardMeta reads — validation work
+    /// no longer scales with tp), then materializes only the ranks this
+    /// cold start restores: every rank on the tensor-parallel path, exactly
+    /// `opts.rank`'s sections on the single path.
+    fn decode_validated(
+        &self,
+        bytes: &[u8],
+        opts: &ColdStartOptions,
+    ) -> MedusaResult<Vec<MaterializedState>> {
+        let reader = crate::artifact::maf2::Maf2Reader::open(bytes)?;
+        if self.validate_artifact && self.strategy == Strategy::Medusa {
+            if let Some(t) = self.tele {
+                t.inc("artifact_validation_total", reader.shard_count() as u64);
+            }
+            let base = ArtifactValidator::for_target(self.spec, &self.gpu);
+            match self.tp {
+                Some(_) => {
+                    for (_rank, report) in base.validate_bundle(&reader) {
+                        report.ok()?;
+                    }
+                }
+                None => {
+                    base.shard(opts.rank, opts.tp).validate_maf2(&reader).ok()?;
+                }
+            }
+        }
+        match self.tp {
+            Some(_) => reader.materialize_all(),
+            None => Ok(vec![reader.shard(opts.rank)?.clone()]),
         }
     }
 
@@ -680,6 +767,54 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, MedusaError::ArtifactRequired));
+    }
+
+    #[test]
+    fn binary_bundle_cold_start_matches_decoded_artifacts() {
+        let s = spec();
+        let a = arts();
+        let bytes = a.to_maf2().unwrap();
+        let from_arts = ColdStart::new(&s)
+            .strategy(Strategy::Medusa)
+            .artifacts(&a)
+            .seed(9)
+            .run()
+            .unwrap();
+        let from_bytes = ColdStart::new(&s)
+            .strategy(Strategy::Medusa)
+            .tp(a.tp())
+            .artifact_bytes(&bytes)
+            .seed(9)
+            .run()
+            .unwrap();
+        assert_eq!(from_bytes.strategy_used(), Strategy::Medusa);
+        assert!(from_bytes.fallback().is_none());
+        assert_eq!(from_bytes.reports, from_arts.reports);
+    }
+
+    #[test]
+    fn tampered_binary_bundle_degrades_to_vanilla() {
+        let s = spec();
+        let a = arts();
+        let bytes = a.to_maf2().unwrap();
+        let tele = Registry::new();
+        let outcome = ColdStart::new(&s)
+            .strategy(Strategy::Medusa)
+            .tp(a.tp())
+            .artifact_bytes(&bytes)
+            .telemetry(&tele)
+            .faults(FaultPlan::single(FaultKind::TruncatedWeights, 17))
+            .run()
+            .unwrap();
+        assert_eq!(outcome.strategy_used(), Strategy::Vanilla);
+        let fb = outcome.fallback().unwrap();
+        assert_eq!(fb.reason, "artifact_corrupt");
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("coldstart_fallback_total"), Some(1));
+        assert_eq!(
+            snap.counter("artifact_validation_failed_artifact_corrupt_total"),
+            Some(1)
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! inside the pipeline itself. Registry and node failures are fleet-level
 //! concerns and live in `medusa-serving`'s `ClusterFaults`.
 
-use crate::artifact::MaterializedState;
+use crate::artifact::{maf2, MaterializedState};
 
 /// Mixes a seed into a well-distributed 64-bit value (SplitMix64 finalizer).
 pub(crate) fn splitmix64(seed: u64) -> u64 {
@@ -218,6 +218,90 @@ impl FaultPlan {
         a
     }
 
+    /// Applies the armed artifact-level faults to a copy of MAF2-encoded
+    /// artifact bytes — the binary analogue of
+    /// [`FaultPlan::apply_to_artifact`].
+    ///
+    /// * [`FaultKind::CorruptArtifact`] picks, from the seed, one of three
+    ///   binary corruption shapes: a section-payload byte flip (caught
+    ///   lazily by the section digest on first materialization), a
+    ///   section-digest flip inside the index (caught at open by the sealed
+    ///   index digest), or an index offset rewritten out of bounds with the
+    ///   index digest re-sealed (caught by the open-time bounds check).
+    /// * [`FaultKind::VersionSkew`] stamps a future format version and
+    ///   re-seals the index digest, so the skew is the only inconsistency.
+    /// * [`FaultKind::TruncatedWeights`] tears the byte stream: inside the
+    ///   header, just before the section index, or at a seed-chosen payload
+    ///   fraction.
+    ///
+    /// [`FaultKind::MissingLibrary`] is a decoded-level fault (it re-seals
+    /// the per-shard checksum); apply it via [`FaultPlan::apply_to_artifact`]
+    /// before encoding. Every resulting file fails with a *typed* error —
+    /// [`Maf2Reader::open`](maf2::Maf2Reader::open) and shard
+    /// materialization never panic on tampered input.
+    pub fn apply_to_maf2(&self, bytes: &[u8]) -> Vec<u8> {
+        let mut b = bytes.to_vec();
+        if self.corrupt_artifact {
+            match maf2::header_layout(&b) {
+                Some(layout) => match splitmix64(self.seed ^ 0xfa_0010) % 3 {
+                    0 if layout.payload_len > 0 => {
+                        let off = layout.payload_off
+                            + (splitmix64(self.seed ^ 0xfa_0011) as usize) % layout.payload_len;
+                        b[off] ^= 0x20;
+                    }
+                    1 if layout.section_count > 0 => {
+                        let i = (splitmix64(self.seed ^ 0xfa_0012) as usize) % layout.section_count;
+                        // Byte 24 of an entry is its digest field.
+                        b[layout.index_off + i * 32 + 24] ^= 0x01;
+                    }
+                    _ if layout.section_count > 0 => {
+                        let i = (splitmix64(self.seed ^ 0xfa_0013) as usize) % layout.section_count;
+                        let off_field = layout.index_off + i * 32 + 8;
+                        let oob = (b.len() as u64) + 1 + splitmix64(self.seed ^ 0xfa_0015) % 1024;
+                        b[off_field..off_field + 8].copy_from_slice(&oob.to_le_bytes());
+                        maf2::reseal_index_digest(&mut b);
+                    }
+                    _ => {
+                        if let Some(last) = b.last_mut() {
+                            *last ^= 0x20;
+                        }
+                    }
+                },
+                None => {
+                    if let Some(last) = b.last_mut() {
+                        *last ^= 0x20;
+                    }
+                }
+            }
+        }
+        if self.version_skew && b.len() >= 12 {
+            let old = u32::from_le_bytes([b[8], b[9], b[10], b[11]]);
+            let new = old
+                .wrapping_add(1)
+                .wrapping_add((splitmix64(self.seed ^ 0xfa_0004) % 3) as u32);
+            b[8..12].copy_from_slice(&new.to_le_bytes());
+            maf2::reseal_index_digest(&mut b);
+        }
+        if self.truncated_weights {
+            let cut = match splitmix64(self.seed ^ 0xfa_0014) % 3 {
+                // Header truncation: fewer bytes than the fixed header.
+                0 => (splitmix64(self.seed ^ 0xfa_0016) as usize) % maf2::MAF2_HEADER_LEN,
+                // Tear off the tail: the section index goes missing.
+                1 => b
+                    .len()
+                    .saturating_sub(1 + (splitmix64(self.seed ^ 0xfa_0017) as usize) % 32),
+                // Tear at a payload fraction.
+                _ => {
+                    let frac = (splitmix64(self.seed ^ 0xfa_0018) % 10_000) as f64 / 10_000.0;
+                    maf2::MAF2_HEADER_LEN
+                        + ((b.len().saturating_sub(maf2::MAF2_HEADER_LEN)) as f64 * frac) as usize
+                }
+            };
+            b.truncate(cut.min(b.len()));
+        }
+        b
+    }
+
     /// For an armed [`FaultKind::TruncatedWeights`]: the fraction of the
     /// weight payload delivered before the stream tears, in `[0.25, 0.90]`.
     pub fn weight_truncation(&self) -> Option<f64> {
@@ -299,6 +383,47 @@ mod tests {
             .iter()
             .flat_map(|g| g.nodes.iter())
             .any(|n| n.library.starts_with("libghost-")));
+    }
+
+    #[test]
+    fn binary_faults_always_yield_typed_errors() {
+        let a = artifact();
+        let bytes = a.to_maf2().unwrap();
+        for kind in [
+            FaultKind::CorruptArtifact,
+            FaultKind::VersionSkew,
+            FaultKind::TruncatedWeights,
+        ] {
+            for seed in 0..24 {
+                let plan = FaultPlan::single(kind, seed);
+                let bad = plan.apply_to_maf2(&bytes);
+                assert_ne!(bad, bytes, "{kind:?} seed {seed} must alter the file");
+                assert_eq!(bad, plan.apply_to_maf2(&bytes), "deterministic per seed");
+                // Open + eager materialization must fail with a typed error
+                // (never panic) on every seed of every binary fault class.
+                let err = maf2::Maf2Reader::open(&bad)
+                    .and_then(|r| r.materialize_all().map(|_| ()))
+                    .expect_err(&format!("{kind:?} seed {seed} must be detected"));
+                assert!(
+                    matches!(err.kind(), "artifact_corrupt" | "checksum_mismatch"),
+                    "{kind:?} seed {seed}: unexpected error kind {}",
+                    err.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_version_skew_is_the_only_inconsistency() {
+        let a = artifact();
+        let bytes = a.to_maf2().unwrap();
+        let bad = FaultPlan::single(FaultKind::VersionSkew, 11).apply_to_maf2(&bytes);
+        // The header re-seals, so open succeeds and the skew is observable;
+        // only materialization rejects it.
+        let r = maf2::Maf2Reader::open(&bad).unwrap();
+        assert!(r.version() > a.version);
+        r.verify_content_checksum().unwrap();
+        assert_eq!(r.shard(a.rank).unwrap_err().kind(), "artifact_corrupt");
     }
 
     #[test]

@@ -69,6 +69,9 @@ mod tp;
 mod trace;
 mod validator;
 
+pub use artifact::maf2::{
+    encode_bundle as encode_maf2_bundle, is_maf2, Maf2Reader, SectionKind, ShardMeta, MAF2_MAGIC,
+};
 pub use artifact::{
     AnalysisStats, GraphSpec, MaterializedState, NodeSpec, ParamSpec, PtrTableEntry, ReplayOp,
     ARTIFACT_VERSION,

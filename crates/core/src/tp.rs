@@ -58,6 +58,29 @@ impl TpArtifacts {
     pub fn iter(&self) -> impl Iterator<Item = &MaterializedState> {
         self.ranks.iter()
     }
+
+    /// Encodes every rank into one MAF2 bundle — the persistence format a
+    /// registry would store per `<GPU type, model type, tp>`. A restoring
+    /// rank opens the bundle with [`crate::Maf2Reader`] and lazily
+    /// materializes only its own sections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MedusaError::ArtifactCorrupt`] on encoder failure.
+    pub fn to_maf2(&self) -> MedusaResult<Vec<u8>> {
+        let refs: Vec<&MaterializedState> = self.ranks.iter().collect();
+        crate::artifact::maf2::encode_bundle(&refs)
+    }
+
+    /// Eagerly decodes a MAF2 bundle into per-rank artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/decode failures and rank-consistency violations.
+    pub fn from_maf2(bytes: &[u8]) -> MedusaResult<Self> {
+        let reader = crate::artifact::maf2::Maf2Reader::open(bytes)?;
+        TpArtifacts::new(reader.materialize_all()?)
+    }
 }
 
 /// Runs the offline phase for every rank of a `tp`-way instance with the

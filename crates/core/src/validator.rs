@@ -22,6 +22,7 @@
 //! Any failure downgrades the cold start to the vanilla path (§7); the
 //! report records which check rejected the artifact and why.
 
+use crate::artifact::maf2::{self, Maf2Reader};
 use crate::artifact::{MaterializedState, ParamSpec, ReplayOp, ARTIFACT_VERSION};
 use crate::error::{MedusaError, MedusaResult};
 use medusa_gpu::{GpuSpec, LibraryCatalog};
@@ -159,6 +160,159 @@ impl ArtifactValidator {
             ),
         ];
         ValidationReport { checks }
+    }
+
+    /// Validates raw artifact bytes in either encoding, auto-detected by
+    /// magic: MAF2 files take the header-first path ([`Self::validate_maf2`]),
+    /// anything else is treated as the JSON debug encoding.
+    ///
+    /// When the bytes cannot even be opened, the report carries the open
+    /// error on the check it maps to (`checksum` for digest mismatches,
+    /// `format_version` for structural corruption) and omits checks that
+    /// could not run.
+    pub fn validate_bytes(&self, bytes: &[u8]) -> ValidationReport {
+        if maf2::is_maf2(bytes) {
+            match Maf2Reader::open(bytes) {
+                Ok(reader) => self.validate_maf2(&reader),
+                Err(err) => ValidationReport {
+                    checks: vec![(Self::check_for_open_error(&err), Some(err))],
+                },
+            }
+        } else {
+            let parsed = std::str::from_utf8(bytes)
+                .map_err(|_| MedusaError::ArtifactCorrupt {
+                    detail: "artifact is neither MAF2 (no magic) nor UTF-8 JSON".into(),
+                })
+                .and_then(MaterializedState::from_json);
+            match parsed {
+                Ok(artifact) => self.validate(&artifact),
+                Err(err) => ValidationReport {
+                    checks: vec![(ValidationCheck::FormatVersion, Some(err))],
+                },
+            }
+        }
+    }
+
+    fn check_for_open_error(err: &MedusaError) -> ValidationCheck {
+        if err.kind() == "checksum_mismatch" {
+            ValidationCheck::Checksum
+        } else {
+            ValidationCheck::FormatVersion
+        }
+    }
+
+    /// Header-first fast path over an opened MAF2 reader: format version,
+    /// streaming checksum-of-section-digests, and the target key (header
+    /// strings + this shard's fixed-width ShardMeta). O(header + index) —
+    /// section payloads other than the 104-byte ShardMeta are never read,
+    /// and repeated calls for different ranks reuse the same parsed section
+    /// index instead of re-walking the artifact.
+    pub fn validate_maf2_header(&self, reader: &Maf2Reader<'_>) -> ValidationReport {
+        let version_err =
+            (reader.version() != ARTIFACT_VERSION).then(|| MedusaError::ArtifactCorrupt {
+                detail: format!(
+                    "format version {} != supported {}",
+                    reader.version(),
+                    ARTIFACT_VERSION
+                ),
+            });
+        let meta = reader.shard_meta(self.rank);
+        let checksum_err = reader
+            .verify_content_checksum()
+            .err()
+            .or_else(|| match &meta {
+                Err(e) if e.kind() == "checksum_mismatch" => Some(e.clone()),
+                _ => None,
+            });
+        let target_err = match &meta {
+            Ok(m) => {
+                if reader.model() != self.model
+                    || reader.gpu() != self.gpu
+                    || m.rank != self.rank
+                    || m.tp != self.tp
+                {
+                    Some(MedusaError::ArtifactMismatch {
+                        artifact: format!(
+                            "{}/{} r{}/{}",
+                            reader.model(),
+                            reader.gpu(),
+                            m.rank,
+                            m.tp
+                        ),
+                        target: format!("{}/{} r{}/{}", self.model, self.gpu, self.rank, self.tp),
+                    })
+                } else {
+                    None
+                }
+            }
+            Err(e) => Some(e.clone()),
+        };
+        ValidationReport {
+            checks: vec![
+                (ValidationCheck::FormatVersion, version_err),
+                (ValidationCheck::Checksum, checksum_err),
+                (ValidationCheck::TargetKey, target_err),
+            ],
+        }
+    }
+
+    /// Full validation of one shard of an opened MAF2 reader: the
+    /// header-first checks plus the deep kernel-table and pointer-bounds
+    /// checks, which lazily materialize only this shard's sections. When
+    /// the shard cannot be materialized the deep checks are omitted (the
+    /// failure is already attributed to `format_version` or `checksum`).
+    pub fn validate_maf2(&self, reader: &Maf2Reader<'_>) -> ValidationReport {
+        let mut report = self.validate_maf2_header(reader);
+        let shard = if reader.version() == ARTIFACT_VERSION {
+            reader.shard(self.rank)
+        } else {
+            // `shard` would reject the skew with the same error already on
+            // the format_version check; don't touch payloads.
+            return report;
+        };
+        match shard {
+            Ok(state) => {
+                // The sealed per-shard fold is part of the checksum verdict.
+                if report.checks[1].1.is_none() {
+                    report.checks[1].1 = state.verify_checksum().err();
+                }
+                report.checks.push((
+                    ValidationCheck::KernelTable,
+                    self.check_kernel_table(state).err(),
+                ));
+                report.checks.push((
+                    ValidationCheck::PointerBounds,
+                    self.check_pointer_bounds(state).err(),
+                ));
+            }
+            Err(err) => {
+                let slot = match Self::check_for_open_error(&err) {
+                    ValidationCheck::Checksum => 1,
+                    _ => 0,
+                };
+                if report.checks[slot].1.is_none() {
+                    report.checks[slot].1 = Some(err);
+                }
+            }
+        }
+        report
+    }
+
+    /// Validates every shard in a MAF2 bundle, reusing one opened reader:
+    /// the O(header + index) open happens once and each rank adds only its
+    /// own ShardMeta read plus its own lazily-materialized sections —
+    /// validating a tp=8 bundle no longer re-walks the whole artifact per
+    /// rank. Shards are checked against this validator's `<model, GPU>` at
+    /// their own declared rank and the bundle's tp.
+    pub fn validate_bundle(&self, reader: &Maf2Reader<'_>) -> Vec<(u32, ValidationReport)> {
+        reader
+            .shard_ranks()
+            .into_iter()
+            .map(|rank| {
+                let v = self.clone().shard(rank, reader.tp());
+                (rank, v.validate_maf2(reader))
+            })
+            .collect()
     }
 
     fn check_version(&self, artifact: &MaterializedState) -> MedusaResult<()> {
@@ -338,5 +492,82 @@ mod tests {
         let v = ArtifactValidator::for_target(&spec, &gpu).shard(1, 2);
         let r = v.validate(&artifact());
         assert_eq!(r.first_failure().unwrap().1.kind(), "artifact_mismatch");
+    }
+
+    #[test]
+    fn validate_bytes_auto_detects_both_formats() {
+        let (spec, gpu) = target();
+        let v = ArtifactValidator::for_target(&spec, &gpu);
+        let a = artifact();
+
+        let json = a.to_json().unwrap();
+        let r = v.validate_bytes(json.as_bytes());
+        assert!(r.passed(), "{:?}", r.first_failure());
+        assert_eq!(r.checks.len(), ValidationCheck::ALL.len());
+
+        let bin = a.to_maf2().unwrap();
+        let r = v.validate_bytes(&bin);
+        assert!(r.passed(), "{:?}", r.first_failure());
+        assert_eq!(r.checks.len(), ValidationCheck::ALL.len());
+
+        let r = v.validate_bytes(b"{not an artifact");
+        assert_eq!(r.first_failure().unwrap().0.name(), "format_version");
+
+        let r = v.validate_bytes(&bin[..40]);
+        assert_eq!(r.first_failure().unwrap().1.kind(), "artifact_corrupt");
+    }
+
+    #[test]
+    fn maf2_header_path_catches_wrong_target() {
+        let (_spec, gpu) = target();
+        let a = artifact();
+        let bin = a.to_maf2().unwrap();
+        let reader = crate::artifact::maf2::Maf2Reader::open(&bin).unwrap();
+        let other = ModelSpec::by_name("Qwen1.5-4B").unwrap();
+        let v = ArtifactValidator::for_target(&other, &gpu);
+        let r = v.validate_maf2_header(&reader);
+        assert_eq!(r.first_failure().unwrap().1.kind(), "artifact_mismatch");
+        assert_eq!(r.checks.len(), 3, "header path runs only O(header) checks");
+    }
+
+    #[test]
+    fn bundle_validation_reuses_the_section_index() {
+        let (spec, gpu) = target();
+        let tp = 8u32;
+        let shards: Vec<_> = (0..tp)
+            .map(|rank| {
+                let mut s = artifact();
+                s.rank = rank;
+                s.tp = tp;
+                s.seal();
+                s
+            })
+            .collect();
+        let refs: Vec<&MaterializedState> = shards.iter().collect();
+        let bin = crate::artifact::maf2::encode_bundle(&refs).unwrap();
+        let reader = crate::artifact::maf2::Maf2Reader::open(&bin).unwrap();
+        let v = ArtifactValidator::for_target(&spec, &gpu);
+
+        // Header-first pass for every rank: one shared open, per-rank cost
+        // is a 104-byte ShardMeta read — total bytes touched must not scale
+        // with the payload, i.e. stay far below the file size even at tp=8.
+        let opened = reader.bytes_read();
+        for rank in 0..tp {
+            let r = v.clone().shard(rank, tp).validate_maf2_header(&reader);
+            assert!(r.passed(), "rank {rank}: {:?}", r.first_failure());
+        }
+        let header_pass = reader.bytes_read() - opened;
+        assert!(
+            header_pass <= u64::from(tp) * 104,
+            "header-first pass read {header_pass} payload bytes"
+        );
+        assert!(reader.bytes_read() < reader.file_len() / 4);
+
+        // Full bundle validation materializes each shard exactly once.
+        let reports = v.validate_bundle(&reader);
+        assert_eq!(reports.len(), tp as usize);
+        for (rank, r) in &reports {
+            assert!(r.passed(), "rank {rank}: {:?}", r.first_failure());
+        }
     }
 }

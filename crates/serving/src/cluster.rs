@@ -354,6 +354,12 @@ pub struct FleetProfile {
     /// this so artifacts differ in fetch and restore cost, which is what
     /// gives eviction policy a signal to weigh.
     pub model_costs: Vec<ModelCost>,
+    /// Measured registry-entry size in bytes: the MAF2-encoded artifact
+    /// bundle plus the weight payload it restores. Zero for profiles built
+    /// without measurement ([`FleetProfile::from_perf`]), in which case
+    /// byte-bounded caches fall back to a fetch-derived estimate — see
+    /// [`FleetProfile::artifact_bytes_for`].
+    pub artifact_bytes: u64,
 }
 
 /// Cold-start costs of one model's materialized artifact.
@@ -379,7 +385,16 @@ impl FleetProfile {
             perf,
             fetch: SimDuration::ZERO,
             model_costs: Vec::new(),
+            artifact_bytes: 0,
         }
+    }
+
+    /// Sets the measured registry-entry byte size (builder style); byte-
+    /// bounded caches and fetch accounting use it instead of the
+    /// fetch-derived estimate.
+    pub fn with_artifact_bytes(mut self, bytes: u64) -> Self {
+        self.artifact_bytes = bytes;
+        self
     }
 
     /// Sets the cache-miss fetch penalty (builder style).
@@ -413,7 +428,14 @@ impl FleetProfile {
     /// are the expensive ones, the shape that makes cost-aware eviction
     /// diverge from pure recency.
     pub fn with_scaled_models(mut self, models: u32) -> Self {
-        let base_bytes = self.fetch.as_nanos().saturating_mul(5) / 4;
+        // Real measured bytes when available, fetch-derived estimate
+        // otherwise (identical to the historical derivation for synthetic
+        // profiles, so committed goldens are unaffected).
+        let base_bytes = if self.artifact_bytes > 0 {
+            self.artifact_bytes
+        } else {
+            self.fetch.as_nanos().saturating_mul(5) / 4
+        };
         let base_fetch = self.fetch.as_nanos();
         let base_loading = self.perf.loading.as_nanos();
         self.model_costs = (0..models)
@@ -444,14 +466,20 @@ impl FleetProfile {
             .map_or(self.perf.loading, |c| c.loading)
     }
 
-    /// Artifact size of `model`, bytes (derived from the fetch penalty at
-    /// the modeled fabric bandwidth when no per-model cost is configured).
+    /// Artifact size of `model`, bytes: the per-model override when one is
+    /// configured, else the measured registry-entry size
+    /// ([`FleetProfile::artifact_bytes`]), else — for synthetic profiles
+    /// that never measured a real artifact — an estimate derived from the
+    /// fetch penalty at the modeled fabric bandwidth.
     pub fn artifact_bytes_for(&self, model: u32) -> u64 {
+        let base = if self.artifact_bytes > 0 {
+            self.artifact_bytes
+        } else {
+            self.fetch.as_nanos().saturating_mul(5) / 4
+        };
         self.model_costs
             .get(model as usize)
-            .map_or(self.fetch.as_nanos().saturating_mul(5) / 4, |c| {
-                c.artifact_bytes
-            })
+            .map_or(base, |c| c.artifact_bytes)
     }
 
     /// Aggregate per-rank cold-start work of `model`: the base work scaled
@@ -537,12 +565,25 @@ impl FleetProfile {
             None => builder().strategy(strategy).run()?,
         };
         perf.loading = cold.loading();
-        let (fetch, degraded_loading) = match strategy {
-            Strategy::Medusa => (
-                SimDuration::from_secs_f64(spec.param_bytes() as f64 / FETCH_BANDWIDTH_BPS),
-                builder().strategy(Strategy::Vanilla).run()?.loading(),
-            ),
-            _ => (SimDuration::ZERO, perf.loading),
+        let (fetch, degraded_loading, artifact_bytes) = match strategy {
+            Strategy::Medusa => {
+                // The registry entry a cache-missing node streams is the
+                // MAF2-encoded bundle plus the weight payload it restores;
+                // encoding the real artifacts prices both the fetch and the
+                // byte-bounded cache accounting off the actual format.
+                let maf2_bytes = tp_artifacts
+                    .as_ref()
+                    .map(|arts| arts.to_maf2().map(|b| b.len() as u64))
+                    .transpose()?
+                    .unwrap_or(0);
+                let entry_bytes = spec.param_bytes() + maf2_bytes;
+                (
+                    SimDuration::from_secs_f64(entry_bytes as f64 / FETCH_BANDWIDTH_BPS),
+                    builder().strategy(Strategy::Vanilla).run()?.loading(),
+                    entry_bytes,
+                )
+            }
+            _ => (SimDuration::ZERO, perf.loading, 0),
         };
         Ok(FleetProfile {
             strategy,
@@ -551,6 +592,7 @@ impl FleetProfile {
             fetch,
             degraded_loading,
             model_costs: Vec::new(),
+            artifact_bytes,
         })
     }
 

@@ -7,7 +7,8 @@
 //!                        [--artifact artifact.json] [--validate] [--warm]
 //!                        [--triggering <first-layer|handwritten>] [--seed N]
 //! medusa-cli inspect     --artifact artifact.json
-//! medusa-cli validate    --artifact artifact.json [--model <name>]
+//! medusa-cli validate    --artifact <FILE.json|FILE.maf2> [--model <name>]
+//! medusa-cli convert     --in <FILE> --out <FILE> [--rank N]
 //! medusa-cli trace       [--model <name>] [--strategy <vllm|async|medusa|nograph>]
 //!                        [--format <chrome|prom>] [--seed N] [--out FILE]
 //!                        [--faults <spec>] [--fault-seed N]
@@ -38,14 +39,22 @@
 //! the victim order with `--eviction`. Multi-tenant reports append a
 //! per-tenant TTFT/SLO table and fleet-wide cache counters.
 //!
+//! Artifacts travel in two encodings: the MAF2 binary container (magic
+//! `MAF2\r\n\x1a\n`, validated in O(header), see DESIGN.md §13) and the
+//! JSON debug encoding. Every subcommand that reads an `--artifact` file
+//! auto-detects the format by magic bytes; `materialize --out FILE.maf2`
+//! writes the binary container directly, and `convert` translates between
+//! the two (`--rank N` picks one shard out of a multi-shard bundle when
+//! lowering to JSON).
+//!
 //! Every number the CLI prints derives from the simulated clock, so any
 //! subcommand re-run with the same flags produces byte-identical output —
 //! including the `cluster` report, its telemetry exports, and any
 //! fault-injected (`--faults`) run.
 
 use medusa::{
-    materialize_offline, ArtifactValidator, ColdStart, ColdStartOptions, FaultPlan,
-    MaterializedState, Parallelism, Stage, Strategy, TriggeringMode,
+    is_maf2, materialize_offline, ArtifactValidator, ColdStart, ColdStartOptions, FaultPlan,
+    Maf2Reader, MaterializedState, Parallelism, Stage, Strategy, TriggeringMode,
 };
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
@@ -70,6 +79,7 @@ fn main() {
         "coldstart" => coldstart(&flags),
         "inspect" => inspect(&flags),
         "validate" => validate(&flags),
+        "convert" => convert(&flags),
         "trace" => trace(&flags),
         "cluster" => cluster(&flags),
         other => {
@@ -86,14 +96,15 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: medusa-cli <models|materialize|coldstart|inspect|validate|trace|cluster> [flags]"
+        "usage: medusa-cli <models|materialize|coldstart|inspect|validate|convert|trace|cluster> [flags]"
     );
-    eprintln!("  materialize --model <name> [--out FILE] [--seed N]");
+    eprintln!("  materialize --model <name> [--out FILE[.maf2]] [--seed N]");
     eprintln!("  coldstart   --model <name> --strategy <vllm|async|medusa|nograph>");
     eprintln!("              [--artifact FILE] [--validate] [--warm]");
     eprintln!("              [--triggering <first-layer|handwritten>] [--seed N]");
     eprintln!("  inspect     --artifact FILE");
-    eprintln!("  validate    --artifact FILE [--model <name>]");
+    eprintln!("  validate    --artifact FILE [--model <name>]  (JSON or MAF2, auto-detected)");
+    eprintln!("  convert     --in FILE --out FILE [--rank N]   (JSON <-> MAF2 by magic bytes)");
     eprintln!("  trace       [--model <name>] [--strategy <vllm|async|medusa|nograph>]");
     eprintln!("              [--format <chrome|prom>] [--artifact FILE] [--seed N] [--out FILE]");
     eprintln!("              [--faults corrupt,version-skew,missing-library,...|all]");
@@ -182,22 +193,43 @@ fn materialize(flags: &HashMap<String, String>) -> Result<(), String> {
         artifact.replay_ops.len()
     );
     if let Some(path) = flags.get("out") {
-        let json = artifact.to_json().map_err(|e| e.to_string())?;
-        std::fs::write(path, &json).map_err(|e| e.to_string())?;
-        println!("wrote {} ({:.1} KiB)", path, json.len() as f64 / 1024.0);
+        let (encoded, label) = if path.ends_with(".maf2") {
+            (artifact.to_maf2().map_err(|e| e.to_string())?, "MAF2")
+        } else {
+            (
+                artifact.to_json().map_err(|e| e.to_string())?.into_bytes(),
+                "JSON",
+            )
+        };
+        std::fs::write(path, &encoded).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} ({:.1} KiB {label})",
+            path,
+            encoded.len() as f64 / 1024.0
+        );
     }
     Ok(())
+}
+
+/// Reads an artifact file in either encoding, auto-detected by magic
+/// bytes: MAF2 containers decode through the zero-copy reader (the file
+/// must hold exactly one shard — use `convert --rank` to extract one from
+/// a bundle), anything else parses as the JSON debug encoding.
+fn read_artifact_file(path: &str) -> Result<MaterializedState, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if is_maf2(&bytes) {
+        MaterializedState::from_maf2(&bytes).map_err(|e| e.to_string())
+    } else {
+        let json = std::str::from_utf8(&bytes)
+            .map_err(|_| format!("`{path}` is neither MAF2 (no magic) nor UTF-8 JSON"))?;
+        MaterializedState::from_json(json).map_err(|e| e.to_string())
+    }
 }
 
 fn load_artifact(flags: &HashMap<String, String>) -> Result<Option<MaterializedState>, String> {
     match flags.get("artifact") {
         None => Ok(None),
-        Some(path) => {
-            let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-            Ok(Some(
-                MaterializedState::from_json(&json).map_err(|e| e.to_string())?,
-            ))
-        }
+        Some(path) => read_artifact_file(path).map(Some),
     }
 }
 
@@ -626,40 +658,146 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `validate` — run every [`ArtifactValidator`] check against an artifact
-/// file and print per-check verdicts. Exits non-zero when any check fails.
-fn validate(flags: &HashMap<String, String>) -> Result<(), String> {
-    let artifact = load_artifact(flags)?.ok_or("--artifact is required")?;
-    let name = flags
-        .get("model")
-        .map(String::as_str)
-        .unwrap_or(artifact.model.as_str());
-    let spec = ModelSpec::by_name(name)
-        .ok_or_else(|| format!("unknown model `{name}` (see `medusa-cli models`)"))?;
-    let validator = ArtifactValidator::for_target(&spec, &GpuSpec::a100_40gb())
-        .shard(artifact.rank, artifact.tp);
-    let report = validator.validate(&artifact);
-    println!(
-        "validating artifact <{}, {}> rank {}/{} v{}:",
-        artifact.model, artifact.gpu, artifact.rank, artifact.tp, artifact.version
-    );
+fn print_report(indent: &str, report: &medusa::ValidationReport) {
     for (check, verdict) in &report.checks {
         match verdict {
-            None => println!("  {:<16} ok", check.name()),
-            Some(err) => println!("  {:<16} FAILED: {err}", check.name()),
+            None => println!("{indent}{:<16} ok", check.name()),
+            Some(err) => println!("{indent}{:<16} FAILED: {err}", check.name()),
         }
     }
-    match report.first_failure() {
-        None => {
-            println!("artifact is valid");
-            Ok(())
+}
+
+fn report_failure(report: &medusa::ValidationReport) -> Option<String> {
+    report
+        .first_failure()
+        .map(|(check, err)| format!("{} ({})", check.name(), err.kind()))
+}
+
+/// `validate` — run every [`ArtifactValidator`] check against an artifact
+/// file and print per-check verdicts. Exits non-zero when any check fails.
+/// The encoding is auto-detected by magic bytes: MAF2 containers take the
+/// O(header) fast path and validate every shard in the bundle off one
+/// shared section index; other files parse as the JSON debug encoding.
+fn validate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = flags.get("artifact").ok_or("--artifact is required")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let gpu = GpuSpec::a100_40gb();
+    let resolve = |name: &str| -> Result<ModelSpec, String> {
+        ModelSpec::by_name(name)
+            .ok_or_else(|| format!("unknown model `{name}` (see `medusa-cli models`)"))
+    };
+    if is_maf2(&bytes) {
+        let reader = Maf2Reader::open(&bytes).map_err(|e| {
+            format!(
+                "cannot open MAF2 artifact `{path}`: {e} (kind {})",
+                e.kind()
+            )
+        })?;
+        let name = flags
+            .get("model")
+            .map(String::as_str)
+            .unwrap_or_else(|| reader.model());
+        let spec = resolve(name)?;
+        let validator = ArtifactValidator::for_target(&spec, &gpu);
+        println!(
+            "validating MAF2 bundle <{}, {}> tp {} v{} ({} shard(s), {} bytes):",
+            reader.model(),
+            reader.gpu(),
+            reader.tp(),
+            reader.version(),
+            reader.shard_count(),
+            bytes.len()
+        );
+        let mut failure = None;
+        for (rank, report) in validator.validate_bundle(&reader) {
+            println!("  rank {rank}:");
+            print_report("    ", &report);
+            if failure.is_none() {
+                failure = report_failure(&report);
+            }
         }
-        Some((check, err)) => Err(format!(
-            "artifact failed validation at {} ({})",
-            check.name(),
-            err.kind()
-        )),
+        match failure {
+            None => {
+                println!("artifact is valid");
+                Ok(())
+            }
+            Some(f) => Err(format!("artifact failed validation at {f}")),
+        }
+    } else {
+        let json = std::str::from_utf8(&bytes)
+            .map_err(|_| format!("`{path}` is neither MAF2 (no magic) nor UTF-8 JSON"))?;
+        let artifact = MaterializedState::from_json(json).map_err(|e| e.to_string())?;
+        let name = flags
+            .get("model")
+            .map(String::as_str)
+            .unwrap_or(artifact.model.as_str());
+        let spec = resolve(name)?;
+        let validator =
+            ArtifactValidator::for_target(&spec, &gpu).shard(artifact.rank, artifact.tp);
+        let report = validator.validate(&artifact);
+        println!(
+            "validating artifact <{}, {}> rank {}/{} v{}:",
+            artifact.model, artifact.gpu, artifact.rank, artifact.tp, artifact.version
+        );
+        print_report("  ", &report);
+        match report_failure(&report) {
+            None => {
+                println!("artifact is valid");
+                Ok(())
+            }
+            Some(f) => Err(format!("artifact failed validation at {f}")),
+        }
     }
+}
+
+/// `convert` — translate an artifact between the JSON debug encoding and
+/// the MAF2 binary container, auto-detecting the input format by magic
+/// bytes. Lowering a multi-shard bundle to JSON needs `--rank N` to pick
+/// the shard, since the JSON encoding holds exactly one.
+fn convert(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = flags.get("in").ok_or("--in is required")?;
+    let output = flags.get("out").ok_or("--out is required")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
+    if is_maf2(&bytes) {
+        let reader = Maf2Reader::open(&bytes).map_err(|e| e.to_string())?;
+        let ranks = reader.shard_ranks();
+        let rank = match (flags.get("rank"), ranks.as_slice()) {
+            (Some(r), _) => r
+                .parse::<u32>()
+                .map_err(|_| format!("--rank wants an integer, got `{r}`"))?,
+            (None, [only]) => *only,
+            (None, _) => {
+                return Err(format!(
+                    "`{input}` bundles {} shards (ranks {:?}); pass --rank N to pick one",
+                    ranks.len(),
+                    ranks
+                ))
+            }
+        };
+        let state = reader.shard(rank).map_err(|e| e.to_string())?;
+        let json = state.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(output, &json).map_err(|e| e.to_string())?;
+        println!(
+            "converted MAF2 rank {rank}/{} -> JSON {output} ({} -> {} bytes)",
+            reader.tp(),
+            bytes.len(),
+            json.len()
+        );
+    } else {
+        let json = std::str::from_utf8(&bytes)
+            .map_err(|_| format!("`{input}` is neither MAF2 (no magic) nor UTF-8 JSON"))?;
+        let state = MaterializedState::from_json(json).map_err(|e| e.to_string())?;
+        let encoded = state.to_maf2().map_err(|e| e.to_string())?;
+        std::fs::write(output, &encoded).map_err(|e| e.to_string())?;
+        println!(
+            "converted JSON rank {}/{} -> MAF2 {output} ({} -> {} bytes)",
+            state.rank,
+            state.tp,
+            bytes.len(),
+            encoded.len()
+        );
+    }
+    Ok(())
 }
 
 fn inspect(flags: &HashMap<String, String>) -> Result<(), String> {
