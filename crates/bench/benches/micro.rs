@@ -18,7 +18,10 @@
 //! a bounded cost-aware artifact cache) and writes
 //! `BENCH_cluster_multitenant.json`; `--out-artifact FILE` runs the MAF2
 //! size sweep (encode / open / validate / lazy restore at 1×/10×/100×)
-//! and writes `BENCH_artifact.json`. `--emit-telemetry DIR`
+//! and writes `BENCH_artifact.json`; `--out-policies FILE` runs the
+//! predictive-policy race (reactive vs locality vs locality+prewarm vs
+//! pipeline-parallel, plus the 100×-artifact cold-start duel) and writes
+//! `BENCH_policies.json`. `--emit-telemetry DIR`
 //! additionally exports Chrome traces and Prometheus snapshots for every
 //! cold-start mode and both fleet sides.
 
@@ -312,6 +315,7 @@ fn run_smoke(
     out_cluster: Option<&str>,
     out_cluster_mt: Option<&str>,
     out_artifact: Option<&str>,
+    out_policies: Option<&str>,
     emit_dir: Option<&str>,
 ) {
     use medusa_bench::smoke;
@@ -374,6 +378,31 @@ fn run_smoke(
         std::fs::write(path, sweep.to_json()).expect("write artifact sweep result");
         println!("smoke: wrote {path}");
     }
+    if let Some(path) = out_policies {
+        let race = smoke::run_policies();
+        for r in &race.rows {
+            println!(
+                "smoke/policies_{}   p50 {} us   p99 {} us   {} colds   {} prewarms ({} unused)   \
+                 {} sharded starts",
+                r.policy,
+                r.ttft_p50_us,
+                r.ttft_p99_us,
+                r.cold_starts,
+                r.prewarms_issued,
+                r.prewarms_unused,
+                r.pipeline_starts
+            );
+        }
+        println!(
+            "smoke/policies_coldstart_duel_{}x   single {} us   pipelined(k={}) {} us",
+            race.artifact_scale,
+            race.single_coldstart_ttft_us,
+            race.pipeline_k,
+            race.pipeline_coldstart_ttft_us
+        );
+        std::fs::write(path, race.to_json()).expect("write policy race result");
+        println!("smoke: wrote {path}");
+    }
     if let Some(dir) = emit_dir {
         std::fs::create_dir_all(dir).expect("create telemetry dir");
         for (label, mode) in [
@@ -413,6 +442,7 @@ fn main() {
     let out_cluster = flag_value(&args, "--out-cluster");
     let out_cluster_mt = flag_value(&args, "--out-cluster-mt");
     let out_artifact = flag_value(&args, "--out-artifact");
+    let out_policies = flag_value(&args, "--out-policies");
     let emit = flag_value(&args, "--emit-telemetry");
     if args.iter().any(|a| a == "--smoke") {
         run_smoke(
@@ -420,6 +450,7 @@ fn main() {
             out_cluster.as_deref(),
             out_cluster_mt.as_deref(),
             out_artifact.as_deref(),
+            out_policies.as_deref(),
             emit.as_deref(),
         );
         return;
@@ -439,6 +470,7 @@ fn main() {
             out_cluster.as_deref(),
             out_cluster_mt.as_deref(),
             out_artifact.as_deref(),
+            out_policies.as_deref(),
             Some(&dir),
         );
     }

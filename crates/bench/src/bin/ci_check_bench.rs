@@ -6,6 +6,7 @@
 //! ci-check-bench compare-cluster  <fresh.json> <baseline.json> [--tolerance-pct N]
 //!                                 [--hit-rate-floor-pm N]
 //! ci-check-bench compare-artifact <baseline.json> [--speedup-floor N]
+//! ci-check-bench compare-policies <baseline.json> [--tolerance-pct N] [--out FILE]
 //! ci-check-bench golden           <out-dir>
 //! ci-check-bench scale-smoke      [--budget-s N] [--nodes N] [--rps N]
 //! ```
@@ -29,6 +30,17 @@
 //! open+validate must beat JSON parse+validate by at least the wall-clock
 //! speedup floor (default 10×) at the largest scale on this host.
 //!
+//! `compare-policies` runs the predictive-policy race fresh (reactive
+//! cold-start-aware vs locality vs locality+prewarm vs pipeline-parallel
+//! on one bursty Zipf trace, plus the 100×-artifact pipeline-vs-single
+//! cold-start duel) and gates it against the committed
+//! `results/BENCH_policies.json`: per-policy TTFT p50/p99 and the
+//! prewarm-waste counter within the tolerance (default 5%), plus the two
+//! strict ordering invariants (locality+prewarm beats coldstart-aware on
+//! TTFT p99; the sharded cold start beats the single-node one). `--out`
+//! writes the fresh race JSON before gating, so a failing CI run can
+//! upload it as an inspectable artifact.
+//!
 //! `golden` writes one `ClusterReport` JSON per scenario of the
 //! differential matrix ([`medusa_serving::scenarios`]) into `<out-dir>` —
 //! CI regenerates them into a scratch directory and diffs against the
@@ -43,9 +55,9 @@
 
 use medusa_bench::smoke::{
     check_artifact_regression, check_cluster_mt_regression, check_cluster_regression,
-    check_regression, check_scale, run_artifact, run_scale, BenchArtifact, BenchCluster,
-    BenchClusterMultiTenant, BenchColdstart, ARTIFACT_SPEEDUP_FLOOR, MT_HIT_RATE_FLOOR_PM,
-    SCALE_BUDGET_S, SCALE_NODES, SCALE_RPS,
+    check_policies_regression, check_regression, check_scale, run_artifact, run_policies,
+    run_scale, BenchArtifact, BenchCluster, BenchClusterMultiTenant, BenchColdstart, BenchPolicies,
+    ARTIFACT_SPEEDUP_FLOOR, MT_HIT_RATE_FLOOR_PM, SCALE_BUDGET_S, SCALE_NODES, SCALE_RPS,
 };
 use medusa_serving::scenarios::differential_matrix;
 use medusa_serving::simulate_fleet;
@@ -78,6 +90,12 @@ fn main() {
                 exit(1);
             }
         }
+        Some("compare-policies") => {
+            if let Err(e) = compare_policies(&args[1..]) {
+                eprintln!("ci-check-bench: FAIL: {e}");
+                exit(1);
+            }
+        }
         Some("golden") => {
             if let Err(e) = golden(&args[1..]) {
                 eprintln!("ci-check-bench: FAIL: {e}");
@@ -92,8 +110,8 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: ci-check-bench <cores|compare|compare-cluster|compare-artifact|golden|\
-                 scale-smoke> [args]"
+                "usage: ci-check-bench <cores|compare|compare-cluster|compare-artifact|\
+                 compare-policies|golden|scale-smoke> [args]"
             );
             exit(2);
         }
@@ -180,6 +198,41 @@ fn compare_artifact(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("cannot parse `{baseline_path}`: {e}"))?;
     let (fresh, timings) = run_artifact();
     let verdict = check_artifact_regression(&fresh, &baseline, &timings, speedup_floor)?;
+    println!("ci-check-bench: OK: {verdict}");
+    Ok(())
+}
+
+/// Runs the predictive-policy race fresh and gates it against the
+/// committed baseline (tolerances + strict ordering invariants). `--out`
+/// persists the fresh race JSON before gating so CI can upload it.
+fn compare_policies(args: &[String]) -> Result<(), String> {
+    let [baseline_path, rest @ ..] = args else {
+        return Err("compare-policies needs <baseline.json>".into());
+    };
+    let mut tolerance = 5.0;
+    let mut out: Option<&String> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--tolerance-pct" => {
+                tolerance = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --tolerance-pct `{v}`: {e}"))?;
+            }
+            "--out" => out = Some(v),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let baseline_json = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read `{baseline_path}`: {e}"))?;
+    let baseline = BenchPolicies::from_json(&baseline_json)
+        .map_err(|e| format!("cannot parse `{baseline_path}`: {e}"))?;
+    let fresh = run_policies();
+    if let Some(path) = out {
+        std::fs::write(path, fresh.to_json()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    let verdict = check_policies_regression(&fresh, &baseline, tolerance)?;
     println!("ci-check-bench: OK: {verdict}");
     Ok(())
 }

@@ -11,11 +11,11 @@ use medusa::{
     encode_maf2_bundle, materialize_offline_tp, materialize_offline_tp_with, ArtifactValidator,
     ColdStart, ColdStartOptions, Maf2Reader, MaterializedState, Parallelism, Strategy,
 };
-use medusa_gpu::{CostModel, GpuSpec};
+use medusa_gpu::{CostModel, GpuSpec, SimDuration};
 use medusa_model::ModelSpec;
 use medusa_serving::{
     simulate_fleet, simulate_fleet_traced, CacheCapacity, CacheConfig, ClusterSpec, EvictionPolicy,
-    FleetProfile, Policy,
+    FleetProfile, ModelCost, Policy, PrewarmConfig, PrewarmPolicy,
 };
 use medusa_telemetry::Registry;
 use medusa_workload::{ArrivalPattern, TraceConfig};
@@ -1033,6 +1033,383 @@ pub fn check_scale(scale: &BenchScale, elapsed_s: f64, budget_s: f64) -> Result<
     ))
 }
 
+// ---------------------------------------------------------------------
+// Predictive-policy race (policy-matrix CI gate).
+
+/// Distinct models of the policy-race scenario.
+pub const POLICY_MODELS: u32 = 4;
+/// Trace seed of the policy-race scenario.
+pub const POLICY_SEED: u64 = 42;
+/// Offered rate of the policy-race trace, requests/second.
+pub const POLICY_RPS: u64 = 4;
+/// Trace duration of the policy-race scenario, seconds.
+pub const POLICY_DURATION_S: u64 = 120;
+/// Fleet size of the policy-race scenario.
+pub const POLICY_NODES: usize = 6;
+/// Idle keep-alive, seconds — short, so bursts separated by longer gaps
+/// pay a cold start unless a prewarm beat them to it.
+pub const POLICY_KEEP_ALIVE_S: u64 = 4;
+/// Per-node artifact-cache capacity, artifacts — bounded, so the locality
+/// scheduler's cache-hit scoring has a real signal.
+pub const POLICY_CACHE_ARTIFACTS: u32 = 2;
+/// Histogram-estimator prediction percentile, per-mille. High, so the
+/// estimator targets the *inter-burst* gap of the bursty trace rather
+/// than the dense intra-burst gaps (a prewarm predicted from those fires
+/// while the model is still live and is a no-op).
+pub const POLICY_PREWARM_PERCENTILE_PM: u32 = 950;
+/// Prewarm lead, seconds — roughly the measured cold-start makespan.
+pub const POLICY_PREWARM_LEAD_S: f64 = 1.0;
+/// Pipeline-parallel degree of the cold-start sub-race.
+pub const POLICY_PIPELINE_K: u32 = 2;
+/// Artifact-size multiplier of the cold-start sub-race: a 100× artifact
+/// is where sharding one start across nodes pays (small artifacts are
+/// dominated by the per-start constant costs).
+pub const POLICY_ARTIFACT_SCALE: u64 = 100;
+
+/// One scheduler policy's row of the race: the same bursty multi-tenant
+/// trace replayed under one (policy, prewarm) combination.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchPolicyRow {
+    /// Row name: the scheduler policy, `+prewarm` when the estimator ran.
+    pub policy: String,
+    /// Requests fully completed before the drain horizon.
+    pub completed: u64,
+    /// Fleet-wide cold starts.
+    pub cold_starts: u32,
+    /// TTFT p50, µs.
+    pub ttft_p50_us: u64,
+    /// TTFT p99, µs.
+    pub ttft_p99_us: u64,
+    /// Predictive prewarms issued (0 when the estimator was off).
+    pub prewarms_issued: u64,
+    /// Prewarms whose node scaled back to zero unused — pure waste.
+    pub prewarms_unused: u64,
+    /// Cold starts that actually sharded across ≥ 2 nodes.
+    pub pipeline_starts: u64,
+}
+
+/// The policy-race result: every predictive scheduling feature raced
+/// head-to-head against the reactive baseline on one bursty Zipf trace,
+/// plus a single-request pipeline-vs-single cold-start duel on a 100×
+/// artifact. Simulated clock only — byte-identical across machines,
+/// committed as `results/BENCH_policies.json` and gated by
+/// `ci-check-bench compare-policies`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchPolicies {
+    /// Catalog model name backing the measured cost profile.
+    pub model: String,
+    /// Fleet size.
+    pub nodes: u32,
+    /// Trace seed.
+    pub seed: u64,
+    /// Distinct tenant models.
+    pub models: u32,
+    /// Offered rate, requests/second.
+    pub rps: u64,
+    /// Trace duration, seconds.
+    pub duration_s: u64,
+    /// Idle keep-alive, seconds.
+    pub keep_alive_s: u64,
+    /// Histogram percentile, per-mille.
+    pub prewarm_percentile_pm: u32,
+    /// Pipeline degree of the sub-race.
+    pub pipeline_k: u32,
+    /// Artifact multiplier of the sub-race.
+    pub artifact_scale: u64,
+    /// Fingerprint of the replayed trace (config-drift detector).
+    pub trace_fingerprint: u64,
+    /// One row per raced policy, race order.
+    pub rows: Vec<BenchPolicyRow>,
+    /// Single-node cold-start TTFT on the 100× artifact, µs.
+    pub single_coldstart_ttft_us: u64,
+    /// Pipeline-parallel (k-sharded) cold-start TTFT on the same
+    /// artifact, µs.
+    pub pipeline_coldstart_ttft_us: u64,
+}
+
+impl BenchPolicies {
+    /// Encodes as JSON (one stable line — committed as the CI baseline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plain struct encodes")
+    }
+
+    /// Decodes from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// The bursty Zipf-skewed trace every raced policy replays.
+fn policy_trace() -> Vec<medusa_workload::Request> {
+    TraceConfig::sharegpt(POLICY_RPS as f64, POLICY_DURATION_S as f64)
+        .with_seed(POLICY_SEED)
+        .with_pattern(ArrivalPattern::sharegpt_bursty())
+        .with_models(medusa_workload::ModelMix::Zipf {
+            models: POLICY_MODELS,
+            s: 1.0,
+        })
+        .generate()
+}
+
+/// The measured multi-tenant Medusa profile of the race.
+fn policy_profile() -> FleetProfile {
+    let spec = ModelSpec::by_name(MODEL).expect("catalog model");
+    FleetProfile::measure(
+        Strategy::Medusa,
+        &spec,
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        1,
+        Parallelism::Overlapped,
+        POLICY_SEED,
+    )
+    .expect("fleet profile")
+    .with_scaled_models(POLICY_MODELS)
+}
+
+/// The shared fleet shape: short keep-alive, bounded cost-aware cache.
+fn policy_cluster() -> ClusterSpec {
+    ClusterSpec::uniform(POLICY_NODES)
+        .with_cache(CacheConfig {
+            capacity: CacheCapacity::Artifacts(POLICY_CACHE_ARTIFACTS),
+            eviction: EvictionPolicy::CostAware,
+        })
+        .with_keep_alive(POLICY_KEEP_ALIVE_S as f64)
+}
+
+/// The estimator configuration of the `+prewarm` row.
+fn policy_prewarm() -> PrewarmConfig {
+    PrewarmConfig {
+        policy: PrewarmPolicy::Histogram {
+            percentile_pm: POLICY_PREWARM_PERCENTILE_PM,
+        },
+        lead_s: POLICY_PREWARM_LEAD_S,
+    }
+}
+
+/// Runs one raced row and flattens its report.
+fn policy_row(
+    name: &str,
+    policy: Policy,
+    cluster: &ClusterSpec,
+    profile: &FleetProfile,
+) -> BenchPolicyRow {
+    let trace = policy_trace();
+    let r = simulate_fleet_traced(profile, cluster, policy, &trace, None).report;
+    BenchPolicyRow {
+        policy: name.to_string(),
+        completed: r.completed as u64,
+        cold_starts: r.cold_starts,
+        ttft_p50_us: r.ttft_p50_us,
+        ttft_p99_us: r.ttft_p99_us,
+        prewarms_issued: r.prewarm.map_or(0, |p| p.issued),
+        prewarms_unused: r.prewarm.map_or(0, |p| p.unused),
+        pipeline_starts: r.pipeline_starts.unwrap_or(0),
+    }
+}
+
+/// Runs the full policy race: four (policy, prewarm) rows on the bursty
+/// trace, then the pipeline-vs-single cold-start duel on a
+/// [`POLICY_ARTIFACT_SCALE`]× artifact.
+pub fn run_policies() -> BenchPolicies {
+    let profile = policy_profile();
+    let base = policy_cluster();
+    let rows = vec![
+        policy_row("coldstart-aware", Policy::ColdStartAware, &base, &profile),
+        policy_row("locality", Policy::Locality, &base, &profile),
+        policy_row(
+            "locality+prewarm",
+            Policy::Locality,
+            &base.clone().with_prewarm(policy_prewarm()),
+            &profile,
+        ),
+        policy_row(
+            "pipeline",
+            Policy::Pipeline,
+            &base.clone().with_pipeline(POLICY_PIPELINE_K),
+            &profile,
+        ),
+    ];
+    // Sub-race: one request against an empty fleet paying a 100× artifact
+    // cold start, single-node vs pipeline-parallel. TTFT p50 of a
+    // one-request trace *is* that request's TTFT.
+    let scale = |d: SimDuration| SimDuration::from_nanos(d.as_nanos() * POLICY_ARTIFACT_SCALE);
+    let big = {
+        let mut p = policy_profile();
+        p.model_costs = vec![ModelCost {
+            fetch: scale(p.fetch),
+            loading: scale(p.perf.loading),
+            artifact_bytes: p.artifact_bytes_for(0) * POLICY_ARTIFACT_SCALE,
+        }];
+        p
+    };
+    let solo_trace = vec![medusa_workload::Request {
+        id: 0,
+        arrival_ns: 0,
+        prompt_tokens: 128,
+        output_tokens: 32,
+        model: 0,
+    }];
+    let duel_cluster = ClusterSpec::uniform(POLICY_PIPELINE_K as usize);
+    let single = simulate_fleet_traced(
+        &big,
+        &duel_cluster,
+        Policy::ColdStartAware,
+        &solo_trace,
+        None,
+    )
+    .report;
+    let piped = simulate_fleet_traced(
+        &big,
+        &duel_cluster.clone().with_pipeline(POLICY_PIPELINE_K),
+        Policy::Pipeline,
+        &solo_trace,
+        None,
+    )
+    .report;
+    BenchPolicies {
+        model: MODEL.to_string(),
+        nodes: POLICY_NODES as u32,
+        seed: POLICY_SEED,
+        models: POLICY_MODELS,
+        rps: POLICY_RPS,
+        duration_s: POLICY_DURATION_S,
+        keep_alive_s: POLICY_KEEP_ALIVE_S,
+        prewarm_percentile_pm: POLICY_PREWARM_PERCENTILE_PM,
+        pipeline_k: POLICY_PIPELINE_K,
+        artifact_scale: POLICY_ARTIFACT_SCALE,
+        trace_fingerprint: medusa_workload::fingerprint(&policy_trace()),
+        rows,
+        single_coldstart_ttft_us: single.ttft_p50_us,
+        pipeline_coldstart_ttft_us: piped.ttft_p50_us,
+    }
+}
+
+/// Compares a fresh policy race against the committed baseline. Errors
+/// when any row's TTFT p50/p99 regressed beyond `tolerance_pct`, when the
+/// prewarm-waste counter grew beyond the same tolerance (+1 absolute
+/// slack — the counts are small integers), when a row dropped requests,
+/// when either strict ordering invariant broke (`locality+prewarm` must
+/// beat `coldstart-aware` on TTFT p99; the pipeline-parallel cold start
+/// must beat the single-node one), or when the baseline no longer matches
+/// the benchmark's configuration.
+pub fn check_policies_regression(
+    fresh: &BenchPolicies,
+    baseline: &BenchPolicies,
+    tolerance_pct: f64,
+) -> Result<String, String> {
+    let config = |b: &BenchPolicies| {
+        (
+            b.model.clone(),
+            b.nodes,
+            b.seed,
+            b.models,
+            b.rps,
+            b.duration_s,
+            b.keep_alive_s,
+            b.prewarm_percentile_pm,
+            b.pipeline_k,
+            b.artifact_scale,
+            b.trace_fingerprint,
+        )
+    };
+    if config(fresh) != config(baseline) {
+        return Err(format!(
+            "baseline configuration mismatch: fresh ran {:?}, baseline has {:?} — regenerate \
+             results/BENCH_policies.json",
+            config(fresh),
+            config(baseline),
+        ));
+    }
+    let names = |b: &BenchPolicies| b.rows.iter().map(|r| r.policy.clone()).collect::<Vec<_>>();
+    if names(fresh) != names(baseline) {
+        return Err(format!(
+            "raced policies changed: fresh has {:?}, baseline has {:?} — regenerate \
+             results/BENCH_policies.json",
+            names(fresh),
+            names(baseline),
+        ));
+    }
+    let over =
+        |fresh_v: u64, base_v: u64| fresh_v as f64 > base_v as f64 * (1.0 + tolerance_pct / 100.0);
+    for (f, b) in fresh.rows.iter().zip(&baseline.rows) {
+        if f.completed != b.completed {
+            return Err(format!(
+                "policy {} dropped requests: completed {} vs baseline {}",
+                f.policy, f.completed, b.completed
+            ));
+        }
+        if over(f.ttft_p50_us, b.ttft_p50_us) {
+            return Err(format!(
+                "policy {} ttft p50 regressed: {} µs vs baseline {} µs (> {tolerance_pct:.1}%)",
+                f.policy, f.ttft_p50_us, b.ttft_p50_us
+            ));
+        }
+        if over(f.ttft_p99_us, b.ttft_p99_us) {
+            return Err(format!(
+                "policy {} ttft p99 regressed: {} µs vs baseline {} µs (> {tolerance_pct:.1}%)",
+                f.policy, f.ttft_p99_us, b.ttft_p99_us
+            ));
+        }
+        if over(f.prewarms_unused, b.prewarms_unused + 1) {
+            return Err(format!(
+                "policy {} prewarm waste grew: {} unused of {} issued vs baseline {} of {}",
+                f.policy,
+                f.prewarms_unused,
+                f.prewarms_issued,
+                b.prewarms_unused,
+                b.prewarms_issued
+            ));
+        }
+    }
+    let row = |b: &BenchPolicies, name: &str| -> Result<BenchPolicyRow, String> {
+        b.rows
+            .iter()
+            .find(|r| r.policy == name)
+            .cloned()
+            .ok_or_else(|| format!("policy race is missing the {name} row"))
+    };
+    let reactive = row(fresh, "coldstart-aware")?;
+    let predictive = row(fresh, "locality+prewarm")?;
+    if predictive.ttft_p99_us >= reactive.ttft_p99_us {
+        return Err(format!(
+            "locality+prewarm no longer beats coldstart-aware on TTFT p99: {} µs vs {} µs \
+             ({} prewarms issued, {} unused)",
+            predictive.ttft_p99_us,
+            reactive.ttft_p99_us,
+            predictive.prewarms_issued,
+            predictive.prewarms_unused
+        ));
+    }
+    if fresh.pipeline_coldstart_ttft_us >= fresh.single_coldstart_ttft_us {
+        return Err(format!(
+            "pipeline-parallel cold start (k = {}) no longer beats single-node on the {}× \
+             artifact: {} µs vs {} µs",
+            fresh.pipeline_k,
+            fresh.artifact_scale,
+            fresh.pipeline_coldstart_ttft_us,
+            fresh.single_coldstart_ttft_us
+        ));
+    }
+    Ok(format!(
+        "policy race within {:.1}%: coldstart-aware p99 {} µs, locality {} µs, locality+prewarm \
+         {} µs ({} prewarms, {} unused), pipeline p99 {} µs ({} sharded starts); {}× artifact \
+         cold start {} µs single vs {} µs pipelined (k = {})",
+        tolerance_pct,
+        reactive.ttft_p99_us,
+        row(fresh, "locality")?.ttft_p99_us,
+        predictive.ttft_p99_us,
+        predictive.prewarms_issued,
+        predictive.prewarms_unused,
+        row(fresh, "pipeline")?.ttft_p99_us,
+        row(fresh, "pipeline")?.pipeline_starts,
+        fresh.artifact_scale,
+        fresh.single_coldstart_ttft_us,
+        fresh.pipeline_coldstart_ttft_us,
+        fresh.pipeline_k
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1346,6 +1723,130 @@ mod tests {
         assert!(
             a.pipelined_us <= a.overlapped_us && a.overlapped_us < a.serial_us,
             "parallel modes must beat serial: {a:?}"
+        );
+    }
+
+    fn sample_policy_row(policy: &str, p99: u64) -> BenchPolicyRow {
+        BenchPolicyRow {
+            policy: policy.to_string(),
+            completed: 488,
+            cold_starts: 40,
+            ttft_p50_us: 12_000,
+            ttft_p99_us: p99,
+            prewarms_issued: 0,
+            prewarms_unused: 0,
+            pipeline_starts: 0,
+        }
+    }
+
+    fn sample_policies() -> BenchPolicies {
+        BenchPolicies {
+            model: MODEL.to_string(),
+            nodes: POLICY_NODES as u32,
+            seed: POLICY_SEED,
+            models: POLICY_MODELS,
+            rps: POLICY_RPS,
+            duration_s: POLICY_DURATION_S,
+            keep_alive_s: POLICY_KEEP_ALIVE_S,
+            prewarm_percentile_pm: POLICY_PREWARM_PERCENTILE_PM,
+            pipeline_k: POLICY_PIPELINE_K,
+            artifact_scale: POLICY_ARTIFACT_SCALE,
+            trace_fingerprint: 0xfeed,
+            rows: vec![
+                sample_policy_row("coldstart-aware", 1_600_000),
+                sample_policy_row("locality", 1_600_000),
+                {
+                    let mut r = sample_policy_row("locality+prewarm", 1_400_000);
+                    r.prewarms_issued = 11;
+                    r.prewarms_unused = 7;
+                    r
+                },
+                {
+                    let mut r = sample_policy_row("pipeline", 1_100_000);
+                    r.pipeline_starts = 22;
+                    r
+                },
+            ],
+            single_coldstart_ttft_us: 100_000_000,
+            pipeline_coldstart_ttft_us: 50_000_000,
+        }
+    }
+
+    #[test]
+    fn policies_json_round_trips() {
+        let b = sample_policies();
+        assert_eq!(BenchPolicies::from_json(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn policies_gate_passes_within_tolerance_and_fails_beyond() {
+        let base = sample_policies();
+        let mut fresh = sample_policies();
+        fresh.rows[0].ttft_p99_us = 1_678_000; // +4.9%
+        assert!(check_policies_regression(&fresh, &base, 5.0).is_ok());
+        fresh.rows[0].ttft_p99_us = 1_681_000; // +5.1%
+        let err = check_policies_regression(&fresh, &base, 5.0).unwrap_err();
+        assert!(err.contains("coldstart-aware ttft p99"), "{err}");
+        // Prewarm waste growing past tolerance (+1 slack) fails.
+        let mut fresh = sample_policies();
+        fresh.rows[2].prewarms_unused = 10;
+        let err = check_policies_regression(&fresh, &base, 5.0).unwrap_err();
+        assert!(err.contains("prewarm waste"), "{err}");
+        // Dropped requests fail regardless of tolerance.
+        let mut fresh = sample_policies();
+        fresh.rows[1].completed -= 1;
+        let err = check_policies_regression(&fresh, &base, 5.0).unwrap_err();
+        assert!(err.contains("dropped requests"), "{err}");
+    }
+
+    #[test]
+    fn policies_gate_enforces_ordering_invariants() {
+        let base = sample_policies();
+        // The predictive row must strictly beat the reactive one...
+        let mut tied = sample_policies();
+        tied.rows[2].ttft_p99_us = tied.rows[0].ttft_p99_us;
+        let err = check_policies_regression(&tied, &tied, 5.0).unwrap_err();
+        assert!(err.contains("no longer beats coldstart-aware"), "{err}");
+        // ...and the sharded cold start must strictly beat the single one.
+        let mut slow = sample_policies();
+        slow.pipeline_coldstart_ttft_us = slow.single_coldstart_ttft_us;
+        let err = check_policies_regression(&slow, &slow, 5.0).unwrap_err();
+        assert!(err.contains("no longer beats single-node"), "{err}");
+        assert!(check_policies_regression(&base, &base, 5.0).is_ok());
+    }
+
+    #[test]
+    fn stale_policies_baseline_is_rejected() {
+        let base = sample_policies();
+        let mut fresh = sample_policies();
+        fresh.trace_fingerprint = 1;
+        let err = check_policies_regression(&fresh, &base, 5.0).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+        // A renamed/reordered row set is config drift too.
+        let mut fresh = sample_policies();
+        fresh.rows.swap(0, 1);
+        let err = check_policies_regression(&fresh, &base, 5.0).unwrap_err();
+        assert!(err.contains("raced policies changed"), "{err}");
+    }
+
+    #[test]
+    fn policy_race_meets_its_own_contracts() {
+        // One live run through every raced policy: self-comparison
+        // exercises the tolerance clauses and both strict ordering
+        // invariants (prewarm beats reactive, pipeline halves the 100×
+        // cold start) against real simulator output.
+        let fresh = run_policies();
+        let verdict = check_policies_regression(&fresh, &fresh, 5.0).unwrap();
+        assert!(verdict.contains("policy race"), "{verdict}");
+        let prewarm = &fresh.rows[2];
+        assert!(
+            prewarm.prewarms_issued > prewarm.prewarms_unused,
+            "estimator must land more prewarms than it wastes: {prewarm:?}"
+        );
+        let pipeline = &fresh.rows[3];
+        assert!(
+            pipeline.pipeline_starts > 0,
+            "pipeline row never sharded a start: {pipeline:?}"
         );
     }
 }

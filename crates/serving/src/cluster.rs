@@ -42,6 +42,7 @@
 
 use crate::event::{EventQueue, EventToken, FleetEvent};
 use crate::params::PerfModel;
+use crate::predict::{PrewarmConfig, PrewarmEstimator};
 use medusa::{
     materialize_offline, ColdStart, ColdStartOptions, MedusaResult, Parallelism, Strategy,
 };
@@ -247,6 +248,18 @@ pub struct ClusterSpec {
     /// Per-tenant TTFT SLO threshold, seconds: a request whose TTFT lands
     /// at or under this counts toward its tenant's SLO attainment.
     pub slo_ttft_s: f64,
+    /// Optional predictive prewarming: when set, every arrival feeds a
+    /// [`PrewarmEstimator`] whose decisions schedule prewarm-tagged
+    /// [`FleetEvent::ScaleDecision`] events ahead of forecast bursts.
+    /// `None` (the default) keeps the purely reactive fleet and a
+    /// byte-identical event schedule.
+    pub prewarm: Option<PrewarmConfig>,
+    /// Optional pipeline-parallel cold starts: shard one model's restore
+    /// across up to `k` nodes, each restoring a contiguous MAF2 shard
+    /// range, serving the first token when the first stage is live.
+    /// `None` (the default) keeps single-node cold starts; it also
+    /// defaults to 2 when the [`Policy::Pipeline`] scheduler is selected.
+    pub pipeline_k: Option<u32>,
 }
 
 impl ClusterSpec {
@@ -268,6 +281,8 @@ impl ClusterSpec {
             faults: ClusterFaults::default(),
             cache: CacheConfig::default(),
             slo_ttft_s: 2.5,
+            prewarm: None,
+            pipeline_k: None,
         }
     }
 
@@ -321,6 +336,19 @@ impl ClusterSpec {
     /// Sets the idle keep-alive window (builder style).
     pub fn with_keep_alive(mut self, keep_alive_s: f64) -> Self {
         self.autoscaler.keep_alive_s = keep_alive_s;
+        self
+    }
+
+    /// Arms predictive prewarming (builder style).
+    pub fn with_prewarm(mut self, prewarm: PrewarmConfig) -> Self {
+        self.prewarm = Some(prewarm);
+        self
+    }
+
+    /// Shards cold starts pipeline-parallel across up to `k` nodes
+    /// (builder style). `k < 2` keeps single-node starts.
+    pub fn with_pipeline(mut self, k: u32) -> Self {
+        self.pipeline_k = Some(k);
         self
     }
 }
@@ -488,10 +516,12 @@ impl FleetProfile {
         match self.model_costs.get(model as usize) {
             None => self.coldstart_work,
             Some(c) => {
-                let base = self.perf.loading.as_nanos().max(1);
-                SimDuration::from_nanos(
-                    self.coldstart_work.as_nanos() * c.loading.as_nanos() / base,
-                )
+                // u128 intermediate: work × loading both in nanoseconds
+                // overflows u64 for 100×-scale artifact profiles.
+                let base = self.perf.loading.as_nanos().max(1) as u128;
+                let scaled =
+                    self.coldstart_work.as_nanos() as u128 * c.loading.as_nanos() as u128 / base;
+                SimDuration::from_nanos(scaled.min(u64::MAX as u128) as u64)
             }
         }
     }
@@ -640,8 +670,17 @@ pub struct NodeView {
     pub cached: bool,
     /// Whether admitting *this* request respects the node's batch-slot
     /// and KV-capacity limits and model affinity (always `true` for cold
-    /// nodes — they start empty and can start any model).
+    /// nodes — they start empty and can start any model; always `false`
+    /// for pipeline shard helpers — they release back to cold, so work
+    /// must never queue on them).
     pub accepts: bool,
+    /// Estimated time until this node could produce the candidate
+    /// request's first token, ns: a warm node's queue-drain estimate, a
+    /// cold node's full start cost (registry-fetch bytes over the fabric
+    /// when its cache misses, plus the restore), a starting node's
+    /// expected remaining start plus drain. Scored by
+    /// [`ServerlessLlmLocality`]; the legacy policies ignore it.
+    pub start_cost_ns: u64,
 }
 
 /// A routing decision for one request.
@@ -760,12 +799,61 @@ impl Scheduler for ColdStartAware {
 
     fn pick_cold(&mut self, nodes: &[NodeView], _model: u32) -> Option<usize> {
         // Cheapest start first: a node whose cache holds this model's
-        // artifact skips the registry fetch.
+        // artifact skips the registry fetch. The views are computed per
+        // candidate model, so `cached` *is* the model-affinity bit — a
+        // warm-cache node always wins over an empty one.
         nodes
             .iter()
             .enumerate()
             .filter(|(_, n)| n.state == NodeState::Cold)
             .min_by_key(|(i, n)| (!n.cached, *i))
+            .map(|(i, _)| i)
+    }
+}
+
+/// ServerlessLLM-style locality routing: every candidate node — warm,
+/// starting, or cold — is scored by its **estimated start cost**
+/// ([`NodeView::start_cost_ns`]: cache-hit restore vs registry-fetch
+/// bytes at real MAF2 sizes, queue drain, warm state) and the request
+/// goes to the cheapest, instead of to the shortest queue. An idle warm
+/// node (cost ~0) always wins; once warm queues drain slower than a
+/// cached cold start, the policy wakes the node whose artifact cache
+/// makes that start cheapest.
+///
+/// With `pipeline` set (the [`Policy::Pipeline`] flavor) routing is
+/// identical but the fleet shards each cold start across
+/// [`ClusterSpec::pipeline_k`] nodes (default 2).
+#[derive(Debug, Default)]
+pub struct ServerlessLlmLocality {
+    /// Whether this is the pipeline-parallel flavor (affects only the
+    /// reported policy name; the sharding itself is a fleet-level knob).
+    pub pipeline: bool,
+}
+
+impl Scheduler for ServerlessLlmLocality {
+    fn name(&self) -> &'static str {
+        if self.pipeline {
+            "pipeline"
+        } else {
+            "locality"
+        }
+    }
+
+    fn route(&mut self, nodes: &[NodeView]) -> Decision {
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.accepts)
+            .min_by_key(|(i, n)| (n.start_cost_ns, n.load, *i))
+            .map_or(Decision::Queue, |(i, _)| Decision::Node(i))
+    }
+
+    fn pick_cold(&mut self, nodes: &[NodeView], _model: u32) -> Option<usize> {
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.state == NodeState::Cold)
+            .min_by_key(|(i, n)| (n.start_cost_ns, *i))
             .map(|(i, _)| i)
     }
 }
@@ -779,15 +867,28 @@ pub enum Policy {
     LeastLoaded,
     /// [`ColdStartAware`].
     ColdStartAware,
+    /// [`ServerlessLlmLocality`] — start-cost locality routing.
+    Locality,
+    /// [`ServerlessLlmLocality`] plus pipeline-parallel cold starts
+    /// (defaults [`ClusterSpec::pipeline_k`] to 2 when unset).
+    Pipeline,
 }
 
 impl Policy {
-    /// All built-in policies.
+    /// The legacy built-in policies. Deliberately **excludes**
+    /// [`Policy::Locality`] and [`Policy::Pipeline`]: the golden
+    /// differential matrix ([`crate::scenarios`]) iterates this constant,
+    /// and the committed golden reports must stay byte-identical — the
+    /// predictive policies race in [`Policy::PREDICTIVE`] and the
+    /// policy-race bench gate instead.
     pub const ALL: [Policy; 3] = [
         Policy::RoundRobin,
         Policy::LeastLoaded,
         Policy::ColdStartAware,
     ];
+
+    /// The predictive/parallel policies raced by the policy-race gate.
+    pub const PREDICTIVE: [Policy; 2] = [Policy::Locality, Policy::Pipeline];
 
     /// Instantiates the policy.
     pub fn build(self) -> Box<dyn Scheduler> {
@@ -795,6 +896,8 @@ impl Policy {
             Policy::RoundRobin => Box::new(RoundRobin::default()),
             Policy::LeastLoaded => Box::new(LeastLoaded),
             Policy::ColdStartAware => Box::new(ColdStartAware),
+            Policy::Locality => Box::new(ServerlessLlmLocality { pipeline: false }),
+            Policy::Pipeline => Box::new(ServerlessLlmLocality { pipeline: true }),
         }
     }
 
@@ -804,6 +907,8 @@ impl Policy {
             "round-robin" => Some(Policy::RoundRobin),
             "least-loaded" => Some(Policy::LeastLoaded),
             "coldstart-aware" => Some(Policy::ColdStartAware),
+            "locality" => Some(Policy::Locality),
+            "pipeline" => Some(Policy::Pipeline),
             _ => None,
         }
     }
@@ -870,6 +975,17 @@ pub struct CacheReport {
     pub evictions: u64,
 }
 
+/// Predictive-prewarm counters (prewarm-enabled runs only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrewarmReport {
+    /// Prewarm cold starts the estimator issued.
+    pub issued: u64,
+    /// Prewarmed nodes that never served a request before scaling back
+    /// down (or before the run ended) — the waste metric the policy-race
+    /// gate bounds.
+    pub unused: u64,
+}
+
 /// Deterministic summary of one fleet simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterReport {
@@ -906,6 +1022,13 @@ pub struct ClusterReport {
     /// Order-sensitive fingerprint of the replayed trace
     /// ([`medusa_workload::fingerprint`]).
     pub trace_fingerprint: u64,
+    /// Predictive-prewarm counters; `None` (omitted from the JSON)
+    /// unless [`ClusterSpec::prewarm`] was set, keeping the committed
+    /// goldens byte-identical.
+    pub prewarm: Option<PrewarmReport>,
+    /// Cold starts that actually sharded across ≥ 2 nodes; `None`
+    /// (omitted) unless pipeline mode was active.
+    pub pipeline_starts: Option<u64>,
     /// Per-tenant accounting, ascending model id. Empty for single-tenant
     /// traces (and then omitted from the serialized report, keeping the
     /// committed goldens byte-identical).
@@ -949,6 +1072,12 @@ impl serde::Serialize for ClusterReport {
                 self.trace_fingerprint.to_value(),
             ),
         ];
+        if let Some(prewarm) = &self.prewarm {
+            m.push(("prewarm".into(), prewarm.to_value()));
+        }
+        if let Some(pipeline_starts) = self.pipeline_starts {
+            m.push(("pipeline_starts".into(), pipeline_starts.to_value()));
+        }
         if !self.tenants.is_empty() {
             m.push(("tenants".into(), self.tenants.to_value()));
         }
@@ -979,6 +1108,14 @@ impl serde::Deserialize for ClusterReport {
             ttft_p99_us: u64::from_value(serde::field(v, "ttft_p99_us", ctx)?)?,
             ttft_mean_us: u64::from_value(serde::field(v, "ttft_mean_us", ctx)?)?,
             trace_fingerprint: u64::from_value(serde::field(v, "trace_fingerprint", ctx)?)?,
+            prewarm: match v.get("prewarm") {
+                Some(p) => Some(PrewarmReport::from_value(p)?),
+                None => None,
+            },
+            pipeline_starts: match v.get("pipeline_starts") {
+                Some(p) => Some(u64::from_value(p)?),
+                None => None,
+            },
             tenants: match v.get("tenants") {
                 Some(t) => Vec::<TenantReport>::from_value(t)?,
                 None => Vec::new(),
@@ -1124,8 +1261,21 @@ struct Node {
     /// start (Medusa cache-miss starts only); retracted on crash.
     stage_fetch: Option<EventToken>,
     /// Pending [`FleetEvent::ColdStartStageDone`] of the in-flight cold
-    /// start; retracted on crash.
+    /// start; retracted on crash. For a pipeline shard helper this holds
+    /// the pending [`FleetEvent::PipelineShardDone`] instead.
     stage_ready: Option<EventToken>,
+    /// Whether the live instance was started predictively by the prewarm
+    /// estimator and has not yet served a request — cleared on first
+    /// placement; still set at scale-down (or run end) it counts as
+    /// prewarm waste.
+    prewarmed: bool,
+    /// `Some(head)` while this node is a pipeline shard helper restoring
+    /// one contiguous MAF2 shard range for `head`'s cold start. Helpers
+    /// never accept work; they release back to cold when the shard lands.
+    pipeline_head: Option<usize>,
+    /// Helper nodes currently restoring shards for *this* node's
+    /// pipeline-parallel cold start (this node is the head).
+    pipeline_members: Vec<usize>,
 }
 
 impl Node {
@@ -1163,6 +1313,9 @@ impl Node {
             keep_alive: None,
             stage_fetch: None,
             stage_ready: None,
+            prewarmed: false,
+            pipeline_head: None,
+            pipeline_members: Vec::new(),
         }
     }
 
@@ -1192,8 +1345,13 @@ impl Node {
             cached: self.cache_holds(model),
             accepts: match self.state {
                 NodeState::Cold => true,
-                NodeState::Starting | NodeState::Warm => live_accepts,
+                // A pipeline shard helper releases back to cold when its
+                // shard lands, so work must never queue on it.
+                NodeState::Starting | NodeState::Warm => {
+                    live_accepts && self.pipeline_head.is_none()
+                }
             },
+            start_cost_ns: 0,
         }
     }
 }
@@ -1240,6 +1398,16 @@ struct FleetSim<'a> {
     cache_hits: u64,
     cache_misses: u64,
     cache_evictions: u64,
+    /// Prewarm estimator fed by arrivals; `None` unless
+    /// [`ClusterSpec::prewarm`] is set (the default), keeping the event
+    /// schedule byte-identical for legacy runs.
+    estimator: Option<PrewarmEstimator>,
+    prewarms_issued: u64,
+    prewarms_unused: u64,
+    /// Effective pipeline degree: cold starts shard across up to this
+    /// many nodes when ≥ 2 (and the strategy materializes artifacts).
+    pipeline_k: u32,
+    pipeline_starts: u64,
 }
 
 /// Per-tenant accumulator (multi-tenant traces only).
@@ -1260,14 +1428,37 @@ impl FleetSim<'_> {
         let mut views = std::mem::take(&mut self.views_buf);
         views.clear();
         views.extend(self.nodes.iter().map(|n| {
-            n.view(
+            let mut v = n.view(
                 need,
                 self.cluster.max_running,
                 self.profile.perf.kv_capacity_tokens,
                 model,
-            )
+            );
+            v.start_cost_ns = self.start_cost(n, v.cached, model);
+            v
         }));
         views
+    }
+
+    /// Estimated time until node `n` could produce a first token for a
+    /// request of `model` (see [`NodeView::start_cost_ns`]): queue drain
+    /// for a warm node, the full cached-vs-fetch start cost for a cold
+    /// one, expected remaining start plus drain for a starting one.
+    fn start_cost(&self, n: &Node, cached: bool, model: u32) -> u64 {
+        let load = n.load() as u64;
+        let drain = load
+            * self
+                .profile
+                .perf
+                .decode_duration((load as u32).max(1))
+                .as_nanos();
+        match n.state {
+            NodeState::Warm => drain,
+            NodeState::Cold => self.profile.coldstart_makespan(cached, model).as_nanos(),
+            NodeState::Starting => {
+                self.profile.coldstart_makespan(cached, model).as_nanos() / 2 + drain
+            }
+        }
     }
 
     /// Inserts `model` into node `i`'s artifact cache at time `t` (or
@@ -1328,6 +1519,12 @@ impl FleetSim<'_> {
 
     /// Begins a cold start of `model` on node `i` at time `t`.
     fn start_cold(&mut self, t: u64, i: usize, model: u32) {
+        if self.pipeline_k >= 2 && self.profile.strategy == Strategy::Medusa {
+            // Pipeline mode shards the materialized restore; only the
+            // Medusa strategy has an artifact to shard.
+            self.start_cold_pipeline(t, i, model);
+            return;
+        }
         let faults = self.cluster.faults;
         let reg = self.cluster.registry;
         let node = &mut self.nodes[i];
@@ -1463,6 +1660,215 @@ impl FleetSim<'_> {
         node.stage_ready = Some(ready_tok);
     }
 
+    /// Begins a **pipeline-parallel** cold start of `model` headed by
+    /// node `i`: the head plus up to `pipeline_k − 1` recruited cold
+    /// helpers each restore a contiguous MAF2 shard range (the lazy
+    /// reader restores per-shard, so the split is free). The head serves
+    /// the first token as soon as its own first stage lands — after
+    /// `total / k` instead of the full restore — while helpers stream
+    /// their shards to it and release back to cold
+    /// ([`FleetEvent::PipelineShardDone`]). The last helper lands exactly
+    /// on the single-node total, so sharding never inflates the full
+    /// restore. Falls back to the single-node timeline when the start
+    /// degrades (no artifact to shard) or no helper is free. The head's
+    /// registry rolls use the same key schedule as the single-node path;
+    /// helper crash rolls get their own attempt lane so fates stay
+    /// independent. On completion the head caches the whole artifact
+    /// (the shards reassemble on the head — a documented approximation).
+    fn start_cold_pipeline(&mut self, t: u64, i: usize, model: u32) {
+        let faults = self.cluster.faults;
+        let reg = self.cluster.registry;
+        let node = &mut self.nodes[i];
+        debug_assert_eq!(node.state, NodeState::Cold);
+        let cached = node.cache_holds(model);
+        let needs_fetch = !cached;
+        node.state = NodeState::Starting;
+        node.model = Some(model);
+        node.cold_starts += 1;
+        self.cold_starts += 1;
+        self.live += 1;
+        if needs_fetch {
+            self.cache_misses += 1;
+        } else {
+            self.cache_hits += 1;
+            self.nodes[i].cache_touch(model, t);
+        }
+        if let Some(tl) = self.tele {
+            tl.inc(
+                if needs_fetch {
+                    "cluster_cache_misses_total"
+                } else {
+                    "cluster_cache_hits_total"
+                },
+                1,
+            );
+        }
+        if self.multi_tenant {
+            self.tenant_stats.entry(model).or_default().cold_starts += 1;
+        }
+        let node = &mut self.nodes[i];
+
+        // Registry fetch under the resilience policy — the head owns the
+        // registry connection, so the rolls are keyed exactly like the
+        // single-node path.
+        let mut retry_ns: u64 = 0;
+        let mut retries: u32 = 0;
+        let mut degraded = false;
+        if needs_fetch && faults.registry_fail_per_mille > 0 {
+            let mut failures: u32 = 0;
+            loop {
+                let roll = roll_per_mille(faults.seed, i, node.cold_starts, failures);
+                if roll >= faults.registry_fail_per_mille {
+                    break;
+                }
+                failures += 1;
+                retry_ns += (reg.timeout_s * 1e9) as u64;
+                if failures > reg.retry_budget {
+                    degraded = true;
+                    break;
+                }
+                let backoff =
+                    (reg.backoff_base_s * 2f64.powi(failures as i32 - 1)).min(reg.backoff_max_s);
+                retry_ns += (backoff * 1e9) as u64;
+                retries += 1;
+            }
+        }
+        node.degraded_start = degraded;
+        self.fetch_retries += retries;
+        if degraded {
+            self.degraded_cold_starts += 1;
+        }
+
+        // Recruit helpers: other cold nodes, ascending index (a degraded
+        // start has no artifact to shard).
+        let head_cold_starts = self.nodes[i].cold_starts;
+        let helpers: Vec<usize> = if degraded {
+            Vec::new()
+        } else {
+            (0..self.nodes.len())
+                .filter(|&h| h != i && self.nodes[h].state == NodeState::Cold)
+                .take(self.pipeline_k as usize - 1)
+                .collect()
+        };
+        let k_eff = 1 + helpers.len() as u64;
+        if k_eff > 1 {
+            self.pipeline_starts += 1;
+        }
+
+        let fetch_ns = if needs_fetch && !degraded {
+            self.profile.fetch_for(model).as_nanos()
+        } else {
+            0
+        };
+        let total_ns = if degraded {
+            self.profile.degraded_loading.as_nanos()
+        } else {
+            self.profile.coldstart_makespan(cached, model).as_nanos()
+        };
+        let stage_span = total_ns / k_eff;
+        let ready = t + retry_ns + stage_span;
+
+        // Work split: every participant restores 1/k of the artifact;
+        // the head additionally owns the retry attempts, the registry
+        // fetch, and the division remainder.
+        let restore_work = if degraded {
+            self.profile.degraded_loading.as_nanos() * self.nodes[i].spec.tp as u64
+        } else {
+            self.profile.coldstart_work_for(model).as_nanos()
+        };
+        let share = restore_work / k_eff;
+        let epoch = {
+            let node = &mut self.nodes[i];
+            node.cold_ns += retry_ns + stage_span;
+            node.work_ns += restore_work - share * (k_eff - 1) + retry_ns + fetch_ns;
+            node.epoch
+        };
+        if let Some(tl) = self.tele {
+            tl.inc("cluster_cold_starts_total", 1);
+            tl.inc(&format!("cluster_node{i}_cold_starts_total"), 1);
+            if retries > 0 {
+                tl.inc("cluster_fetch_retries_total", retries as u64);
+            }
+            if degraded {
+                tl.inc("cluster_degraded_coldstarts_total", 1);
+            }
+            if k_eff > 1 {
+                tl.inc("cluster_pipeline_starts_total", 1);
+            }
+            tl.span(
+                format!("coldstart/n{i}/m{model}"),
+                format!("node{i}"),
+                t / 1_000,
+                ready / 1_000,
+            );
+        }
+        // Head crash roll: same key schedule as the single-node path, at
+        // the midpoint of the head's own stage.
+        if faults.node_crash_per_mille > 0 {
+            let roll = roll_per_mille(faults.seed ^ 0xc7a5_11fe, i, head_cold_starts, 0);
+            if roll < faults.node_crash_per_mille {
+                let crash_at = t + (retry_ns + stage_span) / 2;
+                self.events
+                    .schedule(crash_at, FleetEvent::NodeCrash { node: i, epoch });
+            }
+        }
+        let fetch_tok = (needs_fetch && !degraded).then(|| {
+            self.events.schedule(
+                t + retry_ns + fetch_ns / k_eff,
+                FleetEvent::RegistryFetchDone { node: i, epoch },
+            )
+        });
+        let ready_tok = self
+            .events
+            .schedule(ready, FleetEvent::ColdStartStageDone { node: i, epoch });
+        {
+            let node = &mut self.nodes[i];
+            node.stage_fetch = fetch_tok;
+            node.stage_ready = Some(ready_tok);
+        }
+        // Helper stages: helper j restores shard range j+1, landing at
+        // (j+2)·span after the retries.
+        for (j, &h) in helpers.iter().enumerate() {
+            let done = t + retry_ns + (j as u64 + 2) * stage_span;
+            let hep = {
+                let helper = &mut self.nodes[h];
+                helper.state = NodeState::Starting;
+                helper.model = Some(model);
+                helper.idle_since = None;
+                helper.pipeline_head = Some(i);
+                helper.work_ns += share;
+                helper.epoch
+            };
+            let tok = self.events.schedule(
+                done,
+                FleetEvent::PipelineShardDone {
+                    node: h,
+                    head: i,
+                    epoch: hep,
+                },
+            );
+            self.nodes[h].stage_ready = Some(tok);
+            self.nodes[i].pipeline_members.push(h);
+            self.live += 1;
+            // Helper crash roll: attempt lane j+1 keeps helper fates
+            // independent of the head's roll (attempt 0).
+            if faults.node_crash_per_mille > 0 {
+                let roll =
+                    roll_per_mille(faults.seed ^ 0xc7a5_11fe, h, head_cold_starts, j as u32 + 1);
+                if roll < faults.node_crash_per_mille {
+                    let mid = t + retry_ns + (j as u64 + 1) * stage_span + stage_span / 2;
+                    self.events.schedule(
+                        mid,
+                        FleetEvent::NodeCrash {
+                            node: h,
+                            epoch: hep,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
     /// Places request `r` on node `i` at time `t` (cold-starting first
     /// when needed), retracts the node's keep-alive countdown, and records
     /// the scheduler-decision span.
@@ -1476,6 +1882,9 @@ impl FleetSim<'_> {
         node.cache_touch(model, t);
         node.kv_tokens += need;
         node.idle_since = None;
+        // A predictively started node just got real work: the prewarm
+        // paid off, so it no longer counts toward the waste metric.
+        node.prewarmed = false;
         node.pending.push_back(r);
         // Work landed: the pending keep-alive expiry (if any) must never
         // fire.
@@ -1584,6 +1993,19 @@ impl FleetSim<'_> {
     /// scheduler immediately tries to drain it.
     fn on_arrival(&mut self, t: u64, r: usize, sched: &mut dyn Scheduler) {
         self.arrived += 1;
+        // Feed the prewarm estimator; a forecast schedules a predictive
+        // [`FleetEvent::ScaleDecision`] ahead of the next expected
+        // arrival (re-anchored on every observation).
+        if let Some(est) = self.estimator.as_mut() {
+            if let Some(d) = est.observe(t, self.trace[r].model) {
+                self.events.schedule(
+                    d.t_ns,
+                    FleetEvent::ScaleDecision {
+                        prewarm: Some(d.model),
+                    },
+                );
+            }
+        }
         self.queue.push_back(r);
         self.drain(t, sched);
     }
@@ -1629,7 +2051,11 @@ impl FleetSim<'_> {
 
     /// [`FleetEvent::NodeCrash`]: crash mid-cold-start — the node scales
     /// back to cold, its pending stage events are retracted, and its
-    /// queued requests go back through the scheduler.
+    /// queued requests go back through the scheduler. Crashing any
+    /// *still-starting* participant of a pipeline-parallel start tears
+    /// the whole still-starting group down (the shard stream is broken);
+    /// a head that already went warm keeps serving and only the helpers
+    /// release.
     fn on_crash(&mut self, t: u64, i: usize, epoch: u32, sched: &mut dyn Scheduler) {
         {
             let node = &self.nodes[i];
@@ -1637,23 +2063,30 @@ impl FleetSim<'_> {
                 return;
             }
         }
-        let (fetch_tok, ready_tok, rerouted) = {
-            let node = &mut self.nodes[i];
+        let head = self.nodes[i].pipeline_head.unwrap_or(i);
+        let mut group = vec![head];
+        group.extend(self.nodes[head].pipeline_members.iter().copied());
+        let mut rerouted: Vec<usize> = Vec::new();
+        for &m in &group {
+            let node = &mut self.nodes[m];
+            if node.state != NodeState::Starting {
+                continue;
+            }
             node.epoch += 1;
             node.state = NodeState::Cold;
             node.model = None;
             node.idle_since = None;
             node.kv_tokens = 0;
-            let rerouted: Vec<usize> = node.pending.drain(..).collect();
-            (node.stage_fetch.take(), node.stage_ready.take(), rerouted)
-        };
-        self.live -= 1;
-        if let Some(tok) = fetch_tok {
-            self.events.cancel(tok);
+            node.pipeline_head = None;
+            node.prewarmed = false;
+            rerouted.extend(node.pending.drain(..));
+            let toks = [node.stage_fetch.take(), node.stage_ready.take()];
+            self.live -= 1;
+            for tok in toks.into_iter().flatten() {
+                self.events.cancel(tok);
+            }
         }
-        if let Some(tok) = ready_tok {
-            self.events.cancel(tok);
-        }
+        self.nodes[head].pipeline_members.clear();
         self.node_failures += 1;
         self.reroutes += rerouted.len() as u32;
         if let Some(tl) = self.tele {
@@ -1700,25 +2133,108 @@ impl FleetSim<'_> {
             node.state = NodeState::Cold;
             node.model = None;
             node.idle_since = None;
+            let wasted = std::mem::take(&mut node.prewarmed);
             self.live -= 1;
             self.scale_to_zero_events += 1;
+            if wasted {
+                // Prewarmed, never served, scaled back down: pure waste.
+                self.prewarms_unused += 1;
+                if let Some(tl) = self.tele {
+                    tl.inc("cluster_prewarms_unused_total", 1);
+                }
+            }
             if let Some(tl) = self.tele {
                 tl.inc("cluster_scale_to_zero_total", 1);
+            }
+            // Orphaned shard helpers still streaming to this head release
+            // immediately — their target is gone.
+            let members = std::mem::take(&mut self.nodes[i].pipeline_members);
+            for m in members {
+                let helper = &mut self.nodes[m];
+                if helper.state != NodeState::Starting || helper.pipeline_head != Some(i) {
+                    continue;
+                }
+                helper.epoch += 1;
+                helper.state = NodeState::Cold;
+                helper.model = None;
+                helper.idle_since = None;
+                helper.pipeline_head = None;
+                let tok = helper.stage_ready.take();
+                self.live -= 1;
+                if let Some(tok) = tok {
+                    self.events.cancel(tok);
+                }
             }
         }
     }
 
-    /// [`FleetEvent::ScaleDecision`]: periodic autoscaler tick — re-run
-    /// the drain (which evaluates the backlog threshold) and re-arm the
-    /// next tick.
-    fn on_scale_decision(&mut self, t: u64, sched: &mut dyn Scheduler) {
-        self.drain(t, sched);
-        if let Some(interval_s) = self.cluster.autoscaler.eval_interval_s {
-            let step = (interval_s * 1e9) as u64;
-            if step > 0 {
-                self.events.schedule(t + step, FleetEvent::ScaleDecision);
+    /// [`FleetEvent::ScaleDecision`]: either a predictive prewarm
+    /// (`prewarm: Some(model)`) — start a node for the forecast model
+    /// *before* its burst, unless one is already live — or the periodic
+    /// autoscaler tick (`prewarm: None`), which re-runs the drain and
+    /// re-arms the next tick.
+    fn on_scale_decision(&mut self, t: u64, prewarm: Option<u32>, sched: &mut dyn Scheduler) {
+        match prewarm {
+            Some(model) => {
+                let affine_live = self.nodes.iter().any(|n| {
+                    matches!(n.state, NodeState::Warm | NodeState::Starting)
+                        && n.model == Some(model)
+                });
+                if !affine_live {
+                    let views = self.fill_views(0, model);
+                    let pick = sched.pick_cold(&views, model);
+                    self.views_buf = views;
+                    if let Some(i) = pick {
+                        self.start_cold(t, i, model);
+                        self.nodes[i].prewarmed = true;
+                        self.prewarms_issued += 1;
+                        if let Some(tl) = self.tele {
+                            tl.inc("cluster_prewarms_issued_total", 1);
+                        }
+                    }
+                }
+                self.drain(t, sched);
+            }
+            None => {
+                self.drain(t, sched);
+                if let Some(interval_s) = self.cluster.autoscaler.eval_interval_s {
+                    let step = (interval_s * 1e9) as u64;
+                    if step > 0 {
+                        self.events
+                            .schedule(t + step, FleetEvent::ScaleDecision { prewarm: None });
+                    }
+                }
             }
         }
+    }
+
+    /// [`FleetEvent::PipelineShardDone`]: a shard helper's contiguous
+    /// range landed on the head — the helper releases back to cold (its
+    /// capacity is free again, so the drain gets a chance to use it).
+    fn on_pipeline_shard_done(
+        &mut self,
+        t: u64,
+        i: usize,
+        head: usize,
+        epoch: u32,
+        sched: &mut dyn Scheduler,
+    ) {
+        {
+            let node = &mut self.nodes[i];
+            if node.epoch != epoch || node.pipeline_head != Some(head) {
+                // The group crashed or the head scaled away; the token
+                // was cancelled, so a stale shard normally never fires.
+                return;
+            }
+            node.stage_ready = None;
+            node.state = NodeState::Cold;
+            node.model = None;
+            node.idle_since = None;
+            node.pipeline_head = None;
+        }
+        self.live -= 1;
+        self.nodes[head].pipeline_members.retain(|&m| m != i);
+        self.drain(t, sched);
     }
 
     /// [`FleetEvent::Route`]: the node re-examines its run queue and
@@ -1878,6 +2394,13 @@ pub fn simulate_fleet_traced(
     let mut sched = policy.build();
     let multi_tenant = trace.iter().any(|r| r.model != 0);
     let seed_bytes = profile.artifact_bytes_for(0);
+    // Pipeline-parallel cold starts: explicit `pipeline_k` wins; the
+    // pipeline policy flavor defaults to degree 2; everything else runs
+    // the single-node timeline (degree 1).
+    let pipeline_k = cluster
+        .pipeline_k
+        .unwrap_or(if policy == Policy::Pipeline { 2 } else { 1 })
+        .max(1);
     let mut sim = FleetSim {
         profile,
         cluster,
@@ -1910,6 +2433,13 @@ pub fn simulate_fleet_traced(
         cache_hits: 0,
         cache_misses: 0,
         cache_evictions: 0,
+        estimator: cluster
+            .prewarm
+            .map(|cfg| PrewarmEstimator::new(cfg, cluster.faults.seed)),
+        prewarms_issued: 0,
+        prewarms_unused: 0,
+        pipeline_k,
+        pipeline_starts: 0,
     };
     if multi_tenant {
         // Pre-populate so tenants whose every request times out still show
@@ -1925,7 +2455,8 @@ pub fn simulate_fleet_traced(
     if let Some(interval_s) = cluster.autoscaler.eval_interval_s {
         let step = (interval_s * 1e9) as u64;
         if step > 0 {
-            sim.events.schedule(step, FleetEvent::ScaleDecision);
+            sim.events
+                .schedule(step, FleetEvent::ScaleDecision { prewarm: None });
         }
     }
     let horizon = trace.last().map_or(0, |r| r.arrival_ns) + (cluster.drain_s * 1e9) as u64;
@@ -1947,11 +2478,19 @@ pub fn simulate_fleet_traced(
             }
             FleetEvent::KeepAliveExpiry { node } => sim.on_keep_alive_expiry(t, node),
             FleetEvent::NodeCrash { node, epoch } => sim.on_crash(t, node, epoch, sched.as_mut()),
-            FleetEvent::ScaleDecision => sim.on_scale_decision(t, sched.as_mut()),
+            FleetEvent::ScaleDecision { prewarm } => {
+                sim.on_scale_decision(t, prewarm, sched.as_mut());
+            }
+            FleetEvent::PipelineShardDone { node, head, epoch } => {
+                sim.on_pipeline_shard_done(t, node, head, epoch, sched.as_mut());
+            }
             FleetEvent::IterationDone { node } => sim.on_iteration_done(t, node, sched.as_mut()),
         }
     }
     let truncated = truncated || !sim.events.is_empty();
+    // Prewarmed nodes that never got work by the end of the run count as
+    // waste too (a node a request landed on cleared the flag).
+    sim.prewarms_unused += sim.nodes.iter().filter(|n| n.prewarmed).count() as u64;
 
     let mut sorted: Vec<u64> = sim.ttfts.iter().map(|d| d.as_nanos() / 1_000).collect();
     sorted.sort_unstable();
@@ -1982,6 +2521,11 @@ pub fn simulate_fleet_traced(
         ttft_p99_us: q(0.99),
         ttft_mean_us: mean,
         trace_fingerprint: fingerprint(trace),
+        prewarm: cluster.prewarm.is_some().then_some(PrewarmReport {
+            issued: sim.prewarms_issued,
+            unused: sim.prewarms_unused,
+        }),
+        pipeline_starts: (pipeline_k >= 2).then_some(sim.pipeline_starts),
         tenants: sim
             .tenant_stats
             .iter_mut()
@@ -2623,5 +3167,140 @@ mod tests {
         assert_eq!(a.conservation_residual(), 0);
         let offered: usize = a.report.tenants.iter().map(|t| t.offered).sum();
         assert_eq!(offered, trace.len(), "tenant offered counts partition");
+    }
+
+    #[test]
+    fn pick_cold_lets_a_warm_cache_node_beat_an_empty_one() {
+        let view = |cached: bool, cost: u64| NodeView {
+            state: NodeState::Cold,
+            load: 0,
+            cached,
+            accepts: true,
+            start_cost_ns: cost,
+        };
+        // Node 1 holds the artifact; node 0 is empty but earlier by index.
+        let views = [view(false, 800), view(true, 500)];
+        assert_eq!(ColdStartAware.pick_cold(&views, 0), Some(1));
+        assert_eq!(
+            ServerlessLlmLocality::default().pick_cold(&views, 0),
+            Some(1)
+        );
+        // The trait's default impl stays index-first and cost-oblivious on
+        // purpose: the committed goldens pin RoundRobin/LeastLoaded to it.
+        struct Oblivious;
+        impl Scheduler for Oblivious {
+            fn name(&self) -> &'static str {
+                "oblivious"
+            }
+            fn route(&mut self, _: &[NodeView]) -> Decision {
+                Decision::Queue
+            }
+        }
+        assert_eq!(Oblivious.pick_cold(&views, 0), Some(0));
+    }
+
+    #[test]
+    fn locality_routes_to_the_cheapest_estimated_start() {
+        let profile = medusa_profile(500, 300);
+        // Node 2 (not 0) holds the artifact: the cache-hit start is the
+        // cheapest estimated first token, so locality must pick it.
+        let mut spec = ClusterSpec::uniform(3);
+        spec.nodes[2].cached = true;
+        let out = simulate_fleet(&profile, &spec, Policy::Locality, &[req(0, 0, 100, 1)]);
+        assert_eq!(out.report.policy, "locality");
+        assert_eq!(out.report.nodes[2].cold_starts, 1);
+        assert_eq!(out.ttfts[0], SimDuration::from_millis(520));
+        // And on a simultaneous burst, a start already in flight is
+        // cheaper than waking another cold node: locality packs where
+        // least-loaded would fan out across the fleet.
+        let burst: Vec<Request> = (0..8).map(|i| req(i, 0, 100, 2)).collect();
+        let packed = simulate_fleet(&profile, &ClusterSpec::uniform(4), Policy::Locality, &burst);
+        assert_eq!(packed.report.cold_starts, 1, "locality packs the burst");
+        assert_eq!(packed.report.completed, 8);
+    }
+
+    #[test]
+    fn prewarm_estimator_warms_the_node_ahead_of_periodic_arrivals() {
+        let profile = medusa_profile(500, 300);
+        // Keep-alive (2 s) far shorter than the 10 s arrival period: the
+        // reactive fleet pays a cold start on every arrival.
+        let base = ClusterSpec::uniform(1).with_keep_alive(2.0);
+        let trace: Vec<Request> = (0..5).map(|i| req(i, i * 10_000, 100, 1)).collect();
+        let reactive = simulate_fleet(&profile, &base, Policy::Locality, &trace);
+        let spec = base.clone().with_prewarm(PrewarmConfig::default());
+        let predictive = simulate_fleet(&profile, &spec, Policy::Locality, &trace);
+        let counters = predictive.report.prewarm.expect("prewarm counters");
+        assert!(counters.issued >= 3, "estimator fired: {counters:?}");
+        assert!(counters.unused <= counters.issued);
+        // One gap of history suffices: every arrival from the third on
+        // lands on a predictively warmed node and pays prefill only.
+        assert_eq!(predictive.ttfts[2], SimDuration::from_millis(20));
+        let sum = |out: &FleetOutcome| out.ttfts.iter().map(|d| d.as_nanos()).sum::<u64>();
+        assert!(sum(&predictive) < sum(&reactive));
+        assert_eq!(reactive.report.prewarm, None, "knob off ⇒ field omitted");
+        assert_eq!(predictive.conservation_residual(), 0);
+    }
+
+    #[test]
+    fn pipeline_cold_start_halves_time_to_first_token() {
+        // A 100×-class artifact: fetch 2 s + restore 4 s dominates TTFT.
+        let profile = medusa_profile(4000, 2000);
+        let one = req(0, 0, 100, 1);
+        let single = simulate_fleet(&profile, &ClusterSpec::uniform(2), Policy::Locality, &[one]);
+        let piped = simulate_fleet(&profile, &ClusterSpec::uniform(2), Policy::Pipeline, &[one]);
+        assert_eq!(single.ttfts[0], SimDuration::from_millis(6020));
+        // Two stages of (2000 + 4000) / 2 = 3000 ms each; the first token
+        // ships as soon as the head's own stage lands.
+        assert_eq!(piped.ttfts[0], SimDuration::from_millis(3020));
+        assert_eq!(piped.report.policy, "pipeline");
+        assert_eq!(piped.report.pipeline_starts, Some(1));
+        assert_eq!(single.report.pipeline_starts, None, "knob off ⇒ omitted");
+        assert_eq!(piped.report.cold_starts, 1, "helpers are not cold starts");
+        assert_eq!(piped.report.nodes[1].served, 0, "helper released to cold");
+        assert_eq!(piped.conservation_residual(), 0);
+        // With no helper available the pipeline degenerates to the
+        // single-node timeline instead of stalling.
+        let solo = simulate_fleet(&profile, &ClusterSpec::uniform(1), Policy::Pipeline, &[one]);
+        assert_eq!(solo.ttfts[0], SimDuration::from_millis(6020));
+        assert_eq!(solo.report.pipeline_starts, Some(0));
+    }
+
+    #[test]
+    fn pipeline_crash_tears_down_the_group_and_reroutes() {
+        // A seed whose first (pipelined) head start crashes and whose
+        // retry — head roll (node 0, start 2, attempt 0) and helper roll
+        // (node 1, start 2, attempt 1) — survives.
+        let crash =
+            |s: u64, n: usize, start: u32, att: u32| roll_per_mille(s ^ 0xc7a5_11fe, n, start, att);
+        let seed = (0..4000u64)
+            .find(|&s| {
+                crash(s, 0, 1, 0) < 500 && crash(s, 0, 2, 0) >= 500 && crash(s, 1, 2, 1) >= 500
+            })
+            .expect("such a seed exists");
+        let profile = medusa_profile(500, 300);
+        let spec = ClusterSpec::uniform(2).with_faults(ClusterFaults {
+            seed,
+            registry_fail_per_mille: 0,
+            node_crash_per_mille: 500,
+        });
+        let out = simulate_fleet(&profile, &spec, Policy::Pipeline, &[req(0, 0, 100, 1)]);
+        assert_eq!(out.report.node_failures, 1, "one failure per group crash");
+        assert_eq!(out.report.reroutes, 1);
+        assert_eq!(out.report.cold_starts, 2, "crashed head start plus retry");
+        assert_eq!(out.report.pipeline_starts, Some(2));
+        assert_eq!(out.report.completed, 1);
+        // Head stage span (300 + 500) / 2 = 400 ms, crash at its midpoint
+        // (200 ms); the retry pays the full sharded start again: first
+        // token at 200 + 400 + 20 prefill.
+        assert_eq!(out.ttfts[0], SimDuration::from_millis(620));
+        // The teardown retracted the head's pending ready stage and the
+        // helper's shard event via their tokens (the pipelined fetch had
+        // already landed at 150 ms, before the crash).
+        assert!(
+            out.stats.events_cancelled >= 2,
+            "stages must be retracted, not left to fire stale: {:?}",
+            out.stats
+        );
+        assert_eq!(out.conservation_residual(), 0);
     }
 }

@@ -219,9 +219,30 @@ pub enum FleetEvent {
         /// Cold-start epoch the crash belongs to.
         epoch: u32,
     },
-    /// Periodic autoscaler evaluation tick (only scheduled when
-    /// [`crate::AutoscalerConfig::eval_interval_s`] is set).
-    ScaleDecision,
+    /// Autoscaler evaluation: either the periodic backlog tick (only
+    /// scheduled when [`crate::AutoscalerConfig::eval_interval_s`] is
+    /// set) or a predictive prewarm the estimator scheduled ahead of a
+    /// forecast arrival (only when [`crate::ClusterSpec::prewarm`] is
+    /// set — both knobs default off, keeping the event schedule
+    /// byte-identical).
+    ScaleDecision {
+        /// `Some(model)`: prewarm that model's cold start if it has no
+        /// live node. `None`: the plain periodic backlog re-evaluation.
+        prewarm: Option<u32>,
+    },
+    /// A helper node of a pipeline-parallel cold start finished restoring
+    /// its contiguous MAF2 shard range and hands its output to the head;
+    /// the helper then releases back to cold. Same epoch staleness guard
+    /// as [`FleetEvent::ColdStartStageDone`] (a crash of any pipeline
+    /// participant bumps epochs and retracts these via their tokens).
+    PipelineShardDone {
+        /// Helper node index.
+        node: usize,
+        /// Head node the shard streams to.
+        head: usize,
+        /// Cold-start epoch (of the helper) the shard belongs to.
+        epoch: u32,
+    },
     /// Node `node` finished a serving iteration (prefill or batched decode
     /// step).
     IterationDone {

@@ -11,9 +11,14 @@
 //!
 //! Above the per-instance simulator sits the fleet layer ([`cluster`]):
 //! `N` simulated GPU workers, a pluggable [`Scheduler`] (round-robin,
-//! least-loaded, cold-start-aware with §6 artifact-cache locality), and an
-//! autoscaler with keep-alive, scale-to-zero, and backlog-triggered
-//! scale-up.
+//! least-loaded, cold-start-aware with §6 artifact-cache locality, and a
+//! ServerlessLLM-style start-cost locality policy), and an autoscaler with
+//! keep-alive, scale-to-zero, and backlog-triggered scale-up. The
+//! [`predict`] module adds the proactive side: keep-alive/prewarm
+//! estimators fed by per-model arrival history that start nodes *before*
+//! a forecast burst, and [`ClusterSpec::pipeline_k`] shards one cold
+//! start across several nodes pipeline-parallel (HydraServe/ParaServe
+//! style), serving the first token when the first stage is live.
 //!
 //! ## Example
 //!
@@ -48,6 +53,7 @@ pub mod analytic;
 pub mod cluster;
 pub mod event;
 mod params;
+pub mod predict;
 pub mod scenarios;
 mod sim;
 
@@ -55,8 +61,10 @@ pub use cluster::{
     simulate_fleet, simulate_fleet_traced, AutoscalerConfig, CacheCapacity, CacheConfig,
     CacheReport, ClusterFaults, ClusterReport, ClusterSpec, ColdStartAware, Decision,
     EvictionPolicy, FleetOutcome, FleetProfile, FleetStats, LeastLoaded, ModelCost, NodeReport,
-    NodeSpec, NodeState, NodeView, Policy, RegistryPolicy, RoundRobin, Scheduler, TenantReport,
+    NodeSpec, NodeState, NodeView, Policy, PrewarmReport, RegistryPolicy, RoundRobin, Scheduler,
+    ServerlessLlmLocality, TenantReport,
 };
 pub use event::{EventQueue, EventToken, FleetEvent};
 pub use params::PerfModel;
+pub use predict::{PrewarmConfig, PrewarmDecision, PrewarmEstimator, PrewarmPolicy};
 pub use sim::{simulate, simulate_traced, ClusterConfig, SimResult};

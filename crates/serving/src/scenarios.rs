@@ -137,6 +137,9 @@ pub fn differential_matrix() -> Vec<Scenario> {
                     Policy::RoundRobin => "round-robin",
                     Policy::LeastLoaded => "least-loaded",
                     Policy::ColdStartAware => "coldstart-aware",
+                    // `Policy::ALL` never yields the predictive policies
+                    // (the golden matrix is pinned); see its docs.
+                    Policy::Locality | Policy::Pipeline => unreachable!("not in Policy::ALL"),
                 };
                 out.push(Scenario {
                     name: format!("s{seed}-{policy_name}-{fault_name}"),

@@ -101,6 +101,88 @@ pub fn fingerprint(trace: &[Request]) -> u64 {
     h
 }
 
+/// Per-model arrival history extracted from a trace — the feed of the
+/// serving layer's predictive prewarm estimators.
+///
+/// The history is the minimal signal a keep-alive/prewarm policy needs:
+/// for every model id, the ordered arrival instants (ns). Estimators
+/// derive inter-arrival distributions or windowed rates from it; the
+/// export is deterministic (sorted by model id, arrivals in trace order)
+/// so estimator decisions seeded from the same trace are byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ArrivalHistory {
+    /// Arrival instants (ns since trace start) per model id, ascending
+    /// model id, arrivals in trace (time) order.
+    pub per_model: std::collections::BTreeMap<u32, Vec<u64>>,
+}
+
+impl ArrivalHistory {
+    /// Extracts the per-model arrival history from a request trace.
+    pub fn from_requests(trace: &[Request]) -> Self {
+        let mut per_model: std::collections::BTreeMap<u32, Vec<u64>> =
+            std::collections::BTreeMap::new();
+        for r in trace {
+            per_model.entry(r.model).or_default().push(r.arrival_ns);
+        }
+        ArrivalHistory { per_model }
+    }
+
+    /// Number of distinct models with at least one arrival.
+    pub fn models(&self) -> usize {
+        self.per_model.len()
+    }
+
+    /// Consecutive inter-arrival gaps (ns) of `model`; empty when the
+    /// model has fewer than two arrivals.
+    pub fn inter_arrivals(&self, model: u32) -> Vec<u64> {
+        self.per_model.get(&model).map_or_else(Vec::new, |a| {
+            a.windows(2).map(|w| w[1].saturating_sub(w[0])).collect()
+        })
+    }
+
+    /// Encodes the history as a stable `model,arrival_ns` CSV (header
+    /// row included) — the on-disk export format `medusa-cli cluster
+    /// --arrivals-out` writes for offline estimator studies.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("model,arrival_ns\n");
+        for (model, arrivals) in &self.per_model {
+            for t in arrivals {
+                out.push_str(&format!("{model},{t}\n"));
+            }
+        }
+        out
+    }
+
+    /// Parses the CSV format written by [`ArrivalHistory::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed line.
+    pub fn parse_csv(text: &str) -> Result<Self, String> {
+        let mut per_model: std::collections::BTreeMap<u32, Vec<u64>> =
+            std::collections::BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || (i == 0 && line.starts_with("model")) {
+                continue;
+            }
+            let (m, t) = line
+                .split_once(',')
+                .ok_or_else(|| format!("line {}: expected `model,arrival_ns`", i + 1))?;
+            let model: u32 = m
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad model id `{m}`: {e}", i + 1))?;
+            let t_ns: u64 = t
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad arrival `{t}`: {e}", i + 1))?;
+            per_model.entry(model).or_default().push(t_ns);
+        }
+        Ok(ArrivalHistory { per_model })
+    }
+}
+
 /// A seeded log-normal sampler for token lengths.
 #[derive(Debug, Clone)]
 pub struct LengthSampler {
@@ -690,6 +772,41 @@ mod tests {
         let o: f64 = trace.iter().map(|r| r.output_tokens as f64).sum::<f64>() / n;
         assert!((130.0..200.0).contains(&p), "prompt mean {p}");
         assert!((280.0..410.0).contains(&o), "output mean {o}");
+    }
+
+    #[test]
+    fn arrival_history_round_trips_and_orders_models() {
+        let trace = TraceConfig::sharegpt(4.0, 30.0)
+            .with_seed(6)
+            .with_models(ModelMix::zipf(4, 1.0))
+            .generate();
+        let hist = ArrivalHistory::from_requests(&trace);
+        assert!(hist.models() >= 2, "zipf(4) trace should hit >=2 models");
+        let total: usize = hist.per_model.values().map(Vec::len).sum();
+        assert_eq!(total, trace.len());
+        for arrivals in hist.per_model.values() {
+            assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        }
+        let parsed = ArrivalHistory::parse_csv(&hist.to_csv()).unwrap();
+        assert_eq!(parsed, hist);
+    }
+
+    #[test]
+    fn arrival_history_inter_arrivals_are_consecutive_gaps() {
+        let reqs: Vec<Request> = [10u64, 30, 70]
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Request {
+                id: i as u64,
+                arrival_ns: t,
+                prompt_tokens: 1,
+                output_tokens: 1,
+                model: 3,
+            })
+            .collect();
+        let hist = ArrivalHistory::from_requests(&reqs);
+        assert_eq!(hist.inter_arrivals(3), vec![20, 40]);
+        assert!(hist.inter_arrivals(0).is_empty());
     }
 
     #[test]

@@ -15,8 +15,10 @@
 use medusa::{Parallelism, Strategy};
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
-use medusa_serving::{simulate_fleet, ClusterFaults, ClusterSpec, FleetProfile, Policy};
-use medusa_workload::{ArrivalPattern, TraceConfig};
+use medusa_serving::{
+    simulate_fleet, ClusterFaults, ClusterSpec, FleetProfile, Policy, PrewarmConfig, PrewarmPolicy,
+};
+use medusa_workload::{ArrivalPattern, ModelMix, TraceConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rps: f64 = std::env::args()
@@ -119,6 +121,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.ttft_p99_us as f64 / 1e3,
         r.fetch_retries,
         r.degraded_cold_starts
+    );
+
+    // Predictive race: the same bursty multi-tenant trace under the
+    // reactive baseline, start-cost locality routing, locality plus the
+    // histogram prewarm estimator, and pipeline-parallel cold starts —
+    // the policy matrix the CI policy-race gate pins.
+    let mt = medusa.clone().with_scaled_models(4);
+    let mt_trace = TraceConfig::sharegpt(4.0, 120.0)
+        .with_seed(42)
+        .with_pattern(ArrivalPattern::sharegpt_bursty())
+        .with_models(ModelMix::zipf(4, 1.0))
+        .generate();
+    let base = ClusterSpec::uniform(6).with_keep_alive(4.0);
+    let races: [(&str, Policy, ClusterSpec); 4] = [
+        ("reactive", Policy::ColdStartAware, base.clone()),
+        ("locality", Policy::Locality, base.clone()),
+        (
+            // High percentile so the estimator targets the quiet gaps
+            // *between* bursts; intra-burst gaps land while the node is
+            // still warm and never turn into prewarms.
+            "locality+prewarm",
+            Policy::Locality,
+            base.clone().with_prewarm(PrewarmConfig {
+                policy: PrewarmPolicy::Histogram { percentile_pm: 950 },
+                lead_s: 1.0,
+            }),
+        ),
+        ("pipeline k=2", Policy::Pipeline, base.with_pipeline(2)),
+    ];
+    println!(
+        "\npredictive policies, 4 Zipf tenants on 6 nodes (4s keep-alive):\n\
+         {:<18} {:>6} {:>12} {:>12} {:>16} {:>9}",
+        "scheduler", "colds", "ttft p50", "ttft p99", "prewarms (waste)", "sharded"
+    );
+    for (label, policy, cluster) in races {
+        let out = simulate_fleet(&mt, &cluster, policy, &mt_trace);
+        let r = &out.report;
+        let prewarms = r
+            .prewarm
+            .as_ref()
+            .map_or("-".to_string(), |p| format!("{} ({})", p.issued, p.unused));
+        let sharded = r.pipeline_starts.map_or("-".to_string(), |n| n.to_string());
+        println!(
+            "{:<18} {:>6} {:>10.1}ms {:>10.1}ms {:>16} {:>9}",
+            label,
+            r.cold_starts,
+            r.ttft_p50_us as f64 / 1e3,
+            r.ttft_p99_us as f64 / 1e3,
+            prewarms,
+            sharded
+        );
+    }
+    println!(
+        "\nthe estimator schedules a cold start ahead of each forecast\n\
+         arrival, so predictable bursts stop paying the cold-start tail;\n\
+         pipeline mode shards each start across nodes, halving its span."
     );
     Ok(())
 }

@@ -13,7 +13,11 @@
 //!                        [--format <chrome|prom>] [--seed N] [--out FILE]
 //!                        [--faults <spec>] [--fault-seed N]
 //! medusa-cli cluster     [--nodes N] [--seed N] [--model <name>]
-//!                        [--policy <round-robin|least-loaded|coldstart-aware>]
+//!                        [--scheduler <round-robin|least-loaded|coldstart-aware|
+//!                                      locality|pipeline>]  (--policy is an alias)
+//!                        [--prewarm <histogram|windowed-rate>] [--prewarm-lead F]
+//!                        [--prewarm-percentile PM] [--pipeline-k N]
+//!                        [--arrivals-out FILE]
 //!                        [--strategy <vllm|async|medusa|nograph>] [--tp N]
 //!                        [--rps F] [--duration F]
 //!                        [--pattern <poisson|bursty|mmpp|diurnal>]
@@ -39,6 +43,17 @@
 //! the victim order with `--eviction`. Multi-tenant reports append a
 //! per-tenant TTFT/SLO table and fleet-wide cache counters.
 //!
+//! Predictive scheduling is opt-in: `--scheduler locality` routes by
+//! estimated start cost (warm queue drain vs cache-hit restore vs
+//! registry fetch), `--prewarm histogram|windowed-rate` arms the
+//! arrival-history estimator that starts nodes ahead of forecast bursts
+//! (`--prewarm-lead` tunes how early; `--prewarm-percentile` picks the
+//! histogram percentile, per-mille — high values target the inter-burst
+//! gap), and `--scheduler pipeline`
+//! (optionally `--pipeline-k N`) shards each cold start across up to `k`
+//! nodes pipeline-parallel. `--arrivals-out` exports the trace's
+//! per-model arrival history as CSV for offline estimator studies.
+//!
 //! Artifacts travel in two encodings: the MAF2 binary container (magic
 //! `MAF2\r\n\x1a\n`, validated in O(header), see DESIGN.md §13) and the
 //! JSON debug encoding. Every subcommand that reads an `--artifact` file
@@ -60,9 +75,11 @@ use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
 use medusa_serving::{
     simulate_fleet_traced, CacheCapacity, CacheConfig, ClusterFaults, ClusterSpec, EvictionPolicy,
-    FleetProfile, Policy,
+    FleetProfile, Policy, PrewarmConfig, PrewarmPolicy,
 };
-use medusa_workload::{ArrivalPattern, InvocationTrace, LengthSampler, ModelMix, TraceConfig};
+use medusa_workload::{
+    ArrivalHistory, ArrivalPattern, InvocationTrace, LengthSampler, ModelMix, TraceConfig,
+};
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -110,7 +127,13 @@ fn usage() {
     eprintln!("              [--faults corrupt,version-skew,missing-library,...|all]");
     eprintln!("              [--fault-seed N]");
     eprintln!("  cluster     [--nodes N] [--seed N] [--model <name>] [--tp N]");
-    eprintln!("              [--policy <round-robin|least-loaded|coldstart-aware>]");
+    eprintln!(
+        "              [--scheduler <round-robin|least-loaded|coldstart-aware|locality|pipeline>]"
+    );
+    eprintln!("              (--policy is an alias for --scheduler)");
+    eprintln!("              [--prewarm <histogram|windowed-rate>] [--prewarm-lead F]");
+    eprintln!("              [--prewarm-percentile PM] [--pipeline-k N]");
+    eprintln!("              [--arrivals-out FILE]");
     eprintln!("              [--strategy <vllm|async|medusa|nograph>]");
     eprintln!("              [--rps F] [--duration F] [--pattern <poisson|bursty|mmpp|diurnal>]");
     eprintln!("              [--workload <sharegpt|interactive>] [--all-nodes]");
@@ -389,11 +412,52 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         None => Strategy::Medusa,
         Some(_) => parse_strategy(flags)?,
     };
-    let policy = match flags.get("policy").map(String::as_str) {
+    // `--scheduler` is the documented spelling; `--policy` stays as the
+    // historical alias.
+    let policy = match flags
+        .get("scheduler")
+        .or_else(|| flags.get("policy"))
+        .map(String::as_str)
+    {
         None => Policy::ColdStartAware,
         Some(s) => Policy::parse(s).ok_or_else(|| {
-            format!("unknown policy `{s}` (round-robin|least-loaded|coldstart-aware)")
+            format!(
+                "unknown scheduler `{s}` \
+                 (round-robin|least-loaded|coldstart-aware|locality|pipeline)"
+            )
         })?,
+    };
+    let prewarm = match flags.get("prewarm").map(String::as_str) {
+        None => None,
+        Some(s) => {
+            let mut cfg = PrewarmConfig {
+                policy: PrewarmPolicy::parse(s).ok_or_else(|| {
+                    format!("unknown prewarm policy `{s}` (histogram|windowed-rate)")
+                })?,
+                ..Default::default()
+            };
+            if let Some(lead) = flags.get("prewarm-lead") {
+                cfg.lead_s = lead
+                    .parse()
+                    .map_err(|_| format!("--prewarm-lead wants a number, got `{lead}`"))?;
+            }
+            if let Some(pm) = flags.get("prewarm-percentile") {
+                let percentile_pm = pm.parse().map_err(|_| {
+                    format!("--prewarm-percentile wants per-mille (0..=1000), got `{pm}`")
+                })?;
+                match cfg.policy {
+                    PrewarmPolicy::Histogram { .. } => {
+                        cfg.policy = PrewarmPolicy::Histogram { percentile_pm };
+                    }
+                    PrewarmPolicy::WindowedRate { .. } => {
+                        return Err(
+                            "--prewarm-percentile only applies to --prewarm histogram".to_string()
+                        );
+                    }
+                }
+            }
+            Some(cfg)
+        }
     };
     let get_f64 = |key: &str, default: f64| -> Result<f64, String> {
         match flags.get(key) {
@@ -538,6 +602,13 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
             iv if iv > 0.0 => c.autoscaler.eval_interval_s = Some(iv),
             _ => {}
         }
+        if let Some(cfg) = prewarm {
+            c = c.with_prewarm(cfg);
+        }
+        match get_usize("pipeline-k", 0)? as u32 {
+            k if k > 0 => c = c.with_pipeline(k),
+            _ => {}
+        }
         c
     };
 
@@ -581,6 +652,15 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
             "  artifact cache: {} hits / {} misses / {} evictions ({rate_pm}\u{2030} hit rate)",
             c.hits, c.misses, c.evictions
         );
+    }
+    if let Some(p) = &r.prewarm {
+        println!(
+            "  predictive prewarm: {} issued / {} expired unused",
+            p.issued, p.unused
+        );
+    }
+    if let Some(n) = r.pipeline_starts {
+        println!("  pipeline-parallel cold starts (\u{2265} 2 nodes): {n}");
     }
     if !r.tenants.is_empty() {
         println!(
@@ -644,6 +724,13 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         let json = r.to_json();
         std::fs::write(path, &json).map_err(|e| e.to_string())?;
         println!("wrote report {path} ({} bytes)", json.len());
+    }
+    if let Some(path) = flags.get("arrivals-out") {
+        // Per-model arrival history as CSV — replayable into a
+        // PrewarmEstimator (`seed_history`) for offline policy studies.
+        let csv = ArrivalHistory::from_requests(&trace).to_csv();
+        std::fs::write(path, &csv).map_err(|e| e.to_string())?;
+        println!("wrote arrival history {path} ({} bytes)", csv.len());
     }
     if let Some(path) = flags.get("telemetry") {
         let snap = tele.snapshot();
