@@ -6,17 +6,20 @@
 # invariant), the MAF2 artifact size sweep (byte-exact baseline, O(header)
 # open, wall-clock speedup floor), the
 # large-fleet scale smoke (wall-clock budget), the predictive policy race
-# (locality/prewarm/pipeline vs the reactive baseline), every example
-# end-to-end, the proptest regression-corpus check, and the concurrency
-# stress test (sized for --release, hence run separately).
+# (locality/prewarm/pipeline vs the reactive baseline), the
+# content-addressed registry bench (chunk dedup vs whole-artifact
+# fetches), every example end-to-end, the proptest regression-corpus
+# check, and the concurrency stress test (sized for --release, hence run
+# separately).
 #
 # `./ci.sh` runs everything; `./ci.sh --gate <name>` runs one simulator
 # gate in isolation (as the CI matrix does), where <name> is one of:
-#   golden | perf-smoke | mt-smoke | artifact | scale-smoke | policy-race
+#   golden | perf-smoke | mt-smoke | artifact | scale-smoke | policy-race |
+#   registry
 set -euo pipefail
 cd "$(dirname "$0")"
 
-GATES="golden perf-smoke mt-smoke artifact scale-smoke policy-race"
+GATES="golden perf-smoke mt-smoke artifact scale-smoke policy-race registry"
 
 usage() {
   echo "usage: ./ci.sh [--gate <name>]"
@@ -119,6 +122,18 @@ gate_policy_race() {
     --out "$PWD/target/BENCH_policies.json"
 }
 
+gate_registry() {
+  echo "==> registry bench (content-addressed chunk fetches vs whole-artifact control)"
+  # Re-packs the fine-tune family into the chunk store, replays the Zipf
+  # fleet trace through both registry backends, and gates the byte-exact
+  # counters, the >=2x fetch-byte and dedup floors, and TTFT parity
+  # against the committed baseline. The fresh run is written to target/
+  # first so CI can upload it as an artifact when the gate fails.
+  cargo run --release -q -p medusa-bench --bin ci-check-bench -- \
+    compare-registry results/BENCH_registry.json \
+    --out "$PWD/target/BENCH_registry.json"
+}
+
 if [ "$GATE" != "all" ]; then
   case " $GATES " in
   *" $GATE "*) ;;
@@ -172,9 +187,11 @@ FOUND="$(git grep -l 'allow(deprecated)' -- '*.rs' || true)"
 BAD="$(echo "$FOUND" | grep -vx \
   -e crates/core/src/lib.rs \
   -e crates/core/src/pipeline.rs \
-  -e crates/core/src/tp.rs || true)"
+  -e crates/core/src/tp.rs \
+  -e crates/serving/src/cluster.rs \
+  -e crates/serving/src/lib.rs || true)"
 if [ -n "$BAD" ]; then
-  echo "FAIL: allow(deprecated) outside the compat carve-out - migrate to the ColdStart builder:"
+  echo "FAIL: allow(deprecated) outside the compat carve-out - migrate off the deprecated names:"
   echo "$BAD"
   exit 1
 fi
@@ -204,6 +221,7 @@ gate_mt_smoke
 gate_artifact
 gate_scale_smoke
 gate_policy_race
+gate_registry
 
 echo "==> stress test (release)"
 CORES="$(cargo run -q -p medusa-bench --bin ci-check-bench -- cores)"

@@ -7,6 +7,7 @@
 //!                                 [--hit-rate-floor-pm N]
 //! ci-check-bench compare-artifact <baseline.json> [--speedup-floor N]
 //! ci-check-bench compare-policies <baseline.json> [--tolerance-pct N] [--out FILE]
+//! ci-check-bench compare-registry <baseline.json> [--tolerance-pct N] [--out FILE]
 //! ci-check-bench golden           <out-dir>
 //! ci-check-bench scale-smoke      [--budget-s N] [--nodes N] [--rps N]
 //! ```
@@ -41,6 +42,17 @@
 //! writes the fresh race JSON before gating, so a failing CI run can
 //! upload it as an inspectable artifact.
 //!
+//! `compare-registry` packs the 4-model fine-tune family into the
+//! content-addressed chunk store, replays the same Zipf fleet trace
+//! through the chunk registry and through a whole-artifact control
+//! catalog, and gates against the committed
+//! `results/BENCH_registry.json`: the deterministic byte counters must
+//! match exactly, content-addressed fetch bytes must undercut the whole
+//! row by ≥2×, the store's dedup ratio must stay ≥2×, and the
+//! content-addressed TTFT p99 must stay within 5% of the whole row (and
+//! within the tolerance of the baseline). `--out` writes the fresh JSON
+//! before gating.
+//!
 //! `golden` writes one `ClusterReport` JSON per scenario of the
 //! differential matrix ([`medusa_serving::scenarios`]) into `<out-dir>` —
 //! CI regenerates them into a scratch directory and diffs against the
@@ -55,9 +67,10 @@
 
 use medusa_bench::smoke::{
     check_artifact_regression, check_cluster_mt_regression, check_cluster_regression,
-    check_policies_regression, check_regression, check_scale, run_artifact, run_policies,
-    run_scale, BenchArtifact, BenchCluster, BenchClusterMultiTenant, BenchColdstart, BenchPolicies,
-    ARTIFACT_SPEEDUP_FLOOR, MT_HIT_RATE_FLOOR_PM, SCALE_BUDGET_S, SCALE_NODES, SCALE_RPS,
+    check_policies_regression, check_registry_regression, check_regression, check_scale,
+    run_artifact, run_policies, run_registry, run_scale, BenchArtifact, BenchCluster,
+    BenchClusterMultiTenant, BenchColdstart, BenchPolicies, BenchRegistry, ARTIFACT_SPEEDUP_FLOOR,
+    MT_HIT_RATE_FLOOR_PM, SCALE_BUDGET_S, SCALE_NODES, SCALE_RPS,
 };
 use medusa_serving::scenarios::differential_matrix;
 use medusa_serving::simulate_fleet;
@@ -96,6 +109,12 @@ fn main() {
                 exit(1);
             }
         }
+        Some("compare-registry") => {
+            if let Err(e) = compare_registry(&args[1..]) {
+                eprintln!("ci-check-bench: FAIL: {e}");
+                exit(1);
+            }
+        }
         Some("golden") => {
             if let Err(e) = golden(&args[1..]) {
                 eprintln!("ci-check-bench: FAIL: {e}");
@@ -111,7 +130,7 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: ci-check-bench <cores|compare|compare-cluster|compare-artifact|\
-                 compare-policies|golden|scale-smoke> [args]"
+                 compare-policies|compare-registry|golden|scale-smoke> [args]"
             );
             exit(2);
         }
@@ -233,6 +252,42 @@ fn compare_policies(args: &[String]) -> Result<(), String> {
         std::fs::write(path, fresh.to_json()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
     }
     let verdict = check_policies_regression(&fresh, &baseline, tolerance)?;
+    println!("ci-check-bench: OK: {verdict}");
+    Ok(())
+}
+
+/// Runs the content-addressed registry bench fresh and gates it against
+/// the committed baseline (byte-exact counters, the ≥2× fetch-byte and
+/// dedup floors, and the TTFT parity band). `--out` persists the fresh
+/// JSON before gating so CI can upload it.
+fn compare_registry(args: &[String]) -> Result<(), String> {
+    let [baseline_path, rest @ ..] = args else {
+        return Err("compare-registry needs <baseline.json>".into());
+    };
+    let mut tolerance = 5.0;
+    let mut out: Option<&String> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--tolerance-pct" => {
+                tolerance = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --tolerance-pct `{v}`: {e}"))?;
+            }
+            "--out" => out = Some(v),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let baseline_json = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read `{baseline_path}`: {e}"))?;
+    let baseline = BenchRegistry::from_json(&baseline_json)
+        .map_err(|e| format!("cannot parse `{baseline_path}`: {e}"))?;
+    let fresh = run_registry();
+    if let Some(path) = out {
+        std::fs::write(path, fresh.to_json()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    let verdict = check_registry_regression(&fresh, &baseline, tolerance)?;
     println!("ci-check-bench: OK: {verdict}");
     Ok(())
 }

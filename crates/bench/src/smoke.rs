@@ -8,14 +8,15 @@
 //! and fail on a >5% regression without flakiness.
 
 use medusa::{
-    encode_maf2_bundle, materialize_offline_tp, materialize_offline_tp_with, ArtifactValidator,
-    ColdStart, ColdStartOptions, Maf2Reader, MaterializedState, Parallelism, Strategy,
+    encode_maf2_bundle, materialize_offline, materialize_offline_tp, materialize_offline_tp_with,
+    ArtifactTemplate, ArtifactValidator, ChunkStore, ColdStart, ColdStartOptions, Maf2Reader,
+    MaterializedState, Parallelism, Strategy,
 };
 use medusa_gpu::{CostModel, GpuSpec, SimDuration};
 use medusa_model::ModelSpec;
 use medusa_serving::{
     simulate_fleet, simulate_fleet_traced, CacheCapacity, CacheConfig, ClusterSpec, EvictionPolicy,
-    FleetProfile, ModelCost, Policy, PrewarmConfig, PrewarmPolicy,
+    FleetProfile, ModelCost, Policy, PrewarmConfig, PrewarmPolicy, RegistryCatalog, RegistryMode,
 };
 use medusa_telemetry::Registry;
 use medusa_workload::{ArrivalPattern, TraceConfig};
@@ -1410,6 +1411,361 @@ pub fn check_policies_regression(
     ))
 }
 
+// ---------------------------------------------------------------------
+// Content-addressed registry bench (chunk dedup vs whole-artifact fetch).
+
+/// Family members of the registry scenario (the base capture plus
+/// `REG_MODELS - 1` derived fine-tune variants).
+pub const REG_MODELS: u32 = 4;
+/// Fleet size of the registry scenario. Deliberately smaller than the
+/// family, so models must share nodes and evictions force re-fetches —
+/// the case where chunk-level residency pays.
+pub const REG_NODES: usize = 2;
+/// Trace seed.
+pub const REG_SEED: u64 = 42;
+/// Offered rate, requests/second.
+pub const REG_RPS: u64 = 1;
+/// Trace duration, seconds.
+pub const REG_DURATION_S: u64 = 120;
+/// Zipf popularity skew over the family, milli-units.
+pub const REG_ZIPF_S_MILLI: u32 = 1000;
+/// Idle keep-alive, seconds (short, so nodes churn through scale-to-zero
+/// and chunk residency — not warm pools — carries the savings).
+pub const REG_KEEP_ALIVE_S: u64 = 2;
+/// Per-node artifact-cache capacity, artifacts (one, so every model
+/// switch evicts and re-fetches — which the chunk store answers
+/// incrementally from the evicted sibling's still-resident template
+/// chunks, while the whole-artifact control pays full price each time).
+pub const REG_CACHE_ARTIFACTS: u32 = 1;
+/// Family name stamped into the factored template.
+pub const REG_FAMILY: &str = "qwen-0.5b-family";
+/// Offline seed of the base capture.
+pub const REG_SEED_OFFLINE: u64 = 35;
+/// The gate's fetch-byte reduction floor, milli-ratio: the
+/// content-addressed fleet must move at most 1/2 the bytes of the
+/// whole-artifact fleet (whole / cas ≥ 2.0).
+pub const REG_BYTE_REDUCTION_FLOOR_MILLI: u64 = 2000;
+
+/// One registry-bench result: the same Zipf family trace replayed through
+/// a content-addressed registry (chunk-level residency, delta-only
+/// transfers) and a whole-artifact control row (one monolithic unit per
+/// model over the same byte totals). Simulated clock only — byte-identical
+/// across machines, committed as `results/BENCH_registry.json`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchRegistry {
+    /// Catalog model name backing the family capture and cost profile.
+    pub model: String,
+    /// Family name of the factored template.
+    pub family: String,
+    /// Fleet size.
+    pub nodes: u32,
+    /// Trace seed.
+    pub seed: u64,
+    /// Family members.
+    pub models: u32,
+    /// Zipf skew, milli-units.
+    pub zipf_s_milli: u32,
+    /// Offered rate, requests/second.
+    pub rps: u64,
+    /// Trace duration, seconds.
+    pub duration_s: u64,
+    /// Per-node cache capacity, artifacts.
+    pub cache_artifacts: u32,
+    /// Fingerprint of the replayed trace (config drift detector).
+    pub trace_fingerprint: u64,
+    /// Fold of the packed manifests' canonical digests (catalog drift
+    /// detector: any change to chunking, encoding, or the derived family
+    /// shows up here).
+    pub catalog_fingerprint: u64,
+    /// Store accounting: sum of manifest bytes (what a whole-artifact
+    /// registry stores).
+    pub store_logical_bytes: u64,
+    /// Store accounting: bytes after chunk dedup.
+    pub store_stored_bytes: u64,
+    /// Distinct chunks in the store.
+    pub store_unique_chunks: u64,
+    /// Storage dedup ratio, milli (logical × 1000 / stored).
+    pub store_dedup_ratio_milli: u64,
+    /// Whole-artifact row: bytes fetched from the registry.
+    pub whole_bytes_fetched: u64,
+    /// Whole-artifact row: TTFT p99, µs.
+    pub whole_ttft_p99_us: u64,
+    /// Whole-artifact row: cold starts.
+    pub whole_cold_starts: u32,
+    /// Content-addressed row: bytes fetched from the registry.
+    pub cas_bytes_fetched: u64,
+    /// Content-addressed row: bytes resolved from resident chunks.
+    pub cas_bytes_resolved: u64,
+    /// Content-addressed row: chunk residency hits.
+    pub cas_chunk_hits: u64,
+    /// Content-addressed row: chunks transferred.
+    pub cas_chunk_misses: u64,
+    /// Content-addressed row: TTFT p99, µs.
+    pub cas_ttft_p99_us: u64,
+    /// Content-addressed row: cold starts.
+    pub cas_cold_starts: u32,
+}
+
+impl BenchRegistry {
+    /// Encodes as JSON (one stable line — committed as the CI baseline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plain struct encodes")
+    }
+
+    /// Decodes from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// Builds the registry scenario's chunk store: materialize the base model
+/// once, factor it into a family template, instantiate `REG_MODELS`
+/// members (the base plus seed-derived fine-tune variants), pack each
+/// member's MAF2 bytes, and factor the shared chunks into a template
+/// manifest. Deterministic per seed.
+pub fn registry_store() -> ChunkStore {
+    let spec = ModelSpec::by_name(MODEL).expect("catalog model");
+    let (base, _) = materialize_offline(
+        &spec,
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        REG_SEED_OFFLINE,
+    )
+    .expect("offline materialization");
+    let (template, base_delta) = ArtifactTemplate::extract(std::slice::from_ref(&base), REG_FAMILY)
+        .expect("family extraction");
+    let mut store = ChunkStore::new();
+    for m in 0..REG_MODELS {
+        let delta = if m == 0 {
+            base_delta.clone()
+        } else {
+            base_delta.derive_variant(&format!("{MODEL}-v{m}"), REG_SEED_OFFLINE ^ u64::from(m))
+        };
+        for shard in template.instantiate(&delta).expect("member instantiation") {
+            let bytes = shard.to_maf2().expect("member encoding");
+            store.pack(&bytes).expect("member packing");
+        }
+    }
+    store.factor_family(REG_FAMILY).expect("family factoring");
+    store
+}
+
+/// Catalog drift detector: a rotate-xor fold of the manifests' canonical
+/// digests, order-sensitive (manifest index is the fleet's model id).
+pub fn registry_catalog_fingerprint(store: &ChunkStore) -> u64 {
+    store
+        .manifests()
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |acc, m| {
+            acc.rotate_left(5) ^ m.digest()
+        })
+}
+
+fn reg_trace() -> Vec<medusa_workload::Request> {
+    TraceConfig::sharegpt(REG_RPS as f64, REG_DURATION_S as f64)
+        .with_seed(REG_SEED)
+        .with_models(medusa_workload::ModelMix::Zipf {
+            models: REG_MODELS,
+            s: REG_ZIPF_S_MILLI as f64 / 1000.0,
+        })
+        .generate()
+}
+
+fn reg_cluster(mode: RegistryMode) -> ClusterSpec {
+    ClusterSpec::uniform(REG_NODES)
+        .with_cache(CacheConfig {
+            capacity: CacheCapacity::Artifacts(REG_CACHE_ARTIFACTS),
+            eviction: EvictionPolicy::CostAware,
+        })
+        .with_keep_alive(REG_KEEP_ALIVE_S as f64)
+        .with_registry_mode(mode)
+}
+
+/// Replays the registry scenario's trace through one registry backend.
+pub fn run_registry_side(
+    mode: RegistryMode,
+    tele: Option<&Registry>,
+) -> medusa_serving::ClusterReport {
+    let spec = ModelSpec::by_name(MODEL).expect("catalog model");
+    let profile = FleetProfile::measure(
+        Strategy::Medusa,
+        &spec,
+        GpuSpec::a100_40gb(),
+        CostModel::default(),
+        1,
+        Parallelism::Overlapped,
+        REG_SEED,
+    )
+    .expect("fleet profile")
+    .with_scaled_models(REG_MODELS);
+    simulate_fleet_traced(
+        &profile,
+        &reg_cluster(mode),
+        Policy::ColdStartAware,
+        &reg_trace(),
+        tele,
+    )
+    .report
+}
+
+/// Runs the full registry bench: build the family store, then replay the
+/// same trace through the content-addressed catalog and through a
+/// monolithic control catalog (one unit per model over the same byte
+/// totals, so both rows carry comparable registry counters).
+pub fn run_registry() -> BenchRegistry {
+    let store = registry_store();
+    let stats = store.dedup_stats();
+    let catalog = RegistryCatalog::from_store(&store);
+    let totals: Vec<u64> = catalog.models.iter().map(|m| m.total_bytes()).collect();
+    let cas = run_registry_side(RegistryMode::ContentAddressed(catalog), None);
+    let whole = run_registry_side(
+        RegistryMode::ContentAddressed(RegistryCatalog::monolithic(&totals)),
+        None,
+    );
+    let cas_reg = cas.registry.expect("cas row reports registry counters");
+    let whole_reg = whole
+        .registry
+        .expect("control row reports registry counters");
+    BenchRegistry {
+        model: MODEL.to_string(),
+        family: REG_FAMILY.to_string(),
+        nodes: REG_NODES as u32,
+        seed: REG_SEED,
+        models: REG_MODELS,
+        zipf_s_milli: REG_ZIPF_S_MILLI,
+        rps: REG_RPS,
+        duration_s: REG_DURATION_S,
+        cache_artifacts: REG_CACHE_ARTIFACTS,
+        trace_fingerprint: medusa_workload::fingerprint(&reg_trace()),
+        catalog_fingerprint: registry_catalog_fingerprint(&store),
+        store_logical_bytes: stats.logical_bytes,
+        store_stored_bytes: stats.stored_bytes,
+        store_unique_chunks: stats.unique_chunks as u64,
+        store_dedup_ratio_milli: stats
+            .logical_bytes
+            .saturating_mul(1000)
+            .checked_div(stats.stored_bytes)
+            .unwrap_or(1000),
+        whole_bytes_fetched: whole_reg.bytes_fetched,
+        whole_ttft_p99_us: whole.ttft_p99_us,
+        whole_cold_starts: whole.cold_starts,
+        cas_bytes_fetched: cas_reg.bytes_fetched,
+        cas_bytes_resolved: cas_reg.bytes_resolved,
+        cas_chunk_hits: cas_reg.chunk_hits,
+        cas_chunk_misses: cas_reg.chunk_misses,
+        cas_ttft_p99_us: cas.ttft_p99_us,
+        cas_cold_starts: cas.cold_starts,
+    }
+}
+
+/// Compares a fresh registry bench against the committed baseline.
+/// Returns a human-readable verdict, or an error when the baseline no
+/// longer matches the benchmark's configuration (including the catalog
+/// fingerprint), when the content-addressed fleet's fetch bytes no longer
+/// undercut the whole-artifact row by [`REG_BYTE_REDUCTION_FLOOR_MILLI`],
+/// when the family store's dedup ratio falls below 2×, when the
+/// content-addressed TTFT p99 exceeds the whole row's by more than 5%, or
+/// when the deterministic byte counters drift from the baseline.
+pub fn check_registry_regression(
+    fresh: &BenchRegistry,
+    baseline: &BenchRegistry,
+    tolerance_pct: f64,
+) -> Result<String, String> {
+    let config = |b: &BenchRegistry| {
+        (
+            b.model.clone(),
+            b.family.clone(),
+            b.nodes,
+            b.seed,
+            b.models,
+            b.zipf_s_milli,
+            b.rps,
+            b.duration_s,
+            b.cache_artifacts,
+            b.trace_fingerprint,
+            b.catalog_fingerprint,
+        )
+    };
+    if config(fresh) != config(baseline) {
+        return Err(format!(
+            "baseline configuration mismatch: fresh ran {:?}, baseline has {:?} — regenerate \
+             results/BENCH_registry.json",
+            config(fresh),
+            config(baseline),
+        ));
+    }
+    let bytes = |b: &BenchRegistry| {
+        (
+            b.whole_bytes_fetched,
+            b.cas_bytes_fetched,
+            b.cas_bytes_resolved,
+            b.cas_chunk_hits,
+            b.cas_chunk_misses,
+            b.store_logical_bytes,
+            b.store_stored_bytes,
+            b.store_unique_chunks,
+        )
+    };
+    if bytes(fresh) != bytes(baseline) {
+        return Err(format!(
+            "registry byte accounting diverged from the committed baseline (simulated counters \
+             are machine-independent): fresh {:?}, baseline {:?}",
+            bytes(fresh),
+            bytes(baseline),
+        ));
+    }
+    let reduction_milli = fresh
+        .whole_bytes_fetched
+        .saturating_mul(1000)
+        .checked_div(fresh.cas_bytes_fetched)
+        .unwrap_or(u64::MAX);
+    if reduction_milli < REG_BYTE_REDUCTION_FLOOR_MILLI {
+        return Err(format!(
+            "content-addressed fetches no longer undercut whole-artifact transfers: {} vs {} \
+             bytes ({:.2}x < {:.1}x floor)",
+            fresh.cas_bytes_fetched,
+            fresh.whole_bytes_fetched,
+            reduction_milli as f64 / 1000.0,
+            REG_BYTE_REDUCTION_FLOOR_MILLI as f64 / 1000.0
+        ));
+    }
+    if fresh.store_dedup_ratio_milli < 2000 {
+        return Err(format!(
+            "family store dedup fell below 2x: {} logical -> {} stored bytes ({:.2}x)",
+            fresh.store_logical_bytes,
+            fresh.store_stored_bytes,
+            fresh.store_dedup_ratio_milli as f64 / 1000.0
+        ));
+    }
+    if fresh.cas_ttft_p99_us as f64 > fresh.whole_ttft_p99_us as f64 * 1.05 {
+        return Err(format!(
+            "content-addressed TTFT p99 strays beyond 5% of the whole-artifact row: {} µs vs \
+             {} µs",
+            fresh.cas_ttft_p99_us, fresh.whole_ttft_p99_us
+        ));
+    }
+    let limit = baseline.cas_ttft_p99_us as f64 * (1.0 + tolerance_pct / 100.0);
+    if (fresh.cas_ttft_p99_us as f64) > limit {
+        return Err(format!(
+            "content-addressed TTFT p99 regressed: {} µs vs baseline {} µs \
+             (> {tolerance_pct:.1}% tolerance)",
+            fresh.cas_ttft_p99_us, baseline.cas_ttft_p99_us
+        ));
+    }
+    Ok(format!(
+        "registry fetch bytes {} cas vs {} whole ({:.2}x reduction), store dedup {:.2}x over {} \
+         members, cas ttft p99 {} µs vs whole {} µs, within {:.1}%",
+        fresh.cas_bytes_fetched,
+        fresh.whole_bytes_fetched,
+        reduction_milli as f64 / 1000.0,
+        fresh.store_dedup_ratio_milli as f64 / 1000.0,
+        fresh.models,
+        fresh.cas_ttft_p99_us,
+        fresh.whole_ttft_p99_us,
+        tolerance_pct
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1847,6 +2203,109 @@ mod tests {
         assert!(
             pipeline.pipeline_starts > 0,
             "pipeline row never sharded a start: {pipeline:?}"
+        );
+    }
+
+    fn sample_registry() -> BenchRegistry {
+        BenchRegistry {
+            model: MODEL.to_string(),
+            family: REG_FAMILY.to_string(),
+            nodes: REG_NODES as u32,
+            seed: REG_SEED,
+            models: REG_MODELS,
+            zipf_s_milli: REG_ZIPF_S_MILLI,
+            rps: REG_RPS,
+            duration_s: REG_DURATION_S,
+            cache_artifacts: REG_CACHE_ARTIFACTS,
+            trace_fingerprint: 0xfeed,
+            catalog_fingerprint: 0xcafe,
+            store_logical_bytes: 8_000_000,
+            store_stored_bytes: 2_000_000,
+            store_unique_chunks: 87,
+            store_dedup_ratio_milli: 4_000,
+            whole_bytes_fetched: 60_000_000,
+            whole_ttft_p99_us: 8_300_000,
+            whole_cold_starts: 38,
+            cas_bytes_fetched: 4_000_000,
+            cas_bytes_resolved: 56_000_000,
+            cas_chunk_hits: 2_000,
+            cas_chunk_misses: 260,
+            cas_ttft_p99_us: 8_200_000,
+            cas_cold_starts: 39,
+        }
+    }
+
+    #[test]
+    fn registry_json_round_trips() {
+        let b = sample_registry();
+        assert_eq!(BenchRegistry::from_json(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn registry_gate_passes_within_tolerance_and_fails_beyond() {
+        let base = sample_registry();
+        assert!(check_registry_regression(&base, &base, 5.0).is_ok());
+        // The 5%-of-whole parity band is absolute, not baseline-relative.
+        let mut fresh = sample_registry();
+        fresh.cas_ttft_p99_us = fresh.whole_ttft_p99_us * 106 / 100;
+        let err = check_registry_regression(&fresh, &base, 50.0).unwrap_err();
+        assert!(err.contains("strays beyond 5%"), "{err}");
+        // Baseline-relative TTFT drift past the tolerance fails too.
+        let mut fresh = sample_registry();
+        fresh.cas_ttft_p99_us = base.cas_ttft_p99_us * 106 / 100;
+        let err = check_registry_regression(&fresh, &base, 5.0).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn registry_gate_enforces_byte_reduction_and_dedup_floors() {
+        // Shrinking the whole row below 2× the cas bytes breaks the
+        // reduction floor (counters must agree on both sides to reach it).
+        let mut weak = sample_registry();
+        weak.whole_bytes_fetched = weak.cas_bytes_fetched * 2 - 1;
+        let err = check_registry_regression(&weak, &weak, 5.0).unwrap_err();
+        assert!(err.contains("no longer undercut"), "{err}");
+        // A store that stopped deduplicating fails the 2× storage floor.
+        let mut flat = sample_registry();
+        flat.store_dedup_ratio_milli = 1_999;
+        let err = check_registry_regression(&flat, &flat, 5.0).unwrap_err();
+        assert!(err.contains("dedup fell below 2x"), "{err}");
+    }
+
+    #[test]
+    fn stale_registry_baseline_is_rejected() {
+        let base = sample_registry();
+        // Catalog drift (chunking, encoding, family membership) is config
+        // drift: the baseline must be regenerated, not tolerated.
+        let mut fresh = sample_registry();
+        fresh.catalog_fingerprint = 1;
+        let err = check_registry_regression(&fresh, &base, 5.0).unwrap_err();
+        assert!(err.contains("configuration mismatch"), "{err}");
+        // Simulated byte counters are machine-independent — any divergence
+        // from the committed baseline is a real semantic change.
+        let mut fresh = sample_registry();
+        fresh.cas_chunk_hits += 1;
+        let err = check_registry_regression(&fresh, &base, 5.0).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn registry_bench_meets_its_own_contracts() {
+        // One live run through both registry backends: self-comparison
+        // exercises the byte-reduction, dedup, and TTFT-parity clauses
+        // against real simulator output, and the chunk counters must show
+        // actual cross-model sharing (hits from sibling templates).
+        let fresh = run_registry();
+        let verdict = check_registry_regression(&fresh, &fresh, 5.0).unwrap();
+        assert!(verdict.contains("reduction"), "{verdict}");
+        assert!(
+            fresh.cas_chunk_hits > 0 && fresh.cas_bytes_resolved > 0,
+            "content-addressed run never resolved a resident chunk: {fresh:?}"
+        );
+        assert!(
+            fresh.whole_bytes_fetched > fresh.store_logical_bytes,
+            "scenario produced no re-fetch churn (whole row fetched each \
+             artifact at most once): {fresh:?}"
         );
     }
 }

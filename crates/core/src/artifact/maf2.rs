@@ -86,7 +86,7 @@ impl SectionKind {
         SectionKind::Graphs,
     ];
 
-    fn code(self) -> u32 {
+    pub(crate) fn code(self) -> u32 {
         match self {
             SectionKind::ShardMeta => 0,
             SectionKind::Replay => 1,
@@ -98,7 +98,7 @@ impl SectionKind {
         }
     }
 
-    fn from_code(c: u32) -> Option<SectionKind> {
+    pub(crate) fn from_code(c: u32) -> Option<SectionKind> {
         SectionKind::ALL.into_iter().find(|k| k.code() == c)
     }
 }
@@ -107,7 +107,7 @@ impl SectionKind {
 /// section index, and the header's checksum-of-digests. Same constants as
 /// the artifact's [`content_checksum`](MaterializedState::content_checksum)
 /// fold, but over encoded bytes rather than logical fields.
-fn fnv1a(chunks: &[&[u8]]) -> u64 {
+pub(crate) fn fnv1a(chunks: &[&[u8]]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for chunk in chunks {
         for &b in *chunk {
@@ -567,6 +567,24 @@ struct SectionEntry {
     digest: u64,
 }
 
+/// Public view of one section-index entry: where a section's payload lives
+/// in the file and the digest it is sealed under. The content-addressed
+/// registry forces chunk boundaries at these seams so family-shared sections
+/// deduplicate chunk-for-chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionExtent {
+    /// Section kind.
+    pub kind: SectionKind,
+    /// Owning shard rank.
+    pub shard: u32,
+    /// Byte offset of the payload within the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Sealed FNV-1a digest of the payload.
+    pub digest: u64,
+}
+
 /// Parsed ShardMeta section: the per-shard scalars readable in O(1) without
 /// materializing the shard.
 #[derive(Debug, Clone, PartialEq)]
@@ -793,6 +811,21 @@ impl<'a> Maf2Reader<'a> {
     /// Total file length in bytes.
     pub fn file_len(&self) -> u64 {
         self.bytes.len() as u64
+    }
+
+    /// The section extents in index order — O(index), never touches
+    /// payloads. The registry's chunker aligns chunk seams to these.
+    pub fn section_extents(&self) -> Vec<SectionExtent> {
+        self.index
+            .iter()
+            .map(|e| SectionExtent {
+                kind: e.kind,
+                shard: e.shard,
+                offset: e.off,
+                len: e.len,
+                digest: e.digest,
+            })
+            .collect()
     }
 
     /// Payload bytes actually consumed so far (header + index + every

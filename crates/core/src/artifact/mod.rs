@@ -24,6 +24,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 pub mod maf2;
+pub mod registry;
+pub mod template;
 
 /// Format version, bumped on breaking layout changes (v2 added the sealed
 /// content checksum).

@@ -17,6 +17,7 @@
 //! inside the pipeline itself. Registry and node failures are fleet-level
 //! concerns and live in `medusa-serving`'s `ClusterFaults`.
 
+use crate::artifact::registry::ChunkStore;
 use crate::artifact::{maf2, MaterializedState};
 
 /// Mixes a seed into a well-distributed 64-bit value (SplitMix64 finalizer).
@@ -302,6 +303,49 @@ impl FaultPlan {
         b
     }
 
+    /// Applies the armed chunk-level faults to a chunk store in place — the
+    /// content-addressed analogue of [`FaultPlan::apply_to_maf2`].
+    ///
+    /// * [`FaultKind::CorruptArtifact`] flips one byte inside a seed-chosen
+    ///   non-empty chunk (caught by the per-chunk digest check);
+    /// * [`FaultKind::TruncatedWeights`] tears a seed-chosen chunk short at
+    ///   a seed-chosen length (caught by the per-chunk length check).
+    ///
+    /// Returns the tampered digests (empty when nothing was armed or the
+    /// store holds no non-empty chunks). Assembly and validation over a
+    /// tampered store fail with *typed* errors — they never panic.
+    pub fn apply_to_store(&self, store: &mut ChunkStore) -> Vec<u64> {
+        let digests: Vec<u64> = store
+            .chunk_digests()
+            .into_iter()
+            .filter(|&d| store.get(d).is_some_and(|b| !b.is_empty()))
+            .collect();
+        let mut hit = Vec::new();
+        if digests.is_empty() {
+            return hit;
+        }
+        if self.corrupt_artifact {
+            let d = digests[(splitmix64(self.seed ^ 0xfa_0020) as usize) % digests.len()];
+            let mut b = store.get(d).expect("digest just listed").to_vec();
+            let off = (splitmix64(self.seed ^ 0xfa_0021) as usize) % b.len();
+            b[off] ^= 0x40;
+            store.tamper_chunk(d, b);
+            hit.push(d);
+        }
+        if self.truncated_weights {
+            let d = digests[(splitmix64(self.seed ^ 0xfa_0022) as usize) % digests.len()];
+            let len = store.get(d).expect("digest just listed").len();
+            let keep = (splitmix64(self.seed ^ 0xfa_0023) as usize) % len;
+            let mut b = store.get(d).expect("digest just listed").to_vec();
+            b.truncate(keep);
+            store.tamper_chunk(d, b);
+            if !hit.contains(&d) {
+                hit.push(d);
+            }
+        }
+        hit
+    }
+
     /// For an armed [`FaultKind::TruncatedWeights`]: the fraction of the
     /// weight payload delivered before the stream tears, in `[0.25, 0.90]`.
     pub fn weight_truncation(&self) -> Option<f64> {
@@ -438,5 +482,56 @@ mod tests {
         assert!(none.weight_truncation().is_none());
         assert!(none.abort_point().is_none());
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn chunk_faults_yield_typed_errors_and_are_deterministic() {
+        use crate::artifact::registry::ChunkStore;
+        let bytes = artifact().to_maf2().unwrap();
+        for kind in [FaultKind::CorruptArtifact, FaultKind::TruncatedWeights] {
+            for seed in 0..20u64 {
+                let plan = FaultPlan::single(kind, seed);
+                let mut store = ChunkStore::default();
+                let manifest = store.pack(&bytes).unwrap();
+                let hit = plan.apply_to_store(&mut store);
+                assert_eq!(hit.len(), 1, "{kind:?} seed {seed} must tamper one chunk");
+
+                // Same plan, fresh store: identical victim.
+                let mut again = ChunkStore::default();
+                again.pack(&bytes).unwrap();
+                assert_eq!(plan.apply_to_store(&mut again), hit);
+                assert_eq!(store, again, "same seed, same tampering");
+
+                // Assembly over a tampered store fails with a typed error —
+                // never a panic, never silent success.
+                let err = store
+                    .assemble(&manifest)
+                    .expect_err(&format!("{kind:?} seed {seed} must be detected"));
+                assert!(
+                    matches!(
+                        err.kind(),
+                        "checksum_mismatch" | "weight_stream_truncated" | "artifact_corrupt"
+                    ),
+                    "{kind:?} seed {seed}: unexpected error kind {}",
+                    err.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_faults_are_noops_when_unarmed_or_store_is_empty() {
+        use crate::artifact::registry::ChunkStore;
+        let bytes = artifact().to_maf2().unwrap();
+        let mut store = ChunkStore::default();
+        let manifest = store.pack(&bytes).unwrap();
+        let before = store.clone();
+        assert!(FaultPlan::new(3).apply_to_store(&mut store).is_empty());
+        assert_eq!(store, before);
+        assert_eq!(store.assemble(&manifest).unwrap(), bytes);
+
+        let mut empty = ChunkStore::default();
+        let plan = FaultPlan::single(FaultKind::CorruptArtifact, 3);
+        assert!(plan.apply_to_store(&mut empty).is_empty());
     }
 }

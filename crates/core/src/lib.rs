@@ -70,8 +70,14 @@ mod trace;
 mod validator;
 
 pub use artifact::maf2::{
-    encode_bundle as encode_maf2_bundle, is_maf2, Maf2Reader, SectionKind, ShardMeta, MAF2_MAGIC,
+    encode_bundle as encode_maf2_bundle, is_maf2, Maf2Reader, SectionExtent, SectionKind,
+    ShardMeta, MAF2_MAGIC,
 };
+pub use artifact::registry::{
+    chunk_spans, ChunkManifest, ChunkRef, ChunkStore, DedupStats, SectionSpan, TemplateManifest,
+    CHUNK_AVG_BITS, CHUNK_MAX, CHUNK_MIN, MANIFEST_VERSION,
+};
+pub use artifact::template::{ArtifactTemplate, ModelDelta};
 pub use artifact::{
     AnalysisStats, GraphSpec, MaterializedState, NodeSpec, ParamSpec, PtrTableEntry, ReplayOp,
     ARTIFACT_VERSION,

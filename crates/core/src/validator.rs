@@ -23,6 +23,7 @@
 //! report records which check rejected the artifact and why.
 
 use crate::artifact::maf2::{self, Maf2Reader};
+use crate::artifact::registry::{ChunkManifest, ChunkStore, MANIFEST_VERSION};
 use crate::artifact::{MaterializedState, ParamSpec, ReplayOp, ARTIFACT_VERSION};
 use crate::error::{MedusaError, MedusaResult};
 use medusa_gpu::{GpuSpec, LibraryCatalog};
@@ -315,6 +316,76 @@ impl ArtifactValidator {
             .collect()
     }
 
+    /// O(manifest) validation of a content-addressed manifest against its
+    /// chunk store: format version, target key, and digest checks of *only*
+    /// the chunks the requested `(rank, tp)` shard touches (its own
+    /// sections plus the shared framing chunks) — mirroring the MAF2
+    /// lazy-restore invariant that a rank never reads another rank's
+    /// payload. Chunks outside the shard's footprint are never hashed.
+    pub fn validate_manifest(
+        &self,
+        manifest: &ChunkManifest,
+        store: &ChunkStore,
+    ) -> ValidationReport {
+        let version_err =
+            (manifest.version != MANIFEST_VERSION).then(|| MedusaError::ArtifactCorrupt {
+                detail: format!(
+                    "manifest version {} != supported {MANIFEST_VERSION}",
+                    manifest.version
+                ),
+            });
+        let mut checksum_err = None;
+        for i in manifest.shard_chunk_indices(self.rank) {
+            if let Err(err) = store.verify(&manifest.chunks[i as usize]) {
+                checksum_err = Some(err.with_context(format!("chunk #{i}")));
+                break;
+            }
+        }
+        let target_err = if manifest.model != self.model
+            || manifest.gpu != self.gpu
+            || manifest.tp != self.tp
+            || !manifest.shard_ranks().contains(&self.rank)
+        {
+            Some(MedusaError::ArtifactMismatch {
+                artifact: format!(
+                    "{}/{} ranks {:?}/{}",
+                    manifest.model,
+                    manifest.gpu,
+                    manifest.shard_ranks(),
+                    manifest.tp
+                ),
+                target: format!("{}/{} r{}/{}", self.model, self.gpu, self.rank, self.tp),
+            })
+        } else {
+            None
+        };
+        ValidationReport {
+            checks: vec![
+                (ValidationCheck::FormatVersion, version_err),
+                (ValidationCheck::Checksum, checksum_err),
+                (ValidationCheck::TargetKey, target_err),
+            ],
+        }
+    }
+
+    /// Validates every shard of a content-addressed manifest, each in
+    /// O(manifest): the per-rank reports digest-check only that rank's
+    /// chunks, against this validator's `<model, GPU>` at the manifest's tp.
+    pub fn validate_cas_bundle(
+        &self,
+        manifest: &ChunkManifest,
+        store: &ChunkStore,
+    ) -> Vec<(u32, ValidationReport)> {
+        manifest
+            .shard_ranks()
+            .into_iter()
+            .map(|rank| {
+                let v = self.clone().shard(rank, manifest.tp);
+                (rank, v.validate_manifest(manifest, store))
+            })
+            .collect()
+    }
+
     fn check_version(&self, artifact: &MaterializedState) -> MedusaResult<()> {
         if artifact.version != ARTIFACT_VERSION {
             return Err(MedusaError::ArtifactCorrupt {
@@ -569,5 +640,85 @@ mod tests {
         for (rank, r) in &reports {
             assert!(r.passed(), "rank {rank}: {:?}", r.first_failure());
         }
+    }
+
+    fn cas_bundle(tp: u32) -> (ChunkStore, ChunkManifest) {
+        let shards: Vec<_> = (0..tp)
+            .map(|rank| {
+                let mut s = artifact();
+                s.rank = rank;
+                s.tp = tp;
+                s.seal();
+                s
+            })
+            .collect();
+        let refs: Vec<&MaterializedState> = shards.iter().collect();
+        let bin = crate::artifact::maf2::encode_bundle(&refs).unwrap();
+        let mut store = ChunkStore::default();
+        let manifest = store.pack(&bin).unwrap();
+        (store, manifest)
+    }
+
+    #[test]
+    fn cas_manifest_validation_passes_and_scopes_to_the_shard() {
+        let (spec, gpu) = target();
+        let tp = 4u32;
+        let (store, manifest) = cas_bundle(tp);
+        let v = ArtifactValidator::for_target(&spec, &gpu);
+
+        for (rank, r) in v.validate_cas_bundle(&manifest, &store) {
+            assert!(r.passed(), "rank {rank}: {:?}", r.first_failure());
+            // O(manifest) promise: each shard digest-checks a strict subset
+            // of the chunk list, not the whole artifact.
+            assert!(
+                manifest.shard_chunk_indices(rank).len() < manifest.chunks.len(),
+                "rank {rank} touches every chunk"
+            );
+        }
+    }
+
+    #[test]
+    fn cas_chunk_corruption_only_fails_the_owning_shard() {
+        let (spec, gpu) = target();
+        let tp = 4u32;
+        let (mut store, manifest) = cas_bundle(tp);
+
+        // Corrupt a chunk that rank 1 owns and rank 0 never touches.
+        let r0: std::collections::BTreeSet<u32> =
+            manifest.shard_chunk_indices(0).into_iter().collect();
+        let victim = manifest
+            .shard_chunk_indices(1)
+            .into_iter()
+            .find(|i| !r0.contains(i))
+            .expect("rank 1 must own chunks rank 0 does not");
+        let d = manifest.chunks[victim as usize].digest;
+        let mut bad = store.get(d).unwrap().to_vec();
+        bad[0] ^= 0x40;
+        store.tamper_chunk(d, bad);
+
+        let v = ArtifactValidator::for_target(&spec, &gpu);
+        let ok = v.clone().shard(0, tp).validate_manifest(&manifest, &store);
+        assert!(ok.passed(), "rank 0: {:?}", ok.first_failure());
+        let r = v.clone().shard(1, tp).validate_manifest(&manifest, &store);
+        assert_eq!(r.first_failure().unwrap().0.name(), "checksum");
+        assert_eq!(r.first_failure().unwrap().1.kind(), "checksum_mismatch");
+    }
+
+    #[test]
+    fn cas_manifest_validation_catches_version_and_target_skew() {
+        let (spec, gpu) = target();
+        let (store, mut manifest) = cas_bundle(2);
+        let v = ArtifactValidator::for_target(&spec, &gpu).shard(0, 2);
+
+        let other = ModelSpec::by_name("Qwen1.5-4B").unwrap();
+        let w = ArtifactValidator::for_target(&other, &gpu).shard(0, 2);
+        let r = w.validate_manifest(&manifest, &store);
+        assert_eq!(r.first_failure().unwrap().0.name(), "target_key");
+        assert_eq!(r.first_failure().unwrap().1.kind(), "artifact_mismatch");
+
+        manifest.version += 1;
+        let r = v.validate_manifest(&manifest, &store);
+        assert_eq!(r.first_failure().unwrap().0.name(), "format_version");
+        assert_eq!(r.first_failure().unwrap().1.kind(), "artifact_corrupt");
     }
 }

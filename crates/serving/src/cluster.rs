@@ -13,12 +13,21 @@
 //! [`Scheduler`] plus an autoscaler with keep-alive and scale-to-zero.
 //!
 //! The fleet also models the paper's §7 degradation story at registry
-//! scale: fetches run under a [`RegistryPolicy`] (timeout, bounded
+//! scale: fetches run under a [`FetchPolicy`] (timeout, bounded
 //! exponential backoff, retry budget), an exhausted budget degrades that
 //! cold start to the vanilla path instead of failing it, and nodes can
 //! crash mid-cold-start ([`ClusterFaults`]) with their queued requests
 //! re-routed by the scheduler. All fault decisions are seed-derived from
 //! the simulated state, so faulty runs are as deterministic as clean ones.
+//!
+//! *What* a fetch moves is decided by the [`Registry`] backend behind
+//! [`RegistryMode`]: the default [`WholeArtifact`] transfers the entire
+//! `<GPU type, model type>` entry (the legacy behavior — committed golden
+//! reports are byte-identical), while [`ContentAddressed`] resolves the
+//! per-model chunk manifest of a [`RegistryCatalog`] against the node's
+//! chunk-level residency and transfers only the missing chunks — family
+//! models sharing template chunks fetch only their deltas, and the
+//! [`RegistryReport`] counters expose the byte savings.
 //!
 //! Artifact locality follows the paper's §6 sharing model: materialized
 //! state is keyed by `<GPU type, model type>` and lives in a registry; a
@@ -48,7 +57,7 @@ use medusa::{
 };
 use medusa_gpu::{CostModel, GpuSpec, SimDuration};
 use medusa_model::ModelSpec;
-use medusa_telemetry::Registry;
+use medusa_telemetry::Registry as TelemetryRegistry;
 use medusa_workload::{fingerprint, Request};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -117,7 +126,7 @@ impl Default for AutoscalerConfig {
 /// vanilla path (§7) instead of failing it — the node still comes up, just
 /// without the materialized artifact.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RegistryPolicy {
+pub struct FetchPolicy {
     /// Wall-clock charged per failed fetch attempt, seconds.
     pub timeout_s: f64,
     /// Retries after the initial attempt before degrading.
@@ -128,13 +137,272 @@ pub struct RegistryPolicy {
     pub backoff_max_s: f64,
 }
 
-impl Default for RegistryPolicy {
+impl Default for FetchPolicy {
     fn default() -> Self {
-        RegistryPolicy {
+        FetchPolicy {
             timeout_s: 2.0,
             retry_budget: 3,
             backoff_base_s: 0.25,
             backoff_max_s: 4.0,
+        }
+    }
+}
+
+/// Former name of [`FetchPolicy`].
+#[deprecated(note = "renamed to FetchPolicy; the registry *backend* is now picked by RegistryMode")]
+pub type RegistryPolicy = FetchPolicy;
+
+// ---------------------------------------------------------------------
+// Registry backends: what a cache-miss fetch actually moves.
+
+/// One transfer unit of a registry fetch: a content-addressed chunk for
+/// [`ContentAddressed`], the entire artifact for [`WholeArtifact`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchUnit {
+    /// Content digest (FNV-1a over the chunk bytes for real manifests).
+    pub digest: u64,
+    /// Unit size, bytes.
+    pub bytes: u64,
+}
+
+/// The resolved fetch plan of one cold start: which units must move given
+/// the node's chunk-level residency, and the byte accounting behind them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FetchPlan {
+    /// Units that must transfer (missing from the node).
+    pub missing: Vec<FetchUnit>,
+    /// Bytes the missing units total.
+    pub bytes_needed: u64,
+    /// Bytes already resident on the node (resolved without a transfer).
+    pub bytes_resolved: u64,
+    /// Resident unit count — the chunk hits of this resolution.
+    pub chunk_hits: u64,
+}
+
+/// A registry backend: resolves what a cold start of `model` must fetch
+/// and prices the transfer. The fleet consults the backend selected by
+/// [`ClusterSpec::registry_mode`] on every cache-miss cold start; retry
+/// and degradation behavior stays with [`FetchPolicy`] regardless of the
+/// backend.
+pub trait Registry {
+    /// Backend name (reports and telemetry).
+    fn name(&self) -> &'static str;
+
+    /// Resolves the fetch plan of `model` against the chunk digests
+    /// already resident on the fetching node.
+    fn resolve(
+        &self,
+        model: u32,
+        resident: &std::collections::BTreeSet<u64>,
+        profile: &FleetProfile,
+    ) -> FetchPlan;
+
+    /// Simulated transfer duration of `plan`'s missing units. Backends
+    /// scale the profile's measured per-model fetch cost by the fraction
+    /// of bytes that actually move.
+    fn fetch(&self, model: u32, plan: &FetchPlan, profile: &FleetProfile) -> SimDuration;
+}
+
+/// Legacy whole-artifact registry: every cache miss transfers the entire
+/// `<GPU type, model type>` entry at exactly the profile's measured fetch
+/// cost. This is the default backend; fleets running it produce reports
+/// byte-identical to the pre-registry-trait simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WholeArtifact;
+
+impl Registry for WholeArtifact {
+    fn name(&self) -> &'static str {
+        "whole"
+    }
+
+    fn resolve(
+        &self,
+        model: u32,
+        _resident: &std::collections::BTreeSet<u64>,
+        profile: &FleetProfile,
+    ) -> FetchPlan {
+        let bytes = profile.artifact_bytes_for(model);
+        FetchPlan {
+            missing: vec![FetchUnit {
+                digest: mix(0x4a01_e0a7 ^ u64::from(model)),
+                bytes,
+            }],
+            bytes_needed: bytes,
+            bytes_resolved: 0,
+            chunk_hits: 0,
+        }
+    }
+
+    fn fetch(&self, model: u32, _plan: &FetchPlan, profile: &FleetProfile) -> SimDuration {
+        profile.fetch_for(model)
+    }
+}
+
+/// Per-model chunk list of a [`RegistryCatalog`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModelManifest {
+    /// Ordered transfer units (chunk digest + length) of this model's
+    /// artifact.
+    pub units: Vec<FetchUnit>,
+}
+
+impl ModelManifest {
+    /// Total artifact bytes across the manifest's units.
+    pub fn total_bytes(&self) -> u64 {
+        self.units.iter().map(|u| u.bytes).sum()
+    }
+}
+
+/// Chunk manifests of every model the fleet serves, indexed by model id —
+/// the content-addressed registry's view of the artifact store. Models
+/// beyond the catalog (or with an empty manifest) fall back to a single
+/// synthetic whole-artifact unit so partially-cataloged fleets still run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegistryCatalog {
+    /// Per-model manifests, model id order.
+    pub models: Vec<ModelManifest>,
+}
+
+impl RegistryCatalog {
+    /// Builds a catalog from a packed [`medusa::ChunkStore`]: manifest `m`
+    /// becomes model `m`'s chunk list.
+    pub fn from_store(store: &medusa::ChunkStore) -> Self {
+        RegistryCatalog {
+            models: store
+                .manifests()
+                .iter()
+                .map(|m| ModelManifest {
+                    units: m
+                        .chunks
+                        .iter()
+                        .map(|c| FetchUnit {
+                            digest: c.digest,
+                            bytes: u64::from(c.len),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// A catalog where each model is one monolithic unit of the given
+    /// size — chunk-granularity accounting with whole-artifact transfer
+    /// behavior (the control row of registry benchmarks).
+    pub fn monolithic(bytes_per_model: &[u64]) -> Self {
+        RegistryCatalog {
+            models: bytes_per_model
+                .iter()
+                .enumerate()
+                .map(|(m, &bytes)| ModelManifest {
+                    units: vec![FetchUnit {
+                        digest: mix(0x6d01_0f1c ^ m as u64),
+                        bytes,
+                    }],
+                })
+                .collect(),
+        }
+    }
+
+    /// The transfer units of `model`: its cataloged manifest, or the
+    /// synthetic whole-artifact fallback for out-of-catalog models.
+    pub fn units_for(&self, model: u32, profile: &FleetProfile) -> Vec<FetchUnit> {
+        match self.models.get(model as usize) {
+            Some(m) if !m.units.is_empty() => m.units.clone(),
+            _ => vec![FetchUnit {
+                digest: mix(0xca7a_1070 ^ u64::from(model)),
+                bytes: profile.artifact_bytes_for(model),
+            }],
+        }
+    }
+}
+
+/// Content-addressed registry: resolves each fetch against the node's
+/// resident chunk set and transfers only the missing chunks, priced as the
+/// missing fraction of the model's measured whole-artifact fetch cost.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ContentAddressed {
+    /// Per-model chunk manifests.
+    pub catalog: RegistryCatalog,
+}
+
+impl Registry for ContentAddressed {
+    fn name(&self) -> &'static str {
+        "cas"
+    }
+
+    fn resolve(
+        &self,
+        model: u32,
+        resident: &std::collections::BTreeSet<u64>,
+        profile: &FleetProfile,
+    ) -> FetchPlan {
+        let mut plan = FetchPlan::default();
+        for u in self.catalog.units_for(model, profile) {
+            if resident.contains(&u.digest) {
+                plan.bytes_resolved += u.bytes;
+                plan.chunk_hits += 1;
+            } else {
+                plan.bytes_needed += u.bytes;
+                plan.missing.push(u);
+            }
+        }
+        plan
+    }
+
+    fn fetch(&self, model: u32, plan: &FetchPlan, profile: &FleetProfile) -> SimDuration {
+        let total = plan.bytes_needed + plan.bytes_resolved;
+        if plan.bytes_needed == 0 || total == 0 {
+            return SimDuration::ZERO;
+        }
+        let base = profile.fetch_for(model).as_nanos() as u128;
+        SimDuration::from_nanos((base * plan.bytes_needed as u128 / total as u128) as u64)
+    }
+}
+
+/// Which [`Registry`] backend the fleet fetches through.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum RegistryMode {
+    /// [`WholeArtifact`] — the legacy, golden-pinned default.
+    #[default]
+    Whole,
+    /// [`ContentAddressed`] over the given catalog: chunk-level residency,
+    /// delta-only transfers, and [`RegistryReport`] counters.
+    ContentAddressed(RegistryCatalog),
+}
+
+impl RegistryMode {
+    /// Instantiates the backend.
+    pub fn build(&self) -> Box<dyn Registry> {
+        match self {
+            RegistryMode::Whole => Box::new(WholeArtifact),
+            RegistryMode::ContentAddressed(catalog) => Box::new(ContentAddressed {
+                catalog: catalog.clone(),
+            }),
+        }
+    }
+}
+
+/// Chunk-level registry counters of one content-addressed fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RegistryReport {
+    /// Bytes actually transferred from the registry.
+    pub bytes_fetched: u64,
+    /// Bytes resolved from chunks already resident (never transferred).
+    pub bytes_resolved: u64,
+    /// Chunk-level residency hits across all fetch resolutions.
+    pub chunk_hits: u64,
+    /// Chunks that had to transfer.
+    pub chunk_misses: u64,
+}
+
+impl RegistryReport {
+    /// Dedup ratio of the run's fetch traffic: logical bytes resolved per
+    /// byte actually transferred (1.0 when nothing deduplicated).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.bytes_fetched == 0 {
+            1.0
+        } else {
+            (self.bytes_fetched + self.bytes_resolved) as f64 / self.bytes_fetched as f64
         }
     }
 }
@@ -239,8 +507,12 @@ pub struct ClusterSpec {
     pub drain_s: f64,
     /// Autoscaler configuration.
     pub autoscaler: AutoscalerConfig,
-    /// Registry-fetch resilience policy.
-    pub registry: RegistryPolicy,
+    /// Registry-fetch resilience policy (timeout/retry/backoff).
+    pub fetch_policy: FetchPolicy,
+    /// Registry backend: what a cache-miss fetch actually moves. The
+    /// default [`RegistryMode::Whole`] reproduces the legacy whole-artifact
+    /// transfers byte-identically.
+    pub registry_mode: RegistryMode,
     /// Fault injection (defaults to none).
     pub faults: ClusterFaults,
     /// Node-local artifact cache bound + eviction policy.
@@ -277,7 +549,8 @@ impl ClusterSpec {
             max_running: 32,
             drain_s: 600.0,
             autoscaler: AutoscalerConfig::default(),
-            registry: RegistryPolicy::default(),
+            fetch_policy: FetchPolicy::default(),
+            registry_mode: RegistryMode::Whole,
             faults: ClusterFaults::default(),
             cache: CacheConfig::default(),
             slo_ttft_s: 2.5,
@@ -310,9 +583,21 @@ impl ClusterSpec {
     }
 
     /// Sets the registry-fetch resilience policy (builder style).
-    pub fn with_registry(mut self, registry: RegistryPolicy) -> Self {
-        self.registry = registry;
+    pub fn with_fetch_policy(mut self, fetch_policy: FetchPolicy) -> Self {
+        self.fetch_policy = fetch_policy;
         self
+    }
+
+    /// Selects the registry backend (builder style).
+    pub fn with_registry_mode(mut self, mode: RegistryMode) -> Self {
+        self.registry_mode = mode;
+        self
+    }
+
+    /// Former name of [`ClusterSpec::with_fetch_policy`].
+    #[deprecated(note = "renamed to with_fetch_policy; with_registry_mode picks the backend")]
+    pub fn with_registry(self, registry: FetchPolicy) -> Self {
+        self.with_fetch_policy(registry)
     }
 
     /// Arms fleet-level fault injection (builder style).
@@ -1036,6 +1321,10 @@ pub struct ClusterReport {
     /// Artifact-cache counters; `None` (omitted) for unbounded
     /// single-tenant runs.
     pub cache: Option<CacheReport>,
+    /// Chunk-level registry counters; `None` (omitted) unless the fleet
+    /// ran under [`RegistryMode::ContentAddressed`], keeping the committed
+    /// goldens byte-identical.
+    pub registry: Option<RegistryReport>,
     /// Per-node accounting, node order.
     pub nodes: Vec<NodeReport>,
 }
@@ -1084,6 +1373,9 @@ impl serde::Serialize for ClusterReport {
         if let Some(cache) = &self.cache {
             m.push(("cache".into(), cache.to_value()));
         }
+        if let Some(registry) = &self.registry {
+            m.push(("registry".into(), registry.to_value()));
+        }
         m.push(("nodes".into(), self.nodes.to_value()));
         serde::Value::Map(m)
     }
@@ -1122,6 +1414,10 @@ impl serde::Deserialize for ClusterReport {
             },
             cache: match v.get("cache") {
                 Some(c) => Some(CacheReport::from_value(c)?),
+                None => None,
+            },
+            registry: match v.get("registry") {
+                Some(r) => Some(RegistryReport::from_value(r)?),
                 None => None,
             },
             nodes: Vec::<NodeReport>::from_value(serde::field(v, "nodes", ctx)?)?,
@@ -1248,6 +1544,10 @@ struct Node {
     model: Option<u32>,
     /// Node-local §6 artifact cache (linear scan: capacities are small).
     cache: Vec<CacheEntry>,
+    /// Chunk-level residency under [`RegistryMode::ContentAddressed`]:
+    /// the digests of every chunk backing a resident cache entry. Always
+    /// empty in whole-artifact mode.
+    chunks: std::collections::BTreeSet<u64>,
     /// Bumped on every crash; stale stage events are ignored (and
     /// retracted via their tokens, so they normally never even fire).
     epoch: u32,
@@ -1308,6 +1608,7 @@ impl Node {
             work_ns: 0,
             model: None,
             cache,
+            chunks: std::collections::BTreeSet::new(),
             epoch: 0,
             degraded_start: false,
             keep_alive: None,
@@ -1368,7 +1669,7 @@ struct FleetSim<'a> {
     profile: &'a FleetProfile,
     cluster: &'a ClusterSpec,
     trace: &'a [Request],
-    tele: Option<&'a Registry>,
+    tele: Option<&'a TelemetryRegistry>,
     nodes: Vec<Node>,
     queue: VecDeque<usize>,
     events: EventQueue<FleetEvent>,
@@ -1398,6 +1699,17 @@ struct FleetSim<'a> {
     cache_hits: u64,
     cache_misses: u64,
     cache_evictions: u64,
+    /// The registry backend fetches resolve through.
+    registry: Box<dyn Registry>,
+    /// Whether the backend is content-addressed: chunk residency, scaled
+    /// fetch durations, per-chunk retries, and [`RegistryReport`] counters
+    /// all key off this (the whole-artifact path stays byte-identical to
+    /// the legacy simulator).
+    cas: bool,
+    reg_bytes_fetched: u64,
+    reg_bytes_resolved: u64,
+    reg_chunk_hits: u64,
+    reg_chunk_misses: u64,
     /// Prewarm estimator fed by arrivals; `None` unless
     /// [`ClusterSpec::prewarm`] is set (the default), keeping the event
     /// schedule byte-identical for legacy runs.
@@ -1454,11 +1766,26 @@ impl FleetSim<'_> {
                 .as_nanos();
         match n.state {
             NodeState::Warm => drain,
-            NodeState::Cold => self.profile.coldstart_makespan(cached, model).as_nanos(),
-            NodeState::Starting => {
-                self.profile.coldstart_makespan(cached, model).as_nanos() / 2 + drain
-            }
+            NodeState::Cold => self.est_cold_ns(n, cached, model),
+            NodeState::Starting => self.est_cold_ns(n, cached, model) / 2 + drain,
         }
+    }
+
+    /// Estimated cold-start makespan of `model` on node `n`: the legacy
+    /// profile tables in whole-artifact mode (byte-identical goldens), the
+    /// chunk-residency-resolved fetch plus restore in content-addressed
+    /// mode — which is what lets locality routing prefer a node already
+    /// holding most of a family's template chunks.
+    fn est_cold_ns(&self, n: &Node, cached: bool, model: u32) -> u64 {
+        if !self.cas {
+            return self.profile.coldstart_makespan(cached, model).as_nanos();
+        }
+        let loading = self.profile.loading_for(model).as_nanos();
+        if cached || self.profile.strategy != Strategy::Medusa {
+            return loading;
+        }
+        let plan = self.registry.resolve(model, &n.chunks, self.profile);
+        loading + self.registry.fetch(model, &plan, self.profile).as_nanos()
     }
 
     /// Inserts `model` into node `i`'s artifact cache at time `t` (or
@@ -1515,6 +1842,18 @@ impl FleetSim<'_> {
                 None => break,
             }
         }
+        // Content-addressed residency tracks the cache: the resident chunk
+        // set is exactly the union of the resident models' manifests, so
+        // an eviction drops the victim's unshared chunks but keeps the
+        // template chunks other residents still reference.
+        if let RegistryMode::ContentAddressed(catalog) = &self.cluster.registry_mode {
+            node.chunks = node
+                .cache
+                .iter()
+                .flat_map(|e| catalog.units_for(e.model, profile))
+                .map(|u| u.digest)
+                .collect();
+        }
     }
 
     /// Begins a cold start of `model` on node `i` at time `t`.
@@ -1526,7 +1865,7 @@ impl FleetSim<'_> {
             return;
         }
         let faults = self.cluster.faults;
-        let reg = self.cluster.registry;
+        let reg = self.cluster.fetch_policy;
         let node = &mut self.nodes[i];
         debug_assert_eq!(node.state, NodeState::Cold);
         let cached = node.cache_holds(model);
@@ -1557,50 +1896,98 @@ impl FleetSim<'_> {
         if self.multi_tenant {
             self.tenant_stats.entry(model).or_default().cold_starts += 1;
         }
+        // Resolve what this fetch must move through the registry backend:
+        // the whole artifact, or only the chunks the node's residency lacks.
+        let plan = needs_fetch.then(|| {
+            self.registry
+                .resolve(model, &self.nodes[i].chunks, self.profile)
+        });
         let node = &mut self.nodes[i];
 
         // Registry fetch under the resilience policy: each failed attempt
         // costs a timeout, retries back off exponentially (bounded), and an
         // exhausted budget degrades this start to the vanilla path (§7).
+        // Whole-artifact mode rolls once per attempt on the legacy key
+        // schedule; content-addressed mode retries **per chunk**, each
+        // chunk salted by its digest and granted its own budget.
         let mut retry_ns: u64 = 0;
         let mut retries: u32 = 0;
         let mut degraded = false;
         if needs_fetch && faults.registry_fail_per_mille > 0 {
-            let mut failures: u32 = 0;
-            loop {
-                let roll = roll_per_mille(faults.seed, i, node.cold_starts, failures);
-                if roll >= faults.registry_fail_per_mille {
-                    break;
+            if self.cas {
+                let units = plan.as_ref().map_or(&[][..], |p| &p.missing[..]);
+                'units: for u in units {
+                    let salt = mix(0x5a17_c4a5 ^ u.digest);
+                    let mut failures: u32 = 0;
+                    loop {
+                        let roll =
+                            roll_per_mille(faults.seed ^ salt, i, node.cold_starts, failures);
+                        if roll >= faults.registry_fail_per_mille {
+                            break;
+                        }
+                        failures += 1;
+                        retry_ns += (reg.timeout_s * 1e9) as u64;
+                        if failures > reg.retry_budget {
+                            degraded = true;
+                            break 'units;
+                        }
+                        let backoff = (reg.backoff_base_s * 2f64.powi(failures as i32 - 1))
+                            .min(reg.backoff_max_s);
+                        retry_ns += (backoff * 1e9) as u64;
+                        retries += 1;
+                    }
                 }
-                failures += 1;
-                retry_ns += (reg.timeout_s * 1e9) as u64;
-                if failures > reg.retry_budget {
-                    degraded = true;
-                    break;
+            } else {
+                let mut failures: u32 = 0;
+                loop {
+                    let roll = roll_per_mille(faults.seed, i, node.cold_starts, failures);
+                    if roll >= faults.registry_fail_per_mille {
+                        break;
+                    }
+                    failures += 1;
+                    retry_ns += (reg.timeout_s * 1e9) as u64;
+                    if failures > reg.retry_budget {
+                        degraded = true;
+                        break;
+                    }
+                    let backoff = (reg.backoff_base_s * 2f64.powi(failures as i32 - 1))
+                        .min(reg.backoff_max_s);
+                    retry_ns += (backoff * 1e9) as u64;
+                    retries += 1;
                 }
-                let backoff =
-                    (reg.backoff_base_s * 2f64.powi(failures as i32 - 1)).min(reg.backoff_max_s);
-                retry_ns += (backoff * 1e9) as u64;
-                retries += 1;
             }
         }
         node.degraded_start = degraded;
 
-        let (makespan, fetch_ns) = if degraded {
+        let fetch_ns = match (&plan, degraded) {
+            (Some(p), false) => self.registry.fetch(model, p, self.profile).as_nanos(),
+            _ => 0,
+        };
+        let makespan_ns = if degraded {
             // No artifact to restore: vanilla-path loading, cache stays
             // cold so the next start tries the registry again.
-            (self.profile.degraded_loading, 0)
+            self.profile.degraded_loading.as_nanos()
         } else {
-            (
-                self.profile.coldstart_makespan(cached, model),
-                if needs_fetch {
-                    self.profile.fetch_for(model).as_nanos()
-                } else {
-                    0
-                },
-            )
+            self.profile.loading_for(model).as_nanos() + fetch_ns
         };
-        node.cold_ns += retry_ns + makespan.as_nanos();
+        if self.cas && !degraded {
+            if let Some(p) = &plan {
+                self.reg_bytes_fetched += p.bytes_needed;
+                self.reg_bytes_resolved += p.bytes_resolved;
+                self.reg_chunk_hits += p.chunk_hits;
+                self.reg_chunk_misses += p.missing.len() as u64;
+                if let Some(tl) = self.tele {
+                    tl.inc("cluster_registry_bytes_fetched_total", p.bytes_needed);
+                    tl.inc("cluster_registry_chunk_hits_total", p.chunk_hits);
+                    tl.inc(
+                        "cluster_registry_chunk_misses_total",
+                        p.missing.len() as u64,
+                    );
+                }
+            }
+        }
+        let node = &mut self.nodes[i];
+        node.cold_ns += retry_ns + makespan_ns;
         // Aggregate rank work: every rank restores; fetch attempts and the
         // fetch itself occupy the node once (the cache is shared across
         // local ranks).
@@ -1615,7 +2002,7 @@ impl FleetSim<'_> {
             self.degraded_cold_starts += 1;
         }
         let epoch = node.epoch;
-        let ready = t + retry_ns + makespan.as_nanos();
+        let ready = t + retry_ns + makespan_ns;
         if let Some(tl) = self.tele {
             tl.inc("cluster_cold_starts_total", 1);
             tl.inc(&format!("cluster_node{i}_cold_starts_total"), 1);
@@ -1637,7 +2024,7 @@ impl FleetSim<'_> {
         if faults.node_crash_per_mille > 0 {
             let roll = roll_per_mille(faults.seed ^ 0xc7a5_11fe, i, self.nodes[i].cold_starts, 0);
             if roll < faults.node_crash_per_mille {
-                let crash_at = t + (retry_ns + makespan.as_nanos()) / 2;
+                let crash_at = t + (retry_ns + makespan_ns) / 2;
                 self.events
                     .schedule(crash_at, FleetEvent::NodeCrash { node: i, epoch });
             }
@@ -1648,7 +2035,7 @@ impl FleetSim<'_> {
         // restore whose completion makes the node ready.
         let fetch_tok = (needs_fetch && !degraded).then(|| {
             self.events.schedule(
-                t + retry_ns + self.profile.fetch_for(model).as_nanos(),
+                t + retry_ns + fetch_ns,
                 FleetEvent::RegistryFetchDone { node: i, epoch },
             )
         });
@@ -1677,7 +2064,7 @@ impl FleetSim<'_> {
     /// (the shards reassemble on the head — a documented approximation).
     fn start_cold_pipeline(&mut self, t: u64, i: usize, model: u32) {
         let faults = self.cluster.faults;
-        let reg = self.cluster.registry;
+        let reg = self.cluster.fetch_policy;
         let node = &mut self.nodes[i];
         debug_assert_eq!(node.state, NodeState::Cold);
         let cached = node.cache_holds(model);
@@ -1755,16 +2142,39 @@ impl FleetSim<'_> {
             self.pipeline_starts += 1;
         }
 
-        let fetch_ns = if needs_fetch && !degraded {
-            self.profile.fetch_for(model).as_nanos()
-        } else {
-            0
+        // Resolve through the registry backend (delta-only transfer in
+        // content-addressed mode); the head owns the registry connection,
+        // so the retry rolls above keep the whole-fetch key schedule even
+        // under chunked transfers.
+        let plan = (needs_fetch && !degraded).then(|| {
+            self.registry
+                .resolve(model, &self.nodes[i].chunks, self.profile)
+        });
+        let fetch_ns = match &plan {
+            Some(p) => self.registry.fetch(model, p, self.profile).as_nanos(),
+            None => 0,
         };
         let total_ns = if degraded {
             self.profile.degraded_loading.as_nanos()
         } else {
-            self.profile.coldstart_makespan(cached, model).as_nanos()
+            self.profile.loading_for(model).as_nanos() + fetch_ns
         };
+        if self.cas {
+            if let Some(p) = &plan {
+                self.reg_bytes_fetched += p.bytes_needed;
+                self.reg_bytes_resolved += p.bytes_resolved;
+                self.reg_chunk_hits += p.chunk_hits;
+                self.reg_chunk_misses += p.missing.len() as u64;
+                if let Some(tl) = self.tele {
+                    tl.inc("cluster_registry_bytes_fetched_total", p.bytes_needed);
+                    tl.inc("cluster_registry_chunk_hits_total", p.chunk_hits);
+                    tl.inc(
+                        "cluster_registry_chunk_misses_total",
+                        p.missing.len() as u64,
+                    );
+                }
+            }
+        }
         let stage_span = total_ns / k_eff;
         let ready = t + retry_ns + stage_span;
 
@@ -2389,7 +2799,7 @@ pub fn simulate_fleet_traced(
     cluster: &ClusterSpec,
     policy: Policy,
     trace: &[Request],
-    tele: Option<&Registry>,
+    tele: Option<&TelemetryRegistry>,
 ) -> FleetOutcome {
     let mut sched = policy.build();
     let multi_tenant = trace.iter().any(|r| r.model != 0);
@@ -2433,6 +2843,12 @@ pub fn simulate_fleet_traced(
         cache_hits: 0,
         cache_misses: 0,
         cache_evictions: 0,
+        registry: cluster.registry_mode.build(),
+        cas: matches!(cluster.registry_mode, RegistryMode::ContentAddressed(_)),
+        reg_bytes_fetched: 0,
+        reg_bytes_resolved: 0,
+        reg_chunk_hits: 0,
+        reg_chunk_misses: 0,
         estimator: cluster
             .prewarm
             .map(|cfg| PrewarmEstimator::new(cfg, cluster.faults.seed)),
@@ -2446,6 +2862,17 @@ pub fn simulate_fleet_traced(
         // up in the report with `completed: 0`.
         for r in trace {
             sim.tenant_stats.entry(r.model).or_default().offered += 1;
+        }
+    }
+    // Pre-seeded caches hold model 0's artifact; in content-addressed mode
+    // that means its chunks are resident too.
+    if let RegistryMode::ContentAddressed(catalog) = &cluster.registry_mode {
+        for node in sim.nodes.iter_mut().filter(|n| n.spec.cached) {
+            node.chunks = catalog
+                .units_for(0, profile)
+                .iter()
+                .map(|u| u.digest)
+                .collect();
         }
     }
     for (i, r) in trace.iter().enumerate() {
@@ -2553,6 +2980,12 @@ pub fn simulate_fleet_traced(
                 evictions: sim.cache_evictions,
             },
         ),
+        registry: sim.cas.then_some(RegistryReport {
+            bytes_fetched: sim.reg_bytes_fetched,
+            bytes_resolved: sim.reg_bytes_resolved,
+            chunk_hits: sim.reg_chunk_hits,
+            chunk_misses: sim.reg_chunk_misses,
+        }),
         nodes: sim
             .nodes
             .iter()
@@ -2808,7 +3241,7 @@ mod tests {
             .with_pattern(ArrivalPattern::sharegpt_bursty())
             .generate();
         let run = || {
-            let tele = Registry::new();
+            let tele = TelemetryRegistry::new();
             let out =
                 simulate_fleet_traced(&profile, &spec, Policy::ColdStartAware, &trace, Some(&tele));
             (
@@ -2835,7 +3268,7 @@ mod tests {
         let profile = medusa_profile(400, 0);
         let spec = ClusterSpec::uniform(2);
         let trace: Vec<Request> = (0..4).map(|i| req(i, 0, 100, 1)).collect();
-        let tele = Registry::new();
+        let tele = TelemetryRegistry::new();
         let out =
             simulate_fleet_traced(&profile, &spec, Policy::ColdStartAware, &trace, Some(&tele));
         let snap = tele.snapshot();
@@ -2863,8 +3296,8 @@ mod tests {
         assert_eq!(out.report.cold_starts, 0);
     }
 
-    fn flaky_registry() -> RegistryPolicy {
-        RegistryPolicy {
+    fn flaky_registry() -> FetchPolicy {
+        FetchPolicy {
             timeout_s: 1.0,
             retry_budget: 3,
             backoff_base_s: 0.5,
@@ -2876,7 +3309,7 @@ mod tests {
     fn exhausted_registry_budget_degrades_to_vanilla_without_caching() {
         let profile = medusa_profile(500, 300).with_degraded_loading(SimDuration::from_millis(800));
         let spec = ClusterSpec::uniform(1)
-            .with_registry(flaky_registry())
+            .with_fetch_policy(flaky_registry())
             .with_faults(ClusterFaults {
                 seed: 1,
                 registry_fail_per_mille: 1000,
@@ -2907,7 +3340,7 @@ mod tests {
             .expect("such a seed exists");
         let profile = medusa_profile(500, 300);
         let spec = ClusterSpec::uniform(1)
-            .with_registry(flaky_registry())
+            .with_fetch_policy(flaky_registry())
             .with_faults(ClusterFaults {
                 seed,
                 registry_fail_per_mille: 500,
@@ -2956,7 +3389,7 @@ mod tests {
     fn faulty_runs_are_deterministic_per_seed() {
         let profile = medusa_profile(400, 150).with_degraded_loading(SimDuration::from_millis(700));
         let spec = ClusterSpec::uniform(4)
-            .with_registry(flaky_registry())
+            .with_fetch_policy(flaky_registry())
             .with_faults(ClusterFaults {
                 seed: 9,
                 registry_fail_per_mille: 400,
@@ -2967,7 +3400,7 @@ mod tests {
             .with_pattern(ArrivalPattern::sharegpt_bursty())
             .generate();
         let run = || {
-            let tele = Registry::new();
+            let tele = TelemetryRegistry::new();
             let out =
                 simulate_fleet_traced(&profile, &spec, Policy::ColdStartAware, &trace, Some(&tele));
             (
@@ -3154,7 +3587,7 @@ mod tests {
                 registry_fail_per_mille: 300,
                 node_crash_per_mille: 100,
             })
-            .with_registry(flaky_registry());
+            .with_fetch_policy(flaky_registry());
         let trace = TraceConfig::sharegpt(6.0, 40.0)
             .with_seed(42)
             .with_models(medusa_workload::ModelMix::Zipf { models: 6, s: 1.0 })
@@ -3302,5 +3735,184 @@ mod tests {
             out.stats
         );
         assert_eq!(out.conservation_residual(), 0);
+    }
+
+    /// Two-model catalog sharing chunk `0xA0`: model 0 = {A0, B0},
+    /// model 1 = {A0, C0}, 1000 bytes each.
+    fn shared_chunk_catalog() -> RegistryCatalog {
+        let unit = |digest: u64| FetchUnit {
+            digest,
+            bytes: 1000,
+        };
+        RegistryCatalog {
+            models: vec![
+                ModelManifest {
+                    units: vec![unit(0xA0), unit(0xB0)],
+                },
+                ModelManifest {
+                    units: vec![unit(0xA0), unit(0xC0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn cas_fleet_transfers_only_the_missing_chunks_and_reports_counters() {
+        let profile = medusa_profile(500, 300);
+        let spec = ClusterSpec::uniform(1)
+            .with_registry_mode(RegistryMode::ContentAddressed(shared_chunk_catalog()))
+            .with_keep_alive(0.5);
+        // Model 0 then model 1 with a scale-to-zero gap between: the second
+        // start resolves shared chunk A0 from the node's residency and only
+        // transfers C0, so its fetch costs half the whole-artifact penalty.
+        let trace = vec![mt_req(0, 0, 0), mt_req(1, 10_000, 1)];
+        let out = simulate_fleet(&profile, &spec, Policy::ColdStartAware, &trace);
+        // fetch 300 (2000/2000 bytes) + loading 500 + prefill 20.
+        assert_eq!(out.ttfts[0], SimDuration::from_millis(820));
+        // fetch 150 (1000/2000 bytes) + loading 500 + prefill 20.
+        assert_eq!(out.ttfts[1], SimDuration::from_millis(670));
+        let reg = out.report.registry.expect("cas run reports counters");
+        assert_eq!(reg.bytes_fetched, 3000, "A0+B0 then C0 only");
+        assert_eq!(reg.bytes_resolved, 1000, "A0 deduplicated");
+        assert_eq!(reg.chunk_hits, 1);
+        assert_eq!(reg.chunk_misses, 3);
+        assert!((reg.dedup_ratio() - 4.0 / 3.0).abs() < 1e-9);
+        // The counters survive the report's JSON round trip.
+        let json = out.report.to_json();
+        assert!(json.contains("\"registry\""), "{json}");
+        let parsed = ClusterReport::from_json(&json).expect("parse");
+        assert_eq!(parsed.registry, Some(reg));
+        assert_eq!(parsed, out.report);
+    }
+
+    #[test]
+    fn whole_mode_report_omits_registry_counters() {
+        let profile = medusa_profile(500, 300);
+        let out = simulate_fleet(
+            &profile,
+            &ClusterSpec::uniform(2),
+            Policy::ColdStartAware,
+            &[req(0, 0, 100, 1)],
+        );
+        assert_eq!(out.report.registry, None);
+        let json = out.report.to_json();
+        assert!(
+            !json.contains("\"registry\""),
+            "whole-mode reports must stay byte-compatible: {json}"
+        );
+    }
+
+    #[test]
+    fn cas_monolithic_catalog_matches_whole_mode_timing() {
+        // One monolithic unit per model: chunk accounting on, transfer
+        // behavior identical — the control row of registry benchmarks.
+        let profile = medusa_profile(500, 300);
+        let catalog = RegistryCatalog::monolithic(&[profile.artifact_bytes_for(0)]);
+        let trace = vec![req(0, 0, 100, 1), req(1, 10_000, 100, 1)];
+        let whole = simulate_fleet(
+            &profile,
+            &ClusterSpec::uniform(1).with_keep_alive(0.5),
+            Policy::ColdStartAware,
+            &trace,
+        );
+        let cas = simulate_fleet(
+            &profile,
+            &ClusterSpec::uniform(1)
+                .with_keep_alive(0.5)
+                .with_registry_mode(RegistryMode::ContentAddressed(catalog)),
+            Policy::ColdStartAware,
+            &trace,
+        );
+        assert_eq!(cas.ttfts, whole.ttfts);
+        assert_eq!(cas.report.cold_starts, whole.report.cold_starts);
+        let reg = cas.report.registry.expect("counters still present");
+        // The second start re-warms the resident artifact without a fetch.
+        assert_eq!(reg.bytes_fetched, profile.artifact_bytes_for(0));
+        assert_eq!(reg.chunk_misses, 1);
+    }
+
+    #[test]
+    fn cas_retries_per_chunk_and_a_transient_chunk_failure_recovers() {
+        let catalog = shared_chunk_catalog();
+        let salt = |digest: u64| mix(0x5a17_c4a5 ^ digest);
+        // A seed where chunk A0's first attempt fails and its retry
+        // succeeds, while chunk B0 fetches cleanly on the first try.
+        let seed = (0..4000u64)
+            .find(|&s| {
+                roll_per_mille(s ^ salt(0xA0), 0, 1, 0) < 500
+                    && roll_per_mille(s ^ salt(0xA0), 0, 1, 1) >= 500
+                    && roll_per_mille(s ^ salt(0xB0), 0, 1, 0) >= 500
+            })
+            .expect("such a seed exists");
+        let profile = medusa_profile(500, 300);
+        let spec = ClusterSpec::uniform(1)
+            .with_registry_mode(RegistryMode::ContentAddressed(catalog))
+            .with_fetch_policy(flaky_registry())
+            .with_faults(ClusterFaults {
+                seed,
+                registry_fail_per_mille: 500,
+                node_crash_per_mille: 0,
+            });
+        let out = simulate_fleet(
+            &profile,
+            &spec,
+            Policy::ColdStartAware,
+            &[req(0, 0, 100, 1)],
+        );
+        // One timeout (1 s) + one backoff (0.5 s) on chunk A0, then the
+        // full 2-chunk fetch 300 + loading 500 + prefill 20.
+        assert_eq!(out.ttfts[0], SimDuration::from_millis(2320));
+        assert_eq!(out.report.fetch_retries, 1);
+        assert_eq!(out.report.degraded_cold_starts, 0);
+        assert!(out.report.nodes[0].cached_at_end);
+    }
+
+    #[test]
+    fn cas_exhausted_chunk_budget_degrades_the_whole_start() {
+        let profile = medusa_profile(500, 300).with_degraded_loading(SimDuration::from_millis(800));
+        let spec = ClusterSpec::uniform(1)
+            .with_registry_mode(RegistryMode::ContentAddressed(shared_chunk_catalog()))
+            .with_fetch_policy(flaky_registry())
+            .with_faults(ClusterFaults {
+                seed: 1,
+                registry_fail_per_mille: 1000,
+                node_crash_per_mille: 0,
+            });
+        let out = simulate_fleet(
+            &profile,
+            &spec,
+            Policy::ColdStartAware,
+            &[req(0, 0, 100, 1)],
+        );
+        // The first chunk alone burns the whole budget (4 timeouts × 1 s,
+        // backoffs 0.5 + 1 + 2 s), the remaining chunks are never tried,
+        // and the start degrades: vanilla load 800 + prefill 20.
+        assert_eq!(out.ttfts[0], SimDuration::from_millis(8320));
+        assert_eq!(out.report.degraded_cold_starts, 1);
+        assert_eq!(out.report.fetch_retries, 3, "per-chunk budget is bounded");
+        assert_eq!(out.report.registry, Some(RegistryReport::default()));
+        assert!(
+            !out.report.nodes[0].cached_at_end,
+            "a degraded start materializes no chunks"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_registry_policy_alias_still_builds_the_same_spec() {
+        let policy = RegistryPolicy {
+            timeout_s: 0.4,
+            retry_budget: 2,
+            backoff_base_s: 0.1,
+            backoff_max_s: 0.8,
+        };
+        let old = ClusterSpec::uniform(2).with_registry(policy);
+        let new = ClusterSpec::uniform(2).with_fetch_policy(policy);
+        assert_eq!(old.fetch_policy, new.fetch_policy);
+        let profile = medusa_profile(500, 300);
+        let trace = [req(0, 0, 100, 1)];
+        let a = simulate_fleet(&profile, &old, Policy::ColdStartAware, &trace);
+        let b = simulate_fleet(&profile, &new, Policy::ColdStartAware, &trace);
+        assert_eq!(a.report.to_json(), b.report.to_json());
     }
 }

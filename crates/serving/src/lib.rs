@@ -59,11 +59,16 @@ mod sim;
 
 pub use cluster::{
     simulate_fleet, simulate_fleet_traced, AutoscalerConfig, CacheCapacity, CacheConfig,
-    CacheReport, ClusterFaults, ClusterReport, ClusterSpec, ColdStartAware, Decision,
-    EvictionPolicy, FleetOutcome, FleetProfile, FleetStats, LeastLoaded, ModelCost, NodeReport,
-    NodeSpec, NodeState, NodeView, Policy, PrewarmReport, RegistryPolicy, RoundRobin, Scheduler,
-    ServerlessLlmLocality, TenantReport,
+    CacheReport, ClusterFaults, ClusterReport, ClusterSpec, ColdStartAware, ContentAddressed,
+    Decision, EvictionPolicy, FetchPlan, FetchPolicy, FetchUnit, FleetOutcome, FleetProfile,
+    FleetStats, LeastLoaded, ModelCost, ModelManifest, NodeReport, NodeSpec, NodeState, NodeView,
+    Policy, PrewarmReport, Registry, RegistryCatalog, RegistryMode, RegistryReport, RoundRobin,
+    Scheduler, ServerlessLlmLocality, TenantReport, WholeArtifact,
 };
+// The pre-trait policy name stays re-exported for one release so
+// downstream callers migrate on their own schedule.
+#[allow(deprecated)]
+pub use cluster::RegistryPolicy;
 pub use event::{EventQueue, EventToken, FleetEvent};
 pub use params::PerfModel;
 pub use predict::{PrewarmConfig, PrewarmDecision, PrewarmEstimator, PrewarmPolicy};

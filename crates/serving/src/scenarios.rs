@@ -20,8 +20,8 @@
 //! milliseconds.
 
 use crate::cluster::{
-    CacheCapacity, CacheConfig, ClusterFaults, ClusterSpec, EvictionPolicy, FleetProfile, Policy,
-    RegistryPolicy,
+    CacheCapacity, CacheConfig, ClusterFaults, ClusterSpec, EvictionPolicy, FetchPolicy,
+    FleetProfile, Policy,
 };
 use crate::params::PerfModel;
 use medusa::Strategy;
@@ -105,7 +105,7 @@ fn fault_plans() -> Vec<(&'static str, ClusterFaults)> {
 fn base_cluster(faults: ClusterFaults) -> ClusterSpec {
     let mut c = ClusterSpec::uniform(4)
         .with_cached_prefix(1)
-        .with_registry(RegistryPolicy {
+        .with_fetch_policy(FetchPolicy {
             timeout_s: 0.4,
             retry_budget: 2,
             backoff_base_s: 0.1,

@@ -9,6 +9,10 @@
 //! medusa-cli inspect     --artifact artifact.json
 //! medusa-cli validate    --artifact <FILE.json|FILE.maf2> [--model <name>]
 //! medusa-cli convert     --in <FILE> --out <FILE> [--rank N]
+//! medusa-cli registry    pack --artifacts a.maf2,b.maf2[,...] [--template FAMILY]
+//!                        [--variants N] [--out store.mcs]
+//! medusa-cli registry    inspect --store store.mcs
+//! medusa-cli registry    dedup-stats --store store.mcs
 //! medusa-cli trace       [--model <name>] [--strategy <vllm|async|medusa|nograph>]
 //!                        [--format <chrome|prom>] [--seed N] [--out FILE]
 //!                        [--faults <spec>] [--fault-seed N]
@@ -27,6 +31,7 @@
 //!                        [--eviction <lru|lfu|cost-aware>]
 //!                        [--cached K] [--keep-alive F] [--queue-depth N]
 //!                        [--eval-interval F]
+//!                        [--registry <whole|cas>] [--registry-store FILE] [--template]
 //!                        [--faults <flaky-registry,node-crash>] [--fault-seed N]
 //!                        [--format <chrome|prom>] [--out FILE] [--telemetry FILE]
 //! ```
@@ -54,6 +59,22 @@
 //! nodes pipeline-parallel. `--arrivals-out` exports the trace's
 //! per-model arrival history as CSV for offline estimator studies.
 //!
+//! `registry pack` chunks MAF2 artifacts content-defined (Gear CDC with
+//! boundaries forced at section seams), deduplicates the chunks across
+//! every packed artifact, and — with `--template FAMILY` — factors the
+//! chunks shared by every member into a family template manifest.
+//! `--variants N` additionally derives N deterministic fine-tune
+//! siblings from each input capture (same family skeleton, per-variant
+//! weight deltas) and packs them too — the regime where chunk dedup
+//! actually pays, since independent captures share almost nothing. The
+//! resulting `.mcs` store file feeds `cluster --registry cas
+//! --registry-store FILE`, which replays the fleet with chunk-level
+//! residency: cache-miss fetches move only the chunks the node lacks, and
+//! the report grows registry byte/chunk-hit counters. Without a store,
+//! `--registry cas` synthesizes a per-model pseudo-chunk catalog
+//! (`--template` adds a family-shared block every model references), so
+//! multi-tenant dedup effects are observable on purely synthetic runs.
+//!
 //! Artifacts travel in two encodings: the MAF2 binary container (magic
 //! `MAF2\r\n\x1a\n`, validated in O(header), see DESIGN.md §13) and the
 //! JSON debug encoding. Every subcommand that reads an `--artifact` file
@@ -68,14 +89,16 @@
 //! fault-injected (`--faults`) run.
 
 use medusa::{
-    is_maf2, materialize_offline, ArtifactValidator, ColdStart, ColdStartOptions, FaultPlan,
-    Maf2Reader, MaterializedState, Parallelism, Stage, Strategy, TriggeringMode,
+    is_maf2, materialize_offline, ArtifactTemplate, ArtifactValidator, ChunkStore, ColdStart,
+    ColdStartOptions, FaultPlan, Maf2Reader, MaterializedState, Parallelism, Stage, Strategy,
+    TriggeringMode,
 };
 use medusa_gpu::{CostModel, GpuSpec};
 use medusa_model::ModelSpec;
 use medusa_serving::{
     simulate_fleet_traced, CacheCapacity, CacheConfig, ClusterFaults, ClusterSpec, EvictionPolicy,
-    FleetProfile, Policy, PrewarmConfig, PrewarmPolicy,
+    FetchUnit, FleetProfile, ModelManifest, Policy, PrewarmConfig, PrewarmPolicy, RegistryCatalog,
+    RegistryMode,
 };
 use medusa_workload::{
     ArrivalHistory, ArrivalPattern, InvocationTrace, LengthSampler, ModelMix, TraceConfig,
@@ -89,20 +112,25 @@ fn main() {
         usage();
         exit(2);
     };
-    let flags = parse_flags(&args[1..]);
-    let result = match cmd.as_str() {
-        "models" => models(),
-        "materialize" => materialize(&flags),
-        "coldstart" => coldstart(&flags),
-        "inspect" => inspect(&flags),
-        "validate" => validate(&flags),
-        "convert" => convert(&flags),
-        "trace" => trace(&flags),
-        "cluster" => cluster(&flags),
-        other => {
-            eprintln!("unknown command `{other}`");
-            usage();
-            exit(2);
+    let result = if cmd == "registry" {
+        // `registry` takes a verb before the flags.
+        registry(&args[1..])
+    } else {
+        let flags = parse_flags(&args[1..]);
+        match cmd.as_str() {
+            "models" => models(),
+            "materialize" => materialize(&flags),
+            "coldstart" => coldstart(&flags),
+            "inspect" => inspect(&flags),
+            "validate" => validate(&flags),
+            "convert" => convert(&flags),
+            "trace" => trace(&flags),
+            "cluster" => cluster(&flags),
+            other => {
+                eprintln!("unknown command `{other}`");
+                usage();
+                exit(2);
+            }
         }
     };
     if let Err(e) = result {
@@ -113,7 +141,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: medusa-cli <models|materialize|coldstart|inspect|validate|convert|trace|cluster> [flags]"
+        "usage: medusa-cli <models|materialize|coldstart|inspect|validate|convert|registry|trace|cluster> [flags]"
     );
     eprintln!("  materialize --model <name> [--out FILE[.maf2]] [--seed N]");
     eprintln!("  coldstart   --model <name> --strategy <vllm|async|medusa|nograph>");
@@ -122,6 +150,10 @@ fn usage() {
     eprintln!("  inspect     --artifact FILE");
     eprintln!("  validate    --artifact FILE [--model <name>]  (JSON or MAF2, auto-detected)");
     eprintln!("  convert     --in FILE --out FILE [--rank N]   (JSON <-> MAF2 by magic bytes)");
+    eprintln!("  registry    pack --artifacts a.maf2,b.maf2[,...] [--template FAMILY]");
+    eprintln!("              [--variants N] [--out store.mcs]");
+    eprintln!("  registry    inspect --store store.mcs");
+    eprintln!("  registry    dedup-stats --store store.mcs");
     eprintln!("  trace       [--model <name>] [--strategy <vllm|async|medusa|nograph>]");
     eprintln!("              [--format <chrome|prom>] [--artifact FILE] [--seed N] [--out FILE]");
     eprintln!("              [--faults corrupt,version-skew,missing-library,...|all]");
@@ -143,6 +175,7 @@ fn usage() {
     );
     eprintln!("              [--cached K] [--keep-alive F] [--queue-depth N]");
     eprintln!("              [--eval-interval F]");
+    eprintln!("              [--registry <whole|cas>] [--registry-store FILE] [--template]");
     eprintln!("              [--faults <flaky-registry,node-crash>] [--fault-seed N]");
     eprintln!("              [--format <chrome|prom>] [--out FILE] [--telemetry FILE]");
 }
@@ -563,6 +596,31 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
     if models > 1 {
         profile = profile.with_scaled_models(models);
     }
+    // Registry backend: the golden-pinned whole-artifact default, or a
+    // content-addressed catalog — decoded from a packed `.mcs` store when
+    // one is given, synthesized per model otherwise.
+    let registry_mode = match flags.get("registry").map(String::as_str) {
+        None | Some("whole") => RegistryMode::Whole,
+        Some("cas") => {
+            let catalog = match flags.get("registry-store") {
+                Some(path) => {
+                    let bytes = std::fs::read(path)
+                        .map_err(|e| format!("cannot read --registry-store `{path}`: {e}"))?;
+                    let store = ChunkStore::decode(&bytes)
+                        .map_err(|e| format!("bad --registry-store `{path}`: {e}"))?;
+                    println!(
+                        "registry catalog: {} manifest(s) from {path} ({:.2}x dedup on disk)",
+                        store.manifests().len(),
+                        store.dedup_stats().ratio()
+                    );
+                    RegistryCatalog::from_store(&store)
+                }
+                None => synth_catalog(models, &profile, flags.contains_key("template")),
+            };
+            RegistryMode::ContentAddressed(catalog)
+        }
+        Some(other) => return Err(format!("unknown registry backend `{other}` (whole|cas)")),
+    };
     let faults = match flags.get("faults") {
         None => ClusterFaults::default(),
         Some(spec) => {
@@ -595,6 +653,7 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
                 capacity: cache_capacity,
                 eviction,
             })
+            .with_registry_mode(registry_mode)
             .with_faults(faults);
         c.autoscaler.keep_alive_s = keep_alive;
         c.autoscaler.target_queue_depth = queue_depth;
@@ -651,6 +710,13 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         println!(
             "  artifact cache: {} hits / {} misses / {} evictions ({rate_pm}\u{2030} hit rate)",
             c.hits, c.misses, c.evictions
+        );
+    }
+    if let Some(reg) = &r.registry {
+        println!(
+            "  registry: {} bytes fetched / {} resolved resident; chunks {} hit / {} miss ({:.2}x dedup)",
+            reg.bytes_fetched, reg.bytes_resolved, reg.chunk_hits, reg.chunk_misses,
+            reg.dedup_ratio()
         );
     }
     if let Some(p) = &r.prewarm {
@@ -884,6 +950,207 @@ fn convert(flags: &HashMap<String, String>) -> Result<(), String> {
             encoded.len()
         );
     }
+    Ok(())
+}
+
+/// A synthetic per-model chunk catalog for `--registry cas` runs without a
+/// packed store: 16 model-private weight pseudo-chunks per model, plus —
+/// with `--template` — a family-shared block (graph topology, replay ops,
+/// pointer tables; ~1/5 of the base artifact) that every member references
+/// by the same digests, so cross-model cold starts on a warm node resolve
+/// it without a transfer.
+fn synth_catalog(models: u32, profile: &FleetProfile, template: bool) -> RegistryCatalog {
+    const WEIGHT_CHUNKS: u64 = 16;
+    const TEMPLATE_CHUNKS: u64 = 4;
+    let shared_total = if template {
+        profile.artifact_bytes_for(0) / 5
+    } else {
+        0
+    };
+    RegistryCatalog {
+        models: (0..models.max(1))
+            .map(|m| {
+                let private = profile.artifact_bytes_for(m).saturating_sub(shared_total);
+                let mut units = Vec::new();
+                for t in 0..TEMPLATE_CHUNKS {
+                    if template {
+                        units.push(FetchUnit {
+                            digest: 0x7e3a_0a7e_0000_0000 | t,
+                            bytes: shared_total / TEMPLATE_CHUNKS,
+                        });
+                    }
+                }
+                for k in 0..WEIGHT_CHUNKS {
+                    units.push(FetchUnit {
+                        digest: (u64::from(m) << 32) | 0x5eed_0000 | k,
+                        bytes: private / WEIGHT_CHUNKS,
+                    });
+                }
+                ModelManifest { units }
+            })
+            .collect(),
+    }
+}
+
+/// `registry` — operate the content-addressed chunk store: `pack` chunks
+/// and deduplicates MAF2 artifacts into a `.mcs` store file, `inspect`
+/// lists a store's manifests and templates, `dedup-stats` prints the
+/// storage accounting.
+fn registry(args: &[String]) -> Result<(), String> {
+    let usage = "usage: medusa-cli registry <pack|inspect|dedup-stats> [flags]";
+    let Some(verb) = args.first() else {
+        return Err(usage.to_string());
+    };
+    let flags = parse_flags(&args[1..]);
+    match verb.as_str() {
+        "pack" => registry_pack(&flags),
+        "inspect" => registry_inspect(&flags, true),
+        "dedup-stats" => registry_inspect(&flags, false),
+        other => Err(format!("unknown registry verb `{other}`\n{usage}")),
+    }
+}
+
+/// Reads an artifact file as MAF2 bytes, lifting the JSON debug encoding
+/// through `to_maf2` when the magic is absent.
+fn read_maf2_bytes(path: &str) -> Result<Vec<u8>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if is_maf2(&bytes) {
+        Ok(bytes)
+    } else {
+        let json = std::str::from_utf8(&bytes)
+            .map_err(|_| format!("`{path}` is neither MAF2 (no magic) nor UTF-8 JSON"))?;
+        let state = MaterializedState::from_json(json).map_err(|e| e.to_string())?;
+        state.to_maf2().map_err(|e| e.to_string())
+    }
+}
+
+fn print_dedup(stats: &medusa::DedupStats) {
+    println!(
+        "dedup: {} manifest(s), {} unique chunk(s); {} logical -> {} stored bytes ({:.2}x)",
+        stats.manifests,
+        stats.unique_chunks,
+        stats.logical_bytes,
+        stats.stored_bytes,
+        stats.ratio()
+    );
+}
+
+fn registry_pack(flags: &HashMap<String, String>) -> Result<(), String> {
+    let list = flags
+        .get("artifacts")
+        .ok_or("--artifacts a.maf2,b.maf2[,...] is required")?;
+    let variants: u32 = match flags.get("variants") {
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("bad --variants `{v}`: {e}"))?,
+        None => 0,
+    };
+    let mut store = ChunkStore::new();
+    for path in list.split(',').filter(|p| !p.is_empty()) {
+        let bytes = read_maf2_bytes(path)?;
+        let m = store
+            .pack(&bytes)
+            .map_err(|e| format!("cannot pack `{path}`: {e}"))?;
+        println!(
+            "packed {path}: <{}, {}> tp {} — {} chunk(s) / {} bytes",
+            m.model,
+            m.gpu,
+            m.tp,
+            m.chunks.len(),
+            m.total_bytes
+        );
+        if variants > 0 {
+            // Derive deterministic fine-tune siblings from this capture:
+            // same family skeleton, per-variant weight deltas — the
+            // fine-tune-family regime the chunk store is built for.
+            let base = MaterializedState::from_maf2(&bytes)
+                .map_err(|e| format!("cannot decode `{path}`: {e}"))?;
+            let family = flags.get("template").map_or("family", String::as_str);
+            let (template, base_delta) =
+                ArtifactTemplate::extract(std::slice::from_ref(&base), family)
+                    .map_err(|e| e.to_string())?;
+            for v in 1..=variants {
+                let name = format!("{}-v{v}", base.model);
+                let delta = base_delta.derive_variant(&name, u64::from(v));
+                for shard in template.instantiate(&delta).map_err(|e| e.to_string())? {
+                    let vb = shard.to_maf2().map_err(|e| e.to_string())?;
+                    let vm = store
+                        .pack(&vb)
+                        .map_err(|e| format!("cannot pack variant `{name}`: {e}"))?;
+                    println!(
+                        "packed variant {name}: {} chunk(s) / {} bytes",
+                        vm.chunks.len(),
+                        vm.total_bytes
+                    );
+                }
+            }
+        }
+    }
+    if let Some(family) = flags.get("template") {
+        let t = store.factor_family(family).map_err(|e| e.to_string())?;
+        println!(
+            "factored template `{}`: {} shared chunk(s) / {} bytes (digest {:#018x})",
+            t.family,
+            t.chunks.len(),
+            t.bytes,
+            t.digest
+        );
+        for m in store.manifests() {
+            println!(
+                "  {} delta on top of the template: {} bytes",
+                m.model,
+                ChunkStore::delta_bytes(m, &t)
+            );
+        }
+    }
+    print_dedup(&store.dedup_stats());
+    if let Some(path) = flags.get("out") {
+        let encoded = store.encode();
+        std::fs::write(path, &encoded).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {path} ({:.1} KiB store)",
+            encoded.len() as f64 / 1024.0
+        );
+    }
+    Ok(())
+}
+
+fn registry_inspect(flags: &HashMap<String, String>, full: bool) -> Result<(), String> {
+    let path = flags.get("store").ok_or("--store FILE.mcs is required")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let store = ChunkStore::decode(&bytes).map_err(|e| format!("bad store `{path}`: {e}"))?;
+    if full {
+        println!(
+            "store {path}: {} manifest(s), {} template(s)",
+            store.manifests().len(),
+            store.templates().len()
+        );
+        println!(
+            "  {:<16} {:<12} {:>3} {:>12} {:>7} {:>18}",
+            "model", "gpu", "tp", "bytes", "chunks", "template"
+        );
+        for m in store.manifests() {
+            println!(
+                "  {:<16} {:<12} {:>3} {:>12} {:>7} {:>18}",
+                m.model,
+                m.gpu,
+                m.tp,
+                m.total_bytes,
+                m.chunks.len(),
+                m.template.map_or("-".to_string(), |d| format!("{d:#018x}"))
+            );
+        }
+        for t in store.templates() {
+            println!(
+                "  template `{}`: {} chunk(s) / {} bytes (digest {:#018x})",
+                t.family,
+                t.chunks.len(),
+                t.bytes,
+                t.digest
+            );
+        }
+    }
+    print_dedup(&store.dedup_stats());
     Ok(())
 }
 

@@ -8,8 +8,8 @@ use medusa::{Parallelism, Strategy};
 use medusa_gpu::{CostModel, GpuSpec, SimDuration};
 use medusa_model::ModelSpec;
 use medusa_serving::{
-    simulate_fleet, simulate_fleet_traced, ClusterFaults, ClusterSpec, FleetProfile, PerfModel,
-    Policy, RegistryPolicy,
+    simulate_fleet, simulate_fleet_traced, ClusterFaults, ClusterSpec, FetchPolicy, FleetProfile,
+    PerfModel, Policy,
 };
 use medusa_telemetry::Registry;
 use medusa_workload::{ArrivalPattern, TraceConfig};
@@ -292,7 +292,7 @@ fn flaky_registry_medusa_still_beats_vanilla_end_to_end() {
             // Gentle timeouts keep each failed attempt cheap — the §7
             // resilience policy is what makes a 30%-flaky registry
             // survivable at all.
-            .with_registry(RegistryPolicy {
+            .with_fetch_policy(FetchPolicy {
                 timeout_s: 0.15,
                 retry_budget: 3,
                 backoff_base_s: 0.05,

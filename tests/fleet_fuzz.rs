@@ -18,7 +18,7 @@ use medusa::Strategy;
 use medusa_gpu::SimDuration;
 use medusa_serving::PerfModel;
 use medusa_serving::{
-    simulate_fleet, ClusterFaults, ClusterSpec, FleetOutcome, FleetProfile, Policy, RegistryPolicy,
+    simulate_fleet, ClusterFaults, ClusterSpec, FetchPolicy, FleetOutcome, FleetProfile, Policy,
 };
 use medusa_workload::{ArrivalPattern, Request, TraceConfig};
 use proptest::prelude::*;
@@ -64,7 +64,7 @@ fn fleet(
 ) -> ClusterSpec {
     let mut c = ClusterSpec::uniform(nodes)
         .with_cached_prefix(cached.min(nodes))
-        .with_registry(RegistryPolicy {
+        .with_fetch_policy(FetchPolicy {
             timeout_s: 0.3,
             retry_budget: 2,
             backoff_base_s: 0.05,

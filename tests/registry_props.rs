@@ -1,0 +1,316 @@
+//! Property tests for the content-addressed chunk registry (DESIGN.md §15).
+//!
+//! Five contracts are pinned here, across materialization seeds, family
+//! shapes, corruption sites, and fault rates:
+//!
+//! 1. **Chunking round-trips** — packing an artifact's MAF2 bytes into the
+//!    [`ChunkStore`] and reassembling from the manifest reproduces the
+//!    exact bytes, including across a store encode/decode hop.
+//! 2. **Dedup is order-insensitive** — the store's dedup accounting
+//!    (logical/stored bytes, unique chunks) and chunk population are a
+//!    pure function of the packed *set*, not the packing order.
+//! 3. **Templates instantiate losslessly** — factoring a family into a
+//!    template and re-instantiating a member from its delta reproduces
+//!    the direct capture's sealed `content_checksum()` and MAF2 bytes.
+//! 4. **Damage surfaces as typed errors** — corrupting or truncating the
+//!    sealed store encoding yields [`MedusaError`] variants, never a
+//!    panic, and a decode that slips past the seal still fails per-chunk
+//!    verification rather than returning wrong bytes.
+//! 5. **Per-chunk retries honor the budget** — under registry fault
+//!    injection the fleet's retry counter is bounded by
+//!    `starts × budget × chunks`, a zero fault rate retries nothing, and
+//!    a total outage degrades every start without touching the registry
+//!    counters.
+
+use medusa::{
+    materialize_offline, ArtifactTemplate, ChunkStore, MaterializedState, MedusaError, Strategy,
+};
+use medusa_gpu::{CostModel, GpuSpec, SimDuration};
+use medusa_model::ModelSpec;
+use medusa_serving::{
+    simulate_fleet, ClusterFaults, ClusterSpec, FetchPolicy, FetchUnit, FleetProfile,
+    ModelManifest, PerfModel, Policy, RegistryCatalog, RegistryMode,
+};
+use medusa_workload::TraceConfig;
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Mutex, OnceLock};
+
+fn spec() -> ModelSpec {
+    ModelSpec::by_name("Qwen1.5-0.5B").expect("catalog model")
+}
+
+/// The offline phase dominates test time, so artifacts are materialized
+/// once per seed and shared across property cases.
+fn single(seed: u64) -> MaterializedState {
+    static POOL: OnceLock<Mutex<HashMap<u64, MaterializedState>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut pool = pool.lock().expect("artifact pool");
+    pool.entry(seed)
+        .or_insert_with(|| {
+            materialize_offline(&spec(), GpuSpec::a100_40gb(), CostModel::default(), seed)
+                .expect("offline phase")
+                .0
+        })
+        .clone()
+}
+
+/// MAF2 bytes of a family of `members` variants derived from one base
+/// capture (memoized per seed — `derive_variant` + `instantiate` are cheap
+/// next to materialization, but encoding is not free either).
+fn family_bytes(seed: u64, members: u32) -> Vec<Vec<u8>> {
+    type FamilyPool = Mutex<HashMap<(u64, u32), Vec<Vec<u8>>>>;
+    static POOL: OnceLock<FamilyPool> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut pool = pool.lock().expect("family pool");
+    pool.entry((seed, members))
+        .or_insert_with(|| {
+            let base = single(seed);
+            let (template, base_delta) =
+                ArtifactTemplate::extract(std::slice::from_ref(&base), "prop-family")
+                    .expect("family extraction");
+            (0..members)
+                .flat_map(|m| {
+                    let delta = if m == 0 {
+                        base_delta.clone()
+                    } else {
+                        base_delta.derive_variant(&format!("prop-v{m}"), seed ^ u64::from(m))
+                    };
+                    template
+                        .instantiate(&delta)
+                        .expect("member instantiation")
+                        .into_iter()
+                        .map(|s| s.to_maf2().expect("member encoding"))
+                })
+                .collect()
+        })
+        .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Pack → assemble is the identity on MAF2 bytes, and survives a
+    /// store encode/decode hop: chunking never loses or reorders a byte.
+    #[test]
+    fn chunk_roundtrip_is_byte_identical(seed in 1u64..4) {
+        let bytes = single(seed).to_maf2().expect("encode");
+        let mut store = ChunkStore::new();
+        let manifest = store.pack(&bytes).expect("pack");
+        prop_assert_eq!(manifest.total_bytes, bytes.len() as u64);
+        let rebuilt = store.assemble(&manifest).expect("assemble");
+        prop_assert_eq!(&rebuilt, &bytes, "assembled bytes diverged from the packed original");
+        // The sealed on-disk encoding preserves the same identity.
+        let thawed = ChunkStore::decode(&store.encode()).expect("store round-trip");
+        let again = thawed.assemble(&manifest).expect("assemble from thawed store");
+        prop_assert_eq!(&again, &bytes, "store encode/decode corrupted a chunk");
+    }
+
+    /// Dedup accounting is a function of the packed set, not its order:
+    /// any permutation of a family yields the same logical/stored bytes,
+    /// the same unique-chunk count, and the same chunk population.
+    #[test]
+    fn dedup_accounting_is_order_insensitive(
+        seed in 1u64..3,
+        members in 2u32..4,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let arts = family_bytes(seed, members);
+        let mut order: Vec<usize> = (0..arts.len()).collect();
+        // Deterministic Fisher–Yates off the drawn seed (proptest shrinks it).
+        let mut s = shuffle_seed | 1;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut forward = ChunkStore::new();
+        for a in &arts {
+            forward.pack(a).expect("pack forward");
+        }
+        let mut shuffled = ChunkStore::new();
+        for &i in &order {
+            shuffled.pack(&arts[i]).expect("pack shuffled");
+        }
+        prop_assert_eq!(forward.dedup_stats(), shuffled.dedup_stats());
+        let digests = |st: &ChunkStore| st.chunk_digests().into_iter().collect::<BTreeSet<_>>();
+        prop_assert_eq!(digests(&forward), digests(&shuffled));
+        // A real family must actually share chunks for dedup to mean
+        // anything — the stats ratio reflects cross-member sharing.
+        prop_assert!(forward.dedup_stats().stored_bytes < forward.dedup_stats().logical_bytes);
+    }
+
+    /// Template instantiation is lossless: a member rebuilt from
+    /// `(template, delta)` carries the direct capture's sealed content
+    /// checksum and encodes to byte-identical MAF2.
+    #[test]
+    fn template_instantiation_matches_direct_capture(seed in 1u64..4) {
+        let base = single(seed);
+        let (template, delta) =
+            ArtifactTemplate::extract(std::slice::from_ref(&base), "prop-identity")
+                .expect("extract");
+        let rebuilt = template.instantiate(&delta).expect("instantiate");
+        prop_assert_eq!(rebuilt.len(), 1);
+        prop_assert_eq!(
+            rebuilt[0].content_checksum(),
+            base.content_checksum(),
+            "instantiated member's sealed checksum diverged from the direct capture"
+        );
+        let direct = base.to_maf2().expect("encode direct");
+        let via_template = rebuilt[0].to_maf2().expect("encode instantiated");
+        prop_assert_eq!(&via_template, &direct);
+    }
+
+    /// Flipping any byte of — or truncating — the sealed store encoding
+    /// yields a typed [`MedusaError`], never a panic; and when the flip
+    /// lands inside chunk data past the seal check, per-chunk
+    /// verification still refuses to hand back wrong bytes.
+    #[test]
+    fn damaged_store_yields_typed_errors_never_panics(
+        seed in 1u64..3,
+        site in any::<u64>(),
+        flip in 1u8..255,
+        truncate in any::<bool>(),
+    ) {
+        let bytes = single(seed).to_maf2().expect("encode");
+        let mut store = ChunkStore::new();
+        let manifest = store.pack(&bytes).expect("pack");
+        let mut sealed = store.encode();
+        let i = (site % sealed.len() as u64) as usize;
+        if truncate {
+            sealed.truncate(i);
+        } else {
+            sealed[i] ^= flip;
+        }
+        match ChunkStore::decode(&sealed) {
+            Err(
+                MedusaError::ArtifactCorrupt { .. }
+                | MedusaError::ChecksumMismatch { .. }
+                | MedusaError::WeightStreamTruncated { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error variant: {other:?}"),
+            Ok(thawed) => {
+                // The seal missed the damage (flip cancelled out or hit
+                // redundant framing): the store must still either verify
+                // every chunk or fail typed — wrong bytes are the one
+                // unacceptable outcome.
+                if let Ok(rebuilt) = thawed.assemble(&manifest) {
+                    prop_assert_eq!(&rebuilt, &bytes, "damaged store returned wrong bytes");
+                }
+            }
+        }
+    }
+}
+
+/// Synthetic millisecond-scale fleet profile for the retry properties
+/// (real measured profiles would make each fuzz case cost seconds).
+fn retry_profile() -> FleetProfile {
+    let perf = PerfModel::from_tables(
+        Strategy::Medusa,
+        "retry-toy",
+        SimDuration::from_millis(50),
+        vec![1, 8],
+        vec![SimDuration::from_millis(4), SimDuration::from_millis(6)],
+        vec![
+            (100, SimDuration::from_millis(10)),
+            (2048, SimDuration::from_millis(40)),
+        ],
+    );
+    FleetProfile::from_perf(Strategy::Medusa, perf)
+        .with_fetch(SimDuration::from_millis(200))
+        .with_degraded_loading(SimDuration::from_millis(800))
+}
+
+/// A synthetic chunked catalog: `models` manifests of `chunks` units each,
+/// digests disjoint across models so every first fetch is all misses.
+fn retry_catalog(models: u32, chunks: u32) -> RegistryCatalog {
+    RegistryCatalog {
+        models: (0..models)
+            .map(|m| ModelManifest {
+                units: (0..chunks)
+                    .map(|k| FetchUnit {
+                        digest: (u64::from(m) << 32) | 0xfa17_0000 | u64::from(k),
+                        bytes: 1 << 20,
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+fn retry_cluster(catalog: RegistryCatalog, budget: u32, fail_pm: u32, seed: u64) -> ClusterSpec {
+    let mut c = ClusterSpec::uniform(2)
+        .with_fetch_policy(FetchPolicy {
+            timeout_s: 0.2,
+            retry_budget: budget,
+            backoff_base_s: 0.05,
+            backoff_max_s: 0.4,
+        })
+        .with_faults(ClusterFaults {
+            seed,
+            registry_fail_per_mille: fail_pm,
+            node_crash_per_mille: 0,
+        })
+        .with_registry_mode(RegistryMode::ContentAddressed(catalog));
+    c.autoscaler.keep_alive_s = 0.5;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Per-chunk retries stay within the fetch policy's budget: across
+    /// random fault rates the global retry counter never exceeds
+    /// `starts × budget × chunks-per-manifest`, requests are conserved,
+    /// and a zero fault rate retries and degrades nothing.
+    #[test]
+    fn per_chunk_retries_honor_the_budget(
+        seed in any::<u64>(),
+        models in 1u32..4,
+        chunks in 1u32..6,
+        budget in 0u32..4,
+        fail_pm in 0u32..900,
+        rps in 0.5f64..4.0,
+    ) {
+        let cluster = retry_cluster(retry_catalog(models, chunks), budget, fail_pm, seed);
+        let trace = TraceConfig::sharegpt(rps, 20.0)
+            .with_seed(seed ^ 0x9e77)
+            .with_models(medusa_workload::ModelMix::zipf(models, 1.0))
+            .generate();
+        let out = simulate_fleet(&retry_profile(), &cluster, Policy::ColdStartAware, &trace);
+        prop_assert_eq!(out.conservation_residual(), 0, "requests leaked under chunk faults");
+        let starts = out.report.cold_starts + out.report.degraded_cold_starts;
+        prop_assert!(
+            out.report.fetch_retries <= starts * budget * chunks,
+            "retries {} exceed starts {} x budget {} x chunks {}",
+            out.report.fetch_retries, starts, budget, chunks
+        );
+        if fail_pm == 0 {
+            prop_assert_eq!(out.report.fetch_retries, 0);
+            prop_assert_eq!(out.report.degraded_cold_starts, 0);
+        }
+    }
+
+    /// A total registry outage degrades every start to the vanilla path:
+    /// each one burns exactly `budget` retries on its first chunk, and the
+    /// registry moves no bytes at all.
+    #[test]
+    fn total_outage_degrades_every_start_and_moves_no_bytes(
+        seed in any::<u64>(),
+        budget in 0u32..4,
+    ) {
+        let cluster = retry_cluster(retry_catalog(2, 4), budget, 1000, seed);
+        let trace = TraceConfig::sharegpt(2.0, 15.0)
+            .with_seed(seed ^ 0x07a6e)
+            .with_models(medusa_workload::ModelMix::zipf(2, 1.0))
+            .generate();
+        let out = simulate_fleet(&retry_profile(), &cluster, Policy::ColdStartAware, &trace);
+        prop_assert_eq!(out.conservation_residual(), 0);
+        let reg = out.report.registry.expect("cas mode reports registry counters");
+        prop_assert_eq!(reg.bytes_fetched, 0, "an outage must not move bytes");
+        prop_assert_eq!(reg.chunk_misses, 0);
+        if out.report.cold_starts > 0 {
+            prop_assert_eq!(out.report.degraded_cold_starts, out.report.cold_starts);
+            prop_assert_eq!(out.report.fetch_retries, out.report.cold_starts * budget);
+        }
+    }
+}
